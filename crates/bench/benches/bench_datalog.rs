@@ -1,0 +1,39 @@
+//! Criterion bench for the Dat technique: encoding cost, fixpoint cost, and
+//! end-to-end query answering through the Datalog engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+use rdfref_datalog::{answer_datalog, encode_graph, Engine};
+use std::hint::black_box;
+
+fn bench_datalog(c: &mut Criterion) {
+    let ds = generate(&LubmConfig::scale(1));
+    let mix = queries::lubm_mix(&ds);
+    let q2 = &mix.iter().find(|q| q.name == "Q02").unwrap().cq;
+
+    let mut group = c.benchmark_group("datalog");
+    group.sample_size(10);
+
+    group.bench_function("encode_graph", |b| {
+        b.iter(|| black_box(encode_graph(&ds.graph).facts.len()))
+    });
+    group.bench_function("closure_fixpoint", |b| {
+        let prog = encode_graph(&ds.graph);
+        b.iter_batched(
+            || Engine::load(&prog).unwrap(),
+            |mut engine| {
+                engine.run();
+                black_box(engine.derived_count)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("answer_q02_end_to_end", |b| {
+        b.iter(|| black_box(answer_datalog(&ds.graph, q2).unwrap().0.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalog);
+criterion_main!(benches);

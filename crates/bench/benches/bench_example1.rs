@@ -1,0 +1,59 @@
+//! Criterion bench for E1: the Example-1 query under each feasible
+//! reformulation strategy (UCQ excluded: it exceeds any practical limit,
+//! which is the point of the experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_core::gcov::{gcov, GcovOptions};
+use rdfref_core::reformulate::{ReformulationLimits, RewriteContext};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+use rdfref_storage::CostModel;
+use std::hint::black_box;
+
+fn bench_example1(c: &mut Criterion) {
+    let ds = generate(&LubmConfig::scale(2));
+    let q = queries::example1(&ds, 0);
+    let db = Database::new(ds.graph.clone());
+    db.prepare_saturation();
+    let opts = AnswerOptions {
+        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        ..AnswerOptions::default()
+    };
+
+    let mut group = c.benchmark_group("example1");
+    group.sample_size(10);
+
+    group.bench_function("sat_eval", |b| {
+        b.iter(|| black_box(db.answer(&q, Strategy::Saturation, &opts).unwrap().len()))
+    });
+    group.bench_function("scq", |b| {
+        b.iter(|| black_box(db.answer(&q, Strategy::RefScq, &opts).unwrap().len()))
+    });
+    group.bench_function("jucq_paper_cover", |b| {
+        let cover = queries::example1_paper_cover();
+        b.iter(|| {
+            black_box(
+                db.answer(&q, Strategy::RefJucq(cover.clone()), &opts)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    group.bench_function("gcov_search_only", |b| {
+        let ctx = RewriteContext::new(db.schema(), db.closure());
+        let model = CostModel::new(db.stats());
+        let gopts = GcovOptions {
+            limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+            ..GcovOptions::default()
+        };
+        b.iter(|| black_box(gcov(&q, &ctx, &model, &gopts).unwrap().cover))
+    });
+    group.bench_function("gcov_end_to_end", |b| {
+        b.iter(|| black_box(db.answer(&q, Strategy::RefGCov, &opts).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_example1);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench for E4: CQ-to-UCQ reformulation time and JUCQ
+//! construction time as the ontology grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfref_core::reformulate::{
+    reformulate_jucq, reformulate_ucq, ReformulationLimits, RewriteContext,
+};
+use rdfref_datagen::onto_sweep::{generate, SweepConfig};
+use rdfref_model::dictionary::ID_RDF_TYPE;
+use rdfref_model::Schema;
+use rdfref_query::ast::{Atom, Cq};
+use rdfref_query::{Cover, Var};
+use std::hint::black_box;
+
+fn bench_reformulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reformulation");
+    group.sample_size(10);
+
+    for (depth, fanout) in [(2usize, 2usize), (3, 3), (4, 3)] {
+        let ds = generate(&SweepConfig {
+            class_depth: depth,
+            class_fanout: fanout,
+            property_depth: 2,
+            instances_per_leaf: 0,
+            edges_per_instance: 0,
+            ..SweepConfig::default()
+        });
+        let schema = Schema::from_graph(&ds.graph);
+        let closure = schema.closure();
+        let ctx = RewriteContext::new(&schema, &closure);
+        let x = Var::new("x");
+        let u = Var::new("u");
+        let y = Var::new("y");
+        let q = Cq::new(
+            vec![x.clone(), u.clone(), y.clone()],
+            vec![
+                Atom::new(x.clone(), ID_RDF_TYPE, u.clone()),
+                Atom::new(x.clone(), ds.root_property, y.clone()),
+            ],
+        )
+        .unwrap();
+        let label = format!("d{depth}f{fanout}");
+        group.bench_with_input(BenchmarkId::new("ucq", &label), &q, |b, q| {
+            b.iter(|| {
+                black_box(
+                    reformulate_ucq(q, &ctx, ReformulationLimits::default())
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scq_jucq", &label), &q, |b, q| {
+            let cover = Cover::singletons(q.size());
+            b.iter(|| {
+                black_box(
+                    reformulate_jucq(q, &cover, &ctx, ReformulationLimits::default())
+                        .unwrap()
+                        .total_cqs(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reformulation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for E6: saturation engines and incremental maintenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_model::Term;
+use rdfref_reasoning::{naive_saturate, saturate, IncrementalReasoner};
+use std::hint::black_box;
+
+fn bench_saturation(c: &mut Criterion) {
+    let ds = generate(&LubmConfig::scale(2));
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+
+    group.bench_function("semi_naive", |b| {
+        b.iter(|| black_box(saturate(&ds.graph).len()))
+    });
+    group.bench_function("naive_reference", |b| {
+        b.iter(|| black_box(naive_saturate(&ds.graph).len()))
+    });
+    group.bench_function("incremental_insert_10", |b| {
+        b.iter_batched(
+            || {
+                let mut r = IncrementalReasoner::new(ds.graph.clone());
+                let batch: Vec<_> = (0..10)
+                    .map(|i| {
+                        r.intern_triple(
+                            &Term::iri(format!("http://new/p{i}")),
+                            &Term::iri(format!("{}memberOf", rdfref_datagen::lubm::UB)),
+                            &Term::iri(rdfref_datagen::lubm::LubmDataset::department_iri(0, 0)),
+                        )
+                    })
+                    .collect();
+                (r, batch)
+            },
+            |(mut r, batch)| black_box(r.insert(&batch)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("dred_delete_10", |b| {
+        b.iter_batched(
+            || {
+                let r = IncrementalReasoner::new(ds.graph.clone());
+                let batch: Vec<_> = r.explicit().triples().iter().take(10).copied().collect();
+                (r, batch)
+            },
+            |(mut r, batch)| black_box(r.delete(&batch)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for E2: representative LUBM-mix queries under each
+//! strategy (Sat evaluation excludes saturation build — it is prepared once,
+//! as the paper treats it as precomputation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_core::reformulate::ReformulationLimits;
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let ds = generate(&LubmConfig::scale(2));
+    let db = Database::new(ds.graph.clone());
+    db.prepare_saturation();
+    let opts = AnswerOptions {
+        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        ..AnswerOptions::default()
+    };
+    let mix = queries::lubm_mix(&ds);
+
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(10);
+    for name in ["Q02", "Q09", "Q10"] {
+        let q = &mix.iter().find(|nq| nq.name == name).unwrap().cq;
+        for strategy in [
+            Strategy::Saturation,
+            Strategy::RefUcq,
+            Strategy::RefScq,
+            Strategy::RefGCov,
+            Strategy::Datalog,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name().replace('/', "_"), name),
+                q,
+                |b, q| {
+                    b.iter(|| black_box(db.answer(q, strategy.clone(), &opts).unwrap().len()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

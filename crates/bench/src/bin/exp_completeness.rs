@@ -1,0 +1,74 @@
+//! E8 — the incomplete Ref strategies of deployed systems (§2, §5):
+//! "Our demo integrates the popular RDF platforms Virtuoso and AllegroGraph
+//! using their own (incomplete) Ref strategy."
+//!
+//! For each incompleteness profile and query: answers returned vs complete
+//! answers, and the constraint kinds whose omission caused the misses.
+
+use rdfref_bench::report::Table;
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_core::incomplete::IncompletenessProfile;
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+
+fn main() {
+    let scale: usize = std::env::var("EXP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let ds = generate(&LubmConfig::scale(scale));
+    let db = Database::new(ds.graph.clone());
+    let opts = AnswerOptions::default();
+
+    let profiles: Vec<(&str, IncompletenessProfile)> = vec![
+        ("complete", IncompletenessProfile::complete()),
+        ("hierarchies-only", IncompletenessProfile::hierarchies_only()),
+        ("subclass-only", IncompletenessProfile::subclass_only()),
+        ("no-reasoning", IncompletenessProfile::none()),
+    ];
+
+    let mut table = Table::new(
+        format!("E8 — completeness of incomplete Ref profiles (LUBM scale {scale})"),
+        &[
+            "query",
+            "complete",
+            "hierarchies-only",
+            "subclass-only",
+            "no-reasoning",
+        ],
+    );
+
+    let mut totals = vec![0usize; profiles.len()];
+    let mut total_complete = 0usize;
+    for nq in queries::lubm_mix(&ds) {
+        let complete = db
+            .answer(&nq.cq, Strategy::Saturation, &opts)
+            .expect(nq.name)
+            .len();
+        total_complete += complete;
+        let mut cells = vec![nq.name.to_string(), complete.to_string()];
+        for (i, (_, profile)) in profiles.iter().enumerate().skip(1) {
+            let n = db
+                .answer(&nq.cq, Strategy::RefIncomplete(*profile), &opts)
+                .expect(nq.name)
+                .len();
+            totals[i] += n;
+            let pct = if complete > 0 {
+                100.0 * n as f64 / complete as f64
+            } else {
+                100.0
+            };
+            cells.push(format!("{n} ({pct:.0}%)"));
+        }
+        table.row(&cells);
+    }
+    let mut footer = vec!["TOTAL".to_string(), total_complete.to_string()];
+    for &t in totals.iter().skip(1) {
+        footer.push(format!(
+            "{t} ({:.0}%)",
+            100.0 * t as f64 / total_complete.max(1) as f64
+        ));
+    }
+    table.row(&footer);
+    table.emit("exp_completeness");
+}

@@ -1,0 +1,118 @@
+//! E3 — demo step 3: "inspect … (if the cover was selected by GCov) the
+//! space of explored alternatives, and their estimated costs."
+//!
+//! For each query, runs GCov, then *evaluates every explored cover* and
+//! reports estimated vs actual cost side by side, plus the Spearman rank
+//! correlation between them — the validation of the cost model.
+
+use rdfref_bench::report::Table;
+use rdfref_bench::{fmt_duration, time};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_core::gcov::{gcov, GcovOptions};
+use rdfref_core::reformulate::{ReformulationLimits, RewriteContext};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+use rdfref_storage::CostModel;
+
+fn spearman(pairs: &[(f64, f64)]) -> f64 {
+    let n = pairs.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let rank = |values: Vec<f64>| -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..values.len()).collect();
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let mut ranks = vec![0.0; values.len()];
+        for (r, &i) in idx.iter().enumerate() {
+            ranks[i] = r as f64;
+        }
+        ranks
+    };
+    let xr = rank(pairs.iter().map(|p| p.0).collect());
+    let yr = rank(pairs.iter().map(|p| p.1).collect());
+    let d2: f64 = xr
+        .iter()
+        .zip(&yr)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    1.0 - 6.0 * d2 / (n as f64 * ((n * n - 1) as f64))
+}
+
+fn main() {
+    let scale: usize = std::env::var("EXP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let ds = generate(&LubmConfig::scale(scale));
+    let db = Database::new(ds.graph.clone());
+    let limits = ReformulationLimits { max_cqs: 50_000, ..Default::default() };
+    let opts = AnswerOptions {
+        limits,
+        ..AnswerOptions::default()
+    };
+    let ctx = RewriteContext::new(db.schema(), db.closure());
+    let model = CostModel::new(db.stats());
+
+    let mut targets = vec![("Example1".to_string(), queries::example1(&ds, 0))];
+    for nq in queries::lubm_mix(&ds) {
+        if ["Q02", "Q04", "Q09"].contains(&nq.name) {
+            targets.push((nq.name.to_string(), nq.cq));
+        }
+    }
+
+    for (name, q) in targets {
+        let (result, search_time) = time(|| {
+            gcov(
+                &q,
+                &ctx,
+                &model,
+                &GcovOptions {
+                    limits,
+                    ..GcovOptions::default()
+                },
+            )
+            .expect("GCov runs")
+        });
+        let mut table = Table::new(
+            format!(
+                "E3 — {name}: explored covers, estimated vs actual (search {}, picked {})",
+                fmt_duration(search_time),
+                result.cover
+            ),
+            &["cover", "est. cost", "est. card", "actual time", "actual peak rows"],
+        );
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for (cover, est) in &result.explored {
+            match est {
+                Some(est) => {
+                    let ans = db
+                        .answer(&q, Strategy::RefJucq(cover.clone()), &opts)
+                        .expect("explored cover evaluates");
+                    pairs.push((est.cost, ans.explain.wall.as_secs_f64()));
+                    table.row(&[
+                        cover.to_string(),
+                        format!("{:.0}", est.cost),
+                        format!("{:.0}", est.cardinality),
+                        fmt_duration(ans.explain.wall),
+                        ans.explain.metrics.peak_intermediate.to_string(),
+                    ]);
+                }
+                None => {
+                    table.row(&[
+                        cover.to_string(),
+                        "∞ (too large)".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                }
+            }
+        }
+        table.emit(&format!("exp_cover_space_{name}"));
+        println!(
+            "Spearman rank correlation (est. cost vs actual time): {:.2} over {} covers\n",
+            spearman(&pairs),
+            pairs.len()
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! E5 — demo step 4, data dimension: strategy runtimes vs data scale.
+//!
+//! Fixed queries, growing LUBM-like data. The crossovers to watch:
+//! Sat's *query* time is lowest but pays saturation up front (reported per
+//! scale); Ref/GCov tracks Sat within a small factor; Ref/SCQ degrades with
+//! the size of unselective subquery results; Dat pays closure derivation
+//! per query.
+
+use rdfref_bench::report::Table;
+use rdfref_bench::{fmt_duration, run_strategy, time};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_core::reformulate::ReformulationLimits;
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+
+fn main() {
+    let scales: Vec<usize> = std::env::var("EXP_SCALES")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let opts = AnswerOptions {
+        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        ..AnswerOptions::default()
+    };
+
+    let mut table = Table::new(
+        "E5 — runtimes vs data scale (queries Q02 membership / Q09 triangle / Example 1)",
+        &[
+            "scale",
+            "triples",
+            "saturation (build)",
+            "query",
+            "Sat",
+            "Ref/SCQ",
+            "Ref/GCov",
+            "Dat",
+        ],
+    );
+
+    for &scale in &scales {
+        eprintln!("scale {scale}…");
+        let ds = generate(&LubmConfig::scale(scale));
+        let db = Database::new(ds.graph.clone());
+        let (added, sat_time) = time(|| db.prepare_saturation());
+        let mix = queries::lubm_mix(&ds);
+        let mut targets: Vec<(String, rdfref_query::Cq)> = mix
+            .into_iter()
+            .filter(|nq| ["Q02", "Q09"].contains(&nq.name))
+            .map(|nq| (nq.name.to_string(), nq.cq))
+            .collect();
+        targets.push(("Ex1".into(), queries::example1(&ds, 0)));
+
+        for (i, (name, q)) in targets.iter().enumerate() {
+            let cells_prefix = if i == 0 {
+                [
+                    scale.to_string(),
+                    ds.graph.len().to_string(),
+                    format!("{} (+{} triples)", fmt_duration(sat_time), added),
+                ]
+            } else {
+                [String::new(), String::new(), String::new()]
+            };
+            let outcome = |s: Strategy| {
+                let o = run_strategy(&db, q, s, &opts);
+                match o.answers {
+                    Ok(_) => fmt_duration(o.wall),
+                    Err(_) => "FAILS".into(),
+                }
+            };
+            table.row(&[
+                cells_prefix[0].clone(),
+                cells_prefix[1].clone(),
+                cells_prefix[2].clone(),
+                name.clone(),
+                outcome(Strategy::Saturation),
+                outcome(Strategy::RefScq),
+                outcome(Strategy::RefGCov),
+                outcome(Strategy::Datalog),
+            ]);
+        }
+    }
+    table.emit("exp_data_sweep");
+}

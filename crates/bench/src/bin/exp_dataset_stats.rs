@@ -1,0 +1,94 @@
+//! E7 — demo step 1: "Pick an RDF graph (data and constraints), and
+//! visualize its statistics (value distributions for subject, property and
+//! object, for attribute pairs etc.)."
+//!
+//! Emits the statistics screens for all four synthetic datasets as tables.
+
+use rdfref_bench::report::Table;
+use rdfref_datagen::{biblio, geo, insee, lubm};
+use rdfref_model::{Graph, Schema};
+use rdfref_storage::stats::{PairStats, ValueDistribution};
+use rdfref_storage::{Stats, Store};
+
+fn describe(slug: &str, name: &str, graph: &Graph) {
+    let store = Store::from_graph(graph);
+    let stats = Stats::compute(&store);
+    let dist = ValueDistribution::compute(&store, 8);
+    let schema = Schema::from_graph(graph);
+    let dict = graph.dictionary();
+
+    let mut summary = Table::new(
+        format!("E7 — {name}: summary"),
+        &["measure", "value"],
+    );
+    for (k, v) in [
+        ("triples", stats.total.to_string()),
+        ("distinct subjects", stats.distinct_subjects.to_string()),
+        ("distinct properties", stats.distinct_properties.to_string()),
+        ("distinct objects", stats.distinct_objects.to_string()),
+        ("rdf:type triples", stats.type_triples.to_string()),
+        ("distinct classes", stats.distinct_classes().to_string()),
+        ("subClassOf constraints", schema.subclass.len().to_string()),
+        ("subPropertyOf constraints", schema.subproperty.len().to_string()),
+        ("domain constraints", schema.domain.len().to_string()),
+        ("range constraints", schema.range.len().to_string()),
+    ] {
+        summary.row(&[k.to_string(), v]);
+    }
+    summary.emit(&format!("exp_stats_{slug}_summary"));
+
+    let mut dists = Table::new(
+        format!("E7 — {name}: value distributions (top 8)"),
+        &["kind", "value", "count"],
+    );
+    for (p, n) in stats.top_properties(8) {
+        dists.row(&["property".into(), dict.term(p).to_string(), n.to_string()]);
+    }
+    for (c, n) in stats.top_classes(8) {
+        dists.row(&["class".into(), dict.term(c).to_string(), n.to_string()]);
+    }
+    for (s, n) in dist.top_subjects.iter().take(8) {
+        dists.row(&["subject".into(), dict.term(*s).to_string(), n.to_string()]);
+    }
+    for (o, n) in dist.top_objects.iter().take(8) {
+        dists.row(&["object".into(), dict.term(*o).to_string(), n.to_string()]);
+    }
+    dists.emit(&format!("exp_stats_{slug}_distributions"));
+
+    let pair = PairStats::compute(&store, &stats, 6);
+    let mut pairs = Table::new(
+        format!("E7 — {name}: attribute pairs (subjects carrying both properties)"),
+        &["property a", "property b", "common subjects"],
+    );
+    for (a, b, n) in pair.pairs.iter().take(8) {
+        pairs.row(&[
+            dict.term(*a).to_string(),
+            dict.term(*b).to_string(),
+            n.to_string(),
+        ]);
+    }
+    pairs.emit(&format!("exp_stats_{slug}_pairs"));
+}
+
+fn main() {
+    describe(
+        "lubm",
+        "LUBM-like (universities)",
+        &lubm::generate(&lubm::LubmConfig::scale(2)).graph,
+    );
+    describe(
+        "dblp",
+        "DBLP-like (bibliography)",
+        &biblio::generate(&biblio::BiblioConfig::default()).graph,
+    );
+    describe(
+        "ign",
+        "IGN-like (geography, deep hierarchy)",
+        &geo::generate(&geo::GeoConfig::default()).graph,
+    );
+    describe(
+        "insee",
+        "INSEE-like (statistics, wide hierarchy)",
+        &insee::generate(&insee::InseeConfig::default()).graph,
+    );
+}

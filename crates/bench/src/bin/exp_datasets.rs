@@ -1,0 +1,81 @@
+//! E2b — the cross-dataset dimension of demo step 2: the same strategies on
+//! all four datasets ("we will rely on real and synthetic RDF data sets,
+//! such as French statistical (INSEE) and geographical (IGN) data, DBLP,
+//! and LUBM"). Each dataset stresses reformulation differently: LUBM mixes
+//! everything; DBLP-like adds authorship skew; IGN-like is a *depth*
+//! stressor; INSEE-like a *width* stressor.
+
+use rdfref_bench::report::Table;
+use rdfref_bench::{fmt_duration, run_strategy};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_core::reformulate::ReformulationLimits;
+use rdfref_datagen::queries::{self, NamedQuery};
+use rdfref_datagen::{biblio, geo, insee, lubm};
+use rdfref_model::Graph;
+
+fn run_section(table: &mut Table, dataset: &str, graph: &Graph, mix: Vec<NamedQuery>) {
+    let db = Database::new(graph.clone());
+    let opts = AnswerOptions {
+        limits: ReformulationLimits {
+            max_cqs: 50_000,
+            ..Default::default()
+        },
+        ..AnswerOptions::default()
+    };
+    db.prepare_saturation();
+    for nq in mix {
+        let mut cells = vec![
+            dataset.to_string(),
+            nq.name.to_string(),
+        ];
+        let mut answers = String::new();
+        for strategy in [
+            Strategy::Saturation,
+            Strategy::RefUcq,
+            Strategy::RefScq,
+            Strategy::RefGCov,
+            Strategy::Datalog,
+        ] {
+            let o = run_strategy(&db, &nq.cq, strategy, &opts);
+            if answers.is_empty() {
+                if let Ok(n) = o.answers {
+                    answers = n.to_string();
+                }
+            }
+            cells.push(match o.answers {
+                Ok(_) => fmt_duration(o.wall),
+                Err(_) => "FAILS".into(),
+            });
+        }
+        cells.insert(2, answers);
+        table.row(&cells);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E2b — strategies across datasets (answers identical per row unless FAILS)",
+        &[
+            "dataset", "query", "answers", "Sat", "Ref/UCQ", "Ref/SCQ", "Ref/GCov", "Dat",
+        ],
+    );
+
+    let lubm = lubm::generate(&lubm::LubmConfig::scale(2));
+    run_section(
+        &mut table,
+        "LUBM-like",
+        &lubm.graph,
+        queries::lubm_mix(&lubm).into_iter().take(6).collect(),
+    );
+
+    let dblp = biblio::generate(&biblio::BiblioConfig::default());
+    run_section(&mut table, "DBLP-like", &dblp.graph, queries::biblio_mix(&dblp));
+
+    let ign = geo::generate(&geo::GeoConfig::default());
+    run_section(&mut table, "IGN-like", &ign.graph, queries::geo_mix(&ign));
+
+    let ins = insee::generate(&insee::InseeConfig::default());
+    run_section(&mut table, "INSEE-like", &ins.graph, queries::insee_mix(&ins));
+
+    table.emit("exp_datasets");
+}

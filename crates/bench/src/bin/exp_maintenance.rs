@@ -1,0 +1,127 @@
+//! E6 — the Sat maintenance cost of §1: "the saturation needs to be
+//! maintained after changes in the data and/or constraints, which may incur
+//! a performance penalty."
+//!
+//! Measures: initial saturation time and size overhead; incremental insert
+//! batches (semi-naive) vs full re-saturation; DRed deletion vs full
+//! re-saturation; and a single-constraint change (the demo's "dramatic
+//! impact" case). Ref's corresponding maintenance cost is store rebuild
+//! only.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rdfref_bench::report::Table;
+use rdfref_bench::{fmt_duration, time};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_model::dictionary::ID_RDFS_SUBCLASSOF;
+use rdfref_model::{EncodedTriple, Term};
+use rdfref_reasoning::{saturate, IncrementalReasoner};
+use rdfref_storage::Store;
+
+fn main() {
+    let scale: usize = std::env::var("EXP_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let ds = generate(&LubmConfig::scale(scale));
+    let explicit_len = ds.graph.len();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // Initial saturation.
+    let (sat, initial_time) = time(|| saturate(&ds.graph));
+    let overhead = sat.len() - explicit_len;
+    println!(
+        "initial saturation: {} → {} triples (+{:.1}%) in {}",
+        explicit_len,
+        sat.len(),
+        100.0 * overhead as f64 / explicit_len as f64,
+        fmt_duration(initial_time),
+    );
+    let (_, ref_build) = time(|| Store::from_graph(&ds.graph));
+    println!(
+        "Ref store build (the only thing Ref must redo on change): {}\n",
+        fmt_duration(ref_build)
+    );
+
+    let mut table = Table::new(
+        format!("E6 — maintenance after updates (LUBM scale {scale}, {explicit_len} triples)"),
+        &[
+            "update",
+            "batch size",
+            "incremental",
+            "from-scratch resaturation",
+            "speedup",
+        ],
+    );
+
+    // Data insert batches: fresh memberships and degree triples.
+    for pct in [0.1_f64, 1.0, 10.0] {
+        let batch_size = ((explicit_len as f64) * pct / 100.0).max(1.0) as usize;
+        let mut reasoner = IncrementalReasoner::new(ds.graph.clone());
+        let batch: Vec<EncodedTriple> = (0..batch_size)
+            .map(|i| {
+                let s = Term::iri(format!("http://new.example.org/person{i}"));
+                let dept = rdfref_datagen::lubm::LubmDataset::department_iri(
+                    rng.gen_range(0..scale),
+                    0,
+                );
+                reasoner.intern_triple(
+                    &s,
+                    &Term::iri(format!("{}memberOf", rdfref_datagen::lubm::UB)),
+                    &Term::iri(dept),
+                )
+            })
+            .collect();
+        let (_, inc_time) = time(|| reasoner.insert(&batch));
+        let (_, full_time) = time(|| saturate(reasoner.explicit()));
+        table.row(&[
+            format!("insert {pct}% data"),
+            batch_size.to_string(),
+            fmt_duration(inc_time),
+            fmt_duration(full_time),
+            format!("{:.1}×", full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)),
+        ]);
+    }
+
+    // Data delete batches (DRed).
+    for pct in [0.1_f64, 1.0, 10.0] {
+        let mut reasoner = IncrementalReasoner::new(ds.graph.clone());
+        let mut all: Vec<EncodedTriple> = reasoner.explicit().triples().to_vec();
+        all.shuffle(&mut rng);
+        let batch_size = ((explicit_len as f64) * pct / 100.0).max(1.0) as usize;
+        let batch: Vec<EncodedTriple> = all.into_iter().take(batch_size).collect();
+        let (_, inc_time) = time(|| reasoner.delete(&batch));
+        let (_, full_time) = time(|| saturate(reasoner.explicit()));
+        table.row(&[
+            format!("delete {pct}% data"),
+            batch_size.to_string(),
+            fmt_duration(inc_time),
+            fmt_duration(full_time),
+            format!("{:.1}×", full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)),
+        ]);
+    }
+
+    // One constraint change: the demo's "dramatic impact" case — incremental
+    // falls back to full resaturation by design.
+    {
+        let mut reasoner = IncrementalReasoner::new(ds.graph.clone());
+        let t = {
+            let new_class = Term::iri(format!("{}AcademicEntity", rdfref_datagen::lubm::UB));
+            let person = Term::iri(format!("{}Person", rdfref_datagen::lubm::UB));
+            let sub = reasoner.intern(&person);
+            let sup = reasoner.intern(&new_class);
+            EncodedTriple::new(sub, ID_RDFS_SUBCLASSOF, sup)
+        };
+        let (_, inc_time) = time(|| reasoner.insert(&[t]));
+        let (_, full_time) = time(|| saturate(reasoner.explicit()));
+        table.row(&[
+            "insert 1 subClassOf constraint".into(),
+            "1".into(),
+            fmt_duration(inc_time),
+            fmt_duration(full_time),
+            "1.0× (constraint changes resaturate)".into(),
+        ]);
+    }
+
+    table.emit("exp_maintenance");
+}

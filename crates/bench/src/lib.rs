@@ -1,0 +1,121 @@
+//! # rdfref-bench — the experiment harness
+//!
+//! One binary per experiment of `DESIGN.md` §4 (run them with
+//! `cargo run -p rdfref-bench --release --bin exp_<name>`), plus Criterion
+//! micro-benchmarks (`cargo bench`). `EXPERIMENTS.md` records the outputs
+//! against the numbers the paper reports.
+//!
+//! | binary | experiment |
+//! |--------|------------|
+//! | `exp_example1` | E1 — §4 Example 1: UCQ vs SCQ vs JUCQ vs GCov |
+//! | `exp_strategies` | E2 — all techniques over the LUBM query mix |
+//! | `exp_cover_space` | E3 — explored covers: estimated vs actual cost |
+//! | `exp_constraints` | E4 — ontology depth/fan-out sweeps |
+//! | `exp_data_sweep` | E5 — data scale sweeps |
+//! | `exp_maintenance` | E6 — Sat maintenance vs Ref |
+//! | `exp_dataset_stats` | E7 — dataset statistics screens |
+//! | `exp_completeness` | E8 — incomplete Ref profiles |
+//! | `exp_ablations` | A1–A5 — design-decision ablations |
+
+pub mod report;
+
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_core::CoreError;
+use std::time::{Duration, Instant};
+
+/// Time a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// The outcome of running one strategy on one query.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Strategy display name.
+    pub strategy: String,
+    /// `Ok(answer count)` or the failure message.
+    pub answers: Result<usize, String>,
+    /// Wall-clock of the whole answering call.
+    pub wall: Duration,
+    /// Reformulation size (CQ disjuncts), if applicable.
+    pub reformulation_cqs: usize,
+    /// Peak intermediate relation size.
+    pub peak_rows: usize,
+}
+
+/// Run one strategy, tolerating typed failures (reformulation blow-ups and
+/// row budgets are *results* in these experiments, not errors).
+pub fn run_strategy(
+    db: &Database,
+    cq: &rdfref_query::Cq,
+    strategy: Strategy,
+    opts: &AnswerOptions,
+) -> Outcome {
+    let name = strategy.name().to_string();
+    let start = Instant::now();
+    match db.answer(cq, strategy, opts) {
+        Ok(answer) => Outcome {
+            strategy: name,
+            answers: Ok(answer.len()),
+            wall: answer.explain.wall,
+            reformulation_cqs: answer.explain.reformulation_cqs,
+            peak_rows: answer.explain.metrics.peak_intermediate,
+        },
+        Err(CoreError::ReformulationTooLarge { size, limit }) => Outcome {
+            strategy: name,
+            answers: Err(format!("reformulation > {limit} CQs (≥{size})")),
+            wall: start.elapsed(),
+            reformulation_cqs: size,
+            peak_rows: 0,
+        },
+        Err(e) => Outcome {
+            strategy: name,
+            answers: Err(e.to_string()),
+            wall: start.elapsed(),
+            reformulation_cqs: 0,
+            peak_rows: 0,
+        },
+    }
+}
+
+/// Render a duration compactly (µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_datagen::lubm::{generate, LubmConfig};
+
+    #[test]
+    fn run_strategy_reports_failures_as_outcomes() {
+        let ds = generate(&LubmConfig::default());
+        let q = rdfref_datagen::queries::example1(&ds, 0);
+        let db = Database::new(ds.graph.clone());
+        let opts = AnswerOptions {
+            limits: rdfref_core::ReformulationLimits { max_cqs: 10, ..Default::default() },
+            ..AnswerOptions::default()
+        };
+        let outcome = run_strategy(&db, &q, Strategy::RefUcq, &opts);
+        assert!(outcome.answers.is_err());
+        let ok = run_strategy(&db, &q, Strategy::RefScq, &opts);
+        assert!(ok.answers.is_err() || ok.answers.is_ok()); // SCQ may hit the tiny limit too
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,24 @@
+//! # rdfref-cli — the interactive demonstration shell
+//!
+//! Implements the demo attendee experience of §5 of the paper:
+//!
+//! 1. **Pick an RDF graph** (`load lubm 2`, `load dblp`, `load file x.ttl`)
+//!    **and visualize its statistics** (`stats`);
+//! 2. **Select a query and answer it** through a chosen system and query
+//!    cover (`query …`, `strategy gcov`, `run`), **or through all the
+//!    available systems, to compare their performance and completeness**
+//!    (`compare`);
+//! 3. **Observe the evaluation runtime and inspect** the chosen plan,
+//!    cardinalities and costs of subqueries, and the space of explored
+//!    covers with their estimated costs (`run` prints the `Explain`;
+//!    `covers` prints GCov's exploration);
+//! 4. **Choose or propose modifications to the RDF data and constraints**
+//!    (`assert`, `retract`, `constraint`) **and re-run** to see the impact.
+//!
+//! The shell is a pure function from input lines to output text
+//! ([`Shell::execute`]), which keeps it fully unit-testable; `main.rs` wires
+//! it to stdin/stdout.
+
+pub mod shell;
+
+pub use shell::Shell;

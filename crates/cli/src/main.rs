@@ -1,0 +1,40 @@
+//! The interactive demo binary: wire [`rdfref_cli::Shell`] to stdin/stdout.
+//!
+//! ```sh
+//! cargo run --release -p rdfref-cli
+//! # or scripted:
+//! echo 'load lubm 2
+//! query SELECT ?x WHERE { ?x a ub:Person . ?x ub:memberOf ?d }
+//! compare
+//! quit' | cargo run --release -p rdfref-cli
+//! ```
+
+use rdfref_cli::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = std::env::args().all(|a| a != "--quiet");
+    if interactive {
+        println!("rdfref demo shell — 'help' for commands, 'quit' to exit");
+    }
+    let _ = write!(stdout, "rdfref> ");
+    let _ = stdout.flush();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let response = shell.execute(&line);
+        if !response.text.is_empty() {
+            println!("{}", response.text);
+        }
+        if response.quit {
+            return;
+        }
+        let _ = write!(stdout, "rdfref> ");
+        let _ = stdout.flush();
+    }
+}

@@ -1,0 +1,538 @@
+//! The query answering facade: one entry point, seven strategies.
+//!
+//! A [`Database`] is a prepared RDF graph: schema extracted and closed,
+//! store and statistics built. [`Database::answer`] then answers a BGP query
+//! with any [`Strategy`]:
+//!
+//! | strategy | technique |
+//! |----------|-----------|
+//! | `Saturation` | **Sat**: evaluate on `G∞` (materialized lazily, cached) |
+//! | `RefUcq` | **Ref** with the classic UCQ reformulation [EDBT'13] |
+//! | `RefScq` | **Ref** with the SCQ reformulation [IJCAI'13] |
+//! | `RefJucq(cover)` | **Ref** with a user-chosen cover (demo GUI) |
+//! | `RefGCov` | **Ref** with the greedy cost-selected cover (the paper) |
+//! | `RefIncomplete(profile)` | Virtuoso/AllegroGraph-style partial Ref |
+//! | `Datalog` | **Dat**: LogicBlox-style bottom-up evaluation |
+//!
+//! All complete strategies return identical answers (the workspace-wide
+//! invariant); they differ — dramatically, on the paper's workloads — in
+//! how they get there, which [`Explain`] exposes.
+
+use crate::error::Result;
+use crate::explain::Explain;
+use crate::gcov::{gcov, GcovOptions};
+use crate::incomplete::IncompletenessProfile;
+use crate::reformulate::rules::RewriteContext;
+use crate::reformulate::ucq::{reformulate_ucq, ReformulationLimits};
+use crate::reformulate::{reformulate_jucq, reformulate_scq};
+use rdfref_model::{Graph, Schema, SchemaClosure, TermId};
+use rdfref_query::ast::{Cq, Jucq};
+use rdfref_query::Cover;
+use rdfref_reasoning::saturate_in_place;
+use rdfref_storage::evaluator::{head_names, Evaluator};
+use rdfref_storage::{ExecMetrics, Relation, Stats, Store};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A query answering strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Sat: precompute `G∞`, evaluate directly.
+    Saturation,
+    /// Ref via the classic UCQ reformulation.
+    RefUcq,
+    /// Ref via the SCQ (per-atom) reformulation.
+    RefScq,
+    /// Ref via the JUCQ induced by a user-chosen cover.
+    RefJucq(Cover),
+    /// Ref via the greedy cost-based cover (GCov) — the paper's approach.
+    RefGCov,
+    /// Deliberately incomplete Ref (deployed-system model).
+    RefIncomplete(IncompletenessProfile),
+    /// Dat: Datalog encoding evaluated bottom-up.
+    Datalog,
+    /// Dat with the magic-set demand transformation (what a production
+    /// Datalog engine would actually run).
+    DatalogMagic,
+}
+
+impl Strategy {
+    /// Short display name (used in experiment tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Saturation => "Sat",
+            Strategy::RefUcq => "Ref/UCQ",
+            Strategy::RefScq => "Ref/SCQ",
+            Strategy::RefJucq(_) => "Ref/JUCQ",
+            Strategy::RefGCov => "Ref/GCov",
+            Strategy::RefIncomplete(_) => "Ref/incomplete",
+            Strategy::Datalog => "Dat",
+            Strategy::DatalogMagic => "Dat/magic",
+        }
+    }
+}
+
+/// Options shared by all strategies.
+#[derive(Debug, Clone, Default)]
+pub struct AnswerOptions {
+    /// Reformulation size limits.
+    pub limits: ReformulationLimits,
+    /// Abort evaluation when an intermediate relation exceeds this many rows.
+    pub row_budget: Option<usize>,
+    /// Evaluate large unions on parallel threads.
+    pub parallel_unions: bool,
+    /// GCov search options (`RefGCov` only).
+    pub gcov: GcovOptions,
+}
+
+/// The answer to a query plus its explanation.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    relation: Relation,
+    /// How the answer was computed.
+    pub explain: Explain,
+}
+
+impl QueryAnswer {
+    /// Assemble an answer from its parts (used by
+    /// [`crate::maintained::MaintainedDatabase`]).
+    pub fn from_parts(relation: Relation, explain: Explain) -> QueryAnswer {
+        QueryAnswer { relation, explain }
+    }
+
+    /// The answer tuples, sorted (canonical for cross-strategy comparison).
+    pub fn rows(&self) -> Vec<Vec<TermId>> {
+        let mut rows = self.relation.to_rows();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// The raw relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// The answers decoded to terms through a dictionary (row-major, sorted).
+    pub fn decoded(&self, dict: &rdfref_model::Dictionary) -> Vec<Vec<rdfref_model::Term>> {
+        self.rows()
+            .into_iter()
+            .map(|row| row.iter().map(|id| dict.term(*id).clone()).collect())
+            .collect()
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// True iff the answer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relation.is_empty()
+    }
+}
+
+/// Lazily materialized saturation artifacts.
+#[derive(Debug)]
+struct SaturatedPart {
+    store: Store,
+    stats: Stats,
+    added: usize,
+}
+
+/// A prepared database: graph + schema closure + store + statistics.
+#[derive(Debug)]
+pub struct Database {
+    graph: Graph,
+    schema: Schema,
+    closure: SchemaClosure,
+    store: Store,
+    stats: Stats,
+    saturated: OnceLock<SaturatedPart>,
+}
+
+impl Database {
+    /// Prepare a database from a graph (schema triples are recognized
+    /// in-line, as in the DB fragment).
+    pub fn new(graph: Graph) -> Database {
+        let schema = Schema::from_graph(&graph);
+        let closure = schema.closure();
+        let store = Store::from_graph(&graph);
+        let stats = Stats::compute(&store);
+        Database {
+            graph,
+            schema,
+            closure,
+            store,
+            stats,
+            saturated: OnceLock::new(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The extracted schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The schema closure.
+    pub fn closure(&self) -> &SchemaClosure {
+        &self.closure
+    }
+
+    /// The store over explicit triples.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Statistics over explicit triples.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn saturated(&self) -> &SaturatedPart {
+        self.saturated.get_or_init(|| {
+            let mut g = self.graph.clone();
+            let added = saturate_in_place(&mut g);
+            let store = Store::from_graph(&g);
+            let stats = Stats::compute(&store);
+            SaturatedPart {
+                store,
+                stats,
+                added,
+            }
+        })
+    }
+
+    /// Force saturation now (otherwise lazy on the first `Saturation`
+    /// answer) and return the number of added triples.
+    pub fn prepare_saturation(&self) -> usize {
+        self.saturated().added
+    }
+
+    /// Answer `cq` with `strategy`.
+    pub fn answer(
+        &self,
+        cq: &Cq,
+        strategy: Strategy,
+        opts: &AnswerOptions,
+    ) -> Result<QueryAnswer> {
+        let start = Instant::now();
+        let out = head_names(cq);
+        let mut explain = Explain {
+            strategy: strategy.name().to_string(),
+            ..Explain::default()
+        };
+        let mut metrics = ExecMetrics::default();
+
+        let relation = match &strategy {
+            Strategy::Saturation => {
+                let sat = self.saturated();
+                explain.saturation_added = sat.added;
+                let mut ev = Evaluator::new(&sat.store, &sat.stats);
+                ev.row_budget = opts.row_budget;
+                ev.parallel = opts.parallel_unions;
+                ev.eval_cq(cq, &out, &mut metrics)?
+            }
+            Strategy::RefUcq => {
+                let ctx = RewriteContext::new(&self.schema, &self.closure);
+                let ucq = reformulate_ucq(cq, &ctx, opts.limits)?;
+                explain.reformulation_cqs = ucq.len();
+                explain.reformulation_atoms = ucq.total_atoms();
+                let model = rdfref_storage::CostModel::new(&self.stats);
+                explain.estimate = Some(model.ucq_estimate(&ucq));
+                let mut ev = Evaluator::new(&self.store, &self.stats);
+                ev.row_budget = opts.row_budget;
+                ev.parallel = opts.parallel_unions;
+                ev.eval_ucq(&ucq, &out, &mut metrics)?
+            }
+            Strategy::RefScq => {
+                let ctx = RewriteContext::new(&self.schema, &self.closure);
+                let jucq = reformulate_scq(cq, &ctx, opts.limits)?;
+                explain.cover = Some(Cover::singletons(cq.size()));
+                self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
+            }
+            Strategy::RefJucq(cover) => {
+                let ctx = RewriteContext::new(&self.schema, &self.closure);
+                let jucq = reformulate_jucq(cq, cover, &ctx, opts.limits)?;
+                explain.cover = Some(cover.clone());
+                self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
+            }
+            Strategy::RefGCov => {
+                let ctx = RewriteContext::new(&self.schema, &self.closure);
+                let model = rdfref_storage::CostModel::new(&self.stats);
+                let mut gcov_opts = opts.gcov;
+                gcov_opts.limits = opts.limits;
+                let result = gcov(cq, &ctx, &model, &gcov_opts)?;
+                explain.cover = Some(result.cover.clone());
+                explain.estimate = Some(result.estimate);
+                explain.explored = result.explored.clone();
+                explain.reformulation_cqs = result.jucq.total_cqs();
+                explain.reformulation_atoms = result
+                    .jucq
+                    .fragments
+                    .iter()
+                    .map(|f| f.ucq.total_atoms())
+                    .sum();
+                let mut ev = Evaluator::new(&self.store, &self.stats);
+                ev.row_budget = opts.row_budget;
+                ev.parallel = opts.parallel_unions;
+                ev.eval_jucq(&result.jucq, &mut metrics)?
+            }
+            Strategy::RefIncomplete(profile) => {
+                let filtered = profile.filter_schema(&self.schema);
+                let closure = filtered.closure();
+                let ctx = RewriteContext::new(&filtered, &closure);
+                let ucq = reformulate_ucq(cq, &ctx, opts.limits)?;
+                explain.reformulation_cqs = ucq.len();
+                explain.reformulation_atoms = ucq.total_atoms();
+                let mut ev = Evaluator::new(&self.store, &self.stats);
+                ev.row_budget = opts.row_budget;
+                ev.parallel = opts.parallel_unions;
+                ev.eval_ucq(&ucq, &out, &mut metrics)?
+            }
+            Strategy::Datalog | Strategy::DatalogMagic => {
+                let (rows, engine) = if matches!(strategy, Strategy::DatalogMagic) {
+                    rdfref_datalog::answer_datalog_magic(&self.graph, cq)?
+                } else {
+                    rdfref_datalog::answer_datalog(&self.graph, cq)?
+                };
+                explain.datalog_derived = engine.derived_count;
+                let mut rel = Relation::empty(out.clone());
+                for row in rows {
+                    rel.push_row(&row)?;
+                }
+                rel
+            }
+        };
+
+        explain.metrics = metrics;
+        explain.answers = relation.len();
+        explain.wall = start.elapsed();
+        Ok(QueryAnswer {
+            relation,
+            explain,
+        })
+    }
+
+    fn eval_jucq_explained(
+        &self,
+        jucq: &Jucq,
+        opts: &AnswerOptions,
+        explain: &mut Explain,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Relation> {
+        explain.reformulation_cqs = jucq.total_cqs();
+        explain.reformulation_atoms = jucq
+            .fragments
+            .iter()
+            .map(|f| f.ucq.total_atoms())
+            .sum();
+        let model = rdfref_storage::CostModel::new(&self.stats);
+        explain.estimate = Some(model.jucq_estimate(jucq));
+        let mut ev = Evaluator::new(&self.store, &self.stats);
+        ev.row_budget = opts.row_budget;
+        ev.parallel = opts.parallel_unions;
+        Ok(ev.eval_jucq(jucq, metrics)?)
+    }
+}
+
+/// Convenience: answer a query on a graph with a one-shot database.
+pub fn answer(
+    graph: &Graph,
+    cq: &Cq,
+    strategy: Strategy,
+    opts: &AnswerOptions,
+) -> Result<QueryAnswer> {
+    Database::new(graph.clone()).answer(cq, strategy, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CoreError;
+    use rdfref_model::parser::parse_turtle;
+    use rdfref_query::parse_select;
+
+    const DOC: &str = r#"
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:Novel rdfs:subClassOf ex:Book .
+ex:writtenBy rdfs:subPropertyOf ex:hasAuthor .
+ex:writtenBy rdfs:domain ex:Book .
+ex:writtenBy rdfs:range ex:Person .
+ex:doi1 rdf:type ex:Book .
+ex:doi1 ex:writtenBy ex:borges .
+ex:doi2 rdf:type ex:Novel .
+ex:doi3 ex:writtenBy ex:bioy .
+ex:borges ex:hasName "J. L. Borges" .
+ex:bioy ex:hasName "A. Bioy Casares" .
+"#;
+
+    fn setup(query: &str) -> (Database, Cq) {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(query, g.dictionary_mut()).unwrap();
+        (Database::new(g), q)
+    }
+
+    const PUBLICATIONS: &str = r#"PREFIX ex: <http://example.org/>
+        SELECT ?x WHERE { ?x a ex:Publication }"#;
+
+    fn all_complete_strategies() -> Vec<Strategy> {
+        vec![
+            Strategy::Saturation,
+            Strategy::RefUcq,
+            Strategy::RefScq,
+            Strategy::RefGCov,
+            Strategy::Datalog,
+        ]
+    }
+
+    #[test]
+    fn all_complete_strategies_agree() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions::default();
+        let reference = db.answer(&q, Strategy::Saturation, &opts).unwrap().rows();
+        // doi1 (explicit Book), doi2 (Novel ⊑ Book ⊑ Publication),
+        // doi3 (domain of writtenBy).
+        assert_eq!(reference.len(), 3);
+        for strategy in all_complete_strategies() {
+            let got = db.answer(&q, strategy.clone(), &opts).unwrap().rows();
+            assert_eq!(got, reference, "strategy {} diverged", strategy.name());
+        }
+    }
+
+    #[test]
+    fn user_cover_strategy_agrees_too() {
+        let (db, q) = setup(
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?n WHERE { ?x a ex:Publication . ?x ex:hasAuthor ?a . ?a ex:hasName ?n }"#,
+        );
+        let opts = AnswerOptions::default();
+        let reference = db.answer(&q, Strategy::Saturation, &opts).unwrap().rows();
+        assert_eq!(reference.len(), 2); // doi1/Borges, doi3/Bioy
+        for cover in [
+            Cover::singletons(3),
+            Cover::one_fragment(3),
+            Cover::new(vec![vec![0, 1], vec![1, 2]], 3).unwrap(),
+            Cover::new(vec![vec![0, 1], vec![2]], 3).unwrap(),
+        ] {
+            let got = db
+                .answer(&q, Strategy::RefJucq(cover.clone()), &opts)
+                .unwrap_or_else(|e| panic!("cover {cover} failed: {e}"))
+                .rows();
+            assert_eq!(got, reference, "cover {cover} diverged");
+        }
+    }
+
+    #[test]
+    fn incomplete_profiles_miss_answers() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions::default();
+        let complete = db.answer(&q, Strategy::Saturation, &opts).unwrap().len();
+        let hier = db
+            .answer(
+                &q,
+                Strategy::RefIncomplete(IncompletenessProfile::hierarchies_only()),
+                &opts,
+            )
+            .unwrap()
+            .len();
+        let none = db
+            .answer(
+                &q,
+                Strategy::RefIncomplete(IncompletenessProfile::none()),
+                &opts,
+            )
+            .unwrap()
+            .len();
+        assert_eq!(complete, 3);
+        assert_eq!(hier, 2, "hierarchies-only misses the domain-typed doi3");
+        assert_eq!(none, 0, "no explicit Publication instances");
+        // The complete profile agrees with Sat.
+        let full = db
+            .answer(
+                &q,
+                Strategy::RefIncomplete(IncompletenessProfile::complete()),
+                &opts,
+            )
+            .unwrap()
+            .len();
+        assert_eq!(full, complete);
+    }
+
+    #[test]
+    fn explain_is_populated() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions::default();
+        let ucq = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        assert!(ucq.explain.reformulation_cqs >= 3);
+        assert!(ucq.explain.estimate.is_some());
+        assert_eq!(ucq.explain.answers, 3);
+
+        let gcv = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        assert!(gcv.explain.cover.is_some());
+        assert!(!gcv.explain.explored.is_empty());
+
+        let sat = db.answer(&q, Strategy::Saturation, &opts).unwrap();
+        assert!(sat.explain.saturation_added > 0);
+
+        let dat = db.answer(&q, Strategy::Datalog, &opts).unwrap();
+        assert!(dat.explain.datalog_derived > 0);
+    }
+
+    #[test]
+    fn example_1_style_query_with_class_variables() {
+        let (db, q) = setup(
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?u WHERE { ?x a ?u . ?x ex:writtenBy ?y }"#,
+        );
+        let opts = AnswerOptions::default();
+        let reference = db.answer(&q, Strategy::Saturation, &opts).unwrap().rows();
+        // doi1 and doi3 have writtenBy; types: doi1 ∈ {Book, Publication},
+        // doi3 ∈ {Book, Publication} — 4 rows.
+        assert_eq!(reference.len(), 4);
+        for strategy in all_complete_strategies() {
+            let got = db.answer(&q, strategy.clone(), &opts).unwrap().rows();
+            assert_eq!(got, reference, "strategy {} diverged", strategy.name());
+        }
+    }
+
+    #[test]
+    fn row_budget_propagates() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions {
+            row_budget: Some(1),
+            ..AnswerOptions::default()
+        };
+        let err = db.answer(&q, Strategy::RefUcq, &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Storage(rdfref_storage::StorageError::RowBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn reformulation_limit_propagates() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions {
+            limits: ReformulationLimits { max_cqs: 1, ..Default::default() },
+            ..AnswerOptions::default()
+        };
+        let err = db.answer(&q, Strategy::RefUcq, &opts).unwrap_err();
+        assert!(matches!(err, CoreError::ReformulationTooLarge { .. }));
+    }
+
+    #[test]
+    fn one_shot_answer_helper() {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(PUBLICATIONS, g.dictionary_mut()).unwrap();
+        let a = answer(&g, &q, Strategy::RefGCov, &AnswerOptions::default()).unwrap();
+        assert_eq!(a.len(), 3);
+    }
+}

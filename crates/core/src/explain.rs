@@ -1,0 +1,121 @@
+//! Execution explanations — the content of the demo's inspection screens.
+//!
+//! Demo step 3: "Observe the evaluation runtime and inspect: the chosen
+//! query plan; cardinalities and costs of (sub)queries; and (if the cover
+//! was selected by GCov) the space of explored alternatives, and their
+//! estimated costs."
+
+use rdfref_query::Cover;
+use rdfref_storage::{CostEstimate, ExecMetrics};
+use std::fmt;
+use std::time::Duration;
+
+/// Everything observable about one query answering run.
+#[derive(Debug, Clone, Default)]
+pub struct Explain {
+    /// Human-readable strategy name.
+    pub strategy: String,
+    /// Total CQ disjuncts in the reformulation (0 for Sat/Dat).
+    pub reformulation_cqs: usize,
+    /// Total atoms across the reformulation (query-text size proxy).
+    pub reformulation_atoms: usize,
+    /// The cover used, if the strategy is cover-based.
+    pub cover: Option<Cover>,
+    /// The cost model's estimate for the executed query, if Ref.
+    pub estimate: Option<CostEstimate>,
+    /// Covers explored by GCov with their estimates (`None` = reformulation
+    /// exceeded the size limit).
+    pub explored: Vec<(Cover, Option<CostEstimate>)>,
+    /// Operator-level metrics (scans, joins, intermediate sizes).
+    pub metrics: ExecMetrics,
+    /// Wall-clock time of the complete answering run.
+    pub wall: Duration,
+    /// Number of answer tuples.
+    pub answers: usize,
+    /// For Sat: triples added by saturation (0 otherwise). Counted once per
+    /// database, not per query; reported for the first Sat run.
+    pub saturation_added: usize,
+    /// For Dat: facts derived by the Datalog engine.
+    pub datalog_derived: usize,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "strategy        : {}", self.strategy)?;
+        writeln!(f, "answers         : {}", self.answers)?;
+        writeln!(f, "wall time       : {:?}", self.wall)?;
+        if self.reformulation_cqs > 0 {
+            writeln!(
+                f,
+                "reformulation   : {} CQ(s), {} atom(s)",
+                self.reformulation_cqs, self.reformulation_atoms
+            )?;
+        }
+        if let Some(cover) = &self.cover {
+            writeln!(f, "cover           : {cover}")?;
+        }
+        if let Some(est) = &self.estimate {
+            writeln!(
+                f,
+                "estimated       : cost {:.1}, cardinality {:.1}",
+                est.cost, est.cardinality
+            )?;
+        }
+        if self.saturation_added > 0 {
+            writeln!(f, "saturation added: {} triples", self.saturation_added)?;
+        }
+        if self.datalog_derived > 0 {
+            writeln!(f, "datalog derived : {} facts", self.datalog_derived)?;
+        }
+        if !self.explored.is_empty() {
+            writeln!(f, "explored covers : {}", self.explored.len())?;
+            for (cover, est) in self.explored.iter().take(8) {
+                match est {
+                    Some(e) => writeln!(f, "  {cover}  cost {:.1}", e.cost)?,
+                    None => writeln!(f, "  {cover}  (reformulation too large)")?,
+                }
+            }
+            if self.explored.len() > 8 {
+                writeln!(f, "  … {} more", self.explored.len() - 8)?;
+            }
+        }
+        if !self.metrics.steps.is_empty() {
+            writeln!(
+                f,
+                "operators       : {} steps, peak intermediate {} rows, {} rows scanned",
+                self.metrics.steps.len(),
+                self.metrics.peak_intermediate,
+                self.metrics.rows_scanned
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_key_facts() {
+        let mut e = Explain {
+            strategy: "Ref/GCov".into(),
+            reformulation_cqs: 12,
+            reformulation_atoms: 30,
+            cover: Some(Cover::singletons(2)),
+            estimate: Some(CostEstimate {
+                cardinality: 42.0,
+                cost: 1234.5,
+            }),
+            answers: 7,
+            ..Explain::default()
+        };
+        e.metrics.record_scan("scan t1", 100);
+        let s = e.to_string();
+        assert!(s.contains("Ref/GCov"));
+        assert!(s.contains("12 CQ(s)"));
+        assert!(s.contains("1234.5"));
+        assert!(s.contains("{{t1}, {t2}}"));
+        assert!(s.contains("peak intermediate 100"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Models of the *incomplete* Ref strategies of deployed systems.
+//!
+//! "Only a few RDF data management systems, such as AllegroGraph, Stardog or
+//! Virtuoso, use reformulation, in some cases incomplete (ignoring some
+//! RDFS constraints)" (§2, citing their reference \[6\]). The demo integrates those systems
+//! "using their own (incomplete) Ref strategy"; here we model that
+//! incompleteness precisely: a profile selects which of the four RDFS
+//! constraint kinds the reformulation engine is allowed to see. Experiment
+//! E8 counts the answers each profile misses.
+
+use rdfref_model::Schema;
+
+/// Which constraint kinds a (possibly incomplete) reformulation honours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncompletenessProfile {
+    /// Honour `rdfs:subClassOf`.
+    pub subclass: bool,
+    /// Honour `rdfs:subPropertyOf`.
+    pub subproperty: bool,
+    /// Honour `rdfs:domain`.
+    pub domain: bool,
+    /// Honour `rdfs:range`.
+    pub range: bool,
+}
+
+impl IncompletenessProfile {
+    /// The complete profile (all constraints honoured).
+    pub fn complete() -> Self {
+        IncompletenessProfile {
+            subclass: true,
+            subproperty: true,
+            domain: true,
+            range: true,
+        }
+    }
+
+    /// A Virtuoso-style profile: hierarchical reasoning only (subclass and
+    /// subproperty), no domain/range typing.
+    pub fn hierarchies_only() -> Self {
+        IncompletenessProfile {
+            subclass: true,
+            subproperty: true,
+            domain: false,
+            range: false,
+        }
+    }
+
+    /// An AllegroGraph-style minimal profile: subclass reasoning only.
+    pub fn subclass_only() -> Self {
+        IncompletenessProfile {
+            subclass: true,
+            subproperty: false,
+            domain: false,
+            range: false,
+        }
+    }
+
+    /// No reasoning at all: plain evaluation of the query on explicit data.
+    pub fn none() -> Self {
+        IncompletenessProfile {
+            subclass: false,
+            subproperty: false,
+            domain: false,
+            range: false,
+        }
+    }
+
+    /// Is this the complete profile?
+    pub fn is_complete(&self) -> bool {
+        *self == Self::complete()
+    }
+
+    /// Restrict a schema to the honoured constraint kinds.
+    pub fn filter_schema(&self, schema: &Schema) -> Schema {
+        let mut out = Schema::new();
+        if self.subclass {
+            out.subclass = schema.subclass.clone();
+        }
+        if self.subproperty {
+            out.subproperty = schema.subproperty.clone();
+        }
+        if self.domain {
+            out.domain = schema.domain.clone();
+        }
+        if self.range {
+            out.range = schema.range.clone();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::TermId;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_subclass(TermId(10), TermId(11));
+        s.add_subproperty(TermId(12), TermId(13));
+        s.add_domain(TermId(12), TermId(10));
+        s.add_range(TermId(12), TermId(14));
+        s
+    }
+
+    #[test]
+    fn complete_profile_keeps_everything() {
+        let s = schema();
+        let f = IncompletenessProfile::complete().filter_schema(&s);
+        assert_eq!(f, s);
+        assert!(IncompletenessProfile::complete().is_complete());
+    }
+
+    #[test]
+    fn hierarchies_only_drops_typing() {
+        let f = IncompletenessProfile::hierarchies_only().filter_schema(&schema());
+        assert_eq!(f.subclass.len(), 1);
+        assert_eq!(f.subproperty.len(), 1);
+        assert!(f.domain.is_empty() && f.range.is_empty());
+    }
+
+    #[test]
+    fn subclass_only_is_minimal() {
+        let f = IncompletenessProfile::subclass_only().filter_schema(&schema());
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn none_profile_empties_the_schema() {
+        let f = IncompletenessProfile::none().filter_schema(&schema());
+        assert!(f.is_empty());
+        assert!(!IncompletenessProfile::none().is_complete());
+    }
+}

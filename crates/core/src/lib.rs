@@ -1,0 +1,65 @@
+//! # rdfref-core — reformulation-based query answering in RDF
+//!
+//! The primary contribution of Bursztyn, Goasdoué & Manolescu (VLDB 2015
+//! demo; EDBT 2015): answering BGP queries over RDF graphs under RDFS
+//! constraints *without* saturating the data, by reformulating the query —
+//! and doing so **cost-effectively**, by searching a space of *joins of
+//! unions of conjunctive queries* (JUCQs) induced by query covers.
+//!
+//! * [`reformulate`] — the 13-rule CQ-to-UCQ backward-chaining algorithm of
+//!   Goasdoué, Manolescu & Roatiş (EDBT'13) over the DB fragment of RDF
+//!   ([`reformulate::reformulate_ucq`]); the SCQ reformulation of Thomazo
+//!   (IJCAI'13) and general cover-induced JUCQ reformulations
+//!   ([`reformulate::reformulate_jucq`]);
+//! * [`mod@gcov`] — the greedy cost-based cover search **GCov** (§4);
+//! * [`incomplete`] — models of the incomplete Ref strategies of deployed
+//!   systems (Virtuoso, AllegroGraph), which ignore some RDFS constraints;
+//! * [`answer`] — the answering facade: a prepared [`answer::Database`] and
+//!   the [`answer::Strategy`] enum covering Sat, all Ref variants, and Dat;
+//! * [`explain`] — what the demo GUI shows: reformulation sizes, chosen and
+//!   explored covers with estimated costs, intermediate cardinalities,
+//!   wall-clock.
+//!
+//! The correctness contract, tested across the workspace:
+//! `answer(q, G, S) = q(G∞)` for every strategy `S` except the deliberately
+//! incomplete ones.
+//!
+//! ```
+//! use rdfref_core::answer::{Database, Strategy, AnswerOptions};
+//! use rdfref_model::parser::parse_turtle;
+//! use rdfref_query::parse_select;
+//!
+//! let mut graph = parse_turtle(r#"
+//!     @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+//!     @prefix ex: <http://example.org/> .
+//!     ex:Book rdfs:subClassOf ex:Publication .
+//!     ex:doi1 a ex:Book .
+//! "#).unwrap();
+//! let q = parse_select(
+//!     "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
+//!     graph.dictionary_mut(),
+//! ).unwrap();
+//! let db = Database::new(graph);
+//! let sat = db.answer(&q, Strategy::Saturation, &AnswerOptions::default()).unwrap();
+//! let gcv = db.answer(&q, Strategy::RefGCov, &AnswerOptions::default()).unwrap();
+//! assert_eq!(sat.rows(), gcv.rows());      // both find the implicit Publication
+//! assert_eq!(sat.rows().len(), 1);
+//! ```
+
+pub mod answer;
+pub mod error;
+pub mod explain;
+pub mod gcov;
+pub mod incomplete;
+pub mod maintained;
+pub mod reformulate;
+
+pub use answer::{AnswerOptions, Database, QueryAnswer, Strategy};
+pub use error::{CoreError, Result};
+pub use explain::Explain;
+pub use gcov::{gcov, GcovOptions, GcovResult};
+pub use incomplete::IncompletenessProfile;
+pub use maintained::MaintainedDatabase;
+pub use reformulate::{
+    reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
+};

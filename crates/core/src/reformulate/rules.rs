@@ -1,0 +1,553 @@
+//! The 13 reformulation rules.
+//!
+//! Each rule rewrites **one atom** of a CQ w.r.t. the schema closure
+//! `cl(S)`, optionally binding a variable of the atom to a schema constant
+//! (§3 of `DESIGN.md`). The fixpoint driver in [`super::ucq`] applies them
+//! exhaustively with canonical deduplication.
+//!
+//! Writing `τ` = `rdf:type` and `≺sc`, `≺sp`, `←d`, `↪r` for the four
+//! constraints, with `c, p` constants and `x` a variable:
+//!
+//! | #  | atom | side condition (in `cl(S)`) | rewrite |
+//! |----|------|------------------------------|---------|
+//! | 1  | `s τ c`   | `c′ ≺sc c`  | `s τ c′` |
+//! | 2  | `s τ c`   | `p ←d c`    | `s p f`, `f` fresh |
+//! | 3  | `s τ c`   | `p ↪r c`    | `f p s`, `f` fresh |
+//! | 4  | `s p o`   | `p′ ≺sp p`  | `s p′ o` |
+//! | 5  | `s ≺sc c` | `c′ ≺sc c`  | `s ≺sc c′` (first explicit hop) |
+//! | 6  | `s ≺sp p` | `p′ ≺sp p`  | `s ≺sp p′` |
+//! | 7  | `s ←d o`  | `p₁ ←d c₀ ∈ S`, `p₀ ≼sp p₁`, `c₀ ≼sc c` | bind `s↦p₀`, `o↦c`; witness `p₁ ←d c₀` |
+//! | 8  | `s ↪r o`  | analogous for ranges | |
+//! | 9  | `s τ x`   | `c′ ≺sc c`  | bind `x↦c`; `s τ c′` |
+//! | 10 | `s τ x`   | `p ←d c`    | bind `x↦c`; `s p f` |
+//! | 11 | `s τ x`   | `p ↪r c`    | bind `x↦c`; `f p s` |
+//! | 12 | `s x o`   | `p′ ≺sp p`  | bind `x↦p`; `s p′ o` |
+//! | 13 | `s x o`   | — | bind `x` to a built-in (`τ`, `≺sc`, `≺sp`, `←d`, `↪r`) whose entailments are non-trivial under `cl(S)`; further rules then expand the bound atom |
+//!
+//! Rules 5/6 are complete because any entailed hierarchy pair decomposes
+//! into one *explicit* first hop plus a closure tail; rules 7/8 enumerate
+//! the (finitely many) entailed domain/range pairs with an explicit declared
+//! constraint as witness atom. Rules 9–13 drive the UCQ blow-up of the
+//! paper's Example 1: a variable in class/property position multiplies the
+//! union by the closure size.
+
+use rdfref_model::dictionary::{
+    ID_RDFS_DOMAIN, ID_RDFS_RANGE, ID_RDFS_SUBCLASSOF, ID_RDFS_SUBPROPERTYOF, ID_RDF_TYPE,
+};
+use rdfref_model::{Schema, SchemaClosure, TermId};
+use rdfref_query::ast::{Atom, PTerm};
+use rdfref_query::var::FreshVars;
+use rdfref_query::Var;
+
+/// Which rule produced a rewrite (for explanation and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Subclass unfolding of a class assertion.
+    R1,
+    /// Domain unfolding of a class assertion.
+    R2,
+    /// Range unfolding of a class assertion.
+    R3,
+    /// Subproperty unfolding of a property assertion.
+    R4,
+    /// Subclass-query unfolding.
+    R5,
+    /// Subproperty-query unfolding.
+    R6,
+    /// Domain-query unfolding.
+    R7,
+    /// Range-query unfolding.
+    R8,
+    /// Class-variable binding via subclass.
+    R9,
+    /// Class-variable binding via domain.
+    R10,
+    /// Class-variable binding via range.
+    R11,
+    /// Property-variable binding via subproperty.
+    R12,
+    /// Property-variable binding to a built-in property.
+    R13,
+}
+
+/// One single-step rewrite of an atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rewrite {
+    /// The replacement atom (before applying `bindings` — the driver
+    /// substitutes bindings through the whole CQ including this atom).
+    pub atom: Atom,
+    /// Variable bindings this rewrite commits to (at most two: rules 7/8).
+    pub bindings: Vec<(Var, TermId)>,
+    /// The rule that fired.
+    pub rule: RuleId,
+}
+
+/// The reformulation context: declared schema and its closure.
+#[derive(Debug, Clone)]
+pub struct RewriteContext<'a> {
+    /// The declared constraints (needed by rules 7/8 for witness atoms).
+    pub schema: &'a Schema,
+    /// The closure (all other rules).
+    pub closure: &'a SchemaClosure,
+}
+
+impl<'a> RewriteContext<'a> {
+    /// Build a context.
+    pub fn new(schema: &'a Schema, closure: &'a SchemaClosure) -> Self {
+        RewriteContext { schema, closure }
+    }
+
+    /// All single-step rewrites of `atom`.
+    pub fn rewrite_atom(&self, atom: &Atom, fresh: &mut FreshVars) -> Vec<Rewrite> {
+        let mut out = Vec::new();
+        match &atom.p {
+            PTerm::Const(p) if *p == ID_RDF_TYPE => self.rewrite_type_atom(atom, fresh, &mut out),
+            PTerm::Const(p) if *p == ID_RDFS_SUBCLASSOF => self.rewrite_hierarchy_atom(
+                atom,
+                ID_RDFS_SUBCLASSOF,
+                RuleId::R5,
+                &mut out,
+            ),
+            PTerm::Const(p) if *p == ID_RDFS_SUBPROPERTYOF => self.rewrite_hierarchy_atom(
+                atom,
+                ID_RDFS_SUBPROPERTYOF,
+                RuleId::R6,
+                &mut out,
+            ),
+            PTerm::Const(p) if *p == ID_RDFS_DOMAIN => {
+                self.rewrite_typing_constraint_atom(atom, true, &mut out)
+            }
+            PTerm::Const(p) if *p == ID_RDFS_RANGE => {
+                self.rewrite_typing_constraint_atom(atom, false, &mut out)
+            }
+            PTerm::Const(p) => {
+                // Rule 4: ordinary property assertion.
+                for sub in self.closure.subproperties_of(*p) {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), sub, atom.o.clone()),
+                        bindings: vec![],
+                        rule: RuleId::R4,
+                    });
+                }
+            }
+            PTerm::Var(x) => self.rewrite_var_property_atom(atom, x, &mut out),
+        }
+        out
+    }
+
+    /// Rules 1–3 (constant class) and 9–11 (variable class).
+    fn rewrite_type_atom(&self, atom: &Atom, fresh: &mut FreshVars, out: &mut Vec<Rewrite>) {
+        match &atom.o {
+            PTerm::Const(c) => {
+                for sub in self.closure.subclasses_of(*c) {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), ID_RDF_TYPE, sub),
+                        bindings: vec![],
+                        rule: RuleId::R1,
+                    });
+                }
+                for p in self.closure.properties_with_domain(*c) {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), p, fresh.next()),
+                        bindings: vec![],
+                        rule: RuleId::R2,
+                    });
+                }
+                for p in self.closure.properties_with_range(*c) {
+                    out.push(Rewrite {
+                        atom: Atom::new(fresh.next(), p, atom.s.clone()),
+                        bindings: vec![],
+                        rule: RuleId::R3,
+                    });
+                }
+            }
+            PTerm::Var(x) => {
+                for (sub, sup) in self.closure.all_subclass_pairs() {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), ID_RDF_TYPE, sub),
+                        bindings: vec![(x.clone(), sup)],
+                        rule: RuleId::R9,
+                    });
+                }
+                for (p, c) in self.closure.all_domain_pairs() {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), p, fresh.next()),
+                        bindings: vec![(x.clone(), c)],
+                        rule: RuleId::R10,
+                    });
+                }
+                for (p, c) in self.closure.all_range_pairs() {
+                    out.push(Rewrite {
+                        atom: Atom::new(fresh.next(), p, atom.s.clone()),
+                        bindings: vec![(x.clone(), c)],
+                        rule: RuleId::R11,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Rules 5/6: queries over the `subClassOf`/`subPropertyOf` hierarchy.
+    /// An entailed pair decomposes as one explicit first hop into `mid`,
+    /// whose closure tail reaches the (constant or bound) super element.
+    fn rewrite_hierarchy_atom(
+        &self,
+        atom: &Atom,
+        pred: TermId,
+        rule: RuleId,
+        out: &mut Vec<Rewrite>,
+    ) {
+        let tails = |sup: TermId| -> Vec<TermId> {
+            if pred == ID_RDFS_SUBCLASSOF {
+                self.closure.subclasses_of(sup).collect()
+            } else {
+                self.closure.subproperties_of(sup).collect()
+            }
+        };
+        match &atom.o {
+            PTerm::Const(c) => {
+                for mid in tails(*c) {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), pred, mid),
+                        bindings: vec![],
+                        rule,
+                    });
+                }
+            }
+            PTerm::Var(x) => {
+                let pairs = if pred == ID_RDFS_SUBCLASSOF {
+                    self.closure.all_subclass_pairs()
+                } else {
+                    self.closure.all_subproperty_pairs()
+                };
+                for (mid, sup) in pairs {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), pred, mid),
+                        bindings: vec![(x.clone(), sup)],
+                        rule,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Rules 7/8: queries over `domain`/`range`. Every entailed pair
+    /// `(p₀, c)` traces back to a *declared* constraint `(p₁, c₀)` with
+    /// `p₀ ≼sp p₁` and `c₀ ≼sc c`; the declared triple is emitted as the
+    /// witness body atom and the atom's variables are bound.
+    fn rewrite_typing_constraint_atom(&self, atom: &Atom, is_domain: bool, out: &mut Vec<Rewrite>) {
+        let declared: Vec<(TermId, TermId)> = if is_domain {
+            self.schema.domain.iter().copied().collect()
+        } else {
+            self.schema.range.iter().copied().collect()
+        };
+        let pred = if is_domain { ID_RDFS_DOMAIN } else { ID_RDFS_RANGE };
+        let rule = if is_domain { RuleId::R7 } else { RuleId::R8 };
+        for (p1, c0) in declared {
+            let mut props: Vec<TermId> = vec![p1];
+            props.extend(self.closure.subproperties_of(p1));
+            let mut classes: Vec<TermId> = vec![c0];
+            classes.extend(self.closure.superclasses_of(c0));
+            props.sort_unstable();
+            props.dedup();
+            classes.sort_unstable();
+            classes.dedup();
+            for &p0 in &props {
+                for &c in &classes {
+                    if p0 == p1 && c == c0 {
+                        // Identity rewrite: the declared pair is explicit in
+                        // the graph, so the base atom already matches it.
+                        continue;
+                    }
+                    let mut bindings = Vec::new();
+                    match &atom.s {
+                        PTerm::Const(sc) if *sc != p0 => continue,
+                        PTerm::Const(_) => {}
+                        PTerm::Var(v) => bindings.push((v.clone(), p0)),
+                    }
+                    match &atom.o {
+                        PTerm::Const(oc) if *oc != c => continue,
+                        PTerm::Const(_) => {}
+                        PTerm::Var(v) => {
+                            // Repeated variable (s == o): must bind consistently.
+                            if let Some((bv, bc)) = bindings.first() {
+                                if bv == v && *bc != c {
+                                    continue;
+                                }
+                            }
+                            if bindings.iter().all(|(bv, _)| bv != v) {
+                                bindings.push((v.clone(), c));
+                            }
+                        }
+                    }
+                    out.push(Rewrite {
+                        atom: Atom::new(p1, pred, c0),
+                        bindings,
+                        rule,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Rules 12/13: variable in property position.
+    fn rewrite_var_property_atom(&self, atom: &Atom, x: &Var, out: &mut Vec<Rewrite>) {
+        // Rule 12: bind to each super-property with an explicit sub-hop.
+        for (sub, sup) in self.closure.all_subproperty_pairs() {
+            out.push(Rewrite {
+                atom: Atom::new(atom.s.clone(), sub, atom.o.clone()),
+                bindings: vec![(x.clone(), sup)],
+                rule: RuleId::R12,
+            });
+        }
+        // Rule 13: bind to built-ins with non-trivial entailments; the
+        // fixpoint then expands the bound atom with rules 1–11. The unbound
+        // original atom already matches all *explicit* triples, so only
+        // built-ins that can entail something are worth binding.
+        let mut candidates: Vec<TermId> = Vec::new();
+        if !self.closure.subclasses.is_empty()
+            || !self.closure.domains.is_empty()
+            || !self.closure.ranges.is_empty()
+        {
+            candidates.push(ID_RDF_TYPE);
+        }
+        if !self.closure.subclasses.is_empty() {
+            candidates.push(ID_RDFS_SUBCLASSOF);
+        }
+        if !self.closure.subproperties.is_empty() {
+            candidates.push(ID_RDFS_SUBPROPERTYOF);
+            // Entailed domain/range pairs exist only with declared ones.
+            if !self.schema.domain.is_empty() {
+                candidates.push(ID_RDFS_DOMAIN);
+            }
+            if !self.schema.range.is_empty() {
+                candidates.push(ID_RDFS_RANGE);
+            }
+        }
+        for builtin in candidates {
+            out.push(Rewrite {
+                atom: Atom::new(atom.s.clone(), builtin, atom.o.clone()),
+                bindings: vec![(x.clone(), builtin)],
+                rule: RuleId::R13,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::{Dictionary, Term};
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    /// Book ⊑ Publication; writtenBy ⊑ hasAuthor; domain(writtenBy)=Book;
+    /// range(writtenBy)=Person.
+    fn setup() -> (Dictionary, Schema, Vec<TermId>) {
+        let mut d = Dictionary::new();
+        let ids: Vec<TermId> = ["Book", "Publication", "writtenBy", "hasAuthor", "Person"]
+            .iter()
+            .map(|n| d.intern(&Term::iri(*n)))
+            .collect();
+        let mut s = Schema::new();
+        s.add_subclass(ids[0], ids[1]);
+        s.add_subproperty(ids[2], ids[3]);
+        s.add_domain(ids[2], ids[0]);
+        s.add_range(ids[2], ids[4]);
+        (d, s, ids)
+    }
+
+    fn rewrites(atom: Atom) -> Vec<Rewrite> {
+        let (_, s, _) = setup();
+        let cl = s.closure();
+        let ctx = RewriteContext::new(&s, &cl);
+        let mut fresh = FreshVars::new();
+        ctx.rewrite_atom(&atom, &mut fresh)
+    }
+
+    #[test]
+    fn rule_1_2_3_on_constant_class() {
+        let (_, s, ids) = setup();
+        let cl = s.closure();
+        let ctx = RewriteContext::new(&s, &cl);
+        let mut fresh = FreshVars::new();
+        // (x τ Publication): R1 → (x τ Book); R2 → (x writtenBy f)
+        // (domain of writtenBy is Book ⊑ Publication, so effective).
+        let rws = ctx.rewrite_atom(&Atom::new(v("x"), ID_RDF_TYPE, ids[1]), &mut fresh);
+        assert!(rws
+            .iter()
+            .any(|r| r.rule == RuleId::R1 && r.atom == Atom::new(v("x"), ID_RDF_TYPE, ids[0])));
+        assert!(rws
+            .iter()
+            .any(|r| r.rule == RuleId::R2 && r.atom.p == PTerm::Const(ids[2])));
+        // (x τ Person): R3 → (f writtenBy x).
+        let rws = ctx.rewrite_atom(&Atom::new(v("x"), ID_RDF_TYPE, ids[4]), &mut fresh);
+        assert!(rws
+            .iter()
+            .any(|r| r.rule == RuleId::R3 && r.atom.o == PTerm::Var(v("x"))));
+    }
+
+    #[test]
+    fn rule_4_on_property_assertion() {
+        let (_, _, ids) = setup();
+        let rws = rewrites(Atom::new(v("x"), ids[3], v("y")));
+        assert_eq!(rws.len(), 1);
+        assert_eq!(rws[0].rule, RuleId::R4);
+        assert_eq!(rws[0].atom, Atom::new(v("x"), ids[2], v("y")));
+        // No rewrites for a leaf property.
+        assert!(rewrites(Atom::new(v("x"), ids[2], v("y"))).is_empty());
+    }
+
+    #[test]
+    fn rules_9_10_11_bind_the_class_variable() {
+        let (_, _, ids) = setup();
+        let rws = rewrites(Atom::new(v("x"), ID_RDF_TYPE, v("u")));
+        // R9 binds u↦Publication with atom (x τ Book).
+        assert!(rws.iter().any(|r| r.rule == RuleId::R9
+            && r.bindings == vec![(v("u"), ids[1])]
+            && r.atom == Atom::new(v("x"), ID_RDF_TYPE, ids[0])));
+        // R10 binds u↦Book and u↦Publication (effective domains).
+        let r10_classes: Vec<TermId> = rws
+            .iter()
+            .filter(|r| r.rule == RuleId::R10)
+            .map(|r| r.bindings[0].1)
+            .collect();
+        assert!(r10_classes.contains(&ids[0]) && r10_classes.contains(&ids[1]));
+        // R11 binds u↦Person.
+        assert!(rws
+            .iter()
+            .any(|r| r.rule == RuleId::R11 && r.bindings[0].1 == ids[4]));
+    }
+
+    #[test]
+    fn rule_12_and_13_bind_the_property_variable() {
+        let (_, _, ids) = setup();
+        let rws = rewrites(Atom::new(v("x"), v("p"), v("y")));
+        // R12: p↦hasAuthor with atom (x writtenBy y).
+        assert!(rws.iter().any(|r| r.rule == RuleId::R12
+            && r.bindings == vec![(v("p"), ids[3])]
+            && r.atom == Atom::new(v("x"), ids[2], v("y"))));
+        // R13: binds p to rdf:type (entailments exist).
+        assert!(rws
+            .iter()
+            .any(|r| r.rule == RuleId::R13 && r.bindings[0].1 == ID_RDF_TYPE));
+    }
+
+    #[test]
+    fn rule_5_unfolds_subclass_queries() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("A"));
+        let b = d.intern(&Term::iri("B"));
+        let c = d.intern(&Term::iri("C"));
+        let mut s = Schema::new();
+        s.add_subclass(a, b);
+        s.add_subclass(b, c);
+        let cl = s.closure();
+        let ctx = RewriteContext::new(&s, &cl);
+        let mut fresh = FreshVars::new();
+        // (x ≺sc C): rewrites to (x ≺sc A) and (x ≺sc B).
+        let rws = ctx.rewrite_atom(&Atom::new(v("x"), ID_RDFS_SUBCLASSOF, c), &mut fresh);
+        let mids: Vec<TermId> = rws.iter().map(|r| r.atom.o.as_const().unwrap()).collect();
+        assert!(mids.contains(&a) && mids.contains(&b));
+        assert!(rws.iter().all(|r| r.rule == RuleId::R5));
+        // (x ≺sc y): binds y over closure pairs.
+        let rws = ctx.rewrite_atom(&Atom::new(v("x"), ID_RDFS_SUBCLASSOF, v("y")), &mut fresh);
+        assert_eq!(rws.iter().filter(|r| r.rule == RuleId::R5).count(), 3); // (A,B),(A,C),(B,C)
+    }
+
+    #[test]
+    fn rule_7_enumerates_entailed_domains_with_witness() {
+        let (_, s, ids) = setup();
+        let cl = s.closure();
+        let ctx = RewriteContext::new(&s, &cl);
+        let mut fresh = FreshVars::new();
+        // (p ←d c) with both vars: entailed pairs are
+        // (writtenBy, Book) [declared — skipped as identity],
+        // (writtenBy, Publication).
+        let rws = ctx.rewrite_atom(
+            &Atom::new(v("p"), ID_RDFS_DOMAIN, v("c")),
+            &mut fresh,
+        );
+        assert_eq!(rws.len(), 1);
+        let r = &rws[0];
+        assert_eq!(r.rule, RuleId::R7);
+        assert_eq!(r.bindings, vec![(v("p"), ids[2]), (v("c"), ids[1])]);
+        // Witness atom is the declared constraint.
+        assert_eq!(r.atom, Atom::new(ids[2], ID_RDFS_DOMAIN, ids[0]));
+    }
+
+    #[test]
+    fn rule_6_unfolds_subproperty_queries() {
+        let mut d = Dictionary::new();
+        let p1 = d.intern(&Term::iri("p1"));
+        let p2 = d.intern(&Term::iri("p2"));
+        let p3 = d.intern(&Term::iri("p3"));
+        let mut s = Schema::new();
+        s.add_subproperty(p1, p2);
+        s.add_subproperty(p2, p3);
+        let cl = s.closure();
+        let ctx = RewriteContext::new(&s, &cl);
+        let mut fresh = FreshVars::new();
+        // (x ≺sp p3): rewrites to (x ≺sp p1) and (x ≺sp p2).
+        let rws = ctx.rewrite_atom(&Atom::new(v("x"), ID_RDFS_SUBPROPERTYOF, p3), &mut fresh);
+        assert_eq!(rws.len(), 2);
+        assert!(rws.iter().all(|r| r.rule == RuleId::R6));
+        let mids: Vec<TermId> = rws.iter().map(|r| r.atom.o.as_const().unwrap()).collect();
+        assert!(mids.contains(&p1) && mids.contains(&p2));
+        // Variable object binds over the closure pairs: (p1,p2),(p1,p3),(p2,p3).
+        let rws = ctx.rewrite_atom(
+            &Atom::new(v("x"), ID_RDFS_SUBPROPERTYOF, v("y")),
+            &mut fresh,
+        );
+        assert_eq!(rws.iter().filter(|r| r.rule == RuleId::R6).count(), 3);
+    }
+
+    #[test]
+    fn rule_8_enumerates_entailed_ranges_with_witness() {
+        let (_, s, ids) = setup();
+        let cl = s.closure();
+        let ctx = RewriteContext::new(&s, &cl);
+        let mut fresh = FreshVars::new();
+        // Declared: range(writtenBy) = Person; Person has no superclass, so
+        // the only closure pair is the declared one — no non-identity
+        // rewrites.
+        let rws = ctx.rewrite_atom(&Atom::new(v("p"), ID_RDFS_RANGE, v("c")), &mut fresh);
+        assert!(rws.is_empty());
+        // Add Person ⊑ Agent: now (writtenBy, Agent) is entailed, with the
+        // declared triple as witness.
+        let mut d = Dictionary::new();
+        for n in ["Book", "Publication", "writtenBy", "hasAuthor", "Person"] {
+            d.intern(&Term::iri(n));
+        }
+        let agent = d.intern(&Term::iri("Agent"));
+        let mut s2 = s.clone();
+        s2.add_subclass(ids[4], agent);
+        let cl2 = s2.closure();
+        let ctx2 = RewriteContext::new(&s2, &cl2);
+        let rws = ctx2.rewrite_atom(&Atom::new(v("p"), ID_RDFS_RANGE, v("c")), &mut fresh);
+        assert_eq!(rws.len(), 1);
+        assert_eq!(rws[0].rule, RuleId::R8);
+        assert_eq!(rws[0].bindings, vec![(v("p"), ids[2]), (v("c"), agent)]);
+        assert_eq!(rws[0].atom, Atom::new(ids[2], ID_RDFS_RANGE, ids[4]));
+    }
+
+    #[test]
+    fn no_rewrites_with_empty_schema() {
+        let s = Schema::new();
+        let cl = s.closure();
+        let ctx = RewriteContext::new(&s, &cl);
+        let mut fresh = FreshVars::new();
+        for atom in [
+            Atom::new(v("x"), ID_RDF_TYPE, v("u")),
+            Atom::new(v("x"), v("p"), v("y")),
+            Atom::new(v("x"), ID_RDFS_SUBCLASSOF, v("y")),
+        ] {
+            assert!(
+                ctx.rewrite_atom(&atom, &mut fresh).is_empty(),
+                "unexpected rewrites for {atom:?}"
+            );
+        }
+    }
+}

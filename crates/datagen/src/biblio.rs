@@ -1,0 +1,208 @@
+//! DBLP-like bibliographic data.
+//!
+//! The shape that matters (cf. the real DBLP dump the demo uses): a shallow
+//! publication type hierarchy, a heavily *skewed* authorship distribution
+//! (a few prolific authors, a long tail), and literal-valued metadata.
+//! The skew is what differentiates cover choices on author-centric queries:
+//! per-author selections are tiny, per-type scans are huge.
+
+use crate::builder::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdfref_model::{Graph, TermId};
+
+/// The namespace of the bibliographic vocabulary.
+pub const BIB: &str = "http://bib.example.org/schema#";
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct BiblioConfig {
+    /// Number of publications.
+    pub publications: usize,
+    /// Number of authors (Zipf-distributed productivity).
+    pub authors: usize,
+    /// Zipf exponent of the author distribution (≈1 for DBLP-like skew).
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BiblioConfig {
+    fn default() -> Self {
+        BiblioConfig {
+            publications: 2_000,
+            authors: 400,
+            zipf_exponent: 1.0,
+            seed: 0xd81b,
+        }
+    }
+}
+
+/// Vocabulary ids.
+#[derive(Debug, Clone)]
+#[allow(missing_docs)]
+pub struct BiblioVocab {
+    pub publication: TermId,
+    pub article: TermId,
+    pub journal_article: TermId,
+    pub in_proceedings: TermId,
+    pub book: TermId,
+    pub phd_thesis: TermId,
+    pub person: TermId,
+    pub creator: TermId,       // super-property
+    pub author: TermId,        // ⊑ creator
+    pub editor: TermId,        // ⊑ creator
+    pub title: TermId,
+    pub year: TermId,
+    pub cites: TermId,
+}
+
+/// A generated bibliographic dataset.
+#[derive(Debug, Clone)]
+pub struct BiblioDataset {
+    /// The graph.
+    pub graph: Graph,
+    /// Vocabulary ids.
+    pub vocab: BiblioVocab,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &BiblioConfig) -> BiblioDataset {
+    let mut b = GraphBuilder::new();
+    let c = |b: &mut GraphBuilder, n: &str| b.ns(BIB, n);
+    let vocab = BiblioVocab {
+        publication: c(&mut b, "Publication"),
+        article: c(&mut b, "Article"),
+        journal_article: c(&mut b, "JournalArticle"),
+        in_proceedings: c(&mut b, "InProceedings"),
+        book: c(&mut b, "Book"),
+        phd_thesis: c(&mut b, "PhdThesis"),
+        person: c(&mut b, "Person"),
+        creator: c(&mut b, "creator"),
+        author: c(&mut b, "author"),
+        editor: c(&mut b, "editor"),
+        title: c(&mut b, "title"),
+        year: c(&mut b, "year"),
+        cites: c(&mut b, "cites"),
+    };
+    let v = &vocab;
+    for (sub, sup) in [
+        (v.article, v.publication),
+        (v.journal_article, v.article),
+        (v.in_proceedings, v.article),
+        (v.book, v.publication),
+        (v.phd_thesis, v.publication),
+    ] {
+        b.subclass(sub, sup);
+    }
+    b.subproperty(v.author, v.creator);
+    b.subproperty(v.editor, v.creator);
+    b.domain(v.creator, v.publication);
+    b.range(v.creator, v.person);
+    b.domain(v.cites, v.publication);
+    b.range(v.cites, v.publication);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Precompute Zipf CDF over authors.
+    let weights: Vec<f64> = (1..=config.authors.max(1))
+        .map(|r| 1.0 / (r as f64).powf(config.zipf_exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let pick_author = |rng: &mut StdRng| -> usize {
+        let x: f64 = rng.gen();
+        cdf.partition_point(|&p| p < x).min(config.authors - 1)
+    };
+
+    let author_ids: Vec<TermId> = (0..config.authors)
+        .map(|i| b.iri(&format!("http://bib.example.org/author/{i}")))
+        .collect();
+    let leaf_classes = [v.journal_article, v.in_proceedings, v.book, v.phd_thesis];
+    let mut pub_ids: Vec<TermId> = Vec::with_capacity(config.publications);
+    for i in 0..config.publications {
+        let id = b.iri(&format!("http://bib.example.org/pub/{i}"));
+        b.a(id, leaf_classes[rng.gen_range(0..leaf_classes.len())]);
+        let title = b.literal(&format!("Title of publication {i}"));
+        b.triple(id, v.title, title);
+        let year = b.literal(&format!("{}", 1970 + rng.gen_range(0..45)));
+        b.triple(id, v.year, year);
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let a = author_ids[pick_author(&mut rng)];
+            b.triple(id, v.author, a);
+        }
+        if i % 7 == 0 {
+            let e = author_ids[pick_author(&mut rng)];
+            b.triple(id, v.editor, e);
+        }
+        // Citations into the already-generated prefix.
+        if !pub_ids.is_empty() {
+            for _ in 0..rng.gen_range(0..=2usize) {
+                let cited = pub_ids[rng.gen_range(0..pub_ids.len())];
+                b.triple(id, v.cites, cited);
+            }
+        }
+        pub_ids.push(id);
+    }
+
+    BiblioDataset {
+        graph: b.finish(),
+        vocab,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::dictionary::ID_RDF_TYPE;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let cfg = BiblioConfig {
+            publications: 100,
+            authors: 20,
+            ..BiblioConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.graph, b.graph);
+        assert!(a.graph.len() > 300);
+    }
+
+    #[test]
+    fn authorship_is_skewed() {
+        let ds = generate(&BiblioConfig::default());
+        // Count per-author in-degree of `author` edges.
+        let mut counts: std::collections::HashMap<TermId, usize> = Default::default();
+        for t in ds.graph.iter() {
+            if t.p == ds.vocab.author {
+                *counts.entry(t.o).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<usize> = counts.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        // The busiest author dwarfs the median (Zipf).
+        let median = v[v.len() / 2];
+        assert!(v[0] >= 5 * median.max(1), "top {} median {}", v[0], median);
+    }
+
+    #[test]
+    fn leaf_typing_only() {
+        let ds = generate(&BiblioConfig {
+            publications: 50,
+            authors: 10,
+            ..BiblioConfig::default()
+        });
+        for t in ds.graph.iter() {
+            if t.p == ID_RDF_TYPE {
+                assert_ne!(t.o, ds.vocab.publication);
+                assert_ne!(t.o, ds.vocab.article);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! A small convenience layer for generating graphs programmatically.
+
+use rdfref_model::{EncodedTriple, Graph, Term, TermId};
+use rdfref_model::dictionary::ID_RDF_TYPE;
+use rdfref_model::vocab;
+
+/// A graph under construction: interning helpers + typed insertion.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Start an empty graph.
+    pub fn new() -> Self {
+        GraphBuilder {
+            graph: Graph::new(),
+        }
+    }
+
+    /// Intern an IRI.
+    pub fn iri(&mut self, iri: &str) -> TermId {
+        self.graph.dictionary_mut().intern(&Term::iri(iri))
+    }
+
+    /// Intern an IRI assembled from a namespace and local name.
+    pub fn ns(&mut self, namespace: &str, local: &str) -> TermId {
+        self.iri(&format!("{namespace}{local}"))
+    }
+
+    /// Intern a plain literal.
+    pub fn literal(&mut self, lexical: &str) -> TermId {
+        self.graph.dictionary_mut().intern(&Term::literal(lexical))
+    }
+
+    /// Insert a triple by ids. Returns `true` if new.
+    pub fn triple(&mut self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.graph.insert_encoded(EncodedTriple::new(s, p, o))
+    }
+
+    /// Insert `s rdf:type c`.
+    pub fn a(&mut self, s: TermId, c: TermId) -> bool {
+        self.triple(s, ID_RDF_TYPE, c)
+    }
+
+    /// Insert `sub rdfs:subClassOf sup`.
+    pub fn subclass(&mut self, sub: TermId, sup: TermId) {
+        let p = self.iri(vocab::RDFS_SUBCLASSOF);
+        self.triple(sub, p, sup);
+    }
+
+    /// Insert `sub rdfs:subPropertyOf sup`.
+    pub fn subproperty(&mut self, sub: TermId, sup: TermId) {
+        let p = self.iri(vocab::RDFS_SUBPROPERTYOF);
+        self.triple(sub, p, sup);
+    }
+
+    /// Insert `prop rdfs:domain class`.
+    pub fn domain(&mut self, prop: TermId, class: TermId) {
+        let p = self.iri(vocab::RDFS_DOMAIN);
+        self.triple(prop, p, class);
+    }
+
+    /// Insert `prop rdfs:range class`.
+    pub fn range(&mut self, prop: TermId, class: TermId) {
+        let p = self.iri(vocab::RDFS_RANGE);
+        self.triple(prop, p, class);
+    }
+
+    /// Current triple count.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// True iff no triples yet.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Finish, returning the graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+    }
+
+    /// Peek at the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_well_formed_graph() {
+        let mut b = GraphBuilder::new();
+        let book = b.iri("http://e/Book");
+        let publication = b.iri("http://e/Publication");
+        let doi = b.iri("http://e/doi1");
+        b.subclass(book, publication);
+        assert!(b.a(doi, book));
+        assert!(!b.a(doi, book)); // duplicate
+        let title = b.iri("http://e/title");
+        let lit = b.literal("El Aleph");
+        b.triple(doi, title, lit);
+        let g = b.finish();
+        assert_eq!(g.len(), 3);
+        let schema = g.schema();
+        assert_eq!(schema.subclass.len(), 1);
+    }
+
+    #[test]
+    fn ns_helper_concatenates() {
+        let mut b = GraphBuilder::new();
+        let a = b.ns("http://e/", "X");
+        let bb = b.iri("http://e/X");
+        assert_eq!(a, bb);
+    }
+}

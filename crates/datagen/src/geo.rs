@@ -1,0 +1,160 @@
+//! IGN-like geographic data.
+//!
+//! The French IGN dataset's salient feature for reformulation is a **deep**
+//! administrative subdivision hierarchy (territory → region → department →
+//! arrondissement → canton → commune …): subclass chains make rule-1
+//! unfolding *deep*, so UCQ sizes grow with depth rather than breadth.
+
+use crate::builder::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdfref_model::{Graph, TermId};
+
+/// The namespace.
+pub const GEO: &str = "http://geo.example.org/schema#";
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct GeoConfig {
+    /// Depth of the administrative-area subclass chain.
+    pub hierarchy_depth: usize,
+    /// Areas generated per hierarchy level.
+    pub areas_per_level: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeoConfig {
+    fn default() -> Self {
+        GeoConfig {
+            hierarchy_depth: 7,
+            areas_per_level: 120,
+            seed: 0x960,
+        }
+    }
+}
+
+/// A generated geographic dataset.
+#[derive(Debug, Clone)]
+pub struct GeoDataset {
+    /// The graph.
+    pub graph: Graph,
+    /// The root class (`AdministrativeArea`).
+    pub root_class: TermId,
+    /// Classes per level, most specific last.
+    pub level_classes: Vec<TermId>,
+    /// The `locatedIn` property (domain/range `AdministrativeArea`).
+    pub located_in: TermId,
+    /// The `name` property.
+    pub name: TermId,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &GeoConfig) -> GeoDataset {
+    let mut b = GraphBuilder::new();
+    let root = b.ns(GEO, "AdministrativeArea");
+    let located_in = b.ns(GEO, "locatedIn");
+    let contains = b.ns(GEO, "contains");
+    let name = b.ns(GEO, "name");
+    b.domain(located_in, root);
+    b.range(located_in, root);
+    // `contains` ⊑-style inverse is not expressible in RDFS; instead model a
+    // finer property: directlyLocatedIn ⊑ locatedIn.
+    let directly = b.ns(GEO, "directlyLocatedIn");
+    b.subproperty(directly, located_in);
+    let _ = contains;
+
+    // Subclass chain: Level0 ⊒ Level1 ⊒ … (Level{i+1} ⊑ Level{i}).
+    let mut level_classes = Vec::with_capacity(config.hierarchy_depth);
+    let names = [
+        "Territory",
+        "Region",
+        "Department",
+        "Arrondissement",
+        "Canton",
+        "Commune",
+        "District",
+        "Quarter",
+        "Block",
+    ];
+    let mut prev = root;
+    for i in 0..config.hierarchy_depth {
+        let label = names.get(i).copied().unwrap_or("Level");
+        let class = b.ns(GEO, &format!("{label}{i}"));
+        b.subclass(class, prev);
+        level_classes.push(class);
+        prev = class;
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut previous_level: Vec<TermId> = Vec::new();
+    for (level, &class) in level_classes.iter().enumerate() {
+        let mut this_level = Vec::with_capacity(config.areas_per_level);
+        for i in 0..config.areas_per_level {
+            let id = b.iri(&format!("http://geo.example.org/area/L{level}N{i}"));
+            b.a(id, class);
+            let label = b.literal(&format!("Area {level}-{i}"));
+            b.triple(id, name, label);
+            if !previous_level.is_empty() {
+                let parent = previous_level[rng.gen_range(0..previous_level.len())];
+                b.triple(id, directly, parent);
+            }
+            this_level.push(id);
+        }
+        previous_level = this_level;
+    }
+
+    GeoDataset {
+        graph: b.finish(),
+        root_class: root,
+        level_classes,
+        located_in,
+        name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::Schema;
+
+    #[test]
+    fn chain_depth_matches_config() {
+        let ds = generate(&GeoConfig {
+            hierarchy_depth: 5,
+            areas_per_level: 10,
+            seed: 1,
+        });
+        let schema = Schema::from_graph(&ds.graph);
+        let cl = schema.closure();
+        // The most specific class is transitively a subclass of the root.
+        let leaf = *ds.level_classes.last().unwrap();
+        assert!(cl.is_subclass(leaf, ds.root_class));
+        // Chain: root has exactly depth strict subclasses.
+        assert_eq!(cl.subclasses_of(ds.root_class).count(), 5);
+    }
+
+    #[test]
+    fn areas_connected_across_levels() {
+        let ds = generate(&GeoConfig {
+            hierarchy_depth: 3,
+            areas_per_level: 5,
+            seed: 2,
+        });
+        let directly = ds
+            .graph
+            .dictionary()
+            .id_of_iri(&format!("{GEO}directlyLocatedIn"))
+            .unwrap();
+        let located_edges = ds.graph.iter().filter(|t| t.p == directly).count();
+        // Levels 1 and 2 each connect up: 2 × 5 edges.
+        assert_eq!(located_edges, 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&GeoConfig::default());
+        let b = generate(&GeoConfig::default());
+        assert_eq!(a.graph, b.graph);
+    }
+}

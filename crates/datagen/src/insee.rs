@@ -1,0 +1,152 @@
+//! INSEE-like statistical data.
+//!
+//! The French statistical (INSEE) datasets pair a **wide, flat** concept
+//! scheme — many sibling code-list classes under a handful of parents — with
+//! large numbers of observation resources carrying literal measurements.
+//! Width (not depth) drives rule-1/9 unfolding here: a query over a parent
+//! class unions over *all* its children at once.
+
+use crate::builder::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdfref_model::{Graph, TermId};
+
+/// The namespace.
+pub const INSEE: &str = "http://stat.example.org/schema#";
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct InseeConfig {
+    /// Number of top-level statistical concepts (e.g. Population, Housing).
+    pub concepts: usize,
+    /// Code-list classes per concept (the *width*).
+    pub codes_per_concept: usize,
+    /// Observations per code.
+    pub observations_per_code: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InseeConfig {
+    fn default() -> Self {
+        InseeConfig {
+            concepts: 4,
+            codes_per_concept: 30,
+            observations_per_code: 15,
+            seed: 0x1753,
+        }
+    }
+}
+
+/// A generated statistical dataset.
+#[derive(Debug, Clone)]
+pub struct InseeDataset {
+    /// The graph.
+    pub graph: Graph,
+    /// The root `Observation` class.
+    pub observation: TermId,
+    /// Top-level concept classes (each with `codes_per_concept` subclasses).
+    pub concept_classes: Vec<TermId>,
+    /// The `measure` property (literal-valued).
+    pub measure: TermId,
+    /// The `refArea` property.
+    pub ref_area: TermId,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &InseeConfig) -> InseeDataset {
+    let mut b = GraphBuilder::new();
+    let observation = b.ns(INSEE, "Observation");
+    let measure = b.ns(INSEE, "measure");
+    let ref_area = b.ns(INSEE, "refArea");
+    let area = b.ns(INSEE, "Area");
+    b.domain(measure, observation);
+    b.domain(ref_area, observation);
+    b.range(ref_area, area);
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut concept_classes = Vec::with_capacity(config.concepts);
+    let area_ids: Vec<TermId> = (0..50)
+        .map(|i| {
+            let id = b.iri(&format!("http://stat.example.org/area/{i}"));
+            b.a(id, area);
+            id
+        })
+        .collect();
+
+    for ci in 0..config.concepts {
+        let concept = b.ns(INSEE, &format!("Concept{ci}"));
+        b.subclass(concept, observation);
+        concept_classes.push(concept);
+        for code in 0..config.codes_per_concept {
+            let code_class = b.ns(INSEE, &format!("Concept{ci}Code{code}"));
+            b.subclass(code_class, concept);
+            for obs in 0..config.observations_per_code {
+                let id = b.iri(&format!(
+                    "http://stat.example.org/obs/c{ci}k{code}n{obs}"
+                ));
+                b.a(id, code_class);
+                let value = b.literal(&format!("{}", rng.gen_range(0..1_000_000)));
+                b.triple(id, measure, value);
+                let a = area_ids[rng.gen_range(0..area_ids.len())];
+                b.triple(id, ref_area, a);
+            }
+        }
+    }
+
+    InseeDataset {
+        graph: b.finish(),
+        observation,
+        concept_classes,
+        measure,
+        ref_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::Schema;
+
+    #[test]
+    fn width_matches_config() {
+        let ds = generate(&InseeConfig {
+            concepts: 2,
+            codes_per_concept: 10,
+            observations_per_code: 1,
+            seed: 3,
+        });
+        let cl = Schema::from_graph(&ds.graph).closure();
+        // Observation has 2 concepts + 20 codes = 22 strict subclasses.
+        assert_eq!(cl.subclasses_of(ds.observation).count(), 22);
+        // Each concept has exactly its codes.
+        for &c in &ds.concept_classes {
+            assert_eq!(cl.subclasses_of(c).count(), 10);
+        }
+    }
+
+    #[test]
+    fn observations_are_leaf_typed() {
+        let ds = generate(&InseeConfig {
+            concepts: 1,
+            codes_per_concept: 3,
+            observations_per_code: 2,
+            seed: 4,
+        });
+        use rdfref_model::dictionary::ID_RDF_TYPE;
+        let obs_types = ds
+            .graph
+            .iter()
+            .filter(|t| t.p == ID_RDF_TYPE && t.o == ds.observation)
+            .count();
+        assert_eq!(obs_types, 0, "no explicit Observation typing");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(&InseeConfig::default()).graph,
+            generate(&InseeConfig::default()).graph
+        );
+    }
+}

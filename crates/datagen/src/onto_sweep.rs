@@ -1,0 +1,203 @@
+//! Parameterized synthetic ontologies for the constraint-impact sweeps
+//! (experiment E4 — demo step 4: "propose modifications to the available
+//! RDF data and constraints … constraints … may have a dramatic impact").
+//!
+//! The generator builds a class *tree* of configurable depth and fan-out
+//! rooted at `Thing`, a parallel property hierarchy, and domain/range
+//! attachments — the three knobs that govern UCQ reformulation size — plus
+//! leaf-typed instance data of configurable size.
+
+use crate::builder::GraphBuilder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdfref_model::{Graph, TermId};
+
+/// The namespace.
+pub const SWEEP: &str = "http://sweep.example.org/schema#";
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Depth of the class tree (0 = just the root).
+    pub class_depth: usize,
+    /// Fan-out of the class tree.
+    pub class_fanout: usize,
+    /// Depth of the property chain under the root property.
+    pub property_depth: usize,
+    /// Attach a domain (the root class) to every property?
+    pub with_domains: bool,
+    /// Attach a range (the root class) to every property?
+    pub with_ranges: bool,
+    /// Instances generated per leaf class.
+    pub instances_per_leaf: usize,
+    /// Property edges generated per instance.
+    pub edges_per_instance: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            class_depth: 3,
+            class_fanout: 3,
+            property_depth: 3,
+            with_domains: true,
+            with_ranges: true,
+            instances_per_leaf: 5,
+            edges_per_instance: 2,
+            seed: 0x53ee9,
+        }
+    }
+}
+
+/// A generated sweep dataset.
+#[derive(Debug, Clone)]
+pub struct SweepDataset {
+    /// The graph.
+    pub graph: Graph,
+    /// The root class (`Thing`).
+    pub root_class: TermId,
+    /// The root property (`related`).
+    pub root_property: TermId,
+    /// All class ids, root first, in BFS order.
+    pub classes: Vec<TermId>,
+    /// All property ids, root first.
+    pub properties: Vec<TermId>,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &SweepConfig) -> SweepDataset {
+    let mut b = GraphBuilder::new();
+    let root_class = b.ns(SWEEP, "Thing");
+    let root_property = b.ns(SWEEP, "related");
+
+    // Class tree, BFS.
+    let mut classes = vec![root_class];
+    let mut frontier = vec![root_class];
+    let mut counter = 0usize;
+    for _ in 0..config.class_depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..config.class_fanout {
+                let class = b.ns(SWEEP, &format!("C{counter}"));
+                counter += 1;
+                b.subclass(class, parent);
+                classes.push(class);
+                next.push(class);
+            }
+        }
+        frontier = next;
+    }
+    let leaves = if frontier.is_empty() {
+        vec![root_class]
+    } else {
+        frontier
+    };
+
+    // Property chain.
+    let mut properties = vec![root_property];
+    let mut prev = root_property;
+    for i in 0..config.property_depth {
+        let p = b.ns(SWEEP, &format!("p{i}"));
+        b.subproperty(p, prev);
+        properties.push(p);
+        prev = p;
+    }
+    for &p in &properties {
+        if config.with_domains {
+            b.domain(p, root_class);
+        }
+        if config.with_ranges {
+            b.range(p, root_class);
+        }
+    }
+
+    // Instances: leaf-typed, connected with the most specific property.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let leaf_prop = *properties.last().unwrap();
+    let mut instances: Vec<TermId> = Vec::new();
+    for (li, &leaf) in leaves.iter().enumerate() {
+        for i in 0..config.instances_per_leaf {
+            let id = b.iri(&format!("http://sweep.example.org/i/L{li}N{i}"));
+            b.a(id, leaf);
+            instances.push(id);
+        }
+    }
+    for &i in &instances {
+        for _ in 0..config.edges_per_instance {
+            if instances.len() > 1 {
+                let j = instances[rng.gen_range(0..instances.len())];
+                b.triple(i, leaf_prop, j);
+            }
+        }
+    }
+
+    SweepDataset {
+        graph: b.finish(),
+        root_class,
+        root_property,
+        classes,
+        properties,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::Schema;
+
+    #[test]
+    fn class_count_is_geometric() {
+        let ds = generate(&SweepConfig {
+            class_depth: 2,
+            class_fanout: 3,
+            instances_per_leaf: 0,
+            edges_per_instance: 0,
+            ..SweepConfig::default()
+        });
+        // 1 + 3 + 9 = 13 classes.
+        assert_eq!(ds.classes.len(), 13);
+        let cl = Schema::from_graph(&ds.graph).closure();
+        assert_eq!(cl.subclasses_of(ds.root_class).count(), 12);
+    }
+
+    #[test]
+    fn property_chain_links_to_root() {
+        let ds = generate(&SweepConfig::default());
+        let cl = Schema::from_graph(&ds.graph).closure();
+        let leaf = *ds.properties.last().unwrap();
+        assert!(cl.is_subproperty(leaf, ds.root_property));
+        // Effective domains fold through the chain.
+        assert!(cl.domains_of(leaf).any(|c| c == ds.root_class));
+    }
+
+    #[test]
+    fn domains_and_ranges_togglable() {
+        let ds = generate(&SweepConfig {
+            with_domains: false,
+            with_ranges: false,
+            ..SweepConfig::default()
+        });
+        let schema = Schema::from_graph(&ds.graph);
+        assert!(schema.domain.is_empty());
+        assert!(schema.range.is_empty());
+    }
+
+    #[test]
+    fn depth_zero_has_only_root() {
+        let ds = generate(&SweepConfig {
+            class_depth: 0,
+            class_fanout: 5,
+            instances_per_leaf: 2,
+            ..SweepConfig::default()
+        });
+        assert_eq!(ds.classes.len(), 1);
+        // Instances typed with the root itself.
+        use rdfref_model::dictionary::ID_RDF_TYPE;
+        assert!(ds
+            .graph
+            .iter()
+            .any(|t| t.p == ID_RDF_TYPE && t.o == ds.root_class));
+    }
+}

@@ -1,0 +1,267 @@
+//! Positive Datalog: predicates, atoms, rules, programs.
+
+use rdfref_model::TermId;
+use rdfref_query::Var;
+use std::fmt;
+use std::sync::Arc;
+
+/// A predicate symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred(pub Arc<str>);
+
+impl Pred {
+    /// A predicate by name.
+    pub fn new(name: impl Into<Arc<str>>) -> Pred {
+        Pred(name.into())
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A Datalog term: variable or constant (dictionary-encoded RDF term).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DTerm {
+    /// A rule variable.
+    Var(Var),
+    /// A constant.
+    Const(TermId),
+}
+
+impl From<Var> for DTerm {
+    fn from(v: Var) -> DTerm {
+        DTerm::Var(v)
+    }
+}
+
+impl From<TermId> for DTerm {
+    fn from(c: TermId) -> DTerm {
+        DTerm::Const(c)
+    }
+}
+
+/// An atom `pred(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DAtom {
+    /// The predicate.
+    pub pred: Pred,
+    /// The arguments.
+    pub args: Vec<DTerm>,
+}
+
+impl DAtom {
+    /// Build an atom.
+    pub fn new(pred: Pred, args: Vec<DTerm>) -> DAtom {
+        DAtom { pred, args }
+    }
+
+    /// The variables of this atom (with duplicates).
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.args.iter().filter_map(|t| match t {
+            DTerm::Var(v) => Some(v),
+            DTerm::Const(_) => None,
+        })
+    }
+}
+
+impl fmt::Display for DAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match a {
+                DTerm::Var(v) => write!(f, "{v}")?,
+                DTerm::Const(c) => write!(f, "{c}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule `head :- body1, …, bodyn`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: DAtom,
+    /// The body atoms.
+    pub body: Vec<DAtom>,
+}
+
+/// Errors raised by program validation and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A head variable does not occur in the rule body (unsafe rule).
+    UnsafeRule {
+        /// Display form of the rule.
+        rule: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// A predicate is used with inconsistent arities.
+    ArityConflict {
+        /// The predicate.
+        pred: String,
+        /// Arity seen first.
+        first: usize,
+        /// Conflicting arity.
+        second: usize,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnsafeRule { rule, var } => {
+                write!(f, "unsafe rule (head variable ?{var} not in body): {rule}")
+            }
+            DatalogError::ArityConflict {
+                pred,
+                first,
+                second,
+            } => write!(f, "predicate {pred} used with arities {first} and {second}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl Rule {
+    /// Build a rule, checking safety (every head variable occurs in the
+    /// body).
+    pub fn new(head: DAtom, body: Vec<DAtom>) -> Result<Rule, DatalogError> {
+        let body_vars: Vec<&Var> = body.iter().flat_map(|a| a.vars()).collect();
+        for v in head.vars() {
+            if !body_vars.contains(&v) {
+                return Err(DatalogError::UnsafeRule {
+                    rule: format!("{head} :- …"),
+                    var: v.name().to_string(),
+                });
+            }
+        }
+        Ok(Rule { head, body })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A positive Datalog program: rules plus EDB facts.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+    /// EDB facts: `(pred, tuple)` pairs.
+    pub facts: Vec<(Pred, Vec<TermId>)>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Add a rule.
+    pub fn rule(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Add an EDB fact.
+    pub fn fact(&mut self, pred: Pred, tuple: Vec<TermId>) -> &mut Self {
+        self.facts.push((pred, tuple));
+        self
+    }
+
+    /// Validate arity consistency across rules and facts.
+    pub fn validate(&self) -> Result<(), DatalogError> {
+        use std::collections::HashMap;
+        let mut arities: HashMap<&Pred, usize> = HashMap::new();
+        let check = |pred: &Pred, arity: usize, arities: &mut HashMap<&Pred, usize>| match arities
+            .get(pred)
+        {
+            Some(&a) if a != arity => Err(DatalogError::ArityConflict {
+                pred: pred.to_string(),
+                first: a,
+                second: arity,
+            }),
+            _ => Ok(()),
+        };
+        // Two passes to satisfy the borrow checker cheaply.
+        for r in &self.rules {
+            check(&r.head.pred, r.head.args.len(), &mut arities)?;
+            arities.entry(&r.head.pred).or_insert(r.head.args.len());
+            for b in &r.body {
+                check(&b.pred, b.args.len(), &mut arities)?;
+                arities.entry(&b.pred).or_insert(b.args.len());
+            }
+        }
+        for (p, tuple) in &self.facts {
+            check(p, tuple.len(), &mut arities)?;
+            arities.entry(p).or_insert(tuple.len());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn c(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    #[test]
+    fn safe_rule_accepted() {
+        let head = DAtom::new(Pred::new("q"), vec![v("x").into()]);
+        let body = vec![DAtom::new(Pred::new("e"), vec![v("x").into(), v("y").into()])];
+        assert!(Rule::new(head, body).is_ok());
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let head = DAtom::new(Pred::new("q"), vec![v("z").into()]);
+        let body = vec![DAtom::new(Pred::new("e"), vec![v("x").into(), v("y").into()])];
+        assert!(matches!(
+            Rule::new(head, body),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_conflict_detected() {
+        let mut p = Program::new();
+        p.fact(Pred::new("e"), vec![c(1), c(2)]);
+        p.fact(Pred::new("e"), vec![c(1)]);
+        assert!(matches!(
+            p.validate(),
+            Err(DatalogError::ArityConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn display_forms() {
+        let head = DAtom::new(Pred::new("q"), vec![v("x").into(), c(5).into()]);
+        let body = vec![DAtom::new(Pred::new("e"), vec![v("x").into(), c(5).into()])];
+        let r = Rule::new(head, body).unwrap();
+        assert_eq!(r.to_string(), "q(?x, #5) :- e(?x, #5).");
+    }
+}

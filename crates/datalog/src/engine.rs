@@ -1,0 +1,493 @@
+//! Semi-naive bottom-up evaluation.
+//!
+//! Each relation stores its tuples in insertion order; per-round *watermarks*
+//! delimit the delta, so semi-naive evaluation needs no separate delta
+//! relations: a rule round restricts one body atom at a time to the delta
+//! row range and the rest to the full range.
+//!
+//! Per-argument hash indexes `(position, value) → row ids` accelerate bound
+//! lookups; the most selective bound argument is probed and the remaining
+//! bindings verified.
+
+use crate::ast::{DTerm, DatalogError, Pred, Program, Rule};
+use rdfref_model::fxhash::{FxHashMap, FxHashSet};
+use rdfref_model::TermId;
+use rdfref_query::Var;
+
+/// One stored relation.
+#[derive(Debug, Default, Clone)]
+struct RelationData {
+    rows: Vec<Vec<TermId>>,
+    set: FxHashSet<Vec<TermId>>,
+    /// `(arg position, value) → ids of rows with that value there`.
+    index: FxHashMap<(u8, TermId), Vec<u32>>,
+}
+
+impl RelationData {
+    fn insert(&mut self, row: Vec<TermId>) -> bool {
+        if self.set.contains(&row) {
+            return false;
+        }
+        let id = self.rows.len() as u32;
+        for (pos, &val) in row.iter().enumerate() {
+            self.index.entry((pos as u8, val)).or_default().push(id);
+        }
+        self.set.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+}
+
+/// Greedy body reordering: pick the atom with the most constants first,
+/// then repeatedly the atom with the most bound positions (constants +
+/// already-bound variables), requiring variable connectivity when possible.
+fn reorder_body(body: &[crate::ast::DAtom]) -> Vec<crate::ast::DAtom> {
+    if body.len() <= 1 {
+        return body.to_vec();
+    }
+    let mut remaining: Vec<usize> = (0..body.len()).collect();
+    let mut bound: Vec<Var> = Vec::new();
+    let mut out = Vec::with_capacity(body.len());
+    let boundness = |i: usize, bound: &[Var]| -> (usize, usize) {
+        let mut fixed = 0;
+        let mut shared = 0;
+        for arg in &body[i].args {
+            match arg {
+                DTerm::Const(_) => fixed += 1,
+                DTerm::Var(v) if bound.contains(v) => shared += 1,
+                DTerm::Var(_) => {}
+            }
+        }
+        (shared, fixed)
+    };
+    while !remaining.is_empty() {
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| boundness(i, &bound).0 > 0)
+            .collect();
+        let pool = if out.is_empty() || connected.is_empty() {
+            remaining.clone()
+        } else {
+            connected
+        };
+        let next = pool
+            .into_iter()
+            .max_by_key(|&i| {
+                let (shared, fixed) = boundness(i, &bound);
+                (shared, fixed)
+            })
+            .expect("non-empty pool");
+        remaining.retain(|&i| i != next);
+        for v in body[next].vars() {
+            if !bound.contains(v) {
+                bound.push(v.clone());
+            }
+        }
+        out.push(body[next].clone());
+    }
+    out
+}
+
+/// The engine: relations + rules, evaluated to fixpoint by [`Engine::run`].
+#[derive(Debug, Default, Clone)]
+pub struct Engine {
+    relations: FxHashMap<Pred, RelationData>,
+    rules: Vec<Rule>,
+    /// Total facts derived by the last `run` (for experiment reports).
+    pub derived_count: usize,
+    /// Rounds taken by the last `run`.
+    pub rounds: usize,
+}
+
+impl Engine {
+    /// Load a validated program. Rule bodies are statically reordered by a
+    /// greedy bound-variable heuristic (most-constant atom first, then atoms
+    /// connected to already-bound variables) so the recursive matcher avoids
+    /// cross products — the only "query optimization" a Datalog engine needs
+    /// for the Dat workloads.
+    pub fn load(program: &Program) -> Result<Engine, DatalogError> {
+        program.validate()?;
+        let mut e = Engine::default();
+        for (pred, tuple) in &program.facts {
+            e.relations
+                .entry(pred.clone())
+                .or_default()
+                .insert(tuple.clone());
+        }
+        e.rules = program
+            .rules
+            .iter()
+            .map(|r| Rule {
+                head: r.head.clone(),
+                body: reorder_body(&r.body),
+            })
+            .collect();
+        Ok(e)
+    }
+
+    /// Number of tuples in a relation.
+    pub fn relation_len(&self, pred: &Pred) -> usize {
+        self.relations.get(pred).map(|r| r.rows.len()).unwrap_or(0)
+    }
+
+    /// The tuples of a relation (insertion order).
+    pub fn tuples(&self, pred: &Pred) -> &[Vec<TermId>] {
+        self.relations
+            .get(pred)
+            .map(|r| r.rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Run the rules to fixpoint (semi-naive).
+    pub fn run(&mut self) {
+        let derived_before: usize = self.relations.values().map(|r| r.rows.len()).sum();
+        // Watermarks: per predicate, the row count at the previous round's
+        // start and end. Delta of round k = rows[prev_end..cur_end].
+        let mut prev_marks: FxHashMap<Pred, usize> = FxHashMap::default();
+        for p in self.relations.keys() {
+            prev_marks.insert(p.clone(), 0);
+        }
+        self.rounds = 0;
+        loop {
+            self.rounds += 1;
+            let cur_marks: FxHashMap<Pred, usize> = self
+                .relations
+                .iter()
+                .map(|(p, r)| (p.clone(), r.rows.len()))
+                .collect();
+            let mut new_tuples: Vec<(Pred, Vec<TermId>)> = Vec::new();
+            let rules = std::mem::take(&mut self.rules);
+            for rule in &rules {
+                for delta_pos in 0..rule.body.len() {
+                    let delta_pred = &rule.body[delta_pos].pred;
+                    let lo = prev_marks.get(delta_pred).copied().unwrap_or(0);
+                    let hi = cur_marks.get(delta_pred).copied().unwrap_or(0);
+                    if lo >= hi {
+                        continue; // no delta for this atom's predicate
+                    }
+                    let mut binding: FxHashMap<Var, TermId> = FxHashMap::default();
+                    self.eval_body(
+                        rule,
+                        0,
+                        delta_pos,
+                        (lo, hi),
+                        &cur_marks,
+                        &mut binding,
+                        &mut new_tuples,
+                    );
+                }
+            }
+            self.rules = rules;
+            let mut changed = false;
+            for (pred, tuple) in new_tuples {
+                changed |= self.relations.entry(pred).or_default().insert(tuple);
+            }
+            prev_marks = cur_marks;
+            if !changed {
+                break;
+            }
+        }
+        let derived_after: usize = self.relations.values().map(|r| r.rows.len()).sum();
+        self.derived_count = derived_after - derived_before;
+    }
+
+    /// Recursive body matcher: `atom_idx` walks the body; the atom at
+    /// `delta_pos` is restricted to the delta row range, all others to the
+    /// rows existing at the round start.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_body(
+        &self,
+        rule: &Rule,
+        atom_idx: usize,
+        delta_pos: usize,
+        delta_range: (usize, usize),
+        cur_marks: &FxHashMap<Pred, usize>,
+        binding: &mut FxHashMap<Var, TermId>,
+        out: &mut Vec<(Pred, Vec<TermId>)>,
+    ) {
+        if atom_idx == rule.body.len() {
+            let tuple: Vec<TermId> = rule
+                .head
+                .args
+                .iter()
+                .map(|t| match t {
+                    DTerm::Const(c) => *c,
+                    DTerm::Var(v) => *binding.get(v).expect("safe rule: head var bound"),
+                })
+                .collect();
+            out.push((rule.head.pred.clone(), tuple));
+            return;
+        }
+        let atom = &rule.body[atom_idx];
+        let Some(rel) = self.relations.get(&atom.pred) else {
+            return; // empty relation: no matches
+        };
+        let (lo, hi) = if atom_idx == delta_pos {
+            delta_range
+        } else {
+            (0, cur_marks.get(&atom.pred).copied().unwrap_or(0))
+        };
+        if lo >= hi {
+            return;
+        }
+
+        // Resolve the atom's arguments under the current binding.
+        let resolved: Vec<Option<TermId>> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                DTerm::Const(c) => Some(*c),
+                DTerm::Var(v) => binding.get(v).copied(),
+            })
+            .collect();
+
+        // Pick the most selective bound argument's index posting list.
+        let mut best: Option<&Vec<u32>> = None;
+        for (pos, val) in resolved.iter().enumerate() {
+            if let Some(val) = val {
+                match rel.index.get(&(pos as u8, *val)) {
+                    Some(list) => {
+                        if best.map(|b| list.len() < b.len()).unwrap_or(true) {
+                            best = Some(list);
+                        }
+                    }
+                    None => return, // a bound value that occurs nowhere
+                }
+            }
+        }
+
+        let try_row = |row_id: usize,
+                       this: &Engine,
+                       binding: &mut FxHashMap<Var, TermId>,
+                       out: &mut Vec<(Pred, Vec<TermId>)>| {
+            let row = &rel.rows[row_id];
+            // Verify constants/bound vars; bind free vars (handling repeats).
+            let mut newly_bound: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (pos, arg) in atom.args.iter().enumerate() {
+                match arg {
+                    DTerm::Const(c) => {
+                        if row[pos] != *c {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    DTerm::Var(v) => match binding.get(v) {
+                        Some(&bound) => {
+                            if row[pos] != bound {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            binding.insert(v.clone(), row[pos]);
+                            newly_bound.push(v.clone());
+                        }
+                    },
+                }
+            }
+            if ok {
+                this.eval_body(
+                    rule,
+                    atom_idx + 1,
+                    delta_pos,
+                    delta_range,
+                    cur_marks,
+                    binding,
+                    out,
+                );
+            }
+            for v in newly_bound {
+                binding.remove(&v);
+            }
+        };
+
+        match best {
+            Some(list) => {
+                // Binary search the posting list for the row-id range.
+                let start = list.partition_point(|&id| (id as usize) < lo);
+                for &id in &list[start..] {
+                    if (id as usize) >= hi {
+                        break;
+                    }
+                    try_row(id as usize, self, binding, out);
+                }
+            }
+            None => {
+                for id in lo..hi {
+                    try_row(id, self, binding, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DAtom;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn c(n: u32) -> TermId {
+        TermId(n)
+    }
+    fn atom(p: &str, args: Vec<DTerm>) -> DAtom {
+        DAtom::new(Pred::new(p), args)
+    }
+
+    /// Transitive closure of a path graph 1→2→3→4.
+    fn tc_program() -> Program {
+        let mut prog = Program::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            prog.fact(Pred::new("e"), vec![c(a), c(b)]);
+        }
+        prog.rule(
+            Rule::new(
+                atom("t", vec![v("x").into(), v("y").into()]),
+                vec![atom("e", vec![v("x").into(), v("y").into()])],
+            )
+            .unwrap(),
+        );
+        prog.rule(
+            Rule::new(
+                atom("t", vec![v("x").into(), v("z").into()]),
+                vec![
+                    atom("t", vec![v("x").into(), v("y").into()]),
+                    atom("e", vec![v("y").into(), v("z").into()]),
+                ],
+            )
+            .unwrap(),
+        );
+        prog
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut e = Engine::load(&tc_program()).unwrap();
+        e.run();
+        let t = Pred::new("t");
+        assert_eq!(e.relation_len(&t), 6); // 12,13,14,23,24,34
+        let rows: FxHashSet<Vec<TermId>> = e.tuples(&t).iter().cloned().collect();
+        assert!(rows.contains(&vec![c(1), c(4)]));
+        assert!(!rows.contains(&vec![c(4), c(1)]));
+    }
+
+    #[test]
+    fn run_is_idempotent() {
+        let mut e = Engine::load(&tc_program()).unwrap();
+        e.run();
+        let before = e.relation_len(&Pred::new("t"));
+        e.run();
+        assert_eq!(e.relation_len(&Pred::new("t")), before);
+        assert_eq!(e.derived_count, 0);
+    }
+
+    #[test]
+    fn constants_in_rule_bodies() {
+        let mut prog = tc_program();
+        // q(y) :- t(1, y).
+        prog.rule(
+            Rule::new(
+                atom("q", vec![v("y").into()]),
+                vec![atom("t", vec![c(1).into(), v("y").into()])],
+            )
+            .unwrap(),
+        );
+        let mut e = Engine::load(&prog).unwrap();
+        e.run();
+        assert_eq!(e.relation_len(&Pred::new("q")), 3); // 2, 3, 4
+    }
+
+    #[test]
+    fn repeated_variables_in_atom() {
+        let mut prog = Program::new();
+        prog.fact(Pred::new("e"), vec![c(1), c(1)]);
+        prog.fact(Pred::new("e"), vec![c(1), c(2)]);
+        prog.rule(
+            Rule::new(
+                atom("loop", vec![v("x").into()]),
+                vec![atom("e", vec![v("x").into(), v("x").into()])],
+            )
+            .unwrap(),
+        );
+        let mut e = Engine::load(&prog).unwrap();
+        e.run();
+        assert_eq!(e.tuples(&Pred::new("loop")), &[vec![c(1)]]);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut prog = Program::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 1)] {
+            prog.fact(Pred::new("e"), vec![c(a), c(b)]);
+        }
+        prog.rule(
+            Rule::new(
+                atom("t", vec![v("x").into(), v("y").into()]),
+                vec![atom("e", vec![v("x").into(), v("y").into()])],
+            )
+            .unwrap(),
+        );
+        prog.rule(
+            Rule::new(
+                atom("t", vec![v("x").into(), v("z").into()]),
+                vec![
+                    atom("t", vec![v("x").into(), v("y").into()]),
+                    atom("t", vec![v("y").into(), v("z").into()]),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut e = Engine::load(&prog).unwrap();
+        e.run();
+        assert_eq!(e.relation_len(&Pred::new("t")), 9); // complete digraph
+    }
+
+    #[test]
+    fn empty_relation_in_body_yields_nothing() {
+        let mut prog = Program::new();
+        prog.fact(Pred::new("a"), vec![c(1)]);
+        prog.rule(
+            Rule::new(
+                atom("q", vec![v("x").into()]),
+                vec![
+                    atom("a", vec![v("x").into()]),
+                    atom("missing", vec![v("x").into()]),
+                ],
+            )
+            .unwrap(),
+        );
+        let mut e = Engine::load(&prog).unwrap();
+        e.run();
+        assert_eq!(e.relation_len(&Pred::new("q")), 0);
+    }
+
+    #[test]
+    fn cross_product_rule() {
+        let mut prog = Program::new();
+        prog.fact(Pred::new("a"), vec![c(1)]);
+        prog.fact(Pred::new("a"), vec![c(2)]);
+        prog.fact(Pred::new("b"), vec![c(8)]);
+        prog.rule(
+            Rule::new(
+                atom("pair", vec![v("x").into(), v("y").into()]),
+                vec![atom("a", vec![v("x").into()]), atom("b", vec![v("y").into()])],
+            )
+            .unwrap(),
+        );
+        let mut e = Engine::load(&prog).unwrap();
+        e.run();
+        assert_eq!(e.relation_len(&Pred::new("pair")), 2);
+    }
+
+    #[test]
+    fn rounds_are_logged() {
+        let mut e = Engine::load(&tc_program()).unwrap();
+        e.run();
+        assert!(e.rounds >= 3, "path of length 3 needs ≥3 rounds");
+        assert_eq!(e.derived_count, 6);
+    }
+}

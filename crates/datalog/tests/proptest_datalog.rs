@@ -1,0 +1,210 @@
+//! Property test: the semi-naive engine computes exactly the naive
+//! immediate-consequence fixpoint, on random programs.
+
+use proptest::prelude::*;
+use rdfref_datalog::ast::{DAtom, DTerm, Pred, Program, Rule};
+use rdfref_datalog::Engine;
+use rdfref_model::TermId;
+use rdfref_query::Var;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A tiny random program over unary/binary predicates `p0..p2` and an IDB
+/// head `q0..q1`, constants `0..5`, variables `x,y,z`.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    facts: Vec<(usize, Vec<u32>)>,
+    rules: Vec<RandomRule>,
+}
+
+#[derive(Debug, Clone)]
+struct RandomRule {
+    head_pred: usize,
+    head_args: Vec<Result<u32, u8>>, // Ok = const, Err = var index
+    body: Vec<(usize, Vec<Result<u32, u8>>)>,
+}
+
+fn arity(pred: usize) -> usize {
+    if pred.is_multiple_of(2) {
+        2
+    } else {
+        1
+    }
+}
+
+fn pred_name(pred: usize) -> Pred {
+    Pred::new(format!("p{pred}"))
+}
+
+fn args_strategy(n: usize) -> impl Strategy<Value = Vec<Result<u32, u8>>> {
+    proptest::collection::vec(
+        prop_oneof![2 => (0u8..3).prop_map(Err::<u32, u8>), 1 => (0u32..5).prop_map(Ok::<u32, u8>)],
+        n..=n,
+    )
+}
+
+fn rule_strategy() -> impl Strategy<Value = RandomRule> {
+    (0usize..4).prop_flat_map(|head_pred| {
+        let body = proptest::collection::vec(
+            (0usize..4).prop_flat_map(|p| args_strategy(arity(p)).prop_map(move |a| (p, a))),
+            1..3,
+        );
+        (args_strategy(arity(head_pred)), body).prop_map(move |(head_args, body)| RandomRule {
+            head_pred,
+            head_args,
+            body,
+        })
+    })
+}
+
+fn program_strategy() -> impl Strategy<Value = RandomProgram> {
+    let fact = (0usize..4).prop_flat_map(|p| {
+        proptest::collection::vec(0u32..5, arity(p)..=arity(p)).prop_map(move |args| (p, args))
+    });
+    (
+        proptest::collection::vec(fact, 0..12),
+        proptest::collection::vec(rule_strategy(), 0..4),
+    )
+        .prop_map(|(facts, rules)| RandomProgram { facts, rules })
+}
+
+/// Safe-ify and materialize the random program. Unsafe rules (head variable
+/// not in the body) are repaired by replacing the offending head variable
+/// with a constant.
+fn materialize(rp: &RandomProgram) -> Program {
+    let mut prog = Program::new();
+    for (p, args) in &rp.facts {
+        prog.fact(pred_name(*p), args.iter().map(|&a| TermId(a)).collect());
+    }
+    for r in &rp.rules {
+        let body_vars: BTreeSet<u8> = r
+            .body
+            .iter()
+            .flat_map(|(_, args)| args.iter().filter_map(|a| a.err()))
+            .collect();
+        let head = DAtom::new(
+            pred_name(r.head_pred),
+            r.head_args
+                .iter()
+                .map(|a| match a {
+                    Ok(c) => DTerm::Const(TermId(*c)),
+                    Err(v) if body_vars.contains(v) => DTerm::Var(Var::new(format!("x{v}"))),
+                    Err(_) => DTerm::Const(TermId(0)), // repair unsafe head var
+                })
+                .collect(),
+        );
+        let body = r
+            .body
+            .iter()
+            .map(|(p, args)| {
+                DAtom::new(
+                    pred_name(*p),
+                    args.iter()
+                        .map(|a| match a {
+                            Ok(c) => DTerm::Const(TermId(*c)),
+                            Err(v) => DTerm::Var(Var::new(format!("x{v}"))),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        prog.rule(Rule::new(head, body).expect("repaired rules are safe"));
+    }
+    prog
+}
+
+/// Naive reference: apply every rule to every combination of facts until
+/// fixpoint, with brute-force substitution enumeration.
+fn naive_fixpoint(prog: &Program) -> BTreeMap<String, BTreeSet<Vec<u32>>> {
+    let mut db: BTreeMap<String, BTreeSet<Vec<u32>>> = BTreeMap::new();
+    for (p, args) in &prog.facts {
+        db.entry(p.to_string())
+            .or_default()
+            .insert(args.iter().map(|t| t.0).collect());
+    }
+    loop {
+        let mut additions: Vec<(String, Vec<u32>)> = Vec::new();
+        for rule in &prog.rules {
+            let mut bindings: Vec<BTreeMap<String, u32>> = vec![BTreeMap::new()];
+            for atom in &rule.body {
+                let rel = db.get(&atom.pred.to_string()).cloned().unwrap_or_default();
+                let mut next = Vec::new();
+                for binding in &bindings {
+                    for row in &rel {
+                        let mut candidate = binding.clone();
+                        let mut ok = true;
+                        for (arg, &val) in atom.args.iter().zip(row) {
+                            match arg {
+                                DTerm::Const(c) => {
+                                    if c.0 != val {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                DTerm::Var(v) => match candidate.get(v.name()) {
+                                    Some(&b) if b != val => {
+                                        ok = false;
+                                        break;
+                                    }
+                                    Some(_) => {}
+                                    None => {
+                                        candidate.insert(v.name().to_string(), val);
+                                    }
+                                },
+                            }
+                        }
+                        if ok {
+                            next.push(candidate);
+                        }
+                    }
+                }
+                bindings = next;
+            }
+            for binding in bindings {
+                let tuple: Vec<u32> = rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|a| match a {
+                        DTerm::Const(c) => c.0,
+                        DTerm::Var(v) => binding[v.name()],
+                    })
+                    .collect();
+                additions.push((rule.head.pred.to_string(), tuple));
+            }
+        }
+        let mut changed = false;
+        for (p, t) in additions {
+            changed |= db.entry(p).or_default().insert(t);
+        }
+        if !changed {
+            return db;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_matches_naive_fixpoint(rp in program_strategy()) {
+        let prog = materialize(&rp);
+        let reference = naive_fixpoint(&prog);
+        let mut engine = Engine::load(&prog).expect("valid program");
+        engine.run();
+        for p in 0..4usize {
+            let name = pred_name(p);
+            let mut got: Vec<Vec<u32>> = engine
+                .tuples(&name)
+                .iter()
+                .map(|r| r.iter().map(|t| t.0).collect())
+                .collect();
+            got.sort_unstable();
+            got.dedup();
+            let expected: Vec<Vec<u32>> = reference
+                .get(&name.to_string())
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+            prop_assert_eq!(got, expected, "predicate p{}", p);
+        }
+    }
+}

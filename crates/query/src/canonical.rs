@@ -1,0 +1,203 @@
+//! Canonical forms for CQ deduplication.
+//!
+//! The reformulation fixpoint generates the same CQ along many derivation
+//! paths, differing only in (a) atom order and (b) the numbering of *fresh*
+//! variables minted by rules 2/3/10/11. Named (user) variables are never
+//! renamed by any rule, so two generated CQs are duplicates iff they are
+//! equal modulo atom order and fresh-variable renaming.
+//!
+//! [`canonicalize`] normalizes exactly those two degrees of freedom:
+//! 1. sort atoms by a *shape key* that treats every fresh variable as an
+//!    anonymous placeholder;
+//! 2. rename fresh variables in first-occurrence order over the sorted body;
+//! 3. sort atoms again (now fully concrete) and deduplicate.
+//!
+//! The result is a sound, deterministic dedup key: equal canonical forms are
+//! equivalent queries. It is *not* a complete isomorphism test (that is
+//! graph-isomorphism hard and unnecessary here): in particular, when two
+//! atoms share an identical shape key and cross-reference fresh variables,
+//! permutations of them may canonicalize differently — the fixpoint then
+//! keeps both variants, costing a slightly larger union but never a wrong
+//! answer.
+
+use crate::ast::{Atom, Cq, PTerm, Substitution};
+use crate::var::{FreshVars, Var};
+use rdfref_model::fxhash::FxHashSet;
+use rdfref_model::TermId;
+
+/// A variable-numbering-independent key for one pattern position.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ShapeKey {
+    Const(TermId),
+    NamedVar(Var),
+    FreshVar,
+}
+
+fn shape_of(t: &PTerm) -> ShapeKey {
+    match t {
+        PTerm::Const(c) => ShapeKey::Const(*c),
+        PTerm::Var(v) if v.is_fresh() => ShapeKey::FreshVar,
+        PTerm::Var(v) => ShapeKey::NamedVar(v.clone()),
+    }
+}
+
+fn atom_shape(a: &Atom) -> [ShapeKey; 3] {
+    [shape_of(&a.s), shape_of(&a.p), shape_of(&a.o)]
+}
+
+/// Canonicalize a CQ for deduplication (see module docs).
+pub fn canonicalize(cq: &Cq) -> Cq {
+    // 1. Sort by shape.
+    let mut body = cq.body.clone();
+    body.sort_by_key(atom_shape);
+
+    // 2. Rename fresh variables by first occurrence (head first, then body).
+    let mut renaming = Substitution::default();
+    let mut gen = FreshVars::new();
+    let visit = |t: &PTerm, renaming: &mut Substitution, gen: &mut FreshVars| {
+        if let PTerm::Var(v) = t {
+            if v.is_fresh() && !renaming.contains_key(v) {
+                renaming.insert(v.clone(), PTerm::Var(gen.next()));
+            }
+        }
+    };
+    for t in &cq.head {
+        visit(t, &mut renaming, &mut gen);
+    }
+    for a in &body {
+        visit(&a.s, &mut renaming, &mut gen);
+        visit(&a.p, &mut renaming, &mut gen);
+        visit(&a.o, &mut renaming, &mut gen);
+    }
+    let head: Vec<PTerm> = cq
+        .head
+        .iter()
+        .map(|t| crate::ast::substitute(t, &renaming))
+        .collect();
+    let mut body: Vec<Atom> = body.iter().map(|a| a.apply(&renaming)).collect();
+
+    // 3. Final concrete sort + dedup of repeated atoms.
+    body.sort();
+    body.dedup();
+    Cq::new_unchecked(head, body)
+}
+
+/// A set of CQs keyed by canonical form — the working set of the
+/// reformulation fixpoint.
+#[derive(Debug, Default)]
+pub struct CanonicalSet {
+    seen: FxHashSet<Cq>,
+}
+
+impl CanonicalSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        CanonicalSet::default()
+    }
+
+    /// Insert a CQ; returns `true` if it was new (up to canonical form).
+    pub fn insert(&mut self, cq: &Cq) -> bool {
+        self.seen.insert(canonicalize(cq))
+    }
+
+    /// Has an equivalent CQ been inserted?
+    pub fn contains(&self, cq: &Cq) -> bool {
+        self.seen.contains(&canonicalize(cq))
+    }
+
+    /// Number of distinct canonical CQs.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn c(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    #[test]
+    fn atom_order_is_normalized() {
+        let a = Atom::new(v("x"), c(1), v("y"));
+        let b = Atom::new(v("y"), c(2), v("z"));
+        let q1 = Cq::new_unchecked(vec![v("x").into()], vec![a.clone(), b.clone()]);
+        let q2 = Cq::new_unchecked(vec![v("x").into()], vec![b, a]);
+        assert_eq!(canonicalize(&q1), canonicalize(&q2));
+    }
+
+    #[test]
+    fn fresh_var_numbering_is_normalized() {
+        let q1 = Cq::new_unchecked(
+            vec![v("x").into()],
+            vec![Atom::new(v("x"), c(1), Var::fresh(17))],
+        );
+        let q2 = Cq::new_unchecked(
+            vec![v("x").into()],
+            vec![Atom::new(v("x"), c(1), Var::fresh(23))],
+        );
+        assert_eq!(canonicalize(&q1), canonicalize(&q2));
+    }
+
+    #[test]
+    fn named_vars_are_not_conflated() {
+        let q1 = Cq::new_unchecked(vec![v("x").into()], vec![Atom::new(v("x"), c(1), v("y"))]);
+        let q2 = Cq::new_unchecked(vec![v("x").into()], vec![Atom::new(v("x"), c(1), v("z"))]);
+        assert_ne!(canonicalize(&q1), canonicalize(&q2));
+    }
+
+    #[test]
+    fn repeated_atoms_deduplicated() {
+        let a = Atom::new(v("x"), c(1), v("y"));
+        let q = Cq::new_unchecked(vec![v("x").into()], vec![a.clone(), a]);
+        assert_eq!(canonicalize(&q).size(), 1);
+    }
+
+    #[test]
+    fn different_constants_stay_distinct() {
+        let q1 = Cq::new_unchecked(vec![], vec![Atom::new(v("x"), c(1), c(5))]);
+        let q2 = Cq::new_unchecked(vec![], vec![Atom::new(v("x"), c(1), c(6))]);
+        assert_ne!(canonicalize(&q1), canonicalize(&q2));
+    }
+
+    #[test]
+    fn canonical_set_dedups() {
+        let mut set = CanonicalSet::new();
+        let q1 = Cq::new_unchecked(
+            vec![v("x").into()],
+            vec![
+                Atom::new(v("x"), c(1), Var::fresh(3)),
+                Atom::new(v("x"), c(2), v("y")),
+            ],
+        );
+        let q2 = Cq::new_unchecked(
+            vec![v("x").into()],
+            vec![
+                Atom::new(v("x"), c(2), v("y")),
+                Atom::new(v("x"), c(1), Var::fresh(99)),
+            ],
+        );
+        assert!(set.insert(&q1));
+        assert!(!set.insert(&q2));
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&q2));
+    }
+
+    #[test]
+    fn two_fresh_vars_in_one_atom() {
+        // (f1 p f2) vs (f2 p f1): both canonicalize to (_f0 p _f1).
+        let q1 = Cq::new_unchecked(vec![], vec![Atom::new(Var::fresh(1), c(1), Var::fresh(2))]);
+        let q2 = Cq::new_unchecked(vec![], vec![Atom::new(Var::fresh(2), c(1), Var::fresh(1))]);
+        assert_eq!(canonicalize(&q1), canonicalize(&q2));
+    }
+}

@@ -1,0 +1,319 @@
+//! CQ containment, UCQ subsumption pruning, and CQ minimization.
+//!
+//! The EDBT'13 reformulation work prunes the UCQ it produces: a disjunct
+//! whose answers are always contained in another disjunct's answers is
+//! redundant. Containment of conjunctive queries is decided by the classic
+//! homomorphism theorem [Chandra & Merlin 1977]: `q2 ⊑ q1` iff there is a
+//! homomorphism from `q1`'s body into `q2`'s body mapping `q1`'s head onto
+//! `q2`'s head. Our CQs are tiny (a handful of atoms), so a direct
+//! backtracking search is exact and fast.
+//!
+//! The same machinery minimizes a single CQ (drop atoms whose removal leaves
+//! an equivalent query — its *core*), another standard cleanup that shrinks
+//! reformulations.
+
+use crate::ast::{Atom, Cq, PTerm, Ucq};
+use rdfref_model::fxhash::FxHashMap;
+use crate::var::Var;
+
+/// A partial homomorphism: query variables of the *general* CQ mapped to
+/// pattern terms of the *specific* CQ.
+type Hom = FxHashMap<Var, PTerm>;
+
+/// Try to extend `hom` by mapping `from` onto `to`.
+fn unify(from: &PTerm, to: &PTerm, hom: &mut Hom) -> bool {
+    match from {
+        PTerm::Const(c) => matches!(to, PTerm::Const(d) if c == d),
+        PTerm::Var(v) => match hom.get(v) {
+            Some(bound) => bound == to,
+            None => {
+                hom.insert(v.clone(), to.clone());
+                true
+            }
+        },
+    }
+}
+
+fn unify_atom(from: &Atom, to: &Atom, hom: &Hom) -> Option<Hom> {
+    let mut candidate = hom.clone();
+    if unify(&from.s, &to.s, &mut candidate)
+        && unify(&from.p, &to.p, &mut candidate)
+        && unify(&from.o, &to.o, &mut candidate)
+    {
+        Some(candidate)
+    } else {
+        None
+    }
+}
+
+/// Backtracking search for a homomorphism from `body` (the general CQ's
+/// remaining atoms) into `target` atoms, extending `hom`.
+fn search(body: &[Atom], target: &[Atom], hom: &Hom) -> bool {
+    let Some((first, rest)) = body.split_first() else {
+        return true;
+    };
+    for atom in target {
+        if let Some(extended) = unify_atom(first, atom, hom) {
+            if search(rest, target, &extended) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is there a homomorphism from `general` into `specific` that maps the head
+/// positionally? If so, every answer of `specific` is an answer of
+/// `general`: `specific ⊑ general`.
+pub fn subsumes(general: &Cq, specific: &Cq) -> bool {
+    if general.arity() != specific.arity() {
+        return false;
+    }
+    // Seed the homomorphism from the heads.
+    let mut hom = Hom::default();
+    for (g, s) in general.head.iter().zip(&specific.head) {
+        if !unify(g, s, &mut hom) {
+            return false;
+        }
+    }
+    search(&general.body, &specific.body, &hom)
+}
+
+/// Are the two CQs equivalent (mutual containment)?
+pub fn equivalent(a: &Cq, b: &Cq) -> bool {
+    subsumes(a, b) && subsumes(b, a)
+}
+
+/// Remove disjuncts subsumed by other disjuncts. Exact but quadratic in the
+/// number of disjuncts; callers guard with a size threshold. Keeps the first
+/// representative of each equivalence class (in increasing body-size order,
+/// so the syntactically smallest survives).
+pub fn prune_subsumed(ucq: Ucq) -> Ucq {
+    let mut cqs = ucq.cqs;
+    // Smaller bodies are more general more often; checking them first makes
+    // the kept set shrink quickly.
+    cqs.sort_by_key(|c| c.size());
+    let mut kept: Vec<Cq> = Vec::with_capacity(cqs.len());
+    'outer: for cq in cqs {
+        for k in &kept {
+            if subsumes(k, &cq) {
+                continue 'outer; // redundant
+            }
+        }
+        // The new disjunct may subsume previously kept (larger…no: kept are
+        // smaller-or-equal in size, but subsumption is not size-monotone for
+        // equal sizes), so sweep the kept set too.
+        kept.retain(|k| !subsumes(&cq, k));
+        kept.push(cq);
+    }
+    Ucq { cqs: kept }
+}
+
+/// Minimize one CQ: repeatedly drop an atom if the reduced query is still
+/// equivalent (the reduced query always subsumes the original; the check is
+/// the converse). Computes the core for these small CQs.
+pub fn minimize(cq: &Cq) -> Cq {
+    let mut current = cq.clone();
+    loop {
+        let mut reduced_any = false;
+        for i in 0..current.body.len() {
+            if current.body.len() == 1 {
+                break;
+            }
+            let mut body = current.body.clone();
+            body.remove(i);
+            let candidate = Cq::new_unchecked(current.head.clone(), body);
+            // Head variables must stay bound by the body.
+            let body_vars = candidate.var_set();
+            let head_ok = candidate
+                .head
+                .iter()
+                .all(|t| t.as_var().map(|v| body_vars.contains(v)).unwrap_or(true));
+            if head_ok && subsumes(&candidate, &current) && subsumes(&current, &candidate) {
+                current = candidate;
+                reduced_any = true;
+                break;
+            }
+        }
+        if !reduced_any {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::TermId;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn c(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    #[test]
+    fn identical_queries_subsume_both_ways() {
+        let q = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), v("y"))]).unwrap();
+        assert!(subsumes(&q, &q));
+        assert!(equivalent(&q, &q));
+    }
+
+    #[test]
+    fn adding_atoms_specializes() {
+        let gen = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), v("y"))]).unwrap();
+        let spec = Cq::new(
+            vec![v("x")],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("x"), c(2), c(9)),
+            ],
+        )
+        .unwrap();
+        assert!(subsumes(&gen, &spec));
+        assert!(!subsumes(&spec, &gen));
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let a = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), c(5))]).unwrap();
+        let b = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), c(6))]).unwrap();
+        assert!(!subsumes(&a, &b));
+        assert!(!subsumes(&b, &a));
+        // A variable generalizes a constant.
+        let g = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), v("z"))]).unwrap();
+        assert!(subsumes(&g, &a));
+        assert!(!subsumes(&a, &g));
+    }
+
+    #[test]
+    fn heads_constrain_the_homomorphism() {
+        // Same body shape, different projected variable.
+        let a = Cq::new(
+            vec![v("x")],
+            vec![Atom::new(v("x"), c(1), v("y"))],
+        )
+        .unwrap();
+        let b = Cq::new(
+            vec![v("y")],
+            vec![Atom::new(v("x"), c(1), v("y"))],
+        )
+        .unwrap();
+        assert!(!subsumes(&a, &b));
+        // Bound-constant heads must agree.
+        let ha = Cq::new_unchecked(
+            vec![PTerm::Const(c(7))],
+            vec![Atom::new(v("x"), c(1), v("y"))],
+        );
+        let hb = Cq::new_unchecked(
+            vec![PTerm::Const(c(8))],
+            vec![Atom::new(v("x"), c(1), v("y"))],
+        );
+        assert!(!subsumes(&ha, &hb));
+        assert!(subsumes(&ha, &ha));
+    }
+
+    #[test]
+    fn nontrivial_homomorphism_found() {
+        // gen: (x p y), (y p z) — a path of 2.
+        // spec: (a p a) — a self-loop; hom x,y,z ↦ a.
+        let gen = Cq::new_unchecked(
+            vec![],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("y"), c(1), v("z")),
+            ],
+        );
+        let spec = Cq::new_unchecked(vec![], vec![Atom::new(v("a"), c(1), v("a"))]);
+        assert!(subsumes(&gen, &spec));
+        assert!(!subsumes(&spec, &gen));
+    }
+
+    #[test]
+    fn prune_removes_redundant_disjuncts() {
+        let general = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), v("y"))]).unwrap();
+        let specific = Cq::new(
+            vec![v("x")],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("x"), c(2), v("z")),
+            ],
+        )
+        .unwrap();
+        let other = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(3), v("y"))]).unwrap();
+        let pruned = prune_subsumed(Ucq::new(vec![specific, general.clone(), other.clone()]).unwrap());
+        assert_eq!(pruned.len(), 2);
+        assert!(pruned.cqs.contains(&general));
+        assert!(pruned.cqs.contains(&other));
+    }
+
+    #[test]
+    fn prune_keeps_one_of_equivalent_pair() {
+        let a = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), v("y"))]).unwrap();
+        // Same query with a renamed non-distinguished variable.
+        let b = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), v("w"))]).unwrap();
+        let pruned = prune_subsumed(Ucq::new(vec![a, b]).unwrap());
+        assert_eq!(pruned.len(), 1);
+    }
+
+    #[test]
+    fn minimize_drops_redundant_atoms() {
+        // (x p y), (x p z): the second atom is a homomorphic duplicate of
+        // the first (z ↦ y), so the core is one atom.
+        let q = Cq::new(
+            vec![v("x")],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("x"), c(1), v("z")),
+            ],
+        )
+        .unwrap();
+        let m = minimize(&q);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn minimize_keeps_necessary_atoms() {
+        // A genuine path query cannot be shrunk when the middle variable is
+        // projected.
+        let q = Cq::new(
+            vec![v("x"), v("y"), v("z")],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("y"), c(1), v("z")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(minimize(&q).size(), 2);
+        // (x p y) folds onto (x p w) (y is unprojected), so the core is the
+        // 2-atom chain; the chain itself is irreducible.
+        let q2 = Cq::new(
+            vec![v("x")],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("x"), c(1), v("w")),
+                Atom::new(v("w"), c(2), v("u")),
+            ],
+        )
+        .unwrap();
+        let m = minimize(&q2);
+        assert_eq!(m.size(), 2);
+        assert!(m.body.iter().any(|a| a.p == PTerm::Const(c(2))));
+    }
+
+    #[test]
+    fn minimize_never_unbinds_head_vars() {
+        let q = Cq::new(
+            vec![v("y")],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("x"), c(1), v("z")),
+            ],
+        )
+        .unwrap();
+        let m = minimize(&q);
+        // The kept atom must contain y.
+        assert!(m.body.iter().any(|a| a.var_set().contains(&v("y"))));
+    }
+}

@@ -1,0 +1,209 @@
+//! Rendering queries for humans: the paper's rule notation and SPARQL.
+
+use crate::ast::{Atom, Cq, Jucq, PTerm, Ucq};
+use rdfref_model::{Dictionary, Term};
+use std::fmt::Write as _;
+
+/// Render a pattern position, resolving constants through the dictionary.
+/// IRIs are shortened to their local name (text after the last `#` or `/`)
+/// for readability; literals and blanks use N-Triples syntax.
+pub fn pterm_to_string(t: &PTerm, dict: &Dictionary) -> String {
+    match t {
+        PTerm::Var(v) => v.to_string(),
+        PTerm::Const(id) => match dict.get(*id) {
+            Some(Term::Iri(iri)) => short_iri(iri),
+            Some(other) => other.to_string(),
+            None => format!("#?{}", id.0),
+        },
+    }
+}
+
+fn short_iri(iri: &str) -> String {
+    let local = iri
+        .rsplit_once('#')
+        .map(|(_, l)| l)
+        .or_else(|| iri.rsplit_once('/').map(|(_, l)| l))
+        .filter(|l| !l.is_empty())
+        .unwrap_or(iri);
+    local.to_string()
+}
+
+/// Render one atom as `s p o`.
+pub fn atom_to_string(a: &Atom, dict: &Dictionary) -> String {
+    format!(
+        "{} {} {}",
+        pterm_to_string(&a.s, dict),
+        pterm_to_string(&a.p, dict),
+        pterm_to_string(&a.o, dict)
+    )
+}
+
+/// Render a CQ in the paper's notation: `q(x̄) :- t1, …, tα`.
+pub fn cq_to_string(cq: &Cq, dict: &Dictionary) -> String {
+    let head = cq
+        .head
+        .iter()
+        .map(|t| pterm_to_string(t, dict))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let body = cq
+        .body
+        .iter()
+        .map(|a| atom_to_string(a, dict))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("q({head}) :- {body}")
+}
+
+/// Render a UCQ as one CQ per line joined by `UNION`.
+pub fn ucq_to_string(ucq: &Ucq, dict: &Dictionary) -> String {
+    ucq.cqs
+        .iter()
+        .map(|cq| cq_to_string(cq, dict))
+        .collect::<Vec<_>>()
+        .join("\nUNION ")
+}
+
+/// Render a JUCQ as its fragments joined by `⋈`, with fragment columns.
+pub fn jucq_to_string(jucq: &Jucq, dict: &Dictionary) -> String {
+    let mut out = String::new();
+    let head = jucq
+        .head
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "JUCQ({head}) =");
+    for (i, frag) in jucq.fragments.iter().enumerate() {
+        let cols = frag
+            .columns
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        if i > 0 {
+            let _ = writeln!(out, "  ⋈");
+        }
+        let _ = writeln!(
+            out,
+            "  F{i}[{cols}] = {} CQ(s):",
+            frag.ucq.len()
+        );
+        // Large fragment unions are elided for readability.
+        for cq in frag.ucq.cqs.iter().take(4) {
+            let _ = writeln!(out, "    {}", cq_to_string(cq, dict));
+        }
+        if frag.ucq.len() > 4 {
+            let _ = writeln!(out, "    … {} more", frag.ucq.len() - 4);
+        }
+    }
+    out
+}
+
+/// Render a CQ as an executable SPARQL `SELECT` query. Bound head positions
+/// are not legal SPARQL projections, so they are rendered as comments.
+pub fn cq_to_sparql(cq: &Cq, dict: &Dictionary) -> String {
+    let mut out = String::from("SELECT");
+    let mut bound = Vec::new();
+    for t in &cq.head {
+        match t {
+            PTerm::Var(v) => {
+                let _ = write!(out, " {v}");
+            }
+            PTerm::Const(id) => bound.push(pterm_to_string(&PTerm::Const(*id), dict)),
+        }
+    }
+    if cq.head.is_empty() {
+        out.push_str(" *");
+    }
+    out.push_str(" WHERE {\n");
+    for a in &cq.body {
+        let _ = writeln!(
+            out,
+            "  {} {} {} .",
+            sparql_pos(&a.s, dict),
+            sparql_pos(&a.p, dict),
+            sparql_pos(&a.o, dict)
+        );
+    }
+    out.push('}');
+    if !bound.is_empty() {
+        let _ = write!(out, " # bound head: {}", bound.join(", "));
+    }
+    out
+}
+
+fn sparql_pos(t: &PTerm, dict: &Dictionary) -> String {
+    match t {
+        PTerm::Var(v) => v.to_string(),
+        PTerm::Const(id) => match dict.get(*id) {
+            Some(term) => term.to_string(),
+            None => format!("#?{}", id.0),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Cq};
+    use crate::var::Var;
+    use rdfref_model::Term;
+
+    #[test]
+    fn paper_notation() {
+        let mut dict = Dictionary::new();
+        let p = dict.intern(&Term::iri("http://ex.org/ub#memberOf"));
+        let cq = Cq::new(
+            vec![Var::new("x"), Var::new("z")],
+            vec![Atom::new(Var::new("x"), p, Var::new("z"))],
+        )
+        .unwrap();
+        assert_eq!(cq_to_string(&cq, &dict), "q(?x, ?z) :- ?x memberOf ?z");
+    }
+
+    #[test]
+    fn sparql_rendering() {
+        let mut dict = Dictionary::new();
+        let p = dict.intern(&Term::iri("http://ex.org/p"));
+        let cq = Cq::new(
+            vec![Var::new("x")],
+            vec![Atom::new(Var::new("x"), p, Var::new("y"))],
+        )
+        .unwrap();
+        let sparql = cq_to_sparql(&cq, &dict);
+        assert!(sparql.starts_with("SELECT ?x WHERE {"));
+        assert!(sparql.contains("?x <http://ex.org/p> ?y ."));
+    }
+
+    #[test]
+    fn bound_head_positions_render() {
+        let mut dict = Dictionary::new();
+        let p = dict.intern(&Term::iri("http://ex.org/p"));
+        let c = dict.intern(&Term::iri("http://ex.org/Class"));
+        let cq = Cq::new_unchecked(
+            vec![PTerm::Var(Var::new("x")), PTerm::Const(c)],
+            vec![Atom::new(Var::new("x"), p, Var::new("y"))],
+        );
+        let s = cq_to_string(&cq, &dict);
+        assert_eq!(s, "q(?x, Class) :- ?x p ?y");
+    }
+
+    #[test]
+    fn ucq_and_jucq_render() {
+        let mut dict = Dictionary::new();
+        let p = dict.intern(&Term::iri("http://ex.org/p"));
+        let cq = Cq::new(
+            vec![Var::new("x")],
+            vec![Atom::new(Var::new("x"), p, Var::new("y"))],
+        )
+        .unwrap();
+        let ucq = Ucq::new(vec![cq.clone(), cq.clone()]).unwrap();
+        let s = ucq_to_string(&ucq, &dict);
+        assert_eq!(s.matches("q(?x)").count(), 2);
+        let frag = crate::ast::Fragment::new(vec![Var::new("x")], ucq).unwrap();
+        let jucq = Jucq::new(vec![Var::new("x")], vec![frag]).unwrap();
+        let js = jucq_to_string(&jucq, &dict);
+        assert!(js.contains("F0[?x] = 2 CQ(s):"));
+    }
+}

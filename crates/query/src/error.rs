@@ -1,0 +1,84 @@
+//! Error types of the query layer.
+
+use std::fmt;
+
+/// Result alias for the query crate.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// Errors raised by query construction, parsing and cover validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// SPARQL parse error with 1-based line.
+    Syntax {
+        /// Line of the error.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A head (distinguished) variable does not occur in the query body.
+    UnboundHeadVar(String),
+    /// A user query used the reserved fresh-variable prefix `_f`.
+    ReservedVariable(String),
+    /// A cover is invalid for a query of the given size.
+    InvalidCover {
+        /// Why the cover is invalid.
+        reason: String,
+    },
+    /// UCQs combined into a union/JUCQ disagree on head arity.
+    ArityMismatch {
+        /// Expected arity.
+        expected: usize,
+        /// Found arity.
+        found: usize,
+    },
+    /// An undeclared prefix was used.
+    UnknownPrefix {
+        /// Line of the usage.
+        line: usize,
+        /// The prefix label.
+        prefix: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Syntax { line, message } => {
+                write!(f, "query syntax error at line {line}: {message}")
+            }
+            QueryError::UnboundHeadVar(v) => {
+                write!(f, "head variable ?{v} does not occur in the query body")
+            }
+            QueryError::ReservedVariable(v) => {
+                write!(f, "variable ?{v} uses the reserved '_f' prefix")
+            }
+            QueryError::InvalidCover { reason } => write!(f, "invalid cover: {reason}"),
+            QueryError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            QueryError::UnknownPrefix { line, prefix } => {
+                write!(f, "unknown prefix '{prefix}:' at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(QueryError::UnboundHeadVar("x".into())
+            .to_string()
+            .contains("?x"));
+        assert!(QueryError::ArityMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+    }
+}

@@ -1,0 +1,635 @@
+//! A SPARQL subset parser for BGP `SELECT` queries.
+//!
+//! Grammar (the conjunctive/BGP dialect the paper considers):
+//!
+//! ```text
+//! query   := prefix* 'SELECT' ('DISTINCT')? (var+ | '*') 'WHERE' '{' bgp '}'
+//! prefix  := ('PREFIX' | '@prefix') NAME ':' '<' IRI '>' '.'?
+//! bgp     := pattern ('.' pattern)* '.'?
+//! pattern := term term term
+//! term    := '?'NAME | '<'IRI'>' | NAME ':' NAME | 'a' | literal | INTEGER
+//! ```
+//!
+//! Blank nodes in patterns (`_:b`) are treated as non-distinguished
+//! variables, per SPARQL semantics. Answers are sets (the `DISTINCT`
+//! keyword is accepted and redundant). Constants are interned into the
+//! provided dictionary so the parsed query can run against the graph that
+//! dictionary belongs to.
+
+use crate::ast::{Atom, Cq, PTerm};
+use crate::error::{QueryError, Result};
+use crate::var::Var;
+use rdfref_model::{Dictionary, Term};
+use rdfref_model::vocab;
+use std::collections::HashMap;
+
+/// Parse a `SELECT` query, interning constants into `dict`.
+pub fn parse_select(input: &str, dict: &mut Dictionary) -> Result<Cq> {
+    let mut lexer = Lexer::new(input);
+    let tokens = lexer.run()?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+        dict,
+        blank_counter: 0,
+    };
+    p.query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Keyword(String), // SELECT / DISTINCT / WHERE / PREFIX (uppercased)
+    Var(String),
+    Iri(String),
+    Prefixed(String, String),
+    Blank(String),
+    Literal {
+        lexical: String,
+        datatype: Option<String>, // full or "pfx:local" — resolved later
+        prefixed_datatype: Option<(String, String)>,
+        language: Option<String>,
+    },
+    Integer(String),
+    A,
+    Dot,
+    LBrace,
+    RBrace,
+    Star,
+}
+
+struct Located {
+    tok: Tok,
+    line: usize,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn err(&self, m: &str) -> QueryError {
+        QueryError::Syntax {
+            line: self.line,
+            message: m.to_string(),
+        }
+    }
+
+    fn read_name(&mut self) -> String {
+        let mut s = String::new();
+        while matches!(self.chars.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-'))
+        {
+            s.push(self.chars.next().unwrap());
+        }
+        s
+    }
+
+    fn run(&mut self) -> Result<Vec<Located>> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                c if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                '#' => {
+                    while let Some(&c) = self.chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.chars.next();
+                    }
+                }
+                '?' | '$' => {
+                    self.chars.next();
+                    let name = self.read_name();
+                    if name.is_empty() {
+                        return Err(self.err("empty variable name"));
+                    }
+                    out.push(Located {
+                        tok: Tok::Var(name),
+                        line: self.line,
+                    });
+                }
+                '<' => {
+                    self.chars.next();
+                    let mut iri = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('>') => break,
+                            Some('\n') | None => return Err(self.err("unterminated IRI")),
+                            Some(c) => iri.push(c),
+                        }
+                    }
+                    out.push(Located {
+                        tok: Tok::Iri(iri),
+                        line: self.line,
+                    });
+                }
+                '_' => {
+                    self.chars.next();
+                    if self.chars.next() != Some(':') {
+                        return Err(self.err("expected ':' after '_'"));
+                    }
+                    let label = self.read_name();
+                    if label.is_empty() {
+                        return Err(self.err("empty blank node label"));
+                    }
+                    out.push(Located {
+                        tok: Tok::Blank(label),
+                        line: self.line,
+                    });
+                }
+                '"' => {
+                    self.chars.next();
+                    let mut lex = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('"') => break,
+                            Some('\\') => match self.chars.next() {
+                                Some('n') => lex.push('\n'),
+                                Some('t') => lex.push('\t'),
+                                Some('r') => lex.push('\r'),
+                                Some('"') => lex.push('"'),
+                                Some('\\') => lex.push('\\'),
+                                _ => return Err(self.err("bad escape in literal")),
+                            },
+                            Some('\n') | None => return Err(self.err("unterminated literal")),
+                            Some(c) => lex.push(c),
+                        }
+                    }
+                    let mut datatype = None;
+                    let mut prefixed_datatype = None;
+                    let mut language = None;
+                    if self.chars.peek() == Some(&'^') {
+                        self.chars.next();
+                        if self.chars.next() != Some('^') {
+                            return Err(self.err("expected '^^'"));
+                        }
+                        if self.chars.peek() == Some(&'<') {
+                            self.chars.next();
+                            let mut iri = String::new();
+                            loop {
+                                match self.chars.next() {
+                                    Some('>') => break,
+                                    Some(c) => iri.push(c),
+                                    None => return Err(self.err("unterminated datatype IRI")),
+                                }
+                            }
+                            datatype = Some(iri);
+                        } else {
+                            let pfx = self.read_name();
+                            if self.chars.next() != Some(':') {
+                                return Err(self.err("expected prefixed datatype"));
+                            }
+                            let local = self.read_name();
+                            prefixed_datatype = Some((pfx, local));
+                        }
+                    } else if self.chars.peek() == Some(&'@') {
+                        self.chars.next();
+                        let tag = self.read_name();
+                        if tag.is_empty() {
+                            return Err(self.err("empty language tag"));
+                        }
+                        language = Some(tag);
+                    }
+                    out.push(Located {
+                        tok: Tok::Literal {
+                            lexical: lex,
+                            datatype,
+                            prefixed_datatype,
+                            language,
+                        },
+                        line: self.line,
+                    });
+                }
+                '.' => {
+                    self.chars.next();
+                    out.push(Located {
+                        tok: Tok::Dot,
+                        line: self.line,
+                    });
+                }
+                '{' => {
+                    self.chars.next();
+                    out.push(Located {
+                        tok: Tok::LBrace,
+                        line: self.line,
+                    });
+                }
+                '}' => {
+                    self.chars.next();
+                    out.push(Located {
+                        tok: Tok::RBrace,
+                        line: self.line,
+                    });
+                }
+                '*' => {
+                    self.chars.next();
+                    out.push(Located {
+                        tok: Tok::Star,
+                        line: self.line,
+                    });
+                }
+                '@' => {
+                    self.chars.next();
+                    let word = self.read_name();
+                    if word.eq_ignore_ascii_case("prefix") {
+                        out.push(Located {
+                            tok: Tok::Keyword("PREFIX".into()),
+                            line: self.line,
+                        });
+                    } else {
+                        return Err(self.err(&format!("unsupported directive '@{word}'")));
+                    }
+                }
+                c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                    let mut num = String::new();
+                    num.push(c);
+                    self.chars.next();
+                    while matches!(self.chars.peek(), Some(d) if d.is_ascii_digit()) {
+                        num.push(self.chars.next().unwrap());
+                    }
+                    out.push(Located {
+                        tok: Tok::Integer(num),
+                        line: self.line,
+                    });
+                }
+                _ => {
+                    let name = self.read_name();
+                    if name.is_empty() {
+                        return Err(self.err(&format!("unexpected character '{c}'")));
+                    }
+                    // Prefixed name?
+                    if self.chars.peek() == Some(&':') {
+                        self.chars.next();
+                        let local = self.read_name();
+                        out.push(Located {
+                            tok: Tok::Prefixed(name, local),
+                            line: self.line,
+                        });
+                    } else if name == "a" {
+                        out.push(Located {
+                            tok: Tok::A,
+                            line: self.line,
+                        });
+                    } else {
+                        let upper = name.to_ascii_uppercase();
+                        match upper.as_str() {
+                            "SELECT" | "DISTINCT" | "WHERE" | "PREFIX" => out.push(Located {
+                                tok: Tok::Keyword(upper),
+                                line: self.line,
+                            }),
+                            _ => {
+                                return Err(
+                                    self.err(&format!("unexpected word '{name}' (keywords: SELECT, DISTINCT, WHERE, PREFIX; variables need '?')"))
+                                )
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+struct Parser<'d> {
+    tokens: Vec<Located>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+    dict: &'d mut Dictionary,
+    blank_counter: usize,
+}
+
+impl<'d> Parser<'d> {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, m: &str) -> QueryError {
+        QueryError::Syntax {
+            line: self.line(),
+            message: m.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Keyword(k)) if k == kw => Ok(()),
+            _ => Err(self.err(&format!("expected {kw}"))),
+        }
+    }
+
+    fn resolve(&self, pfx: &str, local: &str) -> Result<String> {
+        let base = self
+            .prefixes
+            .get(pfx)
+            .ok_or_else(|| QueryError::UnknownPrefix {
+                line: self.line(),
+                prefix: pfx.to_string(),
+            })?;
+        Ok(format!("{base}{local}"))
+    }
+
+    fn query(&mut self) -> Result<Cq> {
+        // Prefix declarations.
+        while matches!(self.peek(), Some(Tok::Keyword(k)) if k == "PREFIX") {
+            self.next();
+            let (pfx, local) = match self.next() {
+                Some(Tok::Prefixed(p, l)) => (p, l),
+                _ => return Err(self.err("expected 'pfx:' after PREFIX")),
+            };
+            if !local.is_empty() {
+                return Err(self.err("prefix declaration must be 'pfx: <iri>'"));
+            }
+            let iri = match self.next() {
+                Some(Tok::Iri(iri)) => iri,
+                _ => return Err(self.err("expected <iri> in PREFIX")),
+            };
+            if matches!(self.peek(), Some(Tok::Dot)) {
+                self.next();
+            }
+            self.prefixes.insert(pfx, iri);
+        }
+
+        self.expect_keyword("SELECT")?;
+        if matches!(self.peek(), Some(Tok::Keyword(k)) if k == "DISTINCT") {
+            self.next();
+        }
+        // Projection: '*' or one or more variables.
+        let mut star = false;
+        let mut head: Vec<Var> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.next();
+                    star = true;
+                    break;
+                }
+                Some(Tok::Var(_)) => {
+                    if let Some(Tok::Var(name)) = self.next() {
+                        if name.starts_with("_f") {
+                            return Err(QueryError::ReservedVariable(name));
+                        }
+                        head.push(Var::new(name));
+                    }
+                }
+                _ => break,
+            }
+        }
+        if !star && head.is_empty() {
+            return Err(self.err("SELECT needs at least one variable or '*'"));
+        }
+
+        self.expect_keyword("WHERE")?;
+        match self.next() {
+            Some(Tok::LBrace) => {}
+            _ => return Err(self.err("expected '{' after WHERE")),
+        }
+
+        // BGP.
+        let mut body: Vec<Atom> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.next();
+                    break;
+                }
+                None => return Err(self.err("unexpected end of query, expected '}'")),
+                _ => {
+                    let s = self.pattern_term()?;
+                    let p = self.pattern_term()?;
+                    let o = self.pattern_term()?;
+                    body.push(Atom { s, p, o });
+                    match self.peek() {
+                        Some(Tok::Dot) => {
+                            self.next();
+                        }
+                        Some(Tok::RBrace) => {}
+                        _ => return Err(self.err("expected '.' or '}' after pattern")),
+                    }
+                }
+            }
+        }
+        if body.is_empty() {
+            return Err(self.err("empty WHERE clause"));
+        }
+        if self.peek().is_some() {
+            return Err(self.err("trailing content after '}'"));
+        }
+
+        if star {
+            // All named (non-blank-generated) variables, first occurrence order.
+            let mut seen = std::collections::HashSet::new();
+            for atom in &body {
+                for v in atom.vars() {
+                    if !v.name().starts_with("_blank") && seen.insert(v.clone()) {
+                        head.push(v.clone());
+                    }
+                }
+            }
+            if head.is_empty() {
+                return Err(self.err("'SELECT *' found no variables to project"));
+            }
+        }
+        Cq::new(head, body)
+    }
+
+    fn pattern_term(&mut self) -> Result<PTerm> {
+        let tok = self
+            .next()
+            .ok_or_else(|| self.err("unexpected end of query, expected a term"))?;
+        match tok {
+            Tok::Var(name) => {
+                if name.starts_with("_f") {
+                    return Err(QueryError::ReservedVariable(name));
+                }
+                Ok(PTerm::Var(Var::new(name)))
+            }
+            Tok::A => Ok(PTerm::Const(
+                self.dict.intern(&Term::iri(vocab::RDF_TYPE)),
+            )),
+            Tok::Iri(iri) => Ok(PTerm::Const(self.dict.intern(&Term::iri(iri)))),
+            Tok::Prefixed(pfx, local) => {
+                let iri = self.resolve(&pfx, &local)?;
+                Ok(PTerm::Const(self.dict.intern(&Term::iri(iri))))
+            }
+            Tok::Blank(label) => {
+                // SPARQL blank nodes are scoped non-distinguished variables.
+                self.blank_counter += 1;
+                Ok(PTerm::Var(Var::new(format!("_blank_{label}"))))
+            }
+            Tok::Integer(n) => Ok(PTerm::Const(
+                self.dict
+                    .intern(&Term::typed_literal(n, vocab::XSD_INTEGER)),
+            )),
+            Tok::Literal {
+                lexical,
+                datatype,
+                prefixed_datatype,
+                language,
+            } => {
+                let datatype = match (datatype, prefixed_datatype) {
+                    (Some(iri), _) => Some(iri),
+                    (None, Some((pfx, local))) => Some(self.resolve(&pfx, &local)?),
+                    (None, None) => None,
+                };
+                let term = Term::Literal(rdfref_model::term::Literal {
+                    lexical: lexical.into(),
+                    datatype: datatype.map(Into::into),
+                    language: language.map(|l| l.to_ascii_lowercase().into()),
+                });
+                Ok(PTerm::Const(self.dict.intern(&term)))
+            }
+            other => Err(self.err(&format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(q: &str) -> (Cq, Dictionary) {
+        let mut dict = Dictionary::new();
+        let cq = parse_select(q, &mut dict).unwrap();
+        (cq, dict)
+    }
+
+    #[test]
+    fn parses_the_paper_example_1_query() {
+        let q = r#"
+PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?x ?u ?y ?v ?z WHERE {
+  ?x a ?u .
+  ?y a ?v .
+  ?x ub:mastersDegreeFrom <http://www.Univ532.edu> .
+  ?y ub:doctoralDegreeFrom <http://www.Univ532.edu> .
+  ?x ub:memberOf ?z .
+  ?y ub:memberOf ?z
+}"#;
+        let (cq, dict) = parse(q);
+        assert_eq!(cq.arity(), 5);
+        assert_eq!(cq.size(), 6);
+        // 'a' became rdf:type.
+        assert_eq!(
+            cq.body[0].p,
+            PTerm::Const(dict.id_of_iri(vocab::RDF_TYPE).unwrap())
+        );
+        // Class positions are variables.
+        assert!(cq.body[0].o.is_var());
+        assert_eq!(cq.head_vars().len(), 5);
+    }
+
+    #[test]
+    fn select_star_projects_all_named_vars() {
+        let (cq, _) = parse("SELECT * WHERE { ?x <http://e/p> ?y . ?y <http://e/q> _:b }");
+        assert_eq!(cq.head_vars(), vec![Var::new("x"), Var::new("y")]);
+        // The blank became a variable in the body but not the head.
+        assert_eq!(cq.var_set().len(), 3);
+    }
+
+    #[test]
+    fn distinct_is_accepted() {
+        let (cq, _) = parse("SELECT DISTINCT ?x WHERE { ?x <http://e/p> ?y }");
+        assert_eq!(cq.arity(), 1);
+    }
+
+    #[test]
+    fn literals_and_integers() {
+        let (cq, dict) = parse(
+            "SELECT ?x WHERE { ?x <http://e/published> 1949 . ?x <http://e/title> \"El Aleph\" }",
+        );
+        assert_eq!(
+            cq.body[0].o,
+            PTerm::Const(
+                dict.id_of(&Term::typed_literal("1949", vocab::XSD_INTEGER))
+                    .unwrap()
+            )
+        );
+        assert_eq!(
+            cq.body[1].o,
+            PTerm::Const(dict.id_of(&Term::literal("El Aleph")).unwrap())
+        );
+    }
+
+    #[test]
+    fn head_var_must_occur_in_body() {
+        let mut dict = Dictionary::new();
+        let err = parse_select("SELECT ?z WHERE { ?x <http://e/p> ?y }", &mut dict).unwrap_err();
+        assert!(matches!(err, QueryError::UnboundHeadVar(_)));
+    }
+
+    #[test]
+    fn unknown_prefix_reported() {
+        let mut dict = Dictionary::new();
+        let err = parse_select("SELECT ?x WHERE { ?x ub:p ?y }", &mut dict).unwrap_err();
+        assert!(matches!(err, QueryError::UnknownPrefix { .. }));
+    }
+
+    #[test]
+    fn reserved_variable_rejected() {
+        let mut dict = Dictionary::new();
+        let err =
+            parse_select("SELECT ?_f1 WHERE { ?_f1 <http://e/p> ?y }", &mut dict).unwrap_err();
+        assert!(matches!(err, QueryError::ReservedVariable(_)));
+    }
+
+    #[test]
+    fn syntax_errors_have_lines() {
+        let mut dict = Dictionary::new();
+        let err = parse_select("SELECT ?x\nWHERE { ?x <http://e/p> }", &mut dict).unwrap_err();
+        match err {
+            QueryError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_dot_and_no_dot_both_ok() {
+        let (a, _) = parse("SELECT ?x WHERE { ?x <http://e/p> ?y . }");
+        let (b, _) = parse("SELECT ?x WHERE { ?x <http://e/p> ?y }");
+        assert_eq!(a.size(), b.size());
+    }
+
+    #[test]
+    fn empty_where_rejected() {
+        let mut dict = Dictionary::new();
+        assert!(parse_select("SELECT ?x WHERE { }", &mut dict).is_err());
+    }
+
+    #[test]
+    fn same_constant_interned_once() {
+        let (_, dict) =
+            parse("SELECT ?x ?y WHERE { ?x <http://e/p> ?y . ?y <http://e/p> ?x }");
+        // 5 builtins + 1 property.
+        assert_eq!(dict.len(), 6);
+    }
+}

@@ -1,0 +1,93 @@
+//! Query variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A query variable, identified by name (without the SPARQL `?` sigil).
+///
+/// Cheap to clone (`Arc<str>`), totally ordered by name. Fresh variables
+/// minted during reformulation use the reserved `_f` prefix, which the
+/// parser rejects in user queries so freshness is guaranteed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Arc<str>);
+
+impl Var {
+    /// A named variable.
+    pub fn new(name: impl Into<Arc<str>>) -> Var {
+        Var(name.into())
+    }
+
+    /// The `n`-th fresh (reformulation-internal) variable.
+    pub fn fresh(n: usize) -> Var {
+        Var(Arc::from(format!("_f{n}")))
+    }
+
+    /// Is this a reformulation-internal fresh variable?
+    pub fn is_fresh(&self) -> bool {
+        self.0.starts_with("_f")
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+/// A generator of fresh variables, guaranteeing no collisions within one
+/// reformulation run.
+#[derive(Debug, Default, Clone)]
+pub struct FreshVars {
+    next: usize,
+}
+
+impl FreshVars {
+    /// A fresh generator starting at `_f0`.
+    pub fn new() -> Self {
+        FreshVars::default()
+    }
+
+    /// Mint the next fresh variable.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, no item type ambiguity
+    pub fn next(&mut self) -> Var {
+        let v = Var::fresh(self.next);
+        self.next += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_sigil() {
+        assert_eq!(Var::new("x").to_string(), "?x");
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct_and_flagged() {
+        let mut gen = FreshVars::new();
+        let a = gen.next();
+        let b = gen.next();
+        assert_ne!(a, b);
+        assert!(a.is_fresh() && b.is_fresh());
+        assert!(!Var::new("x").is_fresh());
+    }
+
+    #[test]
+    fn ordering_by_name() {
+        assert!(Var::new("a") < Var::new("b"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Robustness: the SPARQL parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+use rdfref_model::Dictionary;
+use rdfref_query::parse_select;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sparql_never_panics(input in "[ -~\n\t]{0,200}") {
+        let mut dict = Dictionary::new();
+        let _ = parse_select(&input, &mut dict);
+    }
+
+    #[test]
+    fn near_miss_queries_never_panic(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()),
+                Just("WHERE".to_string()),
+                Just("DISTINCT".to_string()),
+                Just("PREFIX".to_string()),
+                Just("?x".to_string()),
+                Just("?".to_string()),
+                Just("*".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(".".to_string()),
+                Just("a".to_string()),
+                Just("<http://e/p>".to_string()),
+                Just("ex:p".to_string()),
+                Just("\"lit".to_string()),
+                Just("\"lit\"^^xsd:int".to_string()),
+                Just("_:b".to_string()),
+                Just("42".to_string()),
+            ],
+            0..20,
+        ),
+    ) {
+        let doc = parts.join(" ");
+        let mut dict = Dictionary::new();
+        let _ = parse_select(&doc, &mut dict);
+    }
+}

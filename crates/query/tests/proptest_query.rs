@@ -1,0 +1,189 @@
+//! Property tests of the query layer: canonicalization, covers,
+//! containment laws, parser/display round trips.
+
+use proptest::prelude::*;
+use rdfref_model::{Dictionary, Term, TermId};
+use rdfref_query::ast::{Atom, Cq, PTerm};
+use rdfref_query::canonical::canonicalize;
+use rdfref_query::containment::{equivalent, minimize, subsumes};
+use rdfref_query::{parse_select, Cover, Var};
+
+fn pterm_strategy() -> impl Strategy<Value = PTerm> {
+    prop_oneof![
+        (0u32..6).prop_map(|i| PTerm::Const(TermId(i + 50))),
+        (0u8..4).prop_map(|i| PTerm::Var(Var::new(format!("v{i}")))),
+        // Fresh vars exercise the canonical renaming path.
+        (0usize..3).prop_map(|i| PTerm::Var(Var::fresh(i))),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (pterm_strategy(), pterm_strategy(), pterm_strategy())
+        .prop_map(|(s, p, o)| Atom { s, p, o })
+}
+
+fn cq_strategy() -> impl Strategy<Value = Cq> {
+    proptest::collection::vec(atom_strategy(), 1..4).prop_map(|body| {
+        // Head: the named variables of the body, deduplicated.
+        let mut head: Vec<PTerm> = Vec::new();
+        for a in &body {
+            for v in a.vars() {
+                if !v.is_fresh() && !head.iter().any(|h| h.as_var() == Some(v)) {
+                    head.push(PTerm::Var(v.clone()));
+                }
+            }
+        }
+        Cq::new_unchecked(head, body)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Canonicalization is idempotent and — when atom shapes are pairwise
+    /// distinct (the documented contract) — invariant under body permutation
+    /// and fresh-variable renumbering.
+    #[test]
+    fn canonicalize_laws(cq in cq_strategy(), seed in 0usize..6) {
+        let c1 = canonicalize(&cq);
+        prop_assert_eq!(&canonicalize(&c1), &c1, "idempotence");
+        // Shape key: fresh variables anonymized. Permutation invariance is
+        // only guaranteed when no two atoms share a shape (see module docs
+        // of rdfref_query::canonical).
+        let shape = |a: &Atom| {
+            let pos = |t: &PTerm| match t {
+                PTerm::Const(c) => format!("c{}", c.0),
+                PTerm::Var(v) if v.is_fresh() => "f".to_string(),
+                PTerm::Var(v) => format!("v{}", v.name()),
+            };
+            (pos(&a.s), pos(&a.p), pos(&a.o))
+        };
+        let mut shapes: Vec<_> = cq.body.iter().map(shape).collect();
+        shapes.sort();
+        let distinct_shapes = shapes.windows(2).all(|w| w[0] != w[1]);
+        // Rotate the body.
+        let mut rotated = cq.body.clone();
+        if !rotated.is_empty() {
+            let k = seed % rotated.len();
+            rotated.rotate_left(k);
+        }
+        let r = Cq::new_unchecked(cq.head.clone(), rotated);
+        if distinct_shapes {
+            prop_assert_eq!(&canonicalize(&r), &c1, "permutation invariance");
+        } else {
+            // Still deterministic and sound: same input, same output.
+            prop_assert_eq!(&canonicalize(&r), &canonicalize(&r.clone()));
+        }
+        // Renumber fresh variables.
+        let mut subst = rdfref_query::ast::Substitution::default();
+        for a in &cq.body {
+            for v in a.vars() {
+                if v.is_fresh() {
+                    let shifted = Var::fresh(
+                        17 + v.name().trim_start_matches("_f").parse::<usize>().unwrap_or(0),
+                    );
+                    subst.insert(v.clone(), PTerm::Var(shifted));
+                }
+            }
+        }
+        let renamed = cq.apply(&subst);
+        if distinct_shapes {
+            prop_assert_eq!(&canonicalize(&renamed), &c1, "fresh renaming invariance");
+        }
+    }
+
+    /// Subsumption is reflexive and transitive; equivalence is symmetric.
+    #[test]
+    fn containment_laws(a in cq_strategy(), b in cq_strategy(), c in cq_strategy()) {
+        prop_assert!(subsumes(&a, &a));
+        if subsumes(&a, &b) && subsumes(&b, &c) {
+            prop_assert!(subsumes(&a, &c), "transitivity");
+        }
+        if equivalent(&a, &b) {
+            prop_assert!(equivalent(&b, &a));
+        }
+    }
+
+    /// Minimization produces an equivalent core and is idempotent.
+    #[test]
+    fn minimize_laws(cq in cq_strategy()) {
+        let m = minimize(&cq);
+        prop_assert!(m.size() <= cq.size());
+        prop_assert!(subsumes(&m, &cq) && subsumes(&cq, &m), "equivalence");
+        prop_assert_eq!(minimize(&m).size(), m.size(), "idempotence");
+    }
+
+    /// Covers: singleton and one-fragment covers are always valid; partition
+    /// enumeration yields only valid covers; GCov moves preserve validity.
+    #[test]
+    fn cover_laws(n in 1usize..5, moves in proptest::collection::vec((0usize..8, 0usize..5), 0..6)) {
+        let mut cover = Cover::singletons(n);
+        prop_assert!(Cover::new(cover.fragments().to_vec(), n).is_ok());
+        prop_assert!(Cover::new(Cover::one_fragment(n).fragments().to_vec(), n).is_ok());
+        for c in Cover::enumerate_partitions(n) {
+            prop_assert!(Cover::new(c.fragments().to_vec(), n).is_ok());
+        }
+        for &(fi, atom) in &moves {
+            if atom < n {
+                if let Some(next) = cover.with_atom_in_fragment(fi % cover.len(), atom) {
+                    prop_assert!(Cover::new(next.fragments().to_vec(), n).is_ok());
+                    cover = next;
+                }
+            }
+        }
+    }
+
+    /// Fragment columns always cover the head variables and all join
+    /// variables between fragments.
+    #[test]
+    fn fragment_columns_cover_joins(cq in cq_strategy()) {
+        let n = cq.size();
+        for cover in Cover::enumerate_partitions(n) {
+            let columns = cover.fragment_columns(&cq);
+            // Every head var appears in some fragment's columns.
+            for hv in cq.head_vars() {
+                prop_assert!(columns.iter().any(|c| c.contains(&hv)));
+            }
+            // Every variable shared between two fragments is exported by both.
+            for (i, fa) in cover.fragments().iter().enumerate() {
+                for (j, fb) in cover.fragments().iter().enumerate() {
+                    if i >= j { continue; }
+                    let vars_a: std::collections::HashSet<Var> = fa
+                        .iter()
+                        .flat_map(|&k| cq.body[k].var_set())
+                        .collect();
+                    let vars_b: std::collections::HashSet<Var> = fb
+                        .iter()
+                        .flat_map(|&k| cq.body[k].var_set())
+                        .collect();
+                    for shared in vars_a.intersection(&vars_b) {
+                        prop_assert!(columns[i].contains(shared), "frag {i} misses {shared}");
+                        prop_assert!(columns[j].contains(shared), "frag {j} misses {shared}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parser/display round trip on a corpus of queries: parse, render to
+/// SPARQL, re-parse, compare canonical forms.
+#[test]
+fn parse_display_round_trip() {
+    let queries = [
+        "SELECT ?x WHERE { ?x <http://e/p> ?y }",
+        "SELECT ?x ?y WHERE { ?x <http://e/p> ?y . ?y a <http://e/C> }",
+        "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+        "SELECT ?x WHERE { ?x <http://e/q> \"lit\" . ?x <http://e/r> 42 }",
+    ];
+    for q in queries {
+        let mut d1 = Dictionary::new();
+        let cq1 = parse_select(q, &mut d1).unwrap();
+        let rendered = rdfref_query::display::cq_to_sparql(&cq1, &d1);
+        let mut d2 = Dictionary::new();
+        let cq2 = parse_select(&rendered, &mut d2).unwrap();
+        // Dictionaries are built in the same order, so ids align.
+        assert_eq!(canonicalize(&cq1), canonicalize(&cq2), "{q} → {rendered}");
+        let _ = Term::iri("keep-import");
+    }
+}

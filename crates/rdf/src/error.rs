@@ -1,0 +1,75 @@
+//! Error types of the RDF model layer.
+
+use std::fmt;
+
+/// Result alias for the model crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Errors raised by the RDF model layer: ill-formed terms or triples and
+/// syntax errors from the parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A triple violates RDF well-formedness (e.g. a literal in subject or
+    /// property position).
+    IllFormedTriple {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A string is not a valid IRI for our (pragmatic) purposes.
+    InvalidIri(String),
+    /// A parse error, with 1-based line number and description.
+    Syntax {
+        /// Line at which the error was detected.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// An undeclared prefix was used in a Turtle document.
+    UnknownPrefix {
+        /// Line at which the prefixed name appears.
+        line: usize,
+        /// The prefix label (without the colon).
+        prefix: String,
+    },
+    /// A term id was not found in the dictionary it was resolved against.
+    UnknownTermId(u32),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::IllFormedTriple { reason } => {
+                write!(f, "ill-formed triple: {reason}")
+            }
+            ModelError::InvalidIri(iri) => write!(f, "invalid IRI: {iri:?}"),
+            ModelError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            ModelError::UnknownPrefix { line, prefix } => {
+                write!(f, "unknown prefix '{prefix}:' at line {line}")
+            }
+            ModelError::UnknownTermId(id) => write!(f, "unknown term id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::Syntax {
+            line: 12,
+            message: "expected '.'".into(),
+        };
+        assert_eq!(e.to_string(), "syntax error at line 12: expected '.'");
+        let e = ModelError::UnknownPrefix {
+            line: 3,
+            prefix: "ub".into(),
+        };
+        assert!(e.to_string().contains("ub"));
+    }
+}

@@ -1,0 +1,294 @@
+//! RDF graphs: a set of triples together with their dictionary.
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::error::Result;
+use crate::fxhash::FxHashSet;
+use crate::schema::Schema;
+use crate::term::Term;
+use crate::triple::{EncodedTriple, Triple};
+use crate::vocab;
+
+/// An RDF graph: a set of well-formed triples.
+///
+/// The graph owns its [`Dictionary`]; triples are stored encoded, both in a
+/// hash set (O(1) membership, deduplication) and in an insertion-ordered
+/// vector (deterministic iteration, cheap snapshots for the storage layer).
+///
+/// A graph freely mixes *data* triples (class and property assertions) and
+/// *schema* triples (the four RDFS constraints); [`Graph::schema`] extracts
+/// the latter as a [`Schema`].
+///
+/// ```
+/// use rdfref_model::{Graph, Term};
+/// use rdfref_model::vocab::RDFS_SUBCLASSOF;
+///
+/// let mut g = Graph::new();
+/// g.insert(Term::iri("http://e/Book"), Term::iri(RDFS_SUBCLASSOF),
+///          Term::iri("http://e/Publication")).unwrap();
+/// g.insert(Term::iri("http://e/doi1"),
+///          Term::iri(rdfref_model::vocab::RDF_TYPE),
+///          Term::iri("http://e/Book")).unwrap();
+/// assert_eq!(g.len(), 2);
+/// assert_eq!(g.schema().subclass.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    dict: Dictionary,
+    triples: Vec<EncodedTriple>,
+    set: FxHashSet<EncodedTriple>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph {
+            dict: Dictionary::new(),
+            triples: Vec::new(),
+            set: FxHashSet::default(),
+        }
+    }
+
+    /// The graph's dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Mutable access to the dictionary (interning terms for queries against
+    /// this graph).
+    pub fn dictionary_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True iff the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Insert a term-level triple (validating well-formedness). Returns
+    /// `true` if the triple was new.
+    pub fn insert(&mut self, subject: Term, property: Term, object: Term) -> Result<bool> {
+        let t = Triple::new(subject, property, object)?;
+        Ok(self.insert_triple(&t))
+    }
+
+    /// Insert an already-validated triple. Returns `true` if new.
+    pub fn insert_triple(&mut self, triple: &Triple) -> bool {
+        let enc = EncodedTriple::new(
+            self.dict.intern(&triple.subject),
+            self.dict.intern(&triple.property),
+            self.dict.intern(&triple.object),
+        );
+        self.insert_encoded(enc)
+    }
+
+    /// Insert an encoded triple whose ids come from this graph's dictionary.
+    /// Returns `true` if new.
+    pub fn insert_encoded(&mut self, t: EncodedTriple) -> bool {
+        debug_assert!(
+            t.s.index() < self.dict.len()
+                && t.p.index() < self.dict.len()
+                && t.o.index() < self.dict.len(),
+            "encoded triple uses foreign term ids"
+        );
+        if self.set.insert(t) {
+            self.triples.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove an encoded triple. Returns `true` if it was present.
+    /// O(n) on the ordered vector; bulk deletions should go through the
+    /// storage layer instead.
+    pub fn remove_encoded(&mut self, t: EncodedTriple) -> bool {
+        if self.set.remove(&t) {
+            let pos = self
+                .triples
+                .iter()
+                .position(|x| *x == t)
+                .expect("set and vec out of sync");
+            self.triples.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test on encoded triples.
+    pub fn contains_encoded(&self, t: &EncodedTriple) -> bool {
+        self.set.contains(t)
+    }
+
+    /// Membership test on term-level triples (false if any term is unknown).
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.dict.id_of(&triple.subject),
+            self.dict.id_of(&triple.property),
+            self.dict.id_of(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.set.contains(&EncodedTriple::new(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Iterate over encoded triples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &EncodedTriple> {
+        self.triples.iter()
+    }
+
+    /// The encoded triples as a slice.
+    pub fn triples(&self) -> &[EncodedTriple] {
+        &self.triples
+    }
+
+    /// Decode an encoded triple back to term form.
+    pub fn decode(&self, t: &EncodedTriple) -> Triple {
+        Triple::new_unchecked(
+            self.dict.term(t.s).clone(),
+            self.dict.term(t.p).clone(),
+            self.dict.term(t.o).clone(),
+        )
+    }
+
+    /// Iterate over triples in term form (decoding on the fly).
+    pub fn iter_decoded(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.triples.iter().map(|t| self.decode(t))
+    }
+
+    /// `Val(G)`: the set of values (term ids) actually occurring in triples.
+    pub fn values(&self) -> FxHashSet<TermId> {
+        let mut vals = FxHashSet::default();
+        for t in &self.triples {
+            vals.insert(t.s);
+            vals.insert(t.p);
+            vals.insert(t.o);
+        }
+        vals
+    }
+
+    /// Extract the RDFS schema (the four constraint kinds) declared in this
+    /// graph.
+    pub fn schema(&self) -> Schema {
+        Schema::from_graph(self)
+    }
+
+    /// Split the graph's triples into (data, schema) encoded triples, where
+    /// schema triples are those whose property is one of the four RDFS
+    /// constraint properties.
+    pub fn partition_schema(&self) -> (Vec<EncodedTriple>, Vec<EncodedTriple>) {
+        let mut data = Vec::new();
+        let mut schema = Vec::new();
+        for t in &self.triples {
+            let p = self.dict.term(t.p);
+            let is_schema = p
+                .as_iri()
+                .map(vocab::is_rdfs_constraint_property)
+                .unwrap_or(false);
+            if is_schema {
+                schema.push(*t);
+            } else {
+                data.push(*t);
+            }
+        }
+        (data, schema)
+    }
+}
+
+impl PartialEq for Graph {
+    /// Two graphs are equal iff they contain the same term-level triples
+    /// (dictionary ids may differ).
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.iter_decoded().all(|t| other.contains(&t))
+    }
+}
+
+impl Eq for Graph {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut g = Graph::new();
+        assert!(g
+            .insert(iri("s"), iri("p"), Term::literal("o"))
+            .unwrap());
+        // Duplicate insertion returns false.
+        assert!(!g.insert(iri("s"), iri("p"), Term::literal("o")).unwrap());
+        assert_eq!(g.len(), 1);
+        let t = Triple::new(iri("s"), iri("p"), Term::literal("o")).unwrap();
+        assert!(g.contains(&t));
+        let absent = Triple::new(iri("s"), iri("p"), Term::literal("other")).unwrap();
+        assert!(!g.contains(&absent));
+    }
+
+    #[test]
+    fn remove_keeps_set_and_vec_in_sync() {
+        let mut g = Graph::new();
+        g.insert(iri("a"), iri("p"), iri("b")).unwrap();
+        g.insert(iri("c"), iri("p"), iri("d")).unwrap();
+        let t = *g.triples().first().unwrap();
+        assert!(g.remove_encoded(t));
+        assert!(!g.remove_encoded(t));
+        assert_eq!(g.len(), 1);
+        assert!(!g.contains_encoded(&t));
+    }
+
+    #[test]
+    fn values_collects_all_positions() {
+        let mut g = Graph::new();
+        g.insert(iri("s"), iri("p"), iri("o")).unwrap();
+        let vals = g.values();
+        assert_eq!(vals.len(), 3);
+    }
+
+    #[test]
+    fn decode_round_trip() {
+        let mut g = Graph::new();
+        let t = Triple::new(iri("s"), iri("p"), Term::typed_literal("1", "int")).unwrap();
+        g.insert_triple(&t);
+        let enc = *g.triples().first().unwrap();
+        assert_eq!(g.decode(&enc), t);
+    }
+
+    #[test]
+    fn partition_separates_schema() {
+        let mut g = Graph::new();
+        g.insert(iri("doi1"), iri(vocab::RDF_TYPE), iri("Book")).unwrap();
+        g.insert(iri("Book"), iri(vocab::RDFS_SUBCLASSOF), iri("Publication"))
+            .unwrap();
+        g.insert(iri("writtenBy"), iri(vocab::RDFS_DOMAIN), iri("Book"))
+            .unwrap();
+        let (data, schema) = g.partition_schema();
+        assert_eq!(data.len(), 1);
+        assert_eq!(schema.len(), 2);
+    }
+
+    #[test]
+    fn graph_equality_ignores_id_assignment() {
+        let mut g1 = Graph::new();
+        let mut g2 = Graph::new();
+        g1.insert(iri("a"), iri("p"), iri("b")).unwrap();
+        g1.insert(iri("c"), iri("q"), iri("d")).unwrap();
+        // Insert in the opposite order so ids differ.
+        g2.insert(iri("c"), iri("q"), iri("d")).unwrap();
+        g2.insert(iri("a"), iri("p"), iri("b")).unwrap();
+        assert_eq!(g1, g2);
+        g2.insert(iri("e"), iri("p"), iri("f")).unwrap();
+        assert_ne!(g1, g2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # rdfref-model — the RDF data model substrate
+//!
+//! This crate implements the RDF data model used throughout the `rdfref`
+//! workspace, following the "database (DB) fragment of RDF" of
+//! Goasdoué, Manolescu & Roatiş (EDBT 2013), which the demonstrated system of
+//! Bursztyn, Goasdoué & Manolescu (VLDB 2015) builds on:
+//!
+//! * [`term::Term`] — URIs, literals (plain, typed, language-tagged) and
+//!   blank nodes, the values `Val(G)` of an RDF graph;
+//! * [`dictionary::Dictionary`] — interning of terms into dense [`TermId`]s,
+//!   so that the storage and reasoning layers work on `u32` triples;
+//! * [`triple::Triple`] / [`triple::EncodedTriple`] — well-formed RDF triples;
+//! * [`graph::Graph`] — an RDF graph: a set of triples plus its dictionary;
+//! * [`schema::Schema`] — the four RDFS constraints (subclass, subproperty,
+//!   domain, range) and their closure, the input of both saturation and
+//!   reformulation;
+//! * [`parser`] — N-Triples and a pragmatic Turtle subset ("turtle-lite":
+//!   prefixes, `a`, `;`/`,` abbreviations);
+//! * [`writer`] — serialization back to N-Triples.
+//!
+//! The model deliberately supports *any* triple allowed by the RDF
+//! specification (the DB fragment places no restriction on graphs), including
+//! triples about the schema itself.
+
+pub mod dictionary;
+pub mod error;
+pub mod fxhash;
+pub mod graph;
+pub mod parser;
+pub mod schema;
+pub mod term;
+pub mod triple;
+pub mod vocab;
+pub mod writer;
+
+pub use dictionary::{Dictionary, TermId};
+pub use error::{ModelError, Result};
+pub use graph::Graph;
+pub use schema::{ConstraintKind, Schema, SchemaClosure};
+pub use term::Term;
+pub use triple::{EncodedTriple, Triple};

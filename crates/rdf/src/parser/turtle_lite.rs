@@ -1,0 +1,553 @@
+//! "Turtle-lite": a pragmatic Turtle subset.
+//!
+//! Supported features — chosen so ontologies and test fixtures are pleasant
+//! to write by hand:
+//!
+//! * `@prefix pfx: <iri> .` declarations (and `PREFIX` SPARQL-style);
+//! * prefixed names `pfx:local` everywhere a term is allowed;
+//! * `a` as sugar for `rdf:type`;
+//! * predicate lists `s p1 o1 ; p2 o2 .` and object lists `s p o1 , o2 .`;
+//! * `<full-iri>`, `_:blank`, `"literal"`, `"lit"^^dt`, `"lit"@lang`,
+//!   bare integers (parsed as `xsd:integer`-typed literals);
+//! * `#` comments (outside of quoted strings and IRIs).
+//!
+//! Not supported (rejected with a clear error): collections `(...)`,
+//! anonymous nodes `[...]`, multi-line literals, base IRIs.
+
+use crate::error::{ModelError, Result};
+use crate::graph::Graph;
+use crate::term::Term;
+use crate::vocab;
+use std::collections::HashMap;
+
+/// Parse a turtle-lite document into a fresh graph.
+///
+/// ```
+/// let g = rdfref_model::parser::parse_turtle(r#"
+///     @prefix ex: <http://example.org/> .
+///     ex:doi1 a ex:Book ; ex:hasTitle "El Aleph" .
+/// "#).unwrap();
+/// assert_eq!(g.len(), 2);
+/// ```
+pub fn parse_turtle(input: &str) -> Result<Graph> {
+    let mut g = Graph::new();
+    parse_turtle_into(input, &mut g)?;
+    Ok(g)
+}
+
+/// Parse a turtle-lite document into an existing graph.
+pub fn parse_turtle_into(input: &str, graph: &mut Graph) -> Result<()> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
+    parser.document(graph)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Iri(String),
+    Prefixed(String, String),
+    Blank(String),
+    Literal {
+        lexical: String,
+        datatype: Option<Box<Tok>>,
+        language: Option<String>,
+    },
+    Integer(String),
+    A,
+    PrefixDecl,
+    Dot,
+    Semicolon,
+    Comma,
+}
+
+struct Located {
+    tok: Tok,
+    line: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Located>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let err = |line: usize, m: &str| ModelError::Syntax {
+        line,
+        message: m.to_string(),
+    };
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '<' => {
+                chars.next();
+                let mut iri = String::new();
+                loop {
+                    match chars.next() {
+                        Some('>') => break,
+                        Some('\n') => return Err(err(line, "unterminated IRI")),
+                        Some(c) => iri.push(c),
+                        None => return Err(err(line, "unterminated IRI")),
+                    }
+                }
+                out.push(Located {
+                    tok: Tok::Iri(iri),
+                    line,
+                });
+            }
+            '"' => {
+                chars.next();
+                let mut lex = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => lex.push('\n'),
+                            Some('r') => lex.push('\r'),
+                            Some('t') => lex.push('\t'),
+                            Some('"') => lex.push('"'),
+                            Some('\\') => lex.push('\\'),
+                            Some(c) => return Err(err(line, &format!("bad escape '\\{c}'"))),
+                            None => return Err(err(line, "unterminated escape")),
+                        },
+                        Some('\n') => return Err(err(line, "multi-line literals not supported")),
+                        Some(c) => lex.push(c),
+                        None => return Err(err(line, "unterminated literal")),
+                    }
+                }
+                // Optional ^^datatype or @lang.
+                if chars.peek() == Some(&'^') {
+                    chars.next();
+                    if chars.next() != Some('^') {
+                        return Err(err(line, "expected '^^'"));
+                    }
+                    match chars.peek() {
+                        Some('<') => {
+                            chars.next();
+                            let mut iri = String::new();
+                            loop {
+                                match chars.next() {
+                                    Some('>') => break,
+                                    Some(c) => iri.push(c),
+                                    None => return Err(err(line, "unterminated datatype IRI")),
+                                }
+                            }
+                            out.push(Located {
+                                tok: Tok::Literal {
+                                    lexical: lex,
+                                    datatype: Some(Box::new(Tok::Iri(iri))),
+                                    language: None,
+                                },
+                                line,
+                            });
+                        }
+                        _ => {
+                            let name = read_name(&mut chars);
+                            let (pfx, local) = split_prefixed(&name)
+                                .ok_or_else(|| err(line, "expected datatype IRI or prefixed name"))?;
+                            out.push(Located {
+                                tok: Tok::Literal {
+                                    lexical: lex,
+                                    datatype: Some(Box::new(Tok::Prefixed(pfx, local))),
+                                    language: None,
+                                },
+                                line,
+                            });
+                        }
+                    }
+                } else if chars.peek() == Some(&'@') {
+                    chars.next();
+                    let mut lang = String::new();
+                    while matches!(chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '-')
+                    {
+                        lang.push(chars.next().unwrap());
+                    }
+                    if lang.is_empty() {
+                        return Err(err(line, "empty language tag"));
+                    }
+                    out.push(Located {
+                        tok: Tok::Literal {
+                            lexical: lex,
+                            datatype: None,
+                            language: Some(lang),
+                        },
+                        line,
+                    });
+                } else {
+                    out.push(Located {
+                        tok: Tok::Literal {
+                            lexical: lex,
+                            datatype: None,
+                            language: None,
+                        },
+                        line,
+                    });
+                }
+            }
+            '_' => {
+                chars.next();
+                if chars.next() != Some(':') {
+                    return Err(err(line, "expected ':' after '_'"));
+                }
+                let label = read_name(&mut chars);
+                if label.is_empty() {
+                    return Err(err(line, "empty blank node label"));
+                }
+                out.push(Located {
+                    tok: Tok::Blank(label),
+                    line,
+                });
+            }
+            '.' => {
+                chars.next();
+                out.push(Located {
+                    tok: Tok::Dot,
+                    line,
+                });
+            }
+            ';' => {
+                chars.next();
+                out.push(Located {
+                    tok: Tok::Semicolon,
+                    line,
+                });
+            }
+            ',' => {
+                chars.next();
+                out.push(Located {
+                    tok: Tok::Comma,
+                    line,
+                });
+            }
+            '(' | '[' => {
+                return Err(err(
+                    line,
+                    "collections and anonymous nodes are not supported by turtle-lite",
+                ));
+            }
+            '@' => {
+                chars.next();
+                let word = read_name(&mut chars);
+                if word == "prefix" {
+                    out.push(Located {
+                        tok: Tok::PrefixDecl,
+                        line,
+                    });
+                } else {
+                    return Err(err(line, &format!("unsupported directive '@{word}'")));
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                let mut num = String::new();
+                num.push(c);
+                chars.next();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.') {
+                    // A '.' followed by non-digit terminates the statement, so
+                    // only consume it when a digit follows.
+                    if *chars.peek().unwrap() == '.' {
+                        let mut look = chars.clone();
+                        look.next();
+                        if !matches!(look.peek(), Some(d) if d.is_ascii_digit()) {
+                            break;
+                        }
+                    }
+                    num.push(chars.next().unwrap());
+                }
+                out.push(Located {
+                    tok: Tok::Integer(num),
+                    line,
+                });
+            }
+            _ => {
+                let name = read_name(&mut chars);
+                if name.is_empty() {
+                    return Err(err(line, &format!("unexpected character '{c}'")));
+                }
+                if name == "a" {
+                    out.push(Located { tok: Tok::A, line });
+                } else if name.eq_ignore_ascii_case("prefix") {
+                    out.push(Located {
+                        tok: Tok::PrefixDecl,
+                        line,
+                    });
+                } else if let Some((pfx, local)) = split_prefixed(&name) {
+                    out.push(Located {
+                        tok: Tok::Prefixed(pfx, local),
+                        line,
+                    });
+                } else {
+                    return Err(err(line, &format!("bare word '{name}' is not a term")));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn read_name(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
+    let mut s = String::new();
+    while matches!(chars.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '%'))
+    {
+        s.push(chars.next().unwrap());
+    }
+    s
+}
+
+fn split_prefixed(name: &str) -> Option<(String, String)> {
+    let idx = name.find(':')?;
+    Some((name[..idx].to_string(), name[idx + 1..].to_string()))
+}
+
+struct Parser {
+    tokens: Vec<Located>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Located> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Located> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, m: &str) -> ModelError {
+        ModelError::Syntax {
+            line: self.line(),
+            message: m.to_string(),
+        }
+    }
+
+    fn document(&mut self, graph: &mut Graph) -> Result<()> {
+        while self.peek().is_some() {
+            if matches!(self.peek().map(|t| &t.tok), Some(Tok::PrefixDecl)) {
+                self.prefix_decl()?;
+            } else {
+                self.statement(graph)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn prefix_decl(&mut self) -> Result<()> {
+        self.next(); // PrefixDecl
+        let (pfx, local) = match self.next().map(|t| t.tok.clone()) {
+            Some(Tok::Prefixed(p, l)) => (p, l),
+            _ => return Err(self.err("expected 'pfx:' after @prefix")),
+        };
+        if !local.is_empty() {
+            return Err(self.err("prefix label must end with ':'"));
+        }
+        let iri = match self.next().map(|t| t.tok.clone()) {
+            Some(Tok::Iri(iri)) => iri,
+            _ => return Err(self.err("expected <iri> in prefix declaration")),
+        };
+        // SPARQL-style PREFIX has no trailing dot; Turtle-style does.
+        if matches!(self.peek().map(|t| &t.tok), Some(Tok::Dot)) {
+            self.next();
+        }
+        self.prefixes.insert(pfx, iri);
+        Ok(())
+    }
+
+    fn statement(&mut self, graph: &mut Graph) -> Result<()> {
+        let subject = self.term()?;
+        loop {
+            let property = self.property_term()?;
+            loop {
+                let object = self.term()?;
+                graph
+                    .insert(subject.clone(), property.clone(), object)
+                    .map_err(|e| self.err(&e.to_string()))?;
+                match self.peek().map(|t| &t.tok) {
+                    Some(Tok::Comma) => {
+                        self.next();
+                    }
+                    _ => break,
+                }
+            }
+            match self.next().map(|t| t.tok.clone()) {
+                Some(Tok::Semicolon) => continue,
+                Some(Tok::Dot) => return Ok(()),
+                Some(_) => return Err(self.err("expected ';', ',' or '.'")),
+                None => return Err(self.err("unexpected end of document, expected '.'")),
+            }
+        }
+    }
+
+    fn property_term(&mut self) -> Result<Term> {
+        if matches!(self.peek().map(|t| &t.tok), Some(Tok::A)) {
+            self.next();
+            return Ok(Term::iri(vocab::RDF_TYPE));
+        }
+        self.term()
+    }
+
+    fn resolve(&self, pfx: &str, local: &str) -> Result<String> {
+        let base = self.prefixes.get(pfx).ok_or(ModelError::UnknownPrefix {
+            line: self.line(),
+            prefix: pfx.to_string(),
+        })?;
+        Ok(format!("{base}{local}"))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        let tok = self
+            .next()
+            .map(|t| t.tok.clone())
+            .ok_or_else(|| self.err("unexpected end of document, expected a term"))?;
+        match tok {
+            Tok::Iri(iri) => {
+                Term::iri_checked(&iri).map_err(|_| self.err(&format!("invalid IRI <{iri}>")))
+            }
+            Tok::Prefixed(pfx, local) => {
+                let iri = self.resolve(&pfx, &local)?;
+                Term::iri_checked(&iri).map_err(|_| self.err(&format!("invalid IRI <{iri}>")))
+            }
+            Tok::Blank(label) => Ok(Term::blank(label)),
+            Tok::Integer(n) => Ok(Term::typed_literal(n, vocab::XSD_INTEGER)),
+            Tok::Literal {
+                lexical,
+                datatype,
+                language,
+            } => {
+                let datatype = match datatype {
+                    Some(tok) => Some(match *tok {
+                        Tok::Iri(iri) => iri,
+                        Tok::Prefixed(pfx, local) => self.resolve(&pfx, &local)?,
+                        _ => unreachable!("tokenizer only stores IRI-ish datatypes"),
+                    }),
+                    None => None,
+                };
+                Ok(Term::Literal(crate::term::Literal {
+                    lexical: lexical.into(),
+                    datatype: datatype.map(Into::into),
+                    language: language.map(|l| l.to_ascii_lowercase().into()),
+                }))
+            }
+            Tok::A => Ok(Term::iri(vocab::RDF_TYPE)),
+            other => Err(self.err(&format!("expected a term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    #[test]
+    fn parses_prefixes_a_and_lists() {
+        let doc = r#"
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:doi1 a ex:Book ;
+        ex:writtenBy _:b1 ;
+        ex:hasTitle "El Aleph" , "The Aleph"@en ;
+        ex:publishedIn 1949 .
+_:b1 ex:hasName "J. L. Borges" .
+"#;
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 7);
+        assert!(g.contains(
+            &Triple::new(
+                Term::iri("http://example.org/doi1"),
+                Term::iri(vocab::RDF_TYPE),
+                Term::iri("http://example.org/Book"),
+            )
+            .unwrap()
+        ));
+        assert!(g.contains(
+            &Triple::new(
+                Term::iri("http://example.org/doi1"),
+                Term::iri("http://example.org/publishedIn"),
+                Term::typed_literal("1949", vocab::XSD_INTEGER),
+            )
+            .unwrap()
+        ));
+    }
+
+    #[test]
+    fn sparql_style_prefix_accepted() {
+        let doc = "PREFIX ex: <http://e/>\nex:s ex:p ex:o .";
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn unknown_prefix_is_reported() {
+        let err = parse_turtle("nope:s nope:p nope:o .").unwrap_err();
+        assert!(matches!(err, ModelError::UnknownPrefix { .. }));
+    }
+
+    #[test]
+    fn typed_literal_with_prefixed_datatype() {
+        let doc = "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n@prefix e: <http://e/> .\ne:s e:p \"12\"^^xsd:integer .";
+        let g = parse_turtle(doc).unwrap();
+        let obj = g.iter_decoded().next().unwrap().object;
+        assert_eq!(obj, Term::typed_literal("12", vocab::XSD_INTEGER));
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(parse_turtle("@prefix e: <http://e/> .\ne:s e:p ( 1 2 ) .").is_err());
+        assert!(parse_turtle("@prefix e: <http://e/> .\ne:s e:p [ e:q 1 ] .").is_err());
+        assert!(parse_turtle("@base <http://e/> .").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        let err = parse_turtle("@prefix e: <http://e/> .\ne:s e:p e:o").unwrap_err();
+        assert!(err.to_string().contains("'.'"));
+    }
+
+    #[test]
+    fn comments_everywhere() {
+        let doc = "# header\n@prefix e: <http://e/> . # trailing\ne:s e:p e:o . # done\n";
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn semicolon_object_and_comma_lists_compose() {
+        let doc = "@prefix e: <http://e/> .\ne:s e:p e:a , e:b ; e:q e:c .";
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn integers_do_not_swallow_statement_dot() {
+        let doc = "@prefix e: <http://e/> .\ne:s e:p 1949 .\ne:s e:q 7 .";
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! RDF terms: IRIs, literals and blank nodes.
+//!
+//! The set of values of an RDF graph `G` — written `Val(G)` in the paper —
+//! is the set of [`Term`]s occurring in its triples: URIs (`U`), blank nodes
+//! (`B`) and literals (`L`).
+
+use crate::error::{ModelError, Result};
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A literal value: lexical form plus optional datatype IRI or language tag.
+///
+/// Per the RDF 1.1 abstract syntax a literal has at most one of a datatype or
+/// a language tag (language-tagged strings implicitly have datatype
+/// `rdf:langString`, which we do not materialize).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form, e.g. `"1949"` has lexical form `1949`.
+    pub lexical: Arc<str>,
+    /// Datatype IRI, if any (e.g. `xsd:integer`).
+    pub datatype: Option<Arc<str>>,
+    /// Language tag, if any (e.g. `en`), lowercased.
+    pub language: Option<Arc<str>>,
+}
+
+impl Literal {
+    /// A plain (untyped, untagged) literal.
+    pub fn plain(lexical: impl Into<Arc<str>>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    /// A typed literal `"lex"^^<datatype>`.
+    pub fn typed(lexical: impl Into<Arc<str>>, datatype: impl Into<Arc<str>>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype.into()),
+            language: None,
+        }
+    }
+
+    /// A language-tagged literal `"lex"@lang`. The tag is lowercased.
+    pub fn lang(lexical: impl Into<Arc<str>>, language: &str) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: Some(Arc::from(language.to_ascii_lowercase())),
+        }
+    }
+}
+
+/// An RDF term.
+///
+/// `Term` is cheap to clone (`Arc`-backed strings) and totally ordered so it
+/// can serve as a sort/index key. The ordering is IRIs < blank nodes <
+/// literals, each lexicographically — an arbitrary but stable convention.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A URI/IRI reference, e.g. `http://example.org/Book`.
+    Iri(Arc<str>),
+    /// A blank node with its local label, e.g. `_:b1` has label `b1`.
+    Blank(Arc<str>),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Build an IRI term, validating that the string is usable as an IRI:
+    /// non-empty and free of whitespace and angle brackets.
+    pub fn iri_checked(iri: &str) -> Result<Term> {
+        if iri.is_empty()
+            || iri
+                .chars()
+                .any(|c| c.is_whitespace() || c == '<' || c == '>' || c == '"')
+        {
+            return Err(ModelError::InvalidIri(iri.to_string()));
+        }
+        Ok(Term::Iri(Arc::from(iri)))
+    }
+
+    /// Build an IRI term without validation (for trusted, internal IRIs).
+    pub fn iri(iri: impl Into<Arc<str>>) -> Term {
+        Term::Iri(iri.into())
+    }
+
+    /// Build a blank node from its label (without the `_:` sigil).
+    pub fn blank(label: impl Into<Arc<str>>) -> Term {
+        Term::Blank(label.into())
+    }
+
+    /// Build a plain literal.
+    pub fn literal(lexical: impl Into<Arc<str>>) -> Term {
+        Term::Literal(Literal::plain(lexical))
+    }
+
+    /// Build a typed literal.
+    pub fn typed_literal(lexical: impl Into<Arc<str>>, datatype: impl Into<Arc<str>>) -> Term {
+        Term::Literal(Literal::typed(lexical, datatype))
+    }
+
+    /// Is this term an IRI?
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Is this term a blank node?
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::Blank(_))
+    }
+
+    /// Is this term a literal?
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// The IRI string, if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// May this term appear in subject position of a well-formed triple?
+    /// (IRIs and blank nodes may; literals may not.)
+    pub fn valid_subject(&self) -> bool {
+        !self.is_literal()
+    }
+
+    /// May this term appear in property position? (Only IRIs.)
+    pub fn valid_property(&self) -> bool {
+        self.is_iri()
+    }
+
+    /// Render in N-Triples syntax (`<iri>`, `_:label`, `"lex"^^<dt>`, `"lex"@lang`).
+    pub fn to_ntriples(&self) -> String {
+        format!("{self}")
+    }
+}
+
+/// Escape the characters N-Triples requires to be escaped inside literals.
+fn escape_literal(s: &str) -> Cow<'_, str> {
+    if s.chars()
+        .any(|c| matches!(c, '"' | '\\' | '\n' | '\r' | '\t'))
+    {
+        let mut out = String::with_capacity(s.len() + 4);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                other => out.push(other),
+            }
+        }
+        Cow::Owned(out)
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::Blank(label) => write!(f, "_:{label}"),
+            Term::Literal(lit) => {
+                write!(f, "\"{}\"", escape_literal(&lit.lexical))?;
+                if let Some(dt) = &lit.datatype {
+                    write!(f, "^^<{dt}>")?;
+                } else if let Some(lang) = &lit.language {
+                    write!(f, "@{lang}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_display() {
+        assert_eq!(
+            Term::iri("http://example.org/x").to_string(),
+            "<http://example.org/x>"
+        );
+    }
+
+    #[test]
+    fn blank_display() {
+        assert_eq!(Term::blank("b1").to_string(), "_:b1");
+    }
+
+    #[test]
+    fn literal_display_variants() {
+        assert_eq!(Term::literal("El Aleph").to_string(), "\"El Aleph\"");
+        assert_eq!(
+            Term::typed_literal("1949", "http://www.w3.org/2001/XMLSchema#integer").to_string(),
+            "\"1949\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+        assert_eq!(
+            Term::Literal(Literal::lang("hola", "ES")).to_string(),
+            "\"hola\"@es"
+        );
+    }
+
+    #[test]
+    fn literal_escaping() {
+        assert_eq!(
+            Term::literal("say \"hi\"\n").to_string(),
+            "\"say \\\"hi\\\"\\n\""
+        );
+        assert_eq!(Term::literal("back\\slash").to_string(), "\"back\\\\slash\"");
+    }
+
+    #[test]
+    fn iri_validation() {
+        assert!(Term::iri_checked("http://ok.example/x").is_ok());
+        assert!(Term::iri_checked("").is_err());
+        assert!(Term::iri_checked("has space").is_err());
+        assert!(Term::iri_checked("has<bracket").is_err());
+    }
+
+    #[test]
+    fn position_validity() {
+        let iri = Term::iri("http://e/p");
+        let blank = Term::blank("b");
+        let lit = Term::literal("x");
+        assert!(iri.valid_subject() && iri.valid_property());
+        assert!(blank.valid_subject() && !blank.valid_property());
+        assert!(!lit.valid_subject() && !lit.valid_property());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = [
+            Term::literal("a"),
+            Term::blank("a"),
+            Term::iri("http://a"),
+        ];
+        v.sort();
+        assert!(v[0].is_iri() && v[1].is_blank() && v[2].is_literal());
+    }
+}

@@ -1,0 +1,141 @@
+//! RDF triples, in term form and in dictionary-encoded form.
+
+use crate::dictionary::TermId;
+use crate::error::{ModelError, Result};
+use crate::term::Term;
+use std::fmt;
+
+/// A well-formed RDF triple `s p o` over [`Term`]s.
+///
+/// Well-formedness (per the W3C RDF specification, enforced by
+/// [`Triple::new`]): the subject is an IRI or blank node, the property is an
+/// IRI, the object is any term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject: IRI or blank node.
+    pub subject: Term,
+    /// Property (a.k.a. predicate): IRI.
+    pub property: Term,
+    /// Object: any term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Build a triple, checking RDF well-formedness.
+    pub fn new(subject: Term, property: Term, object: Term) -> Result<Triple> {
+        if !subject.valid_subject() {
+            return Err(ModelError::IllFormedTriple {
+                reason: format!("subject {subject} must be an IRI or blank node"),
+            });
+        }
+        if !property.valid_property() {
+            return Err(ModelError::IllFormedTriple {
+                reason: format!("property {property} must be an IRI"),
+            });
+        }
+        Ok(Triple {
+            subject,
+            property,
+            object,
+        })
+    }
+
+    /// Build a triple without well-formedness checks (trusted callers:
+    /// generators and decoders whose inputs are well-formed by construction).
+    pub fn new_unchecked(subject: Term, property: Term, object: Term) -> Triple {
+        debug_assert!(subject.valid_subject() && property.valid_property());
+        Triple {
+            subject,
+            property,
+            object,
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.property, self.object)
+    }
+}
+
+/// A dictionary-encoded triple: three [`TermId`]s.
+///
+/// This is the representation the storage and reasoning layers work on;
+/// it is `Copy`, 12 bytes, and hashes/compares as three integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EncodedTriple {
+    /// Encoded subject.
+    pub s: TermId,
+    /// Encoded property.
+    pub p: TermId,
+    /// Encoded object.
+    pub o: TermId,
+}
+
+impl EncodedTriple {
+    /// Build an encoded triple.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        EncodedTriple { s, p, o }
+    }
+
+    /// The triple as an `[s, p, o]` array (useful for permutation indexes).
+    #[inline]
+    pub fn as_array(&self) -> [TermId; 3] {
+        [self.s, self.p, self.o]
+    }
+}
+
+impl From<(TermId, TermId, TermId)> for EncodedTriple {
+    fn from((s, p, o): (TermId, TermId, TermId)) -> Self {
+        EncodedTriple { s, p, o }
+    }
+}
+
+impl fmt::Display for EncodedTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(s)
+    }
+
+    #[test]
+    fn well_formed_triples_accepted() {
+        assert!(Triple::new(iri("s"), iri("p"), Term::literal("o")).is_ok());
+        assert!(Triple::new(Term::blank("b"), iri("p"), iri("o")).is_ok());
+    }
+
+    #[test]
+    fn literal_subject_rejected() {
+        let err = Triple::new(Term::literal("x"), iri("p"), iri("o")).unwrap_err();
+        assert!(matches!(err, ModelError::IllFormedTriple { .. }));
+    }
+
+    #[test]
+    fn non_iri_property_rejected() {
+        assert!(Triple::new(iri("s"), Term::blank("p"), iri("o")).is_err());
+        assert!(Triple::new(iri("s"), Term::literal("p"), iri("o")).is_err());
+    }
+
+    #[test]
+    fn display_is_ntriples() {
+        let t = Triple::new(iri("http://e/s"), iri("http://e/p"), Term::literal("v")).unwrap();
+        assert_eq!(t.to_string(), "<http://e/s> <http://e/p> \"v\" .");
+    }
+
+    #[test]
+    fn encoded_triple_is_small_and_copy() {
+        assert_eq!(std::mem::size_of::<EncodedTriple>(), 12);
+        let t = EncodedTriple::new(TermId(1), TermId(2), TermId(3));
+        let u = t; // Copy
+        assert_eq!(t, u);
+        assert_eq!(t.as_array(), [TermId(1), TermId(2), TermId(3)]);
+    }
+}

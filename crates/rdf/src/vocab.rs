@@ -1,0 +1,81 @@
+//! Built-in RDF and RDFS vocabulary used by the DB fragment.
+//!
+//! Only the five built-ins that the DB fragment of RDF gives semantics to are
+//! needed: `rdf:type` plus the four RDFS constraint properties of Figure 1 of
+//! the paper (`rdfs:subClassOf`, `rdfs:subPropertyOf`, `rdfs:domain`,
+//! `rdfs:range`). A few common companions (`rdfs:Class`, `rdf:Property`,
+//! XSD datatypes) are included for convenience of the generators.
+
+/// The `rdf:` namespace.
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// The `rdfs:` namespace.
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// The `xsd:` namespace.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// `rdf:type` — class membership assertion (`o(s)` in relational notation).
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdf:Property`.
+pub const RDF_PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+/// `rdfs:subClassOf` — `s ⊆ o` on classes.
+pub const RDFS_SUBCLASSOF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+/// `rdfs:subPropertyOf` — `s ⊆ o` on properties.
+pub const RDFS_SUBPROPERTYOF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+/// `rdfs:domain` — `Π_domain(s) ⊆ o`.
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+/// `rdfs:range` — `Π_range(s) ⊆ o`.
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+/// `rdfs:Class`.
+pub const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+/// `rdfs:label`.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+
+/// `xsd:string`.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// `xsd:decimal`.
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+
+/// Is `iri` one of the four RDFS constraint properties of Figure 1?
+pub fn is_rdfs_constraint_property(iri: &str) -> bool {
+    matches!(
+        iri,
+        RDFS_SUBCLASSOF | RDFS_SUBPROPERTYOF | RDFS_DOMAIN | RDFS_RANGE
+    )
+}
+
+/// Is `iri` a property with built-in semantics in the DB fragment
+/// (`rdf:type` or an RDFS constraint property)?
+pub fn is_builtin_property(iri: &str) -> bool {
+    iri == RDF_TYPE || is_rdfs_constraint_property(iri)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraint_property_classification() {
+        assert!(is_rdfs_constraint_property(RDFS_SUBCLASSOF));
+        assert!(is_rdfs_constraint_property(RDFS_SUBPROPERTYOF));
+        assert!(is_rdfs_constraint_property(RDFS_DOMAIN));
+        assert!(is_rdfs_constraint_property(RDFS_RANGE));
+        assert!(!is_rdfs_constraint_property(RDF_TYPE));
+        assert!(!is_rdfs_constraint_property("http://example.org/p"));
+    }
+
+    #[test]
+    fn builtin_property_classification() {
+        assert!(is_builtin_property(RDF_TYPE));
+        assert!(is_builtin_property(RDFS_DOMAIN));
+        assert!(!is_builtin_property(RDFS_LABEL));
+    }
+
+    #[test]
+    fn namespaces_prefix_their_terms() {
+        assert!(RDF_TYPE.starts_with(RDF_NS));
+        assert!(RDFS_SUBCLASSOF.starts_with(RDFS_NS));
+        assert!(XSD_INTEGER.starts_with(XSD_NS));
+    }
+}

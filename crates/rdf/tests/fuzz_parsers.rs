@@ -1,0 +1,60 @@
+//! Robustness: the parsers must never panic, whatever bytes arrive — they
+//! either produce a graph or a typed error with a line number.
+
+use proptest::prelude::*;
+use rdfref_model::parser::{parse_ntriples, parse_turtle};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Totally random printable input.
+    #[test]
+    fn ntriples_never_panics(input in "[ -~\n\t]{0,200}") {
+        let _ = parse_ntriples(&input);
+    }
+
+    #[test]
+    fn turtle_never_panics(input in "[ -~\n\t]{0,200}") {
+        let _ = parse_turtle(&input);
+    }
+
+    /// Near-miss inputs assembled from real syntax fragments — more likely
+    /// to reach deep parser states than uniform noise.
+    #[test]
+    fn near_miss_inputs_never_panic(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<http://e/s>".to_string()),
+                Just("\"literal".to_string()),
+                Just("\"lit\"^^".to_string()),
+                Just("\"lit\"@".to_string()),
+                Just("_:".to_string()),
+                Just("_:b".to_string()),
+                Just("@prefix".to_string()),
+                Just("ex:".to_string()),
+                Just(":".to_string()),
+                Just(".".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just("a".to_string()),
+                Just("1949".to_string()),
+                Just("\\".to_string()),
+                Just("^^<".to_string()),
+                Just("<".to_string()),
+                Just("\n".to_string()),
+            ],
+            0..24,
+        ),
+        seps in proptest::collection::vec(prop_oneof![Just(" "), Just(""), Just("\n")], 0..24),
+    ) {
+        let mut doc = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            doc.push_str(p);
+            if let Some(s) = seps.get(i) {
+                doc.push_str(s);
+            }
+        }
+        let _ = parse_ntriples(&doc);
+        let _ = parse_turtle(&doc);
+    }
+}

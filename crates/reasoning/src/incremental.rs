@@ -1,0 +1,322 @@
+//! Incremental maintenance of a saturated graph.
+//!
+//! The paper's introduction holds this cost against Sat: "the saturation
+//! needs to be maintained after changes in the data and/or constraints,
+//! which may incur a performance penalty." This module implements that
+//! maintenance so experiment E6 can measure it:
+//!
+//! * **insertion** — semi-naive continuation: the inserted triples are the
+//!   delta; only their consequences are derived;
+//! * **deletion** — **DRed** (delete-and-rederive): overdelete everything
+//!   derivable from the deleted triples, then rederive what is still
+//!   supported by the remaining explicit triples;
+//! * **constraint changes** — any schema mutation triggers full
+//!   re-saturation (the expensive case the demo highlights in step 4).
+
+use crate::rules::RuleTables;
+use crate::saturate::saturate_in_place;
+use rdfref_model::fxhash::FxHashSet;
+use rdfref_model::schema::ConstraintKind;
+use rdfref_model::{EncodedTriple, Graph, Schema};
+
+/// A saturated graph maintained under updates.
+///
+/// Invariant (checked by `debug_assert` in tests and by property tests):
+/// `self.saturated == saturate(self.explicit)` after every operation.
+#[derive(Debug, Clone)]
+pub struct IncrementalReasoner {
+    explicit: Graph,
+    saturated: Graph,
+}
+
+impl IncrementalReasoner {
+    /// Build from an explicit graph (saturates once).
+    pub fn new(explicit: Graph) -> Self {
+        let mut saturated = explicit.clone();
+        saturate_in_place(&mut saturated);
+        IncrementalReasoner {
+            explicit,
+            saturated,
+        }
+    }
+
+    /// The explicit (user-asserted) graph.
+    pub fn explicit(&self) -> &Graph {
+        &self.explicit
+    }
+
+    /// The maintained saturation.
+    pub fn saturated(&self) -> &Graph {
+        &self.saturated
+    }
+
+    /// Intern a term consistently into both underlying graphs (their
+    /// dictionaries assign identical ids because both grew from the same
+    /// origin and are only extended through this method).
+    pub fn intern(&mut self, term: &rdfref_model::Term) -> rdfref_model::TermId {
+        let id = self.explicit.dictionary_mut().intern(term);
+        let id2 = self.saturated.dictionary_mut().intern(term);
+        debug_assert_eq!(id, id2, "reasoner dictionaries diverged");
+        id
+    }
+
+    /// Intern a full triple (convenience for building update batches).
+    pub fn intern_triple(
+        &mut self,
+        s: &rdfref_model::Term,
+        p: &rdfref_model::Term,
+        o: &rdfref_model::Term,
+    ) -> EncodedTriple {
+        EncodedTriple::new(self.intern(s), self.intern(p), self.intern(o))
+    }
+
+    fn is_schema_triple(t: &EncodedTriple) -> bool {
+        ConstraintKind::from_property_id(t.p).is_some()
+    }
+
+    /// Insert a batch of explicit triples; returns the number of triples
+    /// (explicit + derived) added to the saturation.
+    pub fn insert(&mut self, triples: &[EncodedTriple]) -> usize {
+        let before = self.saturated.len();
+        let mut delta: Vec<EncodedTriple> = Vec::new();
+        let mut schema_changed = false;
+        for &t in triples {
+            if self.explicit.insert_encoded(t) {
+                schema_changed |= Self::is_schema_triple(&t);
+                if self.saturated.insert_encoded(t) {
+                    delta.push(t);
+                }
+            }
+        }
+        if schema_changed {
+            // Constraint change: re-saturate from scratch (demo step 4's
+            // "dramatic impact" case).
+            self.saturated = self.explicit.clone();
+            saturate_in_place(&mut self.saturated);
+            return self.saturated.len().saturating_sub(before);
+        }
+        // Data-only: semi-naive continuation from the delta.
+        let schema = Schema::from_graph(&self.saturated);
+        let tables = RuleTables::from_closure(&schema.closure());
+        while !delta.is_empty() {
+            let mut next = Vec::new();
+            for t in &delta {
+                tables.derive_from(t, &mut |nt| {
+                    if !self.saturated.contains_encoded(&nt) {
+                        next.push(nt);
+                    }
+                });
+            }
+            next.sort_unstable();
+            next.dedup();
+            delta.clear();
+            for nt in next {
+                if self.saturated.insert_encoded(nt) {
+                    delta.push(nt);
+                }
+            }
+        }
+        self.saturated.len() - before
+    }
+
+    /// Delete a batch of explicit triples (ignoring any that are not
+    /// explicit); returns the number of triples removed from the
+    /// saturation.
+    pub fn delete(&mut self, triples: &[EncodedTriple]) -> usize {
+        let before = self.saturated.len();
+        let mut deleted: Vec<EncodedTriple> = Vec::new();
+        let mut schema_changed = false;
+        for &t in triples {
+            if self.explicit.remove_encoded(t) {
+                schema_changed |= Self::is_schema_triple(&t);
+                deleted.push(t);
+            }
+        }
+        if deleted.is_empty() {
+            return 0;
+        }
+        if schema_changed {
+            self.saturated = self.explicit.clone();
+            saturate_in_place(&mut self.saturated);
+            return before.saturating_sub(self.saturated.len());
+        }
+
+        // DRed phase 1: overdelete — everything derivable (in the old
+        // saturation) using a deleted triple as premise.
+        let schema = Schema::from_graph(&self.saturated);
+        let tables = RuleTables::from_closure(&schema.closure());
+        let mut over: FxHashSet<EncodedTriple> = deleted.iter().copied().collect();
+        let mut frontier: Vec<EncodedTriple> = deleted.clone();
+        while let Some(t) = frontier.pop() {
+            tables.derive_from(&t, &mut |nt| {
+                if self.saturated.contains_encoded(&nt) && over.insert(nt) {
+                    frontier.push(nt);
+                }
+            });
+        }
+        for t in &over {
+            self.saturated.remove_encoded(*t);
+        }
+
+        // DRed phase 2: rederive — overdeleted triples still supported.
+        // Seeds: overdeleted triples that are still explicit, plus one-step
+        // derivations from the surviving saturation that land in `over`.
+        let mut seeds: Vec<EncodedTriple> = over
+            .iter()
+            .filter(|t| self.explicit.contains_encoded(t))
+            .copied()
+            .collect();
+        for t in self.saturated.triples().to_vec() {
+            tables.derive_from(&t, &mut |nt| {
+                if over.contains(&nt) {
+                    seeds.push(nt);
+                }
+            });
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        let mut delta: Vec<EncodedTriple> = Vec::new();
+        for s in seeds {
+            if self.saturated.insert_encoded(s) {
+                delta.push(s);
+            }
+        }
+        while !delta.is_empty() {
+            let mut next = Vec::new();
+            for t in &delta {
+                tables.derive_from(t, &mut |nt| {
+                    if !self.saturated.contains_encoded(&nt) {
+                        next.push(nt);
+                    }
+                });
+            }
+            next.sort_unstable();
+            next.dedup();
+            delta.clear();
+            for nt in next {
+                if self.saturated.insert_encoded(nt) {
+                    delta.push(nt);
+                }
+            }
+        }
+        before.saturating_sub(self.saturated.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::saturate::saturate;
+    use rdfref_model::parser::parse_turtle;
+    use rdfref_model::{Term, Triple};
+
+    const BASE: &str = r#"
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:writtenBy rdfs:domain ex:Book .
+ex:doi1 rdf:type ex:Book .
+"#;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://example.org/{s}"))
+    }
+    fn rdf_type() -> Term {
+        Term::iri(rdfref_model::vocab::RDF_TYPE)
+    }
+
+    #[test]
+    fn insert_derives_consequences() {
+        let g = parse_turtle(BASE).unwrap();
+        let mut r = IncrementalReasoner::new(g);
+        let t = r.intern_triple(&iri("doi2"), &iri("writtenBy"), &Term::blank("b9"));
+        r.insert(&[t]);
+        // doi2 gets typed Book and Publication via domain + subclass.
+        assert!(r
+            .saturated()
+            .contains(&Triple::new(iri("doi2"), rdf_type(), iri("Book")).unwrap()));
+        assert!(r
+            .saturated()
+            .contains(&Triple::new(iri("doi2"), rdf_type(), iri("Publication")).unwrap()));
+        // Invariant: equals from-scratch saturation.
+        assert_eq!(r.saturated(), &saturate(r.explicit()));
+    }
+
+    #[test]
+    fn delete_removes_unsupported_consequences() {
+        let g = parse_turtle(BASE).unwrap();
+        let mut r = IncrementalReasoner::new(g);
+        // Explicit: doi1 τ Book; derived: doi1 τ Publication.
+        let t = r.intern_triple(&iri("doi1"), &rdf_type(), &iri("Book"));
+        let removed = r.delete(&[t]);
+        assert!(removed >= 2, "Book and Publication types should go");
+        assert!(!r
+            .saturated()
+            .contains(&Triple::new(iri("doi1"), rdf_type(), iri("Publication")).unwrap()));
+        assert_eq!(r.saturated(), &saturate(r.explicit()));
+    }
+
+    #[test]
+    fn delete_keeps_still_supported_consequences() {
+        // doi1 τ Book is supported BOTH explicitly and via domain(writtenBy):
+        // deleting the explicit type triple must keep the derived one.
+        let doc = format!("{BASE}ex:doi1 ex:writtenBy _:b1 .\n");
+        let g = parse_turtle(&doc).unwrap();
+        let mut r = IncrementalReasoner::new(g);
+        let t = r.intern_triple(&iri("doi1"), &rdf_type(), &iri("Book"));
+        r.delete(&[t]);
+        // Still derivable through rdfs2.
+        assert!(r
+            .saturated()
+            .contains(&Triple::new(iri("doi1"), rdf_type(), iri("Book")).unwrap()));
+        assert!(r
+            .saturated()
+            .contains(&Triple::new(iri("doi1"), rdf_type(), iri("Publication")).unwrap()));
+        assert_eq!(r.saturated(), &saturate(r.explicit()));
+    }
+
+    #[test]
+    fn schema_insert_triggers_resaturation() {
+        let g = parse_turtle(BASE).unwrap();
+        let mut r = IncrementalReasoner::new(g);
+        let t = r.intern_triple(
+            &iri("Publication"),
+            &Term::iri(rdfref_model::vocab::RDFS_SUBCLASSOF),
+            &iri("Work"),
+        );
+        r.insert(&[t]);
+        assert!(r
+            .saturated()
+            .contains(&Triple::new(iri("doi1"), rdf_type(), iri("Work")).unwrap()));
+        assert_eq!(r.saturated(), &saturate(r.explicit()));
+    }
+
+    #[test]
+    fn schema_delete_triggers_resaturation() {
+        let g = parse_turtle(BASE).unwrap();
+        let mut r = IncrementalReasoner::new(g);
+        let t = r.intern_triple(
+            &iri("Book"),
+            &Term::iri(rdfref_model::vocab::RDFS_SUBCLASSOF),
+            &iri("Publication"),
+        );
+        r.delete(&[t]);
+        assert!(!r
+            .saturated()
+            .contains(&Triple::new(iri("doi1"), rdf_type(), iri("Publication")).unwrap()));
+        assert_eq!(r.saturated(), &saturate(r.explicit()));
+    }
+
+    #[test]
+    fn deleting_nonexplicit_triple_is_noop() {
+        let g = parse_turtle(BASE).unwrap();
+        let mut r = IncrementalReasoner::new(g);
+        // doi1 τ Publication is derived, not explicit: deletion is a no-op.
+        let t = r.intern_triple(&iri("doi1"), &rdf_type(), &iri("Publication"));
+        assert_eq!(r.delete(&[t]), 0);
+        assert!(r
+            .saturated()
+            .contains(&Triple::new(iri("doi1"), rdf_type(), iri("Publication")).unwrap()));
+    }
+}

@@ -1,0 +1,320 @@
+//! Fixpoint saturation: `G ↦ G∞`.
+//!
+//! The production engine is **semi-naive** (design decision D5): each round
+//! applies the data-tier rules only to the previous round's *delta*, against
+//! the closed schema. An outer loop re-closes the schema in the (rare,
+//! pathological) case where data-tier conclusions are themselves schema
+//! triples — e.g. a schema declaring a super-property of
+//! `rdfs:subClassOf`.
+//!
+//! [`naive_saturate`] is the reference implementation (re-derives from the
+//! whole set every round); ablation A5 benchmarks one against the other and
+//! the test suite checks they agree.
+
+use crate::rules::RuleTables;
+use rdfref_model::schema::ConstraintKind;
+use rdfref_model::{EncodedTriple, Graph, Schema};
+
+/// Saturate a graph in place; returns the number of triples added.
+///
+/// The saturation of an RDF graph is unique (up to blank node renaming —
+/// and the DB-fragment rules introduce no blank nodes, so it is simply
+/// unique), and `G ⊨RDF s p o ⟺ s p o ∈ G∞`.
+pub fn saturate_in_place(graph: &mut Graph) -> usize {
+    let before = graph.len();
+    loop {
+        // Close the schema and materialize the closure as triples.
+        let schema = Schema::from_graph(graph);
+        let closure = schema.closure();
+        let tables = RuleTables::from_closure(&closure);
+        for (sub, sups) in &closure.superclasses {
+            for &sup in sups {
+                graph.insert_encoded(EncodedTriple::new(
+                    *sub,
+                    ConstraintKind::SubClass.property_id(),
+                    sup,
+                ));
+            }
+        }
+        for (sub, sups) in &closure.superproperties {
+            for &sup in sups {
+                graph.insert_encoded(EncodedTriple::new(
+                    *sub,
+                    ConstraintKind::SubProperty.property_id(),
+                    sup,
+                ));
+            }
+        }
+        for (p, cs) in &closure.domains {
+            for &c in cs {
+                graph.insert_encoded(EncodedTriple::new(
+                    *p,
+                    ConstraintKind::Domain.property_id(),
+                    c,
+                ));
+            }
+        }
+        for (p, cs) in &closure.ranges {
+            for &c in cs {
+                graph.insert_encoded(EncodedTriple::new(
+                    *p,
+                    ConstraintKind::Range.property_id(),
+                    c,
+                ));
+            }
+        }
+
+        // Semi-naive data saturation against the closed schema.
+        let mut delta: Vec<EncodedTriple> = graph.triples().to_vec();
+        let mut derived_schema_triple = false;
+        while !delta.is_empty() {
+            let mut next: Vec<EncodedTriple> = Vec::new();
+            for t in &delta {
+                tables.derive_from(t, &mut |nt| {
+                    if !graph.contains_encoded(&nt) {
+                        next.push(nt);
+                    }
+                });
+            }
+            next.sort_unstable();
+            next.dedup();
+            delta.clear();
+            for nt in next {
+                if graph.insert_encoded(nt) {
+                    derived_schema_triple |= ConstraintKind::from_property_id(nt.p).is_some();
+                    delta.push(nt);
+                }
+            }
+        }
+
+        // Re-close only if the data tier produced schema triples beyond the
+        // already-materialized closure (pathological schemas constraining
+        // the RDFS vocabulary itself).
+        if !derived_schema_triple {
+            break;
+        }
+    }
+    graph.len() - before
+}
+
+/// Saturate, returning a new graph (`G∞`). The dictionary is shared
+/// verbatim: saturation introduces no new terms.
+///
+/// ```
+/// use rdfref_model::parser::parse_turtle;
+/// let g = parse_turtle(r#"
+///     @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+///     @prefix ex: <http://example.org/> .
+///     ex:Book rdfs:subClassOf ex:Publication .
+///     ex:doi1 a ex:Book .
+/// "#).unwrap();
+/// let sat = rdfref_reasoning::saturate(&g);
+/// assert_eq!(sat.len(), g.len() + 1); // + doi1 a Publication
+/// ```
+pub fn saturate(graph: &Graph) -> Graph {
+    let mut g = graph.clone();
+    saturate_in_place(&mut g);
+    g
+}
+
+/// Reference naive saturation: every round applies every data-tier rule to
+/// every triple. Quadratically slower; exists to validate the semi-naive
+/// engine (tests) and quantify D5 (ablation A5).
+pub fn naive_saturate(graph: &Graph) -> Graph {
+    let mut g = graph.clone();
+    loop {
+        let schema = Schema::from_graph(&g);
+        let closure = schema.closure();
+        let tables = RuleTables::from_closure(&closure);
+        let mut additions: Vec<EncodedTriple> = closure
+            .all_subclass_pairs()
+            .into_iter()
+            .map(|(a, b)| EncodedTriple::new(a, ConstraintKind::SubClass.property_id(), b))
+            .chain(closure.all_subproperty_pairs().into_iter().map(|(a, b)| {
+                EncodedTriple::new(a, ConstraintKind::SubProperty.property_id(), b)
+            }))
+            .chain(
+                closure.all_domain_pairs().into_iter().map(|(p, c)| {
+                    EncodedTriple::new(p, ConstraintKind::Domain.property_id(), c)
+                }),
+            )
+            .chain(
+                closure.all_range_pairs().into_iter().map(|(p, c)| {
+                    EncodedTriple::new(p, ConstraintKind::Range.property_id(), c)
+                }),
+            )
+            .collect();
+        for t in g.triples() {
+            tables.derive_from(t, &mut |nt| additions.push(nt));
+        }
+        let mut changed = false;
+        for t in additions {
+            changed |= g.insert_encoded(t);
+        }
+        if !changed {
+            return g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::parser::parse_turtle;
+    use rdfref_model::{Term, Triple};
+
+    const FIGURE_2: &str = r#"
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:doi1 rdf:type ex:Book .
+ex:doi1 ex:writtenBy _:b1 .
+ex:doi1 ex:hasTitle "El Aleph" .
+_:b1 ex:hasName "J. L. Borges" .
+ex:doi1 ex:publishedIn "1949" .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:writtenBy rdfs:subPropertyOf ex:hasAuthor .
+ex:writtenBy rdfs:domain ex:Book .
+ex:writtenBy rdfs:range ex:Person .
+"#;
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://example.org/{s}"))
+    }
+    fn rdf_type() -> Term {
+        Term::iri(rdfref_model::vocab::RDF_TYPE)
+    }
+
+    #[test]
+    fn figure_2_implicit_triples_derived() {
+        let g = parse_turtle(FIGURE_2).unwrap();
+        let sat = saturate(&g);
+        // The dashed edges of Figure 2:
+        for (s, p, o) in [
+            (iri("doi1"), iri("hasAuthor"), Term::blank("b1")),
+            (iri("doi1"), rdf_type(), iri("Publication")),
+            (Term::blank("b1"), rdf_type(), iri("Person")),
+        ] {
+            let t = Triple::new(s, p, o).unwrap();
+            assert!(sat.contains(&t), "missing implicit triple {t}");
+        }
+        // doi1 τ Book was explicit; still there.
+        assert!(sat.contains(&Triple::new(iri("doi1"), rdf_type(), iri("Book")).unwrap()));
+    }
+
+    #[test]
+    fn saturation_is_idempotent() {
+        let g = parse_turtle(FIGURE_2).unwrap();
+        let once = saturate(&g);
+        let twice = saturate(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn saturation_is_monotone_in_input() {
+        let g = parse_turtle(FIGURE_2).unwrap();
+        let sat = saturate(&g);
+        for t in g.iter_decoded() {
+            assert!(sat.contains(&t));
+        }
+    }
+
+    #[test]
+    fn semi_naive_agrees_with_naive() {
+        let g = parse_turtle(FIGURE_2).unwrap();
+        assert_eq!(saturate(&g), naive_saturate(&g));
+    }
+
+    #[test]
+    fn subclass_chain_closes_transitively() {
+        let doc = r#"
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:C .
+ex:C rdfs:subClassOf ex:D .
+ex:x rdf:type ex:A .
+"#;
+        let sat = saturate(&parse_turtle(doc).unwrap());
+        for c in ["B", "C", "D"] {
+            assert!(sat.contains(&Triple::new(iri("x"), rdf_type(), iri(c)).unwrap()));
+        }
+        // Schema closure materialized: A ⊑ C, A ⊑ D.
+        let sc = Term::iri(rdfref_model::vocab::RDFS_SUBCLASSOF);
+        assert!(sat.contains(&Triple::new(iri("A"), sc.clone(), iri("C")).unwrap()));
+        assert!(sat.contains(&Triple::new(iri("A"), sc, iri("D")).unwrap()));
+    }
+
+    #[test]
+    fn domain_through_subproperty_chain() {
+        let doc = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:p1 rdfs:subPropertyOf ex:p2 .
+ex:p2 rdfs:subPropertyOf ex:p3 .
+ex:p3 rdfs:domain ex:C .
+ex:C rdfs:subClassOf ex:D .
+ex:a ex:p1 ex:b .
+"#;
+        let sat = saturate(&parse_turtle(doc).unwrap());
+        // a gets p2, p3 triples and types C, D.
+        assert!(sat.contains(&Triple::new(iri("a"), iri("p2"), iri("b")).unwrap()));
+        assert!(sat.contains(&Triple::new(iri("a"), iri("p3"), iri("b")).unwrap()));
+        assert!(sat.contains(&Triple::new(iri("a"), rdf_type(), iri("C")).unwrap()));
+        assert!(sat.contains(&Triple::new(iri("a"), rdf_type(), iri("D")).unwrap()));
+    }
+
+    #[test]
+    fn cyclic_subclass_terminates() {
+        let doc = r#"
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:A .
+ex:x rdf:type ex:A .
+"#;
+        let sat = saturate(&parse_turtle(doc).unwrap());
+        assert!(sat.contains(&Triple::new(iri("x"), rdf_type(), iri("B")).unwrap()));
+        // And back: x τ A retained; closure has A ⊑ A on the cycle.
+        assert!(sat.contains(&Triple::new(iri("x"), rdf_type(), iri("A")).unwrap()));
+    }
+
+    #[test]
+    fn schema_only_graph_saturates_schema() {
+        let doc = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:C .
+"#;
+        let g = parse_turtle(doc).unwrap();
+        let mut sat = g.clone();
+        let added = saturate_in_place(&mut sat);
+        assert_eq!(added, 1); // A ⊑ C
+    }
+
+    #[test]
+    fn empty_graph_is_fixed_point() {
+        let mut g = Graph::new();
+        assert_eq!(saturate_in_place(&mut g), 0);
+    }
+
+    #[test]
+    fn pathological_schema_about_schema() {
+        // A super-property of rdfs:subClassOf: derived sc triples must feed
+        // back into the schema closure (outer loop).
+        let doc = r#"
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:narrower rdfs:subPropertyOf rdfs:subClassOf .
+ex:A ex:narrower ex:B .
+ex:x rdf:type ex:A .
+"#;
+        let sat = saturate(&parse_turtle(doc).unwrap());
+        // narrower ⊑ subClassOf ⟹ A ⊑ B ⟹ x τ B.
+        assert!(sat.contains(&Triple::new(iri("x"), rdf_type(), iri("B")).unwrap()));
+    }
+}

@@ -1,0 +1,183 @@
+//! Physical operators: pattern scans and execution metrics.
+//!
+//! Joins and projections live on [`Relation`];
+//! this module contributes the store-facing scan operator and the metrics
+//! the experiments report (intermediate result sizes — the quantities the
+//! paper quotes for Example 1, e.g. "33,328,108 results each").
+
+use crate::relation::Relation;
+use crate::store::{IdPattern, Store};
+use rdfref_model::TermId;
+use rdfref_query::ast::{Atom, PTerm};
+use rdfref_query::Var;
+
+/// One recorded execution step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecStep {
+    /// Operator label, e.g. `scan(?x type C)` or `join`.
+    pub label: String,
+    /// Rows produced by the operator.
+    pub rows: usize,
+}
+
+/// Execution metrics: per-operator row counts and aggregates.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    /// Ordered operator trace.
+    pub steps: Vec<ExecStep>,
+    /// Total rows emitted by scans.
+    pub rows_scanned: usize,
+    /// Largest intermediate relation observed.
+    pub peak_intermediate: usize,
+}
+
+impl ExecMetrics {
+    /// Record an operator's output size.
+    pub fn record(&mut self, label: impl Into<String>, rows: usize) {
+        self.steps.push(ExecStep {
+            label: label.into(),
+            rows,
+        });
+        self.peak_intermediate = self.peak_intermediate.max(rows);
+    }
+
+    /// Record a scan specifically (also counted in `rows_scanned`).
+    pub fn record_scan(&mut self, label: impl Into<String>, rows: usize) {
+        self.rows_scanned += rows;
+        self.record(label, rows);
+    }
+
+    /// Merge metrics from a sub-evaluation (parallel union branches).
+    pub fn absorb(&mut self, other: ExecMetrics) {
+        self.rows_scanned += other.rows_scanned;
+        self.peak_intermediate = self.peak_intermediate.max(other.peak_intermediate);
+        self.steps.extend(other.steps);
+    }
+}
+
+/// Scan one triple pattern into a relation whose columns are the atom's
+/// distinct variables in `s, p, o` position order. Constants constrain the
+/// index scan; repeated variables become equality filters.
+pub fn scan_atom(store: &Store, atom: &Atom) -> Relation {
+    let pattern = IdPattern {
+        s: atom.s.as_const(),
+        p: atom.p.as_const(),
+        o: atom.o.as_const(),
+    };
+    // Distinct variables with, per output column, the positions they must
+    // match (position: 0=s, 1=p, 2=o).
+    let mut columns: Vec<Var> = Vec::new();
+    let mut col_pos: Vec<usize> = Vec::new();
+    let mut eq_checks: Vec<(usize, usize)> = Vec::new(); // (pos_a, pos_b) must be equal
+    for (pos, t) in atom.positions().into_iter().enumerate() {
+        if let PTerm::Var(v) = t {
+            match columns.iter().position(|c| c == v) {
+                Some(existing) => eq_checks.push((col_pos[existing], pos)),
+                None => {
+                    columns.push(v.clone());
+                    col_pos.push(pos);
+                }
+            }
+        }
+    }
+    let mut rel = Relation::empty(columns);
+    let get = |t: &rdfref_model::EncodedTriple, pos: usize| -> TermId {
+        match pos {
+            0 => t.s,
+            1 => t.p,
+            _ => t.o,
+        }
+    };
+    let mut row: Vec<TermId> = Vec::with_capacity(col_pos.len());
+    store.scan_into(pattern, &mut |t| {
+        if eq_checks.iter().all(|&(a, b)| get(&t, a) == get(&t, b)) {
+            row.clear();
+            row.extend(col_pos.iter().map(|&p| get(&t, p)));
+            rel.push_row(&row).expect("scan arity is fixed");
+        }
+    });
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::{Dictionary, EncodedTriple, Term};
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    fn fixture() -> (Store, Vec<TermId>) {
+        let mut d = Dictionary::new();
+        let ids: Vec<TermId> = ["a", "b", "p"]
+            .iter()
+            .map(|n| d.intern(&Term::iri(*n)))
+            .collect();
+        let (a, b, p) = (ids[0], ids[1], ids[2]);
+        let store = Store::from_triples(&[
+            EncodedTriple::new(a, p, b),
+            EncodedTriple::new(a, p, a), // self-loop
+            EncodedTriple::new(b, p, a),
+        ]);
+        (store, ids)
+    }
+
+    #[test]
+    fn scan_binds_variables_in_position_order() {
+        let (store, ids) = fixture();
+        let rel = scan_atom(&store, &Atom::new(v("x"), ids[2], v("y")));
+        assert_eq!(rel.columns(), &[v("x"), v("y")]);
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn scan_with_constant_filters() {
+        let (store, ids) = fixture();
+        let rel = scan_atom(&store, &Atom::new(ids[0], ids[2], v("y")));
+        assert_eq!(rel.columns(), &[v("y")]);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variable_is_equality_filter() {
+        let (store, ids) = fixture();
+        // (?x p ?x) matches only the self-loop.
+        let rel = scan_atom(&store, &Atom::new(v("x"), ids[2], v("x")));
+        assert_eq!(rel.columns(), &[v("x")]);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.row(0), &[ids[0]]);
+    }
+
+    #[test]
+    fn all_constant_atom_yields_zero_column_rows() {
+        let (store, ids) = fixture();
+        let rel = scan_atom(&store, &Atom::new(ids[0], ids[2], ids[1]));
+        assert_eq!(rel.arity(), 0);
+        assert_eq!(rel.len(), 1); // matched: acts as a "true" unit row
+        let rel2 = scan_atom(&store, &Atom::new(ids[1], ids[2], ids[1]));
+        assert!(rel2.is_empty()); // no match: "false"
+    }
+
+    #[test]
+    fn variable_property_scans_everything() {
+        let (store, _) = fixture();
+        let rel = scan_atom(&store, &Atom::new(v("s"), v("p"), v("o")));
+        assert_eq!(rel.arity(), 3);
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn metrics_aggregate() {
+        let mut m = ExecMetrics::default();
+        m.record_scan("scan A", 10);
+        m.record("join", 50);
+        let mut m2 = ExecMetrics::default();
+        m2.record_scan("scan B", 7);
+        m2.record("join", 100);
+        m.absorb(m2);
+        assert_eq!(m.rows_scanned, 17);
+        assert_eq!(m.peak_intermediate, 100);
+        assert_eq!(m.steps.len(), 4);
+    }
+}

@@ -1,0 +1,485 @@
+//! Materialized relations: the unit of data flow between operators.
+//!
+//! A [`Relation`] stores rows flat (`arity`-strided `Vec<TermId>`) with
+//! columns *named* by query variables — natural-join semantics between
+//! fragments of a JUCQ are defined by column names, exactly as in the paper.
+
+use crate::error::{Result, StorageError};
+use rdfref_model::fxhash::{FxHashMap, FxHashSet};
+use rdfref_model::TermId;
+use rdfref_query::Var;
+
+/// A named, flat, materialized relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    columns: Vec<Var>,
+    data: Vec<TermId>,
+}
+
+impl Relation {
+    /// An empty relation with the given columns.
+    pub fn empty(columns: Vec<Var>) -> Relation {
+        Relation {
+            columns,
+            data: Vec::new(),
+        }
+    }
+
+    /// A relation holding a single zero-length row — the unit of join
+    /// (used for boolean fragments that evaluated to *true*).
+    pub fn unit() -> Relation {
+        Relation {
+            columns: Vec::new(),
+            data: Vec::new(),
+        }
+        .with_unit_row()
+    }
+
+    fn with_unit_row(mut self) -> Relation {
+        debug_assert!(self.columns.is_empty());
+        // A zero-arity relation cannot encode rows in `data`; track the unit
+        // row by a marker: zero-arity relations with `data == [sentinel]`.
+        self.data.push(TermId(u32::MAX));
+        self
+    }
+
+    /// The column names.
+    pub fn columns(&self) -> &[Var] {
+        &self.columns
+    }
+
+    /// Arity (number of columns).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.columns.is_empty() {
+            self.data.len() // sentinel markers, one per unit row
+        } else {
+            self.data.len() / self.columns.len()
+        }
+    }
+
+    /// True iff no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: &[TermId]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        if self.columns.is_empty() {
+            self.data.push(TermId(u32::MAX));
+        } else {
+            self.data.extend_from_slice(row);
+        }
+        Ok(())
+    }
+
+    /// The `i`-th row.
+    pub fn row(&self, i: usize) -> &[TermId] {
+        if self.columns.is_empty() {
+            &[]
+        } else {
+            let a = self.columns.len();
+            &self.data[i * a..(i + 1) * a]
+        }
+    }
+
+    /// Iterate over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[TermId]> {
+        let a = self.columns.len();
+        RowIter {
+            data: &self.data,
+            arity: a,
+            pos: 0,
+            unit_rows: if a == 0 { self.data.len() } else { 0 },
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, v: &Var) -> Option<usize> {
+        self.columns.iter().position(|c| c == v)
+    }
+
+    /// Deduplicate rows in place (set semantics).
+    pub fn dedup(&mut self) {
+        if self.columns.is_empty() {
+            self.data.truncate(1);
+            return;
+        }
+        let a = self.columns.len();
+        let mut seen: FxHashSet<&[TermId]> = FxHashSet::default();
+        let mut keep = Vec::with_capacity(self.data.len());
+        // Safety dance avoided: collect kept row ranges first.
+        let mut kept_ranges: Vec<usize> = Vec::new();
+        for i in 0..self.len() {
+            let row = &self.data[i * a..(i + 1) * a];
+            if seen.insert(row) {
+                kept_ranges.push(i);
+            }
+        }
+        if kept_ranges.len() == self.len() {
+            return;
+        }
+        drop(seen);
+        for &i in &kept_ranges {
+            keep.extend_from_slice(&self.data[i * a..(i + 1) * a]);
+        }
+        self.data = keep;
+    }
+
+    /// Project onto `cols` (by name), producing a new relation. Columns may
+    /// be repeated or reordered. Does **not** deduplicate; call
+    /// [`Relation::dedup`] for set semantics.
+    pub fn project(&self, cols: &[Var]) -> Result<Relation> {
+        let idx: Vec<usize> = cols
+            .iter()
+            .map(|v| {
+                self.column_index(v)
+                    .ok_or_else(|| StorageError::UnknownColumn(v.name().to_string()))
+            })
+            .collect::<Result<_>>()?;
+        let mut out = Relation::empty(cols.to_vec());
+        if cols.is_empty() {
+            // Boolean projection: one unit row iff self non-empty.
+            if !self.is_empty() {
+                out.data.push(TermId(u32::MAX));
+            }
+            return Ok(out);
+        }
+        out.data.reserve(self.len() * cols.len());
+        for row in self.rows() {
+            for &i in &idx {
+                out.data.push(row[i]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Natural hash join on the columns shared (by name) with `other`.
+    /// With no shared columns this is the cross product. Zero-column unit
+    /// relations behave as the join identity; empty relations annihilate.
+    pub fn natural_join(&self, other: &Relation) -> Relation {
+        // Output columns: all of self's, then other's non-shared ones.
+        let shared: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.column_index(v).map(|j| (i, j)))
+            .collect();
+        let other_extra: Vec<usize> = (0..other.arity())
+            .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+            .collect();
+        let mut out_cols = self.columns.clone();
+        out_cols.extend(other_extra.iter().map(|&j| other.columns[j].clone()));
+        let mut out = Relation::empty(out_cols);
+
+        // Build on the smaller side.
+        let (build, probe, build_is_self) = if self.len() <= other.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        // Key extractors relative to build/probe orientation.
+        let build_key_idx: Vec<usize> = if build_is_self {
+            shared.iter().map(|&(i, _)| i).collect()
+        } else {
+            shared.iter().map(|&(_, j)| j).collect()
+        };
+        let probe_key_idx: Vec<usize> = if build_is_self {
+            shared.iter().map(|&(_, j)| j).collect()
+        } else {
+            shared.iter().map(|&(i, _)| i).collect()
+        };
+
+        let mut table: FxHashMap<Vec<TermId>, Vec<usize>> = FxHashMap::default();
+        for bi in 0..build.len() {
+            let row = build.row(bi);
+            let key: Vec<TermId> = build_key_idx.iter().map(|&k| row[k]).collect();
+            table.entry(key).or_default().push(bi);
+        }
+
+        for pi in 0..probe.len() {
+            let prow = probe.row(pi);
+            let key: Vec<TermId> = probe_key_idx.iter().map(|&k| prow[k]).collect();
+            if let Some(matches) = table.get(&key) {
+                for &bi in matches {
+                    let brow = build.row(bi);
+                    let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                    if out.columns.is_empty() {
+                        out.data.push(TermId(u32::MAX));
+                        continue;
+                    }
+                    out.data.extend_from_slice(srow);
+                    for &j in &other_extra {
+                        out.data.push(orow[j]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Sort-merge natural join — the alternative physical operator to
+    /// [`Relation::natural_join`] (ablation A8: hash vs merge). Both inputs
+    /// are sorted on the shared key, then merged with duplicate-group
+    /// handling. Output rows and columns are identical to the hash join's
+    /// (property-tested); only the access pattern differs.
+    pub fn sort_merge_join(&self, other: &Relation) -> Relation {
+        let shared: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.column_index(v).map(|j| (i, j)))
+            .collect();
+        if shared.is_empty() {
+            // Cross product: delegate (merge join needs a key).
+            return self.natural_join(other);
+        }
+        let other_extra: Vec<usize> = (0..other.arity())
+            .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+            .collect();
+        let mut out_cols = self.columns.clone();
+        out_cols.extend(other_extra.iter().map(|&j| other.columns[j].clone()));
+        let mut out = Relation::empty(out_cols);
+
+        // Sorted row-index permutations keyed by the shared columns.
+        let key_of = |rel: &Relation, idx: &[usize], row: usize| -> Vec<TermId> {
+            idx.iter().map(|&k| rel.row(row)[k]).collect()
+        };
+        let left_keys: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+        let right_keys: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+        let mut left_order: Vec<usize> = (0..self.len()).collect();
+        left_order.sort_by_key(|&r| key_of(self, &left_keys, r));
+        let mut right_order: Vec<usize> = (0..other.len()).collect();
+        right_order.sort_by_key(|&r| key_of(other, &right_keys, r));
+
+        let (mut li, mut ri) = (0usize, 0usize);
+        while li < left_order.len() && ri < right_order.len() {
+            let lk = key_of(self, &left_keys, left_order[li]);
+            let rk = key_of(other, &right_keys, right_order[ri]);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => li += 1,
+                std::cmp::Ordering::Greater => ri += 1,
+                std::cmp::Ordering::Equal => {
+                    // Delimit the duplicate groups on both sides.
+                    let l_end = (li..left_order.len())
+                        .find(|&x| key_of(self, &left_keys, left_order[x]) != lk)
+                        .unwrap_or(left_order.len());
+                    let r_end = (ri..right_order.len())
+                        .find(|&x| key_of(other, &right_keys, right_order[x]) != rk)
+                        .unwrap_or(right_order.len());
+                    for &l in &left_order[li..l_end] {
+                        for &r in &right_order[ri..r_end] {
+                            if out.columns.is_empty() {
+                                out.data.push(TermId(u32::MAX));
+                                continue;
+                            }
+                            out.data.extend_from_slice(self.row(l));
+                            for &j in &other_extra {
+                                out.data.push(other.row(r)[j]);
+                            }
+                        }
+                    }
+                    li = l_end;
+                    ri = r_end;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sort rows lexicographically (for deterministic output in tests and
+    /// experiment reports).
+    pub fn sort(&mut self) {
+        if self.columns.is_empty() {
+            return;
+        }
+        let a = self.columns.len();
+        let mut rows: Vec<Vec<TermId>> = (0..self.len()).map(|i| self.row(i).to_vec()).collect();
+        rows.sort_unstable();
+        self.data.clear();
+        for r in rows {
+            self.data.extend_from_slice(&r);
+        }
+        let _ = a;
+    }
+
+    /// Collect rows as vectors (test helper).
+    pub fn to_rows(&self) -> Vec<Vec<TermId>> {
+        self.rows().map(|r| r.to_vec()).collect()
+    }
+}
+
+struct RowIter<'a> {
+    data: &'a [TermId],
+    arity: usize,
+    pos: usize,
+    unit_rows: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [TermId];
+
+    fn next(&mut self) -> Option<&'a [TermId]> {
+        if self.arity == 0 {
+            if self.unit_rows > 0 {
+                self.unit_rows -= 1;
+                return Some(&[]);
+            }
+            return None;
+        }
+        let start = self.pos * self.arity;
+        if start >= self.data.len() {
+            return None;
+        }
+        self.pos += 1;
+        Some(&self.data[start..start + self.arity])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn t(n: u32) -> TermId {
+        TermId(n)
+    }
+
+    fn rel(cols: &[&str], rows: &[&[u32]]) -> Relation {
+        let mut r = Relation::empty(cols.iter().map(|c| v(c)).collect());
+        for row in rows {
+            let ids: Vec<TermId> = row.iter().map(|&x| t(x)).collect();
+            r.push_row(&ids).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn push_and_iterate() {
+        let r = rel(&["x", "y"], &[&[1, 2], &[3, 4]]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(1), &[t(3), t(4)]);
+        assert_eq!(r.rows().count(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut r = Relation::empty(vec![v("x")]);
+        assert!(matches!(
+            r.push_row(&[t(1), t(2)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut r = rel(&["x"], &[&[1], &[2], &[1], &[1]]);
+        r.dedup();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn project_reorders_and_drops() {
+        let r = rel(&["x", "y", "z"], &[&[1, 2, 3]]);
+        let p = r.project(&[v("z"), v("x")]).unwrap();
+        assert_eq!(p.columns(), &[v("z"), v("x")]);
+        assert_eq!(p.row(0), &[t(3), t(1)]);
+        assert!(r.project(&[v("nope")]).is_err());
+    }
+
+    #[test]
+    fn natural_join_on_shared_column() {
+        let left = rel(&["x", "y"], &[&[1, 10], &[2, 20], &[3, 30]]);
+        let right = rel(&["y", "z"], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let mut j = left.natural_join(&right);
+        j.sort();
+        assert_eq!(j.columns(), &[v("x"), v("y"), v("z")]);
+        assert_eq!(
+            j.to_rows(),
+            vec![
+                vec![t(1), t(10), t(100)],
+                vec![t(1), t(10), t(101)],
+                vec![t(3), t(30), t(300)],
+            ]
+        );
+    }
+
+    #[test]
+    fn join_is_symmetric_up_to_column_order() {
+        let left = rel(&["x", "y"], &[&[1, 10], &[2, 20]]);
+        let right = rel(&["y", "z"], &[&[10, 100]]);
+        let a = left.natural_join(&right);
+        let b = right.natural_join(&left);
+        let mut a_sorted = a.project(&[v("x"), v("y"), v("z")]).unwrap();
+        let mut b_sorted = b.project(&[v("x"), v("y"), v("z")]).unwrap();
+        a_sorted.sort();
+        b_sorted.sort();
+        assert_eq!(a_sorted, b_sorted);
+    }
+
+    #[test]
+    fn cross_product_when_no_shared() {
+        let left = rel(&["x"], &[&[1], &[2]]);
+        let right = rel(&["y"], &[&[10], &[20]]);
+        let j = left.natural_join(&right);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_on_multiple_shared_columns() {
+        let left = rel(&["x", "y"], &[&[1, 2], &[1, 3]]);
+        let right = rel(&["x", "y", "z"], &[&[1, 2, 9], &[1, 9, 9]]);
+        let j = left.natural_join(&right);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.row(0), &[t(1), t(2), t(9)]);
+    }
+
+    #[test]
+    fn unit_relation_is_join_identity() {
+        let r = rel(&["x"], &[&[1], &[2]]);
+        let u = Relation::unit();
+        assert_eq!(u.len(), 1);
+        let j = r.natural_join(&u);
+        assert_eq!(j.len(), 2);
+        let j2 = u.natural_join(&r);
+        assert_eq!(j2.len(), 2);
+    }
+
+    #[test]
+    fn empty_relation_annihilates_join() {
+        let r = rel(&["x"], &[&[1]]);
+        let e = Relation::empty(vec![v("x")]);
+        assert!(r.natural_join(&e).is_empty());
+    }
+
+    #[test]
+    fn boolean_projection() {
+        let r = rel(&["x"], &[&[1], &[2]]);
+        let b = r.project(&[]).unwrap();
+        assert_eq!(b.len(), 1); // true
+        let e = Relation::empty(vec![v("x")]);
+        let be = e.project(&[]).unwrap();
+        assert!(be.is_empty()); // false
+    }
+
+    #[test]
+    fn zero_column_dedup_keeps_single_unit() {
+        let mut u = Relation::unit();
+        u.push_row(&[]).unwrap();
+        assert_eq!(u.len(), 2);
+        u.dedup();
+        assert_eq!(u.len(), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! The triple store: three sorted permutation indexes over an immutable
+//! snapshot of dictionary-encoded triples.
+//!
+//! Every triple-pattern shape is answered by a binary-search range over one
+//! of the SPO / POS / OSP orderings:
+//!
+//! | bound positions | index | access |
+//! |-----------------|-------|--------|
+//! | s p o           | SPO   | point lookup |
+//! | s p ?           | SPO   | range on (s, p) |
+//! | s ? ?           | SPO   | range on (s) |
+//! | ? p o           | POS   | range on (p, o) |
+//! | ? p ?           | POS   | range on (p) |
+//! | ? ? o           | OSP   | range on (o) |
+//! | s ? o           | SPO   | range on (s), residual filter on o |
+//! | ? ? ?           | SPO   | full scan |
+
+use rdfref_model::{EncodedTriple, Graph, TermId};
+
+/// The three index orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// subject, property, object
+    Spo,
+    /// property, object, subject
+    Pos,
+    /// object, subject, property
+    Osp,
+}
+
+impl Order {
+    /// Permute an SPO triple into this order's key layout.
+    #[inline]
+    fn key(self, t: &EncodedTriple) -> [TermId; 3] {
+        match self {
+            Order::Spo => [t.s, t.p, t.o],
+            Order::Pos => [t.p, t.o, t.s],
+            Order::Osp => [t.o, t.s, t.p],
+        }
+    }
+
+    /// Recover the SPO triple from this order's key layout.
+    #[inline]
+    fn unkey(self, k: &[TermId; 3]) -> EncodedTriple {
+        match self {
+            Order::Spo => EncodedTriple::new(k[0], k[1], k[2]),
+            Order::Pos => EncodedTriple::new(k[2], k[0], k[1]),
+            Order::Osp => EncodedTriple::new(k[1], k[2], k[0]),
+        }
+    }
+}
+
+/// One sorted permutation index.
+#[derive(Debug, Clone)]
+struct SortedIndex {
+    /// Triples permuted into key layout and sorted.
+    keys: Vec<[TermId; 3]>,
+}
+
+impl SortedIndex {
+    fn build(order: Order, triples: &[EncodedTriple]) -> SortedIndex {
+        let mut keys: Vec<[TermId; 3]> = triples.iter().map(|t| order.key(t)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        SortedIndex { keys }
+    }
+
+    /// The sub-slice whose first key component equals `k1`.
+    fn range1(&self, k1: TermId) -> &[[TermId; 3]] {
+        let lo = self.keys.partition_point(|k| k[0] < k1);
+        let hi = self.keys.partition_point(|k| k[0] <= k1);
+        &self.keys[lo..hi]
+    }
+
+    /// The sub-slice whose first two key components equal `(k1, k2)`.
+    fn range2(&self, k1: TermId, k2: TermId) -> &[[TermId; 3]] {
+        let lo = self.keys.partition_point(|k| (k[0], k[1]) < (k1, k2));
+        let hi = self.keys.partition_point(|k| (k[0], k[1]) <= (k1, k2));
+        &self.keys[lo..hi]
+    }
+
+    fn contains(&self, key: &[TermId; 3]) -> bool {
+        self.keys.binary_search(key).is_ok()
+    }
+}
+
+/// A triple pattern over ids: `None` = wildcard. (The query layer translates
+/// its variable patterns into this shape for scanning; repeated-variable
+/// filtering happens in the executor.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdPattern {
+    /// Subject constraint.
+    pub s: Option<TermId>,
+    /// Property constraint.
+    pub p: Option<TermId>,
+    /// Object constraint.
+    pub o: Option<TermId>,
+}
+
+impl IdPattern {
+    /// A fully wildcard pattern.
+    pub const ALL: IdPattern = IdPattern {
+        s: None,
+        p: None,
+        o: None,
+    };
+
+    /// How many positions are bound?
+    pub fn bound_count(&self) -> usize {
+        [self.s, self.p, self.o].iter().filter(|x| x.is_some()).count()
+    }
+}
+
+/// The immutable store: a snapshot of a graph's triples, indexed three ways.
+///
+/// The store is deliberately decoupled from the [`Graph`] that produced it
+/// (the saturation experiments build stores from both `G` and `G∞` over the
+/// same dictionary).
+#[derive(Debug, Clone)]
+pub struct Store {
+    spo: SortedIndex,
+    pos: SortedIndex,
+    osp: SortedIndex,
+    len: usize,
+}
+
+impl Store {
+    /// Build a store over a slice of encoded triples.
+    pub fn from_triples(triples: &[EncodedTriple]) -> Store {
+        let spo = SortedIndex::build(Order::Spo, triples);
+        let len = spo.keys.len(); // post-dedup count
+        Store {
+            spo,
+            pos: SortedIndex::build(Order::Pos, triples),
+            osp: SortedIndex::build(Order::Osp, triples),
+            len,
+        }
+    }
+
+    /// Build a store over a graph's triples.
+    pub fn from_graph(graph: &Graph) -> Store {
+        Store::from_triples(graph.triples())
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Point membership.
+    pub fn contains(&self, t: &EncodedTriple) -> bool {
+        self.spo.contains(&[t.s, t.p, t.o])
+    }
+
+    /// All triples matching a pattern, in SPO terms. Uses the best index for
+    /// the pattern shape; the `s ? o` shape picks the smaller of the two
+    /// candidate ranges and filters the residual position.
+    pub fn scan(&self, pat: IdPattern) -> Vec<EncodedTriple> {
+        let mut out = Vec::new();
+        self.scan_into(pat, &mut |t| out.push(t));
+        out
+    }
+
+    /// Streaming variant of [`Store::scan`]: invokes `f` per matching triple,
+    /// avoiding materialization in the hot paths of the executor.
+    pub fn scan_into(&self, pat: IdPattern, f: &mut dyn FnMut(EncodedTriple)) {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = EncodedTriple::new(s, p, o);
+                if self.contains(&t) {
+                    f(t);
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for k in self.spo.range2(s, p) {
+                    f(Order::Spo.unkey(k));
+                }
+            }
+            (Some(s), None, None) => {
+                for k in self.spo.range1(s) {
+                    f(Order::Spo.unkey(k));
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for k in self.pos.range2(p, o) {
+                    f(Order::Pos.unkey(k));
+                }
+            }
+            (None, Some(p), None) => {
+                for k in self.pos.range1(p) {
+                    f(Order::Pos.unkey(k));
+                }
+            }
+            (None, None, Some(o)) => {
+                for k in self.osp.range1(o) {
+                    f(Order::Osp.unkey(k));
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                // Pick the smaller range: subject slice of SPO vs object
+                // slice of OSP.
+                let s_range = self.spo.range1(s);
+                let o_range = self.osp.range1(o);
+                if s_range.len() <= o_range.len() {
+                    for k in s_range {
+                        if k[2] == o {
+                            f(Order::Spo.unkey(k));
+                        }
+                    }
+                } else {
+                    for k in o_range {
+                        if k[1] == s {
+                            f(Order::Osp.unkey(k));
+                        }
+                    }
+                }
+            }
+            (None, None, None) => {
+                for k in &self.spo.keys {
+                    f(Order::Spo.unkey(k));
+                }
+            }
+        }
+    }
+
+    /// Exact number of matches for a pattern — O(log n) for all shapes
+    /// except `s ? o`, which is linear in the smaller range. Used by exact
+    /// statistics and by experiment reports.
+    pub fn count(&self, pat: IdPattern) -> usize {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                usize::from(self.contains(&EncodedTriple::new(s, p, o)))
+            }
+            (Some(s), Some(p), None) => self.spo.range2(s, p).len(),
+            (Some(s), None, None) => self.spo.range1(s).len(),
+            (None, Some(p), Some(o)) => self.pos.range2(p, o).len(),
+            (None, Some(p), None) => self.pos.range1(p).len(),
+            (None, None, Some(o)) => self.osp.range1(o).len(),
+            (Some(s), None, Some(o)) => {
+                let s_range = self.spo.range1(s);
+                let o_range = self.osp.range1(o);
+                if s_range.len() <= o_range.len() {
+                    s_range.iter().filter(|k| k[2] == o).count()
+                } else {
+                    o_range.iter().filter(|k| k[1] == s).count()
+                }
+            }
+            (None, None, None) => self.len,
+        }
+    }
+
+    /// Iterate over all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = EncodedTriple> + '_ {
+        self.spo.keys.iter().map(|k| Order::Spo.unkey(k))
+    }
+
+    /// The distinct properties, with the count of triples per property, in
+    /// ascending property-id order. O(number of distinct properties)
+    /// group-hops over the POS index.
+    pub fn property_counts(&self) -> Vec<(TermId, usize)> {
+        let mut out = Vec::new();
+        let keys = &self.pos.keys;
+        let mut i = 0;
+        while i < keys.len() {
+            let p = keys[i][0];
+            let end = keys.partition_point(|k| k[0] <= p);
+            out.push((p, end - i));
+            i = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::{Dictionary, Term};
+
+    fn fixture() -> (Store, Vec<TermId>) {
+        let mut d = Dictionary::new();
+        let ids: Vec<TermId> = ["a", "b", "c", "p", "q", "v"]
+            .iter()
+            .map(|n| d.intern(&Term::iri(*n)))
+            .collect();
+        let (a, b, c, p, q, v) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let triples = vec![
+            EncodedTriple::new(a, p, b),
+            EncodedTriple::new(a, p, c),
+            EncodedTriple::new(b, p, c),
+            EncodedTriple::new(a, q, v),
+            EncodedTriple::new(c, q, v),
+            EncodedTriple::new(a, p, b), // duplicate, deduped at build
+        ];
+        (Store::from_triples(&triples), ids)
+    }
+
+    #[test]
+    fn build_dedups() {
+        let (store, _) = fixture();
+        assert_eq!(store.len(), 5);
+    }
+
+    #[test]
+    fn all_pattern_shapes() {
+        let (store, ids) = fixture();
+        let (a, b, c, p, q, v) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        let pat = |s, p, o| IdPattern { s, p, o };
+
+        // spo point
+        assert_eq!(store.scan(pat(Some(a), Some(p), Some(b))).len(), 1);
+        assert_eq!(store.scan(pat(Some(a), Some(p), Some(v))).len(), 0);
+        // sp?
+        assert_eq!(store.scan(pat(Some(a), Some(p), None)).len(), 2);
+        // s??
+        assert_eq!(store.scan(pat(Some(a), None, None)).len(), 3);
+        // ?po
+        assert_eq!(store.scan(pat(None, Some(q), Some(v))).len(), 2);
+        // ?p?
+        assert_eq!(store.scan(pat(None, Some(p), None)).len(), 3);
+        // ??o
+        assert_eq!(store.scan(pat(None, None, Some(c))).len(), 2);
+        // s?o
+        assert_eq!(store.scan(pat(Some(a), None, Some(b))).len(), 1);
+        assert_eq!(store.scan(pat(Some(b), None, Some(v))).len(), 0);
+        // ???
+        assert_eq!(store.scan(IdPattern::ALL).len(), 5);
+    }
+
+    #[test]
+    fn counts_agree_with_scans() {
+        let (store, ids) = fixture();
+        let all_ids = [None, Some(ids[0]), Some(ids[3]), Some(ids[5])];
+        for &s in &all_ids {
+            for &p in &all_ids {
+                for &o in &all_ids {
+                    let pat = IdPattern { s, p, o };
+                    assert_eq!(store.count(pat), store.scan(pat).len(), "pattern {pat:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_results_are_spo_triples() {
+        let (store, ids) = fixture();
+        let (p, v) = (ids[3], ids[5]);
+        for t in store.scan(IdPattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        }) {
+            assert_eq!(t.p, p);
+        }
+        for t in store.scan(IdPattern {
+            s: None,
+            p: None,
+            o: Some(v),
+        }) {
+            assert_eq!(t.o, v);
+        }
+    }
+
+    #[test]
+    fn property_counts_grouped() {
+        let (store, ids) = fixture();
+        let counts = store.property_counts();
+        assert_eq!(counts.len(), 2);
+        let get = |p: TermId| counts.iter().find(|&&(q, _)| q == p).unwrap().1;
+        assert_eq!(get(ids[3]), 3);
+        assert_eq!(get(ids[4]), 2);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = Store::from_triples(&[]);
+        assert!(store.is_empty());
+        assert_eq!(store.scan(IdPattern::ALL).len(), 0);
+        assert_eq!(store.property_counts().len(), 0);
+    }
+
+    #[test]
+    fn iter_in_spo_order() {
+        let (store, _) = fixture();
+        let v: Vec<_> = store.iter().collect();
+        assert_eq!(v.len(), 5);
+        assert!(v.windows(2).all(|w| w[0].as_array() <= w[1].as_array()));
+    }
+}

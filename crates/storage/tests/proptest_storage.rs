@@ -1,0 +1,172 @@
+//! Property tests of the storage layer: index scans vs a naive reference,
+//! statistics consistency, relation algebra laws.
+
+use proptest::prelude::*;
+use rdfref_model::dictionary::ID_RDF_TYPE;
+use rdfref_model::{EncodedTriple, TermId};
+use rdfref_query::Var;
+use rdfref_storage::relation::Relation;
+use rdfref_storage::store::{IdPattern, Store};
+use rdfref_storage::Stats;
+
+fn triples_strategy() -> impl Strategy<Value = Vec<EncodedTriple>> {
+    proptest::collection::vec(
+        (5u32..15, 0u32..8, 5u32..20).prop_map(|(s, p, o)| {
+            // Property pool includes rdf:type (id 0) sometimes.
+            let prop = if p == 0 { ID_RDF_TYPE } else { TermId(p + 100) };
+            EncodedTriple::new(TermId(s), prop, TermId(o))
+        }),
+        0..60,
+    )
+}
+
+fn naive_scan(triples: &[EncodedTriple], pat: IdPattern) -> Vec<EncodedTriple> {
+    let mut out: Vec<EncodedTriple> = triples
+        .iter()
+        .filter(|t| {
+            pat.s.map(|s| t.s == s).unwrap_or(true)
+                && pat.p.map(|p| t.p == p).unwrap_or(true)
+                && pat.o.map(|o| t.o == o).unwrap_or(true)
+        })
+        .copied()
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every pattern shape agrees with the naive reference filter.
+    #[test]
+    fn scans_match_naive_reference(
+        triples in triples_strategy(),
+        s in proptest::option::of(5u32..15),
+        p in proptest::option::of(0u32..8),
+        o in proptest::option::of(5u32..20),
+    ) {
+        let store = Store::from_triples(&triples);
+        let pat = IdPattern {
+            s: s.map(TermId),
+            p: p.map(|p| if p == 0 { ID_RDF_TYPE } else { TermId(p + 100) }),
+            o: o.map(TermId),
+        };
+        let mut got = store.scan(pat);
+        got.sort_unstable();
+        let expected = naive_scan(&triples, pat);
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(store.count(pat), expected.len());
+    }
+
+    /// Statistics identities: per-property counts sum to the total; class
+    /// counts sum to the number of type triples; distinct counts are exact.
+    #[test]
+    fn stats_identities(triples in triples_strategy()) {
+        let store = Store::from_triples(&triples);
+        let stats = Stats::compute(&store);
+        let total: usize = stats.properties.values().map(|p| p.count).sum();
+        prop_assert_eq!(total, store.len());
+        let class_sum: usize = stats.classes.values().sum();
+        prop_assert_eq!(class_sum, stats.type_triples);
+        // Exact distinct subject count.
+        let mut subjects: Vec<TermId> = store.iter().map(|t| t.s).collect();
+        subjects.sort_unstable();
+        subjects.dedup();
+        prop_assert_eq!(stats.distinct_subjects, subjects.len());
+        // Per-property distincts.
+        for (&p, ps) in &stats.properties {
+            let mut subs: Vec<TermId> = store
+                .iter()
+                .filter(|t| t.p == p)
+                .map(|t| t.s)
+                .collect();
+            subs.sort_unstable();
+            subs.dedup();
+            prop_assert_eq!(ps.distinct_subjects, subs.len());
+        }
+    }
+
+    /// Natural join is commutative up to column order, and joining a
+    /// relation with itself is the identity (after dedup).
+    #[test]
+    fn join_laws(
+        left_rows in proptest::collection::vec((0u32..6, 0u32..6), 0..20),
+        right_rows in proptest::collection::vec((0u32..6, 0u32..6), 0..20),
+    ) {
+        let mk = |cols: [&str; 2], rows: &[(u32, u32)]| {
+            let mut r = Relation::empty(vec![Var::new(cols[0]), Var::new(cols[1])]);
+            for &(a, b) in rows {
+                r.push_row(&[TermId(a), TermId(b)]).unwrap();
+            }
+            r.dedup();
+            r
+        };
+        let l = mk(["x", "y"], &left_rows);
+        let r = mk(["y", "z"], &right_rows);
+
+        // Commutativity up to projection order.
+        let cols = [Var::new("x"), Var::new("y"), Var::new("z")];
+        let mut a = l.natural_join(&r).project(&cols).unwrap();
+        let mut b = r.natural_join(&l).project(&cols).unwrap();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a.to_rows(), b.to_rows());
+
+        // Self-join idempotence.
+        let mut selfjoin = l.natural_join(&l);
+        selfjoin.dedup();
+        selfjoin.sort();
+        let mut l_sorted = l.clone();
+        l_sorted.sort();
+        prop_assert_eq!(selfjoin.to_rows(), l_sorted.to_rows());
+    }
+
+    /// Sort-merge join computes exactly the hash join's result.
+    #[test]
+    fn merge_join_matches_hash_join(
+        left_rows in proptest::collection::vec((0u32..6, 0u32..6), 0..25),
+        right_rows in proptest::collection::vec((0u32..6, 0u32..6), 0..25),
+    ) {
+        let mk = |cols: [&str; 2], rows: &[(u32, u32)]| {
+            let mut r = Relation::empty(vec![Var::new(cols[0]), Var::new(cols[1])]);
+            for &(a, b) in rows {
+                r.push_row(&[TermId(a), TermId(b)]).unwrap();
+            }
+            r
+        };
+        let l = mk(["x", "y"], &left_rows);
+        let r = mk(["y", "z"], &right_rows);
+        let mut hash = l.natural_join(&r);
+        let mut merge = l.sort_merge_join(&r);
+        hash.sort();
+        merge.sort();
+        prop_assert_eq!(hash.columns(), merge.columns());
+        prop_assert_eq!(hash.to_rows(), merge.to_rows());
+        // Two shared columns too.
+        let r2 = mk(["x", "y"], &right_rows);
+        let mut hash2 = l.natural_join(&r2);
+        let mut merge2 = l.sort_merge_join(&r2);
+        hash2.sort();
+        merge2.sort();
+        prop_assert_eq!(hash2.to_rows(), merge2.to_rows());
+    }
+
+    /// Projection then dedup never grows a relation and keeps only listed
+    /// columns.
+    #[test]
+    fn projection_laws(rows in proptest::collection::vec((0u32..5, 0u32..5, 0u32..5), 0..25)) {
+        let mut r = Relation::empty(vec![Var::new("a"), Var::new("b"), Var::new("c")]);
+        for &(x, y, z) in &rows {
+            r.push_row(&[TermId(x), TermId(y), TermId(z)]).unwrap();
+        }
+        let mut p = r.project(&[Var::new("c"), Var::new("a")]).unwrap();
+        p.dedup();
+        prop_assert!(p.len() <= r.len().max(1));
+        prop_assert_eq!(p.arity(), 2);
+        // Every projected row comes from some source row.
+        for row in p.rows() {
+            prop_assert!(r.rows().any(|orig| orig[2] == row[0] && orig[0] == row[1]));
+        }
+    }
+}

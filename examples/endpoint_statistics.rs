@@ -1,0 +1,59 @@
+//! Demo step 1: pick an RDF graph and visualize its statistics (value
+//! distributions for subject, property and object) — for all four synthetic
+//! datasets.
+//!
+//! ```sh
+//! cargo run --release --example endpoint_statistics
+//! ```
+
+use rdfref::datagen::{biblio, geo, insee, lubm};
+use rdfref::model::Graph;
+use rdfref::storage::stats::ValueDistribution;
+use rdfref::storage::{Stats, Store};
+
+fn describe(name: &str, graph: &Graph) {
+    let store = Store::from_graph(graph);
+    let stats = Stats::compute(&store);
+    let dist = ValueDistribution::compute(&store, 5);
+    let dict = graph.dictionary();
+    println!("=== {name} ===");
+    println!(
+        "triples {}  |  distinct subjects {}  properties {}  objects {}  classes {}",
+        stats.total,
+        stats.distinct_subjects,
+        stats.distinct_properties,
+        stats.distinct_objects,
+        stats.distinct_classes()
+    );
+    println!("top properties:");
+    for (p, n) in stats.top_properties(5) {
+        println!("  {:>8}  {}", n, dict.term(p));
+    }
+    println!("top classes:");
+    for (c, n) in stats.top_classes(5) {
+        println!("  {:>8}  {}", n, dict.term(c));
+    }
+    println!("top subjects:");
+    for (s, n) in dist.top_subjects.iter().take(3) {
+        println!("  {:>8}  {}", n, dict.term(*s));
+    }
+    println!("top objects:");
+    for (o, n) in dist.top_objects.iter().take(3) {
+        println!("  {:>8}  {}", n, dict.term(*o));
+    }
+    println!();
+}
+
+fn main() {
+    let lubm = lubm::generate(&lubm::LubmConfig::scale(1));
+    describe("LUBM-like (universities)", &lubm.graph);
+
+    let dblp = biblio::generate(&biblio::BiblioConfig::default());
+    describe("DBLP-like (bibliography, Zipf-skewed authors)", &dblp.graph);
+
+    let ign = geo::generate(&geo::GeoConfig::default());
+    describe("IGN-like (deep administrative hierarchy)", &ign.graph);
+
+    let insee = insee::generate(&insee::InseeConfig::default());
+    describe("INSEE-like (wide flat code lists)", &insee.graph);
+}

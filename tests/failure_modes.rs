@@ -1,0 +1,185 @@
+//! Failure injection: malformed inputs, pathological schemas, resource
+//! limits — everything must fail *gracefully* with a typed error (or
+//! terminate correctly), never hang or panic.
+
+use rdfref::model::parser::{parse_ntriples, parse_turtle};
+use rdfref::model::ModelError;
+use rdfref::prelude::*;
+use rdfref::query::QueryError;
+
+#[test]
+fn malformed_ntriples_report_lines() {
+    for (doc, expect_line) in [
+        ("<http://s> <http://p>\n", 1),
+        ("<http://s> <http://p> <http://o> .\n\"lit\" <http://p> <http://o> .\n", 2),
+        ("<http://s> <http://p> \"unterminated .\n", 1),
+    ] {
+        match parse_ntriples(doc) {
+            Err(ModelError::Syntax { line, .. }) => assert_eq!(line, expect_line, "{doc:?}"),
+            other => panic!("expected syntax error for {doc:?}, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_turtle_rejected() {
+    assert!(parse_turtle("@prefix e: <http://e/> .\ne:a e:b ( 1 ) .").is_err());
+    assert!(parse_turtle("e:a e:b e:c .").is_err()); // unknown prefix
+    assert!(parse_turtle("@prefix e: <http://e/> .\ne:a e:b").is_err()); // missing dot
+}
+
+#[test]
+fn malformed_queries_rejected() {
+    let mut d = Dictionary::new();
+    assert!(matches!(
+        parse_select("SELECT ?x WHERE { }", &mut d),
+        Err(QueryError::Syntax { .. })
+    ));
+    assert!(matches!(
+        parse_select("SELECT ?missing WHERE { ?x <http://p> ?y }", &mut d),
+        Err(QueryError::UnboundHeadVar(_))
+    ));
+    assert!(matches!(
+        parse_select("SELECT ?x WHERE { ?x nope:p ?y }", &mut d),
+        Err(QueryError::UnknownPrefix { .. })
+    ));
+}
+
+#[test]
+fn cyclic_subclass_schema_terminates_everywhere() {
+    let mut g = parse_turtle(
+        r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:A rdfs:subClassOf ex:B .
+ex:B rdfs:subClassOf ex:C .
+ex:C rdfs:subClassOf ex:A .
+ex:x a ex:A .
+"#,
+    )
+    .unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?i WHERE { ?i a ex:B }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    let db = Database::new(g);
+    let opts = AnswerOptions::default();
+    for strategy in [
+        Strategy::Saturation,
+        Strategy::RefUcq,
+        Strategy::RefScq,
+        Strategy::RefGCov,
+        Strategy::Datalog,
+    ] {
+        let a = db.answer(&q, strategy.clone(), &opts).unwrap();
+        assert_eq!(a.len(), 1, "{}", strategy.name());
+    }
+}
+
+#[test]
+fn self_referential_schema_terminates() {
+    // c ⊑ c and p ⊑ p: entirely legal RDF, must not loop.
+    let mut g = parse_turtle(
+        r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:C rdfs:subClassOf ex:C .
+ex:p rdfs:subPropertyOf ex:p .
+ex:x a ex:C .
+ex:x ex:p ex:y .
+"#,
+    )
+    .unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?i WHERE { ?i a ex:C }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    let db = Database::new(g);
+    let a = db
+        .answer(&q, Strategy::RefUcq, &AnswerOptions::default())
+        .unwrap();
+    assert_eq!(a.len(), 1);
+}
+
+#[test]
+fn reformulation_size_limit_is_exact_and_typed() {
+    let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
+    let q = rdfref::datagen::queries::example1(&ds, 0);
+    let db = Database::new(ds.graph.clone());
+    let opts = AnswerOptions {
+        limits: ReformulationLimits { max_cqs: 100, ..Default::default() },
+        ..AnswerOptions::default()
+    };
+    match db.answer(&q, Strategy::RefUcq, &opts) {
+        Err(rdfref::core::CoreError::ReformulationTooLarge { size, limit }) => {
+            assert_eq!(limit, 100);
+            assert!(size > 100);
+        }
+        other => panic!("expected ReformulationTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn row_budget_applies_to_every_strategy() {
+    let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
+    let mix = rdfref::datagen::queries::lubm_mix(&ds);
+    let db = Database::new(ds.graph.clone());
+    let opts = AnswerOptions {
+        row_budget: Some(3),
+        ..AnswerOptions::default()
+    };
+    // Q06 (all students) overflows a budget of 3 under Sat and Ref alike.
+    let q6 = &mix.iter().find(|q| q.name == "Q06").unwrap().cq;
+    for strategy in [Strategy::Saturation, Strategy::RefUcq, Strategy::RefScq] {
+        let err = db.answer(q6, strategy.clone(), &opts).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                rdfref::core::CoreError::Storage(
+                    rdfref::storage::StorageError::RowBudgetExceeded { budget: 3 }
+                )
+            ),
+            "{}: {err}",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn empty_graph_answers_are_empty_not_errors() {
+    let mut g = rdfref::model::Graph::new();
+    let q = parse_select(
+        "SELECT ?x WHERE { ?x a <http://example.org/C> }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    let db = Database::new(g);
+    let opts = AnswerOptions::default();
+    for strategy in [
+        Strategy::Saturation,
+        Strategy::RefUcq,
+        Strategy::RefScq,
+        Strategy::RefGCov,
+        Strategy::Datalog,
+    ] {
+        let a = db.answer(&q, strategy.clone(), &opts).unwrap();
+        assert!(a.is_empty(), "{}", strategy.name());
+    }
+}
+
+#[test]
+fn invalid_covers_are_rejected_before_evaluation() {
+    use rdfref::query::QueryError;
+    // Uncovered atom.
+    assert!(matches!(
+        Cover::new(vec![vec![0]], 2),
+        Err(QueryError::InvalidCover { .. })
+    ));
+    // Out-of-range atom.
+    assert!(matches!(
+        Cover::new(vec![vec![0, 7]], 2),
+        Err(QueryError::InvalidCover { .. })
+    ));
+}

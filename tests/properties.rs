@@ -1,0 +1,324 @@
+//! Property-based tests of the workspace-wide invariants, on random graphs,
+//! random RDFS schemas and random BGP queries:
+//!
+//! * `answer(q, G, S) = q(G∞)` for every complete strategy `S` — the
+//!   correctness contract of reformulation (§3.1 of the paper);
+//! * saturation is idempotent and monotone;
+//! * incremental maintenance (insert + DRed delete) equals from-scratch
+//!   saturation;
+//! * any valid cover yields equivalent answers.
+
+use proptest::prelude::*;
+use rdfref::core::answer::{AnswerOptions, Database, Strategy as AnswerStrategy};
+use rdfref::core::reformulate::{reformulate_ucq, ReformulationLimits, RewriteContext};
+use rdfref::model::dictionary::ID_RDF_TYPE;
+use rdfref::model::{EncodedTriple, Graph, Term, TermId};
+use rdfref::query::ast::{Atom, Cq, PTerm};
+use rdfref::query::{Cover, Var};
+use rdfref::reasoning::{saturate, IncrementalReasoner};
+
+/// The fixed pools the generators draw from.
+struct Pools {
+    graph: Graph,
+    classes: Vec<TermId>,
+    properties: Vec<TermId>,
+    individuals: Vec<TermId>,
+}
+
+fn pools() -> Pools {
+    let mut graph = Graph::new();
+    let d = graph.dictionary_mut();
+    let classes: Vec<TermId> = (0..5)
+        .map(|i| d.intern(&Term::iri(format!("http://t/C{i}"))))
+        .collect();
+    let properties: Vec<TermId> = (0..3)
+        .map(|i| d.intern(&Term::iri(format!("http://t/p{i}"))))
+        .collect();
+    let individuals: Vec<TermId> = (0..6)
+        .map(|i| d.intern(&Term::iri(format!("http://t/i{i}"))))
+        .collect();
+    Pools {
+        graph,
+        classes,
+        properties,
+        individuals,
+    }
+}
+
+/// A compact, shrinkable description of a test scenario.
+#[derive(Debug, Clone)]
+struct Scenario {
+    subclass: Vec<(usize, usize)>,   // class idx pairs
+    subprop: Vec<(usize, usize)>,    // property idx pairs
+    domains: Vec<(usize, usize)>,    // (property, class)
+    ranges: Vec<(usize, usize)>,     // (property, class)
+    type_facts: Vec<(usize, usize)>, // (individual, class)
+    prop_facts: Vec<(usize, usize, usize)>, // (ind, property, ind)
+    query_atoms: Vec<QAtom>,
+}
+
+#[derive(Debug, Clone)]
+enum QAtom {
+    /// (subject var id, class idx or var)
+    Type(u8, Result<usize, u8>),
+    /// (subject var-or-ind, property idx or var, object var-or-ind)
+    Prop(Result<usize, u8>, Result<usize, u8>, Result<usize, u8>),
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    let pair5 = (0usize..5, 0usize..5);
+    let pair3 = (0usize..3, 0usize..3);
+    let pc = (0usize..3, 0usize..5);
+    let pc2 = pc.clone();
+    let type_fact = (0usize..6, 0usize..5);
+    let prop_fact = (0usize..6, 0usize..3, 0usize..6);
+    let var = 0u8..4;
+    let type_atom = (0u8..4, prop_or_var(0..5usize, var.clone()))
+        .prop_map(|(s, c)| QAtom::Type(s, c));
+    let prop_atom = (
+        prop_or_var(0..6usize, var.clone()),
+        prop_or_var(0..3usize, var.clone()),
+        prop_or_var(0..6usize, var),
+    )
+        .prop_map(|(s, p, o)| QAtom::Prop(s, p, o));
+    let atom = prop_oneof![3 => type_atom, 2 => prop_atom];
+    (
+        proptest::collection::vec(pair5, 0..4),
+        proptest::collection::vec(pair3, 0..3),
+        proptest::collection::vec(pc, 0..3),
+        proptest::collection::vec(pc2, 0..3),
+        proptest::collection::vec(type_fact, 0..6),
+        proptest::collection::vec(prop_fact, 0..8),
+        proptest::collection::vec(atom, 1..3),
+    )
+        .prop_map(
+            |(subclass, subprop, domains, ranges, type_facts, prop_facts, query_atoms)| Scenario {
+                subclass,
+                subprop,
+                domains,
+                ranges,
+                type_facts,
+                prop_facts,
+                query_atoms,
+            },
+        )
+}
+
+fn prop_or_var(
+    consts: std::ops::Range<usize>,
+    vars: std::ops::Range<u8>,
+) -> impl Strategy<Value = Result<usize, u8>> {
+    prop_oneof![
+        2 => consts.prop_map(Ok::<usize, u8>),
+        1 => vars.prop_map(Err::<usize, u8>),
+    ]
+}
+
+fn var_name(v: u8) -> Var {
+    Var::new(format!("v{v}"))
+}
+
+/// Materialize the scenario into a graph and a query.
+fn build(scenario: &Scenario) -> (Graph, Cq) {
+    let Pools {
+        mut graph,
+        classes,
+        properties,
+        individuals,
+    } = pools();
+    let sc = graph
+        .dictionary_mut()
+        .intern(&Term::iri(rdfref::model::vocab::RDFS_SUBCLASSOF));
+    let sp = graph
+        .dictionary_mut()
+        .intern(&Term::iri(rdfref::model::vocab::RDFS_SUBPROPERTYOF));
+    let dom = graph
+        .dictionary_mut()
+        .intern(&Term::iri(rdfref::model::vocab::RDFS_DOMAIN));
+    let rng = graph
+        .dictionary_mut()
+        .intern(&Term::iri(rdfref::model::vocab::RDFS_RANGE));
+    for &(a, b) in &scenario.subclass {
+        graph.insert_encoded(EncodedTriple::new(classes[a], sc, classes[b]));
+    }
+    for &(a, b) in &scenario.subprop {
+        graph.insert_encoded(EncodedTriple::new(properties[a], sp, properties[b]));
+    }
+    for &(p, c) in &scenario.domains {
+        graph.insert_encoded(EncodedTriple::new(properties[p], dom, classes[c]));
+    }
+    for &(p, c) in &scenario.ranges {
+        graph.insert_encoded(EncodedTriple::new(properties[p], rng, classes[c]));
+    }
+    for &(i, c) in &scenario.type_facts {
+        graph.insert_encoded(EncodedTriple::new(individuals[i], ID_RDF_TYPE, classes[c]));
+    }
+    for &(s, p, o) in &scenario.prop_facts {
+        graph.insert_encoded(EncodedTriple::new(
+            individuals[s],
+            properties[p],
+            individuals[o],
+        ));
+    }
+
+    let to_pterm_ind = |t: &Result<usize, u8>| match t {
+        Ok(i) => PTerm::Const(individuals[*i]),
+        Err(v) => PTerm::Var(var_name(*v)),
+    };
+    let to_pterm_class = |t: &Result<usize, u8>| match t {
+        Ok(i) => PTerm::Const(classes[*i]),
+        Err(v) => PTerm::Var(var_name(*v)),
+    };
+    let to_pterm_prop = |t: &Result<usize, u8>| match t {
+        Ok(i) => PTerm::Const(properties[*i]),
+        Err(v) => PTerm::Var(var_name(*v)),
+    };
+    let body: Vec<Atom> = scenario
+        .query_atoms
+        .iter()
+        .map(|a| match a {
+            QAtom::Type(s, c) => Atom {
+                s: PTerm::Var(var_name(*s)),
+                p: PTerm::Const(ID_RDF_TYPE),
+                o: to_pterm_class(c),
+            },
+            QAtom::Prop(s, p, o) => Atom {
+                s: to_pterm_ind(s),
+                p: to_pterm_prop(p),
+                o: to_pterm_ind(o),
+            },
+        })
+        .collect();
+    // Head: every variable of the body (maximal projection exercises all
+    // bindings; projections are covered by the cover-based tests).
+    let mut head: Vec<Var> = Vec::new();
+    for atom in &body {
+        for v in atom.vars() {
+            if !head.contains(v) {
+                head.push(v.clone());
+            }
+        }
+    }
+    // A query with no variables at all is legal (boolean); keep it.
+    let cq = Cq::new_unchecked(head.into_iter().map(PTerm::Var).collect(), body);
+    (graph, cq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// The central invariant: every complete strategy equals Sat.
+    #[test]
+    fn all_strategies_compute_certain_answers(scenario in scenario_strategy()) {
+        let (graph, cq) = build(&scenario);
+        let db = Database::new(graph);
+        let opts = AnswerOptions::default();
+        let reference = db.answer(&cq, AnswerStrategy::Saturation, &opts).unwrap().rows();
+        for strategy in [
+            AnswerStrategy::RefUcq,
+            AnswerStrategy::RefScq,
+            AnswerStrategy::RefGCov,
+            AnswerStrategy::Datalog,
+            AnswerStrategy::DatalogMagic,
+        ] {
+            let got = db.answer(&cq, strategy.clone(), &opts).unwrap().rows();
+            prop_assert_eq!(
+                &got, &reference,
+                "{} diverged on {:?}", strategy.name(), scenario
+            );
+        }
+    }
+
+    /// Any set-partition cover yields the same answers.
+    #[test]
+    fn all_partition_covers_agree(scenario in scenario_strategy()) {
+        let (graph, cq) = build(&scenario);
+        let db = Database::new(graph);
+        let opts = AnswerOptions::default();
+        let reference = db.answer(&cq, AnswerStrategy::Saturation, &opts).unwrap().rows();
+        for cover in Cover::enumerate_partitions(cq.size()) {
+            let got = db
+                .answer(&cq, AnswerStrategy::RefJucq(cover.clone()), &opts)
+                .unwrap()
+                .rows();
+            prop_assert_eq!(&got, &reference, "cover {} diverged", cover);
+        }
+    }
+
+    /// Saturation is idempotent and monotone.
+    #[test]
+    fn saturation_laws(scenario in scenario_strategy()) {
+        let (graph, _) = build(&scenario);
+        let once = saturate(&graph);
+        prop_assert_eq!(&saturate(&once), &once);
+        for t in graph.iter_decoded() {
+            prop_assert!(once.contains(&t));
+        }
+    }
+
+    /// Incremental insert/delete equals from-scratch saturation.
+    #[test]
+    fn incremental_maintenance_is_correct(
+        scenario in scenario_strategy(),
+        insert_sel in proptest::collection::vec(any::<bool>(), 30),
+        delete_sel in proptest::collection::vec(any::<bool>(), 30),
+    ) {
+        let (graph, _) = build(&scenario);
+        // Start from roughly half the triples (sharing the dictionary);
+        // insert the rest incrementally; then delete a random subset.
+        let all: Vec<EncodedTriple> = graph.triples().to_vec();
+        let mut base = graph.clone();
+        let to_insert: Vec<EncodedTriple> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .map(|(_, t)| *t)
+            .collect();
+        for t in &to_insert {
+            base.remove_encoded(*t);
+        }
+
+        let mut reasoner = IncrementalReasoner::new(base);
+        let batch: Vec<EncodedTriple> = to_insert
+            .iter()
+            .zip(insert_sel.iter().cycle())
+            .filter(|(_, &keep)| keep)
+            .map(|(t, _)| *t)
+            .collect();
+        reasoner.insert(&batch);
+        prop_assert_eq!(reasoner.saturated(), &saturate(reasoner.explicit()));
+
+        let deletions: Vec<EncodedTriple> = reasoner
+            .explicit()
+            .triples()
+            .iter()
+            .zip(delete_sel.iter().cycle())
+            .filter(|(_, &del)| del)
+            .map(|(t, _)| *t)
+            .collect();
+        reasoner.delete(&deletions);
+        prop_assert_eq!(reasoner.saturated(), &saturate(reasoner.explicit()));
+    }
+
+    /// Reformulated UCQs never lose or invent answers when the schema is
+    /// empty of constraints relevant to the query: with no constraints at
+    /// all, the reformulation is the identity.
+    #[test]
+    fn empty_schema_reformulation_is_identity(
+        scenario in scenario_strategy(),
+    ) {
+        let mut s = scenario;
+        s.subclass.clear();
+        s.subprop.clear();
+        s.domains.clear();
+        s.ranges.clear();
+        let (graph, cq) = build(&s);
+        let db = Database::new(graph);
+        let ctx = RewriteContext::new(db.schema(), db.closure());
+        let ucq = reformulate_ucq(&cq, &ctx, ReformulationLimits::default()).unwrap();
+        prop_assert_eq!(ucq.len(), 1);
+    }
+}
