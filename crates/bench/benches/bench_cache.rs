@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark for the plan cache: cold (cache bypassed)
+//! vs. warm (plan reused) answering of the LUBM mix, for the two Ref
+//! strategies whose planning cost the cache amortizes most — the full UCQ
+//! reformulation and the GCov cover search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+
+fn bench_cache(c: &mut Criterion) {
+    let ds = generate(&LubmConfig::scale(2));
+    let mut group = c.benchmark_group("plan_cache");
+    group.sample_size(10);
+    for strategy in [Strategy::RefUcq, Strategy::RefGCov] {
+        for nq in queries::lubm_mix(&ds).into_iter().take(4) {
+            let db = Database::new(ds.graph.clone());
+            let cold = AnswerOptions {
+                use_cache: false,
+                ..AnswerOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("cold-{}", strategy.name()), nq.name),
+                &nq.cq,
+                |b, q| b.iter(|| db.answer(q, strategy.clone(), &cold).unwrap().len()),
+            );
+            let warm = AnswerOptions::default();
+            // Populate the cache once, then measure warm answering.
+            db.answer(&nq.cq, strategy.clone(), &warm).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("warm-{}", strategy.name()), nq.name),
+                &nq.cq,
+                |b, q| b.iter(|| db.answer(q, strategy.clone(), &warm).unwrap().len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

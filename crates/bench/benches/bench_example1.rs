@@ -17,7 +17,10 @@ fn bench_example1(c: &mut Criterion) {
     let db = Database::new(ds.graph.clone());
     db.prepare_saturation();
     let opts = AnswerOptions {
-        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        limits: ReformulationLimits {
+            max_cqs: 50_000,
+            ..Default::default()
+        },
         ..AnswerOptions::default()
     };
 
@@ -44,7 +47,10 @@ fn bench_example1(c: &mut Criterion) {
         let ctx = RewriteContext::new(db.schema(), db.closure());
         let model = CostModel::new(db.stats());
         let gopts = GcovOptions {
-            limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+            limits: ReformulationLimits {
+                max_cqs: 50_000,
+                ..Default::default()
+            },
             ..GcovOptions::default()
         };
         b.iter(|| black_box(gcov(&q, &ctx, &model, &gopts).unwrap().cover))

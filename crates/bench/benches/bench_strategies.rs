@@ -14,7 +14,10 @@ fn bench_strategies(c: &mut Criterion) {
     let db = Database::new(ds.graph.clone());
     db.prepare_saturation();
     let opts = AnswerOptions {
-        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        limits: ReformulationLimits {
+            max_cqs: 50_000,
+            ..Default::default()
+        },
         ..AnswerOptions::default()
     };
     let mix = queries::lubm_mix(&ds);
@@ -33,9 +36,7 @@ fn bench_strategies(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(strategy.name().replace('/', "_"), name),
                 q,
-                |b, q| {
-                    b.iter(|| black_box(db.answer(q, strategy.clone(), &opts).unwrap().len()))
-                },
+                |b, q| b.iter(|| black_box(db.answer(q, strategy.clone(), &opts).unwrap().len())),
             );
         }
     }

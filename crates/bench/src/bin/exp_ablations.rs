@@ -25,7 +25,10 @@ fn main() {
     let db = Database::new(ds.graph.clone());
 
     let limits = ReformulationLimits::default();
-    let mut table = Table::new("A1–A5 — design-decision ablations", &["ablation", "variant", "result"]);
+    let mut table = Table::new(
+        "A1–A5 — design-decision ablations",
+        &["ablation", "variant", "result"],
+    );
 
     // A1: dictionary-encoded index scan vs decoding every triple to terms.
     {
@@ -103,7 +106,10 @@ fn main() {
         let q = queries::example1(&ds, 0);
         let ctx = RewriteContext::new(db.schema(), db.closure());
         let gcov_opts = GcovOptions {
-            limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+            limits: ReformulationLimits {
+                max_cqs: 50_000,
+                ..Default::default()
+            },
             ..GcovOptions::default()
         };
         let variants: Vec<(&str, CostParams)> = vec![
@@ -137,7 +143,10 @@ fn main() {
                     &q,
                     Strategy::RefJucq(result.cover.clone()),
                     &AnswerOptions {
-                        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+                        limits: ReformulationLimits {
+                            max_cqs: 50_000,
+                            ..Default::default()
+                        },
                         ..AnswerOptions::default()
                     },
                 )
@@ -163,16 +172,13 @@ fn main() {
             .cq;
         let ctx = RewriteContext::new(db.schema(), db.closure());
         let model = CostModel::new(db.stats());
-        let (greedy, t_greedy) =
-            time(|| gcov(&q, &ctx, &model, &GcovOptions::default()).unwrap());
+        let (greedy, t_greedy) = time(|| gcov(&q, &ctx, &model, &GcovOptions::default()).unwrap());
         let (best, t_exhaustive) = time(|| {
             Cover::enumerate_partitions(q.size())
                 .into_iter()
                 .filter_map(|cover| {
-                    let jucq = rdfref_core::reformulate::reformulate_jucq(
-                        &q, &cover, &ctx, limits,
-                    )
-                    .ok()?;
+                    let jucq = rdfref_core::reformulate::reformulate_jucq(&q, &cover, &ctx, limits)
+                        .ok()?;
                     Some((model.jucq_estimate(&jucq).cost, cover))
                 })
                 .min_by(|a, b| a.0.total_cmp(&b.0))
@@ -222,9 +228,8 @@ fn main() {
             .unwrap()
             .cq;
         let ctx = RewriteContext::new(db.schema(), db.closure());
-        let (plain, t_plain) = time(|| {
-            reformulate_ucq(&q, &ctx, ReformulationLimits::default()).unwrap()
-        });
+        let (plain, t_plain) =
+            time(|| reformulate_ucq(&q, &ctx, ReformulationLimits::default()).unwrap());
         let (pruned, t_pruned) = time(|| {
             reformulate_ucq(
                 &q,

@@ -1,0 +1,126 @@
+//! E9 — the plan cache: cold vs. warm answering on repeated queries.
+//!
+//! A server answering the paper's workloads sees the same queries over and
+//! over; the plan cache amortizes the reformulation (UCQ) and cover-search
+//! (GCov) cost across repetitions. This experiment answers each LUBM-mix
+//! query `EXP_REPS` times with the cache bypassed (cold: every call plans
+//! from scratch) and with the cache enabled (warm: the first call plans,
+//! the rest reuse), and reports the per-call mean and the speedup.
+//! Scale via `EXP_SCALE` (default 2), repetitions via `EXP_REPS`
+//! (default 5).
+
+use rdfref_bench::report::Table;
+use rdfref_bench::{fmt_duration, time};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let scale = env_usize("EXP_SCALE", 2);
+    let reps = env_usize("EXP_REPS", 5).max(1);
+    eprintln!("generating LUBM-like dataset (scale {scale})…");
+    let ds = generate(&LubmConfig::scale(scale));
+    let db = Database::new(ds.graph.clone());
+    let cold_opts = AnswerOptions {
+        use_cache: false,
+        ..AnswerOptions::default()
+    };
+    let warm_opts = AnswerOptions::default();
+
+    let strategies = [Strategy::RefUcq, Strategy::RefScq, Strategy::RefGCov];
+    let mut table = Table::new(
+        format!(
+            "E9 — plan cache, cold vs warm ({} triples, {reps} repetitions per query)",
+            ds.graph.len()
+        ),
+        &[
+            "query",
+            "strategy",
+            "answers",
+            "cold/call",
+            "warm/call",
+            "speedup",
+        ],
+    );
+
+    let mut totals = vec![(std::time::Duration::ZERO, std::time::Duration::ZERO); strategies.len()];
+    for nq in queries::lubm_mix(&ds) {
+        for (si, strategy) in strategies.iter().enumerate() {
+            let mut answers = 0usize;
+            let (_, cold_total) = time(|| {
+                for _ in 0..reps {
+                    answers = db
+                        .answer(&nq.cq, strategy.clone(), &cold_opts)
+                        .map(|a| a.len())
+                        .unwrap_or(0);
+                }
+            });
+            // Warm the cache outside the measurement, as a server would be
+            // after its first time seeing the query.
+            let warm_answers = db
+                .answer(&nq.cq, strategy.clone(), &warm_opts)
+                .map(|a| a.len())
+                .unwrap_or(0);
+            assert_eq!(
+                warm_answers,
+                answers,
+                "cached answering diverged on {} / {}",
+                nq.name,
+                strategy.name()
+            );
+            let (_, warm_total) = time(|| {
+                for _ in 0..reps {
+                    let a = db.answer(&nq.cq, strategy.clone(), &warm_opts).unwrap();
+                    assert!(a.explain.cache.is_some_and(|c| c.hit), "expected a hit");
+                }
+            });
+            let cold = cold_total / reps as u32;
+            let warm = warm_total / reps as u32;
+            totals[si].0 += cold;
+            totals[si].1 += warm;
+            let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+            table.row(&[
+                nq.name.to_string(),
+                strategy.name().to_string(),
+                answers.to_string(),
+                fmt_duration(cold),
+                fmt_duration(warm),
+                format!("{speedup:.1}×"),
+            ]);
+        }
+    }
+    for (si, strategy) in strategies.iter().enumerate() {
+        let (cold, warm) = totals[si];
+        table.row(&[
+            "TOTAL".to_string(),
+            strategy.name().to_string(),
+            String::new(),
+            fmt_duration(cold),
+            fmt_duration(warm),
+            format!("{:.1}×", cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let c = db.plan_cache().counters();
+    println!(
+        "plan cache: {} hits / {} misses / {} evictions / {} invalidations, {} entries resident",
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.invalidations,
+        db.plan_cache().len()
+    );
+    println!(
+        "\ninterpretation: warm calls skip reformulation (UCQ/SCQ) and the\n\
+         cover search (GCov); the residual time is pure evaluation, so the\n\
+         speedup is the planning share of each strategy's cost."
+    );
+}

@@ -22,7 +22,10 @@ fn main() {
 
     let profiles: Vec<(&str, IncompletenessProfile)> = vec![
         ("complete", IncompletenessProfile::complete()),
-        ("hierarchies-only", IncompletenessProfile::hierarchies_only()),
+        (
+            "hierarchies-only",
+            IncompletenessProfile::hierarchies_only(),
+        ),
         ("subclass-only", IncompletenessProfile::subclass_only()),
         ("no-reasoning", IncompletenessProfile::none()),
     ];

@@ -18,7 +18,10 @@ use rdfref_query::ast::{Atom, Cq};
 use rdfref_query::Var;
 
 fn main() {
-    let limits = ReformulationLimits { max_cqs: 100_000, ..Default::default() };
+    let limits = ReformulationLimits {
+        max_cqs: 100_000,
+        ..Default::default()
+    };
     let opts = AnswerOptions {
         limits,
         ..AnswerOptions::default()

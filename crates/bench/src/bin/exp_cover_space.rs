@@ -30,11 +30,7 @@ fn spearman(pairs: &[(f64, f64)]) -> f64 {
     };
     let xr = rank(pairs.iter().map(|p| p.0).collect());
     let yr = rank(pairs.iter().map(|p| p.1).collect());
-    let d2: f64 = xr
-        .iter()
-        .zip(&yr)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum();
+    let d2: f64 = xr.iter().zip(&yr).map(|(a, b)| (a - b) * (a - b)).sum();
     1.0 - 6.0 * d2 / (n as f64 * ((n * n - 1) as f64))
 }
 
@@ -45,7 +41,10 @@ fn main() {
         .unwrap_or(4);
     let ds = generate(&LubmConfig::scale(scale));
     let db = Database::new(ds.graph.clone());
-    let limits = ReformulationLimits { max_cqs: 50_000, ..Default::default() };
+    let limits = ReformulationLimits {
+        max_cqs: 50_000,
+        ..Default::default()
+    };
     let opts = AnswerOptions {
         limits,
         ..AnswerOptions::default()
@@ -79,7 +78,13 @@ fn main() {
                 fmt_duration(search_time),
                 result.cover
             ),
-            &["cover", "est. cost", "est. card", "actual time", "actual peak rows"],
+            &[
+                "cover",
+                "est. cost",
+                "est. card",
+                "actual time",
+                "actual peak rows",
+            ],
         );
         let mut pairs: Vec<(f64, f64)> = Vec::new();
         for (cover, est) in &result.explored {

@@ -20,7 +20,10 @@ fn main() {
         .filter_map(|s| s.trim().parse().ok())
         .collect();
     let opts = AnswerOptions {
-        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        limits: ReformulationLimits {
+            max_cqs: 50_000,
+            ..Default::default()
+        },
         ..AnswerOptions::default()
     };
 

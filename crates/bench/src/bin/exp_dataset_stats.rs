@@ -17,10 +17,7 @@ fn describe(slug: &str, name: &str, graph: &Graph) {
     let schema = Schema::from_graph(graph);
     let dict = graph.dictionary();
 
-    let mut summary = Table::new(
-        format!("E7 — {name}: summary"),
-        &["measure", "value"],
-    );
+    let mut summary = Table::new(format!("E7 — {name}: summary"), &["measure", "value"]);
     for (k, v) in [
         ("triples", stats.total.to_string()),
         ("distinct subjects", stats.distinct_subjects.to_string()),
@@ -29,7 +26,10 @@ fn describe(slug: &str, name: &str, graph: &Graph) {
         ("rdf:type triples", stats.type_triples.to_string()),
         ("distinct classes", stats.distinct_classes().to_string()),
         ("subClassOf constraints", schema.subclass.len().to_string()),
-        ("subPropertyOf constraints", schema.subproperty.len().to_string()),
+        (
+            "subPropertyOf constraints",
+            schema.subproperty.len().to_string(),
+        ),
         ("domain constraints", schema.domain.len().to_string()),
         ("range constraints", schema.range.len().to_string()),
     ] {

@@ -24,10 +24,7 @@ fn run_section(table: &mut Table, dataset: &str, graph: &Graph, mix: Vec<NamedQu
     };
     db.prepare_saturation();
     for nq in mix {
-        let mut cells = vec![
-            dataset.to_string(),
-            nq.name.to_string(),
-        ];
+        let mut cells = vec![dataset.to_string(), nq.name.to_string()];
         let mut answers = String::new();
         for strategy in [
             Strategy::Saturation,
@@ -69,13 +66,23 @@ fn main() {
     );
 
     let dblp = biblio::generate(&biblio::BiblioConfig::default());
-    run_section(&mut table, "DBLP-like", &dblp.graph, queries::biblio_mix(&dblp));
+    run_section(
+        &mut table,
+        "DBLP-like",
+        &dblp.graph,
+        queries::biblio_mix(&dblp),
+    );
 
     let ign = geo::generate(&geo::GeoConfig::default());
     run_section(&mut table, "IGN-like", &ign.graph, queries::geo_mix(&ign));
 
     let ins = insee::generate(&insee::InseeConfig::default());
-    run_section(&mut table, "INSEE-like", &ins.graph, queries::insee_mix(&ins));
+    run_section(
+        &mut table,
+        "INSEE-like",
+        &ins.graph,
+        queries::insee_mix(&ins),
+    );
 
     table.emit("exp_datasets");
 }

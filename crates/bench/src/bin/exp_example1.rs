@@ -27,7 +27,10 @@ fn main() {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let limit = ReformulationLimits { max_cqs: 50_000, ..Default::default() };
+    let limit = ReformulationLimits {
+        max_cqs: 50_000,
+        ..Default::default()
+    };
 
     let mut table = Table::new(
         "E1 — Example 1: UCQ vs SCQ vs JUCQ vs GCov \
@@ -83,7 +86,11 @@ fn main() {
 
         // (iii) the paper's cover.
         let paper = db
-            .answer(&q, Strategy::RefJucq(queries::example1_paper_cover()), &opts)
+            .answer(
+                &q,
+                Strategy::RefJucq(queries::example1_paper_cover()),
+                &opts,
+            )
             .expect("paper cover runs");
         assert_eq!(paper.rows(), scq.rows());
 

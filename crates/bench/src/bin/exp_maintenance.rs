@@ -61,10 +61,8 @@ fn main() {
         let batch: Vec<EncodedTriple> = (0..batch_size)
             .map(|i| {
                 let s = Term::iri(format!("http://new.example.org/person{i}"));
-                let dept = rdfref_datagen::lubm::LubmDataset::department_iri(
-                    rng.gen_range(0..scale),
-                    0,
-                );
+                let dept =
+                    rdfref_datagen::lubm::LubmDataset::department_iri(rng.gen_range(0..scale), 0);
                 reasoner.intern_triple(
                     &s,
                     &Term::iri(format!("{}memberOf", rdfref_datagen::lubm::UB)),
@@ -79,7 +77,10 @@ fn main() {
             batch_size.to_string(),
             fmt_duration(inc_time),
             fmt_duration(full_time),
-            format!("{:.1}×", full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}×",
+                full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
 
@@ -97,7 +98,10 @@ fn main() {
             batch_size.to_string(),
             fmt_duration(inc_time),
             fmt_duration(full_time),
-            format!("{:.1}×", full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}×",
+                full_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
 

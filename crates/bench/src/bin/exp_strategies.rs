@@ -22,7 +22,10 @@ fn main() {
     let ds = generate(&LubmConfig::scale(scale));
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions {
-        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        limits: ReformulationLimits {
+            max_cqs: 50_000,
+            ..Default::default()
+        },
         ..AnswerOptions::default()
     };
     // Warm the saturation once so Sat timings exclude the build (reported
@@ -50,7 +53,14 @@ fn main() {
             sat_added
         ),
         &[
-            "query", "complete", "Sat", "Ref/UCQ", "Ref/SCQ", "Ref/GCov", "Ref/incpl", "Dat",
+            "query",
+            "complete",
+            "Sat",
+            "Ref/UCQ",
+            "Ref/SCQ",
+            "Ref/GCov",
+            "Ref/incpl",
+            "Dat",
         ],
     );
 
@@ -69,7 +79,12 @@ fn main() {
                     if complete {
                         fmt_duration(outcome.wall)
                     } else {
-                        format!("{} ({}⁄{})", fmt_duration(outcome.wall), n, complete_count.unwrap())
+                        format!(
+                            "{} ({}⁄{})",
+                            fmt_duration(outcome.wall),
+                            n,
+                            complete_count.unwrap()
+                        )
                     }
                 }
                 Err(_) => "FAILS".to_string(),
@@ -81,4 +96,13 @@ fn main() {
     }
     table.emit("exp_strategies");
     println!("(n⁄m) = returned n of m complete answers; FAILS = reformulation size limit");
+    let c = db.plan_cache().counters();
+    println!(
+        "plan cache: {} hits / {} misses / {} evictions / {} invalidations, {} entries resident",
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.invalidations,
+        db.plan_cache().len()
+    );
 }

@@ -103,7 +103,10 @@ mod tests {
         let q = rdfref_datagen::queries::example1(&ds, 0);
         let db = Database::new(ds.graph.clone());
         let opts = AnswerOptions {
-            limits: rdfref_core::ReformulationLimits { max_cqs: 10, ..Default::default() },
+            limits: rdfref_core::ReformulationLimits {
+                max_cqs: 10,
+                ..Default::default()
+            },
             ..AnswerOptions::default()
         };
         let outcome = run_strategy(&db, &q, Strategy::RefUcq, &opts);

@@ -78,21 +78,18 @@ impl Shell {
     /// A fresh shell with an empty graph.
     pub fn new() -> Shell {
         let mut prefixes = BTreeMap::new();
-        prefixes.insert(
-            "rdf".to_string(),
-            rdfref_model::vocab::RDF_NS.to_string(),
-        );
-        prefixes.insert(
-            "rdfs".to_string(),
-            rdfref_model::vocab::RDFS_NS.to_string(),
-        );
+        prefixes.insert("rdf".to_string(), rdfref_model::vocab::RDF_NS.to_string());
+        prefixes.insert("rdfs".to_string(), rdfref_model::vocab::RDFS_NS.to_string());
         prefixes.insert("ub".to_string(), lubm::UB.to_string());
         Shell {
             graph: Graph::new(),
             db: None,
             query_text: None,
             strategy: Strategy::RefGCov,
-            limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+            limits: ReformulationLimits {
+                max_cqs: 50_000,
+                ..Default::default()
+            },
             row_budget: None,
             prefixes,
             dataset_label: "(empty)".to_string(),
@@ -176,7 +173,9 @@ impl Shell {
 
     fn cmd_load(&mut self, rest: &str) -> Result<Response, String> {
         let mut parts = rest.split_whitespace();
-        let kind = parts.next().ok_or("usage: load lubm <n> | dblp | geo | insee | file <path>")?;
+        let kind = parts
+            .next()
+            .ok_or("usage: load lubm <n> | dblp | geo | insee | file <path>")?;
         let graph = match kind {
             "lubm" => {
                 let scale: usize = parts
@@ -201,8 +200,8 @@ impl Shell {
             }
             "file" => {
                 let path = parts.next().ok_or("usage: load file <path>")?;
-                let content =
-                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                let content = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
                 let mut g = Graph::new();
                 let result = if path.ends_with(".nt") {
                     parse_ntriples_into(&content, &mut g)
@@ -303,7 +302,9 @@ impl Shell {
 
     fn cmd_strategy(&mut self, rest: &str) -> Result<Response, String> {
         let mut parts = rest.split_whitespace();
-        let kind = parts.next().ok_or("usage: strategy sat|ucq|scq|gcov|dat|incomplete <p>|cover …")?;
+        let kind = parts
+            .next()
+            .ok_or("usage: strategy sat|ucq|scq|gcov|dat|incomplete <p>|cover …")?;
         self.strategy = match kind {
             "sat" => Strategy::Saturation,
             "ucq" => Strategy::RefUcq,
@@ -326,7 +327,10 @@ impl Shell {
             }
             other => return Err(format!("unknown strategy '{other}'")),
         };
-        Ok(Response::text(format!("strategy: {}", self.strategy.name())))
+        Ok(Response::text(format!(
+            "strategy: {}",
+            self.strategy.name()
+        )))
     }
 
     fn cmd_limit(&mut self, rest: &str) -> Result<Response, String> {
@@ -340,7 +344,9 @@ impl Shell {
             self.limits.prune_subsumed_below = 0;
             return Ok(Response::text("subsumption pruning: off"));
         }
-        let n: usize = rest.parse().map_err(|_| "usage: prune <n>|off".to_string())?;
+        let n: usize = rest
+            .parse()
+            .map_err(|_| "usage: prune <n>|off".to_string())?;
         self.limits.prune_subsumed_below = n;
         Ok(Response::text(format!(
             "subsumption pruning: unions up to {n} CQs"
@@ -352,7 +358,9 @@ impl Shell {
             self.row_budget = None;
             return Ok(Response::text("row budget: off"));
         }
-        let n: usize = rest.parse().map_err(|_| "usage: budget <n>|off".to_string())?;
+        let n: usize = rest
+            .parse()
+            .map_err(|_| "usage: budget <n>|off".to_string())?;
         self.row_budget = Some(n);
         Ok(Response::text(format!("row budget: {n} rows")))
     }
@@ -386,8 +394,8 @@ impl Shell {
         let dict = db.graph().dictionary();
         match rest.trim() {
             "ucq" | "" => {
-                let ucq = rdfref_core::reformulate_ucq(&cq, &ctx, limits)
-                    .map_err(|e| e.to_string())?;
+                let ucq =
+                    rdfref_core::reformulate_ucq(&cq, &ctx, limits).map_err(|e| e.to_string())?;
                 let mut out = format!("UCQ reformulation: {} CQ(s)\n", ucq.len());
                 for cq in ucq.cqs.iter().take(30) {
                     out.push_str("  ");
@@ -400,8 +408,8 @@ impl Shell {
                 Ok(Response::text(out.trim_end().to_string()))
             }
             "scq" => {
-                let jucq = rdfref_core::reformulate_scq(&cq, &ctx, limits)
-                    .map_err(|e| e.to_string())?;
+                let jucq =
+                    rdfref_core::reformulate_scq(&cq, &ctx, limits).map_err(|e| e.to_string())?;
                 Ok(Response::text(
                     rdfref_query::display::jucq_to_string(&jucq, dict)
                         .trim_end()
@@ -434,7 +442,11 @@ impl Shell {
             .as_ref()
             .ok_or_else(|| "no run yet — use 'run' first".to_string())?;
         let mut out = String::new();
-        let _ = writeln!(out, "operator trace of the last run ({}):", explain.strategy);
+        let _ = writeln!(
+            out,
+            "operator trace of the last run ({}):",
+            explain.strategy
+        );
         for step in &explain.metrics.steps {
             let _ = writeln!(out, "  {:<18} → {:>8} rows", step.label, step.rows);
         }
@@ -592,7 +604,9 @@ impl Shell {
 
     fn cmd_constraint(&mut self, rest: &str) -> Result<Response, String> {
         let mut parts = rest.split_whitespace();
-        let kind = parts.next().ok_or("usage: constraint sub|subprop|domain|range <a> <b>")?;
+        let kind = parts
+            .next()
+            .ok_or("usage: constraint sub|subprop|domain|range <a> <b>")?;
         let a = parts.next().ok_or("missing first argument")?;
         let b = parts.next().ok_or("missing second argument")?;
         let prop = match kind {
@@ -748,7 +762,10 @@ mod tests {
     fn limits_and_budget() {
         let mut s = Shell::new();
         run(&mut s, "load lubm 1");
-        run(&mut s, "query SELECT ?x ?u WHERE { ?x a ?u . ?x ub:memberOf ?d }");
+        run(
+            &mut s,
+            "query SELECT ?x ?u WHERE { ?x a ?u . ?x ub:memberOf ?d }",
+        );
         run(&mut s, "strategy ucq");
         run(&mut s, "limit 3");
         let out = run(&mut s, "run");
@@ -783,7 +800,10 @@ mod tests {
         let mut s = Shell::new();
         assert!(run(&mut s, "plan").contains("no run yet"));
         run(&mut s, "load lubm 1");
-        run(&mut s, "query SELECT ?x WHERE { ?x a ub:Person . ?x ub:memberOf ?d }");
+        run(
+            &mut s,
+            "query SELECT ?x WHERE { ?x a ub:Person . ?x ub:memberOf ?d }",
+        );
         run(&mut s, "run");
         let plan = run(&mut s, "plan");
         assert!(plan.contains("operator trace"), "{plan}");

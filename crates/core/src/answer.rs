@@ -18,20 +18,22 @@
 //! invariant); they differ — dramatically, on the paper's workloads — in
 //! how they get there, which [`Explain`] exposes.
 
+use crate::cache::{CacheKey, CachedPlan, PlanCache, StrategyTag};
 use crate::error::Result;
-use crate::explain::Explain;
-use crate::gcov::{gcov, GcovOptions};
+use crate::explain::{CacheReport, Explain};
+use crate::gcov::{gcov, GcovOptions, GcovResult};
 use crate::incomplete::IncompletenessProfile;
 use crate::reformulate::rules::RewriteContext;
 use crate::reformulate::ucq::{reformulate_ucq, ReformulationLimits};
 use crate::reformulate::{reformulate_jucq, reformulate_scq};
 use rdfref_model::{Graph, Schema, SchemaClosure, TermId};
-use rdfref_query::ast::{Cq, Jucq};
-use rdfref_query::Cover;
+use rdfref_query::ast::{Cq, Fragment, Jucq, PTerm, Substitution, Ucq};
+use rdfref_query::canonical::{alpha_canonicalize, AlphaCanonical};
+use rdfref_query::{Cover, Var};
 use rdfref_reasoning::saturate_in_place;
 use rdfref_storage::evaluator::{head_names, Evaluator};
 use rdfref_storage::{ExecMetrics, Relation, Stats, Store};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// A query answering strategy.
@@ -73,7 +75,7 @@ impl Strategy {
 }
 
 /// Options shared by all strategies.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct AnswerOptions {
     /// Reformulation size limits.
     pub limits: ReformulationLimits,
@@ -83,6 +85,21 @@ pub struct AnswerOptions {
     pub parallel_unions: bool,
     /// GCov search options (`RefGCov` only).
     pub gcov: GcovOptions,
+    /// Reuse plans through the database's [`PlanCache`] (Ref strategies).
+    /// On by default; disable to force fresh planning on every call.
+    pub use_cache: bool,
+}
+
+impl Default for AnswerOptions {
+    fn default() -> Self {
+        AnswerOptions {
+            limits: ReformulationLimits::default(),
+            row_budget: None,
+            parallel_unions: false,
+            gcov: GcovOptions::default(),
+            use_cache: true,
+        }
+    }
 }
 
 /// The answer to a query plus its explanation.
@@ -148,12 +165,21 @@ pub struct Database {
     store: Store,
     stats: Stats,
     saturated: OnceLock<SaturatedPart>,
+    /// Shared reformulation/plan cache (see [`crate::cache`]).
+    cache: Arc<PlanCache>,
 }
 
 impl Database {
     /// Prepare a database from a graph (schema triples are recognized
-    /// in-line, as in the DB fragment).
+    /// in-line, as in the DB fragment), with a fresh plan cache.
     pub fn new(graph: Graph) -> Database {
+        Database::with_cache(graph, Arc::new(PlanCache::default()))
+    }
+
+    /// Prepare a database sharing an existing plan cache — used by
+    /// [`crate::maintained::MaintainedDatabase`] to keep one cache alive
+    /// across rebuilds (its epochs decide which entries survive).
+    pub fn with_cache(graph: Graph, cache: Arc<PlanCache>) -> Database {
         let schema = Schema::from_graph(&graph);
         let closure = schema.closure();
         let store = Store::from_graph(&graph);
@@ -165,7 +191,13 @@ impl Database {
             store,
             stats,
             saturated: OnceLock::new(),
+            cache,
         }
+    }
+
+    /// The plan cache (shared handle).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
     }
 
     /// The underlying graph.
@@ -214,12 +246,7 @@ impl Database {
     }
 
     /// Answer `cq` with `strategy`.
-    pub fn answer(
-        &self,
-        cq: &Cq,
-        strategy: Strategy,
-        opts: &AnswerOptions,
-    ) -> Result<QueryAnswer> {
+    pub fn answer(&self, cq: &Cq, strategy: Strategy, opts: &AnswerOptions) -> Result<QueryAnswer> {
         let start = Instant::now();
         let out = head_names(cq);
         let mut explain = Explain {
@@ -238,8 +265,10 @@ impl Database {
                 ev.eval_cq(cq, &out, &mut metrics)?
             }
             Strategy::RefUcq => {
-                let ctx = RewriteContext::new(&self.schema, &self.closure);
-                let ucq = reformulate_ucq(cq, &ctx, opts.limits)?;
+                let plan = self.ref_plan(cq, PlanRequest::Ucq, opts, &mut explain)?;
+                let CachedPlan::Ucq(ucq) = plan else {
+                    unreachable!("UCQ request yields a UCQ plan")
+                };
                 explain.reformulation_cqs = ucq.len();
                 explain.reformulation_atoms = ucq.total_atoms();
                 let model = rdfref_storage::CostModel::new(&self.stats);
@@ -250,23 +279,26 @@ impl Database {
                 ev.eval_ucq(&ucq, &out, &mut metrics)?
             }
             Strategy::RefScq => {
-                let ctx = RewriteContext::new(&self.schema, &self.closure);
-                let jucq = reformulate_scq(cq, &ctx, opts.limits)?;
+                let plan = self.ref_plan(cq, PlanRequest::Scq, opts, &mut explain)?;
+                let CachedPlan::Jucq(jucq) = plan else {
+                    unreachable!("SCQ request yields a JUCQ plan")
+                };
                 explain.cover = Some(Cover::singletons(cq.size()));
                 self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
             }
             Strategy::RefJucq(cover) => {
-                let ctx = RewriteContext::new(&self.schema, &self.closure);
-                let jucq = reformulate_jucq(cq, cover, &ctx, opts.limits)?;
+                let plan = self.ref_plan(cq, PlanRequest::Jucq(cover), opts, &mut explain)?;
+                let CachedPlan::Jucq(jucq) = plan else {
+                    unreachable!("JUCQ request yields a JUCQ plan")
+                };
                 explain.cover = Some(cover.clone());
                 self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
             }
             Strategy::RefGCov => {
-                let ctx = RewriteContext::new(&self.schema, &self.closure);
-                let model = rdfref_storage::CostModel::new(&self.stats);
-                let mut gcov_opts = opts.gcov;
-                gcov_opts.limits = opts.limits;
-                let result = gcov(cq, &ctx, &model, &gcov_opts)?;
+                let plan = self.ref_plan(cq, PlanRequest::Gcov, opts, &mut explain)?;
+                let CachedPlan::Gcov(result) = plan else {
+                    unreachable!("GCov request yields a GCov plan")
+                };
                 explain.cover = Some(result.cover.clone());
                 explain.estimate = Some(result.estimate);
                 explain.explored = result.explored.clone();
@@ -312,10 +344,98 @@ impl Database {
         explain.metrics = metrics;
         explain.answers = relation.len();
         explain.wall = start.elapsed();
-        Ok(QueryAnswer {
-            relation,
-            explain,
+        Ok(QueryAnswer { relation, explain })
+    }
+
+    /// Produce the Ref plan for `cq`, through the plan cache when enabled.
+    ///
+    /// Cached planning always runs against the α-canonical query, so the
+    /// hit and miss paths return structurally identical plans (transported
+    /// back to the caller's variables via the inverse renaming); the
+    /// uncached path plans the original query directly, preserving the
+    /// pre-cache behaviour bit for bit.
+    fn ref_plan(
+        &self,
+        cq: &Cq,
+        req: PlanRequest<'_>,
+        opts: &AnswerOptions,
+        explain: &mut Explain,
+    ) -> Result<CachedPlan> {
+        if !opts.use_cache {
+            return self.compute_plan(cq, &req, opts);
+        }
+        let canon = alpha_canonicalize(cq);
+        let tag = match &req {
+            PlanRequest::Ucq => StrategyTag::ucq(&opts.limits),
+            PlanRequest::Scq => {
+                StrategyTag::jucq(Cover::singletons(canon.query.size()), &opts.limits)
+            }
+            PlanRequest::Jucq(cover) => match transport_cover(cover, &canon) {
+                Some(c) => StrategyTag::jucq(c, &opts.limits),
+                // A cover we cannot transport (e.g. mismatched with the
+                // query's atom count) bypasses the cache; planning the
+                // original query reports the precise error.
+                None => return self.compute_plan(cq, &req, opts),
+            },
+            PlanRequest::Gcov => {
+                let mut gcov_opts = opts.gcov;
+                gcov_opts.limits = opts.limits;
+                StrategyTag::gcov(&gcov_opts)
+            }
+        };
+        let key = CacheKey {
+            query: canon.query.clone(),
+            tag,
+        };
+        if let Some(plan) = self.cache.lookup(&key) {
+            explain.cache = Some(self.cache_report(true));
+            return Ok(rename_plan(&plan, &canon.inverse));
+        }
+        let computed = {
+            // The SCQ/JUCQ requests must plan the canonical query under the
+            // canonical (transported) cover recorded in the key.
+            let canon_req = match &key.tag {
+                StrategyTag::Jucq { cover, .. } if matches!(req, PlanRequest::Jucq(_)) => {
+                    PlanRequest::Jucq(cover)
+                }
+                _ => req,
+            };
+            self.compute_plan(&canon.query, &canon_req, opts)?
+        };
+        let stored = self.cache.insert(key, computed);
+        explain.cache = Some(self.cache_report(false));
+        Ok(rename_plan(&stored, &canon.inverse))
+    }
+
+    /// Plan `cq` from scratch (no cache involvement).
+    fn compute_plan(
+        &self,
+        cq: &Cq,
+        req: &PlanRequest<'_>,
+        opts: &AnswerOptions,
+    ) -> Result<CachedPlan> {
+        let ctx = RewriteContext::new(&self.schema, &self.closure);
+        Ok(match req {
+            PlanRequest::Ucq => CachedPlan::Ucq(reformulate_ucq(cq, &ctx, opts.limits)?),
+            PlanRequest::Scq => CachedPlan::Jucq(reformulate_scq(cq, &ctx, opts.limits)?),
+            PlanRequest::Jucq(cover) => {
+                CachedPlan::Jucq(reformulate_jucq(cq, cover, &ctx, opts.limits)?)
+            }
+            PlanRequest::Gcov => {
+                let model = rdfref_storage::CostModel::new(&self.stats);
+                let mut gcov_opts = opts.gcov;
+                gcov_opts.limits = opts.limits;
+                CachedPlan::Gcov(gcov(cq, &ctx, &model, &gcov_opts)?)
+            }
         })
+    }
+
+    fn cache_report(&self, hit: bool) -> CacheReport {
+        CacheReport {
+            hit,
+            counters: self.cache.counters(),
+            entries: self.cache.len(),
+        }
     }
 
     fn eval_jucq_explained(
@@ -326,17 +446,84 @@ impl Database {
         metrics: &mut ExecMetrics,
     ) -> Result<Relation> {
         explain.reformulation_cqs = jucq.total_cqs();
-        explain.reformulation_atoms = jucq
-            .fragments
-            .iter()
-            .map(|f| f.ucq.total_atoms())
-            .sum();
+        explain.reformulation_atoms = jucq.fragments.iter().map(|f| f.ucq.total_atoms()).sum();
         let model = rdfref_storage::CostModel::new(&self.stats);
         explain.estimate = Some(model.jucq_estimate(jucq));
         let mut ev = Evaluator::new(&self.store, &self.stats);
         ev.row_budget = opts.row_budget;
         ev.parallel = opts.parallel_unions;
         Ok(ev.eval_jucq(jucq, metrics)?)
+    }
+}
+
+/// What kind of Ref plan a strategy arm needs.
+enum PlanRequest<'a> {
+    Ucq,
+    Scq,
+    Jucq(&'a Cover),
+    Gcov,
+}
+
+/// Re-index a cover over the original query's atoms to the canonical
+/// query's atoms. Returns `None` when the cover does not fit the query.
+fn transport_cover(cover: &Cover, canon: &AlphaCanonical) -> Option<Cover> {
+    let fragments: Option<Vec<Vec<usize>>> = cover
+        .fragments()
+        .iter()
+        .map(|f| {
+            let mut g = f
+                .iter()
+                .map(|&i| canon.atom_map.get(i).copied())
+                .collect::<Option<Vec<usize>>>()?;
+            g.sort_unstable();
+            g.dedup();
+            Some(g)
+        })
+        .collect();
+    Cover::new(fragments?, canon.query.size()).ok()
+}
+
+/// Rename a variable through a variable-to-variable substitution.
+fn rename_var(v: &Var, subst: &Substitution) -> Var {
+    match subst.get(v) {
+        Some(PTerm::Var(w)) => w.clone(),
+        _ => v.clone(),
+    }
+}
+
+fn rename_ucq(ucq: &Ucq, subst: &Substitution) -> Ucq {
+    Ucq {
+        cqs: ucq.cqs.iter().map(|c| c.apply(subst)).collect(),
+    }
+}
+
+fn rename_jucq(jucq: &Jucq, subst: &Substitution) -> Jucq {
+    Jucq {
+        head: jucq.head.iter().map(|v| rename_var(v, subst)).collect(),
+        fragments: jucq
+            .fragments
+            .iter()
+            .map(|f| Fragment {
+                columns: f.columns.iter().map(|v| rename_var(v, subst)).collect(),
+                ucq: rename_ucq(&f.ucq, subst),
+            })
+            .collect(),
+    }
+}
+
+/// Transport a cached plan (in canonical variables) back to the caller's
+/// variables. The substitution is a bijective renaming, so the plan's
+/// structure — covers, estimates, fragment boundaries — is unchanged.
+fn rename_plan(plan: &CachedPlan, subst: &Substitution) -> CachedPlan {
+    match plan {
+        CachedPlan::Ucq(u) => CachedPlan::Ucq(rename_ucq(u, subst)),
+        CachedPlan::Jucq(j) => CachedPlan::Jucq(rename_jucq(j, subst)),
+        CachedPlan::Gcov(g) => CachedPlan::Gcov(GcovResult {
+            cover: g.cover.clone(),
+            jucq: rename_jucq(&g.jucq, subst),
+            estimate: g.estimate,
+            explored: g.explored.clone(),
+        }),
     }
 }
 
@@ -521,11 +708,104 @@ ex:bioy ex:hasName "A. Bioy Casares" .
     fn reformulation_limit_propagates() {
         let (db, q) = setup(PUBLICATIONS);
         let opts = AnswerOptions {
-            limits: ReformulationLimits { max_cqs: 1, ..Default::default() },
+            limits: ReformulationLimits {
+                max_cqs: 1,
+                ..Default::default()
+            },
             ..AnswerOptions::default()
         };
         let err = db.answer(&q, Strategy::RefUcq, &opts).unwrap_err();
         assert!(matches!(err, CoreError::ReformulationTooLarge { .. }));
+    }
+
+    #[test]
+    fn cache_hits_repeated_and_alpha_renamed_queries() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions::default();
+        let first = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        assert_eq!(first.explain.cache.map(|c| c.hit), Some(false));
+
+        // Same query again: hit.
+        let again = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        assert_eq!(again.explain.cache.map(|c| c.hit), Some(true));
+        assert_eq!(again.rows(), first.rows());
+
+        // An α-renamed variant (?y for ?x) hits the same entry.
+        let mut g = db.graph().clone();
+        let renamed = rdfref_query::parse_select(
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?y WHERE { ?y a ex:Publication }"#,
+            g.dictionary_mut(),
+        )
+        .unwrap();
+        let hit = db.answer(&renamed, Strategy::RefUcq, &opts).unwrap();
+        assert_eq!(hit.explain.cache.map(|c| c.hit), Some(true));
+        assert_eq!(hit.rows(), first.rows());
+    }
+
+    #[test]
+    fn cache_counters_match_hand_computed_trace() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions::default();
+        let trace = |a: &QueryAnswer| {
+            let c = a.explain.cache.expect("cache enabled");
+            (c.hit, c.counters.hits, c.counters.misses, c.entries)
+        };
+        // 1. UCQ: cold miss, entry stored.
+        let a = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        assert_eq!(trace(&a), (false, 0, 1, 1));
+        // 2. UCQ again: hit.
+        let a = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        assert_eq!(trace(&a), (true, 1, 1, 1));
+        // 3. SCQ: different tag ⟹ miss, second entry.
+        let a = db.answer(&q, Strategy::RefScq, &opts).unwrap();
+        assert_eq!(trace(&a), (false, 1, 2, 2));
+        // 4. GCov: third entry.
+        let a = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        assert_eq!(trace(&a), (false, 1, 3, 3));
+        // 5. An explicit singleton cover shares the SCQ entry.
+        let a = db
+            .answer(&q, Strategy::RefJucq(Cover::singletons(q.size())), &opts)
+            .unwrap();
+        assert_eq!(trace(&a), (true, 2, 3, 3));
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions {
+            use_cache: false,
+            ..AnswerOptions::default()
+        };
+        let a = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        assert!(a.explain.cache.is_none());
+        assert_eq!(db.plan_cache().counters(), Default::default());
+        assert!(db.plan_cache().is_empty());
+    }
+
+    #[test]
+    fn cached_and_uncached_answers_agree() {
+        let (db, q) = setup(
+            r#"PREFIX ex: <http://example.org/>
+               SELECT ?x ?n WHERE { ?x a ex:Publication . ?x ex:hasAuthor ?a . ?a ex:hasName ?n }"#,
+        );
+        let cached = AnswerOptions::default();
+        let uncached = AnswerOptions {
+            use_cache: false,
+            ..AnswerOptions::default()
+        };
+        for strategy in [
+            Strategy::RefUcq,
+            Strategy::RefScq,
+            Strategy::RefGCov,
+            Strategy::RefJucq(Cover::new(vec![vec![0, 1], vec![2]], 3).unwrap()),
+        ] {
+            let cold = db.answer(&q, strategy.clone(), &cached).unwrap().rows();
+            let warm = db.answer(&q, strategy.clone(), &cached).unwrap().rows();
+            let off = db.answer(&q, strategy.clone(), &uncached).unwrap().rows();
+            assert_eq!(cold, warm, "warm diverged for {}", strategy.name());
+            assert_eq!(cold, off, "uncached diverged for {}", strategy.name());
+        }
     }
 
     #[test]

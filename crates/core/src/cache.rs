@@ -1,0 +1,448 @@
+//! A thread-safe, epoch-versioned plan cache shared across concurrent
+//! [`Database::answer`](crate::answer::Database::answer) calls.
+//!
+//! Reformulation is the dominant planning cost of the Ref strategies: the
+//! 13-rule fixpoint can produce hundreds of CQs, and GCov re-reformulates a
+//! fragment per explored cover. None of that work depends on the *data* —
+//! a UCQ/SCQ/JUCQ reformulation is a function of the query, the RDFS schema
+//! and the reformulation limits only — so repeated queries (the common case
+//! in the paper's workloads, and in any server setting) can reuse it.
+//!
+//! Design:
+//!
+//! * **Keying.** Entries are keyed by the *α-canonical* form of the query
+//!   ([`rdfref_query::canonical::alpha_canonicalize`]) plus a [`StrategyTag`]
+//!   fingerprinting everything else the plan depends on: the strategy, its
+//!   [`ReformulationLimits`], the cover for JUCQ plans, and the
+//!   [`GcovOptions`] for GCov plans. α-canonicalization means two queries
+//!   differing only in variable names or atom order share one entry; the
+//!   cached plan is transported back through the inverse renaming.
+//! * **Sharding.** The key space is split across `N` shards, each a
+//!   `parking_lot::Mutex` around a small hash map, so concurrent answering
+//!   threads rarely contend on the same lock.
+//! * **Invalidation.** The cache carries two monotonic epochs. The *schema
+//!   epoch* versions the RDFS constraints: every cached plan is a
+//!   reformulation against a specific schema, so a schema change strands all
+//!   entries. The *data epoch* versions the triples: reformulations stay
+//!   valid across data-only updates, but GCov plans embed *cost-based*
+//!   decisions (the chosen cover and its estimates come from data
+//!   statistics), so they are additionally pinned to the data epoch at
+//!   insertion. Stale entries are detected lazily at lookup and removed.
+//! * **Eviction.** Per-shard LRU by a global logical tick, bounded by a
+//!   fixed total capacity.
+//! * **Observability.** Hit/miss/eviction/invalidation counters, surfaced
+//!   per-run through [`Explain`](crate::explain::Explain) and in aggregate
+//!   through [`PlanCache::counters`].
+
+use crate::gcov::{GcovOptions, GcovResult};
+use crate::reformulate::ReformulationLimits;
+use parking_lot::Mutex;
+use rdfref_model::fxhash::FxHashMap;
+use rdfref_query::ast::{Cq, Jucq, Ucq};
+use rdfref_query::Cover;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The non-query part of a cache key: which planner produced the plan, and
+/// every option that changes its output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StrategyTag {
+    /// A classic UCQ reformulation.
+    Ucq { limits: (usize, usize) },
+    /// A cover-induced JUCQ reformulation. SCQ plans are keyed here too,
+    /// with the singleton cover — `reformulate_scq` *is* the singleton-cover
+    /// JUCQ, so the two strategies share entries.
+    Jucq {
+        cover: Cover,
+        limits: (usize, usize),
+    },
+    /// A GCov search result (cover choice + JUCQ + estimates).
+    Gcov {
+        limits: (usize, usize),
+        /// `GcovOptions::min_improvement` as raw bits (f64 is not `Hash`).
+        min_improvement_bits: u64,
+        max_steps: usize,
+        connected_moves_only: bool,
+    },
+}
+
+fn limits_fp(l: &ReformulationLimits) -> (usize, usize) {
+    (l.max_cqs, l.prune_subsumed_below)
+}
+
+impl StrategyTag {
+    /// Tag for a `RefUcq` plan.
+    pub fn ucq(limits: &ReformulationLimits) -> StrategyTag {
+        StrategyTag::Ucq {
+            limits: limits_fp(limits),
+        }
+    }
+
+    /// Tag for a `RefScq`/`RefJucq` plan under `cover` (over the canonical
+    /// query's atoms).
+    pub fn jucq(cover: Cover, limits: &ReformulationLimits) -> StrategyTag {
+        StrategyTag::Jucq {
+            cover,
+            limits: limits_fp(limits),
+        }
+    }
+
+    /// Tag for a `RefGCov` plan (all search options fingerprinted).
+    pub fn gcov(opts: &GcovOptions) -> StrategyTag {
+        StrategyTag::Gcov {
+            limits: limits_fp(&opts.limits),
+            min_improvement_bits: opts.min_improvement.to_bits(),
+            max_steps: opts.max_steps,
+            connected_moves_only: opts.connected_moves_only,
+        }
+    }
+
+    /// Does a plan with this tag embed data-dependent (cost-based)
+    /// decisions, making it stale on data-only updates?
+    fn depends_on_data(&self) -> bool {
+        matches!(self, StrategyTag::Gcov { .. })
+    }
+}
+
+/// A complete cache key: α-canonical query + strategy fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The α-canonical query (`alpha_canonicalize(q).query`).
+    pub query: Cq,
+    /// The strategy fingerprint.
+    pub tag: StrategyTag,
+}
+
+/// A cached plan, in the canonical query's variables.
+#[derive(Debug, Clone)]
+pub enum CachedPlan {
+    /// `RefUcq` reformulation.
+    Ucq(Ucq),
+    /// `RefScq`/`RefJucq` reformulation.
+    Jucq(Jucq),
+    /// `RefGCov` search result.
+    Gcov(GcovResult),
+}
+
+#[derive(Debug)]
+struct Entry {
+    plan: Arc<CachedPlan>,
+    /// Schema epoch the plan was computed under.
+    schema_epoch: u64,
+    /// Data epoch the plan was computed under, for data-dependent plans
+    /// (`None` = valid across data-only updates).
+    data_epoch: Option<u64>,
+    /// Logical time of last use, for LRU.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: FxHashMap<CacheKey, Entry>,
+}
+
+/// Aggregate cache counters (monotonic since cache creation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups that returned a valid plan.
+    pub hits: u64,
+    /// Lookups that found nothing (including those that found a stale entry).
+    pub misses: u64,
+    /// Entries dropped to make room (LRU).
+    pub evictions: u64,
+    /// Stale entries dropped at lookup after an epoch bump.
+    pub invalidations: u64,
+}
+
+/// The shared plan cache. Cheap to clone behind an [`Arc`]; all methods take
+/// `&self` and are safe to call from many threads.
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum entries per shard (total capacity / shard count).
+    shard_capacity: usize,
+    schema_epoch: AtomicU64,
+    data_epoch: AtomicU64,
+    /// Global logical clock for LRU ordering.
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// Default total capacity: generous for any workload in this repository
+/// (the paper's query mixes are tens of queries).
+const DEFAULT_CAPACITY: usize = 1024;
+/// Default shard count: enough to keep lock contention negligible at the
+/// thread counts the experiments use.
+const DEFAULT_SHARDS: usize = 8;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_shards(DEFAULT_CAPACITY, DEFAULT_SHARDS)
+    }
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans, with the default sharding.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache holding at most `capacity` plans across `shards` shards.
+    /// Use a single shard for deterministic whole-cache LRU order (tests).
+    pub fn with_shards(capacity: usize, shards: usize) -> PlanCache {
+        let shards = shards.max(1).min(capacity.max(1));
+        PlanCache {
+            shard_capacity: capacity.max(1).div_ceil(shards),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            schema_epoch: AtomicU64::new(0),
+            data_epoch: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = std::hash::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The current schema epoch (bumped when RDFS constraints change).
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch.load(Ordering::SeqCst)
+    }
+
+    /// The current data epoch (bumped on any triple insert/delete).
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Record a schema change: every cached plan becomes stale.
+    pub fn bump_schema_epoch(&self) {
+        self.schema_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record a data-only change: cost-based (GCov) plans become stale;
+    /// pure reformulations stay valid.
+    pub fn bump_data_epoch(&self) {
+        self.data_epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Look up a plan. Returns `None` (and counts a miss) when absent;
+    /// stale entries are removed on sight and additionally counted as
+    /// invalidations.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
+        let schema = self.schema_epoch();
+        let data = self.data_epoch();
+        let mut shard = self.shard_of(key).lock();
+        let valid = match shard.map.get(key) {
+            Some(e) => e.schema_epoch == schema && e.data_epoch.is_none_or(|d| d == data),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if !valid {
+            shard.map.remove(key);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let entry = shard.map.get_mut(key).expect("checked above");
+        entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.plan))
+    }
+
+    /// Insert a plan computed under the *current* epochs, evicting the
+    /// shard's least recently used entry if the shard is full. Returns the
+    /// shared handle to the stored plan.
+    pub fn insert(&self, key: CacheKey, plan: CachedPlan) -> Arc<CachedPlan> {
+        let data_epoch = key.tag.depends_on_data().then(|| self.data_epoch());
+        let entry = Entry {
+            plan: Arc::new(plan),
+            schema_epoch: self.schema_epoch(),
+            data_epoch,
+            last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+        };
+        let handle = Arc::clone(&entry.plan);
+        let mut shard = self.shard_of(&key).lock();
+        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, entry);
+        handle
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of resident entries (valid or not-yet-noticed stale).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True iff no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters and epochs are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().map.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::TermId;
+    use rdfref_query::ast::Atom;
+    use rdfref_query::Var;
+
+    fn key(n: u32) -> CacheKey {
+        let v = Var::new("cv0");
+        let q = Cq::new_unchecked(
+            vec![v.clone().into()],
+            vec![Atom::new(v, TermId(n), TermId(0))],
+        );
+        CacheKey {
+            query: q,
+            tag: StrategyTag::ucq(&ReformulationLimits::default()),
+        }
+    }
+
+    fn gcov_key(n: u32) -> CacheKey {
+        CacheKey {
+            tag: StrategyTag::gcov(&GcovOptions::default()),
+            ..key(n)
+        }
+    }
+
+    fn plan() -> CachedPlan {
+        CachedPlan::Ucq(Ucq { cqs: vec![] })
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = PlanCache::new(8);
+        assert!(cache.lookup(&key(1)).is_none());
+        cache.insert(key(1), plan());
+        assert!(cache.lookup(&key(1)).is_some());
+        assert!(cache.lookup(&key(2)).is_none());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 2));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Single shard ⟹ deterministic whole-cache LRU.
+        let cache = PlanCache::with_shards(2, 1);
+        cache.insert(key(1), plan());
+        cache.insert(key(2), plan());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(&key(1)).is_some());
+        cache.insert(key(3), plan());
+        assert!(cache.lookup(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&key(1)).is_some(), "recently used survives");
+        assert!(cache.lookup(&key(3)).is_some());
+        assert_eq!(cache.counters().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_resident_key_does_not_evict() {
+        let cache = PlanCache::with_shards(2, 1);
+        cache.insert(key(1), plan());
+        cache.insert(key(2), plan());
+        cache.insert(key(2), plan());
+        assert_eq!(cache.counters().evictions, 0);
+        assert!(cache.lookup(&key(1)).is_some());
+    }
+
+    #[test]
+    fn data_epoch_invalidates_exactly_gcov_entries() {
+        let cache = PlanCache::new(8);
+        cache.insert(key(1), plan());
+        cache.insert(gcov_key(1), CachedPlan::Ucq(Ucq { cqs: vec![] }));
+        cache.bump_data_epoch();
+        // The pure reformulation survives a data-only change…
+        assert!(cache.lookup(&key(1)).is_some());
+        // …the cost-based GCov plan does not.
+        assert!(cache.lookup(&gcov_key(1)).is_none());
+        assert_eq!(cache.counters().invalidations, 1);
+    }
+
+    #[test]
+    fn schema_epoch_invalidates_everything() {
+        let cache = PlanCache::new(8);
+        cache.insert(key(1), plan());
+        cache.insert(gcov_key(1), plan());
+        cache.bump_schema_epoch();
+        assert!(cache.lookup(&key(1)).is_none());
+        assert!(cache.lookup(&gcov_key(1)).is_none());
+        assert_eq!(cache.counters().invalidations, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn insert_after_bump_is_valid_again() {
+        let cache = PlanCache::new(8);
+        cache.insert(gcov_key(1), plan());
+        cache.bump_data_epoch();
+        assert!(cache.lookup(&gcov_key(1)).is_none());
+        cache.insert(gcov_key(1), plan());
+        assert!(cache.lookup(&gcov_key(1)).is_some());
+    }
+
+    #[test]
+    fn concurrent_hammering_is_consistent() {
+        let cache = Arc::new(PlanCache::new(64));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..200u32 {
+                        let k = key(i % 16);
+                        if cache.lookup(&k).is_none() {
+                            cache.insert(k, plan());
+                        }
+                        if t == 0 && i % 50 == 0 {
+                            cache.bump_data_epoch();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let c = cache.counters();
+        assert_eq!(c.hits + c.misses, 4 * 200);
+        assert!(cache.len() <= 64);
+    }
+}

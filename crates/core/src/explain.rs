@@ -5,10 +5,22 @@
 //! was selected by GCov) the space of explored alternatives, and their
 //! estimated costs."
 
+use crate::cache::CacheCounters;
 use rdfref_query::Cover;
 use rdfref_storage::{CostEstimate, ExecMetrics};
 use std::fmt;
 use std::time::Duration;
+
+/// The plan cache's involvement in one answering run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Did this run reuse a cached plan?
+    pub hit: bool,
+    /// Aggregate cache counters right after this run's lookup.
+    pub counters: CacheCounters,
+    /// Entries resident right after this run's lookup/insert.
+    pub entries: usize,
+}
 
 /// Everything observable about one query answering run.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +49,9 @@ pub struct Explain {
     pub saturation_added: usize,
     /// For Dat: facts derived by the Datalog engine.
     pub datalog_derived: usize,
+    /// Plan-cache outcome, for Ref strategies with the cache enabled
+    /// (`None` when the run bypassed the cache).
+    pub cache: Option<CacheReport>,
 }
 
 impl fmt::Display for Explain {
@@ -59,6 +74,19 @@ impl fmt::Display for Explain {
                 f,
                 "estimated       : cost {:.1}, cardinality {:.1}",
                 est.cost, est.cardinality
+            )?;
+        }
+        if let Some(cache) = &self.cache {
+            let c = &cache.counters;
+            writeln!(
+                f,
+                "plan cache      : {} ({} hits / {} misses / {} evictions / {} invalidations, {} entries)",
+                if cache.hit { "hit" } else { "miss" },
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.invalidations,
+                cache.entries
             )?;
         }
         if self.saturation_added > 0 {

@@ -80,9 +80,9 @@ pub fn gcov(
     let mut seen: FxHashMap<Cover, Option<f64>> = FxHashMap::default();
 
     let evaluate = |cover: &Cover,
-                        cache: &mut FragmentCache,
-                        explored: &mut Vec<(Cover, Option<CostEstimate>)>,
-                        seen: &mut FxHashMap<Cover, Option<f64>>|
+                    cache: &mut FragmentCache,
+                    explored: &mut Vec<(Cover, Option<CostEstimate>)>,
+                    seen: &mut FxHashMap<Cover, Option<f64>>|
      -> Option<(Jucq, CostEstimate)> {
         if let Some(known) = seen.get(cover) {
             // Already explored; rebuild only if it was feasible and is
@@ -272,14 +272,22 @@ mod tests {
         for i in 0..200 {
             let x = d.intern(&Term::iri(format!("p{i}")));
             let dept = d.intern(&Term::iri(format!("dept{}", i % 10)));
-            triples.push(EncodedTriple::new(x, ID_RDF_TYPE, if i % 2 == 0 { person } else { student }));
+            triples.push(EncodedTriple::new(
+                x,
+                ID_RDF_TYPE,
+                if i % 2 == 0 { person } else { student },
+            ));
             triples.push(EncodedTriple::new(x, member, dept));
             if i < 3 {
                 triples.push(EncodedTriple::new(x, masters, univ));
             }
         }
         let store = Store::from_triples(&triples);
-        (s, store, vec![person, student, degree, masters, member, univ])
+        (
+            s,
+            store,
+            vec![person, student, degree, masters, member, univ],
+        )
     }
 
     #[test]
@@ -302,7 +310,11 @@ mod tests {
         let result = gcov(&q, &ctx, &model, &GcovOptions::default()).unwrap();
         // The selected cover must group the unselective type atom with a
         // selective one, i.e. not stay at singletons.
-        assert!(!result.cover.is_scq(), "GCov stayed at SCQ: {}", result.cover);
+        assert!(
+            !result.cover.is_scq(),
+            "GCov stayed at SCQ: {}",
+            result.cover
+        );
         // And the estimate must beat the SCQ cover's estimate.
         let scq = build_jucq(
             &q,
@@ -348,7 +360,10 @@ mod tests {
         // Limit chosen so singletons fit but the merged cover does not:
         // the type fragment alone has 1 + |sc| + |dom| = a few CQs.
         let opts = GcovOptions {
-            limits: ReformulationLimits { max_cqs: 4, ..Default::default() },
+            limits: ReformulationLimits {
+                max_cqs: 4,
+                ..Default::default()
+            },
             ..GcovOptions::default()
         };
         let result = gcov(&q, &ctx, &model, &opts).unwrap();

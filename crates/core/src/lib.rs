@@ -16,6 +16,9 @@
 //!   systems (Virtuoso, AllegroGraph), which ignore some RDFS constraints;
 //! * [`answer`] — the answering facade: a prepared [`answer::Database`] and
 //!   the [`answer::Strategy`] enum covering Sat, all Ref variants, and Dat;
+//! * [`cache`] — the shared plan cache: α-canonicalized keys, epoch-based
+//!   invalidation (schema epoch for every plan, data epoch for cost-based
+//!   GCov plans), sharded LRU safe under concurrent `answer` calls;
 //! * [`explain`] — what the demo GUI shows: reformulation sizes, chosen and
 //!   explored covers with estimated costs, intermediate cardinalities,
 //!   wall-clock.
@@ -47,6 +50,7 @@
 //! ```
 
 pub mod answer;
+pub mod cache;
 pub mod error;
 pub mod explain;
 pub mod gcov;
@@ -55,6 +59,7 @@ pub mod maintained;
 pub mod reformulate;
 
 pub use answer::{AnswerOptions, Database, QueryAnswer, Strategy};
+pub use cache::{CacheCounters, CacheKey, CachedPlan, PlanCache, StrategyTag};
 pub use error::{CoreError, Result};
 pub use explain::Explain;
 pub use gcov::{gcov, GcovOptions, GcovResult};

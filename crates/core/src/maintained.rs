@@ -16,13 +16,15 @@
 //! updates.
 
 use crate::answer::{AnswerOptions, Database, QueryAnswer, Strategy};
+use crate::cache::PlanCache;
 use crate::error::Result;
 use crate::explain::Explain;
-use rdfref_model::{EncodedTriple, Graph, Term, TermId};
+use rdfref_model::{vocab, EncodedTriple, Graph, Term, TermId};
 use rdfref_query::Cq;
 use rdfref_reasoning::IncrementalReasoner;
 use rdfref_storage::evaluator::{head_names, Evaluator};
 use rdfref_storage::{ExecMetrics, Stats, Store};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A queryable database that stays consistent under updates.
@@ -34,6 +36,11 @@ pub struct MaintainedDatabase {
     saturated_store: Option<(Store, Stats)>,
     /// Triples added to the saturation by the last maintenance operation.
     last_maintenance_delta: usize,
+    /// Plan cache shared across `explicit_db` rebuilds. Update batches bump
+    /// its epochs (see [`crate::cache`]): every batch bumps the data epoch
+    /// (stale cost-based GCov plans), and batches touching RDFS constraint
+    /// triples also bump the schema epoch (stale reformulations).
+    plan_cache: Arc<PlanCache>,
 }
 
 impl MaintainedDatabase {
@@ -44,7 +51,25 @@ impl MaintainedDatabase {
             explicit_db: None,
             saturated_store: None,
             last_maintenance_delta: 0,
+            plan_cache: Arc::new(PlanCache::default()),
         }
+    }
+
+    /// The shared plan cache (for inspection; counters survive rebuilds).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// Does this batch change the RDFS constraints (as opposed to data
+    /// only)? Reformulations depend solely on the schema, so this decides
+    /// whether the whole plan cache goes stale or just the GCov entries.
+    fn touches_schema(&self, triples: &[EncodedTriple]) -> bool {
+        let dict = self.reasoner.explicit().dictionary();
+        triples.iter().any(|t| {
+            dict.term(t.p)
+                .as_iri()
+                .is_some_and(vocab::is_rdfs_constraint_property)
+        })
     }
 
     /// The explicit graph.
@@ -70,24 +95,30 @@ impl MaintainedDatabase {
     /// Insert explicit triples; the saturation is maintained incrementally.
     /// Returns the number of triples (explicit + derived) added.
     pub fn insert(&mut self, triples: &[EncodedTriple]) -> usize {
+        let schema_change = self.touches_schema(triples);
         let added = self.reasoner.insert(triples);
         self.last_maintenance_delta = added;
-        self.invalidate();
+        self.invalidate(schema_change);
         added
     }
 
     /// Delete explicit triples (DRed maintenance). Returns the number of
     /// triples removed from the saturation.
     pub fn delete(&mut self, triples: &[EncodedTriple]) -> usize {
+        let schema_change = self.touches_schema(triples);
         let removed = self.reasoner.delete(triples);
         self.last_maintenance_delta = removed;
-        self.invalidate();
+        self.invalidate(schema_change);
         removed
     }
 
-    fn invalidate(&mut self) {
+    fn invalidate(&mut self, schema_change: bool) {
         self.explicit_db = None;
         self.saturated_store = None;
+        self.plan_cache.bump_data_epoch();
+        if schema_change {
+            self.plan_cache.bump_schema_epoch();
+        }
     }
 
     /// Answer a query. `Saturation` runs on the incrementally maintained
@@ -126,7 +157,10 @@ impl MaintainedDatabase {
             }
             other => {
                 if self.explicit_db.is_none() {
-                    self.explicit_db = Some(Database::new(self.reasoner.explicit().clone()));
+                    self.explicit_db = Some(Database::with_cache(
+                        self.reasoner.explicit().clone(),
+                        Arc::clone(&self.plan_cache),
+                    ));
                 }
                 self.explicit_db
                     .as_ref()
@@ -203,6 +237,65 @@ ex:doi1 a ex:Book .
             .answer(&q, Strategy::Saturation, &opts)
             .unwrap();
         assert_eq!(maintained.rows(), fresh.rows());
+    }
+
+    #[test]
+    fn data_updates_invalidate_only_cost_based_plans() {
+        let (mut db, q) = setup();
+        let opts = AnswerOptions::default();
+        // Warm both a pure reformulation and a cost-based GCov plan.
+        assert_eq!(
+            db.answer(&q, Strategy::RefUcq, &opts)
+                .unwrap()
+                .explain
+                .cache
+                .map(|c| c.hit),
+            Some(false)
+        );
+        db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+
+        // A data-only insert: the UCQ reformulation is still valid, the
+        // GCov plan (cost-based) is not.
+        let t = db.intern_triple(
+            &Term::iri("http://example.org/doi9"),
+            &Term::iri(rdfref_model::vocab::RDF_TYPE),
+            &Term::iri("http://example.org/Book"),
+        );
+        db.insert(&[t]);
+        let ucq = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        assert_eq!(ucq.explain.cache.map(|c| c.hit), Some(true));
+        let gcv = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        assert_eq!(gcv.explain.cache.map(|c| c.hit), Some(false));
+        assert_eq!(db.plan_cache().counters().invalidations, 1);
+        assert_eq!(ucq.rows(), gcv.rows());
+    }
+
+    #[test]
+    fn schema_updates_invalidate_reformulations_too() {
+        let (mut db, q) = setup();
+        let opts = AnswerOptions::default();
+        db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+
+        // Novel ⊑ Book is a schema (RDFS constraint) triple: the cached
+        // reformulation is now incomplete and must be stranded.
+        let t = db.intern_triple(
+            &Term::iri("http://example.org/Novel"),
+            &Term::iri(rdfref_model::vocab::RDFS_SUBCLASSOF),
+            &Term::iri("http://example.org/Book"),
+        );
+        let novel = db.intern_triple(
+            &Term::iri("http://example.org/doi7"),
+            &Term::iri(rdfref_model::vocab::RDF_TYPE),
+            &Term::iri("http://example.org/Novel"),
+        );
+        db.insert(&[t, novel]);
+        let after = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        assert_eq!(after.explain.cache.map(|c| c.hit), Some(false));
+        // Correctness: the new Novel instance is found through the new
+        // constraint, and Sat agrees.
+        let sat = db.answer(&q, Strategy::Saturation, &opts).unwrap();
+        assert_eq!(after.rows(), sat.rows());
+        assert_eq!(after.len(), 2);
     }
 
     #[test]

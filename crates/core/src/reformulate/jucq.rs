@@ -159,7 +159,10 @@ mod tests {
             &q,
             &Cover::one_fragment(q.size()),
             &ctx,
-            ReformulationLimits { max_cqs: 2, ..Default::default() },
+            ReformulationLimits {
+                max_cqs: 2,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(
@@ -168,8 +171,24 @@ mod tests {
         ));
         // The singleton cover passes with the same limit only if each
         // fragment fits; fragment 0 has 3 CQs, so limit 2 still fails…
-        assert!(reformulate_scq(&q, &ctx, ReformulationLimits { max_cqs: 2, ..Default::default() }).is_err());
+        assert!(reformulate_scq(
+            &q,
+            &ctx,
+            ReformulationLimits {
+                max_cqs: 2,
+                ..Default::default()
+            }
+        )
+        .is_err());
         // …but limit 3 succeeds, while the one-fragment cover would not.
-        assert!(reformulate_scq(&q, &ctx, ReformulationLimits { max_cqs: 3, ..Default::default() }).is_ok());
+        assert!(reformulate_scq(
+            &q,
+            &ctx,
+            ReformulationLimits {
+                max_cqs: 3,
+                ..Default::default()
+            }
+        )
+        .is_ok());
     }
 }

@@ -102,18 +102,12 @@ impl<'a> RewriteContext<'a> {
         let mut out = Vec::new();
         match &atom.p {
             PTerm::Const(p) if *p == ID_RDF_TYPE => self.rewrite_type_atom(atom, fresh, &mut out),
-            PTerm::Const(p) if *p == ID_RDFS_SUBCLASSOF => self.rewrite_hierarchy_atom(
-                atom,
-                ID_RDFS_SUBCLASSOF,
-                RuleId::R5,
-                &mut out,
-            ),
-            PTerm::Const(p) if *p == ID_RDFS_SUBPROPERTYOF => self.rewrite_hierarchy_atom(
-                atom,
-                ID_RDFS_SUBPROPERTYOF,
-                RuleId::R6,
-                &mut out,
-            ),
+            PTerm::Const(p) if *p == ID_RDFS_SUBCLASSOF => {
+                self.rewrite_hierarchy_atom(atom, ID_RDFS_SUBCLASSOF, RuleId::R5, &mut out)
+            }
+            PTerm::Const(p) if *p == ID_RDFS_SUBPROPERTYOF => {
+                self.rewrite_hierarchy_atom(atom, ID_RDFS_SUBPROPERTYOF, RuleId::R6, &mut out)
+            }
             PTerm::Const(p) if *p == ID_RDFS_DOMAIN => {
                 self.rewrite_typing_constraint_atom(atom, true, &mut out)
             }
@@ -241,7 +235,11 @@ impl<'a> RewriteContext<'a> {
         } else {
             self.schema.range.iter().copied().collect()
         };
-        let pred = if is_domain { ID_RDFS_DOMAIN } else { ID_RDFS_RANGE };
+        let pred = if is_domain {
+            ID_RDFS_DOMAIN
+        } else {
+            ID_RDFS_RANGE
+        };
         let rule = if is_domain { RuleId::R7 } else { RuleId::R8 };
         for (p1, c0) in declared {
             let mut props: Vec<TermId> = vec![p1];
@@ -466,10 +464,7 @@ mod tests {
         // (p ←d c) with both vars: entailed pairs are
         // (writtenBy, Book) [declared — skipped as identity],
         // (writtenBy, Publication).
-        let rws = ctx.rewrite_atom(
-            &Atom::new(v("p"), ID_RDFS_DOMAIN, v("c")),
-            &mut fresh,
-        );
+        let rws = ctx.rewrite_atom(&Atom::new(v("p"), ID_RDFS_DOMAIN, v("c")), &mut fresh);
         assert_eq!(rws.len(), 1);
         let r = &rws[0];
         assert_eq!(r.rule, RuleId::R7);

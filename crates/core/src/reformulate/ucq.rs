@@ -152,11 +152,7 @@ mod tests {
         let (_, s, ids) = setup();
         let cl = s.closure();
         let ctx = RewriteContext::new(&s, &cl);
-        let q = Cq::new(
-            vec![v("x")],
-            vec![Atom::new(v("x"), ID_RDF_TYPE, ids[1])],
-        )
-        .unwrap();
+        let q = Cq::new(vec![v("x")], vec![Atom::new(v("x"), ID_RDF_TYPE, ids[1])]).unwrap();
         let ucq = reformulate_ucq(&q, &ctx, ReformulationLimits::default()).unwrap();
         assert_eq!(ucq.len(), 3);
     }
@@ -253,8 +249,19 @@ mod tests {
             ],
         )
         .unwrap();
-        let err = reformulate_ucq(&q, &ctx, ReformulationLimits { max_cqs: 5, ..Default::default() }).unwrap_err();
-        assert!(matches!(err, CoreError::ReformulationTooLarge { limit: 5, .. }));
+        let err = reformulate_ucq(
+            &q,
+            &ctx,
+            ReformulationLimits {
+                max_cqs: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::ReformulationTooLarge { limit: 5, .. }
+        ));
     }
 
     #[test]
@@ -262,11 +269,7 @@ mod tests {
         let s = Schema::new();
         let cl = s.closure();
         let ctx = RewriteContext::new(&s, &cl);
-        let q = Cq::new(
-            vec![v("x")],
-            vec![Atom::new(v("x"), ID_RDF_TYPE, v("u"))],
-        )
-        .unwrap();
+        let q = Cq::new(vec![v("x")], vec![Atom::new(v("x"), ID_RDF_TYPE, v("u"))]).unwrap();
         let ucq = reformulate_ucq(&q, &ctx, ReformulationLimits::default()).unwrap();
         assert_eq!(ucq.len(), 1);
         assert_eq!(ucq_size_product(&q, &ctx), 1);

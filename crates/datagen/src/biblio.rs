@@ -49,9 +49,9 @@ pub struct BiblioVocab {
     pub book: TermId,
     pub phd_thesis: TermId,
     pub person: TermId,
-    pub creator: TermId,       // super-property
-    pub author: TermId,        // ⊑ creator
-    pub editor: TermId,        // ⊑ creator
+    pub creator: TermId, // super-property
+    pub author: TermId,  // ⊑ creator
+    pub editor: TermId,  // ⊑ creator
     pub title: TermId,
     pub year: TermId,
     pub cites: TermId,

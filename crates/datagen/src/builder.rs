@@ -1,8 +1,8 @@
 //! A small convenience layer for generating graphs programmatically.
 
-use rdfref_model::{EncodedTriple, Graph, Term, TermId};
 use rdfref_model::dictionary::ID_RDF_TYPE;
 use rdfref_model::vocab;
+use rdfref_model::{EncodedTriple, Graph, Term, TermId};
 
 /// A graph under construction: interning helpers + typed insertion.
 #[derive(Debug, Default)]

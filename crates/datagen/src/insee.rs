@@ -82,9 +82,7 @@ pub fn generate(config: &InseeConfig) -> InseeDataset {
             let code_class = b.ns(INSEE, &format!("Concept{ci}Code{code}"));
             b.subclass(code_class, concept);
             for obs in 0..config.observations_per_code {
-                let id = b.iri(&format!(
-                    "http://stat.example.org/obs/c{ci}k{code}n{obs}"
-                ));
+                let id = b.iri(&format!("http://stat.example.org/obs/c{ci}k{code}n{obs}"));
                 b.a(id, code_class);
                 let value = b.literal(&format!("{}", rng.gen_range(0..1_000_000)));
                 b.triple(id, measure, value);

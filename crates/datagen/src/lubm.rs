@@ -341,17 +341,29 @@ pub fn generate(config: &LubmConfig) -> LubmDataset {
             // Faculty.
             let mut faculty_ids: Vec<TermId> = Vec::new();
             let mk_faculty = |b: &mut GraphBuilder,
-                                  rng: &mut StdRng,
-                                  kind: &str,
-                                  class: TermId,
-                                  i: usize|
+                              rng: &mut StdRng,
+                              kind: &str,
+                              class: TermId,
+                              i: usize|
              -> TermId {
                 let id = b.iri(&format!("{dept_iri}/{kind}{i}"));
                 b.a(id, class);
                 b.triple(id, v.works_for, dept);
-                b.triple(id, v.undergraduate_degree_from, univ_ids[rng.gen_range(0..n_univ)]);
-                b.triple(id, v.masters_degree_from, univ_ids[rng.gen_range(0..n_univ)]);
-                b.triple(id, v.doctoral_degree_from, univ_ids[rng.gen_range(0..n_univ)]);
+                b.triple(
+                    id,
+                    v.undergraduate_degree_from,
+                    univ_ids[rng.gen_range(0..n_univ)],
+                );
+                b.triple(
+                    id,
+                    v.masters_degree_from,
+                    univ_ids[rng.gen_range(0..n_univ)],
+                );
+                b.triple(
+                    id,
+                    v.doctoral_degree_from,
+                    univ_ids[rng.gen_range(0..n_univ)],
+                );
                 let name = b.literal(&format!("{kind}{i} of {dept_iri}"));
                 b.triple(id, v.name, name);
                 let email = b.literal(&format!("{kind}{i}@Department{d}.Univ{u}.edu"));
@@ -516,10 +528,7 @@ mod tests {
         // (probabilistically certain with 2×3×14 faculty; the seed is fixed).
         let univ0 = ds.id_of(&LubmDataset::university_iri(0)).unwrap();
         let masters = ds.vocab.masters_degree_from;
-        let has_masters_from_univ0 = ds
-            .graph
-            .iter()
-            .any(|t| t.p == masters && t.o == univ0);
+        let has_masters_from_univ0 = ds.graph.iter().any(|t| t.p == masters && t.o == univ0);
         assert!(has_masters_from_univ0);
     }
 
@@ -527,8 +536,12 @@ mod tests {
     fn named_iri_schemes_resolve() {
         let ds = generate(&LubmConfig::default());
         assert!(ds.id_of(&LubmDataset::department_iri(0, 0)).is_some());
-        assert!(ds.id_of(&LubmDataset::full_professor_iri(0, 0, 0)).is_some());
-        assert!(ds.id_of(&LubmDataset::graduate_course_iri(0, 0, 0)).is_some());
+        assert!(ds
+            .id_of(&LubmDataset::full_professor_iri(0, 0, 0))
+            .is_some());
+        assert!(ds
+            .id_of(&LubmDataset::graduate_course_iri(0, 0, 0))
+            .is_some());
         assert!(ds.id_of("http://nonexistent").is_none());
     }
 }

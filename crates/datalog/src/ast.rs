@@ -232,14 +232,20 @@ mod tests {
     #[test]
     fn safe_rule_accepted() {
         let head = DAtom::new(Pred::new("q"), vec![v("x").into()]);
-        let body = vec![DAtom::new(Pred::new("e"), vec![v("x").into(), v("y").into()])];
+        let body = vec![DAtom::new(
+            Pred::new("e"),
+            vec![v("x").into(), v("y").into()],
+        )];
         assert!(Rule::new(head, body).is_ok());
     }
 
     #[test]
     fn unsafe_rule_rejected() {
         let head = DAtom::new(Pred::new("q"), vec![v("z").into()]);
-        let body = vec![DAtom::new(Pred::new("e"), vec![v("x").into(), v("y").into()])];
+        let body = vec![DAtom::new(
+            Pred::new("e"),
+            vec![v("x").into(), v("y").into()],
+        )];
         assert!(matches!(
             Rule::new(head, body),
             Err(DatalogError::UnsafeRule { .. })

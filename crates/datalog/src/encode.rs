@@ -166,10 +166,7 @@ pub fn encode_query(cq: &Cq) -> Result<Rule, DatalogError> {
         PTerm::Var(v) => DTerm::Var(v.clone()),
         PTerm::Const(c) => DTerm::Const(*c),
     };
-    let head = DAtom::new(
-        Pred::new(QUERY),
-        cq.head.iter().map(to_dterm).collect(),
-    );
+    let head = DAtom::new(Pred::new(QUERY), cq.head.iter().map(to_dterm).collect());
     let body = cq
         .body
         .iter()
@@ -320,7 +317,10 @@ ex:doi1 ex:publishedIn "1949" .
         )
         .unwrap();
         let (rows, _) = answer_datalog(&g, &q).unwrap();
-        let has_author = g.dictionary().id_of_iri("http://example.org/hasAuthor").unwrap();
+        let has_author = g
+            .dictionary()
+            .id_of_iri("http://example.org/hasAuthor")
+            .unwrap();
         assert!(rows.iter().any(|r| r[0] == has_author));
         // Also the entailed type Publication.
         let publication = g

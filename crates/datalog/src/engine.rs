@@ -474,7 +474,10 @@ mod tests {
         prog.rule(
             Rule::new(
                 atom("pair", vec![v("x").into(), v("y").into()]),
-                vec![atom("a", vec![v("x").into()]), atom("b", vec![v("y").into()])],
+                vec![
+                    atom("a", vec![v("x").into()]),
+                    atom("b", vec![v("y").into()]),
+                ],
             )
             .unwrap(),
         );

@@ -39,12 +39,18 @@ use rdfref_query::Var;
 type Adornment = Vec<bool>;
 
 fn adorned_name(pred: &Pred, adornment: &Adornment) -> Pred {
-    let suffix: String = adornment.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
+    let suffix: String = adornment
+        .iter()
+        .map(|&b| if b { 'b' } else { 'f' })
+        .collect();
     Pred::new(format!("{pred}__{suffix}"))
 }
 
 fn magic_name(pred: &Pred, adornment: &Adornment) -> Pred {
-    let suffix: String = adornment.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
+    let suffix: String = adornment
+        .iter()
+        .map(|&b| if b { 'b' } else { 'f' })
+        .collect();
     Pred::new(format!("m__{pred}__{suffix}"))
 }
 
@@ -133,14 +139,17 @@ pub fn magic_transform(
                         })
                         .collect();
                     // Demand rule: m_atom(bound) :- guard, prefix…
-                    let magic_head =
-                        DAtom::new(magic_name(&atom.pred, &atom_adornment), bound_args(atom, &atom_adornment));
+                    let magic_head = DAtom::new(
+                        magic_name(&atom.pred, &atom_adornment),
+                        bound_args(atom, &atom_adornment),
+                    );
                     out.rule(Rule {
                         head: magic_head,
                         body: prefix.clone(),
                     });
                     // The adorned occurrence in the transformed rule.
-                    let adorned = DAtom::new(adorned_name(&atom.pred, &atom_adornment), atom.args.clone());
+                    let adorned =
+                        DAtom::new(adorned_name(&atom.pred, &atom_adornment), atom.args.clone());
                     new_body.push(adorned.clone());
                     prefix.push(adorned);
                     worklist.push((atom.pred.clone(), atom_adornment));
@@ -252,10 +261,7 @@ mod tests {
         let mut magic_engine = Engine::load(&magic).unwrap();
         magic_engine.run();
         // Same answers…
-        assert_eq!(
-            answers(&magic, &adorned_q),
-            answers(&prog, &Pred::new("q"))
-        );
+        assert_eq!(answers(&magic, &adorned_q), answers(&prog, &Pred::new("q")));
         // …but only the 10-side of the graph was explored: the full closure
         // has 2×(4+3+2+1)=20 t-facts (+5 q?); magic derives strictly fewer.
         assert!(
@@ -313,13 +319,7 @@ mod tests {
             )
             .unwrap(),
         );
-        prog.rule(
-            Rule::new(
-                atom("q", vec![v("x")]),
-                vec![atom("t", vec![v("x"), c(3)])],
-            )
-            .unwrap(),
-        );
+        prog.rule(Rule::new(atom("q", vec![v("x")]), vec![atom("t", vec![v("x"), c(3)])]).unwrap());
         let plain = answers(&prog, &Pred::new("q"));
         assert_eq!(plain.len(), 3); // 0, 1, 2
         let (magic, adorned) = magic_transform(&prog, &Pred::new("q")).unwrap();

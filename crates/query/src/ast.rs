@@ -187,7 +187,11 @@ impl Cq {
 
     /// The head variables (skipping bound-constant positions), in head order.
     pub fn head_vars(&self) -> Vec<Var> {
-        self.head.iter().filter_map(|t| t.as_var()).cloned().collect()
+        self.head
+            .iter()
+            .filter_map(|t| t.as_var())
+            .cloned()
+            .collect()
     }
 
     /// All variables of the body, in first-occurrence order, deduplicated.

@@ -82,6 +82,128 @@ pub fn canonicalize(cq: &Cq) -> Cq {
     Cq::new_unchecked(head, body)
 }
 
+/// An α-canonical form: the fully variable-renamed query plus what is
+/// needed to transport plans computed for it back to the original query.
+///
+/// Produced by [`alpha_canonicalize`]; consumed by the plan cache in
+/// `rdfref-core`.
+#[derive(Debug, Clone)]
+pub struct AlphaCanonical {
+    /// The canonical query: atoms shape-sorted, *every* variable renamed
+    /// positionally (named variables to `cv0, cv1, …`; fresh variables to
+    /// `_f0, _f1, …`), duplicate atoms removed.
+    pub query: Cq,
+    /// Maps each canonical variable back to the original term it replaced.
+    /// Applying it to a plan computed for `query` (whose variables are the
+    /// canonical ones, plus any fresh variables minted during planning)
+    /// yields the equivalent plan for the original query.
+    pub inverse: Substitution,
+    /// For each atom position in the *original* body, its position in the
+    /// canonical body (after sorting and deduplication). Used to transport
+    /// atom-indexed structures such as covers.
+    pub atom_map: Vec<usize>,
+}
+
+/// A shape key that anonymizes *every* variable, named or fresh.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum AnonKey {
+    Const(TermId),
+    AnyVar,
+}
+
+fn anon_shape_of(t: &PTerm) -> AnonKey {
+    match t {
+        PTerm::Const(c) => AnonKey::Const(*c),
+        PTerm::Var(_) => AnonKey::AnyVar,
+    }
+}
+
+fn anon_atom_shape(a: &Atom) -> [AnonKey; 3] {
+    [
+        anon_shape_of(&a.s),
+        anon_shape_of(&a.p),
+        anon_shape_of(&a.o),
+    ]
+}
+
+/// α-canonicalize a CQ: like [`canonicalize`], but rename **all** variables
+/// — named ones too — so that two queries differing only by a variable
+/// renaming (and atom order) map to the same canonical form. This is the
+/// cache key used by the plan cache: `canonicalize` alone is too weak there
+/// because it treats user variable names as significant.
+///
+/// Soundness: the renaming is a bijection on the query's variables, so equal
+/// canonical forms imply the queries are isomorphic, and a plan for one
+/// becomes a plan for the other by applying `inverse`. Like `canonicalize`,
+/// this is not a *complete* isomorphism test: atoms with identical
+/// anonymous shapes are tie-broken by input order, so some isomorphic pairs
+/// canonicalize differently — costing a missed cache hit, never a wrong
+/// answer.
+pub fn alpha_canonicalize(cq: &Cq) -> AlphaCanonical {
+    // 1. Sort atom positions by fully anonymous shape.
+    let mut order: Vec<usize> = (0..cq.body.len()).collect();
+    order.sort_by(|&i, &j| anon_atom_shape(&cq.body[i]).cmp(&anon_atom_shape(&cq.body[j])));
+
+    // 2. Rename every variable in first-occurrence order (head first, then
+    //    the shape-sorted body). Fresh variables keep fresh identity (the
+    //    reformulation rules treat them as existential); named variables
+    //    become cv0, cv1, …
+    let mut renaming = Substitution::default();
+    let mut inverse = Substitution::default();
+    let mut gen = FreshVars::new();
+    let mut named = 0usize;
+    let mut visit = |t: &PTerm| {
+        if let PTerm::Var(v) = t {
+            if !renaming.contains_key(v) {
+                let canonical = if v.is_fresh() {
+                    gen.next()
+                } else {
+                    let c = Var::new(format!("cv{named}"));
+                    named += 1;
+                    c
+                };
+                renaming.insert(v.clone(), PTerm::Var(canonical.clone()));
+                inverse.insert(canonical, PTerm::Var(v.clone()));
+            }
+        }
+    };
+    for t in &cq.head {
+        visit(t);
+    }
+    for &i in &order {
+        let a = &cq.body[i];
+        visit(&a.s);
+        visit(&a.p);
+        visit(&a.o);
+    }
+
+    let head: Vec<PTerm> = cq
+        .head
+        .iter()
+        .map(|t| crate::ast::substitute(t, &renaming))
+        .collect();
+    let renamed: Vec<Atom> = order.iter().map(|&i| cq.body[i].apply(&renaming)).collect();
+
+    // 3. Final concrete sort + dedup, tracking where each original atom
+    //    lands so covers can be transported.
+    let mut idx: Vec<usize> = (0..renamed.len()).collect();
+    idx.sort_by(|&a, &b| renamed[a].cmp(&renamed[b]));
+    let mut body: Vec<Atom> = Vec::with_capacity(renamed.len());
+    let mut atom_map = vec![0usize; cq.body.len()];
+    for &j in &idx {
+        if body.last() != Some(&renamed[j]) {
+            body.push(renamed[j].clone());
+        }
+        atom_map[order[j]] = body.len() - 1;
+    }
+
+    AlphaCanonical {
+        query: Cq::new_unchecked(head, body),
+        inverse,
+        atom_map,
+    }
+}
+
 /// A set of CQs keyed by canonical form — the working set of the
 /// reformulation fixpoint.
 #[derive(Debug, Default)]
@@ -191,6 +313,80 @@ mod tests {
         assert!(!set.insert(&q2));
         assert_eq!(set.len(), 1);
         assert!(set.contains(&q2));
+    }
+
+    #[test]
+    fn alpha_identifies_renamed_queries() {
+        // { ?x :1 ?y . ?y :2 ?z } and { ?a :1 ?b . ?b :2 ?c } with atoms
+        // reordered are α-equivalent; `canonicalize` keeps them distinct,
+        // `alpha_canonicalize` does not.
+        let q1 = Cq::new_unchecked(
+            vec![v("x").into()],
+            vec![
+                Atom::new(v("x"), c(1), v("y")),
+                Atom::new(v("y"), c(2), v("z")),
+            ],
+        );
+        let q2 = Cq::new_unchecked(
+            vec![v("a").into()],
+            vec![
+                Atom::new(v("b"), c(2), v("c")),
+                Atom::new(v("a"), c(1), v("b")),
+            ],
+        );
+        assert_ne!(canonicalize(&q1), canonicalize(&q2));
+        assert_eq!(alpha_canonicalize(&q1).query, alpha_canonicalize(&q2).query);
+    }
+
+    #[test]
+    fn alpha_keeps_different_queries_distinct() {
+        let q1 = Cq::new_unchecked(vec![v("x").into()], vec![Atom::new(v("x"), c(1), c(5))]);
+        let q2 = Cq::new_unchecked(vec![v("x").into()], vec![Atom::new(v("x"), c(1), c(6))]);
+        assert_ne!(alpha_canonicalize(&q1).query, alpha_canonicalize(&q2).query);
+        // Join structure matters: x–x join vs x–y cross.
+        let j1 = Cq::new_unchecked(vec![v("x").into()], vec![Atom::new(v("x"), c(1), v("x"))]);
+        let j2 = Cq::new_unchecked(vec![v("x").into()], vec![Atom::new(v("x"), c(1), v("y"))]);
+        assert_ne!(alpha_canonicalize(&j1).query, alpha_canonicalize(&j2).query);
+    }
+
+    #[test]
+    fn alpha_inverse_restores_original_vars() {
+        let q = Cq::new_unchecked(
+            vec![v("x").into(), v("n").into()],
+            vec![
+                Atom::new(v("x"), c(1), v("a")),
+                Atom::new(v("a"), c(2), v("n")),
+            ],
+        );
+        let canon = alpha_canonicalize(&q);
+        // Head round-trips exactly.
+        let restored_head: Vec<PTerm> = canon
+            .query
+            .head
+            .iter()
+            .map(|t| crate::ast::substitute(t, &canon.inverse))
+            .collect();
+        assert_eq!(restored_head, q.head);
+        // Each original atom is found at its mapped canonical position.
+        for (i, a) in q.body.iter().enumerate() {
+            let there = canon.query.body[canon.atom_map[i]].apply(&canon.inverse);
+            assert_eq!(&there, a);
+        }
+    }
+
+    #[test]
+    fn alpha_atom_map_handles_dedup() {
+        // Two α-identical copies of one atom collapse; both map to slot 0.
+        let q = Cq::new_unchecked(
+            vec![v("x").into()],
+            vec![
+                Atom::new(v("x"), c(1), v("x")),
+                Atom::new(v("x"), c(1), v("x")),
+            ],
+        );
+        let canon = alpha_canonicalize(&q);
+        assert_eq!(canon.query.size(), 1);
+        assert_eq!(canon.atom_map, vec![0, 0]);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! reformulations.
 
 use crate::ast::{Atom, Cq, PTerm, Ucq};
-use rdfref_model::fxhash::FxHashMap;
 use crate::var::Var;
+use rdfref_model::fxhash::FxHashMap;
 
 /// A partial homomorphism: query variables of the *general* CQ mapped to
 /// pattern terms of the *specific* CQ.
@@ -190,16 +190,8 @@ mod tests {
     #[test]
     fn heads_constrain_the_homomorphism() {
         // Same body shape, different projected variable.
-        let a = Cq::new(
-            vec![v("x")],
-            vec![Atom::new(v("x"), c(1), v("y"))],
-        )
-        .unwrap();
-        let b = Cq::new(
-            vec![v("y")],
-            vec![Atom::new(v("x"), c(1), v("y"))],
-        )
-        .unwrap();
+        let a = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(1), v("y"))]).unwrap();
+        let b = Cq::new(vec![v("y")], vec![Atom::new(v("x"), c(1), v("y"))]).unwrap();
         assert!(!subsumes(&a, &b));
         // Bound-constant heads must agree.
         let ha = Cq::new_unchecked(
@@ -242,7 +234,8 @@ mod tests {
         )
         .unwrap();
         let other = Cq::new(vec![v("x")], vec![Atom::new(v("x"), c(3), v("y"))]).unwrap();
-        let pruned = prune_subsumed(Ucq::new(vec![specific, general.clone(), other.clone()]).unwrap());
+        let pruned =
+            prune_subsumed(Ucq::new(vec![specific, general.clone(), other.clone()]).unwrap());
         assert_eq!(pruned.len(), 2);
         assert!(pruned.cqs.contains(&general));
         assert!(pruned.cqs.contains(&other));

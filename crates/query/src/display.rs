@@ -84,11 +84,7 @@ pub fn jucq_to_string(jucq: &Jucq, dict: &Dictionary) -> String {
         if i > 0 {
             let _ = writeln!(out, "  ⋈");
         }
-        let _ = writeln!(
-            out,
-            "  F{i}[{cols}] = {} CQ(s):",
-            frag.ucq.len()
-        );
+        let _ = writeln!(out, "  F{i}[{cols}] = {} CQ(s):", frag.ucq.len());
         // Large fragment unions are elided for readability.
         for cq in frag.ucq.cqs.iter().take(4) {
             let _ = writeln!(out, "    {}", cq_to_string(cq, dict));

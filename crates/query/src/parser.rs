@@ -19,8 +19,8 @@
 use crate::ast::{Atom, Cq, PTerm};
 use crate::error::{QueryError, Result};
 use crate::var::Var;
-use rdfref_model::{Dictionary, Term};
 use rdfref_model::vocab;
+use rdfref_model::{Dictionary, Term};
 use std::collections::HashMap;
 
 /// Parse a `SELECT` query, interning constants into `dict`.
@@ -473,9 +473,7 @@ impl<'d> Parser<'d> {
                 }
                 Ok(PTerm::Var(Var::new(name)))
             }
-            Tok::A => Ok(PTerm::Const(
-                self.dict.intern(&Term::iri(vocab::RDF_TYPE)),
-            )),
+            Tok::A => Ok(PTerm::Const(self.dict.intern(&Term::iri(vocab::RDF_TYPE)))),
             Tok::Iri(iri) => Ok(PTerm::Const(self.dict.intern(&Term::iri(iri)))),
             Tok::Prefixed(pfx, local) => {
                 let iri = self.resolve(&pfx, &local)?;
@@ -627,8 +625,7 @@ SELECT ?x ?u ?y ?v ?z WHERE {
 
     #[test]
     fn same_constant_interned_once() {
-        let (_, dict) =
-            parse("SELECT ?x ?y WHERE { ?x <http://e/p> ?y . ?y <http://e/p> ?x }");
+        let (_, dict) = parse("SELECT ?x ?y WHERE { ?x <http://e/p> ?y . ?y <http://e/p> ?x }");
         // 5 builtins + 1 property.
         assert_eq!(dict.len(), 6);
     }

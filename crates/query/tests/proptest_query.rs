@@ -18,8 +18,7 @@ fn pterm_strategy() -> impl Strategy<Value = PTerm> {
 }
 
 fn atom_strategy() -> impl Strategy<Value = Atom> {
-    (pterm_strategy(), pterm_strategy(), pterm_strategy())
-        .prop_map(|(s, p, o)| Atom { s, p, o })
+    (pterm_strategy(), pterm_strategy(), pterm_strategy()).prop_map(|(s, p, o)| Atom { s, p, o })
 }
 
 fn cq_strategy() -> impl Strategy<Value = Cq> {

@@ -163,7 +163,10 @@ mod tests {
     fn builtins_have_fixed_ids() {
         let d = Dictionary::new();
         assert_eq!(d.id_of_iri(vocab::RDF_TYPE), Some(ID_RDF_TYPE));
-        assert_eq!(d.id_of_iri(vocab::RDFS_SUBCLASSOF), Some(ID_RDFS_SUBCLASSOF));
+        assert_eq!(
+            d.id_of_iri(vocab::RDFS_SUBCLASSOF),
+            Some(ID_RDFS_SUBCLASSOF)
+        );
         assert_eq!(
             d.id_of_iri(vocab::RDFS_SUBPROPERTYOF),
             Some(ID_RDFS_SUBPROPERTYOF)

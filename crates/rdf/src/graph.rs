@@ -224,9 +224,7 @@ mod tests {
     #[test]
     fn insert_and_contains() {
         let mut g = Graph::new();
-        assert!(g
-            .insert(iri("s"), iri("p"), Term::literal("o"))
-            .unwrap());
+        assert!(g.insert(iri("s"), iri("p"), Term::literal("o")).unwrap());
         // Duplicate insertion returns false.
         assert!(!g.insert(iri("s"), iri("p"), Term::literal("o")).unwrap());
         assert_eq!(g.len(), 1);
@@ -268,7 +266,8 @@ mod tests {
     #[test]
     fn partition_separates_schema() {
         let mut g = Graph::new();
-        g.insert(iri("doi1"), iri(vocab::RDF_TYPE), iri("Book")).unwrap();
+        g.insert(iri("doi1"), iri(vocab::RDF_TYPE), iri("Book"))
+            .unwrap();
         g.insert(iri("Book"), iri(vocab::RDFS_SUBCLASSOF), iri("Publication"))
             .unwrap();
         g.insert(iri("writtenBy"), iri(vocab::RDFS_DOMAIN), iri("Book"))

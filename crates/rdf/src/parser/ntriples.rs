@@ -156,7 +156,9 @@ impl<'a> Cursor<'a> {
                 self.expect('^')?;
                 self.expect('^')?;
                 let dt = self.parse_iri()?;
-                let Term::Iri(dt_iri) = dt else { unreachable!() };
+                let Term::Iri(dt_iri) = dt else {
+                    unreachable!()
+                };
                 Ok(Term::Literal(Literal {
                     lexical: lex.into(),
                     datatype: Some(dt_iri),

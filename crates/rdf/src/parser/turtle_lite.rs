@@ -158,8 +158,9 @@ fn tokenize(input: &str) -> Result<Vec<Located>> {
                         }
                         _ => {
                             let name = read_name(&mut chars);
-                            let (pfx, local) = split_prefixed(&name)
-                                .ok_or_else(|| err(line, "expected datatype IRI or prefixed name"))?;
+                            let (pfx, local) = split_prefixed(&name).ok_or_else(|| {
+                                err(line, "expected datatype IRI or prefixed name")
+                            })?;
                             out.push(Located {
                                 tok: Tok::Literal {
                                     lexical: lex,

@@ -523,8 +523,12 @@ mod tests {
             Term::iri("Book"),
         )
         .unwrap();
-        g.insert(Term::iri("doi1"), Term::iri(crate::vocab::RDF_TYPE), Term::iri("Book"))
-            .unwrap();
+        g.insert(
+            Term::iri("doi1"),
+            Term::iri(crate::vocab::RDF_TYPE),
+            Term::iri("Book"),
+        )
+        .unwrap();
         let s = g.schema();
         assert_eq!(s.subclass.len(), 1);
         assert_eq!(s.domain.len(), 1);

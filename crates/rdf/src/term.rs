@@ -218,7 +218,10 @@ mod tests {
             Term::literal("say \"hi\"\n").to_string(),
             "\"say \\\"hi\\\"\\n\""
         );
-        assert_eq!(Term::literal("back\\slash").to_string(), "\"back\\\\slash\"");
+        assert_eq!(
+            Term::literal("back\\slash").to_string(),
+            "\"back\\\\slash\""
+        );
     }
 
     #[test]
@@ -241,11 +244,7 @@ mod tests {
 
     #[test]
     fn ordering_is_stable() {
-        let mut v = [
-            Term::literal("a"),
-            Term::blank("a"),
-            Term::iri("http://a"),
-        ];
+        let mut v = [Term::literal("a"), Term::blank("a"), Term::iri("http://a")];
         v.sort();
         assert!(v[0].is_iri() && v[1].is_blank() && v[2].is_literal());
     }

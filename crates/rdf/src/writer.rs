@@ -37,7 +37,11 @@ pub fn to_turtle(graph: &Graph) -> String {
         // A usable local name for turtle-lite: alphanumerics/underscore/dash,
         // starting with a letter.
         let ok = !local.is_empty()
-            && local.chars().next().map(|c| c.is_alphabetic()).unwrap_or(false)
+            && local
+                .chars()
+                .next()
+                .map(|c| c.is_alphabetic())
+                .unwrap_or(false)
             && local
                 .chars()
                 .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
@@ -138,8 +142,12 @@ mod tests {
             Term::literal("with \"quotes\" and \n newline"),
         )
         .unwrap();
-        g.insert(Term::blank("b1"), Term::iri("http://p"), Term::iri("http://o"))
-            .unwrap();
+        g.insert(
+            Term::blank("b1"),
+            Term::iri("http://p"),
+            Term::iri("http://o"),
+        )
+        .unwrap();
         g.insert(
             Term::iri("http://s"),
             Term::iri("http://p"),
@@ -170,8 +178,8 @@ _:b1 ex:hasName "J. L. Borges" .
         assert!(rendered.contains("rdfs:subClassOf"), "{rendered}");
         assert!(rendered.contains(" a "), "rdf:type becomes 'a': {rendered}");
         // Round trip.
-        let g2 = parse_turtle(&rendered)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        let g2 =
+            parse_turtle(&rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
         assert_eq!(g, g2);
     }
 
@@ -192,18 +200,26 @@ _:b1 ex:hasName "J. L. Borges" .
         )
         .unwrap();
         let rendered = to_turtle(&g);
-        let g2 = parse_turtle(&rendered)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        let g2 =
+            parse_turtle(&rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
         assert_eq!(g, g2);
     }
 
     #[test]
     fn turtle_groups_subjects_with_semicolons() {
         let mut g = Graph::new();
-        g.insert(Term::iri("http://e/s"), Term::iri("http://e/p"), Term::iri("http://e/a"))
-            .unwrap();
-        g.insert(Term::iri("http://e/s"), Term::iri("http://e/q"), Term::iri("http://e/b"))
-            .unwrap();
+        g.insert(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/a"),
+        )
+        .unwrap();
+        g.insert(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/q"),
+            Term::iri("http://e/b"),
+        )
+        .unwrap();
         let rendered = to_turtle(&g);
         assert_eq!(rendered.matches(';').count(), 1, "{rendered}");
         assert_eq!(parse_turtle(&rendered).unwrap().len(), 2);
@@ -212,8 +228,12 @@ _:b1 ex:hasName "J. L. Borges" .
     #[test]
     fn write_to_sink_matches_string() {
         let mut g = Graph::new();
-        g.insert(Term::iri("http://s"), Term::iri("http://p"), Term::iri("http://o"))
-            .unwrap();
+        g.insert(
+            Term::iri("http://s"),
+            Term::iri("http://p"),
+            Term::iri("http://o"),
+        )
+        .unwrap();
         let mut buf = Vec::new();
         write_ntriples(&g, &mut buf).unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), to_ntriples(&g));

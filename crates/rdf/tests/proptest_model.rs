@@ -9,11 +9,11 @@ use rdfref_model::{Dictionary, Graph, Schema, Term, TermId, Triple};
 /// Random RDF terms: IRIs, blanks, plain/typed/lang literals with
 /// deliberately awkward lexical forms (quotes, backslashes, newlines).
 fn term_strategy() -> impl Strategy<Value = Term> {
-    let iri = "[a-zA-Z][a-zA-Z0-9/._-]{0,20}"
-        .prop_map(|s| Term::iri(format!("http://example.org/{s}")));
+    let iri =
+        "[a-zA-Z][a-zA-Z0-9/._-]{0,20}".prop_map(|s| Term::iri(format!("http://example.org/{s}")));
     let blank = "[a-zA-Z][a-zA-Z0-9_-]{0,10}".prop_map(Term::blank);
     let lexical = prop_oneof![
-        "[ -~]{0,20}",                       // printable ASCII incl. quotes
+        "[ -~]{0,20}", // printable ASCII incl. quotes
         Just("with \"quotes\" and \\ slash\n\t".to_string()),
     ];
     let literal = (lexical, 0u8..3).prop_map(|(lex, kind)| match kind {

@@ -108,10 +108,18 @@ mod tests {
 
     fn setup() -> (Dictionary, Schema, Vec<TermId>) {
         let mut d = Dictionary::new();
-        let ids: Vec<TermId> = ["Book", "Publication", "writtenBy", "hasAuthor", "Person", "doi1", "b1"]
-            .iter()
-            .map(|n| d.intern(&Term::iri(*n)))
-            .collect();
+        let ids: Vec<TermId> = [
+            "Book",
+            "Publication",
+            "writtenBy",
+            "hasAuthor",
+            "Person",
+            "doi1",
+            "b1",
+        ]
+        .iter()
+        .map(|n| d.intern(&Term::iri(*n)))
+        .collect();
         let mut s = Schema::new();
         // Book ⊑ Publication; writtenBy ⊑ hasAuthor;
         // domain(writtenBy)=Book; range(writtenBy)=Person.

@@ -126,24 +126,25 @@ pub fn naive_saturate(graph: &Graph) -> Graph {
         let schema = Schema::from_graph(&g);
         let closure = schema.closure();
         let tables = RuleTables::from_closure(&closure);
-        let mut additions: Vec<EncodedTriple> = closure
-            .all_subclass_pairs()
-            .into_iter()
-            .map(|(a, b)| EncodedTriple::new(a, ConstraintKind::SubClass.property_id(), b))
-            .chain(closure.all_subproperty_pairs().into_iter().map(|(a, b)| {
-                EncodedTriple::new(a, ConstraintKind::SubProperty.property_id(), b)
-            }))
-            .chain(
-                closure.all_domain_pairs().into_iter().map(|(p, c)| {
-                    EncodedTriple::new(p, ConstraintKind::Domain.property_id(), c)
-                }),
-            )
-            .chain(
-                closure.all_range_pairs().into_iter().map(|(p, c)| {
-                    EncodedTriple::new(p, ConstraintKind::Range.property_id(), c)
-                }),
-            )
-            .collect();
+        let mut additions: Vec<EncodedTriple> =
+            closure
+                .all_subclass_pairs()
+                .into_iter()
+                .map(|(a, b)| EncodedTriple::new(a, ConstraintKind::SubClass.property_id(), b))
+                .chain(closure.all_subproperty_pairs().into_iter().map(|(a, b)| {
+                    EncodedTriple::new(a, ConstraintKind::SubProperty.property_id(), b)
+                }))
+                .chain(
+                    closure.all_domain_pairs().into_iter().map(|(p, c)| {
+                        EncodedTriple::new(p, ConstraintKind::Domain.property_id(), c)
+                    }),
+                )
+                .chain(
+                    closure.all_range_pairs().into_iter().map(|(p, c)| {
+                        EncodedTriple::new(p, ConstraintKind::Range.property_id(), c)
+                    }),
+                )
+                .collect();
         for t in g.triples() {
             tables.derive_from(t, &mut |nt| additions.push(nt));
         }

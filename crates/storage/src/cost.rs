@@ -415,7 +415,11 @@ mod tests {
             let s = id(format!("s{}", i % 10), &mut d);
             let extra = id(format!("t{i}"), &mut d);
             let _ = extra;
-            triples.push(EncodedTriple::new(s, ID_RDF_TYPE, if i < 18 { c1 } else { c2 }));
+            triples.push(EncodedTriple::new(
+                s,
+                ID_RDF_TYPE,
+                if i < 18 { c1 } else { c2 },
+            ));
         }
         let store = Store::from_triples(&triples);
         (Stats::compute(&store), vec![p, c1, c2])
@@ -439,7 +443,10 @@ mod tests {
         // Type atoms use class counts: C2 has 2 instances, C1 has 10
         // (each subject typed; duplicates dedup to 10 and 2... class_count reflects store).
         let c2_atom = Atom::new(v("x"), ID_RDF_TYPE, ids[2]);
-        assert_eq!(m.atom_cardinality(&c2_atom), stats.class_count(ids[2]) as f64);
+        assert_eq!(
+            m.atom_cardinality(&c2_atom),
+            stats.class_count(ids[2]) as f64
+        );
         // Variable property: whole store.
         let any = Atom::new(v("x"), v("p"), v("y"));
         assert_eq!(m.atom_cardinality(&any), stats.total as f64);
@@ -471,8 +478,8 @@ mod tests {
         let m = CostModel::new(&stats);
         let p = ids[0];
         let body = vec![
-            Atom::new(v("x"), p, v("y")),            // card 100
-            Atom::new(v("x"), ID_RDF_TYPE, ids[2]),  // card 2
+            Atom::new(v("x"), p, v("y")),           // card 100
+            Atom::new(v("x"), ID_RDF_TYPE, ids[2]), // card 2
         ];
         let order = m.order_atoms(&body);
         assert_eq!(order[0], 1);

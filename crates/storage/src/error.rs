@@ -37,7 +37,10 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::ArityMismatch { expected, found } => {
-                write!(f, "arity mismatch: relation has {expected}, row has {found}")
+                write!(
+                    f,
+                    "arity mismatch: relation has {expected}, row has {found}"
+                )
             }
             StorageError::UnknownColumn(c) => write!(f, "unknown column ?{c}"),
             StorageError::HeadMismatch { head, columns } => write!(

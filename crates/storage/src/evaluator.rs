@@ -90,9 +90,7 @@ impl<'a> Evaluator<'a> {
                 first = false;
             } else {
                 let atom_card = model.atom_cardinality(atom);
-                let shares = atom
-                    .vars()
-                    .any(|v| acc.column_index(v).is_some());
+                let shares = atom.vars().any(|v| acc.column_index(v).is_some());
                 if shares && (acc.len() as f64) * model.params.probe_cost_per_row < atom_card {
                     acc = bind_join(self.store, &acc, atom);
                     metrics.record(format!("bind-join t{}", idx + 1), acc.len());
@@ -161,26 +159,25 @@ impl<'a> Evaluator<'a> {
                 .unwrap_or(4)
                 .min(ucq.len());
             let chunks: Vec<&[Cq]> = ucq.cqs.chunks(ucq.len().div_ceil(n_threads)).collect();
-            let results: Vec<Result<(Vec<Relation>, ExecMetrics)>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = chunks
-                        .into_iter()
-                        .map(|chunk| {
-                            scope.spawn(move || {
-                                let mut local_metrics = ExecMetrics::default();
-                                let mut rels = Vec::with_capacity(chunk.len());
-                                for cq in chunk {
-                                    rels.push(self.eval_cq(cq, out, &mut local_metrics)?);
-                                }
-                                Ok((rels, local_metrics))
-                            })
+            let results: Vec<Result<(Vec<Relation>, ExecMetrics)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut local_metrics = ExecMetrics::default();
+                            let mut rels = Vec::with_capacity(chunk.len());
+                            for cq in chunk {
+                                rels.push(self.eval_cq(cq, out, &mut local_metrics)?);
+                            }
+                            Ok((rels, local_metrics))
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("union worker panicked"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("union worker panicked"))
+                    .collect()
+            });
             for r in results {
                 let (rels, local_metrics) = r?;
                 metrics.absorb(local_metrics);
@@ -268,9 +265,9 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
     #[derive(Clone, Copy)]
     enum Pos {
         Const(TermId),
-        Bound(usize),       // index into the acc row
-        Out(usize),         // index into the new-columns vector
-        OutEq(usize),       // must equal an earlier Out position
+        Bound(usize), // index into the acc row
+        Out(usize),   // index into the new-columns vector
+        OutEq(usize), // must equal an earlier Out position
     }
     let mut new_cols: Vec<Var> = Vec::new();
     let classify = |t: &PTerm, acc: &Relation, new_cols: &mut Vec<Var>| match t {
@@ -492,11 +489,13 @@ mod tests {
         // Same query as a two-fragment JUCQ.
         let f0 = Fragment::new(
             vec![v("x"), v("y")],
-            Ucq::single(Cq::new(
-                vec![v("x"), v("y")],
-                vec![Atom::new(v("x"), ids[3], v("y"))],
-            )
-            .unwrap()),
+            Ucq::single(
+                Cq::new(
+                    vec![v("x"), v("y")],
+                    vec![Atom::new(v("x"), ids[3], v("y"))],
+                )
+                .unwrap(),
+            ),
         )
         .unwrap();
         let f1 = Fragment::new(

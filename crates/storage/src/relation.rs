@@ -213,7 +213,11 @@ impl Relation {
             if let Some(matches) = table.get(&key) {
                 for &bi in matches {
                     let brow = build.row(bi);
-                    let (srow, orow) = if build_is_self { (brow, prow) } else { (prow, brow) };
+                    let (srow, orow) = if build_is_self {
+                        (brow, prow)
+                    } else {
+                        (prow, brow)
+                    };
                     if out.columns.is_empty() {
                         out.data.push(TermId(u32::MAX));
                         continue;

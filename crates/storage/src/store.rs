@@ -107,7 +107,10 @@ impl IdPattern {
 
     /// How many positions are bound?
     pub fn bound_count(&self) -> usize {
-        [self.s, self.p, self.o].iter().filter(|x| x.is_some()).count()
+        [self.s, self.p, self.o]
+            .iter()
+            .filter(|x| x.is_some())
+            .count()
     }
 }
 
@@ -233,9 +236,7 @@ impl Store {
     /// statistics and by experiment reports.
     pub fn count(&self, pat: IdPattern) -> usize {
         match (pat.s, pat.p, pat.o) {
-            (Some(s), Some(p), Some(o)) => {
-                usize::from(self.contains(&EncodedTriple::new(s, p, o)))
-            }
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains(&EncodedTriple::new(s, p, o))),
             (Some(s), Some(p), None) => self.spo.range2(s, p).len(),
             (Some(s), None, None) => self.spo.range1(s).len(),
             (None, Some(p), Some(o)) => self.pos.range2(p, o).len(),

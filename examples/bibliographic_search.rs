@@ -53,7 +53,10 @@ fn main() {
 
     // What deployed systems with incomplete reformulation would return.
     for (label, profile) in [
-        ("hierarchies only", IncompletenessProfile::hierarchies_only()),
+        (
+            "hierarchies only",
+            IncompletenessProfile::hierarchies_only(),
+        ),
         ("subclass only", IncompletenessProfile::subclass_only()),
         ("no reasoning", IncompletenessProfile::none()),
     ] {

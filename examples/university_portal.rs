@@ -24,7 +24,10 @@ fn main() {
     let opts = AnswerOptions {
         // Keep the UCQ attempt from consuming the machine: the point of
         // Example 1 is that it is infeasible.
-        limits: ReformulationLimits { max_cqs: 50_000, ..Default::default() },
+        limits: ReformulationLimits {
+            max_cqs: 50_000,
+            ..Default::default()
+        },
         ..AnswerOptions::default()
     };
 
@@ -102,7 +105,9 @@ fn main() {
         "query", "answers", "Sat", "Ref/GCov"
     );
     for nq in queries::lubm_mix(&ds) {
-        let sat = db.answer(&nq.cq, Strategy::Saturation, &opts).expect(nq.name);
+        let sat = db
+            .answer(&nq.cq, Strategy::Saturation, &opts)
+            .expect(nq.name);
         let gcv = db.answer(&nq.cq, Strategy::RefGCov, &opts).expect(nq.name);
         assert_eq!(sat.rows(), gcv.rows(), "{} diverged", nq.name);
         println!(

@@ -66,6 +66,7 @@ pub use rdfref_storage as storage;
 /// The most commonly used items, re-exported.
 pub mod prelude {
     pub use rdfref_core::answer::{AnswerOptions, Database, QueryAnswer, Strategy};
+    pub use rdfref_core::cache::{CacheCounters, PlanCache};
     pub use rdfref_core::gcov::{gcov, GcovOptions};
     pub use rdfref_core::incomplete::IncompletenessProfile;
     pub use rdfref_core::maintained::MaintainedDatabase;

@@ -11,7 +11,10 @@ use rdfref::query::QueryError;
 fn malformed_ntriples_report_lines() {
     for (doc, expect_line) in [
         ("<http://s> <http://p>\n", 1),
-        ("<http://s> <http://p> <http://o> .\n\"lit\" <http://p> <http://o> .\n", 2),
+        (
+            "<http://s> <http://p> <http://o> .\n\"lit\" <http://p> <http://o> .\n",
+            2,
+        ),
         ("<http://s> <http://p> \"unterminated .\n", 1),
     ] {
         match parse_ntriples(doc) {
@@ -109,7 +112,10 @@ fn reformulation_size_limit_is_exact_and_typed() {
     let q = rdfref::datagen::queries::example1(&ds, 0);
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions {
-        limits: ReformulationLimits { max_cqs: 100, ..Default::default() },
+        limits: ReformulationLimits {
+            max_cqs: 100,
+            ..Default::default()
+        },
         ..AnswerOptions::default()
     };
     match db.answer(&q, Strategy::RefUcq, &opts) {

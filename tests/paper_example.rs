@@ -112,7 +112,10 @@ fn example_1_shape() {
     let q = queries::example1(&ds, 0);
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions {
-        limits: ReformulationLimits { max_cqs: 20_000, ..Default::default() },
+        limits: ReformulationLimits {
+            max_cqs: 20_000,
+            ..Default::default()
+        },
         ..AnswerOptions::default()
     };
 
@@ -137,7 +140,11 @@ fn example_1_shape() {
 
     // (iii) the paper's cover and GCov agree and look sane.
     let paper = db
-        .answer(&q, Strategy::RefJucq(queries::example1_paper_cover()), &opts)
+        .answer(
+            &q,
+            Strategy::RefJucq(queries::example1_paper_cover()),
+            &opts,
+        )
         .unwrap();
     assert_eq!(paper.rows(), sat.rows());
     let gcv = db.answer(&q, Strategy::RefGCov, &opts).unwrap();

@@ -10,6 +10,7 @@
 
 use proptest::prelude::*;
 use rdfref::core::answer::{AnswerOptions, Database, Strategy as AnswerStrategy};
+use rdfref::core::maintained::MaintainedDatabase;
 use rdfref::core::reformulate::{reformulate_ucq, ReformulationLimits, RewriteContext};
 use rdfref::model::dictionary::ID_RDF_TYPE;
 use rdfref::model::{EncodedTriple, Graph, Term, TermId};
@@ -48,11 +49,11 @@ fn pools() -> Pools {
 /// A compact, shrinkable description of a test scenario.
 #[derive(Debug, Clone)]
 struct Scenario {
-    subclass: Vec<(usize, usize)>,   // class idx pairs
-    subprop: Vec<(usize, usize)>,    // property idx pairs
-    domains: Vec<(usize, usize)>,    // (property, class)
-    ranges: Vec<(usize, usize)>,     // (property, class)
-    type_facts: Vec<(usize, usize)>, // (individual, class)
+    subclass: Vec<(usize, usize)>,          // class idx pairs
+    subprop: Vec<(usize, usize)>,           // property idx pairs
+    domains: Vec<(usize, usize)>,           // (property, class)
+    ranges: Vec<(usize, usize)>,            // (property, class)
+    type_facts: Vec<(usize, usize)>,        // (individual, class)
     prop_facts: Vec<(usize, usize, usize)>, // (ind, property, ind)
     query_atoms: Vec<QAtom>,
 }
@@ -73,8 +74,8 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
     let type_fact = (0usize..6, 0usize..5);
     let prop_fact = (0usize..6, 0usize..3, 0usize..6);
     let var = 0u8..4;
-    let type_atom = (0u8..4, prop_or_var(0..5usize, var.clone()))
-        .prop_map(|(s, c)| QAtom::Type(s, c));
+    let type_atom =
+        (0u8..4, prop_or_var(0..5usize, var.clone())).prop_map(|(s, c)| QAtom::Type(s, c));
     let prop_atom = (
         prop_or_var(0..6usize, var.clone()),
         prop_or_var(0..3usize, var.clone()),
@@ -301,6 +302,67 @@ proptest! {
             .collect();
         reasoner.delete(&deletions);
         prop_assert_eq!(reasoner.saturated(), &saturate(reasoner.explicit()));
+    }
+
+    /// Plan-cache invalidation is sound under updates: interleave random
+    /// insert/delete batches (data *and* schema triples) with cached and
+    /// uncached answering — after every mutation the cached plans, the
+    /// freshly planned answers and Sat must all agree. A stale plan
+    /// surviving an epoch bump would show up as a divergence here.
+    #[test]
+    fn cache_invalidation_is_sound_under_updates(
+        scenario in scenario_strategy(),
+        ops in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(any::<bool>(), 12)),
+            1..4,
+        ),
+    ) {
+        let (graph, cq) = build(&scenario);
+        let all: Vec<EncodedTriple> = graph.triples().to_vec();
+        let mut db = MaintainedDatabase::new(graph);
+        let cached = AnswerOptions::default();
+        let uncached = AnswerOptions { use_cache: false, ..AnswerOptions::default() };
+        let strategies = [AnswerStrategy::RefUcq, AnswerStrategy::RefGCov];
+
+        // Prime the cache so the mutations below invalidate real entries.
+        for strategy in &strategies {
+            db.answer(&cq, strategy.clone(), &cached).unwrap();
+        }
+
+        for (is_insert, sel) in &ops {
+            if *is_insert {
+                let batch: Vec<EncodedTriple> = all
+                    .iter()
+                    .zip(sel.iter().cycle())
+                    .filter(|(_, &keep)| keep)
+                    .map(|(t, _)| *t)
+                    .collect();
+                db.insert(&batch);
+            } else {
+                let batch: Vec<EncodedTriple> = db
+                    .explicit()
+                    .triples()
+                    .iter()
+                    .zip(sel.iter().cycle())
+                    .filter(|(_, &del)| del)
+                    .map(|(t, _)| *t)
+                    .collect();
+                db.delete(&batch);
+            }
+            let reference = db.answer(&cq, AnswerStrategy::Saturation, &cached).unwrap().rows();
+            for strategy in &strategies {
+                // Twice cached (miss-then-hit path) plus once uncached.
+                let first = db.answer(&cq, strategy.clone(), &cached).unwrap().rows();
+                let second = db.answer(&cq, strategy.clone(), &cached).unwrap().rows();
+                let fresh = db.answer(&cq, strategy.clone(), &uncached).unwrap().rows();
+                prop_assert_eq!(
+                    &first, &reference,
+                    "{} cached diverged after update", strategy.name()
+                );
+                prop_assert_eq!(&second, &first, "{} hit path diverged", strategy.name());
+                prop_assert_eq!(&fresh, &first, "{} uncached diverged", strategy.name());
+            }
+        }
     }
 
     /// Reformulated UCQs never lose or invent answers when the schema is

@@ -34,11 +34,7 @@ fn check_equivalence(db: &Database, cq: &Cq, label: &str) {
     // Plus a couple of non-trivial covers when the query is big enough.
     if cq.size() >= 2 {
         let n = cq.size();
-        let halves = Cover::new(
-            vec![(0..n / 2 + 1).collect(), (n / 2..n).collect()],
-            n,
-        )
-        .unwrap();
+        let halves = Cover::new(vec![(0..n / 2 + 1).collect(), (n / 2..n).collect()], n).unwrap();
         let got = db
             .answer(cq, Strategy::RefJucq(halves.clone()), &opts)
             .unwrap_or_else(|e| panic!("{label}/cover {halves}: {e}"))
@@ -262,7 +258,10 @@ fn incomplete_profiles_are_monotone() {
             nq.name,
             counts
         );
-        let complete = db.answer(&nq.cq, Strategy::Saturation, &opts).unwrap().len();
+        let complete = db
+            .answer(&nq.cq, Strategy::Saturation, &opts)
+            .unwrap()
+            .len();
         assert_eq!(counts[3], complete, "{}", nq.name);
     }
 }

@@ -1,0 +1,58 @@
+//! `any::<T>()` for primitive types.
+
+use crate::strategy::{NewTree, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn generate(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut StdRng) -> bool {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<T> {
+        Ok(T::generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = any::<bool>();
+        let vals: Vec<bool> = (0..100).map(|_| s.generate(&mut rng).unwrap()).collect();
+        assert!(vals.contains(&true) && vals.contains(&false));
+    }
+}

@@ -1,0 +1,86 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{NewTree, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An inclusive size interval for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    pub min: usize,
+    /// Inclusive upper bound.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Generates a `Vec` whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<Vec<S::Value>> {
+        let len = rng.gen_range(self.size.min..=self.size.max);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.generate(rng)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = vec(1u32..5, 2..7usize);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|x| (1..5).contains(x)));
+        }
+        let exact = vec(0u8..2, 4usize);
+        assert_eq!(exact.generate(&mut rng).unwrap().len(), 4);
+        let incl = vec(0u8..2, 3..=3usize);
+        assert_eq!(incl.generate(&mut rng).unwrap().len(), 3);
+    }
+}

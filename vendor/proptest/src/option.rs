@@ -1,0 +1,43 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::{NewTree, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// `Some` from the inner strategy about three quarters of the time,
+/// `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<Option<S::Value>> {
+        if rng.gen_bool(0.75) {
+            Ok(Some(self.inner.generate(rng)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = of(0u32..5);
+        let values: Vec<_> = (0..200).map(|_| s.generate(&mut rng).unwrap()).collect();
+        assert!(values.iter().any(|v| v.is_some()));
+        assert!(values.iter().any(|v| v.is_none()));
+        assert!(values.iter().flatten().all(|x| (0..5).contains(x)));
+    }
+}

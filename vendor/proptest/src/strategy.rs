@@ -1,0 +1,248 @@
+//! The [`Strategy`] trait and its combinators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generation attempt was rejected (e.g. by `prop_filter`); the runner
+/// retries without consuming a test case, up to a global limit.
+#[derive(Debug, Clone)]
+pub struct Rejection(pub String);
+
+/// Result of one generation attempt.
+pub type NewTree<T> = Result<T, Rejection>;
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value (or reject the attempt).
+    fn generate(&self, rng: &mut StdRng) -> NewTree<Self::Value>;
+
+    /// Transform every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it selects.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (retrying internally first).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<T> {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> NewTree<T> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<T> {
+        self.source.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<S2::Value> {
+        let inner = (self.f)(self.source.generate(rng)?);
+        inner.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<S::Value> {
+        // Retry locally before escalating to a global reject.
+        for _ in 0..256 {
+            let v = self.source.generate(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejection(self.reason.clone()))
+    }
+}
+
+/// Weighted union of strategies over a common value type (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<T> {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.options {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> NewTree<$t> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> NewTree<$t> {
+                Ok(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> NewTree<Self::Value> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = (0u32..10)
+            .prop_map(|x| x * 2)
+            .prop_filter("even only stays even", |x| x % 2 == 0)
+            .prop_flat_map(|x| (x..x + 3).prop_map(move |y| (x, y)));
+        for _ in 0..200 {
+            let (x, y) = s.generate(&mut rng).unwrap();
+            assert!(x % 2 == 0 && x < 20 && (x..x + 3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u: Union<u32> = Union::new(vec![(3, Just(0u32).boxed()), (1, Just(1u32).boxed())]);
+        let ones: usize = (0..4_000)
+            .map(|_| u.generate(&mut rng).unwrap() as usize)
+            .sum();
+        assert!((700..1_300).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn filter_eventually_rejects() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = (0u32..10).prop_filter("impossible", |_| false);
+        assert!(s.generate(&mut rng).is_err());
+    }
+}

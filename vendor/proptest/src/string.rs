@@ -1,0 +1,185 @@
+//! String strategies from `[class]{m,n}`-style patterns.
+//!
+//! A `&'static str` is itself a strategy producing `String`s. The supported
+//! pattern grammar is the fragment the workspace's fuzz tests use — a
+//! sequence of items, each a character class or literal character,
+//! optionally repeated:
+//!
+//! ```text
+//! pattern    := item*
+//! item       := (class | literal) quantifier?
+//! class      := '[' (range | literal)+ ']'
+//! range      := literal '-' literal
+//! quantifier := '{' min (',' max)? '}'
+//! ```
+//!
+//! Anything outside this fragment panics with a clear message rather than
+//! silently generating the wrong language.
+
+use crate::strategy::{NewTree, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct Item {
+    /// Candidate characters, pre-expanded.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Item> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut items = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated '[' in pattern {pattern:?}"))
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+                i += 2;
+                vec![unescape(c)]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated '{{' in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier min"),
+                    hi.trim().parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "empty quantifier in pattern {pattern:?}");
+        items.push(Item {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    items
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = if class[i] == '\\' {
+            i += 1;
+            unescape(
+                *class
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling '\\' in class of {pattern:?}")),
+            )
+        } else {
+            class[i]
+        };
+        // `x-y` is a range unless `-` is the last character of the class.
+        if class.get(i + 1) == Some(&'-') && i + 2 < class.len() {
+            let hi = class[i + 2];
+            assert!(c <= hi, "inverted range {c}-{hi} in pattern {pattern:?}");
+            out.extend(c..=hi);
+            i += 3;
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> NewTree<String> {
+        // Parsing on every call keeps the impl stateless; the patterns in
+        // use are tiny, so this is nowhere near the cost of the test body.
+        let items = parse_pattern(self);
+        let mut out = String::new();
+        for item in &items {
+            let n = rng.gen_range(item.min..=item.max);
+            for _ in 0..n {
+                out.push(item.chars[rng.gen_range(0..item.chars.len())]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn printable_class_with_escapes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = "[ -~\n\t]{0,200}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng).unwrap();
+            assert!(v.len() <= 200 * 4);
+            assert!(v
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn leading_single_item_then_quantified_class() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = "[a-zA-Z][a-zA-Z0-9/._-]{0,20}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng).unwrap();
+            let mut cs = v.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic(), "{v:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_alphanumeric() || "/._-".contains(c)),
+                "{v:?}"
+            );
+            assert!(v.chars().count() <= 21);
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let chars = expand_class(&['a', '-', 'c', '-'], "[a-c-]");
+        assert_eq!(chars, vec!['a', 'b', 'c', '-']);
+    }
+}

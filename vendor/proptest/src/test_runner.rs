@@ -1,0 +1,210 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Abort after this many rejected generation attempts across the run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Failure of a single test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The case asked to be discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// What a proptest body returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a: a stable per-test seed so failures reproduce across runs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` random cases of `test` over `strategy`, panicking on
+/// the first failure with the input that produced it.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| seed_for(name));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rejects: u32 = 0;
+    let mut case = 0;
+    while case < config.cases {
+        let value = match strategy.generate(&mut rng) {
+            Ok(v) => v,
+            Err(rejection) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest '{name}': too many rejected inputs \
+                         ({rejects}); last reason: {}",
+                        rejection.0
+                    );
+                }
+                continue;
+            }
+        };
+        let repr = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!("proptest '{name}': too many rejected cases");
+                }
+                continue;
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest '{name}' failed at case {case} (seed {seed}):\n\
+                     input: {repr}\n{msg}"
+                );
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                panic!(
+                    "proptest '{name}' panicked at case {case} (seed {seed}):\n\
+                     input: {repr}\npanic: {msg}"
+                );
+            }
+        }
+        case += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run(
+            &ProptestConfig {
+                cases: 37,
+                ..Default::default()
+            },
+            "passing",
+            0u32..100,
+            |v| {
+                counter.set(counter.get() + 1);
+                if v < 100 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("out of range"))
+                }
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_input() {
+        run(&ProptestConfig::default(), "failing", 0u32..10, |v| {
+            if v < 5 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("too big"))
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked at case")]
+    fn panicking_body_is_reported() {
+        run(&ProptestConfig::default(), "panics", 0u32..10, |v| {
+            assert!(v > 100, "always fails");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_given_same_name() {
+        let collect = |tag: &str| {
+            let values = std::cell::RefCell::new(Vec::new());
+            run(
+                &ProptestConfig {
+                    cases: 20,
+                    ..Default::default()
+                },
+                tag,
+                0u32..1_000,
+                |v| {
+                    values.borrow_mut().push(v);
+                    Ok(())
+                },
+            );
+            values.into_inner()
+        };
+        assert_eq!(collect("same"), collect("same"));
+        assert_ne!(collect("same"), collect("different"));
+    }
+
+    #[test]
+    fn filter_rejections_do_not_consume_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        run(
+            &ProptestConfig {
+                cases: 10,
+                ..Default::default()
+            },
+            "filtered",
+            (0u32..100).prop_filter("keep evens", |v| v % 2 == 0),
+            |v| {
+                counter.set(counter.get() + 1);
+                assert!(v % 2 == 0);
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 10);
+    }
+}
