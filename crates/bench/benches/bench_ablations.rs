@@ -46,6 +46,7 @@ fn bench_ablations(c: &mut Criterion) {
     // A2: closure reuse vs recompute inside reformulation.
     let schema = Schema::from_graph(&ds.graph);
     let q = queries::lubm_mix(&ds)
+        .expect("workload is well-formed")
         .into_iter()
         .find(|nq| nq.name == "Q10")
         .unwrap()
@@ -81,11 +82,13 @@ fn bench_ablations(c: &mut Criterion) {
         let left = scan_atom(
             &store,
             &Atom::new(Var::new("x"), ID_RDF_TYPE, Var::new("u")),
-        );
+        )
+        .unwrap();
         let right = scan_atom(
             &store,
             &Atom::new(Var::new("x"), ds.vocab.member_of, Var::new("d")),
-        );
+        )
+        .unwrap();
         group.bench_function("a8_hash_join", |b| {
             b.iter(|| black_box(left.natural_join(&right).len()))
         });

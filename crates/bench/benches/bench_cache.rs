@@ -13,7 +13,11 @@ fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_cache");
     group.sample_size(10);
     for strategy in [Strategy::RefUcq, Strategy::RefGCov] {
-        for nq in queries::lubm_mix(&ds).into_iter().take(4) {
+        for nq in queries::lubm_mix(&ds)
+            .expect("workload is well-formed")
+            .into_iter()
+            .take(4)
+        {
             let db = Database::new(ds.graph.clone());
             let cold = AnswerOptions {
                 use_cache: false,

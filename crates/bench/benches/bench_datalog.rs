@@ -9,17 +9,17 @@ use std::hint::black_box;
 
 fn bench_datalog(c: &mut Criterion) {
     let ds = generate(&LubmConfig::scale(1));
-    let mix = queries::lubm_mix(&ds);
+    let mix = queries::lubm_mix(&ds).expect("workload is well-formed");
     let q2 = &mix.iter().find(|q| q.name == "Q02").unwrap().cq;
 
     let mut group = c.benchmark_group("datalog");
     group.sample_size(10);
 
     group.bench_function("encode_graph", |b| {
-        b.iter(|| black_box(encode_graph(&ds.graph).facts.len()))
+        b.iter(|| black_box(encode_graph(&ds.graph).unwrap().facts.len()))
     });
     group.bench_function("closure_fixpoint", |b| {
-        let prog = encode_graph(&ds.graph);
+        let prog = encode_graph(&ds.graph).unwrap();
         b.iter_batched(
             || Engine::load(&prog).unwrap(),
             |mut engine| {

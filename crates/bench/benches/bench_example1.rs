@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 fn bench_example1(c: &mut Criterion) {
     let ds = generate(&LubmConfig::scale(2));
-    let q = queries::example1(&ds, 0);
+    let q = queries::example1(&ds, 0).expect("workload is well-formed");
     let db = Database::new(ds.graph.clone());
     db.prepare_saturation();
     let opts = AnswerOptions {
@@ -34,7 +34,7 @@ fn bench_example1(c: &mut Criterion) {
         b.iter(|| black_box(db.answer(&q, Strategy::RefScq, &opts).unwrap().len()))
     });
     group.bench_function("jucq_paper_cover", |b| {
-        let cover = queries::example1_paper_cover();
+        let cover = queries::example1_paper_cover().expect("workload is well-formed");
         b.iter(|| {
             black_box(
                 db.answer(&q, Strategy::RefJucq(cover.clone()), &opts)

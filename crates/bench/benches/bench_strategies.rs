@@ -20,7 +20,7 @@ fn bench_strategies(c: &mut Criterion) {
         },
         ..AnswerOptions::default()
     };
-    let mix = queries::lubm_mix(&ds);
+    let mix = queries::lubm_mix(&ds).expect("workload is well-formed");
 
     let mut group = c.benchmark_group("strategies");
     group.sample_size(10);

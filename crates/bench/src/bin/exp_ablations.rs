@@ -76,6 +76,7 @@ fn main() {
     // A2: reformulation with a precomputed closure vs recomputing per call.
     {
         let q = queries::lubm_mix(&ds)
+            .expect("workload is well-formed")
             .into_iter()
             .find(|nq| nq.name == "Q10")
             .unwrap()
@@ -103,7 +104,7 @@ fn main() {
 
     // A3: GCov under different cost models.
     {
-        let q = queries::example1(&ds, 0);
+        let q = queries::example1(&ds, 0).expect("workload is well-formed");
         let ctx = RewriteContext::new(db.schema(), db.closure());
         let gcov_opts = GcovOptions {
             limits: ReformulationLimits {
@@ -166,6 +167,7 @@ fn main() {
     // A4: GCov vs exhaustive partition search on a 4-atom query.
     {
         let q = queries::lubm_mix(&ds)
+            .expect("workload is well-formed")
             .into_iter()
             .find(|nq| nq.name == "Q08")
             .unwrap()
@@ -223,6 +225,7 @@ fn main() {
     // A6: subsumption pruning of the reformulated unions.
     {
         let q = queries::lubm_mix(&ds)
+            .expect("workload is well-formed")
             .into_iter()
             .find(|nq| nq.name == "Q02")
             .unwrap()

@@ -51,7 +51,7 @@ fn main() {
     );
 
     let mut totals = vec![(std::time::Duration::ZERO, std::time::Duration::ZERO); strategies.len()];
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).expect("workload is well-formed") {
         for (si, strategy) in strategies.iter().enumerate() {
             let mut answers = 0usize;
             let (_, cold_total) = time(|| {

@@ -43,7 +43,7 @@ fn main() {
 
     let mut totals = vec![0usize; profiles.len()];
     let mut total_complete = 0usize;
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).expect("workload is well-formed") {
         let complete = db
             .answer(&nq.cq, Strategy::Saturation, &opts)
             .expect(nq.name)

@@ -52,8 +52,11 @@ fn main() {
     let ctx = RewriteContext::new(db.schema(), db.closure());
     let model = CostModel::new(db.stats());
 
-    let mut targets = vec![("Example1".to_string(), queries::example1(&ds, 0))];
-    for nq in queries::lubm_mix(&ds) {
+    let mut targets = vec![(
+        "Example1".to_string(),
+        queries::example1(&ds, 0).expect("workload is well-formed"),
+    )];
+    for nq in queries::lubm_mix(&ds).expect("workload is well-formed") {
         if ["Q02", "Q04", "Q09"].contains(&nq.name) {
             targets.push((nq.name.to_string(), nq.cq));
         }

@@ -46,13 +46,16 @@ fn main() {
         let ds = generate(&LubmConfig::scale(scale));
         let db = Database::new(ds.graph.clone());
         let (added, sat_time) = time(|| db.prepare_saturation());
-        let mix = queries::lubm_mix(&ds);
+        let mix = queries::lubm_mix(&ds).expect("workload is well-formed");
         let mut targets: Vec<(String, rdfref_query::Cq)> = mix
             .into_iter()
             .filter(|nq| ["Q02", "Q09"].contains(&nq.name))
             .map(|nq| (nq.name.to_string(), nq.cq))
             .collect();
-        targets.push(("Ex1".into(), queries::example1(&ds, 0)));
+        targets.push((
+            "Ex1".into(),
+            queries::example1(&ds, 0).expect("workload is well-formed"),
+        ));
 
         for (i, (name, q)) in targets.iter().enumerate() {
             let cells_prefix = if i == 0 {

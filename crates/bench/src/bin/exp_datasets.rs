@@ -62,7 +62,11 @@ fn main() {
         &mut table,
         "LUBM-like",
         &lubm.graph,
-        queries::lubm_mix(&lubm).into_iter().take(6).collect(),
+        queries::lubm_mix(&lubm)
+            .expect("workload is well-formed")
+            .into_iter()
+            .take(6)
+            .collect(),
     );
 
     let dblp = biblio::generate(&biblio::BiblioConfig::default());
@@ -70,18 +74,23 @@ fn main() {
         &mut table,
         "DBLP-like",
         &dblp.graph,
-        queries::biblio_mix(&dblp),
+        queries::biblio_mix(&dblp).expect("workload is well-formed"),
     );
 
     let ign = geo::generate(&geo::GeoConfig::default());
-    run_section(&mut table, "IGN-like", &ign.graph, queries::geo_mix(&ign));
+    run_section(
+        &mut table,
+        "IGN-like",
+        &ign.graph,
+        queries::geo_mix(&ign).expect("workload is well-formed"),
+    );
 
     let ins = insee::generate(&insee::InseeConfig::default());
     run_section(
         &mut table,
         "INSEE-like",
         &ins.graph,
-        queries::insee_mix(&ins),
+        queries::insee_mix(&ins).expect("workload is well-formed"),
     );
 
     table.emit("exp_datasets");

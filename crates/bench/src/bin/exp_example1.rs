@@ -64,7 +64,7 @@ fn main() {
             publications_per_faculty: base.publications_per_faculty * density,
             ..base
         });
-        let q = queries::example1(&ds, 0);
+        let q = queries::example1(&ds, 0).expect("workload is well-formed");
         let db = Database::new(ds.graph.clone());
         let opts = AnswerOptions {
             limits: limit,
@@ -88,7 +88,9 @@ fn main() {
         let paper = db
             .answer(
                 &q,
-                Strategy::RefJucq(queries::example1_paper_cover()),
+                Strategy::RefJucq(
+                    queries::example1_paper_cover().expect("workload is well-formed"),
+                ),
                 &opts,
             )
             .expect("paper cover runs");

@@ -64,7 +64,7 @@ fn main() {
         ],
     );
 
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).expect("workload is well-formed") {
         let mut cells: Vec<String> = vec![nq.name.to_string()];
         let mut complete_count: Option<usize> = None;
         let mut timings: Vec<String> = Vec::new();

@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn run_strategy_reports_failures_as_outcomes() {
         let ds = generate(&LubmConfig::default());
-        let q = rdfref_datagen::queries::example1(&ds, 0);
+        let q = rdfref_datagen::queries::example1(&ds, 0).expect("workload is well-formed");
         let db = Database::new(ds.graph.clone());
         let opts = AnswerOptions {
             limits: rdfref_core::ReformulationLimits {

@@ -19,7 +19,7 @@
 //! how they get there, which [`Explain`] exposes.
 
 use crate::cache::{CacheKey, CachedPlan, PlanCache, StrategyTag};
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::explain::{CacheReport, Explain};
 use crate::gcov::{gcov, GcovOptions, GcovResult};
 use crate::incomplete::IncompletenessProfile;
@@ -267,7 +267,8 @@ impl Database {
             Strategy::RefUcq => {
                 let plan = self.ref_plan(cq, PlanRequest::Ucq, opts, &mut explain)?;
                 let CachedPlan::Ucq(ucq) = plan else {
-                    unreachable!("UCQ request yields a UCQ plan")
+                    debug_assert!(false, "UCQ request yields a UCQ plan");
+                    return Err(CoreError::PlanShapeMismatch { expected: "UCQ" });
                 };
                 explain.reformulation_cqs = ucq.len();
                 explain.reformulation_atoms = ucq.total_atoms();
@@ -281,7 +282,8 @@ impl Database {
             Strategy::RefScq => {
                 let plan = self.ref_plan(cq, PlanRequest::Scq, opts, &mut explain)?;
                 let CachedPlan::Jucq(jucq) = plan else {
-                    unreachable!("SCQ request yields a JUCQ plan")
+                    debug_assert!(false, "SCQ request yields a JUCQ plan");
+                    return Err(CoreError::PlanShapeMismatch { expected: "JUCQ" });
                 };
                 explain.cover = Some(Cover::singletons(cq.size()));
                 self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
@@ -289,7 +291,8 @@ impl Database {
             Strategy::RefJucq(cover) => {
                 let plan = self.ref_plan(cq, PlanRequest::Jucq(cover), opts, &mut explain)?;
                 let CachedPlan::Jucq(jucq) = plan else {
-                    unreachable!("JUCQ request yields a JUCQ plan")
+                    debug_assert!(false, "JUCQ request yields a JUCQ plan");
+                    return Err(CoreError::PlanShapeMismatch { expected: "JUCQ" });
                 };
                 explain.cover = Some(cover.clone());
                 self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
@@ -297,7 +300,8 @@ impl Database {
             Strategy::RefGCov => {
                 let plan = self.ref_plan(cq, PlanRequest::Gcov, opts, &mut explain)?;
                 let CachedPlan::Gcov(result) = plan else {
-                    unreachable!("GCov request yields a GCov plan")
+                    debug_assert!(false, "GCov request yields a GCov plan");
+                    return Err(CoreError::PlanShapeMismatch { expected: "GCov" });
                 };
                 explain.cover = Some(result.cover.clone());
                 explain.estimate = Some(result.estimate);

@@ -242,23 +242,32 @@ impl PlanCache {
         let schema = self.schema_epoch();
         let data = self.data_epoch();
         let mut shard = self.shard_of(key).lock();
-        let valid = match shard.map.get(key) {
-            Some(e) => e.schema_epoch == schema && e.data_epoch.is_none_or(|d| d == data),
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
+        if let Some(entry) = shard.map.get_mut(key) {
+            #[cfg(feature = "strict-invariants")]
+            {
+                // Epoch monotonicity: counters only grow, so no cached entry
+                // can carry an epoch ahead of the current one.
+                debug_assert!(
+                    entry.schema_epoch <= schema,
+                    "cache entry schema epoch {} ahead of current {schema}",
+                    entry.schema_epoch
+                );
+                debug_assert!(
+                    entry.data_epoch.is_none_or(|d| d <= data),
+                    "cache entry data epoch {:?} ahead of current {data}",
+                    entry.data_epoch
+                );
             }
-        };
-        if !valid {
+            if entry.schema_epoch == schema && entry.data_epoch.is_none_or(|d| d == data) {
+                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(&entry.plan));
+            }
             shard.map.remove(key);
             self.invalidations.fetch_add(1, Ordering::Relaxed);
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
         }
-        let entry = shard.map.get_mut(key).expect("checked above");
-        entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(Arc::clone(&entry.plan))
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Insert a plan computed under the *current* epochs, evicting the

@@ -26,6 +26,12 @@ pub enum CoreError {
     Storage(StorageError),
     /// A Datalog-layer error.
     Datalog(DatalogError),
+    /// A cached plan's shape did not match its request — an internal
+    /// planner/cache defect, reported instead of aborting the process.
+    PlanShapeMismatch {
+        /// The plan shape the request should have produced, e.g. `"UCQ"`.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +44,10 @@ impl fmt::Display for CoreError {
             CoreError::Query(e) => write!(f, "query error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::Datalog(e) => write!(f, "datalog error: {e}"),
+            CoreError::PlanShapeMismatch { expected } => write!(
+                f,
+                "internal error: cached plan does not have the expected {expected} shape"
+            ),
         }
     }
 }

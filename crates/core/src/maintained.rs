@@ -133,12 +133,11 @@ impl MaintainedDatabase {
         match strategy {
             Strategy::Saturation => {
                 let start = Instant::now();
-                if self.saturated_store.is_none() {
+                let (store, stats) = self.saturated_store.get_or_insert_with(|| {
                     let store = Store::from_graph(self.reasoner.saturated());
                     let stats = Stats::compute(&store);
-                    self.saturated_store = Some((store, stats));
-                }
-                let (store, stats) = self.saturated_store.as_ref().expect("just built");
+                    (store, stats)
+                });
                 let mut ev = Evaluator::new(store, stats);
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
@@ -155,18 +154,15 @@ impl MaintainedDatabase {
                 };
                 Ok(QueryAnswer::from_parts(relation, explain))
             }
-            other => {
-                if self.explicit_db.is_none() {
-                    self.explicit_db = Some(Database::with_cache(
+            other => self
+                .explicit_db
+                .get_or_insert_with(|| {
+                    Database::with_cache(
                         self.reasoner.explicit().clone(),
                         Arc::clone(&self.plan_cache),
-                    ));
-                }
-                self.explicit_db
-                    .as_ref()
-                    .expect("just built")
-                    .answer(cq, other, opts)
-            }
+                    )
+                })
+                .answer(cq, other, opts),
         }
     }
 }

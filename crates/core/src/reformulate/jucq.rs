@@ -35,6 +35,39 @@ pub fn reformulate_jucq(
         let ucq = reformulate_ucq(&frag_cq, ctx, limits)?;
         fragments.push(Fragment::new(cols.clone(), ucq)?);
     }
+    #[cfg(feature = "strict-invariants")]
+    {
+        // Atom coverage: every atom of the query belongs to at least one
+        // cover fragment (fragments may overlap — §4 allows it), otherwise
+        // the JUCQ join would silently drop a conjunct.
+        let mut covered = vec![false; cq.size()];
+        for frag_atoms in cover.fragments() {
+            for &a in frag_atoms {
+                if let Some(slot) = covered.get_mut(a) {
+                    *slot = true;
+                }
+            }
+        }
+        debug_assert!(
+            covered.iter().all(|&c| c),
+            "cover leaves atoms of the query uncovered: {covered:?}"
+        );
+        // Column consistency: each fragment exports exactly the columns its
+        // UCQ members produce.
+        for (frag, cols) in fragments.iter().zip(&columns) {
+            debug_assert_eq!(
+                &frag.columns, cols,
+                "fragment exports drifted from cover columns"
+            );
+            for member in &frag.ucq.cqs {
+                debug_assert_eq!(
+                    member.arity(),
+                    cols.len(),
+                    "fragment UCQ member arity diverges from its column list"
+                );
+            }
+        }
+    }
     Ok(Jucq::new(cq.head_vars(), fragments)?)
 }
 

@@ -1,0 +1,49 @@
+//! Error type of the data-generation crate.
+
+use rdfref_query::QueryError;
+use std::fmt;
+
+/// Result alias for the datagen crate.
+pub type Result<T> = std::result::Result<T, DatagenError>;
+
+/// Errors raised while assembling synthetic workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatagenError {
+    /// A workload query references an entity the generated dataset does not
+    /// contain (e.g. a university index beyond the configured scale).
+    MissingEntity(String),
+    /// A query-layer error while assembling a workload query.
+    Query(QueryError),
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::MissingEntity(e) => {
+                write!(f, "generated dataset does not contain {e}")
+            }
+            DatagenError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {}
+
+impl From<QueryError> for DatagenError {
+    fn from(e: QueryError) -> Self {
+        DatagenError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = DatagenError::MissingEntity("university 99".into());
+        assert!(e.to_string().contains("university 99"));
+        let q: DatagenError = QueryError::UnboundHeadVar("x".into()).into();
+        assert!(matches!(q, DatagenError::Query(_)));
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod biblio;
 pub mod builder;
+pub mod error;
 pub mod geo;
 pub mod insee;
 pub mod lubm;
@@ -33,4 +34,5 @@ pub mod onto_sweep;
 pub mod queries;
 
 pub use builder::GraphBuilder;
+pub use error::{DatagenError, Result};
 pub use lubm::{LubmConfig, LubmDataset};

@@ -115,7 +115,7 @@ pub fn generate(config: &SweepConfig) -> SweepDataset {
 
     // Instances: leaf-typed, connected with the most specific property.
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let leaf_prop = *properties.last().unwrap();
+    let leaf_prop = properties.last().copied().unwrap_or(root_property);
     let mut instances: Vec<TermId> = Vec::new();
     for (li, &leaf) in leaves.iter().enumerate() {
         for i in 0..config.instances_per_leaf {

@@ -1,5 +1,6 @@
 //! The query workload: the paper's Example 1 and a LUBM-style query mix.
 
+use crate::error::{DatagenError, Result};
 use crate::lubm::LubmDataset;
 use rdfref_model::dictionary::{ID_RDFS_SUBCLASSOF, ID_RDF_TYPE};
 use rdfref_query::ast::{Atom, Cq};
@@ -22,12 +23,12 @@ fn v(n: &str) -> Var {
 ///
 /// `target_university` selects `<UnivK>` (the paper uses Univ532 of the
 /// 100M-triple LUBM; any generated university index works here).
-pub fn example1(ds: &LubmDataset, target_university: usize) -> Cq {
+pub fn example1(ds: &LubmDataset, target_university: usize) -> Result<Cq> {
     let univ = ds
         .id_of(&LubmDataset::university_iri(target_university))
-        .expect("target university exists in the dataset");
+        .ok_or_else(|| DatagenError::MissingEntity(format!("university {target_university}")))?;
     let vb = &ds.vocab;
-    Cq::new(
+    let cq = Cq::new(
         vec![v("x"), v("u"), v("y"), v("v"), v("z")],
         vec![
             Atom::new(v("x"), ID_RDF_TYPE, v("u")),
@@ -37,15 +38,15 @@ pub fn example1(ds: &LubmDataset, target_university: usize) -> Cq {
             Atom::new(v("x"), vb.member_of, v("z")),
             Atom::new(v("y"), vb.member_of, v("z")),
         ],
-    )
-    .expect("example-1 query is well-formed")
+    )?;
+    Ok(cq)
 }
 
 /// The paper's winning cover for Example 1:
 /// `{{t1,t3}, {t3,t5}, {t2,t4}, {t4,t6}}`.
-pub fn example1_paper_cover() -> rdfref_query::Cover {
-    rdfref_query::Cover::new(vec![vec![0, 2], vec![2, 4], vec![1, 3], vec![3, 5]], 6)
-        .expect("the paper's cover is valid")
+pub fn example1_paper_cover() -> Result<rdfref_query::Cover> {
+    let cover = rdfref_query::Cover::new(vec![vec![0, 2], vec![2, 4], vec![1, 3], vec![3, 5]], 6)?;
+    Ok(cover)
 }
 
 /// A named query.
@@ -62,22 +63,22 @@ pub struct NamedQuery {
 /// The LUBM-style mix used by experiments E2/E3/E5/E8. All queries are
 /// answerable on any generated dataset (they reference university 0,
 /// department 0 and professor 0, which always exist).
-pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
+pub fn lubm_mix(ds: &LubmDataset) -> Result<Vec<NamedQuery>> {
     let vb = &ds.vocab;
     let dept0 = ds
         .id_of(&LubmDataset::department_iri(0, 0))
-        .expect("department 0 exists");
+        .ok_or_else(|| DatagenError::MissingEntity("department 0".into()))?;
     let univ0 = ds
         .id_of(&LubmDataset::university_iri(0))
-        .expect("university 0 exists");
+        .ok_or_else(|| DatagenError::MissingEntity("university 0".into()))?;
     let prof0 = ds
         .id_of(&LubmDataset::full_professor_iri(0, 0, 0))
-        .expect("professor 0 exists");
+        .ok_or_else(|| DatagenError::MissingEntity("professor 0".into()))?;
     let course0 = ds
         .id_of(&LubmDataset::graduate_course_iri(0, 0, 0))
-        .expect("graduate course 0 exists");
+        .ok_or_else(|| DatagenError::MissingEntity("graduate course 0".into()))?;
 
-    vec![
+    Ok(vec![
         NamedQuery {
             name: "Q01",
             description: "graduate students taking a given graduate course",
@@ -87,8 +88,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, vb.graduate_student),
                     Atom::new(v("x"), vb.takes_course, course0),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q02",
@@ -99,8 +99,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, vb.person),
                     Atom::new(v("x"), vb.member_of, dept0),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q03",
@@ -111,8 +110,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, vb.publication),
                     Atom::new(v("x"), vb.publication_author, prof0),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q04",
@@ -124,8 +122,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), vb.works_for, dept0),
                     Atom::new(v("x"), vb.name, v("n")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q05",
@@ -136,8 +133,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, vb.person),
                     Atom::new(v("x"), vb.member_of, v("z")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q06",
@@ -145,8 +141,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
             cq: Cq::new(
                 vec![v("x")],
                 vec![Atom::new(v("x"), ID_RDF_TYPE, vb.student)],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q07",
@@ -158,8 +153,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), vb.takes_course, v("y")),
                     Atom::new(prof0, vb.teacher_of, v("y")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q08",
@@ -172,8 +166,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("y"), vb.sub_organization_of, univ0),
                     Atom::new(v("x"), vb.email_address, v("e")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q09",
@@ -188,8 +181,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("y"), vb.teacher_of, v("z")),
                     Atom::new(v("x"), vb.takes_course, v("z")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q10",
@@ -200,8 +192,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, v("u")),
                     Atom::new(v("x"), vb.member_of, dept0),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q11",
@@ -209,8 +200,7 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
             cq: Cq::new(
                 vec![v("c")],
                 vec![Atom::new(v("c"), ID_RDFS_SUBCLASSOF, vb.person)],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "Q12",
@@ -218,22 +208,21 @@ pub fn lubm_mix(ds: &LubmDataset) -> Vec<NamedQuery> {
             cq: Cq::new(
                 vec![v("p"), v("o")],
                 vec![Atom::new(prof0, v("p"), v("o"))],
-            )
-            .unwrap(),
+            )?,
         },
-    ]
+    ])
 }
 
 /// Query mix for the DBLP-like dataset: author-centric (skew-sensitive),
 /// type-hierarchy and citation-join queries.
-pub fn biblio_mix(ds: &crate::biblio::BiblioDataset) -> Vec<NamedQuery> {
+pub fn biblio_mix(ds: &crate::biblio::BiblioDataset) -> Result<Vec<NamedQuery>> {
     let vb = &ds.vocab;
     let author0 = ds
         .graph
         .dictionary()
         .id_of_iri("http://bib.example.org/author/0")
-        .expect("author 0 exists");
-    vec![
+        .ok_or_else(|| DatagenError::MissingEntity("author 0".into()))?;
+    Ok(vec![
         NamedQuery {
             name: "B01",
             description: "works created by the most prolific author (creator ⊒ author/editor)",
@@ -243,8 +232,7 @@ pub fn biblio_mix(ds: &crate::biblio::BiblioDataset) -> Vec<NamedQuery> {
                     Atom::new(v("p"), ID_RDF_TYPE, vb.publication),
                     Atom::new(v("p"), vb.creator, author0),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "B02",
@@ -256,8 +244,7 @@ pub fn biblio_mix(ds: &crate::biblio::BiblioDataset) -> Vec<NamedQuery> {
                     Atom::new(v("a"), vb.cites, v("b")),
                     Atom::new(v("b"), ID_RDF_TYPE, vb.article),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "B03",
@@ -268,8 +255,7 @@ pub fn biblio_mix(ds: &crate::biblio::BiblioDataset) -> Vec<NamedQuery> {
                     Atom::new(v("p"), ID_RDF_TYPE, v("t")),
                     Atom::new(v("p"), vb.creator, v("c")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "B04",
@@ -280,23 +266,21 @@ pub fn biblio_mix(ds: &crate::biblio::BiblioDataset) -> Vec<NamedQuery> {
                     Atom::new(v("p"), ID_RDF_TYPE, vb.book),
                     Atom::new(v("p"), vb.title, v("t")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
-    ]
+    ])
 }
 
 /// Query mix for the IGN-like dataset: depth stressors.
-pub fn geo_mix(ds: &crate::geo::GeoDataset) -> Vec<NamedQuery> {
-    vec![
+pub fn geo_mix(ds: &crate::geo::GeoDataset) -> Result<Vec<NamedQuery>> {
+    Ok(vec![
         NamedQuery {
             name: "G01",
             description: "all administrative areas (deep subclass chain)",
             cq: Cq::new(
                 vec![v("x")],
                 vec![Atom::new(v("x"), ID_RDF_TYPE, ds.root_class)],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "G02",
@@ -307,8 +291,7 @@ pub fn geo_mix(ds: &crate::geo::GeoDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, ds.root_class),
                     Atom::new(v("x"), ds.located_in, v("y")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "G03",
@@ -316,23 +299,21 @@ pub fn geo_mix(ds: &crate::geo::GeoDataset) -> Vec<NamedQuery> {
             cq: Cq::new(
                 vec![v("c")],
                 vec![Atom::new(v("c"), ID_RDFS_SUBCLASSOF, ds.root_class)],
-            )
-            .unwrap(),
+            )?,
         },
-    ]
+    ])
 }
 
 /// Query mix for the INSEE-like dataset: width stressors.
-pub fn insee_mix(ds: &crate::insee::InseeDataset) -> Vec<NamedQuery> {
-    vec![
+pub fn insee_mix(ds: &crate::insee::InseeDataset) -> Result<Vec<NamedQuery>> {
+    Ok(vec![
         NamedQuery {
             name: "I01",
             description: "all observations (wide flat union over every code list)",
             cq: Cq::new(
                 vec![v("x")],
                 vec![Atom::new(v("x"), ID_RDF_TYPE, ds.observation)],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "I02",
@@ -343,8 +324,7 @@ pub fn insee_mix(ds: &crate::insee::InseeDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, ds.concept_classes[0]),
                     Atom::new(v("x"), ds.measure, v("m")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
         NamedQuery {
             name: "I03",
@@ -355,10 +335,9 @@ pub fn insee_mix(ds: &crate::insee::InseeDataset) -> Vec<NamedQuery> {
                     Atom::new(v("x"), ID_RDF_TYPE, v("t")),
                     Atom::new(v("x"), ds.ref_area, v("a")),
                 ],
-            )
-            .unwrap(),
+            )?,
         },
-    ]
+    ])
 }
 
 #[cfg(test)]
@@ -369,7 +348,7 @@ mod tests {
     #[test]
     fn example1_has_the_paper_shape() {
         let ds = generate(&LubmConfig::default());
-        let q = example1(&ds, 0);
+        let q = example1(&ds, 0).unwrap();
         assert_eq!(q.size(), 6);
         assert_eq!(q.arity(), 5);
         // t1 and t2 have variable class positions.
@@ -377,14 +356,14 @@ mod tests {
         // t3 and t4 share the constant university.
         assert_eq!(q.body[2].o, q.body[3].o);
         // the paper cover is valid for it.
-        let cover = example1_paper_cover();
+        let cover = example1_paper_cover().unwrap();
         assert_eq!(cover.len(), 4);
     }
 
     #[test]
     fn mix_is_well_formed_and_diverse() {
         let ds = generate(&LubmConfig::default());
-        let mix = lubm_mix(&ds);
+        let mix = lubm_mix(&ds).unwrap();
         assert_eq!(mix.len(), 12);
         let names: std::collections::HashSet<_> = mix.iter().map(|q| q.name).collect();
         assert_eq!(names.len(), 12);
@@ -405,24 +384,25 @@ mod tests {
             authors: 10,
             ..crate::biblio::BiblioConfig::default()
         });
-        assert_eq!(biblio_mix(&b).len(), 4);
+        assert_eq!(biblio_mix(&b).unwrap().len(), 4);
         let g = crate::geo::generate(&crate::geo::GeoConfig {
             hierarchy_depth: 3,
             areas_per_level: 5,
             seed: 1,
         });
-        assert_eq!(geo_mix(&g).len(), 3);
+        assert_eq!(geo_mix(&g).unwrap().len(), 3);
         let i = crate::insee::generate(&crate::insee::InseeConfig {
             concepts: 2,
             codes_per_concept: 4,
             observations_per_code: 2,
             seed: 1,
         });
-        assert_eq!(insee_mix(&i).len(), 3);
+        assert_eq!(insee_mix(&i).unwrap().len(), 3);
         for nq in biblio_mix(&b)
+            .unwrap()
             .into_iter()
-            .chain(geo_mix(&g))
-            .chain(insee_mix(&i))
+            .chain(geo_mix(&g).unwrap())
+            .chain(insee_mix(&i).unwrap())
         {
             assert!(nq.cq.size() >= 1, "{}", nq.name);
             assert!(!nq.description.is_empty());
@@ -430,9 +410,9 @@ mod tests {
     }
 
     #[test]
-    fn example1_panics_on_missing_university() {
+    fn example1_errors_on_missing_university() {
         let ds = generate(&LubmConfig::scale(1));
-        let result = std::panic::catch_unwind(|| example1(&ds, 99));
-        assert!(result.is_err());
+        let err = example1(&ds, 99).unwrap_err();
+        assert!(matches!(err, crate::error::DatagenError::MissingEntity(_)));
     }
 }

@@ -48,7 +48,11 @@ fn k(id: TermId) -> DTerm {
 
 /// Encode a graph into a program: EDB facts plus the RDFS closure rules for
 /// `tc` (no query yet; see [`encode_query`]).
-pub fn encode_graph(graph: &Graph) -> Program {
+///
+/// The closure rules are fixed and safe by construction, but their safety
+/// is still checked through [`Rule::new`] like any other rule — an
+/// encoding bug surfaces as a typed [`DatalogError`], never a panic.
+pub fn encode_graph(graph: &Graph) -> Result<Program, DatalogError> {
     let mut prog = Program::new();
     for t in graph.iter() {
         prog.fact(p_triple(), vec![t.s, t.p, t.o]);
@@ -58,8 +62,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
         Rule::new(
             tc(vec![v("s"), v("p"), v("o")]),
             vec![DAtom::new(p_triple(), vec![v("s"), v("p"), v("o")])],
-        )
-        .unwrap(),
+        )?,
         // rdfs9: s τ c1, c1 ≺sc c2 → s τ c2.
         Rule::new(
             tc(vec![v("s"), k(ID_RDF_TYPE), v("c2")]),
@@ -67,8 +70,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("s"), k(ID_RDF_TYPE), v("c1")]),
                 tc(vec![v("c1"), k(ID_RDFS_SUBCLASSOF), v("c2")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // rdfs7: s p o, p ≺sp q → s q o.
         Rule::new(
             tc(vec![v("s"), v("q"), v("o")]),
@@ -76,8 +78,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("s"), v("p"), v("o")]),
                 tc(vec![v("p"), k(ID_RDFS_SUBPROPERTYOF), v("q")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // rdfs2: s p o, p ←d c → s τ c.
         Rule::new(
             tc(vec![v("s"), k(ID_RDF_TYPE), v("c")]),
@@ -85,8 +86,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("s"), v("p"), v("o")]),
                 tc(vec![v("p"), k(ID_RDFS_DOMAIN), v("c")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // rdfs3: s p o, p ↪r c → o τ c.
         Rule::new(
             tc(vec![v("o"), k(ID_RDF_TYPE), v("c")]),
@@ -94,8 +94,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("s"), v("p"), v("o")]),
                 tc(vec![v("p"), k(ID_RDFS_RANGE), v("c")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // rdfs11: subclass transitivity (for schema-position queries).
         Rule::new(
             tc(vec![v("a"), k(ID_RDFS_SUBCLASSOF), v("c")]),
@@ -103,8 +102,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("a"), k(ID_RDFS_SUBCLASSOF), v("b")]),
                 tc(vec![v("b"), k(ID_RDFS_SUBCLASSOF), v("c")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // rdfs5: subproperty transitivity.
         Rule::new(
             tc(vec![v("a"), k(ID_RDFS_SUBPROPERTYOF), v("c")]),
@@ -112,8 +110,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("a"), k(ID_RDFS_SUBPROPERTYOF), v("b")]),
                 tc(vec![v("b"), k(ID_RDFS_SUBPROPERTYOF), v("c")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // ext-d↑: p ←d c1, c1 ≺sc c2 → p ←d c2.
         Rule::new(
             tc(vec![v("p"), k(ID_RDFS_DOMAIN), v("c2")]),
@@ -121,8 +118,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("p"), k(ID_RDFS_DOMAIN), v("c1")]),
                 tc(vec![v("c1"), k(ID_RDFS_SUBCLASSOF), v("c2")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // ext-r↑.
         Rule::new(
             tc(vec![v("p"), k(ID_RDFS_RANGE), v("c2")]),
@@ -130,8 +126,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("p"), k(ID_RDFS_RANGE), v("c1")]),
                 tc(vec![v("c1"), k(ID_RDFS_SUBCLASSOF), v("c2")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // ext-d↓: p1 ≺sp p2, p2 ←d c → p1 ←d c.
         Rule::new(
             tc(vec![v("p1"), k(ID_RDFS_DOMAIN), v("c")]),
@@ -139,8 +134,7 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("p1"), k(ID_RDFS_SUBPROPERTYOF), v("p2")]),
                 tc(vec![v("p2"), k(ID_RDFS_DOMAIN), v("c")]),
             ],
-        )
-        .unwrap(),
+        )?,
         // ext-r↓.
         Rule::new(
             tc(vec![v("p1"), k(ID_RDFS_RANGE), v("c")]),
@@ -148,13 +142,12 @@ pub fn encode_graph(graph: &Graph) -> Program {
                 tc(vec![v("p1"), k(ID_RDFS_SUBPROPERTYOF), v("p2")]),
                 tc(vec![v("p2"), k(ID_RDFS_RANGE), v("c")]),
             ],
-        )
-        .unwrap(),
+        )?,
     ];
     for r in rules {
         prog.rule(r);
     }
-    prog
+    Ok(prog)
 }
 
 /// Encode a CQ as a rule `q(x̄) :- tc(t1), …, tc(tα)`.
@@ -179,7 +172,7 @@ pub fn encode_query(cq: &Cq) -> Result<Rule, DatalogError> {
 /// read off `q`. Returns the deduplicated, sorted answer tuples and the
 /// engine (for inspection of derivation counts in experiments).
 pub fn answer_datalog(graph: &Graph, cq: &Cq) -> Result<(Vec<Vec<TermId>>, Engine), DatalogError> {
-    let mut prog = encode_graph(graph);
+    let mut prog = encode_graph(graph)?;
     prog.rule(encode_query(cq)?);
     let mut engine = Engine::load(&prog)?;
     engine.run();
@@ -198,7 +191,7 @@ pub fn answer_datalog_magic(
     graph: &Graph,
     cq: &Cq,
 ) -> Result<(Vec<Vec<TermId>>, Engine), DatalogError> {
-    let mut prog = encode_graph(graph);
+    let mut prog = encode_graph(graph)?;
     prog.rule(encode_query(cq)?);
     let (magic_prog, adorned_query) = crate::magic::magic_transform(&prog, &Pred::new(QUERY))?;
     let mut engine = Engine::load(&magic_prog)?;

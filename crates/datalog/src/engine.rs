@@ -71,13 +71,15 @@ fn reorder_body(body: &[crate::ast::DAtom]) -> Vec<crate::ast::DAtom> {
         } else {
             connected
         };
-        let next = pool
-            .into_iter()
-            .max_by_key(|&i| {
-                let (shared, fixed) = boundness(i, &bound);
-                (shared, fixed)
-            })
-            .expect("non-empty pool");
+        let Some(next) = pool.into_iter().max_by_key(|&i| {
+            let (shared, fixed) = boundness(i, &bound);
+            (shared, fixed)
+        }) else {
+            // `pool` falls back to `remaining`, which the loop guard keeps
+            // non-empty — bail rather than spin if that ever breaks.
+            debug_assert!(false, "non-empty pool");
+            break;
+        };
         remaining.retain(|&i| i != next);
         for v in body[next].vars() {
             if !bound.contains(v) {
@@ -207,15 +209,22 @@ impl Engine {
         out: &mut Vec<(Pred, Vec<TermId>)>,
     ) {
         if atom_idx == rule.body.len() {
-            let tuple: Vec<TermId> = rule
-                .head
-                .args
-                .iter()
-                .map(|t| match t {
-                    DTerm::Const(c) => *c,
-                    DTerm::Var(v) => *binding.get(v).expect("safe rule: head var bound"),
-                })
-                .collect();
+            let mut tuple: Vec<TermId> = Vec::with_capacity(rule.head.args.len());
+            for t in &rule.head.args {
+                match t {
+                    DTerm::Const(c) => tuple.push(*c),
+                    DTerm::Var(v) => match binding.get(v) {
+                        Some(id) => tuple.push(*id),
+                        None => {
+                            // Rule safety is validated at load time by
+                            // `Rule::new`; an unbound head var here means a
+                            // corrupted rule — drop the tuple, don't abort.
+                            debug_assert!(false, "safe rule: head var ?{v} bound");
+                            return;
+                        }
+                    },
+                }
+            }
             out.push((rule.head.pred.clone(), tuple));
             return;
         }

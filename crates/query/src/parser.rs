@@ -85,9 +85,13 @@ impl<'a> Lexer<'a> {
 
     fn read_name(&mut self) -> String {
         let mut s = String::new();
-        while matches!(self.chars.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-'))
-        {
-            s.push(self.chars.next().unwrap());
+        while let Some(&c) = self.chars.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-') {
+                s.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
         }
         s
     }
@@ -258,8 +262,13 @@ impl<'a> Lexer<'a> {
                     let mut num = String::new();
                     num.push(c);
                     self.chars.next();
-                    while matches!(self.chars.peek(), Some(d) if d.is_ascii_digit()) {
-                        num.push(self.chars.next().unwrap());
+                    while let Some(&d) = self.chars.peek() {
+                        if d.is_ascii_digit() {
+                            num.push(d);
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
                     }
                     out.push(Located {
                         tok: Tok::Integer(num),

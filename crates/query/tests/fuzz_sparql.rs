@@ -42,4 +42,31 @@ proptest! {
         let mut dict = Dictionary::new();
         let _ = parse_select(&doc, &mut dict);
     }
+
+    /// Arbitrary raw bytes, lossily decoded — including control characters
+    /// and replacement characters the printable strategy never produces.
+    #[test]
+    fn sparql_never_panics_on_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let mut dict = Dictionary::new();
+        let _ = parse_select(&input, &mut dict);
+    }
+
+    /// Raw bytes spliced into the middle of a well-formed query body.
+    #[test]
+    fn bytes_spliced_into_queries_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..32),
+        pick in 0usize..4,
+    ) {
+        let noise = String::from_utf8_lossy(&bytes).into_owned();
+        let templates = [
+            format!("SELECT ?x WHERE {{ ?x <http://e/{noise}> ?y . }}"),
+            format!("SELECT ?x WHERE {{ ?x a \"{noise}\" . }}"),
+            format!("PREFIX ex: <http://e/{noise}> SELECT * WHERE {{ ?s ex:p ?o . }}"),
+            format!("SELECT {noise} WHERE {{ ?s ?p ?o . }}"),
+        ];
+        let doc = &templates[pick % templates.len()];
+        let mut dict = Dictionary::new();
+        let _ = parse_select(doc, &mut dict);
+    }
 }

@@ -93,6 +93,17 @@ impl Dictionary {
         );
         self.terms.push(term.clone());
         self.ids.insert(term.clone(), id);
+        #[cfg(feature = "strict-invariants")]
+        {
+            // Encode/decode round-trip: the id just minted must resolve back
+            // to an equal term, and the term must resolve to this id.
+            debug_assert_eq!(
+                self.terms.get(id.index()),
+                Some(term),
+                "decode(intern(t)) != t"
+            );
+            debug_assert_eq!(self.ids.get(term), Some(&id), "id_of(intern(t)) != id");
+        }
         id
     }
 

@@ -108,12 +108,11 @@ impl Graph {
     /// storage layer instead.
     pub fn remove_encoded(&mut self, t: EncodedTriple) -> bool {
         if self.set.remove(&t) {
-            let pos = self
-                .triples
-                .iter()
-                .position(|x| *x == t)
-                .expect("set and vec out of sync");
-            self.triples.remove(pos);
+            if let Some(pos) = self.triples.iter().position(|x| *x == t) {
+                self.triples.remove(pos);
+            } else {
+                debug_assert!(false, "set and vec out of sync");
+            }
             true
         } else {
             false

@@ -2,7 +2,9 @@
 //!
 //! Implements the W3C N-Triples grammar restricted to the features the
 //! workspace produces (IRIs, blank nodes, plain/typed/language literals,
-//! `#` comments), with precise line-numbered errors.
+//! `#` comments), with precise line- and column-numbered errors. The
+//! parser never panics: any byte sequence either yields a graph or a
+//! typed [`ModelError::Syntax`].
 
 use crate::error::{ModelError, Result};
 use crate::graph::Graph;
@@ -30,7 +32,7 @@ pub fn parse_ntriples_into(input: &str, graph: &mut Graph) -> Result<()> {
         cursor.skip_ws();
         let object = cursor.parse_term()?;
         cursor.skip_ws();
-        cursor.expect('.')?;
+        cursor.expect_char('.')?;
         cursor.skip_ws();
         if !cursor.at_end() {
             return Err(cursor.error("trailing content after '.'"));
@@ -45,10 +47,12 @@ pub fn parse_ntriples_into(input: &str, graph: &mut Graph) -> Result<()> {
     Ok(())
 }
 
-/// A character cursor over one line of N-Triples.
+/// A character cursor over one line of N-Triples, tracking the column so
+/// errors point at the offending character.
 pub(crate) struct Cursor<'a> {
     chars: std::iter::Peekable<std::str::Chars<'a>>,
     line: usize,
+    col: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -56,19 +60,20 @@ impl<'a> Cursor<'a> {
         Cursor {
             chars: text.chars().peekable(),
             line,
+            col: 1,
         }
     }
 
     pub(crate) fn error(&self, message: &str) -> ModelError {
         ModelError::Syntax {
             line: self.line,
-            message: message.to_string(),
+            message: format!("column {}: {message}", self.col),
         }
     }
 
     pub(crate) fn skip_ws(&mut self) {
         while matches!(self.chars.peek(), Some(c) if c.is_whitespace()) {
-            self.chars.next();
+            self.bump();
         }
     }
 
@@ -81,11 +86,18 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn bump(&mut self) -> Option<char> {
-        self.chars.next()
+        let c = self.chars.next();
+        if c.is_some() {
+            self.col += 1;
+        }
+        c
     }
 
-    pub(crate) fn expect(&mut self, c: char) -> Result<()> {
-        match self.chars.next() {
+    /// Consume exactly `c` or fail with a positioned error. (Named to stay
+    /// clear of `Option::expect` — library code must not shadow the names
+    /// the L001 lint matches on.)
+    pub(crate) fn expect_char(&mut self, c: char) -> Result<()> {
+        match self.bump() {
             Some(found) if found == c => Ok(()),
             Some(found) => Err(self.error(&format!("expected '{c}', found '{found}'"))),
             None => Err(self.error(&format!("expected '{c}', found end of line"))),
@@ -103,8 +115,9 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    pub(crate) fn parse_iri(&mut self) -> Result<Term> {
-        self.expect('<')?;
+    /// Parse `<iri>` and return the IRI text.
+    fn parse_iri_string(&mut self) -> Result<String> {
+        self.expect_char('<')?;
         let mut iri = String::new();
         loop {
             match self.bump() {
@@ -116,15 +129,25 @@ impl<'a> Cursor<'a> {
                 None => return Err(self.error("unterminated IRI")),
             }
         }
+        Ok(iri)
+    }
+
+    pub(crate) fn parse_iri(&mut self) -> Result<Term> {
+        let iri = self.parse_iri_string()?;
         Term::iri_checked(&iri).map_err(|_| self.error(&format!("invalid IRI <{iri}>")))
     }
 
     pub(crate) fn parse_blank(&mut self) -> Result<Term> {
-        self.expect('_')?;
-        self.expect(':')?;
+        self.expect_char('_')?;
+        self.expect_char(':')?;
         let mut label = String::new();
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
-            label.push(self.bump().unwrap());
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
         }
         if label.is_empty() {
             return Err(self.error("empty blank node label"));
@@ -133,7 +156,7 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn parse_literal(&mut self) -> Result<Term> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut lex = String::new();
         loop {
             match self.bump() {
@@ -153,11 +176,13 @@ impl<'a> Cursor<'a> {
         }
         match self.peek() {
             Some('^') => {
-                self.expect('^')?;
-                self.expect('^')?;
-                let dt = self.parse_iri()?;
+                self.expect_char('^')?;
+                self.expect_char('^')?;
+                let dt_iri = self.parse_iri_string()?;
+                let dt = Term::iri_checked(&dt_iri)
+                    .map_err(|_| self.error(&format!("invalid datatype IRI <{dt_iri}>")))?;
                 let Term::Iri(dt_iri) = dt else {
-                    unreachable!()
+                    return Err(self.error("datatype must be an IRI"));
                 };
                 Ok(Term::Literal(Literal {
                     lexical: lex.into(),
@@ -168,8 +193,13 @@ impl<'a> Cursor<'a> {
             Some('@') => {
                 self.bump();
                 let mut lang = String::new();
-                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
-                    lang.push(self.bump().unwrap());
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        lang.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
                 }
                 if lang.is_empty() {
                     return Err(self.error("empty language tag"));
@@ -246,6 +276,15 @@ _:b1 <http://hasName> "J. L. Borges" .
     }
 
     #[test]
+    fn error_reports_columns() {
+        // The bad escape is at column 28 of the trimmed line.
+        let err = parse_ntriples("<http://s> <http://p> \"ab\\x\" .\n").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("column"), "no column in: {text}");
+        assert!(text.contains("bad escape"), "wrong message: {text}");
+    }
+
+    #[test]
     fn rejects_missing_dot() {
         let err = parse_ntriples("<http://s> <http://p> <http://o>\n").unwrap_err();
         assert!(matches!(err, ModelError::Syntax { line: 1, .. }));
@@ -267,6 +306,12 @@ _:b1 <http://hasName> "J. L. Borges" .
     fn rejects_unterminated_iri_and_literal() {
         assert!(parse_ntriples("<http://s <http://p> <http://o> .").is_err());
         assert!(parse_ntriples("<http://s> <http://p> \"open .").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_datatype_iri() {
+        assert!(parse_ntriples("<http://s> <http://p> \"x\"^^<not iri> .").is_err());
+        assert!(parse_ntriples("<http://s> <http://p> \"x\"^^<> .").is_err());
     }
 
     #[test]

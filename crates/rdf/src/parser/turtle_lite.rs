@@ -13,6 +13,9 @@
 //!
 //! Not supported (rejected with a clear error): collections `(...)`,
 //! anonymous nodes `[...]`, multi-line literals, base IRIs.
+//!
+//! The parser never panics: any byte sequence either yields a graph or a
+//! typed [`ModelError`] whose message carries line and column.
 
 use crate::error::{ModelError, Result};
 use crate::graph::Graph;
@@ -46,6 +49,15 @@ pub fn parse_turtle_into(input: &str, graph: &mut Graph) -> Result<()> {
     parser.document(graph)
 }
 
+/// A literal's datatype annotation as written — resolved to an IRI by the
+/// parser. A dedicated type (not a nested [`Tok`]) so no impossible token
+/// shapes need handling downstream.
+#[derive(Debug, Clone, PartialEq)]
+enum DtTok {
+    Iri(String),
+    Prefixed(String, String),
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
     Iri(String),
@@ -53,7 +65,7 @@ enum Tok {
     Blank(String),
     Literal {
         lexical: String,
-        datatype: Option<Box<Tok>>,
+        datatype: Option<DtTok>,
         language: Option<String>,
     },
     Integer(String),
@@ -67,246 +79,273 @@ enum Tok {
 struct Located {
     tok: Tok,
     line: usize,
+    col: usize,
+}
+
+/// Character scanner with line/column tracking.
+struct Scanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(input: &'a str) -> Scanner<'a> {
+        Scanner {
+            chars: input.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut look = self.chars.clone();
+        look.next();
+        look.next()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    fn error(&self, message: &str) -> ModelError {
+        ModelError::Syntax {
+            line: self.line,
+            message: format!("column {}: {message}", self.col),
+        }
+    }
+
+    fn read_name(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '%') {
+                s.push(c);
+                self.next();
+            } else {
+                break;
+            }
+        }
+        s
+    }
 }
 
 fn tokenize(input: &str) -> Result<Vec<Located>> {
     let mut out = Vec::new();
-    let mut chars = input.chars().peekable();
-    let mut line = 1usize;
-    let err = |line: usize, m: &str| ModelError::Syntax {
-        line,
-        message: m.to_string(),
-    };
-    while let Some(&c) = chars.peek() {
+    let mut sc = Scanner::new(input);
+    while let Some(c) = sc.peek() {
+        let (line, col) = (sc.line, sc.col);
+        let push = |out: &mut Vec<Located>, tok: Tok| out.push(Located { tok, line, col });
         match c {
-            '\n' => {
-                line += 1;
-                chars.next();
-            }
             c if c.is_whitespace() => {
-                chars.next();
+                sc.next();
             }
             '#' => {
-                while let Some(&c) = chars.peek() {
+                while let Some(c) = sc.peek() {
                     if c == '\n' {
                         break;
                     }
-                    chars.next();
+                    sc.next();
                 }
             }
             '<' => {
-                chars.next();
+                sc.next();
                 let mut iri = String::new();
                 loop {
-                    match chars.next() {
-                        Some('>') => break,
-                        Some('\n') => return Err(err(line, "unterminated IRI")),
-                        Some(c) => iri.push(c),
-                        None => return Err(err(line, "unterminated IRI")),
+                    match sc.peek() {
+                        Some('>') => {
+                            sc.next();
+                            break;
+                        }
+                        Some('\n') | None => return Err(sc.error("unterminated IRI")),
+                        Some(c) => {
+                            iri.push(c);
+                            sc.next();
+                        }
                     }
                 }
-                out.push(Located {
-                    tok: Tok::Iri(iri),
-                    line,
-                });
+                push(&mut out, Tok::Iri(iri));
             }
             '"' => {
-                chars.next();
+                sc.next();
                 let mut lex = String::new();
                 loop {
-                    match chars.next() {
+                    match sc.next() {
                         Some('"') => break,
-                        Some('\\') => match chars.next() {
+                        Some('\\') => match sc.next() {
                             Some('n') => lex.push('\n'),
                             Some('r') => lex.push('\r'),
                             Some('t') => lex.push('\t'),
                             Some('"') => lex.push('"'),
                             Some('\\') => lex.push('\\'),
-                            Some(c) => return Err(err(line, &format!("bad escape '\\{c}'"))),
-                            None => return Err(err(line, "unterminated escape")),
+                            Some(c) => return Err(sc.error(&format!("bad escape '\\{c}'"))),
+                            None => return Err(sc.error("unterminated escape")),
                         },
-                        Some('\n') => return Err(err(line, "multi-line literals not supported")),
+                        Some('\n') => return Err(sc.error("multi-line literals not supported")),
                         Some(c) => lex.push(c),
-                        None => return Err(err(line, "unterminated literal")),
+                        None => return Err(sc.error("unterminated literal")),
                     }
                 }
                 // Optional ^^datatype or @lang.
-                if chars.peek() == Some(&'^') {
-                    chars.next();
-                    if chars.next() != Some('^') {
-                        return Err(err(line, "expected '^^'"));
+                if sc.peek() == Some('^') {
+                    sc.next();
+                    if sc.next() != Some('^') {
+                        return Err(sc.error("expected '^^'"));
                     }
-                    match chars.peek() {
+                    let datatype = match sc.peek() {
                         Some('<') => {
-                            chars.next();
+                            sc.next();
                             let mut iri = String::new();
                             loop {
-                                match chars.next() {
+                                match sc.next() {
                                     Some('>') => break,
                                     Some(c) => iri.push(c),
-                                    None => return Err(err(line, "unterminated datatype IRI")),
+                                    None => {
+                                        return Err(sc.error("unterminated datatype IRI"));
+                                    }
                                 }
                             }
-                            out.push(Located {
-                                tok: Tok::Literal {
-                                    lexical: lex,
-                                    datatype: Some(Box::new(Tok::Iri(iri))),
-                                    language: None,
-                                },
-                                line,
-                            });
+                            DtTok::Iri(iri)
                         }
                         _ => {
-                            let name = read_name(&mut chars);
+                            let name = sc.read_name();
                             let (pfx, local) = split_prefixed(&name).ok_or_else(|| {
-                                err(line, "expected datatype IRI or prefixed name")
+                                sc.error("expected datatype IRI or prefixed name")
                             })?;
-                            out.push(Located {
-                                tok: Tok::Literal {
-                                    lexical: lex,
-                                    datatype: Some(Box::new(Tok::Prefixed(pfx, local))),
-                                    language: None,
-                                },
-                                line,
-                            });
+                            DtTok::Prefixed(pfx, local)
+                        }
+                    };
+                    push(
+                        &mut out,
+                        Tok::Literal {
+                            lexical: lex,
+                            datatype: Some(datatype),
+                            language: None,
+                        },
+                    );
+                } else if sc.peek() == Some('@') {
+                    sc.next();
+                    let mut lang = String::new();
+                    while let Some(c) = sc.peek() {
+                        if c.is_ascii_alphanumeric() || c == '-' {
+                            lang.push(c);
+                            sc.next();
+                        } else {
+                            break;
                         }
                     }
-                } else if chars.peek() == Some(&'@') {
-                    chars.next();
-                    let mut lang = String::new();
-                    while matches!(chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '-')
-                    {
-                        lang.push(chars.next().unwrap());
-                    }
                     if lang.is_empty() {
-                        return Err(err(line, "empty language tag"));
+                        return Err(sc.error("empty language tag"));
                     }
-                    out.push(Located {
-                        tok: Tok::Literal {
+                    push(
+                        &mut out,
+                        Tok::Literal {
                             lexical: lex,
                             datatype: None,
                             language: Some(lang),
                         },
-                        line,
-                    });
+                    );
                 } else {
-                    out.push(Located {
-                        tok: Tok::Literal {
+                    push(
+                        &mut out,
+                        Tok::Literal {
                             lexical: lex,
                             datatype: None,
                             language: None,
                         },
-                        line,
-                    });
+                    );
                 }
             }
             '_' => {
-                chars.next();
-                if chars.next() != Some(':') {
-                    return Err(err(line, "expected ':' after '_'"));
+                sc.next();
+                if sc.next() != Some(':') {
+                    return Err(sc.error("expected ':' after '_'"));
                 }
-                let label = read_name(&mut chars);
+                let label = sc.read_name();
                 if label.is_empty() {
-                    return Err(err(line, "empty blank node label"));
+                    return Err(sc.error("empty blank node label"));
                 }
-                out.push(Located {
-                    tok: Tok::Blank(label),
-                    line,
-                });
+                push(&mut out, Tok::Blank(label));
             }
             '.' => {
-                chars.next();
-                out.push(Located {
-                    tok: Tok::Dot,
-                    line,
-                });
+                sc.next();
+                push(&mut out, Tok::Dot);
             }
             ';' => {
-                chars.next();
-                out.push(Located {
-                    tok: Tok::Semicolon,
-                    line,
-                });
+                sc.next();
+                push(&mut out, Tok::Semicolon);
             }
             ',' => {
-                chars.next();
-                out.push(Located {
-                    tok: Tok::Comma,
-                    line,
-                });
+                sc.next();
+                push(&mut out, Tok::Comma);
             }
             '(' | '[' => {
-                return Err(err(
-                    line,
-                    "collections and anonymous nodes are not supported by turtle-lite",
-                ));
+                return Err(
+                    sc.error("collections and anonymous nodes are not supported by turtle-lite")
+                );
             }
             '@' => {
-                chars.next();
-                let word = read_name(&mut chars);
+                sc.next();
+                let word = sc.read_name();
                 if word == "prefix" {
-                    out.push(Located {
-                        tok: Tok::PrefixDecl,
-                        line,
-                    });
+                    push(&mut out, Tok::PrefixDecl);
                 } else {
-                    return Err(err(line, &format!("unsupported directive '@{word}'")));
+                    return Err(sc.error(&format!("unsupported directive '@{word}'")));
                 }
             }
             c if c.is_ascii_digit() || c == '-' || c == '+' => {
                 let mut num = String::new();
                 num.push(c);
-                chars.next();
-                while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.') {
-                    // A '.' followed by non-digit terminates the statement, so
-                    // only consume it when a digit follows.
-                    if *chars.peek().unwrap() == '.' {
-                        let mut look = chars.clone();
-                        look.next();
-                        if !matches!(look.peek(), Some(d) if d.is_ascii_digit()) {
+                sc.next();
+                while let Some(d) = sc.peek() {
+                    if d.is_ascii_digit() {
+                        num.push(d);
+                        sc.next();
+                    } else if d == '.' {
+                        // A '.' followed by a non-digit terminates the
+                        // statement, so only consume it when a digit follows.
+                        if matches!(sc.peek2(), Some(e) if e.is_ascii_digit()) {
+                            num.push(d);
+                            sc.next();
+                        } else {
                             break;
                         }
+                    } else {
+                        break;
                     }
-                    num.push(chars.next().unwrap());
                 }
-                out.push(Located {
-                    tok: Tok::Integer(num),
-                    line,
-                });
+                push(&mut out, Tok::Integer(num));
             }
             _ => {
-                let name = read_name(&mut chars);
+                let name = sc.read_name();
                 if name.is_empty() {
-                    return Err(err(line, &format!("unexpected character '{c}'")));
+                    return Err(sc.error(&format!("unexpected character '{c}'")));
                 }
                 if name == "a" {
-                    out.push(Located { tok: Tok::A, line });
+                    push(&mut out, Tok::A);
                 } else if name.eq_ignore_ascii_case("prefix") {
-                    out.push(Located {
-                        tok: Tok::PrefixDecl,
-                        line,
-                    });
+                    push(&mut out, Tok::PrefixDecl);
                 } else if let Some((pfx, local)) = split_prefixed(&name) {
-                    out.push(Located {
-                        tok: Tok::Prefixed(pfx, local),
-                        line,
-                    });
+                    push(&mut out, Tok::Prefixed(pfx, local));
                 } else {
-                    return Err(err(line, &format!("bare word '{name}' is not a term")));
+                    return Err(sc.error(&format!("bare word '{name}' is not a term")));
                 }
             }
         }
     }
     Ok(out)
-}
-
-fn read_name(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> String {
-    let mut s = String::new();
-    while matches!(chars.peek(), Some(c) if c.is_alphanumeric() || matches!(c, '_' | '-' | ':' | '%'))
-    {
-        s.push(chars.next().unwrap());
-    }
-    s
 }
 
 fn split_prefixed(name: &str) -> Option<(String, String)> {
@@ -333,17 +372,23 @@ impl Parser {
         t
     }
 
-    fn line(&self) -> usize {
+    /// Line/column of the token at (or just before) the cursor.
+    fn position(&self) -> (usize, usize) {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|t| t.line)
-            .unwrap_or(0)
+            .map(|t| (t.line, t.col))
+            .unwrap_or((0, 0))
+    }
+
+    fn line(&self) -> usize {
+        self.position().0
     }
 
     fn err(&self, m: &str) -> ModelError {
+        let (line, col) = self.position();
         ModelError::Syntax {
-            line: self.line(),
-            message: m.to_string(),
+            line,
+            message: format!("column {col}: {m}"),
         }
     }
 
@@ -441,11 +486,8 @@ impl Parser {
                 language,
             } => {
                 let datatype = match datatype {
-                    Some(tok) => Some(match *tok {
-                        Tok::Iri(iri) => iri,
-                        Tok::Prefixed(pfx, local) => self.resolve(&pfx, &local)?,
-                        _ => unreachable!("tokenizer only stores IRI-ish datatypes"),
-                    }),
+                    Some(DtTok::Iri(iri)) => Some(iri),
+                    Some(DtTok::Prefixed(pfx, local)) => Some(self.resolve(&pfx, &local)?),
                     None => None,
                 };
                 Ok(Term::Literal(crate::term::Literal {
@@ -529,6 +571,18 @@ _:b1 ex:hasName "J. L. Borges" .
     fn rejects_missing_dot() {
         let err = parse_turtle("@prefix e: <http://e/> .\ne:s e:p e:o").unwrap_err();
         assert!(err.to_string().contains("'.'"));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse_turtle("@prefix e: <http://e/> .\ne:s e:p \"x\\q\" .").unwrap_err();
+        match &err {
+            ModelError::Syntax { line, message } => {
+                assert_eq!(*line, 2);
+                assert!(message.contains("column"), "no column in: {message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -57,4 +57,36 @@ proptest! {
         let _ = parse_ntriples(&doc);
         let _ = parse_turtle(&doc);
     }
+
+    /// Arbitrary raw bytes, lossily decoded: exercises non-ASCII, control
+    /// characters and U+FFFD replacement characters that the printable-only
+    /// strategies above never produce.
+    #[test]
+    fn parsers_never_panic_on_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let input = String::from_utf8_lossy(&bytes);
+        prop_assert!(parse_ntriples(&input).is_ok() || parse_ntriples(&input).is_err());
+        let _ = parse_turtle(&input);
+    }
+
+    /// Raw bytes spliced into otherwise well-formed documents reach deeper
+    /// parser states (literal bodies, IRI bodies, language tags) than
+    /// uniform noise.
+    #[test]
+    fn bytes_spliced_into_syntax_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..32),
+        pick in 0usize..6,
+    ) {
+        let noise = String::from_utf8_lossy(&bytes).into_owned();
+        let templates = [
+            format!("<http://e/s> <http://e/p> \"{noise}\" ."),
+            format!("<http://e/{noise}> <http://e/p> <http://e/o> ."),
+            format!("@prefix ex: <http://e/{noise}> .\nex:s ex:p ex:o ."),
+            format!("_:b{noise} <http://e/p> \"x\"@{noise} ."),
+            format!("<http://e/s> <http://e/p> \"lit\"^^<{noise}> ."),
+            noise.clone(),
+        ];
+        let doc = &templates[pick % templates.len()];
+        let _ = parse_ntriples(doc);
+        let _ = parse_turtle(doc);
+    }
 }

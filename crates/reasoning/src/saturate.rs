@@ -94,6 +94,21 @@ pub fn saturate_in_place(graph: &mut Graph) -> usize {
             break;
         }
     }
+    #[cfg(feature = "strict-invariants")]
+    {
+        // Fixpoint stability: one more full rule application over the result
+        // must derive nothing new. O(|G∞|), so gated behind the feature.
+        let schema = Schema::from_graph(graph);
+        let tables = RuleTables::from_closure(&schema.closure());
+        for t in graph.triples() {
+            tables.derive_from(t, &mut |nt| {
+                debug_assert!(
+                    graph.contains_encoded(&nt),
+                    "saturation fixpoint unstable: {nt:?} derivable from {t:?} but absent"
+                );
+            });
+        }
+    }
     graph.len() - before
 }
 

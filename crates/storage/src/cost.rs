@@ -175,10 +175,14 @@ impl<'a> CostModel<'a> {
         let mut order = Vec::with_capacity(n);
         let mut bound: Vec<Var> = Vec::new();
 
-        let first = *remaining
+        let Some(first) = remaining
             .iter()
             .min_by(|&&a, &&b| cards[a].total_cmp(&cards[b]))
-            .expect("non-empty");
+            .copied()
+        else {
+            debug_assert!(false, "remaining starts non-empty when n > 0");
+            return Vec::new();
+        };
         remaining.retain(|&i| i != first);
         order.push(first);
         bound.extend(body[first].vars().cloned());
@@ -194,10 +198,14 @@ impl<'a> CostModel<'a> {
             } else {
                 &connected
             };
-            let next = *pool
+            let Some(next) = pool
                 .iter()
                 .min_by(|&&a, &&b| cards[a].total_cmp(&cards[b]))
-                .expect("non-empty");
+                .copied()
+            else {
+                debug_assert!(false, "pool falls back to non-empty remaining");
+                break;
+            };
             remaining.retain(|&i| i != next);
             order.push(next);
             for v in body[next].vars() {
@@ -224,7 +232,19 @@ impl<'a> CostModel<'a> {
         }
         let order = self.order_atoms(&cq.body);
         let mut iter = order.iter();
-        let first = &cq.body[*iter.next().expect("non-empty body")];
+        let Some(&first_idx) = iter.next() else {
+            // order_atoms returns one index per atom and the body is
+            // non-empty (checked above) — treat a broken order as empty.
+            debug_assert!(false, "order_atoms covers every atom");
+            return (
+                CostEstimate {
+                    cardinality: 1.0,
+                    cost: 0.0,
+                },
+                VMap::default(),
+            );
+        };
+        let first = &cq.body[first_idx];
         let mut card = self.atom_cardinality(first);
         let mut cost = p.scan_cost_per_row * card;
         let mut vmap: VMap = VMap::default();

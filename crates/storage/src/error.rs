@@ -31,6 +31,8 @@ pub enum StorageError {
         /// The configured budget.
         budget: usize,
     },
+    /// A parallel union worker thread panicked; its results are lost.
+    WorkerPanicked,
 }
 
 impl fmt::Display for StorageError {
@@ -49,6 +51,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::RowBudgetExceeded { budget } => {
                 write!(f, "evaluation exceeded the row budget of {budget} rows")
+            }
+            StorageError::WorkerPanicked => {
+                write!(f, "a parallel union worker thread panicked")
             }
         }
     }

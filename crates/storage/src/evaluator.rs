@@ -85,17 +85,17 @@ impl<'a> Evaluator<'a> {
         for &idx in &model.order_atoms(&cq.body) {
             let atom = &cq.body[idx];
             if first {
-                acc = scan_atom(self.store, atom);
+                acc = scan_atom(self.store, atom)?;
                 metrics.record_scan(format!("scan t{}", idx + 1), acc.len());
                 first = false;
             } else {
                 let atom_card = model.atom_cardinality(atom);
                 let shares = atom.vars().any(|v| acc.column_index(v).is_some());
                 if shares && (acc.len() as f64) * model.params.probe_cost_per_row < atom_card {
-                    acc = bind_join(self.store, &acc, atom);
+                    acc = bind_join(self.store, &acc, atom)?;
                     metrics.record(format!("bind-join t{}", idx + 1), acc.len());
                 } else {
-                    let scanned = scan_atom(self.store, atom);
+                    let scanned = scan_atom(self.store, atom)?;
                     metrics.record_scan(format!("scan t{}", idx + 1), scanned.len());
                     self.check_budget(scanned.len())?;
                     acc = acc.natural_join(&scanned);
@@ -113,15 +113,13 @@ impl<'a> Evaluator<'a> {
 
         // Build the output relation from the head.
         let mut result = Relation::empty(out.to_vec());
-        if cq.body.is_empty() && cq.head.iter().all(|t| !t.is_var()) {
+        if cq.body.is_empty() {
             // Degenerate constant-only query over an empty body: one row.
-            let row: Vec<TermId> = cq
-                .head
-                .iter()
-                .map(|t| t.as_const().expect("checked non-var"))
-                .collect();
-            result.push_row(&row)?;
-            return Ok(result);
+            let consts: Option<Vec<TermId>> = cq.head.iter().map(|t| t.as_const()).collect();
+            if let Some(row) = consts {
+                result.push_row(&row)?;
+                return Ok(result);
+            }
         }
         let col_sources: Vec<HeadSource> = cq
             .head
@@ -175,7 +173,7 @@ impl<'a> Evaluator<'a> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("union worker panicked"))
+                    .map(|h| h.join().unwrap_or(Err(StorageError::WorkerPanicked)))
                     .collect()
             });
             for r in results {
@@ -256,7 +254,7 @@ enum HeadSource {
 /// Index nested-loop join: for every row of `acc`, probe the store with the
 /// atom's pattern under that row's bindings. Output columns: `acc`'s columns
 /// followed by the atom's new variables (position order).
-fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> Relation {
+fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> Result<Relation> {
     use crate::store::IdPattern;
     use rdfref_query::ast::PTerm;
 
@@ -294,6 +292,9 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
     let mut out = Relation::empty(out_cols);
 
     let mut new_vals: Vec<TermId> = vec![TermId(0); new_cols.len()];
+    // `scan_into`'s callback cannot propagate errors, so a push failure is
+    // captured here and surfaced after the probes complete.
+    let mut push_err: Option<StorageError> = None;
     for row in acc.rows() {
         let fixed = |pos: Pos| -> Option<TermId> {
             match pos {
@@ -309,7 +310,7 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
         };
         store.scan_into(pattern, &mut |t| {
             let triple = [t.s, t.p, t.o];
-            let mut ok = true;
+            let mut ok = push_err.is_none();
             for (pos, val) in spo.iter().zip(triple) {
                 match *pos {
                     Pos::Out(j) => new_vals[j] = val,
@@ -321,11 +322,19 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
                 let mut full: Vec<TermId> = Vec::with_capacity(row.len() + new_vals.len());
                 full.extend_from_slice(row);
                 full.extend_from_slice(&new_vals);
-                out.push_row(&full).expect("bind join arity is fixed");
+                if let Err(e) = out.push_row(&full) {
+                    push_err = Some(e);
+                }
             }
         });
+        if push_err.is_some() {
+            break;
+        }
     }
-    out
+    match push_err {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
 }
 
 /// Convenience: evaluate a CQ whose head is all variables.
@@ -597,5 +606,46 @@ mod tests {
         let cq = Cq::new(vec![v("x")], vec![Atom::new(v("x"), absent, v("y"))]).unwrap();
         let (rel, _) = eval_cq(&store, &stats, &cq).unwrap();
         assert!(rel.is_empty());
+    }
+
+    #[test]
+    fn empty_body_constant_head_yields_one_row() {
+        // Regression: a body-less CQ with an all-constant head (the shape a
+        // fully-bound reformulation can collapse to) must produce exactly
+        // one row of the constants, not panic in head resolution.
+        let (store, stats, ids) = fixture();
+        let cq = Cq::new_unchecked(vec![PTerm::Const(ids[4]), PTerm::Const(ids[5])], vec![]);
+        let (rel, _) = eval_cq(&store, &stats, &cq).unwrap();
+        assert_eq!(rel.to_rows(), vec![vec![ids[4], ids[5]]]);
+    }
+
+    #[test]
+    fn empty_body_unbound_var_is_typed_error() {
+        // Regression: a head variable no atom binds surfaces as
+        // UnknownColumn — the evaluator must never panic on it.
+        let (store, stats, _) = fixture();
+        let cq = Cq::new_unchecked(vec![PTerm::Var(v("x"))], vec![]);
+        let err = eval_cq(&store, &stats, &cq).unwrap_err();
+        assert!(matches!(err, StorageError::UnknownColumn(ref c) if c == "x"));
+    }
+
+    #[test]
+    fn unbound_head_var_after_joins_is_typed_error() {
+        // Same property with a non-empty body: ?z never occurs in any atom.
+        let (store, stats, ids) = fixture();
+        let cq = Cq::new_unchecked(
+            vec![PTerm::Var(v("x")), PTerm::Var(v("z"))],
+            vec![Atom::new(v("x"), ids[3], v("y"))],
+        );
+        let err = eval_cq(&store, &stats, &cq).unwrap_err();
+        assert!(matches!(err, StorageError::UnknownColumn(ref c) if c == "z"));
+    }
+
+    #[test]
+    fn worker_panic_error_displays() {
+        // The parallel union maps a panicked worker to a typed error rather
+        // than propagating the panic; pin the variant and its message.
+        let err = StorageError::WorkerPanicked;
+        assert!(err.to_string().contains("worker thread panicked"));
     }
 }

@@ -5,6 +5,7 @@
 //! the experiments report (intermediate result sizes — the quantities the
 //! paper quotes for Example 1, e.g. "33,328,108 results each").
 
+use crate::error::{Result, StorageError};
 use crate::relation::Relation;
 use crate::store::{IdPattern, Store};
 use rdfref_model::TermId;
@@ -58,7 +59,7 @@ impl ExecMetrics {
 /// Scan one triple pattern into a relation whose columns are the atom's
 /// distinct variables in `s, p, o` position order. Constants constrain the
 /// index scan; repeated variables become equality filters.
-pub fn scan_atom(store: &Store, atom: &Atom) -> Relation {
+pub fn scan_atom(store: &Store, atom: &Atom) -> Result<Relation> {
     let pattern = IdPattern {
         s: atom.s.as_const(),
         p: atom.p.as_const(),
@@ -89,14 +90,22 @@ pub fn scan_atom(store: &Store, atom: &Atom) -> Relation {
         }
     };
     let mut row: Vec<TermId> = Vec::with_capacity(col_pos.len());
+    // `scan_into`'s callback cannot propagate errors, so a push failure is
+    // captured here and surfaced after the scan completes.
+    let mut push_err: Option<StorageError> = None;
     store.scan_into(pattern, &mut |t| {
-        if eq_checks.iter().all(|&(a, b)| get(&t, a) == get(&t, b)) {
+        if push_err.is_none() && eq_checks.iter().all(|&(a, b)| get(&t, a) == get(&t, b)) {
             row.clear();
             row.extend(col_pos.iter().map(|&p| get(&t, p)));
-            rel.push_row(&row).expect("scan arity is fixed");
+            if let Err(e) = rel.push_row(&row) {
+                push_err = Some(e);
+            }
         }
     });
-    rel
+    match push_err {
+        Some(e) => Err(e),
+        None => Ok(rel),
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +135,7 @@ mod tests {
     #[test]
     fn scan_binds_variables_in_position_order() {
         let (store, ids) = fixture();
-        let rel = scan_atom(&store, &Atom::new(v("x"), ids[2], v("y")));
+        let rel = scan_atom(&store, &Atom::new(v("x"), ids[2], v("y"))).unwrap();
         assert_eq!(rel.columns(), &[v("x"), v("y")]);
         assert_eq!(rel.len(), 3);
     }
@@ -134,7 +143,7 @@ mod tests {
     #[test]
     fn scan_with_constant_filters() {
         let (store, ids) = fixture();
-        let rel = scan_atom(&store, &Atom::new(ids[0], ids[2], v("y")));
+        let rel = scan_atom(&store, &Atom::new(ids[0], ids[2], v("y"))).unwrap();
         assert_eq!(rel.columns(), &[v("y")]);
         assert_eq!(rel.len(), 2);
     }
@@ -143,7 +152,7 @@ mod tests {
     fn repeated_variable_is_equality_filter() {
         let (store, ids) = fixture();
         // (?x p ?x) matches only the self-loop.
-        let rel = scan_atom(&store, &Atom::new(v("x"), ids[2], v("x")));
+        let rel = scan_atom(&store, &Atom::new(v("x"), ids[2], v("x"))).unwrap();
         assert_eq!(rel.columns(), &[v("x")]);
         assert_eq!(rel.len(), 1);
         assert_eq!(rel.row(0), &[ids[0]]);
@@ -152,17 +161,17 @@ mod tests {
     #[test]
     fn all_constant_atom_yields_zero_column_rows() {
         let (store, ids) = fixture();
-        let rel = scan_atom(&store, &Atom::new(ids[0], ids[2], ids[1]));
+        let rel = scan_atom(&store, &Atom::new(ids[0], ids[2], ids[1])).unwrap();
         assert_eq!(rel.arity(), 0);
         assert_eq!(rel.len(), 1); // matched: acts as a "true" unit row
-        let rel2 = scan_atom(&store, &Atom::new(ids[1], ids[2], ids[1]));
+        let rel2 = scan_atom(&store, &Atom::new(ids[1], ids[2], ids[1])).unwrap();
         assert!(rel2.is_empty()); // no match: "false"
     }
 
     #[test]
     fn variable_property_scans_everything() {
         let (store, _) = fixture();
-        let rel = scan_atom(&store, &Atom::new(v("s"), v("p"), v("o")));
+        let rel = scan_atom(&store, &Atom::new(v("s"), v("p"), v("o"))).unwrap();
         assert_eq!(rel.arity(), 3);
         assert_eq!(rel.len(), 3);
     }

@@ -1,0 +1,281 @@
+//! `lints.toml` — lint scoping and the per-lint allowlist.
+//!
+//! The build container has no crates.io access, so this is a hand-rolled
+//! parser for the narrow TOML subset the config actually uses: top-level
+//! `key = value` pairs (strings, integers, arrays of strings) and
+//! `[[allow]]` array-of-tables entries. Anything else is a hard error —
+//! a config typo must fail the lint run, not silently relax it.
+
+use std::fmt;
+
+/// One allowlist entry: `count` residual findings of `lint` in `file` are
+/// tolerated. The count is exact — both regressions (more findings) and
+/// stale entries (fewer findings) fail the run, so the allowlist can only
+/// shrink by being edited consciously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint id (`L001`…`L006`).
+    pub lint: String,
+    /// Repo-relative file path, forward slashes.
+    pub file: String,
+    /// Exact number of findings tolerated.
+    pub count: usize,
+    /// Why these sites are acceptable.
+    pub reason: String,
+}
+
+/// Parsed `lints.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Crate directory names under `crates/` scanned by the lints
+    /// (`"rdfref"` means the workspace root package's `src/`).
+    pub library_crates: Vec<String>,
+    /// Crates whose public fns must return `Result` when fallible (L004).
+    pub result_crates: Vec<String>,
+    /// Path prefixes subject to the guard-across-answer lint (L005).
+    pub guard_paths: Vec<String>,
+    /// Identifiers treated as heavy (graph/dictionary-like) by L006.
+    pub heavy_idents: Vec<String>,
+    /// Residual findings tolerated per (lint, file).
+    pub allow: Vec<AllowEntry>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            library_crates: [
+                "rdf",
+                "query",
+                "storage",
+                "reasoning",
+                "datalog",
+                "core",
+                "datagen",
+                "rdfref",
+            ]
+            .map(String::from)
+            .to_vec(),
+            result_crates: ["core", "storage", "reasoning", "datalog"]
+                .map(String::from)
+                .to_vec(),
+            guard_paths: vec!["crates/core/src/".to_string()],
+            heavy_idents: ["graph", "dict", "dictionary"].map(String::from).to_vec(),
+            allow: Vec::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Total number of residual sites the allowlist tolerates.
+    pub fn allowed_sites(&self) -> usize {
+        self.allow.iter().map(|a| a.count).sum()
+    }
+}
+
+/// A config parse error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Line of the offending entry.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lints.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+enum Section {
+    Top,
+    Allow(usize), // index into cfg.allow
+}
+
+/// Parse the config text.
+pub fn parse_config(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = Section::Top;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            cfg.allow.push(AllowEntry {
+                lint: String::new(),
+                file: String::new(),
+                count: 0,
+                reason: String::new(),
+            });
+            section = Section::Allow(cfg.allow.len() - 1);
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unknown section {line}"),
+            });
+        }
+        let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("expected key = value, got {line:?}"),
+        })?;
+        let (key, value) = (key.trim(), value.trim());
+        match &section {
+            Section::Top => match key {
+                "library_crates" => cfg.library_crates = parse_string_array(value, lineno)?,
+                "result_crates" => cfg.result_crates = parse_string_array(value, lineno)?,
+                "guard_paths" => cfg.guard_paths = parse_string_array(value, lineno)?,
+                "heavy_idents" => cfg.heavy_idents = parse_string_array(value, lineno)?,
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key {key:?}"),
+                    })
+                }
+            },
+            Section::Allow(i) => {
+                let entry = &mut cfg.allow[*i];
+                match key {
+                    "lint" => entry.lint = parse_string(value, lineno)?,
+                    "file" => entry.file = parse_string(value, lineno)?,
+                    "count" => {
+                        entry.count = value.parse().map_err(|_| ConfigError {
+                            line: lineno,
+                            message: format!("count must be an integer, got {value:?}"),
+                        })?
+                    }
+                    "reason" => entry.reason = parse_string(value, lineno)?,
+                    _ => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown allow key {key:?}"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    for (i, a) in cfg.allow.iter().enumerate() {
+        if a.lint.is_empty() || a.file.is_empty() || a.count == 0 {
+            return Err(ConfigError {
+                line: 0,
+                message: format!(
+                    "allow entry #{} must set lint, file and a count >= 1 (got {a:?})",
+                    i + 1
+                ),
+            });
+        }
+    }
+    Ok(cfg)
+}
+
+/// Render a config back to TOML (used by `--write-allowlist`).
+pub fn render_config(cfg: &Config) -> String {
+    let mut s = String::new();
+    s.push_str("# Lint scoping and allowlist for `cargo xtask lint`.\n");
+    s.push_str("# Allow entries are EXACT budgets: a run fails when a file has either\n");
+    s.push_str("# more findings (regression) or fewer (stale entry — ratchet it down).\n");
+    s.push_str("# Regenerate counts with `cargo xtask lint --write-allowlist`.\n\n");
+    let arr = |items: &[String]| {
+        items
+            .iter()
+            .map(|i| format!("{i:?}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    s.push_str(&format!(
+        "library_crates = [{}]\n",
+        arr(&cfg.library_crates)
+    ));
+    s.push_str(&format!("result_crates = [{}]\n", arr(&cfg.result_crates)));
+    s.push_str(&format!("guard_paths = [{}]\n", arr(&cfg.guard_paths)));
+    s.push_str(&format!("heavy_idents = [{}]\n", arr(&cfg.heavy_idents)));
+    for a in &cfg.allow {
+        s.push_str(&format!(
+            "\n[[allow]]\nlint = {:?}\nfile = {:?}\ncount = {}\nreason = {:?}\n",
+            a.lint, a.file, a.count, a.reason
+        ));
+    }
+    s
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A '#' outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError {
+            line,
+            message: format!("expected a quoted string, got {value:?}"),
+        })
+    }
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    if !(v.starts_with('[') && v.ends_with(']')) {
+        return Err(ConfigError {
+            line,
+            message: format!("expected an array of strings, got {value:?}"),
+        });
+    }
+    let inner = &v[1..v.len() - 1];
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut cfg = Config::default();
+        cfg.allow.push(AllowEntry {
+            lint: "L001".into(),
+            file: "crates/core/src/x.rs".into(),
+            count: 3,
+            reason: "historic".into(),
+        });
+        let text = render_config(&cfg);
+        assert_eq!(parse_config(&text).unwrap(), cfg);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_entries() {
+        assert!(parse_config("wat = 1\n").is_err());
+        assert!(parse_config("[[allow]]\nlint = \"L001\"\n").is_err()); // missing file/count
+        assert!(parse_config("[[allow]]\nlint = \"L001\"\nfile = \"f\"\ncount = 0\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cfg = parse_config("# hi\n\nheavy_idents = [\"graph\"] # trailing\n").unwrap();
+        assert_eq!(cfg.heavy_idents, ["graph"]);
+    }
+}

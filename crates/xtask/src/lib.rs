@@ -1,0 +1,18 @@
+//! `xtask` — project-specific static analysis for the rdfref workspace.
+//!
+//! Run as `cargo xtask lint` (alias in `.cargo/config.toml`). The pass
+//! enforces the panic-freedom and invariant-discipline policy documented in
+//! DESIGN.md: library code must surface failures through the crate error
+//! enums, never abort, and a few project-specific footguns (lock guards
+//! held across `Database::answer`, heavy clones in loops) are caught
+//! structurally. Built with a small hand-rolled lexer so it has zero
+//! dependencies and works in the offline build container.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod runner;
+
+pub use config::{parse_config, render_config, AllowEntry, Config};
+pub use lints::{lint_file, FileContext, Violation};
+pub use runner::{format_report, regenerate_allowlist, run_lints, LintReport};

@@ -1,0 +1,557 @@
+//! The lint catalog (L001–L006) over the token stream of one file.
+//!
+//! | lint | rule |
+//! |------|------|
+//! | L001 | no `.unwrap()` / `.expect(…)` in library code |
+//! | L002 | no `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code |
+//! | L003 | no `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in library crates |
+//! | L004 | public fns that can fail (panic-ish body) must return `Result` |
+//! | L005 | no `Mutex`/`RwLock` guard held across a call into `Database::answer` |
+//! | L006 | no `.clone()` of `Graph`/dictionary-like values in loop bodies |
+//!
+//! `#[cfg(test)]` items, `#[test]` fns and `mod tests { … }` blocks are
+//! exempt from every lint: test code may unwrap freely.
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, TokKind};
+
+/// A single finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Lint id, e.g. `"L001"`.
+    pub lint: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// What the file being linted is, as far as lint scoping cares.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Crate directory name (`core`, `storage`, … or `rdfref` for the root).
+    pub crate_name: String,
+}
+
+impl FileContext {
+    /// True for binary targets (`src/bin/*`, `main.rs`): L003 exempts them.
+    fn is_bin(&self) -> bool {
+        self.path.contains("/bin/") || self.path.ends_with("main.rs")
+    }
+}
+
+/// Token-index structure shared by all lints.
+struct Analysis {
+    toks: Vec<Tok>,
+    /// Per-token: inside a `#[cfg(test)]` item / `#[test]` fn / `mod tests`.
+    exempt: Vec<bool>,
+    /// Per-token: nesting depth of `for`/`while`/`loop` bodies.
+    loop_depth: Vec<u16>,
+    /// Per-token: brace nesting depth (`{}` only).
+    brace_depth: Vec<u32>,
+}
+
+/// Lint one file's source text. `cfg` supplies lint scoping and the L006
+/// identifier heuristics; allowlisting happens in the caller.
+pub fn lint_file(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Violation> {
+    let analysis = analyze(lex(src));
+    let mut out = Vec::new();
+    lint_l001_l002_l003(&analysis, ctx, cfg, &mut out);
+    if cfg.result_crates.contains(&ctx.crate_name) {
+        lint_l004(&analysis, ctx, &mut out);
+    }
+    if cfg
+        .guard_paths
+        .iter()
+        .any(|p| ctx.path.starts_with(p.as_str()))
+    {
+        lint_l005(&analysis, ctx, &mut out);
+    }
+    lint_l006(&analysis, ctx, cfg, &mut out);
+    out.sort_by_key(|v| (v.line, v.col, v.lint));
+    out
+}
+
+fn analyze(toks: Vec<Tok>) -> Analysis {
+    let n = toks.len();
+    let mut exempt = vec![false; n];
+    let mut loop_depth = vec![0u16; n];
+    let mut brace_depth = vec![0u32; n];
+
+    // Brace depth (braces only; brackets/parens don't nest items).
+    let mut depth = 0u32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        }
+        brace_depth[i] = depth;
+        if t.is_punct('{') {
+            depth += 1;
+        }
+    }
+
+    // Test exemption: attributes #[cfg(test)] / #[test] and `mod tests`.
+    let mut i = 0;
+    while i < n {
+        if toks[i].is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[') {
+            let close = match matching(&toks, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            if attr_is_test(&toks[i + 2..close]) {
+                let end = item_end(&toks, close + 1);
+                for e in exempt.iter_mut().take(end).skip(i) {
+                    *e = true;
+                }
+                i = end;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        if toks[i].is_ident("mod")
+            && i + 1 < n
+            && toks[i + 1].is_ident("tests")
+            && i + 2 < n
+            && toks[i + 2].is_punct('{')
+        {
+            let end = matching(&toks, i + 2, '{', '}').map(|c| c + 1).unwrap_or(n);
+            for e in exempt.iter_mut().take(end).skip(i) {
+                *e = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Loop bodies: `loop {`, `for pat in expr {`, `while cond {`.
+    let mut i = 0;
+    while i < n {
+        let t = &toks[i];
+        let body_open = if t.is_ident("loop") {
+            (i + 1 < n && toks[i + 1].is_punct('{')).then_some(i + 1)
+        } else if t.is_ident("while") || (t.is_ident("for") && for_is_loop(&toks, i)) {
+            first_block_open(&toks, i + 1)
+        } else {
+            None
+        };
+        if let Some(open) = body_open {
+            if let Some(close) = matching(&toks, open, '{', '}') {
+                for d in loop_depth.iter_mut().take(close).skip(open + 1) {
+                    *d += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    Analysis {
+        toks,
+        exempt,
+        loop_depth,
+        brace_depth,
+    }
+}
+
+/// `#[cfg(test)]`, `#[cfg(any(test, …))]`, `#[test]`.
+fn attr_is_test(attr: &[Tok]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("test") => attr.len() == 1,
+        Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Index of the token after the item starting at `start` (attributes,
+/// visibility, keywords, then either `… ;` or `… { … }`).
+fn item_end(toks: &[Tok], mut start: usize) -> usize {
+    let n = toks.len();
+    // Skip further attributes.
+    while start < n && toks[start].is_punct('#') && start + 1 < n && toks[start + 1].is_punct('[') {
+        match matching(toks, start + 1, '[', ']') {
+            Some(c) => start = c + 1,
+            None => return n,
+        }
+    }
+    let mut i = start;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < n {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct(';') if paren == 0 && bracket == 0 => return i + 1,
+            TokKind::Punct('{') if paren == 0 && bracket == 0 => {
+                return matching(toks, i, '{', '}').map(|c| c + 1).unwrap_or(n);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Matching close delimiter for the open delimiter at `open`.
+fn matching(toks: &[Tok], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// First `{` after `from` at paren/bracket depth 0 — the loop body opener.
+/// Closure bodies inside the header (rare) will confuse this; acceptable
+/// for a heuristic lint.
+fn first_block_open(toks: &[Tok], from: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(from) {
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') if paren == 0 && bracket == 0 => return Some(i),
+            TokKind::Punct(';') if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A `for` token heads a loop iff an `in` follows before the body opens —
+/// this rejects `impl Trait for Type` and `for<'a>` bounds.
+fn for_is_loop(toks: &[Tok], at: usize) -> bool {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for t in toks.iter().skip(at + 1) {
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') | TokKind::Punct(';') if paren == 0 && bracket == 0 => {
+                return false
+            }
+            TokKind::Ident if paren == 0 && bracket == 0 && t.text == "in" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+const L002_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const L003_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+fn lint_l001_l002_l003(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut Vec<Violation>) {
+    let n = a.toks.len();
+    for i in 0..n {
+        if a.exempt[i] {
+            continue;
+        }
+        let t = &a.toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_is = |c: char| i + 1 < n && a.toks[i + 1].is_punct(c);
+        let prev_is_dot = i > 0 && a.toks[i - 1].is_punct('.');
+        if (t.text == "unwrap" || t.text == "expect") && prev_is_dot && next_is('(') {
+            out.push(Violation {
+                lint: "L001",
+                file: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    ".{}() in library code — return the crate Result instead",
+                    t.text
+                ),
+            });
+        }
+        if L002_MACROS.contains(&t.text.as_str()) && next_is('!') {
+            out.push(Violation {
+                lint: "L002",
+                file: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{}! in library code — return a typed error instead of aborting",
+                    t.text
+                ),
+            });
+        }
+        if !ctx.is_bin()
+            && cfg.library_crates.contains(&ctx.crate_name)
+            && L003_MACROS.contains(&t.text.as_str())
+            && next_is('!')
+        {
+            out.push(Violation {
+                lint: "L003",
+                file: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{}! in a library crate — use a return value or log hook",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+const PANICKY: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// L004: a `pub fn` whose body contains panic-ish tokens but whose return
+/// type is not a `Result` swallows its failure mode. (After the panic
+/// sweep, any surviving site is simultaneously an L001/L002 finding; L004
+/// points at the signature that should change.)
+fn lint_l004(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+    let toks = &a.toks;
+    let n = toks.len();
+    let mut i = 0;
+    while i < n {
+        if a.exempt[i] || !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` & friends are not public API.
+        if i + 1 < n && toks[i + 1].is_punct('(') {
+            i += 1;
+            continue;
+        }
+        // Allow `const` / `unsafe` / `async` / `extern "C"` between.
+        let mut j = i + 1;
+        while j < n
+            && (toks[j].is_ident("const")
+                || toks[j].is_ident("unsafe")
+                || toks[j].is_ident("async")
+                || toks[j].is_ident("extern")
+                || toks[j].kind == TokKind::Str)
+        {
+            j += 1;
+        }
+        if j >= n || !toks[j].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let name_idx = j + 1;
+        let Some(params_open) = toks
+            .iter()
+            .enumerate()
+            .skip(name_idx)
+            .find(|(_, t)| t.is_punct('('))
+            .map(|(k, _)| k)
+        else {
+            break;
+        };
+        let Some(params_close) = matching(toks, params_open, '(', ')') else {
+            break;
+        };
+        // Signature runs to the body `{` (or `;` for trait decls).
+        let Some(body_open) = first_block_open(toks, params_close + 1) else {
+            i = params_close + 1;
+            continue;
+        };
+        let Some(body_close) = matching(toks, body_open, '{', '}') else {
+            break;
+        };
+        let returns_result = toks[params_close + 1..body_open]
+            .iter()
+            .any(|t| t.is_ident("Result"));
+        if !returns_result {
+            let panicky = toks[body_open..body_close]
+                .iter()
+                .enumerate()
+                .find(|(k, t)| {
+                    t.kind == TokKind::Ident
+                        && PANICKY.contains(&t.text.as_str())
+                        && !a.exempt[body_open + k]
+                        && {
+                            let at = body_open + k;
+                            let dotted = at > 0 && toks[at - 1].is_punct('.');
+                            let called = at + 1 < n
+                                && (toks[at + 1].is_punct('(') || toks[at + 1].is_punct('!'));
+                            (dotted || L002_MACROS.contains(&t.text.as_str())) && called
+                        }
+                });
+            if panicky.is_some() {
+                let name = &toks[name_idx];
+                out.push(Violation {
+                    lint: "L004",
+                    file: ctx.path.clone(),
+                    line: name.line,
+                    col: name.col,
+                    message: format!(
+                        "pub fn {} can fail (panics internally) but does not return the crate Result",
+                        name.text
+                    ),
+                });
+            }
+        }
+        i = body_close + 1;
+    }
+}
+
+/// L005: a lock guard (`let g = ….lock()/.read()/.write()`) must be dropped
+/// before any call into `Database::answer` in the same scope — otherwise a
+/// cache shard can deadlock against answering's own cache use.
+fn lint_l005(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+    let toks = &a.toks;
+    let n = toks.len();
+    let mut i = 0;
+    while i < n {
+        if a.exempt[i] || !toks[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // Binding name (skip `mut`, ignore destructuring patterns).
+        let mut j = i + 1;
+        if j < n && toks[j].is_ident("mut") {
+            j += 1;
+        }
+        if j >= n || toks[j].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let guard_name = toks[j].text.clone();
+        // Initializer tokens: up to the `;` at delimiter depth 0.
+        let init_end = item_end(toks, j + 1);
+        let is_guard = toks[j + 1..init_end.min(n)]
+            .iter()
+            .enumerate()
+            .any(|(k, t)| {
+                let at = j + 1 + k;
+                t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "lock" | "read" | "write")
+                    && at > 0
+                    && toks[at - 1].is_punct('.')
+                    && at + 1 < n
+                    && toks[at + 1].is_punct('(')
+            });
+        if !is_guard {
+            i += 1;
+            continue;
+        }
+        let scope_depth = a.brace_depth[i];
+        let mut k = init_end;
+        while k < n && a.brace_depth[k] >= scope_depth {
+            let t = &toks[k];
+            // `drop(guard)` ends the guard's life early.
+            if t.is_ident("drop")
+                && k + 2 < n
+                && toks[k + 1].is_punct('(')
+                && toks[k + 2].is_ident(&guard_name)
+            {
+                break;
+            }
+            if t.is_ident("answer") && k + 1 < n && toks[k + 1].is_punct('(') {
+                out.push(Violation {
+                    lint: "L005",
+                    file: ctx.path.clone(),
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    message: format!(
+                        "lock guard `{guard_name}` is live across a call into `answer` (line {}) — drop it first",
+                        t.line
+                    ),
+                });
+                break;
+            }
+            k += 1;
+        }
+        i += 1;
+    }
+}
+
+/// L006: `.clone()` of a heavy value (graph/dictionary-like identifier) in
+/// a loop body — an O(data) copy per iteration.
+fn lint_l006(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut Vec<Violation>) {
+    let toks = &a.toks;
+    let n = toks.len();
+    for i in 0..n {
+        if a.exempt[i] || a.loop_depth[i] == 0 {
+            continue;
+        }
+        let t = &a.toks[i];
+        if !(t.is_ident("clone")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && i + 1 < n
+            && toks[i + 1].is_punct('('))
+        {
+            continue;
+        }
+        // Receiver: the identifier before the dot, skipping one call's
+        // parens so `self.graph().clone()` resolves to `graph`.
+        let mut r = i - 1; // the '.'
+        if r == 0 {
+            continue;
+        }
+        r -= 1;
+        if toks[r].is_punct(')') {
+            let mut depth = 0i32;
+            loop {
+                if toks[r].is_punct(')') {
+                    depth += 1;
+                } else if toks[r].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if r == 0 {
+                    break;
+                }
+                r -= 1;
+            }
+            if r == 0 {
+                continue;
+            }
+            r -= 1;
+        }
+        if toks[r].kind != TokKind::Ident {
+            continue;
+        }
+        let recv = toks[r].text.to_ascii_lowercase();
+        if cfg
+            .heavy_idents
+            .iter()
+            .any(|h| recv == *h || recv.ends_with(&format!("_{h}")))
+        {
+            out.push(Violation {
+                lint: "L006",
+                file: ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}.clone()` inside a loop body — clone once outside the loop or borrow",
+                    toks[r].text
+                ),
+            });
+        }
+    }
+}

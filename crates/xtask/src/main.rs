@@ -1,0 +1,121 @@
+//! `cargo xtask lint` entry point.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::{format_report, parse_config, regenerate_allowlist, render_config, run_lints, Config};
+
+const USAGE: &str = "\
+usage: cargo xtask lint [options]
+
+Project-specific static analysis (see DESIGN.md, 'Lint catalog').
+
+options:
+  --root <dir>        workspace root (default: nearest ancestor with Cargo.toml + crates/)
+  --config <file>     lints.toml path (default: <root>/crates/xtask/lints.toml)
+  --write-allowlist   rewrite lints.toml budgets from the current findings
+  -h, --help          this help
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd == "-h" || cmd == "--help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if cmd != "lint" {
+        eprintln!("unknown command {cmd:?}\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut write_allowlist = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--write-allowlist" => write_allowlist = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option {other:?}\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "xtask: could not locate the workspace root (no Cargo.toml + crates/ above cwd)"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("crates/xtask/lints.toml"));
+    let cfg: Config = match std::fs::read_to_string(&config_path) {
+        Ok(text) => match parse_config(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("xtask: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_lints(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_allowlist {
+        let next = regenerate_allowlist(&cfg, &report.violations);
+        if let Err(e) = std::fs::write(&config_path, render_config(&next)) {
+            eprintln!("xtask: cannot write {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xtask lint: rewrote {} with {} allow entries ({} residual sites)",
+            config_path.display(),
+            next.allow.len(),
+            next.allowed_sites(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    print!("{}", format_report(&report, &cfg));
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Nearest ancestor directory containing both `Cargo.toml` and `crates/`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

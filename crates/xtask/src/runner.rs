@@ -1,0 +1,186 @@
+//! File collection, allowlist reconciliation and reporting.
+
+use crate::config::{AllowEntry, Config};
+use crate::lints::{lint_file, FileContext, Violation};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a lint run over the repository.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Every finding, allowlisted or not.
+    pub violations: Vec<Violation>,
+    /// (lint, file) → findings beyond/below the allowlisted budget.
+    pub over_budget: Vec<(String, String, usize, usize)>,
+    /// Allow entries whose file had no findings at all (stale).
+    pub stale: Vec<AllowEntry>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True iff the run should exit zero.
+    pub fn clean(&self) -> bool {
+        self.over_budget.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Collect the source files the lints scan: `crates/<c>/src/**/*.rs` for
+/// each configured library crate, plus the workspace root package's
+/// `src/**` when `"rdfref"` is listed.
+pub fn collect_files(root: &Path, cfg: &Config) -> Vec<(PathBuf, FileContext)> {
+    let mut out = Vec::new();
+    for krate in &cfg.library_crates {
+        let src = if krate == "rdfref" {
+            root.join("src")
+        } else {
+            root.join("crates").join(krate).join("src")
+        };
+        let mut files = Vec::new();
+        walk_rs(&src, &mut files);
+        files.sort();
+        for f in files {
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((
+                f.clone(),
+                FileContext {
+                    path: rel,
+                    crate_name: krate.clone(),
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
+/// Run every lint over the repo and reconcile with the allowlist.
+pub fn run_lints(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    let files = collect_files(root, cfg);
+    let mut violations = Vec::new();
+    for (path, ctx) in &files {
+        let src = std::fs::read_to_string(path)?;
+        violations.extend(lint_file(&src, ctx, cfg));
+    }
+
+    // Reconcile against the allowlist: exact budgets.
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in &violations {
+        *counts
+            .entry((v.lint.to_string(), v.file.clone()))
+            .or_default() += 1;
+    }
+    let mut over_budget = Vec::new();
+    let mut stale = Vec::new();
+    for a in &cfg.allow {
+        let found = counts
+            .remove(&(a.lint.clone(), a.file.clone()))
+            .unwrap_or(0);
+        if found == 0 {
+            stale.push(a.clone());
+        } else if found != a.count {
+            over_budget.push((a.lint.clone(), a.file.clone(), found, a.count));
+        }
+    }
+    // Everything left in `counts` has budget 0.
+    for ((lint, file), found) in counts {
+        over_budget.push((lint, file, found, 0));
+    }
+
+    Ok(LintReport {
+        violations,
+        over_budget,
+        stale,
+        files_scanned: files.len(),
+    })
+}
+
+/// Render the human-readable report. Returns the text; the caller decides
+/// where it goes (stdout for the binary, assertions for the tests).
+pub fn format_report(report: &LintReport, cfg: &Config) -> String {
+    let mut s = String::new();
+    if report.clean() {
+        s.push_str(&format!(
+            "xtask lint: OK — {} files scanned, {} findings, all within the allowlist ({} residual sites budgeted)\n",
+            report.files_scanned,
+            report.violations.len(),
+            cfg.allowed_sites(),
+        ));
+        return s;
+    }
+    for (lint, file, found, budget) in &report.over_budget {
+        s.push_str(&format!(
+            "error[{lint}]: {file}: {found} findings, allowlist budget {budget}\n"
+        ));
+        for v in report
+            .violations
+            .iter()
+            .filter(|v| v.lint == lint && v.file == *file)
+        {
+            s.push_str(&format!(
+                "  --> {}:{}:{}: {}\n",
+                v.file, v.line, v.col, v.message
+            ));
+        }
+    }
+    for a in &report.stale {
+        s.push_str(&format!(
+            "error[stale-allow]: {} has no {} findings but allowlists {} — remove the entry\n",
+            a.file, a.lint, a.count
+        ));
+    }
+    s.push_str(&format!(
+        "xtask lint: FAILED — {} budget mismatches, {} stale allow entries ({} files scanned)\n",
+        report.over_budget.len(),
+        report.stale.len(),
+        report.files_scanned,
+    ));
+    s
+}
+
+/// Rebuild the allowlist from the current findings, preserving reasons of
+/// surviving entries (`--write-allowlist`).
+pub fn regenerate_allowlist(cfg: &Config, violations: &[Violation]) -> Config {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for v in violations {
+        *counts
+            .entry((v.lint.to_string(), v.file.clone()))
+            .or_default() += 1;
+    }
+    let mut next = cfg.clone();
+    next.allow = counts
+        .into_iter()
+        .map(|((lint, file), count)| {
+            let reason = cfg
+                .allow
+                .iter()
+                .find(|a| a.lint == lint && a.file == file)
+                .map(|a| a.reason.clone())
+                .unwrap_or_else(|| "residual site pending conversion".to_string());
+            AllowEntry {
+                lint,
+                file,
+                count,
+                reason,
+            }
+        })
+        .collect();
+    next
+}

@@ -1,0 +1,29 @@
+//! Fixture: violations of every lint inside `#[cfg(test)] mod tests` —
+//! all exempt, the file must lint clean.
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+        if add(1, 1) != 2 {
+            panic!("math broke");
+        }
+        println!("done");
+    }
+
+    #[test]
+    fn clones_in_loops_are_fine_in_tests() {
+        let graph = vec![1u32];
+        for _ in 0..3 {
+            let _copy = graph.clone();
+        }
+    }
+}

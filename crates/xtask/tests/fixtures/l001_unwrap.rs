@@ -1,0 +1,13 @@
+//! Fixture: two L001 sites (`.unwrap()` / `.expect()`) in library code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("need two elements")
+}
+
+pub fn fine(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

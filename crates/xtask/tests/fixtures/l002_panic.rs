@@ -1,0 +1,23 @@
+//! Fixture: three L002 sites (panic-family macros) in library code.
+
+pub fn check(x: u32) {
+    if x == 0 {
+        panic!("zero is not allowed");
+    }
+}
+
+pub fn not_written_yet() {
+    todo!()
+}
+
+pub fn impossible(x: bool) {
+    if !x {
+        unreachable!();
+    }
+}
+
+pub fn fine() -> u32 {
+    // Mentioning panic in a comment or string must not count.
+    let _doc = "this function never calls panic!";
+    7
+}

@@ -1,0 +1,11 @@
+//! Fixture: two L003 sites (stdout/stderr prints) in a library crate.
+//! The same source linted with a `/bin/` path must produce zero L003.
+
+pub fn trace(msg: &str) {
+    println!("{msg}");
+    eprintln!("warn: {msg}");
+}
+
+pub fn fine(msg: &str) -> String {
+    format!("formatted: {msg}")
+}

@@ -1,0 +1,16 @@
+//! Fixture: one L004 site — a `pub fn` that panics internally but does not
+//! return `Result`. (`risky` is also an L001 finding; L004 points at the
+//! signature.)
+
+pub fn risky(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn safe(v: &[u32]) -> Result<u32, String> {
+    v.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+pub(crate) fn internal(v: &[u32]) -> u32 {
+    // pub(crate) is not public API — exempt from L004 (still an L001 site).
+    *v.first().unwrap()
+}

@@ -1,0 +1,16 @@
+//! Fixture: one L005 site — a lock guard held live across a call into
+//! `answer`. The second function drops the guard first and is clean.
+
+pub fn bad(db: &Database, cache: &Mutex<State>, q: &Cq) -> usize {
+    let guard = cache.lock().unwrap();
+    let n = db.answer(q);
+    guard.record(n);
+    n
+}
+
+pub fn good(db: &Database, cache: &Mutex<State>, q: &Cq) -> usize {
+    let guard = cache.lock().unwrap();
+    let hint = guard.hint();
+    drop(guard);
+    db.answer(q) + hint
+}

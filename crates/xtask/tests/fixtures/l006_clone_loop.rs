@@ -1,0 +1,23 @@
+//! Fixture: two L006 sites — heavy values cloned inside a loop body.
+//! Clones of heavy values outside loops, and clones of light values inside
+//! loops, are clean.
+
+pub fn copy_all(graphs: &[Graph], dict: &Dictionary) -> Vec<(Graph, Dictionary)> {
+    let mut out = Vec::new();
+    for graph in graphs {
+        out.push((graph.clone(), dict.clone()));
+    }
+    out
+}
+
+pub fn fine_outside(graph: &Graph) -> Graph {
+    graph.clone()
+}
+
+pub fn fine_light(names: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in names {
+        out.push(name.clone());
+    }
+    out
+}

@@ -1,0 +1,209 @@
+//! End-to-end lint tests: every lint fires on a seeded fixture, exempt
+//! regions stay silent, and the exact-budget allowlist semantics hold on a
+//! synthetic mini-repo.
+
+use std::path::PathBuf;
+use xtask::{lint_file, parse_config, run_lints, AllowEntry, Config, FileContext};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint a fixture as library code of `crate_name` at `path`.
+fn lint(name: &str, crate_name: &str, path: &str) -> Vec<xtask::Violation> {
+    let ctx = FileContext {
+        path: path.to_string(),
+        crate_name: crate_name.to_string(),
+    };
+    lint_file(&fixture(name), &ctx, &Config::default())
+}
+
+fn count(violations: &[xtask::Violation], lint: &str) -> usize {
+    violations.iter().filter(|v| v.lint == lint).count()
+}
+
+#[test]
+fn l001_fires_on_unwrap_and_expect() {
+    let v = lint("l001_unwrap.rs", "rdf", "crates/rdf/src/fixture.rs");
+    assert_eq!(count(&v, "L001"), 2, "violations: {v:?}");
+    // rdf is not a result_crate, so the panicking pub fns are not L004.
+    assert_eq!(count(&v, "L004"), 0, "violations: {v:?}");
+    // Findings carry 1-based positions pointing at the method name.
+    let first = v.iter().find(|x| x.lint == "L001").unwrap();
+    assert!(first.line >= 1 && first.col >= 1);
+}
+
+#[test]
+fn l002_fires_on_panic_family_macros() {
+    let v = lint("l002_panic.rs", "rdf", "crates/rdf/src/fixture.rs");
+    assert_eq!(count(&v, "L002"), 3, "violations: {v:?}");
+}
+
+#[test]
+fn l003_fires_in_libraries_but_not_bins() {
+    let v = lint("l003_println.rs", "rdf", "crates/rdf/src/fixture.rs");
+    assert_eq!(count(&v, "L003"), 2, "violations: {v:?}");
+    // The same source under src/bin/ is a CLI entry point — exempt.
+    let v = lint(
+        "l003_println.rs",
+        "datagen",
+        "crates/datagen/src/bin/tool.rs",
+    );
+    assert_eq!(count(&v, "L003"), 0, "violations: {v:?}");
+    // So is a crate not configured as a library crate at all.
+    let v = lint("l003_println.rs", "bench", "crates/bench/src/fixture.rs");
+    assert_eq!(count(&v, "L003"), 0, "violations: {v:?}");
+}
+
+#[test]
+fn l004_fires_on_panicking_pub_fn_without_result() {
+    let v = lint("l004_pub_fn.rs", "core", "crates/core/src/fixture.rs");
+    // `risky` panics without returning Result; `safe` returns Result and
+    // `internal` is pub(crate) — both exempt.
+    assert_eq!(count(&v, "L004"), 1, "violations: {v:?}");
+    let l004 = v.iter().find(|x| x.lint == "L004").unwrap();
+    assert!(l004.message.contains("risky"), "message: {}", l004.message);
+    // The unwraps in `risky` and `internal` are still L001 sites.
+    assert_eq!(count(&v, "L001"), 2, "violations: {v:?}");
+    // Outside a result_crate the same file has no L004 findings.
+    let v = lint("l004_pub_fn.rs", "rdf", "crates/rdf/src/fixture.rs");
+    assert_eq!(count(&v, "L004"), 0, "violations: {v:?}");
+}
+
+#[test]
+fn l005_fires_on_guard_live_across_answer() {
+    let v = lint("l005_guard.rs", "core", "crates/core/src/fixture.rs");
+    assert_eq!(count(&v, "L005"), 1, "violations: {v:?}");
+    let l005 = v.iter().find(|x| x.lint == "L005").unwrap();
+    assert!(l005.message.contains("guard"), "message: {}", l005.message);
+    // L005 is scoped to guard_paths — the same source elsewhere is clean.
+    let v = lint("l005_guard.rs", "storage", "crates/storage/src/fixture.rs");
+    assert_eq!(count(&v, "L005"), 0, "violations: {v:?}");
+}
+
+#[test]
+fn l006_fires_on_heavy_clone_in_loop() {
+    let v = lint("l006_clone_loop.rs", "rdf", "crates/rdf/src/fixture.rs");
+    // graph.clone() and dict.clone() inside the for body; the out-of-loop
+    // graph clone and the in-loop String clone are clean.
+    assert_eq!(count(&v, "L006"), 2, "violations: {v:?}");
+}
+
+#[test]
+fn cfg_test_regions_are_exempt() {
+    let v = lint("exempt_test_code.rs", "rdf", "crates/rdf/src/fixture.rs");
+    assert!(v.is_empty(), "expected no findings, got: {v:?}");
+}
+
+// ---- allowlist semantics over a synthetic mini-repo -----------------------
+
+/// Build `<tmp>/<name>/crates/rdf/src/lib.rs` containing `src` and return
+/// the mini-repo root. Each caller uses a distinct `name`, and the pid keeps
+/// concurrent test processes apart.
+fn mini_repo(name: &str, src: &str) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join(format!("xtask-lint-tests-{}", std::process::id()))
+        .join(name);
+    let src_dir = root.join("crates/rdf/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(src_dir.join("lib.rs"), src).unwrap();
+    root
+}
+
+fn rdf_only_config() -> Config {
+    Config {
+        library_crates: vec!["rdf".to_string()],
+        allow: Vec::new(),
+        ..Config::default()
+    }
+}
+
+const ONE_UNWRAP: &str = "pub fn f(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n";
+
+fn allow_one_unwrap(count: usize) -> AllowEntry {
+    AllowEntry {
+        lint: "L001".to_string(),
+        file: "crates/rdf/src/lib.rs".to_string(),
+        count,
+        reason: "fixture".to_string(),
+    }
+}
+
+#[test]
+fn unbudgeted_violation_fails_the_run() {
+    let root = mini_repo("unbudgeted", ONE_UNWRAP);
+    let report = run_lints(&root, &rdf_only_config()).unwrap();
+    assert!(!report.clean());
+    assert_eq!(report.files_scanned, 1);
+    // One finding against an implicit budget of 0.
+    assert_eq!(
+        report.over_budget,
+        vec![(
+            "L001".to_string(),
+            "crates/rdf/src/lib.rs".to_string(),
+            1,
+            0
+        )]
+    );
+}
+
+#[test]
+fn exact_budget_makes_the_run_clean() {
+    let root = mini_repo("exact", ONE_UNWRAP);
+    let mut cfg = rdf_only_config();
+    cfg.allow.push(allow_one_unwrap(1));
+    let report = run_lints(&root, &cfg).unwrap();
+    assert!(report.clean(), "over: {:?}", report.over_budget);
+    assert_eq!(report.violations.len(), 1);
+}
+
+#[test]
+fn over_generous_budget_fails_as_mismatch() {
+    // count=2 but only 1 finding: the budget must be ratcheted down, not
+    // left slack for a new violation to hide in.
+    let root = mini_repo("slack", ONE_UNWRAP);
+    let mut cfg = rdf_only_config();
+    cfg.allow.push(allow_one_unwrap(2));
+    let report = run_lints(&root, &cfg).unwrap();
+    assert!(!report.clean());
+    assert_eq!(
+        report.over_budget,
+        vec![(
+            "L001".to_string(),
+            "crates/rdf/src/lib.rs".to_string(),
+            1,
+            2
+        )]
+    );
+}
+
+#[test]
+fn entry_with_no_findings_is_stale() {
+    let root = mini_repo(
+        "stale",
+        "pub fn f(v: &[u32]) -> Option<u32> {\n    v.first().copied()\n}\n",
+    );
+    let mut cfg = rdf_only_config();
+    cfg.allow.push(allow_one_unwrap(1));
+    let report = run_lints(&root, &cfg).unwrap();
+    assert!(!report.clean());
+    assert!(report.over_budget.is_empty());
+    assert_eq!(report.stale.len(), 1);
+    assert_eq!(report.stale[0].lint, "L001");
+}
+
+#[test]
+fn repo_allowlist_parses_and_counts_stay_under_the_cap() {
+    // The checked-in lints.toml must parse, and the residual-site cap from
+    // the error-handling policy (< 75) must hold.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("lints.toml");
+    let cfg = parse_config(&std::fs::read_to_string(path).unwrap()).unwrap();
+    assert!(
+        cfg.allowed_sites() < 75,
+        "allowlist budgets {} residual sites",
+        cfg.allowed_sites()
+    );
+}

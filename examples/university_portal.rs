@@ -19,7 +19,7 @@ fn main() {
     let ds = generate(&LubmConfig::scale(scale));
     println!("  {} triples\n", ds.graph.len());
 
-    let example1 = queries::example1(&ds, 0);
+    let example1 = queries::example1(&ds, 0).expect("workload is well-formed");
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions {
         // Keep the UCQ attempt from consuming the machine: the point of
@@ -73,7 +73,7 @@ fn main() {
     );
 
     // (iii) The paper's hand-picked cover {{t1,t3},{t3,t5},{t2,t4},{t4,t6}}.
-    let paper_cover = queries::example1_paper_cover();
+    let paper_cover = queries::example1_paper_cover().expect("workload is well-formed");
     let jucq = db
         .answer(&example1, Strategy::RefJucq(paper_cover.clone()), &opts)
         .expect("paper cover works");
@@ -104,7 +104,7 @@ fn main() {
         "{:<5} {:>8} {:>12} {:>12}   description",
         "query", "answers", "Sat", "Ref/GCov"
     );
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).expect("workload is well-formed") {
         let sat = db
             .answer(&nq.cq, Strategy::Saturation, &opts)
             .expect(nq.name);

@@ -109,7 +109,7 @@ ex:x ex:p ex:y .
 #[test]
 fn reformulation_size_limit_is_exact_and_typed() {
     let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
-    let q = rdfref::datagen::queries::example1(&ds, 0);
+    let q = rdfref::datagen::queries::example1(&ds, 0).unwrap();
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions {
         limits: ReformulationLimits {
@@ -130,7 +130,7 @@ fn reformulation_size_limit_is_exact_and_typed() {
 #[test]
 fn row_budget_applies_to_every_strategy() {
     let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
-    let mix = rdfref::datagen::queries::lubm_mix(&ds);
+    let mix = rdfref::datagen::queries::lubm_mix(&ds).unwrap();
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions {
         row_budget: Some(3),

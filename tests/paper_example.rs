@@ -109,7 +109,7 @@ fn figure_2_saturation_content() {
 #[test]
 fn example_1_shape() {
     let ds = generate(&LubmConfig::scale(3));
-    let q = queries::example1(&ds, 0);
+    let q = queries::example1(&ds, 0).unwrap();
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions {
         limits: ReformulationLimits {
@@ -142,7 +142,7 @@ fn example_1_shape() {
     let paper = db
         .answer(
             &q,
-            Strategy::RefJucq(queries::example1_paper_cover()),
+            Strategy::RefJucq(queries::example1_paper_cover().unwrap()),
             &opts,
         )
         .unwrap();
@@ -170,7 +170,11 @@ fn dat_agrees_on_lubm() {
     let ds = generate(&LubmConfig::default());
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions::default();
-    for nq in rdfref::datagen::queries::lubm_mix(&ds).into_iter().take(6) {
+    for nq in rdfref::datagen::queries::lubm_mix(&ds)
+        .unwrap()
+        .into_iter()
+        .take(6)
+    {
         let sat = db.answer(&nq.cq, Strategy::Saturation, &opts).unwrap();
         let dat = db.answer(&nq.cq, Strategy::Datalog, &opts).unwrap();
         assert_eq!(sat.rows(), dat.rows(), "{} diverged", nq.name);

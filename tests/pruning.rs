@@ -19,7 +19,7 @@ fn pruned_reformulations_answer_identically() {
         },
         ..AnswerOptions::default()
     };
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).unwrap() {
         if nq.name == "Q09" {
             continue; // 6 atoms: UCQ is slow in debug builds; covered below
         }
@@ -96,6 +96,7 @@ fn minimization_agrees_with_subsumption() {
     let db = Database::new(ds.graph.clone());
     let ctx = RewriteContext::new(db.schema(), db.closure());
     let q = queries::lubm_mix(&ds)
+        .unwrap()
         .into_iter()
         .find(|nq| nq.name == "Q02")
         .unwrap()

@@ -47,7 +47,7 @@ fn check_equivalence(db: &Database, cq: &Cq, label: &str) {
 fn lubm_mix_equivalence() {
     let ds = lubm::generate(&lubm::LubmConfig::default());
     let db = Database::new(ds.graph.clone());
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).unwrap() {
         check_equivalence(&db, &nq.cq, nq.name);
     }
 }
@@ -61,7 +61,7 @@ fn lubm_example1_equivalence_small() {
         graduate_students: 4,
         ..lubm::LubmConfig::default()
     });
-    let q = queries::example1(&ds, 0);
+    let q = queries::example1(&ds, 0).unwrap();
     let db = Database::new(ds.graph.clone());
     // UCQ included: at this tiny schema-independent scale it is still huge,
     // so test SCQ/GCov/covers/Sat/Dat only.
@@ -70,7 +70,7 @@ fn lubm_example1_equivalence_small() {
     for strategy in [
         Strategy::RefScq,
         Strategy::RefGCov,
-        Strategy::RefJucq(queries::example1_paper_cover()),
+        Strategy::RefJucq(queries::example1_paper_cover().unwrap()),
         Strategy::Datalog,
     ] {
         let got = db.answer(&q, strategy.clone(), &opts).unwrap().rows();
@@ -221,7 +221,7 @@ fn parallel_unions_match_sequential() {
         parallel_unions: true,
         ..AnswerOptions::default()
     };
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).unwrap() {
         if nq.name == "Q09" {
             continue; // large UCQ; covered by the others
         }
@@ -238,7 +238,7 @@ fn incomplete_profiles_are_monotone() {
     let ds = lubm::generate(&lubm::LubmConfig::default());
     let db = Database::new(ds.graph.clone());
     let opts = AnswerOptions::default();
-    for nq in queries::lubm_mix(&ds) {
+    for nq in queries::lubm_mix(&ds).unwrap() {
         let counts: Vec<usize> = [
             IncompletenessProfile::none(),
             IncompletenessProfile::subclass_only(),
