@@ -19,22 +19,19 @@ fn bench_cache(c: &mut Criterion) {
             .take(4)
         {
             let db = Database::new(ds.graph.clone());
-            let cold = AnswerOptions {
-                use_cache: false,
-                ..AnswerOptions::default()
-            };
+            let cold = AnswerOptions::new().with_use_cache(false);
             group.bench_with_input(
                 BenchmarkId::new(format!("cold-{}", strategy.name()), nq.name),
                 &nq.cq,
-                |b, q| b.iter(|| db.answer(q, strategy.clone(), &cold).unwrap().len()),
+                |b, q| b.iter(|| db.run_query(q, &strategy.clone(), &cold).unwrap().len()),
             );
             let warm = AnswerOptions::default();
             // Populate the cache once, then measure warm answering.
-            db.answer(&nq.cq, strategy.clone(), &warm).unwrap();
+            db.run_query(&nq.cq, &strategy.clone(), &warm).unwrap();
             group.bench_with_input(
                 BenchmarkId::new(format!("warm-{}", strategy.name()), nq.name),
                 &nq.cq,
-                |b, q| b.iter(|| db.answer(q, strategy.clone(), &warm).unwrap().len()),
+                |b, q| b.iter(|| db.run_query(q, &strategy.clone(), &warm).unwrap().len()),
             );
         }
     }

@@ -16,28 +16,31 @@ fn bench_example1(c: &mut Criterion) {
     let q = queries::example1(&ds, 0).expect("workload is well-formed");
     let db = Database::new(ds.graph.clone());
     db.prepare_saturation();
-    let opts = AnswerOptions {
-        limits: ReformulationLimits {
-            max_cqs: 50_000,
-            ..Default::default()
-        },
-        ..AnswerOptions::default()
-    };
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 50_000,
+        ..Default::default()
+    });
 
     let mut group = c.benchmark_group("example1");
     group.sample_size(10);
 
     group.bench_function("sat_eval", |b| {
-        b.iter(|| black_box(db.answer(&q, Strategy::Saturation, &opts).unwrap().len()))
+        b.iter(|| {
+            black_box(
+                db.run_query(&q, &Strategy::Saturation, &opts)
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
     group.bench_function("scq", |b| {
-        b.iter(|| black_box(db.answer(&q, Strategy::RefScq, &opts).unwrap().len()))
+        b.iter(|| black_box(db.run_query(&q, &Strategy::RefScq, &opts).unwrap().len()))
     });
     group.bench_function("jucq_paper_cover", |b| {
         let cover = queries::example1_paper_cover().expect("workload is well-formed");
         b.iter(|| {
             black_box(
-                db.answer(&q, Strategy::RefJucq(cover.clone()), &opts)
+                db.run_query(&q, &Strategy::RefJucq(cover.clone()), &opts)
                     .unwrap()
                     .len(),
             )
@@ -56,7 +59,7 @@ fn bench_example1(c: &mut Criterion) {
         b.iter(|| black_box(gcov(&q, &ctx, &model, &gopts).unwrap().cover))
     });
     group.bench_function("gcov_end_to_end", |b| {
-        b.iter(|| black_box(db.answer(&q, Strategy::RefGCov, &opts).unwrap().len()))
+        b.iter(|| black_box(db.run_query(&q, &Strategy::RefGCov, &opts).unwrap().len()))
     });
     group.finish();
 }

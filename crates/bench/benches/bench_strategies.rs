@@ -13,13 +13,10 @@ fn bench_strategies(c: &mut Criterion) {
     let ds = generate(&LubmConfig::scale(2));
     let db = Database::new(ds.graph.clone());
     db.prepare_saturation();
-    let opts = AnswerOptions {
-        limits: ReformulationLimits {
-            max_cqs: 50_000,
-            ..Default::default()
-        },
-        ..AnswerOptions::default()
-    };
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 50_000,
+        ..Default::default()
+    });
     let mix = queries::lubm_mix(&ds).expect("workload is well-formed");
 
     let mut group = c.benchmark_group("strategies");
@@ -36,7 +33,9 @@ fn bench_strategies(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(strategy.name().replace('/', "_"), name),
                 q,
-                |b, q| b.iter(|| black_box(db.answer(q, strategy.clone(), &opts).unwrap().len())),
+                |b, q| {
+                    b.iter(|| black_box(db.run_query(q, &strategy.clone(), &opts).unwrap().len()))
+                },
             );
         }
     }

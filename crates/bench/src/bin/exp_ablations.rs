@@ -140,16 +140,13 @@ fn main() {
             model.params = params;
             let result = gcov(&q, &ctx, &model, &gcov_opts).expect("gcov runs");
             let actual = db
-                .answer(
+                .run_query(
                     &q,
-                    Strategy::RefJucq(result.cover.clone()),
-                    &AnswerOptions {
-                        limits: ReformulationLimits {
-                            max_cqs: 50_000,
-                            ..Default::default()
-                        },
-                        ..AnswerOptions::default()
-                    },
+                    &Strategy::RefJucq(result.cover.clone()),
+                    &AnswerOptions::new().with_limits(ReformulationLimits {
+                        max_cqs: 50_000,
+                        ..Default::default()
+                    }),
                 )
                 .expect("cover evaluates");
             table.row(&[

@@ -28,10 +28,7 @@ fn main() {
     eprintln!("generating LUBM-like dataset (scale {scale})…");
     let ds = generate(&LubmConfig::scale(scale));
     let db = Database::new(ds.graph.clone());
-    let cold_opts = AnswerOptions {
-        use_cache: false,
-        ..AnswerOptions::default()
-    };
+    let cold_opts = AnswerOptions::new().with_use_cache(false);
     let warm_opts = AnswerOptions::default();
 
     let strategies = [Strategy::RefUcq, Strategy::RefScq, Strategy::RefGCov];
@@ -57,7 +54,7 @@ fn main() {
             let (_, cold_total) = time(|| {
                 for _ in 0..reps {
                     answers = db
-                        .answer(&nq.cq, strategy.clone(), &cold_opts)
+                        .run_query(&nq.cq, &strategy.clone(), &cold_opts)
                         .map(|a| a.len())
                         .unwrap_or(0);
                 }
@@ -65,7 +62,7 @@ fn main() {
             // Warm the cache outside the measurement, as a server would be
             // after its first time seeing the query.
             let warm_answers = db
-                .answer(&nq.cq, strategy.clone(), &warm_opts)
+                .run_query(&nq.cq, &strategy.clone(), &warm_opts)
                 .map(|a| a.len())
                 .unwrap_or(0);
             assert_eq!(
@@ -77,7 +74,7 @@ fn main() {
             );
             let (_, warm_total) = time(|| {
                 for _ in 0..reps {
-                    let a = db.answer(&nq.cq, strategy.clone(), &warm_opts).unwrap();
+                    let a = db.run_query(&nq.cq, &strategy.clone(), &warm_opts).unwrap();
                     assert!(a.explain.cache.is_some_and(|c| c.hit), "expected a hit");
                 }
             });

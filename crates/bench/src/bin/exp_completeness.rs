@@ -6,6 +6,7 @@
 //! answers, and the constraint kinds whose omission caused the misses.
 
 use rdfref_bench::report::Table;
+use rdfref_bench::MetricsSink;
 use rdfref_core::answer::{AnswerOptions, Database, Strategy};
 use rdfref_core::incomplete::IncompletenessProfile;
 use rdfref_datagen::lubm::{generate, LubmConfig};
@@ -17,7 +18,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
     let ds = generate(&LubmConfig::scale(scale));
-    let db = Database::new(ds.graph.clone());
+    let sink = MetricsSink::from_args();
+    let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
     let opts = AnswerOptions::default();
 
     let profiles: Vec<(&str, IncompletenessProfile)> = vec![
@@ -45,14 +47,14 @@ fn main() {
     let mut total_complete = 0usize;
     for nq in queries::lubm_mix(&ds).expect("workload is well-formed") {
         let complete = db
-            .answer(&nq.cq, Strategy::Saturation, &opts)
+            .run_query(&nq.cq, &Strategy::Saturation, &opts)
             .expect(nq.name)
             .len();
         total_complete += complete;
         let mut cells = vec![nq.name.to_string(), complete.to_string()];
         for (i, (_, profile)) in profiles.iter().enumerate().skip(1) {
             let n = db
-                .answer(&nq.cq, Strategy::RefIncomplete(*profile), &opts)
+                .run_query(&nq.cq, &Strategy::RefIncomplete(*profile), &opts)
                 .expect(nq.name)
                 .len();
             totals[i] += n;
@@ -74,4 +76,13 @@ fn main() {
     }
     table.row(&footer);
     table.emit("exp_completeness");
+    match sink.flush() {
+        Ok(Some((json, prom))) => println!(
+            "metrics: JSON → {}, Prometheus → {}",
+            json.display(),
+            prom.display()
+        ),
+        Ok(None) => {}
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

@@ -22,10 +22,7 @@ fn main() {
         max_cqs: 100_000,
         ..Default::default()
     };
-    let opts = AnswerOptions {
-        limits,
-        ..AnswerOptions::default()
-    };
+    let opts = AnswerOptions::new().with_limits(limits);
 
     let mut table = Table::new(
         "E4 — reformulation size & runtime vs ontology shape \

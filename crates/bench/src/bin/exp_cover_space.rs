@@ -45,10 +45,7 @@ fn main() {
         max_cqs: 50_000,
         ..Default::default()
     };
-    let opts = AnswerOptions {
-        limits,
-        ..AnswerOptions::default()
-    };
+    let opts = AnswerOptions::new().with_limits(limits);
     let ctx = RewriteContext::new(db.schema(), db.closure());
     let model = CostModel::new(db.stats());
 
@@ -94,7 +91,7 @@ fn main() {
             match est {
                 Some(est) => {
                     let ans = db
-                        .answer(&q, Strategy::RefJucq(cover.clone()), &opts)
+                        .run_query(&q, &Strategy::RefJucq(cover.clone()), &opts)
                         .expect("explored cover evaluates");
                     pairs.push((est.cost, ans.explain.wall.as_secs_f64()));
                     table.row(&[

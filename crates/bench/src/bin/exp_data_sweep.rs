@@ -19,13 +19,10 @@ fn main() {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let opts = AnswerOptions {
-        limits: ReformulationLimits {
-            max_cqs: 50_000,
-            ..Default::default()
-        },
-        ..AnswerOptions::default()
-    };
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 50_000,
+        ..Default::default()
+    });
 
     let mut table = Table::new(
         "E5 — runtimes vs data scale (queries Q02 membership / Q09 triangle / Example 1)",

@@ -13,7 +13,7 @@
 //! paper's 430×).
 
 use rdfref_bench::report::Table;
-use rdfref_bench::{fmt_duration, time};
+use rdfref_bench::{fmt_duration, time, MetricsSink};
 use rdfref_core::answer::{AnswerOptions, Database, Strategy};
 use rdfref_core::gcov::{gcov, GcovOptions};
 use rdfref_core::reformulate::{ucq_size_product, ReformulationLimits, RewriteContext};
@@ -22,6 +22,7 @@ use rdfref_datagen::queries;
 use rdfref_storage::CostModel;
 
 fn main() {
+    let sink = MetricsSink::from_args();
     let scales: Vec<usize> = std::env::var("EXP_SCALES")
         .unwrap_or_else(|_| "1,4,8".into())
         .split(',')
@@ -65,30 +66,29 @@ fn main() {
             ..base
         });
         let q = queries::example1(&ds, 0).expect("workload is well-formed");
-        let db = Database::new(ds.graph.clone());
-        let opts = AnswerOptions {
-            limits: limit,
-            ..AnswerOptions::default()
-        };
+        let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
+        let opts = AnswerOptions::new().with_limits(limit);
         let ctx = RewriteContext::new(db.schema(), db.closure());
 
         // The would-be UCQ size (the paper's 318,096 analogue).
         let ucq_size = ucq_size_product(&q, &ctx);
 
         // (i) UCQ attempt.
-        let ucq_cell = match db.answer(&q, Strategy::RefUcq, &opts) {
+        let ucq_cell = match db.run_query(&q, &Strategy::RefUcq, &opts) {
             Ok(a) => fmt_duration(a.explain.wall),
             Err(_) => "FAILS".to_string(),
         };
 
         // (ii) SCQ.
-        let scq = db.answer(&q, Strategy::RefScq, &opts).expect("SCQ runs");
+        let scq = db
+            .run_query(&q, &Strategy::RefScq, &opts)
+            .expect("SCQ runs");
 
         // (iii) the paper's cover.
         let paper = db
-            .answer(
+            .run_query(
                 &q,
-                Strategy::RefJucq(
+                &Strategy::RefJucq(
                     queries::example1_paper_cover().expect("workload is well-formed"),
                 ),
                 &opts,
@@ -111,7 +111,7 @@ fn main() {
             .expect("GCov runs")
         });
         let gcv = db
-            .answer(&q, Strategy::RefJucq(search.cover.clone()), &opts)
+            .run_query(&q, &Strategy::RefJucq(search.cover.clone()), &opts)
             .expect("GCov cover runs");
         assert_eq!(gcv.rows(), scq.rows());
 
@@ -131,4 +131,13 @@ fn main() {
         ]);
     }
     table.emit("exp_example1");
+    match sink.flush() {
+        Ok(Some((json, prom))) => println!(
+            "metrics: JSON → {}, Prometheus → {}",
+            json.display(),
+            prom.display()
+        ),
+        Ok(None) => {}
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

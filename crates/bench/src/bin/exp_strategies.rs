@@ -6,7 +6,7 @@
 //! wall-clock. Scale via `EXP_SCALE` (default 3).
 
 use rdfref_bench::report::Table;
-use rdfref_bench::{fmt_duration, run_strategy};
+use rdfref_bench::{fmt_duration, run_strategy, MetricsSink};
 use rdfref_core::answer::{AnswerOptions, Database, Strategy};
 use rdfref_core::incomplete::IncompletenessProfile;
 use rdfref_core::reformulate::ReformulationLimits;
@@ -20,14 +20,12 @@ fn main() {
         .unwrap_or(3);
     eprintln!("generating LUBM-like dataset (scale {scale})…");
     let ds = generate(&LubmConfig::scale(scale));
-    let db = Database::new(ds.graph.clone());
-    let opts = AnswerOptions {
-        limits: ReformulationLimits {
-            max_cqs: 50_000,
-            ..Default::default()
-        },
-        ..AnswerOptions::default()
-    };
+    let sink = MetricsSink::from_args();
+    let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 50_000,
+        ..Default::default()
+    });
     // Warm the saturation once so Sat timings exclude the build (reported
     // separately, as the paper discusses it as a precomputation).
     let sat_added = db.prepare_saturation();
@@ -105,4 +103,13 @@ fn main() {
         c.invalidations,
         db.plan_cache().len()
     );
+    match sink.flush() {
+        Ok(Some((json, prom))) => println!(
+            "metrics: JSON → {}, Prometheus → {}",
+            json.display(),
+            prom.display()
+        ),
+        Ok(None) => {}
+        Err(e) => eprintln!("metrics: write failed: {e}"),
+    }
 }

@@ -21,7 +21,73 @@ pub mod report;
 
 use rdfref_core::answer::{AnswerOptions, Database, Strategy};
 use rdfref_core::CoreError;
+use rdfref_obs::{MetricsRegistry, Obs, Recorder};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The metrics sink shared by the `exp_*` binaries: `--metrics-out <path>`
+/// selects a JSON destination; a Prometheus text rendering goes to the
+/// sibling `<path>.prom` file. When the flag is absent the registry stays
+/// unused and answering runs with observability disabled (the no-op path).
+pub struct MetricsSink {
+    /// Aggregates recorded by every instrumented call.
+    pub registry: Arc<MetricsRegistry>,
+    /// Destination from `--metrics-out`, if given.
+    pub out: Option<PathBuf>,
+}
+
+impl MetricsSink {
+    /// Build from the process arguments (scans for `--metrics-out <path>`).
+    pub fn from_args() -> MetricsSink {
+        let mut out = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--metrics-out" {
+                out = args.next().map(PathBuf::from);
+            } else if let Some(path) = arg.strip_prefix("--metrics-out=") {
+                out = Some(PathBuf::from(path));
+            }
+        }
+        MetricsSink {
+            registry: Arc::new(MetricsRegistry::new()),
+            out,
+        }
+    }
+
+    /// The observability handle to install on the database: collecting when
+    /// `--metrics-out` was given, disabled (one never-taken branch) otherwise.
+    pub fn obs(&self) -> Obs {
+        match self.out {
+            Some(_) => {
+                let recorder: Arc<dyn Recorder> = Arc::clone(&self.registry) as _;
+                Obs::collecting(recorder)
+            }
+            None => Obs::disabled(),
+        }
+    }
+
+    /// Write the JSON and Prometheus renderings if a destination was chosen.
+    /// Returns the `(json, prom)` paths written.
+    pub fn flush(&self) -> std::io::Result<Option<(PathBuf, PathBuf)>> {
+        let Some(json_path) = &self.out else {
+            return Ok(None);
+        };
+        let prom_path = write_metrics(&self.registry, json_path)?;
+        Ok(Some((json_path.clone(), prom_path)))
+    }
+}
+
+/// Write `registry` as JSON to `path` and as Prometheus text exposition to
+/// the sibling `<path>.prom`; returns the Prometheus path.
+pub fn write_metrics(registry: &MetricsRegistry, path: &Path) -> std::io::Result<PathBuf> {
+    std::fs::write(path, registry.to_json())?;
+    let mut prom_path = path.as_os_str().to_owned();
+    prom_path.push(".prom");
+    let prom_path = PathBuf::from(prom_path);
+    std::fs::write(&prom_path, registry.to_prometheus_text())?;
+    Ok(prom_path)
+}
 
 /// Time a closure.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -55,7 +121,7 @@ pub fn run_strategy(
 ) -> Outcome {
     let name = strategy.name().to_string();
     let start = Instant::now();
-    match db.answer(cq, strategy, opts) {
+    match db.run_query(cq, &strategy, opts) {
         Ok(answer) => Outcome {
             strategy: name,
             answers: Ok(answer.len()),
@@ -102,17 +168,63 @@ mod tests {
         let ds = generate(&LubmConfig::default());
         let q = rdfref_datagen::queries::example1(&ds, 0).expect("workload is well-formed");
         let db = Database::new(ds.graph.clone());
-        let opts = AnswerOptions {
-            limits: rdfref_core::ReformulationLimits {
-                max_cqs: 10,
-                ..Default::default()
-            },
-            ..AnswerOptions::default()
-        };
+        let opts = AnswerOptions::new().with_limits(rdfref_core::ReformulationLimits {
+            max_cqs: 10,
+            ..Default::default()
+        });
         let outcome = run_strategy(&db, &q, Strategy::RefUcq, &opts);
         assert!(outcome.answers.is_err());
         let ok = run_strategy(&db, &q, Strategy::RefScq, &opts);
         assert!(ok.answers.is_err() || ok.answers.is_ok()); // SCQ may hit the tiny limit too
+    }
+
+    #[test]
+    fn metrics_out_round_trips_through_both_exporters() {
+        let ds = generate(&LubmConfig::default());
+        let nq = rdfref_datagen::queries::lubm_mix(&ds)
+            .expect("workload is well-formed")
+            .into_iter()
+            .next()
+            .expect("mix is non-empty");
+        let sink = MetricsSink {
+            registry: Arc::new(MetricsRegistry::new()),
+            out: Some(std::env::temp_dir().join("rdfref_bench_metrics_roundtrip.json")),
+        };
+        let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
+        db.run_query(&nq.cq, &Strategy::RefGCov, &AnswerOptions::default())
+            .expect("GCov answers");
+
+        let (json_path, prom_path) = sink.flush().expect("write").expect("destination set");
+        let json_text = std::fs::read_to_string(&json_path).expect("read json");
+        let value = rdfref_obs::json::parse(&json_text).expect("emitted JSON parses");
+        let calls = value
+            .get("counters")
+            .and_then(|c| c.get("answer.calls"))
+            .and_then(|v| v.as_f64());
+        assert_eq!(calls, Some(1.0));
+        assert!(value.get("spans").and_then(|s| s.get("answer")).is_some());
+
+        let prom_text = std::fs::read_to_string(&prom_path).expect("read prom");
+        let samples =
+            rdfref_obs::export::parse_prometheus_text(&prom_text).expect("emitted text parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "rdfref_answer_calls_total" && s.value == 1.0));
+        assert!(samples.iter().any(|s| s.name.contains("span_seconds")
+            && s.labels.iter().any(|(k, v)| k == "span" && v == "answer")));
+
+        let _ = std::fs::remove_file(&json_path);
+        let _ = std::fs::remove_file(&prom_path);
+    }
+
+    #[test]
+    fn metrics_sink_is_disabled_without_the_flag() {
+        let sink = MetricsSink {
+            registry: Arc::new(MetricsRegistry::new()),
+            out: None,
+        };
+        assert!(!sink.obs().enabled());
+        assert!(sink.flush().expect("no-op flush").is_none());
     }
 
     #[test]

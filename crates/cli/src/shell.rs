@@ -4,6 +4,7 @@ use rdfref_core::answer::{AnswerOptions, Database, Strategy};
 use rdfref_core::gcov::{gcov, GcovOptions};
 use rdfref_core::incomplete::IncompletenessProfile;
 use rdfref_core::reformulate::{ReformulationLimits, RewriteContext};
+use rdfref_core::MetricsRegistry;
 use rdfref_datagen::{biblio, geo, insee, lubm};
 use rdfref_model::parser::{parse_ntriples_into, parse_turtle_into};
 use rdfref_model::{Graph, Schema};
@@ -64,6 +65,9 @@ rdfref demo shell — the attendee experience of §5 of the paper
   prune <n>|off                                          subsumption-prune unions up to n CQs
   budget <n>                                             abort above n intermediate rows
   run                                                    step 2/3: answer + full explanation
+  explain analyze [SPARQL SELECT …]                      instrumented run: span tree, operator
+                                                         timings, cache status (current query
+                                                         if none given)
   show ucq|scq|gcov                                      print the reformulation itself
   plan                                                   operator-level trace of the last run
   compare                                                step 2: all systems side by side
@@ -131,6 +135,7 @@ impl Shell {
             "retract" => self.cmd_retract(rest),
             "constraint" => self.cmd_constraint(rest),
             "save" => self.cmd_save(rest),
+            _ if cmd.eq_ignore_ascii_case("explain") => self.cmd_explain(rest),
             other => Err(format!("unknown command '{other}' — try 'help'")),
         };
         match result {
@@ -151,11 +156,9 @@ impl Shell {
     }
 
     fn opts(&self) -> AnswerOptions {
-        AnswerOptions {
-            limits: self.limits,
-            row_budget: self.row_budget,
-            ..AnswerOptions::default()
-        }
+        AnswerOptions::new()
+            .with_limits(self.limits)
+            .with_row_budget(self.row_budget)
     }
 
     fn parse_current_query(&mut self) -> Result<Cq, String> {
@@ -370,7 +373,12 @@ impl Shell {
         let strategy = self.strategy.clone();
         let opts = self.opts();
         let db = self.db();
-        let answer = db.answer(&cq, strategy, &opts).map_err(|e| e.to_string())?;
+        let answer = db
+            .query(&cq)
+            .strategy(strategy)
+            .options(opts)
+            .run()
+            .map_err(|e| e.to_string())?;
         let dict = db.graph().dictionary();
         let mut out = String::new();
         let shown = answer.rows().len().min(20);
@@ -382,6 +390,109 @@ impl Shell {
             let _ = writeln!(out, "  … {} more", answer.len() - shown);
         }
         let _ = write!(out, "{}", answer.explain);
+        self.last_explain = Some(answer.explain.clone());
+        Ok(Response::text(out.trim_end().to_string()))
+    }
+
+    /// `EXPLAIN ANALYZE [query]` — run the query with a per-run metrics
+    /// registry and print the span tree, operator timings and cache status.
+    fn cmd_explain(&mut self, rest: &str) -> Result<Response, String> {
+        let rest = rest.trim();
+        let (head, tail) = match rest.split_once(char::is_whitespace) {
+            Some((h, t)) => (h, t.trim()),
+            None => (rest, ""),
+        };
+        if !head.eq_ignore_ascii_case("analyze") {
+            return Err("usage: explain analyze [SELECT … WHERE { … }]".into());
+        }
+        if !tail.is_empty() {
+            self.query_text = Some(tail.to_string());
+        }
+        let cq = self.parse_current_query()?;
+        let strategy = self.strategy.clone();
+        let opts = self.opts();
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        let db = self.db();
+        let answer = db
+            .query(&cq)
+            .strategy(strategy)
+            .options(opts)
+            .collect_metrics(&registry)
+            .run()
+            .map_err(|e| e.to_string())?;
+        let snap = registry.snapshot();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "EXPLAIN ANALYZE — {} ({} answers, {:?})",
+            answer.explain.strategy, answer.explain.answers, answer.explain.wall
+        );
+        match &answer.explain.cache {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "plan cache : {} ({} entries resident)",
+                    if c.hit { "HIT" } else { "MISS" },
+                    c.entries
+                );
+            }
+            None => {
+                let _ = writeln!(out, "plan cache : not consulted");
+            }
+        }
+        let _ = writeln!(out, "spans:");
+        for (path, stats) in &snap.spans {
+            // Indent by how many dotted ancestors of this path were also
+            // recorded, so `answer.plan.gcov` nests under `answer.plan`.
+            let ancestors = path
+                .char_indices()
+                .filter(|&(_, c)| c == '.')
+                .filter(|&(i, _)| snap.spans.contains_key(&path[..i]))
+                .count();
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<28} ×{:<4} total {:?} (max {:?})",
+                "",
+                path,
+                stats.count,
+                stats.total(),
+                std::time::Duration::from_nanos(stats.max_ns),
+                indent = ancestors * 2,
+            );
+        }
+        if !answer.explain.metrics.steps.is_empty() {
+            let _ = writeln!(out, "operators:");
+            for step in &answer.explain.metrics.steps {
+                let _ = writeln!(
+                    out,
+                    "  {:<22} → {:>9} rows  {:?}",
+                    step.label, step.rows, step.wall
+                );
+            }
+        }
+        let interesting = [
+            "answer.calls",
+            "plan_cache.hit",
+            "plan_cache.miss",
+            "gcov.covers_explored",
+            "gcov.covers_infeasible",
+            "op.scan.rows",
+            "op.join.rows",
+            "op.bind_join.rows",
+            "op.union.rows",
+            "op.fragment.rows",
+            "saturate.rounds",
+            "saturate.derived",
+            "datalog.rounds",
+            "datalog.facts_derived",
+        ];
+        let _ = writeln!(out, "counters:");
+        for name in interesting {
+            let v = snap.counter(name);
+            if v > 0 {
+                let _ = writeln!(out, "  {name:<24} {v}");
+            }
+        }
         self.last_explain = Some(answer.explain.clone());
         Ok(Response::text(out.trim_end().to_string()))
     }
@@ -478,7 +589,7 @@ impl Shell {
             Strategy::Datalog,
         ] {
             let name = strategy.name();
-            match db.answer(&cq, strategy, &opts) {
+            match db.query(&cq).strategy(strategy).options(opts.clone()).run() {
                 Ok(a) => {
                     if complete.is_none() {
                         complete = Some(a.len());
@@ -808,6 +919,41 @@ mod tests {
         let plan = run(&mut s, "plan");
         assert!(plan.contains("operator trace"), "{plan}");
         assert!(plan.contains("rows"), "{plan}");
+    }
+
+    #[test]
+    fn explain_analyze_prints_span_tree_for_every_strategy() {
+        let mut s = Shell::new();
+        run(&mut s, "load lubm 1");
+        run(
+            &mut s,
+            "query SELECT ?x WHERE { ?x a ub:Person . ?x ub:memberOf ?d }",
+        );
+        for cmd in [
+            "strategy sat",
+            "strategy ucq",
+            "strategy scq",
+            "strategy gcov",
+            "strategy dat",
+            "strategy incomplete hierarchies",
+            "strategy cover {1,2}",
+        ] {
+            run(&mut s, cmd);
+            let out = run(&mut s, "EXPLAIN ANALYZE");
+            assert!(out.contains("EXPLAIN ANALYZE —"), "{cmd}: {out}");
+            assert!(out.contains("spans:"), "{cmd}: {out}");
+            assert!(out.contains("answer"), "{cmd}: {out}");
+            assert!(out.contains("counters:"), "{cmd}: {out}");
+        }
+        // Ref strategies report the cache; an inline query is accepted too.
+        run(&mut s, "strategy gcov");
+        let out = run(
+            &mut s,
+            "explain analyze SELECT ?x WHERE { ?x a ub:Student }",
+        );
+        assert!(out.contains("plan cache : "), "{out}");
+        assert!(out.contains("answer.plan"), "{out}");
+        assert!(run(&mut s, "explain nonsense").contains("usage"));
     }
 
     #[test]

@@ -21,16 +21,17 @@
 use crate::cache::{CacheKey, CachedPlan, PlanCache, StrategyTag};
 use crate::error::{CoreError, Result};
 use crate::explain::{CacheReport, Explain};
-use crate::gcov::{gcov, GcovOptions, GcovResult};
+use crate::gcov::{gcov_with_obs, GcovOptions, GcovResult};
 use crate::incomplete::IncompletenessProfile;
 use crate::reformulate::rules::RewriteContext;
 use crate::reformulate::ucq::{reformulate_ucq, ReformulationLimits};
 use crate::reformulate::{reformulate_jucq, reformulate_scq};
 use rdfref_model::{Graph, Schema, SchemaClosure, TermId};
+use rdfref_obs::Obs;
 use rdfref_query::ast::{Cq, Fragment, Jucq, PTerm, Substitution, Ucq};
 use rdfref_query::canonical::{alpha_canonicalize, AlphaCanonical};
 use rdfref_query::{Cover, Var};
-use rdfref_reasoning::saturate_in_place;
+use rdfref_reasoning::saturate_in_place_obs;
 use rdfref_storage::evaluator::{head_names, Evaluator};
 use rdfref_storage::{ExecMetrics, Relation, Stats, Store};
 use std::sync::{Arc, OnceLock};
@@ -75,7 +76,12 @@ impl Strategy {
 }
 
 /// Options shared by all strategies.
+///
+/// Non-exhaustive: construct via [`AnswerOptions::new`] (or `default()`)
+/// and the `with_*` builder methods — or, better, use the request builder
+/// ([`crate::engine::QueryRequest`]) which wraps these options entirely.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AnswerOptions {
     /// Reformulation size limits.
     pub limits: ReformulationLimits,
@@ -88,6 +94,9 @@ pub struct AnswerOptions {
     /// Reuse plans through the database's [`PlanCache`] (Ref strategies).
     /// On by default; disable to force fresh planning on every call.
     pub use_cache: bool,
+    /// Per-request observability sink; when enabled it overrides the
+    /// database-wide one for this request.
+    pub obs: Obs,
 }
 
 impl Default for AnswerOptions {
@@ -98,30 +107,100 @@ impl Default for AnswerOptions {
             parallel_unions: false,
             gcov: GcovOptions::default(),
             use_cache: true,
+            obs: Obs::disabled(),
         }
     }
 }
 
+impl AnswerOptions {
+    /// The default options (cache on, no budget, sequential unions).
+    pub fn new() -> Self {
+        AnswerOptions::default()
+    }
+
+    /// Set the reformulation size limits.
+    pub fn with_limits(mut self, limits: ReformulationLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Set (or clear) the intermediate-result row budget.
+    pub fn with_row_budget(mut self, budget: Option<usize>) -> Self {
+        self.row_budget = budget;
+        self
+    }
+
+    /// Enable or disable parallel union evaluation.
+    pub fn with_parallel_unions(mut self, on: bool) -> Self {
+        self.parallel_unions = on;
+        self
+    }
+
+    /// Set the GCov search options.
+    pub fn with_gcov(mut self, gcov: GcovOptions) -> Self {
+        self.gcov = gcov;
+        self
+    }
+
+    /// Enable or disable the plan cache for this request.
+    pub fn with_use_cache(mut self, on: bool) -> Self {
+        self.use_cache = on;
+        self
+    }
+
+    /// Install a per-request observability sink.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+}
+
 /// The answer to a query plus its explanation.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct QueryAnswer {
     relation: Relation,
+    /// Sorted rows, materialized once on the first [`QueryAnswer::rows`]
+    /// call. Re-sorting on every call used to dominate comparison-heavy
+    /// harnesses (each call re-materialized and re-sorted the relation).
+    sorted: OnceLock<Vec<Vec<TermId>>>,
     /// How the answer was computed.
     pub explain: Explain,
+}
+
+impl Clone for QueryAnswer {
+    fn clone(&self) -> QueryAnswer {
+        QueryAnswer {
+            relation: self.relation.clone(),
+            // The clone recomputes its sorted view lazily; cloning the
+            // `OnceLock` contents would be correct too, but a fresh lock
+            // keeps `Clone` independent of whether `rows()` ran.
+            sorted: OnceLock::new(),
+            explain: self.explain.clone(),
+        }
+    }
 }
 
 impl QueryAnswer {
     /// Assemble an answer from its parts (used by
     /// [`crate::maintained::MaintainedDatabase`]).
     pub fn from_parts(relation: Relation, explain: Explain) -> QueryAnswer {
-        QueryAnswer { relation, explain }
+        QueryAnswer {
+            relation,
+            sorted: OnceLock::new(),
+            explain,
+        }
     }
 
     /// The answer tuples, sorted (canonical for cross-strategy comparison).
-    pub fn rows(&self) -> Vec<Vec<TermId>> {
-        let mut rows = self.relation.to_rows();
-        rows.sort_unstable();
-        rows
+    ///
+    /// Sorted lazily on the first call and cached; repeated calls return
+    /// the same slice without re-materializing or re-sorting.
+    pub fn rows(&self) -> &[Vec<TermId>] {
+        self.sorted.get_or_init(|| {
+            let mut rows = self.relation.to_rows();
+            rows.sort_unstable();
+            rows
+        })
     }
 
     /// The raw relation.
@@ -132,7 +211,7 @@ impl QueryAnswer {
     /// The answers decoded to terms through a dictionary (row-major, sorted).
     pub fn decoded(&self, dict: &rdfref_model::Dictionary) -> Vec<Vec<rdfref_model::Term>> {
         self.rows()
-            .into_iter()
+            .iter()
             .map(|row| row.iter().map(|id| dict.term(*id).clone()).collect())
             .collect()
     }
@@ -167,6 +246,9 @@ pub struct Database {
     saturated: OnceLock<SaturatedPart>,
     /// Shared reformulation/plan cache (see [`crate::cache`]).
     cache: Arc<PlanCache>,
+    /// Database-wide observability sink (disabled by default); a request
+    /// can override it via [`AnswerOptions::with_obs`].
+    obs: Obs,
 }
 
 impl Database {
@@ -192,7 +274,24 @@ impl Database {
             stats,
             saturated: OnceLock::new(),
             cache,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Install a database-wide observability sink (builder style).
+    pub fn with_obs(mut self, obs: Obs) -> Database {
+        self.obs = obs;
+        self
+    }
+
+    /// Install a database-wide observability sink.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The database-wide observability sink.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The plan cache (shared handle).
@@ -225,10 +324,11 @@ impl Database {
         &self.stats
     }
 
-    fn saturated(&self) -> &SaturatedPart {
+    fn saturated_with(&self, obs: &Obs) -> &SaturatedPart {
         self.saturated.get_or_init(|| {
+            let _span = obs.span("answer.saturate_init");
             let mut g = self.graph.clone();
-            let added = saturate_in_place(&mut g);
+            let added = saturate_in_place_obs(&mut g, obs);
             let store = Store::from_graph(&g);
             let stats = Stats::compute(&store);
             SaturatedPart {
@@ -242,11 +342,33 @@ impl Database {
     /// Force saturation now (otherwise lazy on the first `Saturation`
     /// answer) and return the number of added triples.
     pub fn prepare_saturation(&self) -> usize {
-        self.saturated().added
+        self.saturated_with(&self.obs.clone()).added
     }
 
     /// Answer `cq` with `strategy`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Database::query(...).run()` or `run_query`"
+    )]
     pub fn answer(&self, cq: &Cq, strategy: Strategy, opts: &AnswerOptions) -> Result<QueryAnswer> {
+        self.run_query(cq, &strategy, opts)
+    }
+
+    /// Answer `cq` with `strategy` — the non-deprecated core entry point.
+    ///
+    /// Prefer the request builder ([`Database::query`]) in application
+    /// code; this method is the generic [`crate::engine::QueryEngine`]
+    /// surface.
+    pub fn run_query(
+        &self,
+        cq: &Cq,
+        strategy: &Strategy,
+        opts: &AnswerOptions,
+    ) -> Result<QueryAnswer> {
+        // Per-request sink wins over the database-wide one.
+        let obs = opts.obs.or(&self.obs).clone();
+        let _answer_span = obs.span("answer");
+        obs.add("answer.calls", 1);
         let start = Instant::now();
         let out = head_names(cq);
         let mut explain = Explain {
@@ -255,17 +377,17 @@ impl Database {
         };
         let mut metrics = ExecMetrics::default();
 
-        let relation = match &strategy {
+        let relation = match strategy {
             Strategy::Saturation => {
-                let sat = self.saturated();
+                let sat = self.saturated_with(&obs);
                 explain.saturation_added = sat.added;
-                let mut ev = Evaluator::new(&sat.store, &sat.stats);
+                let mut ev = Evaluator::new(&sat.store, &sat.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
                 ev.eval_cq(cq, &out, &mut metrics)?
             }
             Strategy::RefUcq => {
-                let plan = self.ref_plan(cq, PlanRequest::Ucq, opts, &mut explain)?;
+                let plan = self.ref_plan(cq, PlanRequest::Ucq, opts, &mut explain, &obs)?;
                 let CachedPlan::Ucq(ucq) = plan else {
                     debug_assert!(false, "UCQ request yields a UCQ plan");
                     return Err(CoreError::PlanShapeMismatch { expected: "UCQ" });
@@ -274,31 +396,31 @@ impl Database {
                 explain.reformulation_atoms = ucq.total_atoms();
                 let model = rdfref_storage::CostModel::new(&self.stats);
                 explain.estimate = Some(model.ucq_estimate(&ucq));
-                let mut ev = Evaluator::new(&self.store, &self.stats);
+                let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
                 ev.eval_ucq(&ucq, &out, &mut metrics)?
             }
             Strategy::RefScq => {
-                let plan = self.ref_plan(cq, PlanRequest::Scq, opts, &mut explain)?;
+                let plan = self.ref_plan(cq, PlanRequest::Scq, opts, &mut explain, &obs)?;
                 let CachedPlan::Jucq(jucq) = plan else {
                     debug_assert!(false, "SCQ request yields a JUCQ plan");
                     return Err(CoreError::PlanShapeMismatch { expected: "JUCQ" });
                 };
                 explain.cover = Some(Cover::singletons(cq.size()));
-                self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
+                self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics, &obs)?
             }
             Strategy::RefJucq(cover) => {
-                let plan = self.ref_plan(cq, PlanRequest::Jucq(cover), opts, &mut explain)?;
+                let plan = self.ref_plan(cq, PlanRequest::Jucq(cover), opts, &mut explain, &obs)?;
                 let CachedPlan::Jucq(jucq) = plan else {
                     debug_assert!(false, "JUCQ request yields a JUCQ plan");
                     return Err(CoreError::PlanShapeMismatch { expected: "JUCQ" });
                 };
                 explain.cover = Some(cover.clone());
-                self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics)?
+                self.eval_jucq_explained(&jucq, opts, &mut explain, &mut metrics, &obs)?
             }
             Strategy::RefGCov => {
-                let plan = self.ref_plan(cq, PlanRequest::Gcov, opts, &mut explain)?;
+                let plan = self.ref_plan(cq, PlanRequest::Gcov, opts, &mut explain, &obs)?;
                 let CachedPlan::Gcov(result) = plan else {
                     debug_assert!(false, "GCov request yields a GCov plan");
                     return Err(CoreError::PlanShapeMismatch { expected: "GCov" });
@@ -313,7 +435,7 @@ impl Database {
                     .iter()
                     .map(|f| f.ucq.total_atoms())
                     .sum();
-                let mut ev = Evaluator::new(&self.store, &self.stats);
+                let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
                 ev.eval_jucq(&result.jucq, &mut metrics)?
@@ -322,19 +444,22 @@ impl Database {
                 let filtered = profile.filter_schema(&self.schema);
                 let closure = filtered.closure();
                 let ctx = RewriteContext::new(&filtered, &closure);
-                let ucq = reformulate_ucq(cq, &ctx, opts.limits)?;
+                let ucq = {
+                    let _span = obs.span("answer.plan.incomplete");
+                    reformulate_ucq(cq, &ctx, opts.limits)?
+                };
                 explain.reformulation_cqs = ucq.len();
                 explain.reformulation_atoms = ucq.total_atoms();
-                let mut ev = Evaluator::new(&self.store, &self.stats);
+                let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
                 ev.eval_ucq(&ucq, &out, &mut metrics)?
             }
             Strategy::Datalog | Strategy::DatalogMagic => {
                 let (rows, engine) = if matches!(strategy, Strategy::DatalogMagic) {
-                    rdfref_datalog::answer_datalog_magic(&self.graph, cq)?
+                    rdfref_datalog::answer_datalog_magic_obs(&self.graph, cq, &obs)?
                 } else {
-                    rdfref_datalog::answer_datalog(&self.graph, cq)?
+                    rdfref_datalog::answer_datalog_obs(&self.graph, cq, &obs)?
                 };
                 explain.datalog_derived = engine.derived_count;
                 let mut rel = Relation::empty(out.clone());
@@ -348,7 +473,11 @@ impl Database {
         explain.metrics = metrics;
         explain.answers = relation.len();
         explain.wall = start.elapsed();
-        Ok(QueryAnswer { relation, explain })
+        Ok(QueryAnswer {
+            relation,
+            sorted: OnceLock::new(),
+            explain,
+        })
     }
 
     /// Produce the Ref plan for `cq`, through the plan cache when enabled.
@@ -364,9 +493,11 @@ impl Database {
         req: PlanRequest<'_>,
         opts: &AnswerOptions,
         explain: &mut Explain,
+        obs: &Obs,
     ) -> Result<CachedPlan> {
+        let _span = obs.span("answer.plan");
         if !opts.use_cache {
-            return self.compute_plan(cq, &req, opts);
+            return self.compute_plan(cq, &req, opts, obs);
         }
         let canon = alpha_canonicalize(cq);
         let tag = match &req {
@@ -379,7 +510,7 @@ impl Database {
                 // A cover we cannot transport (e.g. mismatched with the
                 // query's atom count) bypasses the cache; planning the
                 // original query reports the precise error.
-                None => return self.compute_plan(cq, &req, opts),
+                None => return self.compute_plan(cq, &req, opts, obs),
             },
             PlanRequest::Gcov => {
                 let mut gcov_opts = opts.gcov;
@@ -392,9 +523,11 @@ impl Database {
             tag,
         };
         if let Some(plan) = self.cache.lookup(&key) {
+            obs.add("plan_cache.hit", 1);
             explain.cache = Some(self.cache_report(true));
             return Ok(rename_plan(&plan, &canon.inverse));
         }
+        obs.add("plan_cache.miss", 1);
         let computed = {
             // The SCQ/JUCQ requests must plan the canonical query under the
             // canonical (transported) cover recorded in the key.
@@ -404,7 +537,7 @@ impl Database {
                 }
                 _ => req,
             };
-            self.compute_plan(&canon.query, &canon_req, opts)?
+            self.compute_plan(&canon.query, &canon_req, opts, obs)?
         };
         let stored = self.cache.insert(key, computed);
         explain.cache = Some(self.cache_report(false));
@@ -417,19 +550,28 @@ impl Database {
         cq: &Cq,
         req: &PlanRequest<'_>,
         opts: &AnswerOptions,
+        obs: &Obs,
     ) -> Result<CachedPlan> {
         let ctx = RewriteContext::new(&self.schema, &self.closure);
         Ok(match req {
-            PlanRequest::Ucq => CachedPlan::Ucq(reformulate_ucq(cq, &ctx, opts.limits)?),
-            PlanRequest::Scq => CachedPlan::Jucq(reformulate_scq(cq, &ctx, opts.limits)?),
+            PlanRequest::Ucq => {
+                let _span = obs.span("answer.plan.ucq");
+                CachedPlan::Ucq(reformulate_ucq(cq, &ctx, opts.limits)?)
+            }
+            PlanRequest::Scq => {
+                let _span = obs.span("answer.plan.scq");
+                CachedPlan::Jucq(reformulate_scq(cq, &ctx, opts.limits)?)
+            }
             PlanRequest::Jucq(cover) => {
+                let _span = obs.span("answer.plan.jucq");
                 CachedPlan::Jucq(reformulate_jucq(cq, cover, &ctx, opts.limits)?)
             }
             PlanRequest::Gcov => {
+                let _span = obs.span("answer.plan.gcov");
                 let model = rdfref_storage::CostModel::new(&self.stats);
                 let mut gcov_opts = opts.gcov;
                 gcov_opts.limits = opts.limits;
-                CachedPlan::Gcov(gcov(cq, &ctx, &model, &gcov_opts)?)
+                CachedPlan::Gcov(gcov_with_obs(cq, &ctx, &model, &gcov_opts, obs)?)
             }
         })
     }
@@ -448,12 +590,13 @@ impl Database {
         opts: &AnswerOptions,
         explain: &mut Explain,
         metrics: &mut ExecMetrics,
+        obs: &Obs,
     ) -> Result<Relation> {
         explain.reformulation_cqs = jucq.total_cqs();
         explain.reformulation_atoms = jucq.fragments.iter().map(|f| f.ucq.total_atoms()).sum();
         let model = rdfref_storage::CostModel::new(&self.stats);
         explain.estimate = Some(model.jucq_estimate(jucq));
-        let mut ev = Evaluator::new(&self.store, &self.stats);
+        let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
         ev.row_budget = opts.row_budget;
         ev.parallel = opts.parallel_unions;
         Ok(ev.eval_jucq(jucq, metrics)?)
@@ -538,7 +681,7 @@ pub fn answer(
     strategy: Strategy,
     opts: &AnswerOptions,
 ) -> Result<QueryAnswer> {
-    Database::new(graph.clone()).answer(cq, strategy, opts)
+    Database::new(graph.clone()).run_query(cq, &strategy, opts)
 }
 
 #[cfg(test)]
@@ -588,12 +731,16 @@ ex:bioy ex:hasName "A. Bioy Casares" .
     fn all_complete_strategies_agree() {
         let (db, q) = setup(PUBLICATIONS);
         let opts = AnswerOptions::default();
-        let reference = db.answer(&q, Strategy::Saturation, &opts).unwrap().rows();
+        let reference = db
+            .run_query(&q, &Strategy::Saturation, &opts)
+            .unwrap()
+            .rows()
+            .to_vec();
         // doi1 (explicit Book), doi2 (Novel ⊑ Book ⊑ Publication),
         // doi3 (domain of writtenBy).
         assert_eq!(reference.len(), 3);
         for strategy in all_complete_strategies() {
-            let got = db.answer(&q, strategy.clone(), &opts).unwrap().rows();
+            let got = db.run_query(&q, &strategy, &opts).unwrap().rows().to_vec();
             assert_eq!(got, reference, "strategy {} diverged", strategy.name());
         }
     }
@@ -605,7 +752,11 @@ ex:bioy ex:hasName "A. Bioy Casares" .
                SELECT ?x ?n WHERE { ?x a ex:Publication . ?x ex:hasAuthor ?a . ?a ex:hasName ?n }"#,
         );
         let opts = AnswerOptions::default();
-        let reference = db.answer(&q, Strategy::Saturation, &opts).unwrap().rows();
+        let reference = db
+            .run_query(&q, &Strategy::Saturation, &opts)
+            .unwrap()
+            .rows()
+            .to_vec();
         assert_eq!(reference.len(), 2); // doi1/Borges, doi3/Bioy
         for cover in [
             Cover::singletons(3),
@@ -614,9 +765,10 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             Cover::new(vec![vec![0, 1], vec![2]], 3).unwrap(),
         ] {
             let got = db
-                .answer(&q, Strategy::RefJucq(cover.clone()), &opts)
+                .run_query(&q, &Strategy::RefJucq(cover.clone()), &opts)
                 .unwrap_or_else(|e| panic!("cover {cover} failed: {e}"))
-                .rows();
+                .rows()
+                .to_vec();
             assert_eq!(got, reference, "cover {cover} diverged");
         }
     }
@@ -625,19 +777,22 @@ ex:bioy ex:hasName "A. Bioy Casares" .
     fn incomplete_profiles_miss_answers() {
         let (db, q) = setup(PUBLICATIONS);
         let opts = AnswerOptions::default();
-        let complete = db.answer(&q, Strategy::Saturation, &opts).unwrap().len();
+        let complete = db
+            .run_query(&q, &Strategy::Saturation, &opts)
+            .unwrap()
+            .len();
         let hier = db
-            .answer(
+            .run_query(
                 &q,
-                Strategy::RefIncomplete(IncompletenessProfile::hierarchies_only()),
+                &Strategy::RefIncomplete(IncompletenessProfile::hierarchies_only()),
                 &opts,
             )
             .unwrap()
             .len();
         let none = db
-            .answer(
+            .run_query(
                 &q,
-                Strategy::RefIncomplete(IncompletenessProfile::none()),
+                &Strategy::RefIncomplete(IncompletenessProfile::none()),
                 &opts,
             )
             .unwrap()
@@ -647,9 +802,9 @@ ex:bioy ex:hasName "A. Bioy Casares" .
         assert_eq!(none, 0, "no explicit Publication instances");
         // The complete profile agrees with Sat.
         let full = db
-            .answer(
+            .run_query(
                 &q,
-                Strategy::RefIncomplete(IncompletenessProfile::complete()),
+                &Strategy::RefIncomplete(IncompletenessProfile::complete()),
                 &opts,
             )
             .unwrap()
@@ -661,19 +816,19 @@ ex:bioy ex:hasName "A. Bioy Casares" .
     fn explain_is_populated() {
         let (db, q) = setup(PUBLICATIONS);
         let opts = AnswerOptions::default();
-        let ucq = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let ucq = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert!(ucq.explain.reformulation_cqs >= 3);
         assert!(ucq.explain.estimate.is_some());
         assert_eq!(ucq.explain.answers, 3);
 
-        let gcv = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        let gcv = db.run_query(&q, &Strategy::RefGCov, &opts).unwrap();
         assert!(gcv.explain.cover.is_some());
         assert!(!gcv.explain.explored.is_empty());
 
-        let sat = db.answer(&q, Strategy::Saturation, &opts).unwrap();
+        let sat = db.run_query(&q, &Strategy::Saturation, &opts).unwrap();
         assert!(sat.explain.saturation_added > 0);
 
-        let dat = db.answer(&q, Strategy::Datalog, &opts).unwrap();
+        let dat = db.run_query(&q, &Strategy::Datalog, &opts).unwrap();
         assert!(dat.explain.datalog_derived > 0);
     }
 
@@ -684,12 +839,16 @@ ex:bioy ex:hasName "A. Bioy Casares" .
                SELECT ?x ?u WHERE { ?x a ?u . ?x ex:writtenBy ?y }"#,
         );
         let opts = AnswerOptions::default();
-        let reference = db.answer(&q, Strategy::Saturation, &opts).unwrap().rows();
+        let reference = db
+            .run_query(&q, &Strategy::Saturation, &opts)
+            .unwrap()
+            .rows()
+            .to_vec();
         // doi1 and doi3 have writtenBy; types: doi1 ∈ {Book, Publication},
         // doi3 ∈ {Book, Publication} — 4 rows.
         assert_eq!(reference.len(), 4);
         for strategy in all_complete_strategies() {
-            let got = db.answer(&q, strategy.clone(), &opts).unwrap().rows();
+            let got = db.run_query(&q, &strategy, &opts).unwrap().rows().to_vec();
             assert_eq!(got, reference, "strategy {} diverged", strategy.name());
         }
     }
@@ -701,7 +860,7 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             row_budget: Some(1),
             ..AnswerOptions::default()
         };
-        let err = db.answer(&q, Strategy::RefUcq, &opts).unwrap_err();
+        let err = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap_err();
         assert!(matches!(
             err,
             CoreError::Storage(rdfref_storage::StorageError::RowBudgetExceeded { .. })
@@ -718,7 +877,7 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             },
             ..AnswerOptions::default()
         };
-        let err = db.answer(&q, Strategy::RefUcq, &opts).unwrap_err();
+        let err = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap_err();
         assert!(matches!(err, CoreError::ReformulationTooLarge { .. }));
     }
 
@@ -726,11 +885,11 @@ ex:bioy ex:hasName "A. Bioy Casares" .
     fn cache_hits_repeated_and_alpha_renamed_queries() {
         let (db, q) = setup(PUBLICATIONS);
         let opts = AnswerOptions::default();
-        let first = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let first = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(first.explain.cache.map(|c| c.hit), Some(false));
 
         // Same query again: hit.
-        let again = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let again = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(again.explain.cache.map(|c| c.hit), Some(true));
         assert_eq!(again.rows(), first.rows());
 
@@ -742,7 +901,7 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             g.dictionary_mut(),
         )
         .unwrap();
-        let hit = db.answer(&renamed, Strategy::RefUcq, &opts).unwrap();
+        let hit = db.run_query(&renamed, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(hit.explain.cache.map(|c| c.hit), Some(true));
         assert_eq!(hit.rows(), first.rows());
     }
@@ -756,20 +915,20 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             (c.hit, c.counters.hits, c.counters.misses, c.entries)
         };
         // 1. UCQ: cold miss, entry stored.
-        let a = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let a = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(trace(&a), (false, 0, 1, 1));
         // 2. UCQ again: hit.
-        let a = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let a = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(trace(&a), (true, 1, 1, 1));
         // 3. SCQ: different tag ⟹ miss, second entry.
-        let a = db.answer(&q, Strategy::RefScq, &opts).unwrap();
+        let a = db.run_query(&q, &Strategy::RefScq, &opts).unwrap();
         assert_eq!(trace(&a), (false, 1, 2, 2));
         // 4. GCov: third entry.
-        let a = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        let a = db.run_query(&q, &Strategy::RefGCov, &opts).unwrap();
         assert_eq!(trace(&a), (false, 1, 3, 3));
         // 5. An explicit singleton cover shares the SCQ entry.
         let a = db
-            .answer(&q, Strategy::RefJucq(Cover::singletons(q.size())), &opts)
+            .run_query(&q, &Strategy::RefJucq(Cover::singletons(q.size())), &opts)
             .unwrap();
         assert_eq!(trace(&a), (true, 2, 3, 3));
     }
@@ -781,7 +940,7 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             use_cache: false,
             ..AnswerOptions::default()
         };
-        let a = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        let a = db.run_query(&q, &Strategy::RefGCov, &opts).unwrap();
         assert!(a.explain.cache.is_none());
         assert_eq!(db.plan_cache().counters(), Default::default());
         assert!(db.plan_cache().is_empty());
@@ -804,9 +963,21 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             Strategy::RefGCov,
             Strategy::RefJucq(Cover::new(vec![vec![0, 1], vec![2]], 3).unwrap()),
         ] {
-            let cold = db.answer(&q, strategy.clone(), &cached).unwrap().rows();
-            let warm = db.answer(&q, strategy.clone(), &cached).unwrap().rows();
-            let off = db.answer(&q, strategy.clone(), &uncached).unwrap().rows();
+            let cold = db
+                .run_query(&q, &strategy, &cached)
+                .unwrap()
+                .rows()
+                .to_vec();
+            let warm = db
+                .run_query(&q, &strategy, &cached)
+                .unwrap()
+                .rows()
+                .to_vec();
+            let off = db
+                .run_query(&q, &strategy, &uncached)
+                .unwrap()
+                .rows()
+                .to_vec();
             assert_eq!(cold, warm, "warm diverged for {}", strategy.name());
             assert_eq!(cold, off, "uncached diverged for {}", strategy.name());
         }
@@ -818,5 +989,66 @@ ex:bioy ex:hasName "A. Bioy Casares" .
         let q = parse_select(PUBLICATIONS, g.dictionary_mut()).unwrap();
         let a = answer(&g, &q, Strategy::RefGCov, &AnswerOptions::default()).unwrap();
         assert_eq!(a.len(), 3);
+    }
+
+    /// The deprecated `answer` shim must return exactly what `run_query`
+    /// returns, for every strategy.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_answer_shim_matches_run_query() {
+        let (db, q) = setup(PUBLICATIONS);
+        let opts = AnswerOptions::default();
+        for strategy in all_complete_strategies() {
+            let old = db.answer(&q, strategy.clone(), &opts).unwrap();
+            let new = db.run_query(&q, &strategy, &opts).unwrap();
+            assert_eq!(
+                old.rows(),
+                new.rows(),
+                "shim diverged for {}",
+                strategy.name()
+            );
+            assert_eq!(old.explain.strategy, new.explain.strategy);
+        }
+    }
+
+    /// `rows()` materializes and sorts once; the second call returns the
+    /// same cached allocation (pointer-stable), so comparison-heavy callers
+    /// no longer pay a re-sort per call.
+    #[test]
+    fn rows_are_cached_after_first_call() {
+        let (db, q) = setup(PUBLICATIONS);
+        let a = db
+            .run_query(&q, &Strategy::Saturation, &AnswerOptions::default())
+            .unwrap();
+        let first = a.rows();
+        let second = a.rows();
+        assert_eq!(first.len(), 3);
+        assert!(
+            std::ptr::eq(first.as_ptr(), second.as_ptr()),
+            "rows() re-materialized instead of returning the cached sort"
+        );
+        // A clone starts with a fresh (lazily filled) cache but equal rows.
+        let b = a.clone();
+        assert_eq!(b.rows(), a.rows());
+    }
+
+    /// Options builder methods cover every field.
+    #[test]
+    fn answer_options_builder_roundtrip() {
+        let opts = AnswerOptions::new()
+            .with_row_budget(Some(7))
+            .with_parallel_unions(true)
+            .with_use_cache(false)
+            .with_limits(ReformulationLimits {
+                max_cqs: 9,
+                ..Default::default()
+            })
+            .with_gcov(GcovOptions::default())
+            .with_obs(Obs::disabled());
+        assert_eq!(opts.row_budget, Some(7));
+        assert!(opts.parallel_unions);
+        assert!(!opts.use_cache);
+        assert_eq!(opts.limits.max_cqs, 9);
+        assert!(!opts.obs.enabled());
     }
 }

@@ -23,7 +23,12 @@ pub struct CacheReport {
 }
 
 /// Everything observable about one query answering run.
+///
+/// Non-exhaustive: new observability fields may be added without a major
+/// version bump; out-of-crate code reads fields directly (they stay `pub`)
+/// or through the accessor methods, and constructs values via `Default`.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct Explain {
     /// Human-readable strategy name.
     pub strategy: String,
@@ -52,6 +57,43 @@ pub struct Explain {
     /// Plan-cache outcome, for Ref strategies with the cache enabled
     /// (`None` when the run bypassed the cache).
     pub cache: Option<CacheReport>,
+}
+
+impl Explain {
+    /// Human-readable strategy name.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// Number of answer tuples.
+    pub fn answers(&self) -> usize {
+        self.answers
+    }
+
+    /// Wall-clock time of the complete answering run.
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Plan-cache outcome (`None` when the run bypassed the cache).
+    pub fn cache(&self) -> Option<&CacheReport> {
+        self.cache.as_ref()
+    }
+
+    /// Operator-level metrics (scans, joins, intermediate sizes).
+    pub fn metrics(&self) -> &ExecMetrics {
+        &self.metrics
+    }
+
+    /// The cost model's estimate for the executed query, if Ref.
+    pub fn estimate(&self) -> Option<&CostEstimate> {
+        self.estimate.as_ref()
+    }
+
+    /// The cover used, if the strategy is cover-based.
+    pub fn cover(&self) -> Option<&Cover> {
+        self.cover.as_ref()
+    }
 }
 
 impl fmt::Display for Explain {

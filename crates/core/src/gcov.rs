@@ -21,6 +21,7 @@ use crate::error::{CoreError, Result};
 use crate::reformulate::rules::RewriteContext;
 use crate::reformulate::ucq::{reformulate_ucq, ReformulationLimits};
 use rdfref_model::fxhash::FxHashMap;
+use rdfref_obs::Obs;
 use rdfref_query::ast::{Cq, Fragment, Jucq, Ucq};
 use rdfref_query::{Cover, Var};
 use rdfref_storage::{CostEstimate, CostModel};
@@ -69,6 +70,36 @@ pub struct GcovResult {
 
 /// Run the greedy cost-based cover search for `cq`.
 pub fn gcov(
+    cq: &Cq,
+    ctx: &RewriteContext<'_>,
+    model: &CostModel<'_>,
+    opts: &GcovOptions,
+) -> Result<GcovResult> {
+    gcov_with_obs(cq, ctx, model, opts, &Obs::disabled())
+}
+
+/// [`gcov`] with an observability sink: wraps the search in the
+/// `gcov.search` span and records how many covers were explored
+/// (`gcov.covers_explored`) and how many were priced by the cost model
+/// versus rejected as too large (`gcov.covers_infeasible`).
+pub fn gcov_with_obs(
+    cq: &Cq,
+    ctx: &RewriteContext<'_>,
+    model: &CostModel<'_>,
+    opts: &GcovOptions,
+    obs: &Obs,
+) -> Result<GcovResult> {
+    let _span = obs.span("gcov.search");
+    let result = gcov_search(cq, ctx, model, opts)?;
+    obs.add("gcov.covers_explored", result.explored.len() as u64);
+    obs.add(
+        "gcov.covers_infeasible",
+        result.explored.iter().filter(|(_, e)| e.is_none()).count() as u64,
+    );
+    Ok(result)
+}
+
+fn gcov_search(
     cq: &Cq,
     ctx: &RewriteContext<'_>,
     model: &CostModel<'_>,

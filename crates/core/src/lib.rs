@@ -28,7 +28,7 @@
 //! incomplete ones.
 //!
 //! ```
-//! use rdfref_core::answer::{Database, Strategy, AnswerOptions};
+//! use rdfref_core::answer::{Database, Strategy};
 //! use rdfref_model::parser::parse_turtle;
 //! use rdfref_query::parse_select;
 //!
@@ -43,14 +43,21 @@
 //!     graph.dictionary_mut(),
 //! ).unwrap();
 //! let db = Database::new(graph);
-//! let sat = db.answer(&q, Strategy::Saturation, &AnswerOptions::default()).unwrap();
-//! let gcv = db.answer(&q, Strategy::RefGCov, &AnswerOptions::default()).unwrap();
+//! let sat = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
+//! let gcv = db.query(&q).strategy(Strategy::RefGCov).run().unwrap();
 //! assert_eq!(sat.rows(), gcv.rows());      // both find the implicit Publication
 //! assert_eq!(sat.rows().len(), 1);
 //! ```
+//!
+//! Observability: hand a [`rdfref_obs::MetricsRegistry`] to a request via
+//! [`engine::QueryRequest::collect_metrics`] (or database-wide with
+//! [`answer::Database::with_obs`]) and export with
+//! [`rdfref_obs::MetricsRegistry::to_prometheus_text`] /
+//! [`rdfref_obs::MetricsRegistry::to_json`].
 
 pub mod answer;
 pub mod cache;
+pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod gcov;
@@ -60,11 +67,13 @@ pub mod reformulate;
 
 pub use answer::{AnswerOptions, Database, QueryAnswer, Strategy};
 pub use cache::{CacheCounters, CacheKey, CachedPlan, PlanCache, StrategyTag};
+pub use engine::{QueryEngine, QueryRequest};
 pub use error::{CoreError, Result};
 pub use explain::Explain;
-pub use gcov::{gcov, GcovOptions, GcovResult};
+pub use gcov::{gcov, gcov_with_obs, GcovOptions, GcovResult};
 pub use incomplete::IncompletenessProfile;
 pub use maintained::MaintainedDatabase;
+pub use rdfref_obs::{MetricsRegistry, Obs};
 pub use reformulate::{
     reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
 };

@@ -20,6 +20,7 @@ use crate::cache::PlanCache;
 use crate::error::Result;
 use crate::explain::Explain;
 use rdfref_model::{vocab, EncodedTriple, Graph, Term, TermId};
+use rdfref_obs::Obs;
 use rdfref_query::Cq;
 use rdfref_reasoning::IncrementalReasoner;
 use rdfref_storage::evaluator::{head_names, Evaluator};
@@ -41,6 +42,9 @@ pub struct MaintainedDatabase {
     /// (stale cost-based GCov plans), and batches touching RDFS constraint
     /// triples also bump the schema epoch (stale reformulations).
     plan_cache: Arc<PlanCache>,
+    /// Database-wide observability sink; threaded into the incremental
+    /// reasoner (maintenance spans) and the explicit [`Database`] facade.
+    obs: Obs,
 }
 
 impl MaintainedDatabase {
@@ -52,7 +56,30 @@ impl MaintainedDatabase {
             saturated_store: None,
             last_maintenance_delta: 0,
             plan_cache: Arc::new(PlanCache::default()),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Install an observability sink (builder style). Maintenance spans
+    /// (`maintain.insert`, `maintain.delete`, DRed counters) and all
+    /// answering metrics flow into it.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Install an observability sink.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.reasoner.set_obs(obs.clone());
+        if let Some(db) = &mut self.explicit_db {
+            db.set_obs(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// The observability sink.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The shared plan cache (for inspection; counters survive rebuilds).
@@ -124,21 +151,39 @@ impl MaintainedDatabase {
     /// Answer a query. `Saturation` runs on the incrementally maintained
     /// `G∞`; every other strategy runs through the regular [`Database`]
     /// facade over the explicit graph.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `MaintainedDatabase::query(...).run()` or `run_query`"
+    )]
     pub fn answer(
         &mut self,
         cq: &Cq,
         strategy: Strategy,
         opts: &AnswerOptions,
     ) -> Result<QueryAnswer> {
+        self.run_query(cq, &strategy, opts)
+    }
+
+    /// Answer a query — the non-deprecated core entry point (see
+    /// [`crate::engine::QueryEngine`]).
+    pub fn run_query(
+        &mut self,
+        cq: &Cq,
+        strategy: &Strategy,
+        opts: &AnswerOptions,
+    ) -> Result<QueryAnswer> {
         match strategy {
             Strategy::Saturation => {
+                let obs = opts.obs.or(&self.obs).clone();
+                let _span = obs.span("answer");
+                obs.add("answer.calls", 1);
                 let start = Instant::now();
                 let (store, stats) = self.saturated_store.get_or_insert_with(|| {
                     let store = Store::from_graph(self.reasoner.saturated());
                     let stats = Stats::compute(&store);
                     (store, stats)
                 });
-                let mut ev = Evaluator::new(store, stats);
+                let mut ev = Evaluator::new(store, stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
                 let mut metrics = ExecMetrics::default();
@@ -154,15 +199,18 @@ impl MaintainedDatabase {
                 };
                 Ok(QueryAnswer::from_parts(relation, explain))
             }
-            other => self
-                .explicit_db
-                .get_or_insert_with(|| {
-                    Database::with_cache(
-                        self.reasoner.explicit().clone(),
-                        Arc::clone(&self.plan_cache),
-                    )
-                })
-                .answer(cq, other, opts),
+            other => {
+                let obs = self.obs.clone();
+                self.explicit_db
+                    .get_or_insert_with(|| {
+                        Database::with_cache(
+                            self.reasoner.explicit().clone(),
+                            Arc::clone(&self.plan_cache),
+                        )
+                        .with_obs(obs)
+                    })
+                    .run_query(cq, other, opts)
+            }
         }
     }
 }
@@ -195,7 +243,12 @@ ex:doi1 a ex:Book .
     fn sat_and_ref_agree_after_updates() {
         let (mut db, q) = setup();
         let opts = AnswerOptions::default();
-        assert_eq!(db.answer(&q, Strategy::Saturation, &opts).unwrap().len(), 1);
+        assert_eq!(
+            db.run_query(&q, &Strategy::Saturation, &opts)
+                .unwrap()
+                .len(),
+            1
+        );
 
         // Insert a writtenBy triple: its subject becomes a Book ⟹ Publication.
         let t = db.intern_triple(
@@ -205,15 +258,15 @@ ex:doi1 a ex:Book .
         );
         let added = db.insert(&[t]);
         assert!(added >= 3, "explicit + 2 derived types, got {added}");
-        let sat = db.answer(&q, Strategy::Saturation, &opts).unwrap();
-        let gcv = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        let sat = db.run_query(&q, &Strategy::Saturation, &opts).unwrap();
+        let gcv = db.run_query(&q, &Strategy::RefGCov, &opts).unwrap();
         assert_eq!(sat.len(), 2);
         assert_eq!(sat.rows(), gcv.rows());
 
         // Delete it again.
         db.delete(&[t]);
-        let sat = db.answer(&q, Strategy::Saturation, &opts).unwrap();
-        let ucq = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let sat = db.run_query(&q, &Strategy::Saturation, &opts).unwrap();
+        let ucq = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(sat.len(), 1);
         assert_eq!(sat.rows(), ucq.rows());
     }
@@ -228,9 +281,9 @@ ex:doi1 a ex:Book .
             &Term::iri("http://example.org/Book"),
         );
         db.insert(&[t]);
-        let maintained = db.answer(&q, Strategy::Saturation, &opts).unwrap();
+        let maintained = db.run_query(&q, &Strategy::Saturation, &opts).unwrap();
         let fresh = Database::new(db.explicit().clone())
-            .answer(&q, Strategy::Saturation, &opts)
+            .run_query(&q, &Strategy::Saturation, &opts)
             .unwrap();
         assert_eq!(maintained.rows(), fresh.rows());
     }
@@ -241,14 +294,14 @@ ex:doi1 a ex:Book .
         let opts = AnswerOptions::default();
         // Warm both a pure reformulation and a cost-based GCov plan.
         assert_eq!(
-            db.answer(&q, Strategy::RefUcq, &opts)
+            db.run_query(&q, &Strategy::RefUcq, &opts)
                 .unwrap()
                 .explain
                 .cache
                 .map(|c| c.hit),
             Some(false)
         );
-        db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        db.run_query(&q, &Strategy::RefGCov, &opts).unwrap();
 
         // A data-only insert: the UCQ reformulation is still valid, the
         // GCov plan (cost-based) is not.
@@ -258,9 +311,9 @@ ex:doi1 a ex:Book .
             &Term::iri("http://example.org/Book"),
         );
         db.insert(&[t]);
-        let ucq = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let ucq = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(ucq.explain.cache.map(|c| c.hit), Some(true));
-        let gcv = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+        let gcv = db.run_query(&q, &Strategy::RefGCov, &opts).unwrap();
         assert_eq!(gcv.explain.cache.map(|c| c.hit), Some(false));
         assert_eq!(db.plan_cache().counters().invalidations, 1);
         assert_eq!(ucq.rows(), gcv.rows());
@@ -270,7 +323,7 @@ ex:doi1 a ex:Book .
     fn schema_updates_invalidate_reformulations_too() {
         let (mut db, q) = setup();
         let opts = AnswerOptions::default();
-        db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
 
         // Novel ⊑ Book is a schema (RDFS constraint) triple: the cached
         // reformulation is now incomplete and must be stranded.
@@ -285,11 +338,11 @@ ex:doi1 a ex:Book .
             &Term::iri("http://example.org/Novel"),
         );
         db.insert(&[t, novel]);
-        let after = db.answer(&q, Strategy::RefUcq, &opts).unwrap();
+        let after = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap();
         assert_eq!(after.explain.cache.map(|c| c.hit), Some(false));
         // Correctness: the new Novel instance is found through the new
         // constraint, and Sat agrees.
-        let sat = db.answer(&q, Strategy::Saturation, &opts).unwrap();
+        let sat = db.run_query(&q, &Strategy::Saturation, &opts).unwrap();
         assert_eq!(after.rows(), sat.rows());
         assert_eq!(after.len(), 2);
     }
@@ -304,7 +357,7 @@ ex:doi1 a ex:Book .
         );
         let added = db.insert(&[t]);
         let a = db
-            .answer(&q, Strategy::Saturation, &AnswerOptions::default())
+            .run_query(&q, &Strategy::Saturation, &AnswerOptions::default())
             .unwrap();
         assert_eq!(a.explain.saturation_added, added);
         assert_eq!(a.explain.strategy, "Sat (maintained)");

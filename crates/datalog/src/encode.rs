@@ -17,6 +17,7 @@ use rdfref_model::dictionary::{
     ID_RDFS_DOMAIN, ID_RDFS_RANGE, ID_RDFS_SUBCLASSOF, ID_RDFS_SUBPROPERTYOF, ID_RDF_TYPE,
 };
 use rdfref_model::{Graph, TermId};
+use rdfref_obs::Obs;
 use rdfref_query::ast::{Cq, PTerm};
 use rdfref_query::Var;
 
@@ -172,9 +173,20 @@ pub fn encode_query(cq: &Cq) -> Result<Rule, DatalogError> {
 /// read off `q`. Returns the deduplicated, sorted answer tuples and the
 /// engine (for inspection of derivation counts in experiments).
 pub fn answer_datalog(graph: &Graph, cq: &Cq) -> Result<(Vec<Vec<TermId>>, Engine), DatalogError> {
+    answer_datalog_obs(graph, cq, &Obs::disabled())
+}
+
+/// [`answer_datalog`] recording into `obs`: the engine's `datalog.run` span,
+/// per-round fact histogram, and rule-firing counters.
+pub fn answer_datalog_obs(
+    graph: &Graph,
+    cq: &Cq,
+    obs: &Obs,
+) -> Result<(Vec<Vec<TermId>>, Engine), DatalogError> {
     let mut prog = encode_graph(graph)?;
     prog.rule(encode_query(cq)?);
     let mut engine = Engine::load(&prog)?;
+    engine.obs = obs.clone();
     engine.run();
     let mut rows: Vec<Vec<TermId>> = engine.tuples(&Pred::new(QUERY)).to_vec();
     rows.sort_unstable();
@@ -191,10 +203,38 @@ pub fn answer_datalog_magic(
     graph: &Graph,
     cq: &Cq,
 ) -> Result<(Vec<Vec<TermId>>, Engine), DatalogError> {
+    answer_datalog_magic_obs(graph, cq, &Obs::disabled())
+}
+
+/// [`answer_datalog_magic`] recording into `obs`. Besides the engine
+/// metrics, counts the distinct magic (`m__…`) predicates of the
+/// transformed program in `datalog.magic.predicates` — the size of the
+/// demand side the transformation introduced.
+pub fn answer_datalog_magic_obs(
+    graph: &Graph,
+    cq: &Cq,
+    obs: &Obs,
+) -> Result<(Vec<Vec<TermId>>, Engine), DatalogError> {
     let mut prog = encode_graph(graph)?;
     prog.rule(encode_query(cq)?);
-    let (magic_prog, adorned_query) = crate::magic::magic_transform(&prog, &Pred::new(QUERY))?;
+    let (magic_prog, adorned_query) = {
+        let _span = obs.span("datalog.magic.transform");
+        crate::magic::magic_transform(&prog, &Pred::new(QUERY))?
+    };
+    if obs.enabled() {
+        let mut magic_preds: Vec<&Pred> = magic_prog
+            .rules
+            .iter()
+            .map(|r| &r.head.pred)
+            .chain(magic_prog.facts.iter().map(|(p, _)| p))
+            .filter(|p| p.to_string().starts_with("m__"))
+            .collect();
+        magic_preds.sort_unstable_by_key(|p| p.to_string());
+        magic_preds.dedup();
+        obs.add("datalog.magic.predicates", magic_preds.len() as u64);
+    }
     let mut engine = Engine::load(&magic_prog)?;
+    engine.obs = obs.clone();
     engine.run();
     let mut rows: Vec<Vec<TermId>> = engine.tuples(&adorned_query).to_vec();
     rows.sort_unstable();

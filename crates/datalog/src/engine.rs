@@ -12,6 +12,7 @@
 use crate::ast::{DTerm, DatalogError, Pred, Program, Rule};
 use rdfref_model::fxhash::{FxHashMap, FxHashSet};
 use rdfref_model::TermId;
+use rdfref_obs::Obs;
 use rdfref_query::Var;
 
 /// One stored relation.
@@ -100,6 +101,8 @@ pub struct Engine {
     pub derived_count: usize,
     /// Rounds taken by the last `run`.
     pub rounds: usize,
+    /// Observability sink for `run` (disabled by default).
+    pub obs: Obs,
 }
 
 impl Engine {
@@ -143,6 +146,8 @@ impl Engine {
 
     /// Run the rules to fixpoint (semi-naive).
     pub fn run(&mut self) {
+        let obs = self.obs.clone();
+        let _span = obs.span("datalog.run");
         let derived_before: usize = self.relations.values().map(|r| r.rows.len()).sum();
         // Watermarks: per predicate, the row count at the previous round's
         // start and end. Delta of round k = rows[prev_end..cur_end].
@@ -182,8 +187,16 @@ impl Engine {
             }
             self.rules = rules;
             let mut changed = false;
+            let mut round_facts = 0u64;
             for (pred, tuple) in new_tuples {
-                changed |= self.relations.entry(pred).or_default().insert(tuple);
+                if self.relations.entry(pred).or_default().insert(tuple) {
+                    changed = true;
+                    round_facts += 1;
+                }
+            }
+            obs.add("datalog.rounds", 1);
+            if obs.enabled() {
+                obs.observe("datalog.round.facts", round_facts);
             }
             prev_marks = cur_marks;
             if !changed {
@@ -192,6 +205,7 @@ impl Engine {
         }
         let derived_after: usize = self.relations.values().map(|r| r.rows.len()).sum();
         self.derived_count = derived_after - derived_before;
+        obs.add("datalog.facts_derived", self.derived_count as u64);
     }
 
     /// Recursive body matcher: `atom_idx` walks the body; the atom at

@@ -28,6 +28,9 @@ pub mod engine;
 pub mod magic;
 
 pub use ast::{DatalogError, Pred, Program, Rule};
-pub use encode::{answer_datalog, answer_datalog_magic, encode_graph, encode_query};
+pub use encode::{
+    answer_datalog, answer_datalog_magic, answer_datalog_magic_obs, answer_datalog_obs,
+    encode_graph, encode_query,
+};
 pub use engine::Engine;
 pub use magic::magic_transform;

@@ -1,0 +1,241 @@
+//! Thread-safe metric aggregation: counters, span stats, log₂ histograms.
+
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Number of histogram buckets: `value <= 2^i` for `i in 0..32`, plus +inf.
+pub(crate) const HISTOGRAM_BUCKETS: usize = 33;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// How many times the span closed.
+    pub count: u64,
+    /// Total wall time across closures, in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single closure, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStats {
+    /// Total wall time as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+}
+
+/// Aggregated log₂-bucket histogram for one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Cumulative-style raw bucket counts: bucket `i < 32` counts values
+    /// `<= 2^i`; the last bucket counts the rest.
+    pub buckets: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let idx = (0..32u32)
+            .find(|i| value <= 1u64 << i)
+            .map(|i| i as usize)
+            .unwrap_or(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// Global-free metric store. One registry is created per collection scope
+/// (a request, an experiment run, a test) and handed down via
+/// [`crate::Obs::collecting`]; nothing in this crate is a process global.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    spans: Mutex<BTreeMap<&'static str, SpanStats>>,
+    histograms: Mutex<BTreeMap<&'static str, HistogramSnapshot>>,
+}
+
+/// Recover the guard even if a panicking thread poisoned the lock: metrics
+/// are monotone aggregates, so the data is still usable.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Consistent-enough copy of all aggregates (each family is snapshotted
+    /// under its own lock).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock_or_recover(&self.counters).clone(),
+            spans: lock_or_recover(&self.spans).clone(),
+            histograms: lock_or_recover(&self.histograms).clone(),
+        }
+    }
+
+    /// Drop all recorded data, keeping the registry installed.
+    pub fn reset(&self) {
+        lock_or_recover(&self.counters).clear();
+        lock_or_recover(&self.spans).clear();
+        lock_or_recover(&self.histograms).clear();
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn span_end(&self, path: &'static str, wall: Duration) {
+        let ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        let mut spans = lock_or_recover(&self.spans);
+        let stats = spans.entry(path).or_default();
+        stats.count += 1;
+        stats.total_ns = stats.total_ns.saturating_add(ns);
+        stats.max_ns = stats.max_ns.max(ns);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        *lock_or_recover(&self.counters).entry(name).or_insert(0) += delta;
+    }
+
+    fn histogram_observe(&self, name: &'static str, value: u64) {
+        lock_or_recover(&self.histograms)
+            .entry(name)
+            .or_insert_with(HistogramSnapshot::empty)
+            .observe(value);
+    }
+}
+
+/// Point-in-time copy of a registry's aggregates, with typed accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Span statistics by dotted path.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Counter value, `0` when never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// How many times the span at `path` closed (`0` when never).
+    pub fn span_count(&self, path: &str) -> u64 {
+        self.spans.get(path).map(|s| s.count).unwrap_or(0)
+    }
+
+    /// Total wall time spent in the span at `path`.
+    pub fn span_total(&self, path: &str) -> Duration {
+        self.spans.get(path).map(|s| s.total()).unwrap_or_default()
+    }
+
+    /// Histogram aggregate, if any value was observed.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.spans.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_spans_histograms_aggregate() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = Obs::collecting(reg.clone());
+        obs.add("c.a", 2);
+        obs.add("c.a", 3);
+        {
+            let _g = obs.span("s.x");
+        }
+        {
+            let _g = obs.span("s.x");
+        }
+        obs.observe("h.rows", 1);
+        obs.observe("h.rows", 5);
+        obs.observe("h.rows", 1 << 40);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c.a"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.span_count("s.x"), 2);
+        let h = snap.histogram("h.rows").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 6 + (1 << 40));
+        assert_eq!(h.max, 1 << 40);
+        assert_eq!(h.buckets[0], 1); // 1 <= 2^0
+        assert_eq!(h.buckets[3], 1); // 5 <= 2^3
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1); // overflow bucket
+    }
+
+    #[test]
+    fn concurrent_increments_lose_nothing() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let obs = Obs::collecting(reg.clone());
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        obs.add("hammer", 1);
+                        obs.observe("hist", i % 17);
+                        if i % 100 == 0 {
+                            let _g = obs.span("span.hammer");
+                        }
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("hammer"), threads * per_thread);
+        assert_eq!(snap.histogram("hist").unwrap().count, threads * per_thread);
+        assert_eq!(snap.span_count("span.hammer"), threads * per_thread / 100);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let obs = Obs::collecting(reg.clone());
+        obs.add("c", 1);
+        obs.observe("h", 1);
+        {
+            let _g = obs.span("s");
+        }
+        assert!(!reg.snapshot().is_empty());
+        reg.reset();
+        assert!(reg.snapshot().is_empty());
+    }
+}

@@ -14,10 +14,11 @@
 //!   re-saturation (the expensive case the demo highlights in step 4).
 
 use crate::rules::RuleTables;
-use crate::saturate::saturate_in_place;
+use crate::saturate::{saturate_in_place, saturate_in_place_obs};
 use rdfref_model::fxhash::FxHashSet;
 use rdfref_model::schema::ConstraintKind;
 use rdfref_model::{EncodedTriple, Graph, Schema};
+use rdfref_obs::Obs;
 
 /// A saturated graph maintained under updates.
 ///
@@ -27,6 +28,7 @@ use rdfref_model::{EncodedTriple, Graph, Schema};
 pub struct IncrementalReasoner {
     explicit: Graph,
     saturated: Graph,
+    obs: Obs,
 }
 
 impl IncrementalReasoner {
@@ -37,7 +39,13 @@ impl IncrementalReasoner {
         IncrementalReasoner {
             explicit,
             saturated,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Install an observability sink for subsequent maintenance operations.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The explicit (user-asserted) graph.
@@ -77,6 +85,7 @@ impl IncrementalReasoner {
     /// Insert a batch of explicit triples; returns the number of triples
     /// (explicit + derived) added to the saturation.
     pub fn insert(&mut self, triples: &[EncodedTriple]) -> usize {
+        let _span = self.obs.span("maintain.insert");
         let before = self.saturated.len();
         let mut delta: Vec<EncodedTriple> = Vec::new();
         let mut schema_changed = false;
@@ -91,8 +100,9 @@ impl IncrementalReasoner {
         if schema_changed {
             // Constraint change: re-saturate from scratch (demo step 4's
             // "dramatic impact" case).
+            self.obs.add("maintain.resaturate", 1);
             self.saturated = self.explicit.clone();
-            saturate_in_place(&mut self.saturated);
+            saturate_in_place_obs(&mut self.saturated, &self.obs);
             return self.saturated.len().saturating_sub(before);
         }
         // Data-only: semi-naive continuation from the delta.
@@ -115,14 +125,22 @@ impl IncrementalReasoner {
                     delta.push(nt);
                 }
             }
+            self.obs.add("maintain.insert.rounds", 1);
+            if self.obs.enabled() {
+                self.obs
+                    .observe("maintain.insert.delta", delta.len() as u64);
+            }
         }
-        self.saturated.len() - before
+        let added = self.saturated.len() - before;
+        self.obs.add("maintain.insert.added", added as u64);
+        added
     }
 
     /// Delete a batch of explicit triples (ignoring any that are not
     /// explicit); returns the number of triples removed from the
     /// saturation.
     pub fn delete(&mut self, triples: &[EncodedTriple]) -> usize {
+        let _span = self.obs.span("maintain.delete");
         let before = self.saturated.len();
         let mut deleted: Vec<EncodedTriple> = Vec::new();
         let mut schema_changed = false;
@@ -136,8 +154,9 @@ impl IncrementalReasoner {
             return 0;
         }
         if schema_changed {
+            self.obs.add("maintain.resaturate", 1);
             self.saturated = self.explicit.clone();
-            saturate_in_place(&mut self.saturated);
+            saturate_in_place_obs(&mut self.saturated, &self.obs);
             return before.saturating_sub(self.saturated.len());
         }
 
@@ -157,6 +176,7 @@ impl IncrementalReasoner {
         for t in &over {
             self.saturated.remove_encoded(*t);
         }
+        self.obs.add("dred.overdeleted", over.len() as u64);
 
         // DRed phase 2: rederive — overdeleted triples still supported.
         // Seeds: overdeleted triples that are still explicit, plus one-step
@@ -175,12 +195,14 @@ impl IncrementalReasoner {
         }
         seeds.sort_unstable();
         seeds.dedup();
+        let mut rederived = 0u64;
         let mut delta: Vec<EncodedTriple> = Vec::new();
         for s in seeds {
             if self.saturated.insert_encoded(s) {
                 delta.push(s);
             }
         }
+        rederived += delta.len() as u64;
         while !delta.is_empty() {
             let mut next = Vec::new();
             for t in &delta {
@@ -198,7 +220,9 @@ impl IncrementalReasoner {
                     delta.push(nt);
                 }
             }
+            rederived += delta.len() as u64;
         }
+        self.obs.add("dred.rederived", rederived);
         before.saturating_sub(self.saturated.len())
     }
 }

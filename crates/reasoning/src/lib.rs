@@ -24,4 +24,4 @@ pub mod rules;
 pub mod saturate;
 
 pub use incremental::IncrementalReasoner;
-pub use saturate::{naive_saturate, saturate, saturate_in_place};
+pub use saturate::{naive_saturate, saturate, saturate_in_place, saturate_in_place_obs};

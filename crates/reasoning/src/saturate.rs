@@ -14,6 +14,7 @@
 use crate::rules::RuleTables;
 use rdfref_model::schema::ConstraintKind;
 use rdfref_model::{EncodedTriple, Graph, Schema};
+use rdfref_obs::Obs;
 
 /// Saturate a graph in place; returns the number of triples added.
 ///
@@ -21,6 +22,15 @@ use rdfref_model::{EncodedTriple, Graph, Schema};
 /// and the DB-fragment rules introduce no blank nodes, so it is simply
 /// unique), and `G ⊨RDF s p o ⟺ s p o ∈ G∞`.
 pub fn saturate_in_place(graph: &mut Graph) -> usize {
+    saturate_in_place_obs(graph, &Obs::disabled())
+}
+
+/// [`saturate_in_place`] with observability: records the `saturate.fixpoint`
+/// span, a `saturate.rounds` counter (semi-naive rounds across outer
+/// re-closures), a `saturate.derived` counter, and per-round delta sizes in
+/// the `saturate.delta` histogram.
+pub fn saturate_in_place_obs(graph: &mut Graph, obs: &Obs) -> usize {
+    let _span = obs.span("saturate.fixpoint");
     let before = graph.len();
     loop {
         // Close the schema and materialize the closure as triples.
@@ -85,6 +95,10 @@ pub fn saturate_in_place(graph: &mut Graph) -> usize {
                     delta.push(nt);
                 }
             }
+            obs.add("saturate.rounds", 1);
+            if obs.enabled() {
+                obs.observe("saturate.delta", delta.len() as u64);
+            }
         }
 
         // Re-close only if the data tier produced schema triples beyond the
@@ -109,7 +123,9 @@ pub fn saturate_in_place(graph: &mut Graph) -> usize {
             });
         }
     }
-    graph.len() - before
+    let added = graph.len() - before;
+    obs.add("saturate.derived", added as u64);
+    added
 }
 
 /// Saturate, returning a new graph (`G∞`). The dictionary is shared

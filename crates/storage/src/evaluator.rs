@@ -22,6 +22,7 @@ use crate::relation::Relation;
 use crate::stats::Stats;
 use crate::store::Store;
 use rdfref_model::TermId;
+use rdfref_obs::Obs;
 use rdfref_query::ast::{Cq, Jucq, PTerm, Ucq};
 use rdfref_query::Var;
 
@@ -36,6 +37,8 @@ pub struct Evaluator<'a> {
     pub row_budget: Option<usize>,
     /// Evaluate UCQ branches on parallel threads when the union is large.
     pub parallel: bool,
+    /// Observability sink; disabled by default (one branch per event).
+    pub obs: Obs,
 }
 
 /// Unions with at least this many disjuncts are parallelized when
@@ -50,12 +53,22 @@ impl<'a> Evaluator<'a> {
             stats,
             row_budget: None,
             parallel: false,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Same evaluator, recording into `obs`.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     fn check_budget(&self, rows: usize) -> Result<()> {
         match self.row_budget {
-            Some(budget) if rows > budget => Err(StorageError::RowBudgetExceeded { budget }),
+            Some(budget) if rows > budget => {
+                self.obs.add("op.budget_abort", 1);
+                Err(StorageError::RowBudgetExceeded { budget })
+            }
             _ => Ok(()),
         }
     }
@@ -79,27 +92,48 @@ impl<'a> Evaluator<'a> {
                 columns: out.len(),
             });
         }
+        let _span = self.obs.span("eval.cq");
         let model = CostModel::new(self.stats);
         let mut acc = Relation::unit();
         let mut first = true;
         for &idx in &model.order_atoms(&cq.body) {
             let atom = &cq.body[idx];
             if first {
+                let sw = self.obs.stopwatch();
                 acc = scan_atom(self.store, atom)?;
-                metrics.record_scan(format!("scan t{}", idx + 1), acc.len());
+                metrics.record_scan_timed(format!("scan t{}", idx + 1), acc.len(), sw.elapsed());
+                self.obs.add("op.scan.count", 1);
+                self.obs.add("op.scan.rows", acc.len() as u64);
                 first = false;
             } else {
                 let atom_card = model.atom_cardinality(atom);
                 let shares = atom.vars().any(|v| acc.column_index(v).is_some());
                 if shares && (acc.len() as f64) * model.params.probe_cost_per_row < atom_card {
+                    let sw = self.obs.stopwatch();
                     acc = bind_join(self.store, &acc, atom)?;
-                    metrics.record(format!("bind-join t{}", idx + 1), acc.len());
+                    metrics.record_timed(
+                        format!("bind-join t{}", idx + 1),
+                        acc.len(),
+                        sw.elapsed(),
+                    );
+                    self.obs.add("op.bind_join.count", 1);
+                    self.obs.add("op.bind_join.rows", acc.len() as u64);
                 } else {
+                    let sw = self.obs.stopwatch();
                     let scanned = scan_atom(self.store, atom)?;
-                    metrics.record_scan(format!("scan t{}", idx + 1), scanned.len());
+                    metrics.record_scan_timed(
+                        format!("scan t{}", idx + 1),
+                        scanned.len(),
+                        sw.elapsed(),
+                    );
+                    self.obs.add("op.scan.count", 1);
+                    self.obs.add("op.scan.rows", scanned.len() as u64);
                     self.check_budget(scanned.len())?;
+                    let sw = self.obs.stopwatch();
                     acc = acc.natural_join(&scanned);
-                    metrics.record("join", acc.len());
+                    metrics.record_timed("join", acc.len(), sw.elapsed());
+                    self.obs.add("op.join.count", 1);
+                    self.obs.add("op.join.rows", acc.len() as u64);
                 }
             }
             self.check_budget(acc.len())?;
@@ -150,6 +184,7 @@ impl<'a> Evaluator<'a> {
 
     /// Evaluate a UCQ as the deduplicated union of its disjuncts.
     pub fn eval_ucq(&self, ucq: &Ucq, out: &[Var], metrics: &mut ExecMetrics) -> Result<Relation> {
+        let _span = self.obs.span("eval.ucq");
         let mut union = Relation::empty(out.to_vec());
         if self.parallel && ucq.len() >= PARALLEL_UNION_THRESHOLD {
             let n_threads = std::thread::available_parallelism()
@@ -157,16 +192,25 @@ impl<'a> Evaluator<'a> {
                 .unwrap_or(4)
                 .min(ucq.len());
             let chunks: Vec<&[Cq]> = ucq.cqs.chunks(ucq.len().div_ceil(n_threads)).collect();
+            self.obs.add("union.parallel.unions", 1);
+            self.obs.add("union.parallel.workers", chunks.len() as u64);
             let results: Vec<Result<(Vec<Relation>, ExecMetrics)>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .map(|chunk| {
                         scope.spawn(move || {
+                            // Per-worker busy time feeds the utilization
+                            // histogram; uneven chunks show up as spread.
+                            let sw = self.obs.stopwatch();
                             let mut local_metrics = ExecMetrics::default();
                             let mut rels = Vec::with_capacity(chunk.len());
                             for cq in chunk {
                                 rels.push(self.eval_cq(cq, out, &mut local_metrics)?);
                             }
+                            self.obs.observe(
+                                "union.worker.busy_us",
+                                sw.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                            );
                             Ok((rels, local_metrics))
                         })
                     })
@@ -197,16 +241,19 @@ impl<'a> Evaluator<'a> {
         }
         union.dedup();
         metrics.record("union-dedup", union.len());
+        self.obs.add("op.union.rows", union.len() as u64);
         Ok(union)
     }
 
     /// Evaluate a JUCQ: fragments joined on shared column names, projected
     /// on the head, deduplicated.
     pub fn eval_jucq(&self, jucq: &Jucq, metrics: &mut ExecMetrics) -> Result<Relation> {
+        let _span = self.obs.span("eval.jucq");
         let mut frag_rels: Vec<Relation> = Vec::with_capacity(jucq.fragments.len());
         for (i, frag) in jucq.fragments.iter().enumerate() {
             let rel = self.eval_ucq(&frag.ucq, &frag.columns, metrics)?;
             metrics.record(format!("fragment {i}"), rel.len());
+            self.obs.add("op.fragment.rows", rel.len() as u64);
             frag_rels.push(rel);
         }
         if frag_rels.is_empty() {

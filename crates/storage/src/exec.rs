@@ -11,6 +11,7 @@ use crate::store::{IdPattern, Store};
 use rdfref_model::TermId;
 use rdfref_query::ast::{Atom, PTerm};
 use rdfref_query::Var;
+use std::time::Duration;
 
 /// One recorded execution step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +20,9 @@ pub struct ExecStep {
     pub label: String,
     /// Rows produced by the operator.
     pub rows: usize,
+    /// Operator wall time. `Duration::ZERO` unless a recorder was installed
+    /// when the step ran (timing is only measured under observation).
+    pub wall: Duration,
 }
 
 /// Execution metrics: per-operator row counts and aggregates.
@@ -35,9 +39,15 @@ pub struct ExecMetrics {
 impl ExecMetrics {
     /// Record an operator's output size.
     pub fn record(&mut self, label: impl Into<String>, rows: usize) {
+        self.record_timed(label, rows, Duration::ZERO);
+    }
+
+    /// Record an operator's output size together with its wall time.
+    pub fn record_timed(&mut self, label: impl Into<String>, rows: usize, wall: Duration) {
         self.steps.push(ExecStep {
             label: label.into(),
             rows,
+            wall,
         });
         self.peak_intermediate = self.peak_intermediate.max(rows);
     }
@@ -46,6 +56,12 @@ impl ExecMetrics {
     pub fn record_scan(&mut self, label: impl Into<String>, rows: usize) {
         self.rows_scanned += rows;
         self.record(label, rows);
+    }
+
+    /// Record a timed scan (also counted in `rows_scanned`).
+    pub fn record_scan_timed(&mut self, label: impl Into<String>, rows: usize, wall: Duration) {
+        self.rows_scanned += rows;
+        self.record_timed(label, rows, wall);
     }
 
     /// Merge metrics from a sub-evaluation (parallel union branches).

@@ -46,6 +46,7 @@ impl Default for Config {
             library_crates: [
                 "rdf",
                 "query",
+                "obs",
                 "storage",
                 "reasoning",
                 "datalog",

@@ -40,8 +40,18 @@ fn main() {
     .unwrap();
 
     println!("=== works created by the top author ===");
-    let sat = db.answer(&q_creator, Strategy::Saturation, &opts).unwrap();
-    let gcv = db.answer(&q_creator, Strategy::RefGCov, &opts).unwrap();
+    let sat = db
+        .query(&q_creator)
+        .strategy(Strategy::Saturation)
+        .options(opts.clone())
+        .run()
+        .unwrap();
+    let gcv = db
+        .query(&q_creator)
+        .strategy(Strategy::RefGCov)
+        .options(opts.clone())
+        .run()
+        .unwrap();
     assert_eq!(sat.rows(), gcv.rows());
     println!(
         "complete answer  : {} works (Sat {:?}, Ref/GCov {:?}, cover {})",
@@ -61,7 +71,10 @@ fn main() {
         ("no reasoning", IncompletenessProfile::none()),
     ] {
         let partial = db
-            .answer(&q_creator, Strategy::RefIncomplete(profile), &opts)
+            .query(&q_creator)
+            .strategy(Strategy::RefIncomplete(profile))
+            .options(opts.clone())
+            .run()
             .unwrap();
         println!(
             "{label:<17}: {} works ({} missing)",
@@ -93,7 +106,12 @@ fn main() {
 
     // Ref needs no maintenance: just re-prepare and re-ask.
     let db2 = Database::new(reasoner.explicit().clone());
-    let after = db2.answer(&q_creator, Strategy::RefGCov, &opts).unwrap();
+    let after = db2
+        .query(&q_creator)
+        .strategy(Strategy::RefGCov)
+        .options(opts.clone())
+        .run()
+        .unwrap();
     println!(
         "re-asking via Ref: {} works (one more than before: {})",
         after.len(),

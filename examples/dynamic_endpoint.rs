@@ -57,13 +57,19 @@ fn main() {
 
         let start = Instant::now();
         let sat = db
-            .answer(&query, Strategy::Saturation, &opts)
+            .query(&query)
+            .strategy(Strategy::Saturation)
+            .options(opts.clone())
+            .run()
             .expect("Sat answers");
         sat_time += start.elapsed();
 
         let start = Instant::now();
         let gcv = db
-            .answer(&query, Strategy::RefGCov, &opts)
+            .query(&query)
+            .strategy(Strategy::RefGCov)
+            .options(opts.clone())
+            .run()
             .expect("Ref answers");
         ref_time += start.elapsed();
 

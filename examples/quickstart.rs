@@ -66,7 +66,10 @@ fn main() {
         Strategy::Datalog,
     ] {
         let answer = db
-            .answer(&q, strategy.clone(), &opts)
+            .query(&q)
+            .strategy(strategy.clone())
+            .options(opts.clone())
+            .run()
             .expect("answering succeeds");
         println!("=== {} ===", strategy.name());
         for row in answer.decoded(db.graph().dictionary()) {
@@ -79,11 +82,12 @@ fn main() {
     // Incomplete reformulation (Virtuoso/AllegroGraph-style) misses the
     // answer entirely: it needs the subPropertyOf constraint.
     let partial = db
-        .answer(
-            &q,
-            Strategy::RefIncomplete(IncompletenessProfile::subclass_only()),
-            &opts,
-        )
+        .query(&q)
+        .strategy(Strategy::RefIncomplete(
+            IncompletenessProfile::subclass_only(),
+        ))
+        .options(opts.clone())
+        .run()
         .expect("incomplete answering runs");
     println!(
         "=== Ref/incomplete (subclass only) ===\n  answers: {} (missed {})",

@@ -21,15 +21,12 @@ fn main() {
 
     let example1 = queries::example1(&ds, 0).expect("workload is well-formed");
     let db = Database::new(ds.graph.clone());
-    let opts = AnswerOptions {
-        // Keep the UCQ attempt from consuming the machine: the point of
-        // Example 1 is that it is infeasible.
-        limits: ReformulationLimits {
-            max_cqs: 50_000,
-            ..Default::default()
-        },
-        ..AnswerOptions::default()
-    };
+    // Keep the UCQ attempt from consuming the machine: the point of
+    // Example 1 is that it is infeasible.
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 50_000,
+        ..Default::default()
+    });
 
     println!("=== the paper's Example 1 query ===");
     println!(
@@ -40,7 +37,10 @@ fn main() {
     // Reference answer via saturation.
     let start = Instant::now();
     let reference = db
-        .answer(&example1, Strategy::Saturation, &opts)
+        .query(&example1)
+        .strategy(Strategy::Saturation)
+        .options(opts.clone())
+        .run()
         .expect("Sat works");
     println!(
         "Sat              : {:>6} answers in {:?} ({} triples materialized)\n",
@@ -50,7 +50,12 @@ fn main() {
     );
 
     // (i) UCQ: typically fails by reformulation size.
-    match db.answer(&example1, Strategy::RefUcq, &opts) {
+    match db
+        .query(&example1)
+        .strategy(Strategy::RefUcq)
+        .options(opts.clone())
+        .run()
+    {
         Ok(a) => println!(
             "Ref/UCQ          : {:>6} answers in {:?} ({} CQs)",
             a.len(),
@@ -62,7 +67,10 @@ fn main() {
 
     // (ii) SCQ: feasible but slow (huge intermediate results).
     let scq = db
-        .answer(&example1, Strategy::RefScq, &opts)
+        .query(&example1)
+        .strategy(Strategy::RefScq)
+        .options(opts.clone())
+        .run()
         .expect("SCQ works");
     assert_eq!(scq.rows(), reference.rows());
     println!(
@@ -75,7 +83,10 @@ fn main() {
     // (iii) The paper's hand-picked cover {{t1,t3},{t3,t5},{t2,t4},{t4,t6}}.
     let paper_cover = queries::example1_paper_cover().expect("workload is well-formed");
     let jucq = db
-        .answer(&example1, Strategy::RefJucq(paper_cover.clone()), &opts)
+        .query(&example1)
+        .strategy(Strategy::RefJucq(paper_cover.clone()))
+        .options(opts.clone())
+        .run()
         .expect("paper cover works");
     assert_eq!(jucq.rows(), reference.rows());
     println!(
@@ -87,7 +98,10 @@ fn main() {
 
     // (iv) GCov finds a good cover automatically.
     let gcv = db
-        .answer(&example1, Strategy::RefGCov, &opts)
+        .query(&example1)
+        .strategy(Strategy::RefGCov)
+        .options(opts.clone())
+        .run()
         .expect("GCov works");
     assert_eq!(gcv.rows(), reference.rows());
     println!(
@@ -106,9 +120,17 @@ fn main() {
     );
     for nq in queries::lubm_mix(&ds).expect("workload is well-formed") {
         let sat = db
-            .answer(&nq.cq, Strategy::Saturation, &opts)
+            .query(&nq.cq)
+            .strategy(Strategy::Saturation)
+            .options(opts.clone())
+            .run()
             .expect(nq.name);
-        let gcv = db.answer(&nq.cq, Strategy::RefGCov, &opts).expect(nq.name);
+        let gcv = db
+            .query(&nq.cq)
+            .strategy(Strategy::RefGCov)
+            .options(opts.clone())
+            .run()
+            .expect(nq.name);
         assert_eq!(sat.rows(), gcv.rows(), "{} diverged", nq.name);
         println!(
             "{:<5} {:>8} {:>12?} {:>12?}   {}",

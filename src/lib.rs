@@ -48,10 +48,10 @@
 //!
 //! let db = Database::new(graph);
 //! // Reformulation (cost-based cover) finds the answer WITHOUT saturating:
-//! let ans = db.answer(&q, Strategy::RefGCov, &AnswerOptions::default()).unwrap();
+//! let ans = db.query(&q).strategy(Strategy::RefGCov).run().unwrap();
 //! assert_eq!(ans.len(), 1);
 //! // …and agrees with saturation-based answering:
-//! let sat = db.answer(&q, Strategy::Saturation, &AnswerOptions::default()).unwrap();
+//! let sat = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
 //! assert_eq!(ans.rows(), sat.rows());
 //! ```
 
@@ -67,12 +67,14 @@ pub use rdfref_storage as storage;
 pub mod prelude {
     pub use rdfref_core::answer::{AnswerOptions, Database, QueryAnswer, Strategy};
     pub use rdfref_core::cache::{CacheCounters, PlanCache};
+    pub use rdfref_core::engine::{QueryEngine, QueryRequest};
     pub use rdfref_core::gcov::{gcov, GcovOptions};
     pub use rdfref_core::incomplete::IncompletenessProfile;
     pub use rdfref_core::maintained::MaintainedDatabase;
     pub use rdfref_core::reformulate::{
         reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
     };
+    pub use rdfref_core::{MetricsRegistry, Obs};
     pub use rdfref_model::{Dictionary, Graph, Schema, Term, TermId, Triple};
     pub use rdfref_query::{parse_select, Cover, Cq, Var};
     pub use rdfref_reasoning::{saturate, IncrementalReasoner};

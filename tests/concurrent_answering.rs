@@ -27,9 +27,10 @@ fn reference_workload(
         .into_iter()
         .map(|nq| {
             let reference = db
-                .answer(&nq.cq, Strategy::Saturation, &opts)
+                .run_query(&nq.cq, &Strategy::Saturation, &opts)
                 .unwrap_or_else(|e| panic!("{}: Sat reference failed: {e}", nq.name))
-                .rows();
+                .rows()
+                .to_vec();
             (nq.name.to_string(), nq.cq, reference)
         })
         .collect()
@@ -50,11 +51,12 @@ fn hammer(db: Arc<Database>, workload: Arc<Workload>) {
                         let (name, cq, reference) = &workload[(i + t + round) % workload.len()];
                         let strategy = &strategies[(i + t) % strategies.len()];
                         let got = db
-                            .answer(cq, strategy.clone(), &opts)
+                            .run_query(cq, strategy, &opts)
                             .unwrap_or_else(|e| {
                                 panic!("thread {t}: {name}/{}: {e}", strategy.name())
                             })
-                            .rows();
+                            .rows()
+                            .to_vec();
                         assert_eq!(
                             &got,
                             reference,

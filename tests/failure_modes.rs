@@ -75,7 +75,7 @@ ex:x a ex:A .
         Strategy::RefGCov,
         Strategy::Datalog,
     ] {
-        let a = db.answer(&q, strategy.clone(), &opts).unwrap();
+        let a = db.run_query(&q, &strategy, &opts).unwrap();
         assert_eq!(a.len(), 1, "{}", strategy.name());
     }
 }
@@ -101,7 +101,7 @@ ex:x ex:p ex:y .
     .unwrap();
     let db = Database::new(g);
     let a = db
-        .answer(&q, Strategy::RefUcq, &AnswerOptions::default())
+        .run_query(&q, &Strategy::RefUcq, &AnswerOptions::default())
         .unwrap();
     assert_eq!(a.len(), 1);
 }
@@ -111,14 +111,11 @@ fn reformulation_size_limit_is_exact_and_typed() {
     let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
     let q = rdfref::datagen::queries::example1(&ds, 0).unwrap();
     let db = Database::new(ds.graph.clone());
-    let opts = AnswerOptions {
-        limits: ReformulationLimits {
-            max_cqs: 100,
-            ..Default::default()
-        },
-        ..AnswerOptions::default()
-    };
-    match db.answer(&q, Strategy::RefUcq, &opts) {
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 100,
+        ..Default::default()
+    });
+    match db.run_query(&q, &Strategy::RefUcq, &opts) {
         Err(rdfref::core::CoreError::ReformulationTooLarge { size, limit }) => {
             assert_eq!(limit, 100);
             assert!(size > 100);
@@ -132,14 +129,11 @@ fn row_budget_applies_to_every_strategy() {
     let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
     let mix = rdfref::datagen::queries::lubm_mix(&ds).unwrap();
     let db = Database::new(ds.graph.clone());
-    let opts = AnswerOptions {
-        row_budget: Some(3),
-        ..AnswerOptions::default()
-    };
+    let opts = AnswerOptions::new().with_row_budget(Some(3));
     // Q06 (all students) overflows a budget of 3 under Sat and Ref alike.
     let q6 = &mix.iter().find(|q| q.name == "Q06").unwrap().cq;
     for strategy in [Strategy::Saturation, Strategy::RefUcq, Strategy::RefScq] {
-        let err = db.answer(q6, strategy.clone(), &opts).unwrap_err();
+        let err = db.run_query(q6, &strategy, &opts).unwrap_err();
         assert!(
             matches!(
                 err,
@@ -170,7 +164,7 @@ fn empty_graph_answers_are_empty_not_errors() {
         Strategy::RefGCov,
         Strategy::Datalog,
     ] {
-        let a = db.answer(&q, strategy.clone(), &opts).unwrap();
+        let a = db.run_query(&q, &strategy, &opts).unwrap();
         assert!(a.is_empty(), "{}", strategy.name());
     }
 }

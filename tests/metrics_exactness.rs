@@ -1,0 +1,273 @@
+//! Metrics exactness: the observability layer must report *exact* span and
+//! counter values for a fixed micro-workload, not merely non-zero ones.
+//! Each test uses a fresh `MetricsRegistry` per request (via
+//! `QueryRequest::collect_metrics`), so counts are attributable to a single
+//! answering call.
+
+use rdfref::prelude::*;
+use rdfref_model::parser::parse_turtle;
+use std::sync::Arc;
+
+const DOC: &str = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:Journal rdfs:subClassOf ex:Publication .
+ex:writtenBy rdfs:domain ex:Book .
+ex:doi1 a ex:Book .
+ex:doi2 a ex:Journal .
+ex:doi3 ex:writtenBy ex:author1 .
+"#;
+
+fn setup() -> (Database, Cq) {
+    let mut g = parse_turtle(DOC).unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    (Database::new(g), q)
+}
+
+fn run_with_registry(db: &Database, q: &Cq, strategy: Strategy) -> (usize, Arc<MetricsRegistry>) {
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = db
+        .query(q)
+        .strategy(strategy)
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    (answer.len(), registry)
+}
+
+#[test]
+fn every_strategy_records_exactly_one_answer_span() {
+    let (db, q) = setup();
+    for strategy in [
+        Strategy::Saturation,
+        Strategy::RefUcq,
+        Strategy::RefScq,
+        Strategy::RefGCov,
+        Strategy::Datalog,
+        Strategy::DatalogMagic,
+    ] {
+        let name = strategy.name().to_string();
+        let (n, registry) = run_with_registry(&db, &q, strategy);
+        assert_eq!(n, 3, "{name}: answer count");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("answer.calls"), 1, "{name}: answer.calls");
+        assert_eq!(snap.span_count("answer"), 1, "{name}: answer span");
+    }
+}
+
+#[test]
+fn reformulation_strategies_record_exactly_one_plan_span() {
+    let (db, q) = setup();
+    for (strategy, plan_span) in [
+        (Strategy::RefUcq, "answer.plan.ucq"),
+        (Strategy::RefScq, "answer.plan.scq"),
+        (Strategy::RefGCov, "answer.plan.gcov"),
+    ] {
+        let name = strategy.name().to_string();
+        let (_, registry) = run_with_registry(&db, &q, strategy);
+        let snap = registry.snapshot();
+        assert_eq!(snap.span_count("answer.plan"), 1, "{name}: answer.plan");
+        assert_eq!(snap.span_count(plan_span), 1, "{name}: {plan_span}");
+    }
+}
+
+#[test]
+fn gcov_search_records_the_explored_cover_space() {
+    let (db, q) = setup();
+    let (_, registry) = run_with_registry(&db, &q, Strategy::RefGCov);
+    let snap = registry.snapshot();
+    assert_eq!(snap.span_count("gcov.search"), 1);
+    // A single-atom query has exactly one cover to explore, and on this
+    // micro-graph it is feasible.
+    assert_eq!(snap.counter("gcov.covers_explored"), 1);
+    assert_eq!(snap.counter("gcov.covers_infeasible"), 0);
+}
+
+#[test]
+fn plan_cache_counters_are_exact_across_repeated_calls() {
+    let (db, q) = setup();
+    let registry = Arc::new(MetricsRegistry::new());
+    for _ in 0..3 {
+        db.query(&q)
+            .strategy(Strategy::RefUcq)
+            .collect_metrics(&registry)
+            .run()
+            .unwrap();
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("plan_cache.miss"), 1, "first call misses");
+    assert_eq!(snap.counter("plan_cache.hit"), 2, "later calls hit");
+    assert_eq!(snap.counter("answer.calls"), 3);
+    assert_eq!(snap.span_count("answer"), 3);
+    // Only the miss computes a plan; hits skip straight to evaluation.
+    assert_eq!(snap.span_count("answer.plan.ucq"), 1);
+}
+
+#[test]
+fn disabling_the_cache_recomputes_the_plan_every_call() {
+    let (db, q) = setup();
+    let registry = Arc::new(MetricsRegistry::new());
+    for _ in 0..2 {
+        db.query(&q)
+            .strategy(Strategy::RefUcq)
+            .use_cache(false)
+            .collect_metrics(&registry)
+            .run()
+            .unwrap();
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("plan_cache.hit"), 0);
+    assert_eq!(snap.counter("plan_cache.miss"), 0);
+    assert_eq!(snap.span_count("answer.plan.ucq"), 2);
+}
+
+#[test]
+fn operator_counters_are_exact_for_saturation() {
+    let (db, q) = setup();
+    // Warm saturation outside the measured request so the counters cover
+    // only query evaluation.
+    db.prepare_saturation();
+    let (n, registry) = run_with_registry(&db, &q, Strategy::Saturation);
+    assert_eq!(n, 3);
+    let snap = registry.snapshot();
+    // Sat evaluates the single-atom query as one scan over the saturated
+    // store: one scan operator, one row per answer.
+    assert_eq!(snap.counter("op.scan.count"), 1);
+    assert_eq!(snap.counter("op.scan.rows"), 3);
+    assert_eq!(snap.counter("op.join.count"), 0);
+    assert_eq!(snap.span_count("eval.cq"), 1);
+}
+
+#[test]
+fn operator_counters_are_exact_for_ref_ucq() {
+    let (db, q) = setup();
+    let (n, registry) = run_with_registry(&db, &q, Strategy::RefUcq);
+    assert_eq!(n, 3);
+    let snap = registry.snapshot();
+    // The UCQ reformulation of `?x a ex:Publication` under two subclass
+    // constraints has three disjuncts (Publication, Book, Journal), each a
+    // single-atom CQ answered by one scan: Publication scans 0 explicit
+    // rows, Book and Journal scan 1 each, plus the writtenBy-domain
+    // disjunct if the schema contributes one.
+    assert_eq!(snap.span_count("eval.ucq"), 1);
+    let scans = snap.counter("op.scan.count");
+    let per_cq = snap.span_count("eval.cq");
+    assert_eq!(scans, per_cq, "single-atom disjuncts: one scan per CQ");
+    assert_eq!(snap.counter("op.union.rows"), 3);
+    assert_eq!(snap.counter("op.join.count"), 0);
+}
+
+#[test]
+fn operator_counters_are_exact_for_ref_gcov() {
+    let (db, q) = setup();
+    let (n, registry) = run_with_registry(&db, &q, Strategy::RefGCov);
+    assert_eq!(n, 3);
+    let snap = registry.snapshot();
+    // A single-atom query has one fragment; GCov evaluates it as one UCQ.
+    assert_eq!(snap.span_count("eval.jucq"), 1);
+    assert_eq!(snap.counter("op.union.rows"), 3);
+    assert_eq!(snap.counter("op.budget_abort"), 0);
+}
+
+#[test]
+fn parallel_union_workers_record_into_one_registry_without_loss() {
+    // 20 subclasses push the UCQ reformulation past the 16-disjunct
+    // threshold that turns on parallel union evaluation.
+    let mut doc = String::from(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         @prefix ex: <http://example.org/> .\n",
+    );
+    for i in 0..20 {
+        doc.push_str(&format!(
+            "ex:C{i} rdfs:subClassOf ex:Top .\nex:inst{i} a ex:C{i} .\n"
+        ));
+    }
+    let mut g = parse_turtle(&doc).unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Top }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    let db = Database::new(g);
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = db
+        .query(&q)
+        .strategy(Strategy::RefUcq)
+        .parallel_unions(true)
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    assert_eq!(answer.len(), 20);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("union.parallel.unions"), 1);
+    let workers = snap.counter("union.parallel.workers");
+    assert!(workers >= 1);
+    // Every worker reports its busy time exactly once.
+    let busy = snap.histogram("union.worker.busy_us").expect("histogram");
+    assert_eq!(busy.count, workers);
+    // No rows are lost on the parallel path.
+    assert_eq!(snap.counter("op.union.rows"), 20);
+}
+
+#[test]
+fn registry_loses_no_increments_under_concurrency() {
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 10_000;
+    let registry = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let recorder: Arc<dyn rdfref_obs::Recorder> = registry as _;
+                let obs = Obs::collecting(recorder);
+                for _ in 0..INCREMENTS {
+                    obs.add("test.counter", 1);
+                    let _guard = obs.span("test.span");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("test.counter"), THREADS as u64 * INCREMENTS);
+    assert_eq!(snap.span_count("test.span"), THREADS as u64 * INCREMENTS);
+}
+
+#[test]
+fn concurrent_requests_against_one_registry_account_every_call() {
+    const THREADS: usize = 4;
+    const CALLS: usize = 25;
+    let (db, q) = setup();
+    let db = Arc::new(db);
+    let registry = Arc::new(MetricsRegistry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            let registry = Arc::clone(&registry);
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for _ in 0..CALLS {
+                    db.query(&q)
+                        .strategy(Strategy::RefGCov)
+                        .collect_metrics(&registry)
+                        .run()
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    let expected = (THREADS * CALLS) as u64;
+    assert_eq!(snap.counter("answer.calls"), expected);
+    assert_eq!(snap.span_count("answer"), expected);
+}

@@ -45,7 +45,7 @@ fn section_3_query_answering() {
         Strategy::RefGCov,
         Strategy::Datalog,
     ] {
-        let a = db.answer(&q, strategy.clone(), &opts).unwrap();
+        let a = db.run_query(&q, &strategy, &opts).unwrap();
         assert_eq!(a.len(), 1, "{} found wrong count", strategy.name());
         let row = &a.rows()[0];
         assert_eq!(db.graph().dictionary().term(row[0]), &expected_name);
@@ -54,9 +54,9 @@ fn section_3_query_answering() {
     // Evaluating only the explicit triples gives the empty (incomplete)
     // answer — the motivation for both Sat and Ref.
     let naive = db
-        .answer(
+        .run_query(
             &q,
-            Strategy::RefIncomplete(IncompletenessProfile::none()),
+            &Strategy::RefIncomplete(IncompletenessProfile::none()),
             &opts,
         )
         .unwrap();
@@ -111,16 +111,13 @@ fn example_1_shape() {
     let ds = generate(&LubmConfig::scale(3));
     let q = queries::example1(&ds, 0).unwrap();
     let db = Database::new(ds.graph.clone());
-    let opts = AnswerOptions {
-        limits: ReformulationLimits {
-            max_cqs: 20_000,
-            ..Default::default()
-        },
-        ..AnswerOptions::default()
-    };
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 20_000,
+        ..Default::default()
+    });
 
     // (i) UCQ fails by size.
-    let ucq_err = db.answer(&q, Strategy::RefUcq, &opts).unwrap_err();
+    let ucq_err = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap_err();
     assert!(matches!(
         ucq_err,
         rdfref::core::CoreError::ReformulationTooLarge { .. }
@@ -131,23 +128,23 @@ fn example_1_shape() {
     assert!(size > 20_000, "UCQ size product is {size}");
 
     // Reference answers.
-    let sat = db.answer(&q, Strategy::Saturation, &opts).unwrap();
+    let sat = db.run_query(&q, &Strategy::Saturation, &opts).unwrap();
     assert!(!sat.is_empty());
 
     // (ii) SCQ works, intermediates ≥ answers.
-    let scq = db.answer(&q, Strategy::RefScq, &opts).unwrap();
+    let scq = db.run_query(&q, &Strategy::RefScq, &opts).unwrap();
     assert_eq!(scq.rows(), sat.rows());
 
     // (iii) the paper's cover and GCov agree and look sane.
     let paper = db
-        .answer(
+        .run_query(
             &q,
-            Strategy::RefJucq(queries::example1_paper_cover().unwrap()),
+            &Strategy::RefJucq(queries::example1_paper_cover().unwrap()),
             &opts,
         )
         .unwrap();
     assert_eq!(paper.rows(), sat.rows());
-    let gcv = db.answer(&q, Strategy::RefGCov, &opts).unwrap();
+    let gcv = db.run_query(&q, &Strategy::RefGCov, &opts).unwrap();
     assert_eq!(gcv.rows(), sat.rows());
     // GCov must leave the SCQ starting point (grouping is profitable here).
     assert!(!gcv.explain.cover.as_ref().unwrap().is_scq());
@@ -175,8 +172,8 @@ fn dat_agrees_on_lubm() {
         .into_iter()
         .take(6)
     {
-        let sat = db.answer(&nq.cq, Strategy::Saturation, &opts).unwrap();
-        let dat = db.answer(&nq.cq, Strategy::Datalog, &opts).unwrap();
+        let sat = db.run_query(&nq.cq, &Strategy::Saturation, &opts).unwrap();
+        let dat = db.run_query(&nq.cq, &Strategy::Datalog, &opts).unwrap();
         assert_eq!(sat.rows(), dat.rows(), "{} diverged", nq.name);
     }
 }

@@ -217,7 +217,7 @@ proptest! {
         let (graph, cq) = build(&scenario);
         let db = Database::new(graph);
         let opts = AnswerOptions::default();
-        let reference = db.answer(&cq, AnswerStrategy::Saturation, &opts).unwrap().rows();
+        let reference = db.run_query(&cq, &AnswerStrategy::Saturation, &opts).unwrap().rows().to_vec();
         for strategy in [
             AnswerStrategy::RefUcq,
             AnswerStrategy::RefScq,
@@ -225,7 +225,7 @@ proptest! {
             AnswerStrategy::Datalog,
             AnswerStrategy::DatalogMagic,
         ] {
-            let got = db.answer(&cq, strategy.clone(), &opts).unwrap().rows();
+            let got = db.run_query(&cq, &strategy, &opts).unwrap().rows().to_vec();
             prop_assert_eq!(
                 &got, &reference,
                 "{} diverged on {:?}", strategy.name(), scenario
@@ -239,12 +239,12 @@ proptest! {
         let (graph, cq) = build(&scenario);
         let db = Database::new(graph);
         let opts = AnswerOptions::default();
-        let reference = db.answer(&cq, AnswerStrategy::Saturation, &opts).unwrap().rows();
+        let reference = db.run_query(&cq, &AnswerStrategy::Saturation, &opts).unwrap().rows().to_vec();
         for cover in Cover::enumerate_partitions(cq.size()) {
             let got = db
-                .answer(&cq, AnswerStrategy::RefJucq(cover.clone()), &opts)
+                .run_query(&cq, &AnswerStrategy::RefJucq(cover.clone()), &opts)
                 .unwrap()
-                .rows();
+                .rows().to_vec();
             prop_assert_eq!(&got, &reference, "cover {} diverged", cover);
         }
     }
@@ -321,12 +321,12 @@ proptest! {
         let all: Vec<EncodedTriple> = graph.triples().to_vec();
         let mut db = MaintainedDatabase::new(graph);
         let cached = AnswerOptions::default();
-        let uncached = AnswerOptions { use_cache: false, ..AnswerOptions::default() };
+        let uncached = AnswerOptions::new().with_use_cache(false);
         let strategies = [AnswerStrategy::RefUcq, AnswerStrategy::RefGCov];
 
         // Prime the cache so the mutations below invalidate real entries.
         for strategy in &strategies {
-            db.answer(&cq, strategy.clone(), &cached).unwrap();
+            db.run_query(&cq, strategy, &cached).unwrap();
         }
 
         for (is_insert, sel) in &ops {
@@ -349,12 +349,12 @@ proptest! {
                     .collect();
                 db.delete(&batch);
             }
-            let reference = db.answer(&cq, AnswerStrategy::Saturation, &cached).unwrap().rows();
+            let reference = db.run_query(&cq, &AnswerStrategy::Saturation, &cached).unwrap().rows().to_vec();
             for strategy in &strategies {
                 // Twice cached (miss-then-hit path) plus once uncached.
-                let first = db.answer(&cq, strategy.clone(), &cached).unwrap().rows();
-                let second = db.answer(&cq, strategy.clone(), &cached).unwrap().rows();
-                let fresh = db.answer(&cq, strategy.clone(), &uncached).unwrap().rows();
+                let first = db.run_query(&cq, strategy, &cached).unwrap().rows().to_vec();
+                let second = db.run_query(&cq, strategy, &cached).unwrap().rows().to_vec();
+                let fresh = db.run_query(&cq, strategy, &uncached).unwrap().rows().to_vec();
                 prop_assert_eq!(
                     &first, &reference,
                     "{} cached diverged after update", strategy.name()

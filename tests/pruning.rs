@@ -12,19 +12,16 @@ fn pruned_reformulations_answer_identically() {
     let ds = generate(&LubmConfig::default());
     let db = Database::new(ds.graph.clone());
     let plain = AnswerOptions::default();
-    let pruned = AnswerOptions {
-        limits: ReformulationLimits {
-            max_cqs: 500_000,
-            prune_subsumed_below: 10_000,
-        },
-        ..AnswerOptions::default()
-    };
+    let pruned = AnswerOptions::new().with_limits(ReformulationLimits {
+        max_cqs: 500_000,
+        prune_subsumed_below: 10_000,
+    });
     for nq in queries::lubm_mix(&ds).unwrap() {
         if nq.name == "Q09" {
             continue; // 6 atoms: UCQ is slow in debug builds; covered below
         }
-        let a = db.answer(&nq.cq, Strategy::RefUcq, &plain).unwrap();
-        let b = db.answer(&nq.cq, Strategy::RefUcq, &pruned).unwrap();
+        let a = db.run_query(&nq.cq, &Strategy::RefUcq, &plain).unwrap();
+        let b = db.run_query(&nq.cq, &Strategy::RefUcq, &pruned).unwrap();
         assert_eq!(a.rows(), b.rows(), "{} diverged under pruning", nq.name);
         assert!(
             b.explain.reformulation_cqs <= a.explain.reformulation_cqs,

@@ -21,14 +21,16 @@ fn complete_strategies() -> Vec<Strategy> {
 fn check_equivalence(db: &Database, cq: &Cq, label: &str) {
     let opts = AnswerOptions::default();
     let reference = db
-        .answer(cq, Strategy::Saturation, &opts)
+        .run_query(cq, &Strategy::Saturation, &opts)
         .unwrap_or_else(|e| panic!("{label}: Sat failed: {e}"))
-        .rows();
+        .rows()
+        .to_vec();
     for strategy in complete_strategies() {
         let got = db
-            .answer(cq, strategy.clone(), &opts)
+            .run_query(cq, &strategy, &opts)
             .unwrap_or_else(|e| panic!("{label}/{}: failed: {e}", strategy.name()))
-            .rows();
+            .rows()
+            .to_vec();
         assert_eq!(got, reference, "{label}: {} diverged", strategy.name());
     }
     // Plus a couple of non-trivial covers when the query is big enough.
@@ -36,9 +38,10 @@ fn check_equivalence(db: &Database, cq: &Cq, label: &str) {
         let n = cq.size();
         let halves = Cover::new(vec![(0..n / 2 + 1).collect(), (n / 2..n).collect()], n).unwrap();
         let got = db
-            .answer(cq, Strategy::RefJucq(halves.clone()), &opts)
+            .run_query(cq, &Strategy::RefJucq(halves.clone()), &opts)
             .unwrap_or_else(|e| panic!("{label}/cover {halves}: {e}"))
-            .rows();
+            .rows()
+            .to_vec();
         assert_eq!(got, reference, "{label}: cover {halves} diverged");
     }
 }
@@ -66,14 +69,18 @@ fn lubm_example1_equivalence_small() {
     // UCQ included: at this tiny schema-independent scale it is still huge,
     // so test SCQ/GCov/covers/Sat/Dat only.
     let opts = AnswerOptions::default();
-    let reference = db.answer(&q, Strategy::Saturation, &opts).unwrap().rows();
+    let reference = db
+        .run_query(&q, &Strategy::Saturation, &opts)
+        .unwrap()
+        .rows()
+        .to_vec();
     for strategy in [
         Strategy::RefScq,
         Strategy::RefGCov,
         Strategy::RefJucq(queries::example1_paper_cover().unwrap()),
         Strategy::Datalog,
     ] {
-        let got = db.answer(&q, strategy.clone(), &opts).unwrap().rows();
+        let got = db.run_query(&q, &strategy, &opts).unwrap().rows().to_vec();
         assert_eq!(got, reference, "{} diverged", strategy.name());
     }
 }
@@ -217,16 +224,15 @@ fn parallel_unions_match_sequential() {
     let ds = lubm::generate(&lubm::LubmConfig::default());
     let db = Database::new(ds.graph.clone());
     let sequential = AnswerOptions::default();
-    let parallel = AnswerOptions {
-        parallel_unions: true,
-        ..AnswerOptions::default()
-    };
+    let parallel = AnswerOptions::new().with_parallel_unions(true);
     for nq in queries::lubm_mix(&ds).unwrap() {
         if nq.name == "Q09" {
             continue; // large UCQ; covered by the others
         }
-        let a = db.answer(&nq.cq, Strategy::RefUcq, &sequential).unwrap();
-        let b = db.answer(&nq.cq, Strategy::RefUcq, &parallel).unwrap();
+        let a = db
+            .run_query(&nq.cq, &Strategy::RefUcq, &sequential)
+            .unwrap();
+        let b = db.run_query(&nq.cq, &Strategy::RefUcq, &parallel).unwrap();
         assert_eq!(a.rows(), b.rows(), "{}", nq.name);
     }
 }
@@ -247,7 +253,7 @@ fn incomplete_profiles_are_monotone() {
         ]
         .into_iter()
         .map(|p| {
-            db.answer(&nq.cq, Strategy::RefIncomplete(p), &opts)
+            db.run_query(&nq.cq, &Strategy::RefIncomplete(p), &opts)
                 .unwrap()
                 .len()
         })
@@ -259,7 +265,7 @@ fn incomplete_profiles_are_monotone() {
             counts
         );
         let complete = db
-            .answer(&nq.cq, Strategy::Saturation, &opts)
+            .run_query(&nq.cq, &Strategy::Saturation, &opts)
             .unwrap()
             .len();
         assert_eq!(counts[3], complete, "{}", nq.name);
