@@ -55,6 +55,8 @@
 //! [`rdfref_obs::MetricsRegistry::to_prometheus_text`] /
 //! [`rdfref_obs::MetricsRegistry::to_json`].
 
+#![forbid(unsafe_code)]
+
 pub mod answer;
 pub mod cache;
 pub mod engine;

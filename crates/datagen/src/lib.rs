@@ -24,6 +24,8 @@
 //!
 //! All generators are deterministic given their seed.
 
+#![forbid(unsafe_code)]
+
 pub mod biblio;
 pub mod builder;
 pub mod error;

@@ -22,6 +22,8 @@
 //! transformation that production engines (LogicBlox included) apply to
 //! avoid exactly that full-closure cost.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod encode;
 pub mod engine;

@@ -113,7 +113,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), String> {
         if self.bump() == Some(b) {
             Ok(())
         } else {
@@ -177,7 +177,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect_byte(b'"')?;
+        self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -230,7 +230,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect_byte(b'[')?;
+        self.expect(b'[')?;
         self.depth += 1;
         let mut items = Vec::new();
         self.skip_ws();
@@ -254,7 +254,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect_byte(b'{')?;
+        self.expect(b'{')?;
         self.depth += 1;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -267,7 +267,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect_byte(b':')?;
+            self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);

@@ -35,6 +35,8 @@
 //! assert_eq!(snap.span_count("answer.plan"), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod export;
 pub mod json;
 mod recorder;

@@ -20,6 +20,8 @@
 //! so queries plug directly into the storage layer; parsing therefore interns
 //! into the graph's dictionary.
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod canonical;
 pub mod containment;

@@ -22,6 +22,8 @@
 //! specification (the DB fragment places no restriction on graphs), including
 //! triples about the schema itself.
 
+#![forbid(unsafe_code)]
+
 pub mod dictionary;
 pub mod error;
 pub mod fxhash;

@@ -19,6 +19,8 @@
 //! crate; here, unit and property tests establish idempotence
 //! (`(G∞)∞ = G∞`), monotonicity, and incremental ≡ from-scratch.
 
+#![forbid(unsafe_code)]
+
 pub mod incremental;
 pub mod rules;
 pub mod saturate;

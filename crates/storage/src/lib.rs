@@ -24,6 +24,8 @@
 //! * [`cost`] — cardinality estimation + cost formulas for CQs, UCQs and
 //!   JUCQs (the function `c` of §4 of the paper).
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod error;
 pub mod evaluator;

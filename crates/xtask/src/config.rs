@@ -36,6 +36,10 @@ pub struct Config {
     pub guard_paths: Vec<String>,
     /// Identifiers treated as heavy (graph/dictionary-like) by L006.
     pub heavy_idents: Vec<String>,
+    /// Free functions that acquire and return a lock guard; calls to them
+    /// count as lock acquisitions for L007 (class named by their first
+    /// argument).
+    pub lock_wrappers: Vec<String>,
     /// Residual findings tolerated per (lint, file).
     pub allow: Vec<AllowEntry>,
 }
@@ -61,6 +65,7 @@ impl Default for Config {
                 .to_vec(),
             guard_paths: vec!["crates/core/src/".to_string()],
             heavy_idents: ["graph", "dict", "dictionary"].map(String::from).to_vec(),
+            lock_wrappers: vec!["lock_or_recover".to_string()],
             allow: Vec::new(),
         }
     }
@@ -132,6 +137,7 @@ pub fn parse_config(text: &str) -> Result<Config, ConfigError> {
                 "result_crates" => cfg.result_crates = parse_string_array(value, lineno)?,
                 "guard_paths" => cfg.guard_paths = parse_string_array(value, lineno)?,
                 "heavy_idents" => cfg.heavy_idents = parse_string_array(value, lineno)?,
+                "lock_wrappers" => cfg.lock_wrappers = parse_string_array(value, lineno)?,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -196,6 +202,7 @@ pub fn render_config(cfg: &Config) -> String {
     s.push_str(&format!("result_crates = [{}]\n", arr(&cfg.result_crates)));
     s.push_str(&format!("guard_paths = [{}]\n", arr(&cfg.guard_paths)));
     s.push_str(&format!("heavy_idents = [{}]\n", arr(&cfg.heavy_idents)));
+    s.push_str(&format!("lock_wrappers = [{}]\n", arr(&cfg.lock_wrappers)));
     for a in &cfg.allow {
         s.push_str(&format!(
             "\n[[allow]]\nlint = {:?}\nfile = {:?}\ncount = {}\nreason = {:?}\n",

@@ -1,0 +1,146 @@
+//! `cargo xtask lint --fix` — the mechanical subset of the catalog.
+//!
+//! Only findings with one unambiguous textual repair are auto-fixed:
+//!
+//! * L009 `let _ = x.span(…)` → rename the binding to `_span` so the guard
+//!   lives to end of scope.
+//! * L009 `x.span(…);` in statement position → prepend `let _span = `.
+//! * L011 missing `#![forbid(unsafe_code)]` → insert the attribute after
+//!   the crate's leading `//!` doc block.
+//!
+//! Everything else (lock-order cycles, error-mapping, blocking calls)
+//! needs a human decision and is deliberately left alone.
+
+use crate::lints::Violation;
+
+/// Apply every mechanical fix for `file`'s findings to `src`. Returns the
+/// new text and how many fixes were applied; `None` when nothing applies.
+pub fn apply_fixes(src: &str, violations: &[Violation]) -> Option<(String, usize)> {
+    // Line-local edits applied bottom-up so earlier line/col stay valid.
+    let mut edits: Vec<&Violation> = violations.iter().filter(|v| fixable(v)).collect();
+    if edits.is_empty() {
+        return None;
+    }
+    edits.sort_by_key(|v| (v.line, v.col));
+    edits.reverse();
+
+    let mut lines: Vec<String> = src.lines().map(String::from).collect();
+    let mut applied = 0usize;
+    let mut add_forbid = false;
+    for v in edits {
+        if v.lint == "L011" {
+            add_forbid = true;
+            applied += 1;
+            continue;
+        }
+        let Some(line) = lines.get_mut(v.line as usize - 1) else {
+            continue;
+        };
+        let col = v.col as usize - 1;
+        if v.message.contains("bound to `_`") {
+            // The finding points at the `_` token.
+            if let Some(rest) = char_suffix(line, col) {
+                if rest.starts_with('_') && !rest.starts_with("_s") {
+                    let byte = line.len() - rest.len();
+                    line.replace_range(byte..byte + 1, "_span");
+                    applied += 1;
+                }
+            }
+        } else if v.message.contains("statement position") {
+            // The finding points at the statement's first token.
+            if let Some(rest) = char_suffix(line, col) {
+                let byte = line.len() - rest.len();
+                line.insert_str(byte, "let _span = ");
+                applied += 1;
+            }
+        }
+    }
+    if add_forbid {
+        let at = insert_point(&lines);
+        lines.insert(at, "#![forbid(unsafe_code)]".to_string());
+        if lines.len() > at + 1 && !lines[at + 1].trim().is_empty() {
+            lines.insert(at + 1, String::new());
+        }
+    }
+    if applied == 0 {
+        return None;
+    }
+    let mut text = lines.join("\n");
+    if src.ends_with('\n') {
+        text.push('\n');
+    }
+    Some((text, applied))
+}
+
+fn fixable(v: &Violation) -> bool {
+    match v.lint {
+        "L009" => v.message.contains("bound to `_`") || v.message.contains("statement position"),
+        "L011" => v.message.contains("missing"),
+        _ => false,
+    }
+}
+
+/// The substring of `line` starting at 0-based *character* `col`.
+fn char_suffix(line: &str, col: usize) -> Option<&str> {
+    let byte = line.char_indices().nth(col).map(|(b, _)| b)?;
+    Some(&line[byte..])
+}
+
+/// Line index after the crate's leading `//!` doc block (and the blank
+/// line that usually follows it) — where an inner attribute belongs.
+fn insert_point(lines: &[String]) -> usize {
+    let mut i = 0;
+    while i < lines.len() && lines[i].trim_start().starts_with("//!") {
+        i += 1;
+    }
+    while i < lines.len() && lines[i].trim().is_empty() {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(lint: &'static str, line: u32, col: u32, message: &str) -> Violation {
+        Violation {
+            lint,
+            file: "f.rs".to_string(),
+            line,
+            col,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn renames_underscore_span_bindings() {
+        let src = "fn f(o: &Obs) {\n    let _ = o.span(\"q\");\n}\n";
+        let (fixed, n) =
+            apply_fixes(src, &[v("L009", 2, 9, "span guard bound to `_` — x")]).unwrap();
+        assert_eq!(n, 1);
+        assert!(fixed.contains("let _span = o.span(\"q\");"), "{fixed}");
+    }
+
+    #[test]
+    fn binds_statement_position_spans() {
+        let src = "fn f(o: &Obs) {\n    o.span(\"q\");\n}\n";
+        let (fixed, n) = apply_fixes(
+            src,
+            &[v("L009", 2, 5, "span opened in statement position — x")],
+        )
+        .unwrap();
+        assert_eq!(n, 1);
+        assert!(fixed.contains("let _span = o.span(\"q\");"), "{fixed}");
+    }
+
+    #[test]
+    fn inserts_forbid_after_doc_block() {
+        let src = "//! Crate docs.\n\npub fn f() {}\n";
+        let (fixed, _) = apply_fixes(src, &[v("L011", 1, 1, "crate `x` is missing y")]).unwrap();
+        assert_eq!(
+            fixed,
+            "//! Crate docs.\n\n#![forbid(unsafe_code)]\n\npub fn f() {}\n"
+        );
+    }
+}

@@ -1,0 +1,1046 @@
+//! A recursive-descent *item* parser over the token stream.
+//!
+//! Where the lexer ([`crate::lexer`]) makes the token-level lints safe
+//! against literals and comments, this module gives the *semantic* lints
+//! (L007–L011) the structure they need: the item tree of a file — modules,
+//! `use` declarations, functions with their signatures and body ranges,
+//! impl blocks with their self type and trait — plus expression-level
+//! helpers (receiver chains, statement boundaries) shared by the lints.
+//!
+//! It is still deliberately not a full Rust grammar. Item *headers* are
+//! parsed precisely (visibility, generics with `->`-aware `>` matching,
+//! `where` clauses, use trees with groups/globs/aliases); item *bodies*
+//! are kept as token ranges that the lints scan with the expression
+//! helpers. Everything unknown degrades to an [`ItemKind::Other`] that is
+//! skipped structurally, never mis-parsed.
+
+use crate::lexer::{Tok, TokKind};
+
+/// One `use` leaf after tree expansion: `use a::{b, c as d, e::*};`
+/// expands to three targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseTarget {
+    /// Full path segments, e.g. `["rdfref_storage", "Evaluator"]`.
+    pub path: Vec<String>,
+    /// Name the import binds locally (the alias, or the last segment).
+    /// Empty for glob imports.
+    pub alias: String,
+    /// `use a::b::*;`
+    pub glob: bool,
+}
+
+/// A parsed function signature; all indexes are into the file's tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Index of the name token.
+    pub name_tok: usize,
+    /// `(` … `)` of the parameter list (token indexes, inclusive).
+    pub params: (usize, usize),
+    /// Token range of the return type (`start == end` when `()`-returning).
+    pub ret: (usize, usize),
+    /// `{` … `}` of the body (inclusive); `None` for trait declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// What an item is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` (inline) or `mod name;` (file module).
+    Module {
+        /// Whether the body is inline in this file.
+        inline: bool,
+    },
+    /// A `use` declaration, expanded to its leaf targets.
+    Use {
+        /// Every leaf path the declaration imports.
+        targets: Vec<UseTarget>,
+    },
+    /// A free function or method.
+    Fn(FnSig),
+    /// `impl [Trait for] Type { … }`.
+    Impl {
+        /// Last path segment of the self type (`Evaluator`, `CoreError`).
+        self_ty: String,
+        /// Last path segment of the implemented trait, if any.
+        trait_ty: Option<String>,
+        /// Identifier tokens inside the trait's generic arguments —
+        /// `impl From<QueryError> for CoreError` records `["QueryError"]`.
+        trait_args: Vec<String>,
+    },
+    /// `struct Name …`.
+    Struct,
+    /// `enum Name { … }`.
+    Enum,
+    /// `trait Name { … }`.
+    Trait,
+    /// `type Name = …;` with the aliased type's token range.
+    TypeAlias {
+        /// Tokens of the right-hand side (start, end-exclusive).
+        target: (usize, usize),
+    },
+    /// `const` / `static` item.
+    Const,
+    /// `macro_rules! name { … }` — the body is never scanned.
+    MacroDef,
+    /// Anything the parser does not model; skipped as one unit.
+    Other,
+}
+
+/// One item with its token extent and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Item name (empty for `use` and impls).
+    pub name: String,
+    /// `pub` without a restriction (`pub(crate)` is not public API).
+    pub is_pub: bool,
+    /// Inside `#[cfg(test)]` / `#[test]` / `mod tests`, directly or via an
+    /// ancestor.
+    pub cfg_test: bool,
+    /// First token of the item (including its attributes).
+    pub start: usize,
+    /// One past the last token of the item.
+    pub end: usize,
+    /// Children: module items, impl/trait members.
+    pub children: Vec<Item>,
+    /// 1-based source line of the item keyword.
+    pub line: u32,
+    /// 1-based source column of the item keyword.
+    pub col: u32,
+}
+
+/// Parse the item tree of a whole file.
+pub fn parse_items(toks: &[Tok]) -> Vec<Item> {
+    let mut p = Parser { toks, pos: 0 };
+    p.items_until(toks.len(), false)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    fn is_ident_at(&self, i: usize, name: &str) -> bool {
+        self.at(i).map(|t| t.is_ident(name)).unwrap_or(false)
+    }
+
+    fn is_punct_at(&self, i: usize, c: char) -> bool {
+        self.at(i).map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    fn items_until(&mut self, end: usize, parent_test: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        while self.pos < end {
+            let before = self.pos;
+            match self.item(end, parent_test) {
+                Some(item) => out.push(item),
+                None => {
+                    // A malformed item must not hide the rest of the file
+                    // from the lints: skip one token and keep going.
+                    if self.pos <= before {
+                        self.pos = before + 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse one item starting at `self.pos`; advances past it.
+    fn item(&mut self, end: usize, parent_test: bool) -> Option<Item> {
+        let start = self.pos;
+        let mut cfg_test = parent_test;
+
+        // Attributes (outer and inner): `#[…]` / `#![…]`.
+        while self.pos < end && self.is_punct_at(self.pos, '#') {
+            let mut open = self.pos + 1;
+            if self.is_punct_at(open, '!') {
+                open += 1;
+            }
+            if !self.is_punct_at(open, '[') {
+                break;
+            }
+            let close = matching(self.toks, open, '[', ']')?;
+            if attr_is_test(&self.toks[open + 1..close]) {
+                cfg_test = true;
+            }
+            self.pos = close + 1;
+        }
+        if self.pos >= end {
+            // Trailing attributes with no item (inner attrs at EOF).
+            if self.pos > start {
+                return Some(self.mk(ItemKind::Other, String::new(), false, cfg_test, start));
+            }
+            return None;
+        }
+
+        // Visibility.
+        let mut is_pub = false;
+        if self.is_ident_at(self.pos, "pub") {
+            is_pub = true;
+            self.pos += 1;
+            if self.is_punct_at(self.pos, '(') {
+                // `pub(crate)` & friends: restricted, not public API.
+                is_pub = false;
+                let close = matching(self.toks, self.pos, '(', ')')?;
+                self.pos = close + 1;
+            }
+        }
+
+        // Leading modifiers before `fn`.
+        let mut look = self.pos;
+        while look < end
+            && (self.is_ident_at(look, "const")
+                || self.is_ident_at(look, "unsafe")
+                || self.is_ident_at(look, "async")
+                || self.is_ident_at(look, "extern")
+                || self
+                    .at(look)
+                    .map(|t| t.kind == TokKind::Str)
+                    .unwrap_or(false))
+        {
+            look += 1;
+        }
+        let fn_here = self.is_ident_at(look, "fn");
+
+        let kw = self.at(self.pos)?.clone();
+        if fn_here {
+            self.pos = look;
+            return self.fn_item(start, is_pub, cfg_test, end);
+        }
+        if kw.is_ident("mod") {
+            return self.mod_item(start, is_pub, cfg_test, end);
+        }
+        if kw.is_ident("use") {
+            return self.use_item(start, is_pub, cfg_test, end);
+        }
+        if kw.is_ident("impl") {
+            return self.impl_item(start, is_pub, cfg_test, end);
+        }
+        if kw.is_ident("struct") || kw.is_ident("union") {
+            return self.named_item(start, is_pub, cfg_test, end, ItemKind::Struct);
+        }
+        if kw.is_ident("enum") {
+            return self.named_item(start, is_pub, cfg_test, end, ItemKind::Enum);
+        }
+        if kw.is_ident("trait") {
+            return self.trait_item(start, is_pub, cfg_test, end);
+        }
+        if kw.is_ident("type") {
+            return self.type_alias(start, is_pub, cfg_test, end);
+        }
+        if kw.is_ident("const") || kw.is_ident("static") {
+            self.pos = item_end(self.toks, self.pos).min(end);
+            // Name comes right after the keyword (skipping `mut`).
+            let mut n = start;
+            while n < self.pos && !(self.is_ident_at(n, "const") || self.is_ident_at(n, "static")) {
+                n += 1;
+            }
+            let mut name_at = n + 1;
+            if self.is_ident_at(name_at, "mut") {
+                name_at += 1;
+            }
+            let name = self
+                .at(name_at)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            return Some(self.mk(ItemKind::Const, name, is_pub, cfg_test, start));
+        }
+        if kw.is_ident("macro_rules") {
+            self.pos = item_end(self.toks, self.pos).min(end);
+            return Some(self.mk(ItemKind::MacroDef, String::new(), is_pub, cfg_test, start));
+        }
+        // Anything else (extern crate, stray tokens): one structural unit.
+        self.pos = item_end(self.toks, self.pos).min(end);
+        if self.pos <= start {
+            self.pos = start + 1; // guarantee progress
+        }
+        Some(self.mk(ItemKind::Other, String::new(), is_pub, cfg_test, start))
+    }
+
+    fn mk(&self, kind: ItemKind, name: String, is_pub: bool, cfg_test: bool, start: usize) -> Item {
+        let at = self.toks.get(start).or_else(|| self.toks.last());
+        Item {
+            kind,
+            name,
+            is_pub,
+            cfg_test,
+            start,
+            end: self.pos,
+            children: Vec::new(),
+            line: at.map(|t| t.line).unwrap_or(1),
+            col: at.map(|t| t.col).unwrap_or(1),
+        }
+    }
+
+    fn mod_item(&mut self, start: usize, is_pub: bool, cfg_test: bool, end: usize) -> Option<Item> {
+        self.pos += 1; // `mod`
+        let name = self.ident_here()?;
+        let cfg_test = cfg_test || name == "tests";
+        if self.is_punct_at(self.pos, ';') {
+            self.pos += 1;
+            let mut item = self.mk(
+                ItemKind::Module { inline: false },
+                name,
+                is_pub,
+                cfg_test,
+                start,
+            );
+            item.children = Vec::new();
+            return Some(item);
+        }
+        if !self.is_punct_at(self.pos, '{') {
+            self.pos = item_end(self.toks, self.pos).min(end);
+            return Some(self.mk(ItemKind::Other, name, is_pub, cfg_test, start));
+        }
+        let open = self.pos;
+        let close = matching(self.toks, open, '{', '}')?;
+        self.pos = open + 1;
+        let children = self.items_until(close, cfg_test);
+        self.pos = close + 1;
+        let mut item = self.mk(
+            ItemKind::Module { inline: true },
+            name,
+            is_pub,
+            cfg_test,
+            start,
+        );
+        item.children = children;
+        Some(item)
+    }
+
+    fn use_item(&mut self, start: usize, is_pub: bool, cfg_test: bool, end: usize) -> Option<Item> {
+        self.pos += 1; // `use`
+        let stop = stmt_end(self.toks, self.pos).min(end);
+        let mut targets = Vec::new();
+        let mut pos = self.pos;
+        parse_use_tree(self.toks, &mut pos, stop, &mut Vec::new(), &mut targets);
+        self.pos = stop;
+        Some(self.mk(
+            ItemKind::Use { targets },
+            String::new(),
+            is_pub,
+            cfg_test,
+            start,
+        ))
+    }
+
+    fn fn_item(&mut self, start: usize, is_pub: bool, cfg_test: bool, end: usize) -> Option<Item> {
+        self.pos += 1; // `fn`
+        let name_tok = self.pos;
+        let name = self.ident_here()?;
+        // Generics.
+        if self.is_punct_at(self.pos, '<') {
+            self.pos = skip_generics(self.toks, self.pos)?;
+        }
+        if !self.is_punct_at(self.pos, '(') {
+            self.pos = item_end(self.toks, self.pos).min(end);
+            return Some(self.mk(ItemKind::Other, name, is_pub, cfg_test, start));
+        }
+        let params_open = self.pos;
+        let params_close = matching(self.toks, params_open, '(', ')')?;
+        self.pos = params_close + 1;
+        // Return type: `-> T` up to `{`, `;` or `where` at depth 0.
+        let mut ret = (self.pos, self.pos);
+        if self.is_punct_at(self.pos, '-') && self.is_punct_at(self.pos + 1, '>') {
+            self.pos += 2;
+            let ret_start = self.pos;
+            self.pos = type_end(self.toks, self.pos, end);
+            ret = (ret_start, self.pos);
+        }
+        // Where clause.
+        if self.is_ident_at(self.pos, "where") {
+            while self.pos < end {
+                if self.is_punct_at(self.pos, '{') || self.is_punct_at(self.pos, ';') {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let body = if self.is_punct_at(self.pos, '{') {
+            let open = self.pos;
+            let close = matching(self.toks, open, '{', '}')?;
+            self.pos = close + 1;
+            Some((open, close))
+        } else {
+            if self.is_punct_at(self.pos, ';') {
+                self.pos += 1;
+            }
+            None
+        };
+        let sig = FnSig {
+            name_tok,
+            params: (params_open, params_close),
+            ret,
+            body,
+        };
+        let mut item = self.mk(ItemKind::Fn(sig), name, is_pub, cfg_test, start);
+        // The name token is where findings should point.
+        if let Some(t) = self.toks.get(name_tok) {
+            item.line = t.line;
+            item.col = t.col;
+        }
+        Some(item)
+    }
+
+    fn impl_item(
+        &mut self,
+        start: usize,
+        is_pub: bool,
+        cfg_test: bool,
+        _end: usize,
+    ) -> Option<Item> {
+        self.pos += 1; // `impl`
+        if self.is_punct_at(self.pos, '<') {
+            self.pos = skip_generics(self.toks, self.pos)?;
+        }
+        // First type path (trait, or self type when no `for` follows).
+        let first_start = self.pos;
+        let first_end = impl_path_end(self.toks, self.pos);
+        self.pos = first_end;
+        let (self_ty, trait_ty, trait_args) = if self.is_ident_at(self.pos, "for") {
+            self.pos += 1;
+            let second_start = self.pos;
+            let second_end = impl_path_end(self.toks, self.pos);
+            self.pos = second_end;
+            (
+                path_head_ident(&self.toks[second_start..second_end]),
+                Some(path_head_ident(&self.toks[first_start..first_end])),
+                generic_arg_idents(&self.toks[first_start..first_end]),
+            )
+        } else {
+            (
+                path_head_ident(&self.toks[first_start..first_end]),
+                None,
+                Vec::new(),
+            )
+        };
+        // Where clause.
+        while self.pos < self.toks.len() && !self.is_punct_at(self.pos, '{') {
+            if self.is_punct_at(self.pos, ';') {
+                self.pos += 1;
+                return Some(self.mk(
+                    ItemKind::Impl {
+                        self_ty,
+                        trait_ty,
+                        trait_args,
+                    },
+                    String::new(),
+                    is_pub,
+                    cfg_test,
+                    start,
+                ));
+            }
+            self.pos += 1;
+        }
+        let open = self.pos;
+        let close = matching(self.toks, open, '{', '}')?;
+        self.pos = open + 1;
+        let children = self.items_until(close, cfg_test);
+        self.pos = close + 1;
+        let mut item = self.mk(
+            ItemKind::Impl {
+                self_ty,
+                trait_ty,
+                trait_args,
+            },
+            String::new(),
+            is_pub,
+            cfg_test,
+            start,
+        );
+        item.children = children;
+        Some(item)
+    }
+
+    fn trait_item(
+        &mut self,
+        start: usize,
+        is_pub: bool,
+        cfg_test: bool,
+        end: usize,
+    ) -> Option<Item> {
+        self.pos += 1; // `trait`
+        let name = self.ident_here()?;
+        while self.pos < end && !self.is_punct_at(self.pos, '{') && !self.is_punct_at(self.pos, ';')
+        {
+            self.pos += 1;
+        }
+        if self.is_punct_at(self.pos, '{') {
+            let open = self.pos;
+            let close = matching(self.toks, open, '{', '}')?;
+            self.pos = open + 1;
+            let children = self.items_until(close, cfg_test);
+            self.pos = close + 1;
+            let mut item = self.mk(ItemKind::Trait, name, is_pub, cfg_test, start);
+            item.children = children;
+            return Some(item);
+        }
+        self.pos += 1;
+        Some(self.mk(ItemKind::Trait, name, is_pub, cfg_test, start))
+    }
+
+    fn type_alias(
+        &mut self,
+        start: usize,
+        is_pub: bool,
+        cfg_test: bool,
+        end: usize,
+    ) -> Option<Item> {
+        self.pos += 1; // `type`
+        let name = self.ident_here()?;
+        if self.is_punct_at(self.pos, '<') {
+            self.pos = skip_generics(self.toks, self.pos)?;
+        }
+        let stop = stmt_end(self.toks, self.pos).min(end);
+        let mut target = (self.pos, self.pos);
+        if self.is_punct_at(self.pos, '=') {
+            target = (self.pos + 1, stop.saturating_sub(1).max(self.pos + 1));
+        }
+        self.pos = stop;
+        Some(self.mk(
+            ItemKind::TypeAlias { target },
+            name,
+            is_pub,
+            cfg_test,
+            start,
+        ))
+    }
+
+    fn named_item(
+        &mut self,
+        start: usize,
+        is_pub: bool,
+        cfg_test: bool,
+        end: usize,
+        kind: ItemKind,
+    ) -> Option<Item> {
+        self.pos += 1; // keyword
+        let name = self.ident_here()?;
+        self.pos = item_end(self.toks, self.pos).min(end);
+        Some(self.mk(kind, name, is_pub, cfg_test, start))
+    }
+
+    fn ident_here(&mut self) -> Option<String> {
+        let t = self.at(self.pos)?;
+        if t.kind != TokKind::Ident {
+            return None;
+        }
+        let name = t.text.clone();
+        self.pos += 1;
+        Some(name)
+    }
+}
+
+/// Expand one use tree into leaf targets. `prefix` is the path so far.
+fn parse_use_tree(
+    toks: &[Tok],
+    pos: &mut usize,
+    stop: usize,
+    prefix: &mut Vec<String>,
+    out: &mut Vec<UseTarget>,
+) {
+    let depth_here = prefix.len();
+    let mut segment: Option<String> = None;
+    while *pos < stop {
+        let t = &toks[*pos];
+        match &t.kind {
+            TokKind::Ident => {
+                if t.text == "as" {
+                    *pos += 1;
+                    if *pos < stop && toks[*pos].kind == TokKind::Ident {
+                        let alias = toks[*pos].text.clone();
+                        *pos += 1;
+                        if let Some(seg) = segment.take() {
+                            let mut path = prefix.clone();
+                            path.push(seg);
+                            out.push(UseTarget {
+                                path,
+                                alias,
+                                glob: false,
+                            });
+                        }
+                    }
+                } else {
+                    // Flush a pending leaf before starting a new segment at
+                    // the same level (`{a, b}` without `::`).
+                    segment = Some(t.text.clone());
+                    *pos += 1;
+                }
+            }
+            TokKind::Punct(':') => {
+                // `::` — the pending segment is a path component.
+                *pos += 1;
+                if *pos < stop && toks[*pos].is_punct(':') {
+                    *pos += 1;
+                }
+                if let Some(seg) = segment.take() {
+                    prefix.push(seg);
+                }
+            }
+            TokKind::Punct('*') => {
+                *pos += 1;
+                out.push(UseTarget {
+                    path: prefix.clone(),
+                    alias: String::new(),
+                    glob: true,
+                });
+            }
+            TokKind::Punct('{') => {
+                let close = matching(toks, *pos, '{', '}').unwrap_or(stop);
+                *pos += 1;
+                // Each comma-separated branch re-enters the tree parser.
+                while *pos < close {
+                    parse_use_tree(toks, pos, close, prefix, out);
+                    if *pos < close && toks[*pos].is_punct(',') {
+                        *pos += 1;
+                    }
+                }
+                *pos = close + 1;
+            }
+            TokKind::Punct(',') | TokKind::Punct(';') | TokKind::Punct('}') => break,
+            _ => {
+                *pos += 1;
+            }
+        }
+    }
+    // A trailing bare segment is a leaf: `use a::b;` or `{self, c}`.
+    if let Some(seg) = segment {
+        let mut path = prefix.clone();
+        let alias = if seg == "self" {
+            // `use a::b::{self}` imports `b` itself.
+            path.last().cloned().unwrap_or_default()
+        } else {
+            path.push(seg.clone());
+            seg
+        };
+        out.push(UseTarget {
+            path,
+            alias,
+            glob: false,
+        });
+    }
+    prefix.truncate(depth_here);
+}
+
+/// `#[cfg(test)]`, `#[cfg(any(test, …))]`, `#[test]`.
+pub(crate) fn attr_is_test(attr: &[Tok]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("test") => attr.len() == 1,
+        Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Matching close delimiter for the open delimiter at `open`.
+pub(crate) fn matching(toks: &[Tok], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index one past the item starting at `start`: skips to the first `;` at
+/// delimiter depth 0, or past the first matched `{ … }` block.
+pub(crate) fn item_end(toks: &[Tok], mut start: usize) -> usize {
+    let n = toks.len();
+    while start < n && toks[start].is_punct('#') && start + 1 < n && toks[start + 1].is_punct('[') {
+        match matching(toks, start + 1, '[', ']') {
+            Some(c) => start = c + 1,
+            None => return n,
+        }
+    }
+    let mut i = start;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i < n {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct(';') if paren == 0 && bracket == 0 => return i + 1,
+            TokKind::Punct('{') if paren == 0 && bracket == 0 => {
+                return matching(toks, i, '{', '}').map(|c| c + 1).unwrap_or(n);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+/// One past the `;` ending the statement at `from`, tracking all three
+/// delimiter kinds — `let x = match y { … };` ends after the semicolon,
+/// not inside the match.
+pub(crate) fn stmt_end(toks: &[Tok], from: usize) -> usize {
+    let n = toks.len();
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut i = from;
+    while i < n {
+        match toks[i].kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => {
+                brace -= 1;
+                if brace < 0 {
+                    return i; // scope closed before any `;`
+                }
+            }
+            TokKind::Punct(';') if paren == 0 && bracket == 0 && brace == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Skip a generic parameter list starting at `<`; returns the index after
+/// the matching `>`. A `>` that is the second half of `->` (same line,
+/// adjacent column, preceded by `-`) does not close a level.
+pub(crate) fn skip_generics(toks: &[Tok], open: usize) -> Option<usize> {
+    debug_assert!(toks[open].is_punct('<'));
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                let arrow = i > 0
+                    && toks[i - 1].is_punct('-')
+                    && toks[i - 1].line == toks[i].line
+                    && toks[i - 1].col + 1 == toks[i].col;
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i + 1);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// End of a type in return position: the first `{`, `;` or `where` at
+/// delimiter depth 0 (angles tracked with the same `->` awareness).
+fn type_end(toks: &[Tok], from: usize, stop: usize) -> usize {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut i = from;
+    while i < stop.min(toks.len()) {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => {
+                let arrow = i > 0
+                    && toks[i - 1].is_punct('-')
+                    && toks[i - 1].line == toks[i].line
+                    && toks[i - 1].col + 1 == toks[i].col;
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') | TokKind::Punct(';')
+                if angle <= 0 && paren == 0 && bracket == 0 =>
+            {
+                return i;
+            }
+            TokKind::Ident if t.text == "where" && angle <= 0 && paren == 0 && bracket == 0 => {
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    stop.min(toks.len())
+}
+
+/// End of a type path in an impl header: stops before `for`, `where`, `{`
+/// or `;` at angle depth 0.
+fn impl_path_end(toks: &[Tok], from: usize) -> usize {
+    let mut angle = 0i32;
+    let mut i = from;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Punct('{') | TokKind::Punct(';') if angle <= 0 => return i,
+            TokKind::Ident if angle <= 0 && (t.text == "for" || t.text == "where") => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// The type's head identifier: last path segment before any generics —
+/// `rdfref_storage::Evaluator<'a>` → `Evaluator`; `&mut Foo` → `Foo`.
+pub(crate) fn path_head_ident(toks: &[Tok]) -> String {
+    let mut head = String::new();
+    for t in toks {
+        match &t.kind {
+            TokKind::Punct('<') => break,
+            TokKind::Ident if !matches!(t.text.as_str(), "dyn" | "mut" | "r#dyn") => {
+                head = t.text.clone();
+            }
+            _ => {}
+        }
+    }
+    head
+}
+
+/// Identifier tokens inside the first `< … >` of a type path —
+/// `From<QueryError>` → `["QueryError"]`.
+fn generic_arg_idents(toks: &[Tok]) -> Vec<String> {
+    let Some(open) = toks.iter().position(|t| t.is_punct('<')) else {
+        return Vec::new();
+    };
+    toks[open + 1..]
+        .iter()
+        .take_while(|t| !t.is_punct('>'))
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Walk a method-call receiver chain *backwards* from the `.` before the
+/// method name; returns the identifier segments bottom-up — for
+/// `self.shard_of(key).lock()` seen from `lock`'s dot, this yields
+/// `["self", "shard_of"]`. Call argument lists are skipped.
+pub(crate) fn receiver_chain(toks: &[Tok], dot: usize) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let mut i = dot; // the '.'
+    loop {
+        if i == 0 {
+            break;
+        }
+        i -= 1; // element before the dot
+                // Skip one call's arguments.
+        if toks[i].is_punct(')') {
+            let mut depth = 0i32;
+            loop {
+                if toks[i].is_punct(')') {
+                    depth += 1;
+                } else if toks[i].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if i == 0 {
+                    return segs.into_iter().rev().collect();
+                }
+                i -= 1;
+            }
+            if i == 0 {
+                break;
+            }
+            i -= 1;
+        }
+        if toks[i].kind != TokKind::Ident {
+            break;
+        }
+        segs.push(toks[i].text.clone());
+        // Continue only through another `.` (stop at `::`, operators, …).
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            break;
+        }
+        i -= 1; // the next '.'
+    }
+    segs.into_iter().rev().collect()
+}
+
+/// Start of the statement containing `at`: the token after the nearest
+/// `;`, `{` or `}` before it at the same nesting.
+pub(crate) fn stmt_start(toks: &[Tok], at: usize) -> usize {
+    let mut i = at;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while i > 0 {
+        let t = &toks[i - 1];
+        match t.kind {
+            TokKind::Punct(')') => paren += 1,
+            TokKind::Punct('(') => {
+                paren -= 1;
+                if paren < 0 {
+                    return i;
+                }
+            }
+            TokKind::Punct(']') => bracket += 1,
+            TokKind::Punct('[') => {
+                bracket -= 1;
+                if bracket < 0 {
+                    return i;
+                }
+            }
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}')
+                if paren == 0 && bracket == 0 =>
+            {
+                return i;
+            }
+            _ => {}
+        }
+        i -= 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn names(items: &[Item]) -> Vec<&str> {
+        items.iter().map(|i| i.name.as_str()).collect()
+    }
+
+    #[test]
+    fn parses_fns_mods_and_impls() {
+        let src = r#"
+            pub fn free(x: u32) -> Result<u32, E> { Ok(x) }
+            mod inner {
+                pub(crate) fn hidden() {}
+            }
+            impl Foo {
+                pub fn method(&self) -> bool { true }
+            }
+            impl From<Bar> for Foo {
+                fn from(b: Bar) -> Foo { Foo }
+            }
+        "#;
+        let items = parse_items(&lex(src));
+        assert_eq!(items.len(), 4);
+        assert!(matches!(&items[0].kind, ItemKind::Fn(sig) if sig.body.is_some()));
+        assert!(items[0].is_pub);
+        match &items[1].kind {
+            ItemKind::Module { inline: true } => {
+                assert_eq!(names(&items[1].children), ["hidden"]);
+                assert!(!items[1].children[0].is_pub, "pub(crate) is not pub");
+            }
+            other => panic!("expected module, got {other:?}"),
+        }
+        match &items[2].kind {
+            ItemKind::Impl {
+                self_ty, trait_ty, ..
+            } => {
+                assert_eq!(self_ty, "Foo");
+                assert!(trait_ty.is_none());
+                assert_eq!(names(&items[2].children), ["method"]);
+            }
+            other => panic!("expected impl, got {other:?}"),
+        }
+        match &items[3].kind {
+            ItemKind::Impl {
+                self_ty,
+                trait_ty,
+                trait_args,
+            } => {
+                assert_eq!(self_ty, "Foo");
+                assert_eq!(trait_ty.as_deref(), Some("From"));
+                assert_eq!(trait_args, &["Bar"]);
+            }
+            other => panic!("expected From impl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_derail() {
+        let src = "fn apply<F: Fn(u32) -> u32>(f: F) -> u32 { f(1) }";
+        let items = parse_items(&lex(src));
+        assert_eq!(items.len(), 1);
+        let ItemKind::Fn(sig) = &items[0].kind else {
+            panic!("not a fn: {:?}", items[0].kind);
+        };
+        assert!(sig.body.is_some());
+    }
+
+    #[test]
+    fn use_trees_expand_groups_globs_and_aliases() {
+        let src = "use a::b::{c, d as e, f::*, self};";
+        let items = parse_items(&lex(src));
+        let ItemKind::Use { targets } = &items[0].kind else {
+            panic!("not a use: {:?}", items[0].kind);
+        };
+        let find = |alias: &str| targets.iter().find(|t| t.alias == alias);
+        assert_eq!(find("c").unwrap().path, ["a", "b", "c"]);
+        assert_eq!(find("e").unwrap().path, ["a", "b", "d"]);
+        assert_eq!(find("b").unwrap().path, ["a", "b"], "self imports b");
+        let glob = targets.iter().find(|t| t.glob).unwrap();
+        assert_eq!(glob.path, ["a", "b", "f"]);
+    }
+
+    #[test]
+    fn cfg_test_marks_items_and_descendants() {
+        let src = r#"
+            fn prod() {}
+            #[cfg(test)]
+            mod checks {
+                fn helper() {}
+            }
+            mod tests {
+                fn also_exempt() {}
+            }
+        "#;
+        let items = parse_items(&lex(src));
+        assert!(!items[0].cfg_test);
+        assert!(items[1].cfg_test);
+        assert!(items[1].children[0].cfg_test);
+        assert!(items[2].cfg_test, "mod tests is exempt by name");
+    }
+
+    #[test]
+    fn type_alias_records_target() {
+        let src = "pub type Result<T> = std::result::Result<T, StorageError>;";
+        let items = parse_items(&lex(src));
+        let ItemKind::TypeAlias { target } = &items[0].kind else {
+            panic!("not an alias: {:?}", items[0].kind);
+        };
+        let toks = lex(src);
+        let idents: Vec<_> = toks[target.0..target.1]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(idents.contains(&"StorageError".to_string()));
+    }
+
+    #[test]
+    fn receiver_chains_walk_through_calls() {
+        let toks = lex("self.shard_of(key).lock()");
+        let dot = toks.iter().rposition(|t| t.is_punct('.')).expect("a dot");
+        assert_eq!(receiver_chain(&toks, dot), ["self", "shard_of"]);
+        let toks = lex("registry.counters.lock()");
+        let dot = toks.iter().rposition(|t| t.is_punct('.')).unwrap();
+        assert_eq!(receiver_chain(&toks, dot), ["registry", "counters"]);
+    }
+}

@@ -5,14 +5,32 @@
 //! DESIGN.md: library code must surface failures through the crate error
 //! enums, never abort, and a few project-specific footguns (lock guards
 //! held across `Database::answer`, heavy clones in loops) are caught
-//! structurally. Built with a small hand-rolled lexer so it has zero
-//! dependencies and works in the offline build container.
+//! structurally. On top of the token lints, an item parser ([`items`]) and
+//! crate-wide item graph ([`graph`]) drive the semantic lints
+//! (L007 lock-order cycles, L008 cross-crate error discipline, L009 span
+//! hygiene, L010 blocking-in-worker, L011 forbid(unsafe_code)), with SARIF
+//! 2.1.0 export ([`sarif`]) and mechanical fixes ([`fix`]). Built with a
+//! small hand-rolled lexer so it has zero dependencies and works in the
+//! offline build container.
 
 pub mod config;
+pub mod fix;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod lints;
 pub mod runner;
+pub mod sarif;
+pub mod semlints;
 
 pub use config::{parse_config, render_config, AllowEntry, Config};
-pub use lints::{lint_file, FileContext, Violation};
-pub use runner::{format_report, regenerate_allowlist, run_lints, LintReport};
+pub use fix::apply_fixes;
+pub use graph::{ItemGraph, ParsedFile};
+pub use items::{parse_items, Item, ItemKind};
+pub use lints::{lint_file, lint_tokens, FileContext, Violation};
+pub use runner::{
+    collect_files, format_report, lint_sources, regenerate_allowlist, run_lints, scan_roots,
+    LintReport,
+};
+pub use sarif::to_sarif;
+pub use semlints::semantic_lints;

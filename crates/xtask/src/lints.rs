@@ -13,6 +13,7 @@
 //! exempt from every lint: test code may unwrap freely.
 
 use crate::config::Config;
+use crate::items::{attr_is_test, item_end, matching};
 use crate::lexer::{lex, Tok, TokKind};
 
 /// A single finding.
@@ -47,8 +48,8 @@ impl FileContext {
 }
 
 /// Token-index structure shared by all lints.
-struct Analysis {
-    toks: Vec<Tok>,
+struct Analysis<'a> {
+    toks: &'a [Tok],
     /// Per-token: inside a `#[cfg(test)]` item / `#[test]` fn / `mod tests`.
     exempt: Vec<bool>,
     /// Per-token: nesting depth of `for`/`while`/`loop` bodies.
@@ -60,7 +61,13 @@ struct Analysis {
 /// Lint one file's source text. `cfg` supplies lint scoping and the L006
 /// identifier heuristics; allowlisting happens in the caller.
 pub fn lint_file(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Violation> {
-    let analysis = analyze(lex(src));
+    lint_tokens(&lex(src), ctx, cfg)
+}
+
+/// Lint one file that is already lexed — the two-phase runner parses every
+/// file once and shares the tokens between the token lints and the graph.
+pub fn lint_tokens(toks: &[Tok], ctx: &FileContext, cfg: &Config) -> Vec<Violation> {
+    let analysis = analyze(toks);
     let mut out = Vec::new();
     lint_l001_l002_l003(&analysis, ctx, cfg, &mut out);
     if cfg.result_crates.contains(&ctx.crate_name) {
@@ -78,7 +85,7 @@ pub fn lint_file(src: &str, ctx: &FileContext, cfg: &Config) -> Vec<Violation> {
     out
 }
 
-fn analyze(toks: Vec<Tok>) -> Analysis {
+fn analyze(toks: &[Tok]) -> Analysis<'_> {
     let n = toks.len();
     let mut exempt = vec![false; n];
     let mut loop_depth = vec![0u16; n];
@@ -100,12 +107,12 @@ fn analyze(toks: Vec<Tok>) -> Analysis {
     let mut i = 0;
     while i < n {
         if toks[i].is_punct('#') && i + 1 < n && toks[i + 1].is_punct('[') {
-            let close = match matching(&toks, i + 1, '[', ']') {
+            let close = match matching(toks, i + 1, '[', ']') {
                 Some(c) => c,
                 None => break,
             };
             if attr_is_test(&toks[i + 2..close]) {
-                let end = item_end(&toks, close + 1);
+                let end = item_end(toks, close + 1);
                 for e in exempt.iter_mut().take(end).skip(i) {
                     *e = true;
                 }
@@ -121,7 +128,7 @@ fn analyze(toks: Vec<Tok>) -> Analysis {
             && i + 2 < n
             && toks[i + 2].is_punct('{')
         {
-            let end = matching(&toks, i + 2, '{', '}').map(|c| c + 1).unwrap_or(n);
+            let end = matching(toks, i + 2, '{', '}').map(|c| c + 1).unwrap_or(n);
             for e in exempt.iter_mut().take(end).skip(i) {
                 *e = true;
             }
@@ -137,13 +144,13 @@ fn analyze(toks: Vec<Tok>) -> Analysis {
         let t = &toks[i];
         let body_open = if t.is_ident("loop") {
             (i + 1 < n && toks[i + 1].is_punct('{')).then_some(i + 1)
-        } else if t.is_ident("while") || (t.is_ident("for") && for_is_loop(&toks, i)) {
-            first_block_open(&toks, i + 1)
+        } else if t.is_ident("while") || (t.is_ident("for") && for_is_loop(toks, i)) {
+            first_block_open(toks, i + 1)
         } else {
             None
         };
         if let Some(open) = body_open {
-            if let Some(close) = matching(&toks, open, '{', '}') {
+            if let Some(close) = matching(toks, open, '{', '}') {
                 for d in loop_depth.iter_mut().take(close).skip(open + 1) {
                     *d += 1;
                 }
@@ -158,63 +165,6 @@ fn analyze(toks: Vec<Tok>) -> Analysis {
         loop_depth,
         brace_depth,
     }
-}
-
-/// `#[cfg(test)]`, `#[cfg(any(test, …))]`, `#[test]`.
-fn attr_is_test(attr: &[Tok]) -> bool {
-    match attr.first() {
-        Some(t) if t.is_ident("test") => attr.len() == 1,
-        Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
-        _ => false,
-    }
-}
-
-/// Index of the token after the item starting at `start` (attributes,
-/// visibility, keywords, then either `… ;` or `… { … }`).
-fn item_end(toks: &[Tok], mut start: usize) -> usize {
-    let n = toks.len();
-    // Skip further attributes.
-    while start < n && toks[start].is_punct('#') && start + 1 < n && toks[start + 1].is_punct('[') {
-        match matching(toks, start + 1, '[', ']') {
-            Some(c) => start = c + 1,
-            None => return n,
-        }
-    }
-    let mut i = start;
-    let mut paren = 0i32;
-    let mut bracket = 0i32;
-    while i < n {
-        let t = &toks[i];
-        match t.kind {
-            TokKind::Punct('(') => paren += 1,
-            TokKind::Punct(')') => paren -= 1,
-            TokKind::Punct('[') => bracket += 1,
-            TokKind::Punct(']') => bracket -= 1,
-            TokKind::Punct(';') if paren == 0 && bracket == 0 => return i + 1,
-            TokKind::Punct('{') if paren == 0 && bracket == 0 => {
-                return matching(toks, i, '{', '}').map(|c| c + 1).unwrap_or(n);
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    n
-}
-
-/// Matching close delimiter for the open delimiter at `open`.
-fn matching(toks: &[Tok], open: usize, o: char, c: char) -> Option<usize> {
-    let mut depth = 0i32;
-    for (i, t) in toks.iter().enumerate().skip(open) {
-        if t.is_punct(o) {
-            depth += 1;
-        } else if t.is_punct(c) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(i);
-            }
-        }
-    }
-    None
 }
 
 /// First `{` after `from` at paren/bracket depth 0 — the loop body opener.
@@ -330,7 +280,7 @@ const PANICKY: &[&str] = &[
 /// sweep, any surviving site is simultaneously an L001/L002 finding; L004
 /// points at the signature that should change.)
 fn lint_l004(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
-    let toks = &a.toks;
+    let toks = a.toks;
     let n = toks.len();
     let mut i = 0;
     while i < n {
@@ -420,7 +370,7 @@ fn lint_l004(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
 /// before any call into `Database::answer` in the same scope — otherwise a
 /// cache shard can deadlock against answering's own cache use.
 fn lint_l005(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
-    let toks = &a.toks;
+    let toks = a.toks;
     let n = toks.len();
     let mut i = 0;
     while i < n {
@@ -490,7 +440,7 @@ fn lint_l005(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
 /// L006: `.clone()` of a heavy value (graph/dictionary-like identifier) in
 /// a loop body — an O(data) copy per iteration.
 fn lint_l006(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut Vec<Violation>) {
-    let toks = &a.toks;
+    let toks = a.toks;
     let n = toks.len();
     for i in 0..n {
         if a.exempt[i] || a.loop_depth[i] == 0 {

@@ -2,7 +2,10 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::{format_report, parse_config, regenerate_allowlist, render_config, run_lints, Config};
+use xtask::{
+    apply_fixes, collect_files, format_report, parse_config, regenerate_allowlist, render_config,
+    run_lints, to_sarif, Config,
+};
 
 const USAGE: &str = "\
 usage: cargo xtask lint [options]
@@ -12,6 +15,10 @@ Project-specific static analysis (see DESIGN.md, 'Lint catalog').
 options:
   --root <dir>        workspace root (default: nearest ancestor with Cargo.toml + crates/)
   --config <file>     lints.toml path (default: <root>/crates/xtask/lints.toml)
+  --format <fmt>      report format: human (default) or sarif (SARIF 2.1.0)
+  --out <file>        write the report there instead of stdout
+  --fix               apply the mechanical fixes (L009 span bindings, L011
+                      missing forbid attribute), then re-lint
   --write-allowlist   rewrite lints.toml budgets from the current findings
   -h, --help          this help
 ";
@@ -35,10 +42,16 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut write_allowlist = false;
+    let mut format = String::from("human");
+    let mut out_path: Option<PathBuf> = None;
+    let mut fix = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--config" => config_path = args.next().map(PathBuf::from),
+            "--format" => format = args.next().unwrap_or_default(),
+            "--out" => out_path = args.next().map(PathBuf::from),
+            "--fix" => fix = true,
             "--write-allowlist" => write_allowlist = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -50,6 +63,11 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if format != "human" && format != "sarif" {
+        eprintln!("unknown format {format:?} (expected human or sarif)\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
     }
 
     let root = match root.or_else(find_root) {
@@ -76,13 +94,53 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run_lints(&root, &cfg) {
+    let mut report = match run_lints(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if fix {
+        let mut fixed_files = 0usize;
+        let mut fixed_sites = 0usize;
+        for (path, ctx) in collect_files(&root, &cfg) {
+            let for_file: Vec<_> = report
+                .violations
+                .iter()
+                .filter(|v| v.file == ctx.path)
+                .cloned()
+                .collect();
+            if for_file.is_empty() {
+                continue;
+            }
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xtask: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if let Some((text, n)) = apply_fixes(&src, &for_file) {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("xtask: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                fixed_files += 1;
+                fixed_sites += n;
+            }
+        }
+        println!("xtask lint --fix: {fixed_sites} fixes applied across {fixed_files} files");
+        // Re-lint so the report (and the exit code) reflect the fixed tree.
+        report = match run_lints(&root, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::from(2);
+            }
+        };
+    }
 
     if write_allowlist {
         let next = regenerate_allowlist(&cfg, &report.violations);
@@ -99,7 +157,27 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    print!("{}", format_report(&report, &cfg));
+    let rendered = if format == "sarif" {
+        to_sarif(&report, &cfg)
+    } else {
+        format_report(&report, &cfg)
+    };
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, rendered) {
+                eprintln!("xtask: cannot write {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+            // Keep a one-line status on stdout so CI logs stay readable.
+            println!(
+                "xtask lint: wrote {} report to {} ({})",
+                format,
+                p.display(),
+                if report.clean() { "clean" } else { "FINDINGS" }
+            );
+        }
+        None => print!("{rendered}"),
+    }
     if report.clean() {
         ExitCode::SUCCESS
     } else {

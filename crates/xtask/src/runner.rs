@@ -1,7 +1,15 @@
-//! File collection, allowlist reconciliation and reporting.
+//! File collection, the two-phase lint pipeline, allowlist reconciliation
+//! and reporting.
+//!
+//! A run is two phases: (1) lex + item-parse every file of every scanned
+//! crate and assemble the [`ItemGraph`]; (2) run the token lints
+//! (L001–L006) per file and the semantic lints (L007–L011) over the whole
+//! graph. The graph also refines L001 (domain methods named `expect`).
 
 use crate::config::{AllowEntry, Config};
-use crate::lints::{lint_file, FileContext, Violation};
+use crate::graph::{ItemGraph, ParsedFile};
+use crate::lints::{lint_tokens, FileContext, Violation};
+use crate::semlints::{refine_l001, semantic_lints};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -25,17 +33,28 @@ impl LintReport {
     }
 }
 
+/// The directories a lint run scans — exactly one `src/` per configured
+/// library crate. `vendor/` and `target/` are excluded *structurally*:
+/// nothing outside these roots is ever read.
+pub fn scan_roots(root: &Path, cfg: &Config) -> Vec<PathBuf> {
+    cfg.library_crates
+        .iter()
+        .map(|krate| {
+            if krate == "rdfref" {
+                root.join("src")
+            } else {
+                root.join("crates").join(krate).join("src")
+            }
+        })
+        .collect()
+}
+
 /// Collect the source files the lints scan: `crates/<c>/src/**/*.rs` for
 /// each configured library crate, plus the workspace root package's
 /// `src/**` when `"rdfref"` is listed.
 pub fn collect_files(root: &Path, cfg: &Config) -> Vec<(PathBuf, FileContext)> {
     let mut out = Vec::new();
-    for krate in &cfg.library_crates {
-        let src = if krate == "rdfref" {
-            root.join("src")
-        } else {
-            root.join("crates").join(krate).join("src")
-        };
+    for (krate, src) in cfg.library_crates.iter().zip(scan_roots(root, cfg)) {
         let mut files = Vec::new();
         walk_rs(&src, &mut files);
         files.sort();
@@ -71,14 +90,36 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
+/// Run the whole catalog (token + semantic lints) over in-memory sources.
+/// Returns every finding plus the assembled graph (for callers that want
+/// to inspect it, e.g. `--fix` and the tests).
+pub fn lint_sources(
+    sources: Vec<(FileContext, String)>,
+    cfg: &Config,
+) -> (Vec<Violation>, ItemGraph) {
+    let parsed: Vec<ParsedFile> = sources
+        .into_iter()
+        .map(|(ctx, src)| ParsedFile::parse(ctx, &src))
+        .collect();
+    let graph = ItemGraph::build(parsed, cfg);
+    let mut violations = Vec::new();
+    for pf in &graph.files {
+        violations.extend(lint_tokens(&pf.toks, &pf.ctx, cfg));
+    }
+    let mut violations = refine_l001(&graph, violations);
+    violations.extend(semantic_lints(&graph, cfg));
+    violations.sort_by_key(|v| (v.file.clone(), v.line, v.col, v.lint));
+    (violations, graph)
+}
+
 /// Run every lint over the repo and reconcile with the allowlist.
 pub fn run_lints(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
     let files = collect_files(root, cfg);
-    let mut violations = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for (path, ctx) in &files {
-        let src = std::fs::read_to_string(path)?;
-        violations.extend(lint_file(&src, ctx, cfg));
+        sources.push((ctx.clone(), std::fs::read_to_string(path)?));
     }
+    let (violations, _graph) = lint_sources(sources, cfg);
 
     // Reconcile against the allowlist: exact budgets.
     let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();

@@ -1,0 +1,184 @@
+//! SARIF 2.1.0 export for `cargo xtask lint --format sarif`.
+//!
+//! The emitter is hand-written: the runtime stays zero-dependency, the
+//! output is deterministic (fixed key order, findings sorted by file,
+//! line, column, lint), and CI can upload the file for inline annotations.
+//! Allowlisted findings are still emitted, but carry an accepted
+//! `suppression` whose justification is the allowlist `reason`, so the
+//! budgeted residue is visible in the SARIF view without failing it.
+
+use crate::config::Config;
+use crate::lints::Violation;
+use crate::runner::LintReport;
+
+/// Static rule metadata for the whole catalog, in rule-index order.
+pub const RULES: &[(&str, &str, &str)] = &[
+    (
+        "L001",
+        "no-unwrap",
+        "No .unwrap()/.expect() in library code",
+    ),
+    (
+        "L002",
+        "no-abort-macro",
+        "No panic!/unreachable!/todo!/unimplemented! in library code",
+    ),
+    (
+        "L003",
+        "no-print-macro",
+        "No println!-family macros in library crates",
+    ),
+    (
+        "L004",
+        "fallible-returns-result",
+        "Public fns that can fail must return the crate Result",
+    ),
+    (
+        "L005",
+        "no-guard-across-answer",
+        "No lock guard held across Database::answer",
+    ),
+    (
+        "L006",
+        "no-heavy-clone-in-loop",
+        "No graph/dictionary clone inside a loop body",
+    ),
+    (
+        "L007",
+        "lock-order-acyclic",
+        "The lock acquisition-order graph must be acyclic",
+    ),
+    (
+        "L008",
+        "cross-crate-error-discipline",
+        "Errors crossing a crate boundary must map into the receiving crate's error enum",
+    ),
+    (
+        "L009",
+        "span-guard-hygiene",
+        "Obs span and stopwatch guards must live to end of scope and be read",
+    ),
+    (
+        "L010",
+        "no-blocking-in-worker",
+        "No thread::sleep or blocking I/O in worker closures or span bodies",
+    ),
+    (
+        "L011",
+        "forbid-unsafe-code",
+        "Library crates must carry #![forbid(unsafe_code)] and never bypass it",
+    ),
+];
+
+/// Render the report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &LintReport, cfg: &Config) -> String {
+    let mut findings: Vec<&Violation> = report.violations.iter().collect();
+    findings.sort_by_key(|v| (v.file.clone(), v.line, v.col, v.lint));
+
+    let mut s = String::with_capacity(4096 + findings.len() * 256);
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"xtask-lint\",\n");
+    s.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    s.push_str("          \"version\": \"0.1.0\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, (id, name, desc)) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": {}, \"name\": {}, \"shortDescription\": {{\"text\": {}}}}}{}\n",
+            json_str(id),
+            json_str(name),
+            json_str(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"columnKind\": \"utf16CodeUnits\",\n");
+    s.push_str("      \"results\": [\n");
+    for (i, v) in findings.iter().enumerate() {
+        let rule_index = RULES.iter().position(|(id, _, _)| *id == v.lint);
+        let allow = cfg
+            .allow
+            .iter()
+            .find(|a| a.lint == v.lint && a.file == v.file);
+        s.push_str("        {\n");
+        s.push_str(&format!("          \"ruleId\": {},\n", json_str(v.lint)));
+        if let Some(ri) = rule_index {
+            s.push_str(&format!("          \"ruleIndex\": {ri},\n"));
+        }
+        s.push_str("          \"level\": \"error\",\n");
+        s.push_str(&format!(
+            "          \"message\": {{\"text\": {}}},\n",
+            json_str(&v.message)
+        ));
+        s.push_str("          \"locations\": [\n            {\n");
+        s.push_str("              \"physicalLocation\": {\n");
+        s.push_str(&format!(
+            "                \"artifactLocation\": {{\"uri\": {}, \"uriBaseId\": \"SRCROOT\"}},\n",
+            json_str(&v.file)
+        ));
+        s.push_str(&format!(
+            "                \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n",
+            v.line, v.col
+        ));
+        s.push_str("              }\n            }\n          ]");
+        if let Some(a) = allow {
+            s.push_str(",\n          \"suppressions\": [\n");
+            s.push_str(&format!(
+                "            {{\"kind\": \"external\", \"status\": \"accepted\", \"justification\": {}}}\n",
+                json_str(&a.reason)
+            ));
+            s.push_str("          ]\n");
+        } else {
+            s.push('\n');
+        }
+        s.push_str("        }");
+        s.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+/// JSON string literal with full escaping.
+pub(crate) fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn rules_cover_the_whole_catalog_in_order() {
+        let ids: Vec<&str> = RULES.iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(
+            ids,
+            [
+                "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+                "L011"
+            ]
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Item-parser fixture: nested modules, glob + group imports, a cfg(test)
+//! subtree whose contents must stay invisible to every lint.
+
+use std::collections::*;
+use crate::outer::inner::{deep, helpers as util};
+
+pub mod outer {
+    pub mod inner {
+        pub fn deep() -> u32 {
+            1
+        }
+
+        pub mod helpers {
+            pub fn assist() -> u32 {
+                2
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod checks {
+        pub fn boom() {
+            panic!("test-only code may panic");
+        }
+    }
+}
+
+pub fn top() -> u32 {
+    3
+}

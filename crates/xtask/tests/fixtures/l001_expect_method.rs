@@ -1,0 +1,23 @@
+//! L001 regression fixture: a domain method named `expect` (the obs JSON
+//! parser idiom) must not be flagged, while `Option::expect` still is.
+
+pub struct Cursor {
+    pos: usize,
+}
+
+impl Cursor {
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.pos += usize::from(b);
+        Ok(())
+    }
+
+    pub fn parse(&mut self) -> Result<(), String> {
+        self.expect(1)?;
+        self.expect(2)?;
+        Ok(())
+    }
+}
+
+pub fn still_flagged(v: Option<u32>) -> u32 {
+    v.expect("boom")
+}

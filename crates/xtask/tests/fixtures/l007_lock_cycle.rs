@@ -1,0 +1,23 @@
+//! L007 fire fixture: two methods acquire the same two shard locks in
+//! opposite orders — the classic ABBA deadlock.
+
+use std::sync::Mutex;
+
+pub struct Shards {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Shards {
+    pub fn sum_ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        0
+    }
+
+    pub fn sum_ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        0
+    }
+}

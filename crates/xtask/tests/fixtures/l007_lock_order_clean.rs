@@ -1,0 +1,30 @@
+//! L007 clean twin: both methods honour the same a-before-b order, and a
+//! third drops its first guard before taking the second.
+
+use std::sync::Mutex;
+
+pub struct Shards {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Shards {
+    pub fn sum_ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        0
+    }
+
+    pub fn also_ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        1
+    }
+
+    pub fn disjoint(&self) -> u32 {
+        let ga = self.a.lock();
+        drop(ga);
+        let gb = self.b.lock();
+        2
+    }
+}

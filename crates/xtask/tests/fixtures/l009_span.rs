@@ -1,0 +1,15 @@
+//! L009 fire fixture: four distinct span/stopwatch hygiene failures.
+
+pub struct Obs;
+
+pub fn run(obs: &Obs) -> u64 {
+    let _ = obs.span("parse");
+    obs.span("plan");
+    let sw = obs.stopwatch("eval");
+    42
+}
+
+pub fn leak(obs: &Obs) {
+    let _span = obs.span("answer");
+    std::mem::forget(_span);
+}

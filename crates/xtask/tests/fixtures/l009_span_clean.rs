@@ -1,0 +1,15 @@
+//! L009 clean twin: every guard is named and reaches end of scope, and the
+//! stopwatch's measurement is read.
+
+pub struct Obs;
+
+pub fn run(obs: &Obs) -> u128 {
+    let _span = obs.span("parse");
+    let sw = obs.stopwatch("eval");
+    let n = compute();
+    sw.elapsed() + n
+}
+
+fn compute() -> u128 {
+    7
+}

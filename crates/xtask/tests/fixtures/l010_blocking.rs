@@ -1,0 +1,21 @@
+//! L010 fire fixture: a worker closure sleeps and does file I/O, and a
+//! sleep happens while a span guard is live.
+
+pub struct Obs;
+
+pub fn workers(chunks: &[u32]) -> u32 {
+    std::thread::scope(|scope| {
+        for _chunk in chunks {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                let _bytes = std::fs::read("spill.bin");
+            });
+        }
+    });
+    0
+}
+
+pub fn spanned(obs: &Obs) {
+    let _span = obs.span("answer");
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,17 @@
+//! L010 clean twin: workers only compute, and the span body is pure.
+
+pub struct Obs;
+
+pub fn workers(chunks: &[u32]) -> u32 {
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move || chunk.wrapping_mul(3));
+        }
+    });
+    0
+}
+
+pub fn spanned(obs: &Obs, xs: &[u32]) -> u32 {
+    let _span = obs.span("answer");
+    xs.iter().sum()
+}

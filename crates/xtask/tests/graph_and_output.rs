@@ -1,0 +1,301 @@
+//! Item-graph structure tests plus the output-path guarantees: SARIF
+//! round-trip validity, `--write-allowlist` determinism, and the scan-root
+//! exclusion of `vendor/` and `target/`.
+
+use std::path::PathBuf;
+use xtask::{
+    collect_files, lint_sources, parse_config, parse_items, regenerate_allowlist, render_config,
+    run_lints, scan_roots, to_sarif, Config, FileContext, ItemKind, ParsedFile,
+};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+// ---- item parser over the nested fixture -----------------------------------
+
+#[test]
+fn item_parser_handles_nested_modules_and_use_trees() {
+    let src = fixture("items_nested.rs");
+    let pf = ParsedFile::parse(
+        FileContext {
+            path: "crates/rdf/src/fixture.rs".to_string(),
+            crate_name: "rdf".to_string(),
+        },
+        &src,
+    );
+    // The two use declarations expand: one glob, `deep`, and the alias.
+    let mut globs = 0;
+    let mut aliases = Vec::new();
+    for item in &pf.items {
+        if let ItemKind::Use { targets } = &item.kind {
+            for t in targets {
+                if t.glob {
+                    globs += 1;
+                    assert_eq!(t.path, ["std", "collections"]);
+                } else {
+                    aliases.push((t.alias.clone(), t.path.clone()));
+                }
+            }
+        }
+    }
+    assert_eq!(globs, 1);
+    assert!(aliases
+        .iter()
+        .any(|(a, p)| { a == "deep" && p == &["crate", "outer", "inner", "deep"] }));
+    assert!(aliases
+        .iter()
+        .any(|(a, p)| { a == "util" && p == &["crate", "outer", "inner", "helpers"] }));
+
+    // outer > inner > helpers nesting, with cfg(test) on `checks` only.
+    let outer = pf
+        .items
+        .iter()
+        .find(|i| i.name == "outer")
+        .expect("mod outer");
+    let inner = outer
+        .children
+        .iter()
+        .find(|i| i.name == "inner")
+        .expect("mod inner");
+    assert!(inner.children.iter().any(|i| i.name == "helpers"));
+    assert!(!inner.cfg_test);
+    let checks = outer
+        .children
+        .iter()
+        .find(|i| i.name == "checks")
+        .expect("mod checks");
+    assert!(checks.cfg_test);
+    assert!(checks.children.iter().all(|i| i.cfg_test));
+}
+
+#[test]
+fn cfg_test_subtree_is_invisible_to_the_lints() {
+    let src = fixture("items_nested.rs");
+    let (violations, graph) = lint_sources(
+        vec![(
+            FileContext {
+                path: "crates/rdf/src/fixture.rs".to_string(),
+                crate_name: "rdf".to_string(),
+            },
+            src,
+        )],
+        &Config::default(),
+    );
+    // The panic! lives in #[cfg(test)] — no L002 (or anything else).
+    assert!(violations.is_empty(), "violations: {violations:?}");
+    // The graph still indexes the production fns.
+    assert!(graph
+        .free_fns
+        .contains_key(&("rdf".to_string(), "top".to_string())));
+    assert!(graph
+        .free_fns
+        .contains_key(&("rdf".to_string(), "deep".to_string())));
+}
+
+#[test]
+fn parse_items_flags_only_test_subtrees() {
+    let toks = xtask::lexer::lex(&fixture("items_nested.rs"));
+    let items = parse_items(&toks);
+    let test_marked: Vec<&str> = collect_names(&items, true);
+    assert!(test_marked.contains(&"checks"));
+    assert!(!test_marked.contains(&"inner"));
+    assert!(!test_marked.contains(&"top"));
+}
+
+fn collect_names(items: &[xtask::Item], cfg_test: bool) -> Vec<&str> {
+    let mut out = Vec::new();
+    for i in items {
+        if i.cfg_test == cfg_test {
+            out.push(i.name.as_str());
+        }
+        out.extend(collect_names(&i.children, cfg_test));
+    }
+    out
+}
+
+// ---- mini-repo helpers ------------------------------------------------------
+
+fn mini_repo(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join(format!("xtask-graph-tests-{}", std::process::id()))
+        .join(name);
+    // Start clean so reruns see exactly these files.
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, src) in files {
+        let path = root.join(rel);
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(path, src).unwrap();
+    }
+    root
+}
+
+fn rdf_only_config() -> Config {
+    Config {
+        library_crates: vec!["rdf".to_string()],
+        allow: Vec::new(),
+        ..Config::default()
+    }
+}
+
+const DIRTY_LIB: &str =
+    "#![forbid(unsafe_code)]\npub fn f(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n";
+
+// ---- SARIF round-trip -------------------------------------------------------
+
+#[test]
+fn sarif_output_round_trips_as_valid_2_1_0() {
+    let root = mini_repo("sarif", &[("crates/rdf/src/lib.rs", DIRTY_LIB)]);
+    let mut cfg = rdf_only_config();
+    cfg.allow.push(xtask::AllowEntry {
+        lint: "L001".to_string(),
+        file: "crates/rdf/src/lib.rs".to_string(),
+        count: 1,
+        reason: "fixture budget".to_string(),
+    });
+    let report = run_lints(&root, &cfg).unwrap();
+    assert!(report.clean());
+    let sarif = to_sarif(&report, &cfg);
+
+    // Round-trip through the obs JSON parser: syntactic validity plus the
+    // SARIF 2.1.0 shape the CI upload needs.
+    let doc = rdfref_obs::json::parse(&sarif).expect("SARIF must be valid JSON");
+    assert_eq!(doc.get("version").and_then(|v| v.as_str()), Some("2.1.0"));
+    let runs = doc.get("runs").and_then(|r| r.as_array()).expect("runs");
+    assert_eq!(runs.len(), 1);
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(
+        driver.get("name").and_then(|n| n.as_str()),
+        Some("xtask-lint")
+    );
+    let rules = driver
+        .get("rules")
+        .and_then(|r| r.as_array())
+        .expect("rules");
+    assert_eq!(rules.len(), 11, "one rule per catalog entry");
+    assert_eq!(rules[0].get("id").and_then(|i| i.as_str()), Some("L001"));
+
+    let results = runs[0]
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("results");
+    assert_eq!(results.len(), report.violations.len());
+    let r0 = &results[0];
+    assert_eq!(r0.get("ruleId").and_then(|v| v.as_str()), Some("L001"));
+    assert_eq!(r0.get("level").and_then(|v| v.as_str()), Some("error"));
+    let loc = r0
+        .get("locations")
+        .and_then(|l| l.as_array())
+        .and_then(|l| l.first())
+        .and_then(|l| l.get("physicalLocation"))
+        .expect("physicalLocation");
+    assert_eq!(
+        loc.get("artifactLocation")
+            .and_then(|a| a.get("uri"))
+            .and_then(|u| u.as_str()),
+        Some("crates/rdf/src/lib.rs")
+    );
+    assert!(loc
+        .get("region")
+        .and_then(|r| r.get("startLine"))
+        .and_then(|l| l.as_f64())
+        .is_some());
+    // The allowlisted finding carries an accepted suppression.
+    let supp = r0
+        .get("suppressions")
+        .and_then(|s| s.as_array())
+        .expect("suppressions");
+    assert_eq!(
+        supp[0].get("justification").and_then(|j| j.as_str()),
+        Some("fixture budget")
+    );
+}
+
+#[test]
+fn sarif_emission_is_deterministic() {
+    let root = mini_repo("sarif-det", &[("crates/rdf/src/lib.rs", DIRTY_LIB)]);
+    let cfg = rdf_only_config();
+    let a = to_sarif(&run_lints(&root, &cfg).unwrap(), &cfg);
+    let b = to_sarif(&run_lints(&root, &cfg).unwrap(), &cfg);
+    assert_eq!(a, b);
+}
+
+// ---- allowlist determinism --------------------------------------------------
+
+#[test]
+fn write_allowlist_is_byte_identical_across_a_double_run() {
+    let root = mini_repo(
+        "allow-det",
+        &[
+            ("crates/rdf/src/lib.rs", "#![forbid(unsafe_code)]\nmod b;\nmod a;\npub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n"),
+            ("crates/rdf/src/a.rs", "pub fn g(v: &[u32]) -> u32 { *v.first().unwrap() }\n"),
+            ("crates/rdf/src/b.rs", "pub fn h(v: &[u32]) -> u32 { v.first().copied().expect(\"h\") }\n"),
+        ],
+    );
+    let cfg = rdf_only_config();
+    // First run: regenerate from scratch.
+    let report1 = run_lints(&root, &cfg).unwrap();
+    let text1 = render_config(&regenerate_allowlist(&cfg, &report1.violations));
+    // Second run: parse the written config back in and regenerate again.
+    let cfg2 = parse_config(&text1).unwrap();
+    let report2 = run_lints(&root, &cfg2).unwrap();
+    let text2 = render_config(&regenerate_allowlist(&cfg2, &report2.violations));
+    assert_eq!(text1, text2, "allowlist must be stable across runs");
+    // And it is sorted: entries appear in (lint, file) order.
+    let files: Vec<&str> = text1
+        .lines()
+        .filter_map(|l| l.strip_prefix("file = "))
+        .collect();
+    let mut sorted = files.clone();
+    sorted.sort();
+    assert_eq!(files, sorted, "allow entries must be sorted by file");
+}
+
+// ---- scan-root exclusion ----------------------------------------------------
+
+#[test]
+fn vendor_and_target_stay_outside_the_scan_roots() {
+    let cfg = Config::default();
+    let root = PathBuf::from("/repo");
+    let roots = scan_roots(&root, &cfg);
+    assert_eq!(roots.len(), cfg.library_crates.len());
+    for r in &roots {
+        let s = r.to_string_lossy();
+        assert!(
+            !s.contains("vendor") && !s.contains("target"),
+            "scan root {s} must not cover vendor/ or target/"
+        );
+        assert!(
+            s.ends_with("/src"),
+            "every scan root is a crate src dir, got {s}"
+        );
+    }
+
+    // And end-to-end: planted violations under vendor/ and target/ are
+    // never collected, let alone reported.
+    let bad = "pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n";
+    let root = mini_repo(
+        "excluded",
+        &[
+            (
+                "crates/rdf/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn ok() {}\n",
+            ),
+            ("vendor/dep/src/lib.rs", bad),
+            ("target/debug/build/gen.rs", bad),
+            ("crates/rdf/target/out.rs", bad),
+        ],
+    );
+    let cfg = rdf_only_config();
+    let files = collect_files(&root, &cfg);
+    assert_eq!(files.len(), 1, "only crates/rdf/src is scanned: {files:?}");
+    let report = run_lints(&root, &cfg).unwrap();
+    assert!(report.clean(), "over: {:?}", report.over_budget);
+    assert_eq!(report.files_scanned, 1);
+}

@@ -121,7 +121,10 @@ fn rdf_only_config() -> Config {
     }
 }
 
-const ONE_UNWRAP: &str = "pub fn f(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n";
+// The forbid attribute keeps L011 quiet so these tests see exactly one
+// (L001) finding.
+const ONE_UNWRAP: &str =
+    "#![forbid(unsafe_code)]\npub fn f(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n";
 
 fn allow_one_unwrap(count: usize) -> AllowEntry {
     AllowEntry {
@@ -184,7 +187,7 @@ fn over_generous_budget_fails_as_mismatch() {
 fn entry_with_no_findings_is_stale() {
     let root = mini_repo(
         "stale",
-        "pub fn f(v: &[u32]) -> Option<u32> {\n    v.first().copied()\n}\n",
+        "#![forbid(unsafe_code)]\npub fn f(v: &[u32]) -> Option<u32> {\n    v.first().copied()\n}\n",
     );
     let mut cfg = rdf_only_config();
     cfg.allow.push(allow_one_unwrap(1));

@@ -55,6 +55,8 @@
 //! assert_eq!(ans.rows(), sat.rows());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rdfref_core as core;
 pub use rdfref_datagen as datagen;
 pub use rdfref_datalog as datalog;
