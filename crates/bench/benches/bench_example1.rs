@@ -16,10 +16,7 @@ fn bench_example1(c: &mut Criterion) {
     let q = queries::example1(&ds, 0).expect("workload is well-formed");
     let db = Database::new(ds.graph.clone());
     db.prepare_saturation();
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
 
     let mut group = c.benchmark_group("example1");
     group.sample_size(10);
@@ -49,13 +46,7 @@ fn bench_example1(c: &mut Criterion) {
     group.bench_function("gcov_search_only", |b| {
         let ctx = RewriteContext::new(db.schema(), db.closure());
         let model = CostModel::new(db.stats());
-        let gopts = GcovOptions {
-            limits: ReformulationLimits {
-                max_cqs: 50_000,
-                ..Default::default()
-            },
-            ..GcovOptions::default()
-        };
+        let gopts = GcovOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
         b.iter(|| black_box(gcov(&q, &ctx, &model, &gopts).unwrap().cover))
     });
     group.bench_function("gcov_end_to_end", |b| {

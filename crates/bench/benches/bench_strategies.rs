@@ -13,10 +13,7 @@ fn bench_strategies(c: &mut Criterion) {
     let ds = generate(&LubmConfig::scale(2));
     let db = Database::new(ds.graph.clone());
     db.prepare_saturation();
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
     let mix = queries::lubm_mix(&ds).expect("workload is well-formed");
 
     let mut group = c.benchmark_group("strategies");

@@ -106,13 +106,8 @@ fn main() {
     {
         let q = queries::example1(&ds, 0).expect("workload is well-formed");
         let ctx = RewriteContext::new(db.schema(), db.closure());
-        let gcov_opts = GcovOptions {
-            limits: ReformulationLimits {
-                max_cqs: 50_000,
-                ..Default::default()
-            },
-            ..GcovOptions::default()
-        };
+        let gcov_opts =
+            GcovOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
         let variants: Vec<(&str, CostParams)> = vec![
             ("full model", CostParams::default()),
             (
@@ -143,10 +138,8 @@ fn main() {
                 .run_query(
                     &q,
                     &Strategy::RefJucq(result.cover.clone()),
-                    &AnswerOptions::new().with_limits(ReformulationLimits {
-                        max_cqs: 50_000,
-                        ..Default::default()
-                    }),
+                    &AnswerOptions::new()
+                        .with_limits(ReformulationLimits::new().with_max_cqs(50_000)),
                 )
                 .expect("cover evaluates");
             table.row(&[
@@ -234,10 +227,9 @@ fn main() {
             reformulate_ucq(
                 &q,
                 &ctx,
-                ReformulationLimits {
-                    max_cqs: 500_000,
-                    prune_subsumed_below: 10_000,
-                },
+                ReformulationLimits::new()
+                    .with_max_cqs(500_000)
+                    .with_prune_subsumed_below(10_000),
             )
             .unwrap()
         });

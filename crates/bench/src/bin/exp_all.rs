@@ -20,6 +20,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_dataset_stats",
     "exp_completeness",
     "exp_ablations",
+    "exp_serving",
 ];
 
 fn main() {

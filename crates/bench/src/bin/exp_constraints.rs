@@ -18,10 +18,7 @@ use rdfref_query::ast::{Atom, Cq};
 use rdfref_query::Var;
 
 fn main() {
-    let limits = ReformulationLimits {
-        max_cqs: 100_000,
-        ..Default::default()
-    };
+    let limits = ReformulationLimits::new().with_max_cqs(100_000);
     let opts = AnswerOptions::new().with_limits(limits);
 
     let mut table = Table::new(

@@ -41,10 +41,7 @@ fn main() {
         .unwrap_or(4);
     let ds = generate(&LubmConfig::scale(scale));
     let db = Database::new(ds.graph.clone());
-    let limits = ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    };
+    let limits = ReformulationLimits::new().with_max_cqs(50_000);
     let opts = AnswerOptions::new().with_limits(limits);
     let ctx = RewriteContext::new(db.schema(), db.closure());
     let model = CostModel::new(db.stats());
@@ -61,16 +58,7 @@ fn main() {
 
     for (name, q) in targets {
         let (result, search_time) = time(|| {
-            gcov(
-                &q,
-                &ctx,
-                &model,
-                &GcovOptions {
-                    limits,
-                    ..GcovOptions::default()
-                },
-            )
-            .expect("GCov runs")
+            gcov(&q, &ctx, &model, &GcovOptions::new().with_limits(limits)).expect("GCov runs")
         });
         let mut table = Table::new(
             format!(

@@ -19,10 +19,7 @@ fn main() {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
 
     let mut table = Table::new(
         "E5 — runtimes vs data scale (queries Q02 membership / Q09 triangle / Example 1)",

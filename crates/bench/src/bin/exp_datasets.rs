@@ -15,10 +15,7 @@ use rdfref_model::Graph;
 
 fn run_section(table: &mut Table, dataset: &str, graph: &Graph, mix: Vec<NamedQuery>) {
     let db = Database::new(graph.clone());
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
     db.prepare_saturation();
     for nq in mix {
         let mut cells = vec![dataset.to_string(), nq.name.to_string()];

@@ -28,10 +28,7 @@ fn main() {
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let limit = ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    };
+    let limit = ReformulationLimits::new().with_max_cqs(50_000);
 
     let mut table = Table::new(
         "E1 — Example 1: UCQ vs SCQ vs JUCQ vs GCov \
@@ -99,16 +96,7 @@ fn main() {
         // (iv) GCov: search and evaluation timed separately.
         let model = CostModel::new(db.stats());
         let (search, search_time) = time(|| {
-            gcov(
-                &q,
-                &ctx,
-                &model,
-                &GcovOptions {
-                    limits: limit,
-                    ..GcovOptions::default()
-                },
-            )
-            .expect("GCov runs")
+            gcov(&q, &ctx, &model, &GcovOptions::new().with_limits(limit)).expect("GCov runs")
         });
         let gcv = db
             .run_query(&q, &Strategy::RefJucq(search.cover.clone()), &opts)

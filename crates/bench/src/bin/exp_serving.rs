@@ -1,0 +1,256 @@
+//! E10 — snapshot-isolated serving: reader throughput under live churn.
+//!
+//! The server scenario the serving layer exists for: queries keep arriving
+//! while update batches are applied. Readers take lock-free snapshots of a
+//! [`ServingDatabase`]; a churn writer continuously deletes and reinserts a
+//! pool of data triples (a fixed fraction of the dataset) through the
+//! single-writer maintenance pipeline. For every (reader threads × churn
+//! level) cell this measures aggregate answered-queries-per-second over a
+//! fixed window.
+//!
+//! The claim under test: readers are isolated from maintenance. Concretely,
+//! 16-thread throughput under 10 % churn must stay within 2× of the same
+//! readers with the writer idle (enforced unless `EXP_SERVING_ASSERT=0`).
+//!
+//! Scale via `EXP_SCALE` (default 1), window via `EXP_SERVING_MS`
+//! (default 400 ms per cell). `--metrics-out <path>` additionally captures
+//! the serving pipeline's own metrics (publish counts, snapshot age, batch
+//! latencies, reader epoch lag) plus one `bench.serving.qps.*` gauge per
+//! cell; the committed `BENCH_serving.json` is this experiment's artifact.
+
+use rdfref_bench::report::Table;
+use rdfref_bench::MetricsSink;
+use rdfref_core::answer::Strategy;
+use rdfref_core::serving::{ServingDatabase, UpdateBatch};
+use rdfref_datagen::lubm::{generate, LubmConfig};
+use rdfref_datagen::queries;
+use rdfref_model::{vocab, Term, Triple};
+use rdfref_obs::Recorder;
+use rdfref_query::Cq;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const READER_THREADS: &[usize] = &[1, 4, 16];
+const CHURN_PCT: &[usize] = &[0, 1, 10];
+const CHURN_BATCH: usize = 64;
+
+/// Gauge names must be `&'static str`: one per (threads, churn) cell, in
+/// `READER_THREADS` × `CHURN_PCT` order.
+const QPS_GAUGES: [[&str; 3]; 3] = [
+    [
+        "bench.serving.qps.t1.churn0",
+        "bench.serving.qps.t1.churn1",
+        "bench.serving.qps.t1.churn10",
+    ],
+    [
+        "bench.serving.qps.t4.churn0",
+        "bench.serving.qps.t4.churn1",
+        "bench.serving.qps.t4.churn10",
+    ],
+    [
+        "bench.serving.qps.t16.churn0",
+        "bench.serving.qps.t16.churn1",
+        "bench.serving.qps.t16.churn10",
+    ],
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Data triples (no RDFS constraints) eligible for churn: deleting one is a
+/// DRed maintenance step, not a schema change, so the plan cache's schema
+/// epoch stays put while the data epoch advances.
+fn churn_pool(graph: &rdfref_model::Graph, pct: usize) -> Vec<Triple> {
+    if pct == 0 {
+        return Vec::new();
+    }
+    let data: Vec<Triple> = graph
+        .iter_decoded()
+        .filter(|t| match &t.property {
+            Term::Iri(iri) => !vocab::is_rdfs_constraint_property(iri),
+            _ => true,
+        })
+        .collect();
+    let want = (data.len() * pct / 100).max(CHURN_BATCH);
+    data.into_iter().take(want).collect()
+}
+
+/// One measurement cell: `threads` readers hammer snapshots for `window`
+/// while (optionally) a churn writer cycles `pool` through delete+reinsert
+/// batches, pacing itself on tickets so the queue stays bounded. Returns
+/// (total answered queries, observed qps, batches applied).
+fn run_cell(
+    db: &Arc<ServingDatabase>,
+    queries: &[(String, Cq)],
+    threads: usize,
+    pool: &[Triple],
+    window: Duration,
+) -> (u64, f64, u64) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+    let batches = Arc::new(AtomicU64::new(0));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let db = Arc::clone(db);
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            scope.spawn(move || {
+                // Stagger starting queries and alternate strategies so the
+                // cell exercises the cache and the saturation path at once.
+                let strategies = [Strategy::Saturation, Strategy::RefUcq];
+                let mut i = t;
+                while !stop.load(Ordering::Acquire) {
+                    let (name, q) = &queries[i % queries.len()];
+                    let snap = db.snapshot();
+                    let ans = snap
+                        .query(q)
+                        .strategy(strategies[i % 2].clone())
+                        .run()
+                        .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+                    assert!(
+                        ans.explain.snapshot.is_some(),
+                        "{name}: answer lost its snapshot stamp"
+                    );
+                    answered.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        if !pool.is_empty() {
+            let db = Arc::clone(db);
+            let stop = Arc::clone(&stop);
+            let batches = Arc::clone(&batches);
+            scope.spawn(move || {
+                let mut offset = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let end = (offset + CHURN_BATCH).min(pool.len());
+                    let chunk = pool[offset..end].to_vec();
+                    offset = if end == pool.len() { 0 } else { end };
+                    // Delete then reinsert: net zero over a full cycle, so
+                    // every cell starts from the same logical state. Waiting
+                    // on the reinsert ticket paces the writer to the
+                    // pipeline's real maintenance speed.
+                    let del = db
+                        .submit(UpdateBatch::deleting(chunk.clone()))
+                        .expect("serving pipeline alive");
+                    let ins = db
+                        .submit(UpdateBatch::inserting(chunk))
+                        .expect("serving pipeline alive");
+                    drop(del);
+                    let _ = ins.wait().expect("serving pipeline alive");
+                    batches.fetch_add(2, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Release);
+    });
+    let elapsed = started.elapsed();
+    let total = answered.load(Ordering::Relaxed);
+    (
+        total,
+        total as f64 / elapsed.as_secs_f64(),
+        batches.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    let scale = env_usize("EXP_SCALE", 1);
+    let window = Duration::from_millis(env_usize("EXP_SERVING_MS", 400) as u64);
+    let sink = MetricsSink::from_args();
+
+    eprintln!("generating LUBM-like dataset (scale {scale})…");
+    let ds = generate(&LubmConfig::scale(scale));
+    let pools: Vec<Vec<Triple>> = CHURN_PCT
+        .iter()
+        .map(|&pct| churn_pool(&ds.graph, pct))
+        .collect();
+
+    // Two queries with stable, non-empty answers keep the readers honest
+    // without turning the cell into a reformulation benchmark.
+    let mix = queries::lubm_mix(&ds).expect("workload is well-formed");
+    let queries: Vec<(String, Cq)> = mix
+        .into_iter()
+        .filter(|nq| nq.cq.size() <= 2)
+        .take(3)
+        .map(|nq| (nq.name.to_string(), nq.cq))
+        .collect();
+    assert!(!queries.is_empty(), "LUBM mix has no small queries");
+
+    eprintln!(
+        "serving database: saturating {} explicit triples…",
+        ds.graph.len()
+    );
+    let db = Arc::new(ServingDatabase::with_obs(ds.graph.clone(), sink.obs()));
+
+    let mut table = Table::new(
+        format!(
+            "E10 — serving throughput under churn ({} triples, {}-triple batches, {:?} window)",
+            ds.graph.len(),
+            CHURN_BATCH,
+            window
+        ),
+        &[
+            "readers",
+            "churn",
+            "queries",
+            "qps",
+            "maint batches",
+            "vs 0%",
+        ],
+    );
+
+    // qps[threads index][churn index]
+    let mut qps = [[0f64; 3]; 3];
+    for (ti, &threads) in READER_THREADS.iter().enumerate() {
+        for (ci, &pct) in CHURN_PCT.iter().enumerate() {
+            let (total, rate, maint) = run_cell(&db, &queries, threads, &pools[ci], window);
+            qps[ti][ci] = rate;
+            sink.registry.gauge_set(QPS_GAUGES[ti][ci], rate as u64);
+            let vs_zero = rate / qps[ti][0].max(1e-9);
+            table.row(&[
+                threads.to_string(),
+                format!("{pct}%"),
+                total.to_string(),
+                format!("{rate:.0}"),
+                maint.to_string(),
+                format!("{:.2}×", vs_zero),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "final state: published seq {} (every applied batch reached a snapshot)",
+        db.published_seq()
+    );
+
+    // The acceptance gate: churn must not collapse reader throughput.
+    let zero = qps[2][0];
+    let churned = qps[2][2];
+    let ratio = zero / churned.max(1e-9);
+    println!(
+        "16-reader throughput: {zero:.0} qps idle vs {churned:.0} qps under 10% churn ({ratio:.2}× slowdown)"
+    );
+    if std::env::var("EXP_SERVING_ASSERT").as_deref() != Ok("0") {
+        assert!(
+            churned * 2.0 >= zero,
+            "snapshot isolation regressed: 10% churn costs more than 2× \
+             ({zero:.0} qps idle vs {churned:.0} qps churned)"
+        );
+    }
+
+    if let Some((json, prom)) = sink.flush().expect("write metrics") {
+        eprintln!(
+            "metrics written to {} and {}",
+            json.display(),
+            prom.display()
+        );
+    }
+}

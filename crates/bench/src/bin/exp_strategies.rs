@@ -22,10 +22,7 @@ fn main() {
     let ds = generate(&LubmConfig::scale(scale));
     let sink = MetricsSink::from_args();
     let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
     // Warm the saturation once so Sat timings exclude the build (reported
     // separately, as the paper discusses it as a precomputation).
     let sat_added = db.prepare_saturation();

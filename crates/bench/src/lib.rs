@@ -168,10 +168,8 @@ mod tests {
         let ds = generate(&LubmConfig::default());
         let q = rdfref_datagen::queries::example1(&ds, 0).expect("workload is well-formed");
         let db = Database::new(ds.graph.clone());
-        let opts = AnswerOptions::new().with_limits(rdfref_core::ReformulationLimits {
-            max_cqs: 10,
-            ..Default::default()
-        });
+        let opts = AnswerOptions::new()
+            .with_limits(rdfref_core::ReformulationLimits::new().with_max_cqs(10));
         let outcome = run_strategy(&db, &q, Strategy::RefUcq, &opts);
         assert!(outcome.answers.is_err());
         let ok = run_strategy(&db, &q, Strategy::RefScq, &opts);

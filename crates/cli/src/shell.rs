@@ -90,10 +90,7 @@ impl Shell {
             db: None,
             query_text: None,
             strategy: Strategy::RefGCov,
-            limits: ReformulationLimits {
-                max_cqs: 50_000,
-                ..Default::default()
-            },
+            limits: ReformulationLimits::new().with_max_cqs(50_000),
             row_budget: None,
             prefixes,
             dataset_label: "(empty)".to_string(),
@@ -493,6 +490,12 @@ impl Shell {
                 let _ = writeln!(out, "  {name:<24} {v}");
             }
         }
+        if !snap.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &snap.gauges {
+                let _ = writeln!(out, "  {name:<24} {v}");
+            }
+        }
         self.last_explain = Some(answer.explain.clone());
         Ok(Response::text(out.trim_end().to_string()))
     }
@@ -529,16 +532,8 @@ impl Shell {
             }
             "gcov" => {
                 let model = CostModel::new(db.stats());
-                let result = gcov(
-                    &cq,
-                    &ctx,
-                    &model,
-                    &GcovOptions {
-                        limits,
-                        ..GcovOptions::default()
-                    },
-                )
-                .map_err(|e| e.to_string())?;
+                let result = gcov(&cq, &ctx, &model, &GcovOptions::new().with_limits(limits))
+                    .map_err(|e| e.to_string())?;
                 let mut out = format!("GCov cover {} →\n", result.cover);
                 out.push_str(&rdfref_query::display::jucq_to_string(&result.jucq, dict));
                 Ok(Response::text(out.trim_end().to_string()))
@@ -621,16 +616,8 @@ impl Shell {
         let db = self.db();
         let ctx = RewriteContext::new(db.schema(), db.closure());
         let model = CostModel::new(db.stats());
-        let result = gcov(
-            &cq,
-            &ctx,
-            &model,
-            &GcovOptions {
-                limits,
-                ..GcovOptions::default()
-            },
-        )
-        .map_err(|e| e.to_string())?;
+        let result = gcov(&cq, &ctx, &model, &GcovOptions::new().with_limits(limits))
+            .map_err(|e| e.to_string())?;
         let mut out = String::new();
         let _ = writeln!(
             out,

@@ -227,25 +227,41 @@ impl QueryAnswer {
     }
 }
 
-/// Lazily materialized saturation artifacts.
-#[derive(Debug)]
-struct SaturatedPart {
-    store: Store,
-    stats: Stats,
-    added: usize,
+/// Saturation artifacts: store + statistics over `G∞` and the number of
+/// derived triples. Materialized lazily on the first `Saturation` answer,
+/// or installed up front by the serving layer (which maintains `G∞`
+/// incrementally and never wants the from-scratch path).
+#[derive(Debug, Clone)]
+pub(crate) struct SaturatedPart {
+    pub(crate) store: Store,
+    pub(crate) stats: Arc<Stats>,
+    pub(crate) added: usize,
 }
 
 /// A prepared database: graph + schema closure + store + statistics.
+///
+/// All heavyweight parts are `Arc`-shared (and the store's indexes are
+/// `Arc`-shared buckets), so a database assembled by the serving layer from
+/// an existing snapshot costs a handful of reference bumps — the graph
+/// itself is only materialized if a Datalog strategy asks for it.
 #[derive(Debug)]
 pub struct Database {
-    graph: Graph,
-    schema: Schema,
-    closure: SchemaClosure,
+    dict: Arc<rdfref_model::Dictionary>,
+    /// The triple-level graph. Eager for [`Database::new`]; snapshot
+    /// databases materialize it lazily from the store (Datalog only).
+    graph: OnceLock<Arc<Graph>>,
+    schema: Arc<Schema>,
+    closure: Arc<SchemaClosure>,
     store: Store,
-    stats: Stats,
+    stats: Arc<Stats>,
     saturated: OnceLock<SaturatedPart>,
     /// Shared reformulation/plan cache (see [`crate::cache`]).
     cache: Arc<PlanCache>,
+    /// Cache epochs this database is pinned to: `Some((schema, data))` for
+    /// snapshot-assembled databases (their plans must match the snapshot's
+    /// schema/statistics, not whatever the cache's live epochs have moved
+    /// to), `None` for live databases.
+    epochs: Option<(u64, u64)>,
     /// Database-wide observability sink (disabled by default); a request
     /// can override it via [`AnswerOptions::with_obs`].
     obs: Obs,
@@ -266,15 +282,54 @@ impl Database {
         let closure = schema.closure();
         let store = Store::from_graph(&graph);
         let stats = Stats::compute(&store);
+        let dict = Arc::new(graph.dictionary().clone());
+        let cell = OnceLock::new();
+        let _ = cell.set(Arc::new(graph));
         Database {
-            graph,
+            dict,
+            graph: cell,
+            schema: Arc::new(schema),
+            closure: Arc::new(closure),
+            store,
+            stats: Arc::new(stats),
+            saturated: OnceLock::new(),
+            cache,
+            epochs: None,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Assemble a database from pre-built, `Arc`-shared parts — the serving
+    /// layer's constructor. No triple is copied: the store shares its index
+    /// buckets with the writer's working copy, and the graph is left
+    /// unmaterialized until a Datalog strategy needs it.
+    #[allow(clippy::too_many_arguments)] // crate-internal; one arg per Database field
+    pub(crate) fn from_parts(
+        dict: Arc<rdfref_model::Dictionary>,
+        schema: Arc<Schema>,
+        closure: Arc<SchemaClosure>,
+        store: Store,
+        stats: Arc<Stats>,
+        saturated: Option<SaturatedPart>,
+        cache: Arc<PlanCache>,
+        epochs: (u64, u64),
+        obs: Obs,
+    ) -> Database {
+        let sat_cell = OnceLock::new();
+        if let Some(sat) = saturated {
+            let _ = sat_cell.set(sat);
+        }
+        Database {
+            dict,
+            graph: OnceLock::new(),
             schema,
             closure,
             store,
             stats,
-            saturated: OnceLock::new(),
+            saturated: sat_cell,
             cache,
-            obs: Obs::disabled(),
+            epochs: Some(epochs),
+            obs,
         }
     }
 
@@ -299,9 +354,21 @@ impl Database {
         &self.cache
     }
 
-    /// The underlying graph.
+    /// The underlying graph. For snapshot-assembled databases this
+    /// materializes it on first use (one pass over the store plus a
+    /// dictionary clone); databases built from a graph return it directly.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.graph
+            .get_or_init(|| {
+                let triples: Vec<rdfref_model::EncodedTriple> = self.store.iter().collect();
+                Arc::new(Graph::from_encoded((*self.dict).clone(), triples))
+            })
+            .as_ref()
+    }
+
+    /// The dictionary the database's triples are encoded against.
+    pub fn dictionary(&self) -> &rdfref_model::Dictionary {
+        &self.dict
     }
 
     /// The extracted schema.
@@ -327,13 +394,13 @@ impl Database {
     fn saturated_with(&self, obs: &Obs) -> &SaturatedPart {
         self.saturated.get_or_init(|| {
             let _span = obs.span("answer.saturate_init");
-            let mut g = self.graph.clone();
+            let mut g = self.graph().clone();
             let added = saturate_in_place_obs(&mut g, obs);
             let store = Store::from_graph(&g);
             let stats = Stats::compute(&store);
             SaturatedPart {
                 store,
-                stats,
+                stats: Arc::new(stats),
                 added,
             }
         })
@@ -345,16 +412,7 @@ impl Database {
         self.saturated_with(&self.obs.clone()).added
     }
 
-    /// Answer `cq` with `strategy`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Database::query(...).run()` or `run_query`"
-    )]
-    pub fn answer(&self, cq: &Cq, strategy: Strategy, opts: &AnswerOptions) -> Result<QueryAnswer> {
-        self.run_query(cq, &strategy, opts)
-    }
-
-    /// Answer `cq` with `strategy` — the non-deprecated core entry point.
+    /// Answer `cq` with `strategy` — the core entry point.
     ///
     /// Prefer the request builder ([`Database::query`]) in application
     /// code; this method is the generic [`crate::engine::QueryEngine`]
@@ -381,7 +439,7 @@ impl Database {
             Strategy::Saturation => {
                 let sat = self.saturated_with(&obs);
                 explain.saturation_added = sat.added;
-                let mut ev = Evaluator::new(&sat.store, &sat.stats).with_obs(obs.clone());
+                let mut ev = Evaluator::new(&sat.store, sat.stats.as_ref()).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
                 ev.eval_cq(cq, &out, &mut metrics)?
@@ -457,9 +515,9 @@ impl Database {
             }
             Strategy::Datalog | Strategy::DatalogMagic => {
                 let (rows, engine) = if matches!(strategy, Strategy::DatalogMagic) {
-                    rdfref_datalog::answer_datalog_magic_obs(&self.graph, cq, &obs)?
+                    rdfref_datalog::answer_datalog_magic_obs(self.graph(), cq, &obs)?
                 } else {
-                    rdfref_datalog::answer_datalog_obs(&self.graph, cq, &obs)?
+                    rdfref_datalog::answer_datalog_obs(self.graph(), cq, &obs)?
                 };
                 explain.datalog_derived = engine.derived_count;
                 let mut rel = Relation::empty(out.clone());
@@ -522,7 +580,8 @@ impl Database {
             query: canon.query.clone(),
             tag,
         };
-        if let Some(plan) = self.cache.lookup(&key) {
+        let (schema_epoch, data_epoch) = self.cache_epochs();
+        if let Some(plan) = self.cache.lookup_at(&key, schema_epoch, data_epoch) {
             obs.add("plan_cache.hit", 1);
             explain.cache = Some(self.cache_report(true));
             return Ok(rename_plan(&plan, &canon.inverse));
@@ -539,9 +598,19 @@ impl Database {
             };
             self.compute_plan(&canon.query, &canon_req, opts, obs)?
         };
-        let stored = self.cache.insert(key, computed);
+        let stored = self
+            .cache
+            .insert_at(key, computed, schema_epoch, data_epoch);
         explain.cache = Some(self.cache_report(false));
         Ok(rename_plan(&stored, &canon.inverse))
+    }
+
+    /// The epochs plans are validated and tagged against: the pinned
+    /// snapshot epochs for serving-layer databases, the cache's live epochs
+    /// otherwise.
+    fn cache_epochs(&self) -> (u64, u64) {
+        self.epochs
+            .unwrap_or_else(|| (self.cache.schema_epoch(), self.cache.data_epoch()))
     }
 
     /// Plan `cq` from scratch (no cache involvement).
@@ -991,23 +1060,25 @@ ex:bioy ex:hasName "A. Bioy Casares" .
         assert_eq!(a.len(), 3);
     }
 
-    /// The deprecated `answer` shim must return exactly what `run_query`
-    /// returns, for every strategy.
+    /// The request builder is the sole public entry point; it must return
+    /// exactly what the core `run_query` surface returns, for every
+    /// strategy (the old positional-`answer` equivalence, kept against the
+    /// builder path after the shims' removal).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_answer_shim_matches_run_query() {
+    fn builder_path_matches_run_query() {
         let (db, q) = setup(PUBLICATIONS);
         let opts = AnswerOptions::default();
         for strategy in all_complete_strategies() {
-            let old = db.answer(&q, strategy.clone(), &opts).unwrap();
-            let new = db.run_query(&q, &strategy, &opts).unwrap();
+            let built = db.query(&q).strategy(strategy.clone()).run().unwrap();
+            let core = db.run_query(&q, &strategy, &opts).unwrap();
             assert_eq!(
-                old.rows(),
-                new.rows(),
-                "shim diverged for {}",
+                built.rows(),
+                core.rows(),
+                "builder diverged for {}",
                 strategy.name()
             );
-            assert_eq!(old.explain.strategy, new.explain.strategy);
+            assert_eq!(built.explain.strategy, core.explain.strategy);
+            assert_eq!(built.explain.answers, core.explain.answers);
         }
     }
 

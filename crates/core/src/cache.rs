@@ -235,27 +235,43 @@ impl PlanCache {
         self.data_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Look up a plan. Returns `None` (and counts a miss) when absent;
-    /// stale entries are removed on sight and additionally counted as
-    /// invalidations.
+    /// Look up a plan valid under the *current* epochs. Returns `None` (and
+    /// counts a miss) when absent; stale entries are removed on sight and
+    /// additionally counted as invalidations.
     pub fn lookup(&self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
-        let schema = self.schema_epoch();
-        let data = self.data_epoch();
+        self.lookup_at(key, self.schema_epoch(), self.data_epoch())
+    }
+
+    /// Look up a plan valid under the given epoch pair — the entry point
+    /// for snapshot-pinned databases (see [`crate::serving`]): a reader on
+    /// an older snapshot must neither reuse a plan computed against newer
+    /// schema/statistics nor evict one. Entries are only dropped when they
+    /// are stale relative to the *current* epochs (stale for everyone), not
+    /// merely mismatched with a lagging reader's pinned epochs.
+    pub fn lookup_at(&self, key: &CacheKey, schema: u64, data: u64) -> Option<Arc<CachedPlan>> {
+        let cur_schema = self.schema_epoch();
+        let cur_data = self.data_epoch();
         let mut shard = self.shard_of(key).lock();
         if let Some(entry) = shard.map.get_mut(key) {
             #[cfg(feature = "strict-invariants")]
             {
                 // Epoch monotonicity: counters only grow, so no cached entry
-                // can carry an epoch ahead of the current one.
+                // can carry an epoch ahead of the current one, and no reader
+                // can be pinned ahead of the current one.
                 debug_assert!(
-                    entry.schema_epoch <= schema,
-                    "cache entry schema epoch {} ahead of current {schema}",
+                    entry.schema_epoch <= cur_schema,
+                    "cache entry schema epoch {} ahead of current {cur_schema}",
                     entry.schema_epoch
                 );
                 debug_assert!(
-                    entry.data_epoch.is_none_or(|d| d <= data),
-                    "cache entry data epoch {:?} ahead of current {data}",
+                    entry.data_epoch.is_none_or(|d| d <= cur_data),
+                    "cache entry data epoch {:?} ahead of current {cur_data}",
                     entry.data_epoch
+                );
+                debug_assert!(
+                    schema <= cur_schema && data <= cur_data,
+                    "reader pinned to epochs ({schema}, {data}) ahead of current \
+                     ({cur_schema}, {cur_data})"
                 );
             }
             if entry.schema_epoch == schema && entry.data_epoch.is_none_or(|d| d == data) {
@@ -263,8 +279,10 @@ impl PlanCache {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(Arc::clone(&entry.plan));
             }
-            shard.map.remove(key);
-            self.invalidations.fetch_add(1, Ordering::Relaxed);
+            if entry.schema_epoch < cur_schema || entry.data_epoch.is_some_and(|d| d < cur_data) {
+                shard.map.remove(key);
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
@@ -274,10 +292,23 @@ impl PlanCache {
     /// shard's least recently used entry if the shard is full. Returns the
     /// shared handle to the stored plan.
     pub fn insert(&self, key: CacheKey, plan: CachedPlan) -> Arc<CachedPlan> {
-        let data_epoch = key.tag.depends_on_data().then(|| self.data_epoch());
+        self.insert_at(key, plan, self.schema_epoch(), self.data_epoch())
+    }
+
+    /// Insert a plan computed under the given epoch pair (snapshot-pinned
+    /// databases tag entries with their snapshot's epochs so a lagging
+    /// reader cannot publish a stale plan as current).
+    pub fn insert_at(
+        &self,
+        key: CacheKey,
+        plan: CachedPlan,
+        schema: u64,
+        data: u64,
+    ) -> Arc<CachedPlan> {
+        let data_epoch = key.tag.depends_on_data().then_some(data);
         let entry = Entry {
             plan: Arc::new(plan),
-            schema_epoch: self.schema_epoch(),
+            schema_epoch: schema,
             data_epoch,
             last_used: self.tick.fetch_add(1, Ordering::Relaxed),
         };

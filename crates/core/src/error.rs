@@ -32,6 +32,9 @@ pub enum CoreError {
         /// The plan shape the request should have produced, e.g. `"UCQ"`.
         expected: &'static str,
     },
+    /// The serving database's maintenance pipeline has shut down, so a
+    /// submitted write batch can never be applied (or its report was lost).
+    ServingStopped,
 }
 
 impl fmt::Display for CoreError {
@@ -48,6 +51,9 @@ impl fmt::Display for CoreError {
                 f,
                 "internal error: cached plan does not have the expected {expected} shape"
             ),
+            CoreError::ServingStopped => {
+                write!(f, "serving maintenance pipeline has stopped")
+            }
         }
     }
 }

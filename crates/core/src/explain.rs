@@ -57,6 +57,24 @@ pub struct Explain {
     /// Plan-cache outcome, for Ref strategies with the cache enabled
     /// (`None` when the run bypassed the cache).
     pub cache: Option<CacheReport>,
+    /// The immutable snapshot this run was served from (`None` when the
+    /// run went against a plain [`crate::Database`] rather than the
+    /// serving layer).
+    pub snapshot: Option<SnapshotInfo>,
+}
+
+/// Identity of the immutable snapshot a query ran against: its publication
+/// sequence number plus the plan-cache epochs it was tagged with. Two
+/// answers carrying the same `seq` were computed over byte-identical
+/// (graph, saturation, stats) state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Monotonic publication sequence number (0 = initial snapshot).
+    pub seq: u64,
+    /// Plan-cache schema epoch at snapshot construction.
+    pub schema_epoch: u64,
+    /// Plan-cache data epoch at snapshot construction.
+    pub data_epoch: u64,
 }
 
 impl Explain {
@@ -129,6 +147,13 @@ impl fmt::Display for Explain {
                 c.evictions,
                 c.invalidations,
                 cache.entries
+            )?;
+        }
+        if let Some(snap) = &self.snapshot {
+            writeln!(
+                f,
+                "snapshot        : seq {} (schema epoch {}, data epoch {})",
+                snap.seq, snap.schema_epoch, snap.data_epoch
             )?;
         }
         if self.saturation_added > 0 {

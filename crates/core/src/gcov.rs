@@ -27,7 +27,12 @@ use rdfref_query::{Cover, Var};
 use rdfref_storage::{CostEstimate, CostModel};
 
 /// Options controlling the greedy search.
+///
+/// Non-exhaustive (like [`crate::answer::AnswerOptions`]): construct via
+/// [`GcovOptions::new`] (or `default()`) and the `with_*` builder methods.
+/// See DESIGN.md §"Configuration knobs" for every knob and its default.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct GcovOptions {
     /// Per-fragment reformulation limits.
     pub limits: ReformulationLimits,
@@ -50,6 +55,60 @@ impl Default for GcovOptions {
             max_steps: 32,
             connected_moves_only: true,
         }
+    }
+}
+
+impl GcovOptions {
+    /// The default search options (any improvement accepted, 32 steps,
+    /// connected moves only).
+    pub fn new() -> Self {
+        GcovOptions::default()
+    }
+
+    /// Set the per-fragment reformulation limits.
+    pub fn with_limits(mut self, limits: ReformulationLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Set the minimum improvement factor for accepting a candidate
+    /// (1.0 = any improvement).
+    pub fn with_min_improvement(mut self, factor: f64) -> Self {
+        self.min_improvement = factor;
+        self
+    }
+
+    /// Set the cap on search steps.
+    pub fn with_max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Restrict (or not) candidate moves to variable-connected additions.
+    pub fn with_connected_moves_only(mut self, on: bool) -> Self {
+        self.connected_moves_only = on;
+        self
+    }
+
+    /// The per-fragment reformulation limits.
+    pub fn limits(&self) -> &ReformulationLimits {
+        &self.limits
+    }
+
+    /// Minimum improvement factor for accepting a candidate.
+    pub fn min_improvement(&self) -> f64 {
+        self.min_improvement
+    }
+
+    /// Cap on search steps.
+    pub fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    /// Whether candidate moves are restricted to variable-connected
+    /// additions.
+    pub fn connected_moves_only(&self) -> bool {
+        self.connected_moves_only
     }
 }
 

@@ -66,12 +66,13 @@ pub mod gcov;
 pub mod incomplete;
 pub mod maintained;
 pub mod reformulate;
+pub mod serving;
 
 pub use answer::{AnswerOptions, Database, QueryAnswer, Strategy};
 pub use cache::{CacheCounters, CacheKey, CachedPlan, PlanCache, StrategyTag};
 pub use engine::{QueryEngine, QueryRequest};
 pub use error::{CoreError, Result};
-pub use explain::Explain;
+pub use explain::{Explain, SnapshotInfo};
 pub use gcov::{gcov, gcov_with_obs, GcovOptions, GcovResult};
 pub use incomplete::IncompletenessProfile;
 pub use maintained::MaintainedDatabase;
@@ -79,3 +80,4 @@ pub use rdfref_obs::{MetricsRegistry, Obs};
 pub use reformulate::{
     reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
 };
+pub use serving::{BatchReport, BatchTicket, ServingDatabase, Snapshot, UpdateBatch};

@@ -8,61 +8,47 @@
 //! * the saturation is maintained *incrementally* (semi-naive insertion,
 //!   DRed deletion — see [`rdfref_reasoning::incremental`]), so the Sat
 //!   strategy never re-saturates from scratch on data-only updates;
-//! * the Ref strategies only need the explicit store rebuilt — no reasoning
-//!   at all — which is exactly the maintenance asymmetry experiment E6
-//!   measures.
+//! * the Ref strategies only need the explicit store's copy-on-write delta
+//!   applied — no reasoning at all — which is exactly the maintenance
+//!   asymmetry experiment E6 measures.
 //!
-//! Both stores are rebuilt lazily on the first answer after a batch of
-//! updates.
+//! Since the serving layer landed, this type is a thin synchronous shell
+//! over the same single-writer pipeline ([`crate::serving::WriterCore`])
+//! that powers [`crate::ServingDatabase`]: updates fold exact maintenance
+//! deltas into copy-on-write stores and incremental statistics, and
+//! queries run against an immutable [`crate::serving::Snapshot`] rebuilt
+//! lazily after each batch. `&mut self` here buys the synchronous API (no
+//! background thread, no tickets); the answering semantics are identical.
 
-use crate::answer::{AnswerOptions, Database, QueryAnswer, Strategy};
+use crate::answer::{AnswerOptions, QueryAnswer, Strategy};
 use crate::cache::PlanCache;
 use crate::error::Result;
-use crate::explain::Explain;
-use rdfref_model::{vocab, EncodedTriple, Graph, Term, TermId};
+use crate::serving::{Snapshot, WriterCore};
+use rdfref_model::{EncodedTriple, Graph, Term, TermId};
 use rdfref_obs::Obs;
 use rdfref_query::Cq;
-use rdfref_reasoning::IncrementalReasoner;
-use rdfref_storage::evaluator::{head_names, Evaluator};
-use rdfref_storage::{ExecMetrics, Stats, Store};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// A queryable database that stays consistent under updates.
 pub struct MaintainedDatabase {
-    reasoner: IncrementalReasoner,
-    /// Lazily rebuilt facade over the explicit graph (Ref/Dat strategies).
-    explicit_db: Option<Database>,
-    /// Lazily rebuilt store+stats over the maintained saturation (Sat).
-    saturated_store: Option<(Store, Stats)>,
-    /// Triples added to the saturation by the last maintenance operation.
-    last_maintenance_delta: usize,
-    /// Plan cache shared across `explicit_db` rebuilds. Update batches bump
-    /// its epochs (see [`crate::cache`]): every batch bumps the data epoch
-    /// (stale cost-based GCov plans), and batches touching RDFS constraint
-    /// triples also bump the schema epoch (stale reformulations).
-    plan_cache: Arc<PlanCache>,
-    /// Database-wide observability sink; threaded into the incremental
-    /// reasoner (maintenance spans) and the explicit [`Database`] facade.
-    obs: Obs,
+    writer: WriterCore,
+    /// The snapshot queries run against; invalidated by every update batch
+    /// and rebuilt lazily on the next answer (a handful of `Arc` bumps).
+    snapshot: Option<Arc<Snapshot>>,
 }
 
 impl MaintainedDatabase {
     /// Build from an explicit graph (saturates once).
     pub fn new(graph: Graph) -> Self {
         MaintainedDatabase {
-            reasoner: IncrementalReasoner::new(graph),
-            explicit_db: None,
-            saturated_store: None,
-            last_maintenance_delta: 0,
-            plan_cache: Arc::new(PlanCache::default()),
-            obs: Obs::disabled(),
+            writer: WriterCore::from_graph(graph, Arc::new(PlanCache::default()), Obs::disabled()),
+            snapshot: None,
         }
     }
 
     /// Install an observability sink (builder style). Maintenance spans
-    /// (`maintain.insert`, `maintain.delete`, DRed counters) and all
-    /// answering metrics flow into it.
+    /// (`maintain.batch`, insertion/DRed counters) and all answering
+    /// metrics flow into it.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.set_obs(obs);
         self
@@ -70,154 +56,99 @@ impl MaintainedDatabase {
 
     /// Install an observability sink.
     pub fn set_obs(&mut self, obs: Obs) {
-        self.reasoner.set_obs(obs.clone());
-        if let Some(db) = &mut self.explicit_db {
-            db.set_obs(obs.clone());
-        }
-        self.obs = obs;
+        self.writer.set_obs(obs);
+        self.snapshot = None;
     }
 
     /// The observability sink.
     pub fn obs(&self) -> &Obs {
-        &self.obs
+        self.writer.obs()
     }
 
-    /// The shared plan cache (for inspection; counters survive rebuilds).
+    /// The shared plan cache (for inspection; counters survive snapshot
+    /// rebuilds).
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
-        &self.plan_cache
-    }
-
-    /// Does this batch change the RDFS constraints (as opposed to data
-    /// only)? Reformulations depend solely on the schema, so this decides
-    /// whether the whole plan cache goes stale or just the GCov entries.
-    fn touches_schema(&self, triples: &[EncodedTriple]) -> bool {
-        let dict = self.reasoner.explicit().dictionary();
-        triples.iter().any(|t| {
-            dict.term(t.p)
-                .as_iri()
-                .is_some_and(vocab::is_rdfs_constraint_property)
-        })
+        self.writer.plan_cache()
     }
 
     /// The explicit graph.
     pub fn explicit(&self) -> &Graph {
-        self.reasoner.explicit()
+        self.writer.reasoner().explicit()
     }
 
     /// The maintained saturation.
     pub fn saturated(&self) -> &Graph {
-        self.reasoner.saturated()
+        self.writer.reasoner().saturated()
     }
 
     /// Intern a term for building update batches.
     pub fn intern(&mut self, term: &Term) -> TermId {
-        self.reasoner.intern(term)
+        self.writer.intern(term)
     }
 
     /// Intern a full triple.
     pub fn intern_triple(&mut self, s: &Term, p: &Term, o: &Term) -> EncodedTriple {
-        self.reasoner.intern_triple(s, p, o)
+        self.writer.intern_triple(s, p, o)
     }
 
     /// Insert explicit triples; the saturation is maintained incrementally.
     /// Returns the number of triples (explicit + derived) added.
     pub fn insert(&mut self, triples: &[EncodedTriple]) -> usize {
-        let schema_change = self.touches_schema(triples);
-        let added = self.reasoner.insert(triples);
-        self.last_maintenance_delta = added;
-        self.invalidate(schema_change);
-        added
+        let report = self.writer.apply(triples, &[]);
+        self.snapshot = None;
+        report.saturation_added
     }
 
     /// Delete explicit triples (DRed maintenance). Returns the number of
     /// triples removed from the saturation.
     pub fn delete(&mut self, triples: &[EncodedTriple]) -> usize {
-        let schema_change = self.touches_schema(triples);
-        let removed = self.reasoner.delete(triples);
-        self.last_maintenance_delta = removed;
-        self.invalidate(schema_change);
-        removed
+        let report = self.writer.apply(&[], triples);
+        self.snapshot = None;
+        report.saturation_removed
     }
 
-    fn invalidate(&mut self, schema_change: bool) {
-        self.explicit_db = None;
-        self.saturated_store = None;
-        self.plan_cache.bump_data_epoch();
-        if schema_change {
-            self.plan_cache.bump_schema_epoch();
+    /// The snapshot queries run against, rebuilding it if updates (or
+    /// interned terms) have invalidated the cached one.
+    fn current_snapshot(&mut self) -> &Arc<Snapshot> {
+        // Terms interned since the last batch must reach the snapshot's
+        // dictionary so query decoding (and Datalog materialization) sees
+        // them.
+        self.writer.sync_dict();
+        if self
+            .snapshot
+            .as_ref()
+            .is_some_and(|s| s.dictionary().len() != self.explicit().dictionary().len())
+        {
+            self.snapshot = None;
         }
+        let writer = &self.writer;
+        self.snapshot.get_or_insert_with(|| writer.snapshot())
     }
 
-    /// Answer a query. `Saturation` runs on the incrementally maintained
-    /// `G∞`; every other strategy runs through the regular [`Database`]
-    /// facade over the explicit graph.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `MaintainedDatabase::query(...).run()` or `run_query`"
-    )]
-    pub fn answer(
-        &mut self,
-        cq: &Cq,
-        strategy: Strategy,
-        opts: &AnswerOptions,
-    ) -> Result<QueryAnswer> {
-        self.run_query(cq, &strategy, opts)
-    }
-
-    /// Answer a query — the non-deprecated core entry point (see
-    /// [`crate::engine::QueryEngine`]).
+    /// Answer a query — the core entry point (see
+    /// [`crate::engine::QueryEngine`]); prefer the request builder
+    /// ([`MaintainedDatabase::query`]) in application code. `Saturation`
+    /// runs on the incrementally maintained `G∞` snapshot; every other
+    /// strategy runs through the same snapshot's explicit store.
     pub fn run_query(
         &mut self,
         cq: &Cq,
         strategy: &Strategy,
         opts: &AnswerOptions,
     ) -> Result<QueryAnswer> {
-        match strategy {
-            Strategy::Saturation => {
-                let obs = opts.obs.or(&self.obs).clone();
-                let _span = obs.span("answer");
-                obs.add("answer.calls", 1);
-                let start = Instant::now();
-                let (store, stats) = self.saturated_store.get_or_insert_with(|| {
-                    let store = Store::from_graph(self.reasoner.saturated());
-                    let stats = Stats::compute(&store);
-                    (store, stats)
-                });
-                let mut ev = Evaluator::new(store, stats).with_obs(obs.clone());
-                ev.row_budget = opts.row_budget;
-                ev.parallel = opts.parallel_unions;
-                let mut metrics = ExecMetrics::default();
-                let out = head_names(cq);
-                let relation = ev.eval_cq(cq, &out, &mut metrics)?;
-                let explain = Explain {
-                    strategy: "Sat (maintained)".to_string(),
-                    saturation_added: self.last_maintenance_delta,
-                    answers: relation.len(),
-                    metrics,
-                    wall: start.elapsed(),
-                    ..Explain::default()
-                };
-                Ok(QueryAnswer::from_parts(relation, explain))
-            }
-            other => {
-                let obs = self.obs.clone();
-                self.explicit_db
-                    .get_or_insert_with(|| {
-                        Database::with_cache(
-                            self.reasoner.explicit().clone(),
-                            Arc::clone(&self.plan_cache),
-                        )
-                        .with_obs(obs)
-                    })
-                    .run_query(cq, other, opts)
-            }
+        let snapshot = Arc::clone(self.current_snapshot());
+        let mut answer = snapshot.run_query(cq, strategy, opts)?;
+        if matches!(strategy, Strategy::Saturation) {
+            answer.explain.strategy = "Sat (maintained)".to_string();
         }
+        Ok(answer)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::answer::Database;
     use rdfref_model::parser::parse_turtle;
     use rdfref_query::parse_select;
 
@@ -361,5 +292,17 @@ ex:doi1 a ex:Book .
             .unwrap();
         assert_eq!(a.explain.saturation_added, added);
         assert_eq!(a.explain.strategy, "Sat (maintained)");
+    }
+
+    #[test]
+    fn datalog_sees_terms_interned_after_the_last_batch() {
+        let (mut db, q) = setup();
+        // Interning without inserting must not break Datalog's lazy graph
+        // materialization (the snapshot dictionary is refreshed).
+        db.intern(&Term::iri("http://example.org/orphan-term"));
+        let a = db
+            .run_query(&q, &Strategy::Datalog, &AnswerOptions::default())
+            .unwrap();
+        assert_eq!(a.len(), 1);
     }
 }

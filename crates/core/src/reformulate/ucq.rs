@@ -18,7 +18,13 @@ use rdfref_query::canonical::CanonicalSet;
 use rdfref_query::var::FreshVars;
 
 /// Limits for the reformulation fixpoint.
+///
+/// Non-exhaustive (like [`crate::answer::AnswerOptions`]): construct via
+/// [`ReformulationLimits::new`] (or `default()`) and the `with_*` builder
+/// methods. See DESIGN.md §"Configuration knobs" for every knob and its
+/// default.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ReformulationLimits {
     /// Maximum number of CQs in the union before aborting with
     /// [`CoreError::ReformulationTooLarge`].
@@ -38,6 +44,35 @@ impl Default for ReformulationLimits {
             max_cqs: 500_000,
             prune_subsumed_below: 0,
         }
+    }
+}
+
+impl ReformulationLimits {
+    /// The default limits (500 000 CQs, no subsumption pruning).
+    pub fn new() -> Self {
+        ReformulationLimits::default()
+    }
+
+    /// Set the maximum number of CQs before aborting.
+    pub fn with_max_cqs(mut self, max_cqs: usize) -> Self {
+        self.max_cqs = max_cqs;
+        self
+    }
+
+    /// Set the subsumption-pruning threshold (`0` disables pruning).
+    pub fn with_prune_subsumed_below(mut self, below: usize) -> Self {
+        self.prune_subsumed_below = below;
+        self
+    }
+
+    /// Maximum number of CQs in the union before aborting.
+    pub fn max_cqs(&self) -> usize {
+        self.max_cqs
+    }
+
+    /// Subsumption-pruning threshold (`0` = pruning disabled).
+    pub fn prune_subsumed_below(&self) -> usize {
+        self.prune_subsumed_below
     }
 }
 

@@ -1,0 +1,1110 @@
+//! Snapshot-isolated concurrent serving: lock-free readers under live
+//! maintenance.
+//!
+//! The static [`Database`](crate::Database) answers queries over a frozen
+//! graph; [`MaintainedDatabase`](crate::MaintainedDatabase) keeps the
+//! saturation consistent under updates but serializes everything behind
+//! `&mut self`. This module closes the gap for server settings — the
+//! dynamic-RDF scenario of the paper's introduction where updates arrive
+//! *while* queries are being answered:
+//!
+//! * **[`Snapshot`]** — an immutable, `Arc`-shared quadruple of (explicit
+//!   store, maintained saturation, statistics, plan-cache epochs), tagged
+//!   with a monotonic publication sequence number. All heavyweight parts
+//!   are shared copy-on-write with the writer's working state (the store's
+//!   index buckets, the dictionary, schema closure and statistics), so a
+//!   snapshot costs a handful of `Arc` bumps.
+//! * **[`SnapshotCell`]** (private) — the publication point: an atomic
+//!   version counter plus a mutex-protected slot and a per-thread cache.
+//!   The reader fast path is one atomic load and a thread-local lookup; the
+//!   slot mutex is touched only in the publication instant and on the first
+//!   read after a publish. Readers never block behind the writer.
+//! * **[`WriterCore`]** (crate-private) — the single-writer maintenance
+//!   pipeline: interns terms, applies insert/delete batches through
+//!   [`rdfref_reasoning::IncrementalReasoner`] (semi-naive insertion, DRed
+//!   deletion, schema changes via resaturation-with-diff), folds the exact
+//!   [`MaintenanceDelta`] into the copy-on-write stores and incremental
+//!   statistics, and bumps the plan cache's epochs. Also the engine behind
+//!   [`MaintainedDatabase`](crate::MaintainedDatabase).
+//! * **[`ServingDatabase`]** — the concurrent façade: `&self` reads via
+//!   [`ServingDatabase::snapshot`] / the request builder, `&self` writes via
+//!   [`ServingDatabase::submit`] which enqueues an [`UpdateBatch`] to a
+//!   background maintenance thread and returns a [`BatchTicket`]; the
+//!   ticket resolves to a [`BatchReport`] of per-batch maintenance metrics
+//!   *after* the containing snapshot is published (read-your-writes for
+//!   anyone who waits on the ticket).
+//!
+//! Consistency contract: every answer is computed against exactly one
+//! snapshot — one `(graph, saturation, stats, cache-epoch)` state — and
+//! snapshots advance atomically, one applied batch prefix at a time. The
+//! proptest suite checks prefix linearizability: each concurrent read
+//! equals the answer over *some* prefix of the applied batches.
+//!
+//! Memory reclamation is pure `Arc` reference counting: a retired snapshot
+//! survives exactly as long as some reader still holds it (plus at most
+//! [`TLS_CACHE_CAP`] slots per thread in the thread-local cache), then its
+//! unshared index buckets are freed. There is no epoch-based reclamation
+//! machinery to misuse and no unsafe code.
+
+use crate::answer::{AnswerOptions, Database, QueryAnswer, SaturatedPart, Strategy};
+use crate::cache::PlanCache;
+use crate::engine::{QueryEngine, QueryRequest};
+use crate::error::{CoreError, Result};
+use crate::explain::SnapshotInfo;
+use rdfref_model::{vocab, EncodedTriple, Graph, Schema, SchemaClosure, Term, TermId, Triple};
+use rdfref_obs::Obs;
+use rdfref_query::Cq;
+use rdfref_reasoning::{IncrementalReasoner, MaintenanceDelta};
+use rdfref_storage::{Stats, StatsMaintainer, Store};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// An immutable published state of a [`ServingDatabase`]: explicit store,
+/// maintained saturation, statistics and plan-cache epochs, all consistent
+/// with one prefix of the applied update batches.
+///
+/// A snapshot is obtained from [`ServingDatabase::snapshot`] (lock-free) and
+/// stays valid — and byte-identical — for as long as the `Arc` is held,
+/// regardless of concurrent maintenance. Queries run with `&self`.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonic publication sequence number (0 = the initial snapshot).
+    seq: u64,
+    /// Plan-cache schema epoch the snapshot is pinned to.
+    schema_epoch: u64,
+    /// Plan-cache data epoch the snapshot is pinned to.
+    data_epoch: u64,
+    /// Pre-assembled database over the snapshot's parts: explicit store,
+    /// stats, schema closure, and the maintained saturation installed as
+    /// [`SaturatedPart`] so `Sat` never saturates from scratch.
+    db: Database,
+    /// Explicit triple count (the store's length, recorded for reporting).
+    explicit_len: usize,
+    /// Saturated triple count.
+    saturation_len: usize,
+    /// When this snapshot was built (snapshot-age metrics).
+    created: Instant,
+}
+
+impl Snapshot {
+    /// Monotonic publication sequence number (0 = initial snapshot).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Identity of this snapshot for [`crate::Explain::snapshot`].
+    pub fn info(&self) -> SnapshotInfo {
+        SnapshotInfo {
+            seq: self.seq,
+            schema_epoch: self.schema_epoch,
+            data_epoch: self.data_epoch,
+        }
+    }
+
+    /// The underlying prepared database (store, stats, schema accessors).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The dictionary this snapshot's triples are encoded against. Parse
+    /// queries against it with
+    /// [`rdfref_query::parse_select_with`]-style helpers that do not intern
+    /// new terms, or intern via write batches.
+    pub fn dictionary(&self) -> &rdfref_model::Dictionary {
+        self.db.dictionary()
+    }
+
+    /// Number of explicit triples.
+    pub fn explicit_len(&self) -> usize {
+        self.explicit_len
+    }
+
+    /// Number of triples in the maintained saturation.
+    pub fn saturation_len(&self) -> usize {
+        self.saturation_len
+    }
+
+    /// Time since this snapshot was built.
+    pub fn age(&self) -> Duration {
+        self.created.elapsed()
+    }
+
+    /// Answer `cq` with `strategy` against this snapshot. Identical to
+    /// [`Database::run_query`] but stamps [`crate::Explain::snapshot`] so
+    /// callers can correlate answers with publication sequence numbers.
+    pub fn run_query(
+        &self,
+        cq: &Cq,
+        strategy: &Strategy,
+        opts: &AnswerOptions,
+    ) -> Result<QueryAnswer> {
+        let mut ans = self.db.run_query(cq, strategy, opts)?;
+        ans.explain.snapshot = Some(self.info());
+        Ok(ans)
+    }
+
+    /// Start building a query request against this snapshot.
+    pub fn query<'q>(&self, cq: &'q Cq) -> QueryRequest<'q, &Snapshot> {
+        QueryRequest::new(self, cq)
+    }
+}
+
+impl QueryEngine for &Snapshot {
+    fn run_query(
+        &mut self,
+        cq: &Cq,
+        strategy: &Strategy,
+        opts: &AnswerOptions,
+    ) -> Result<QueryAnswer> {
+        Snapshot::run_query(self, cq, strategy, opts)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotCell: the lock-free publication point
+// ---------------------------------------------------------------------------
+
+/// Per-thread snapshot cache capacity. Each thread retains at most this
+/// many `(cell, snapshot)` pairs; a retired [`ServingDatabase`]'s final
+/// snapshot can therefore outlive it by one cache slot per thread — bounded
+/// retention, traded for a lock-free reader fast path without unsafe code.
+const TLS_CACHE_CAP: usize = 8;
+
+/// Process-wide id source for [`SnapshotCell`]s; ids are never reused, so a
+/// stale thread-local entry can never alias a different cell.
+static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// `(cell id, cached seq, snapshot)` triples, FIFO-evicted at
+    /// [`TLS_CACHE_CAP`].
+    static SNAPSHOT_TLS: RefCell<Vec<(u64, u64, Arc<Snapshot>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// The publication point: readers resolve the current snapshot with one
+/// `Acquire` load plus a thread-local lookup; only the first read after a
+/// publish (per thread) touches the slot mutex, and then only for the
+/// duration of one `Arc` clone.
+///
+/// The crate forbids `unsafe`, so this is deliberately not a hand-rolled
+/// `AtomicPtr` scheme: the version counter makes the mutex acquisition
+/// *conditional* rather than eliminating it, which measures within noise of
+/// an uncontended load at serving thread counts while keeping every line
+/// borrow-checked.
+#[derive(Debug)]
+struct SnapshotCell {
+    /// Unique id keying the thread-local cache.
+    id: u64,
+    /// Sequence number of the snapshot in `slot`, written last (Release) at
+    /// publish; readers check it first (Acquire).
+    version: AtomicU64,
+    /// The current snapshot. Locked briefly by publishers and by readers
+    /// whose thread-local copy is behind `version`.
+    slot: parking_lot::Mutex<Arc<Snapshot>>,
+}
+
+impl SnapshotCell {
+    fn new(initial: Arc<Snapshot>) -> SnapshotCell {
+        SnapshotCell {
+            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
+            version: AtomicU64::new(initial.seq),
+            slot: parking_lot::Mutex::new(initial),
+        }
+    }
+
+    /// The current snapshot. Lock-free when this thread has already seen
+    /// the latest publication.
+    fn current(&self) -> Arc<Snapshot> {
+        let version = self.version.load(Ordering::Acquire);
+        SNAPSHOT_TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(entry) = tls.iter_mut().find(|e| e.0 == self.id) {
+                if entry.1 >= version {
+                    return Arc::clone(&entry.2);
+                }
+                let fresh = Arc::clone(&self.slot.lock());
+                entry.1 = fresh.seq;
+                entry.2 = Arc::clone(&fresh);
+                return fresh;
+            }
+            let fresh = Arc::clone(&self.slot.lock());
+            if tls.len() >= TLS_CACHE_CAP {
+                tls.remove(0);
+            }
+            tls.push((self.id, fresh.seq, Arc::clone(&fresh)));
+            fresh
+        })
+    }
+
+    /// Install `snap` as the current snapshot. Publications are monotonic
+    /// in `seq`: a publish racing behind a newer one is skipped (snapshots
+    /// are cumulative states, so the newer snapshot already contains the
+    /// older one's changes). Returns whether the snapshot was installed.
+    ///
+    /// Must be called with no writer/shard lock held (lint L005 checks the
+    /// call sites): the slot mutex here is the publication mechanism
+    /// itself, held for two pointer writes.
+    fn publish(&self, snap: Arc<Snapshot>) -> bool {
+        let mut slot = self.slot.lock();
+        if snap.seq <= slot.seq {
+            return false;
+        }
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            snap.seq > self.version.load(Ordering::Acquire),
+            "snapshot publication must be monotonic"
+        );
+        *slot = Arc::clone(&snap);
+        self.version.store(snap.seq, Ordering::Release);
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WriterCore: the single-writer maintenance pipeline
+// ---------------------------------------------------------------------------
+
+/// Per-batch maintenance metrics, delivered through a [`BatchTicket`] after
+/// the snapshot containing the batch is published.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct BatchReport {
+    /// Sequence number of the first published snapshot containing this
+    /// batch (coalesced batches share one publication).
+    pub seq: u64,
+    /// Triples added to the explicit graph (requested minus duplicates).
+    pub explicit_added: usize,
+    /// Triples removed from the explicit graph.
+    pub explicit_removed: usize,
+    /// Triples added to the saturation (explicit and derived).
+    pub saturation_added: usize,
+    /// Triples removed from the saturation (DRed net removal).
+    pub saturation_removed: usize,
+    /// Did the batch touch RDFS constraints (forcing resaturation and a
+    /// schema-epoch bump)?
+    pub schema_changed: bool,
+    /// Was the saturation rebuilt from scratch (schema path)?
+    pub resaturated: bool,
+    /// Wall time spent applying this batch (reasoning + store/stats COW).
+    pub apply_wall: Duration,
+    /// Time the batch spent queued before the writer picked it up (zero
+    /// for synchronous application).
+    pub queue_wait: Duration,
+}
+
+/// The single-writer maintenance state: the incremental reasoner plus
+/// copy-on-write working copies of everything a snapshot shares.
+///
+/// Used in two modes: synchronously behind `&mut self` by
+/// [`MaintainedDatabase`](crate::MaintainedDatabase), and behind a mutex by
+/// the [`ServingDatabase`] background maintenance thread. The working
+/// stores evolve via [`Store::apply_delta`] (bucket-level copy-on-write)
+/// driven by the exact [`MaintenanceDelta`]s the reasoner reports, and the
+/// statistics via [`StatsMaintainer`] — no full rebuild on the data path.
+#[derive(Debug)]
+pub(crate) struct WriterCore {
+    reasoner: IncrementalReasoner,
+    /// Published dictionary snapshot; refreshed (one clone) whenever the
+    /// reasoner's dictionary has grown since the last snapshot.
+    dict: Arc<rdfref_model::Dictionary>,
+    schema: Arc<Schema>,
+    closure: Arc<SchemaClosure>,
+    explicit_store: Store,
+    explicit_stats: Arc<Stats>,
+    explicit_maintainer: StatsMaintainer,
+    sat_store: Store,
+    sat_stats: Arc<Stats>,
+    sat_maintainer: StatsMaintainer,
+    /// Saturation triples touched by the last batch (added + removed);
+    /// surfaces as `Explain::saturation_added` on Sat answers.
+    last_delta: usize,
+    /// Sequence number of the next snapshot (number of applied batches).
+    seq: u64,
+    cache: Arc<PlanCache>,
+    obs: Obs,
+}
+
+impl WriterCore {
+    pub(crate) fn from_graph(graph: Graph, cache: Arc<PlanCache>, obs: Obs) -> WriterCore {
+        let mut reasoner = IncrementalReasoner::new(graph);
+        reasoner.set_obs(obs.clone());
+        let explicit_store = Store::from_graph(reasoner.explicit());
+        let explicit_stats = Arc::new(Stats::compute(&explicit_store));
+        let explicit_maintainer = StatsMaintainer::from_store(&explicit_store);
+        let sat_store = Store::from_graph(reasoner.saturated());
+        let sat_stats = Arc::new(Stats::compute(&sat_store));
+        let sat_maintainer = StatsMaintainer::from_store(&sat_store);
+        let schema = Arc::new(Schema::from_graph(reasoner.explicit()));
+        let closure = Arc::new(schema.closure());
+        let dict = Arc::new(reasoner.explicit().dictionary().clone());
+        let last_delta = sat_store.len().saturating_sub(explicit_store.len());
+        WriterCore {
+            reasoner,
+            dict,
+            schema,
+            closure,
+            explicit_store,
+            explicit_stats,
+            explicit_maintainer,
+            sat_store,
+            sat_stats,
+            sat_maintainer,
+            last_delta,
+            seq: 0,
+            cache,
+            obs,
+        }
+    }
+
+    pub(crate) fn set_obs(&mut self, obs: Obs) {
+        self.reasoner.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    pub(crate) fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    pub(crate) fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    pub(crate) fn reasoner(&self) -> &IncrementalReasoner {
+        &self.reasoner
+    }
+
+    pub(crate) fn intern(&mut self, term: &Term) -> TermId {
+        self.reasoner.intern(term)
+    }
+
+    pub(crate) fn intern_triple(&mut self, s: &Term, p: &Term, o: &Term) -> EncodedTriple {
+        self.reasoner.intern_triple(s, p, o)
+    }
+
+    /// Intern a term-level batch against the reasoner's dictionaries.
+    fn intern_batch(&mut self, batch: &UpdateBatch) -> (Vec<EncodedTriple>, Vec<EncodedTriple>) {
+        let encode = |r: &mut IncrementalReasoner, ts: &[Triple]| {
+            ts.iter()
+                .map(|t| r.intern_triple(&t.subject, &t.property, &t.object))
+                .collect()
+        };
+        let inserts = encode(&mut self.reasoner, &batch.inserts);
+        let deletes = encode(&mut self.reasoner, &batch.deletes);
+        (inserts, deletes)
+    }
+
+    /// Does this batch change the RDFS constraints (as opposed to data
+    /// only)? Decides whether the whole plan cache goes stale or just the
+    /// cost-based entries.
+    fn touches_schema(&self, triples: &[EncodedTriple]) -> bool {
+        let dict = self.reasoner.explicit().dictionary();
+        triples.iter().any(|t| {
+            dict.term(t.p)
+                .as_iri()
+                .is_some_and(vocab::is_rdfs_constraint_property)
+        })
+    }
+
+    /// Apply one batch: inserts first, then deletes, maintaining the
+    /// saturation incrementally and folding the exact deltas into the
+    /// copy-on-write stores and statistics. Bumps the plan cache's data
+    /// epoch (and schema epoch on constraint changes) and advances the
+    /// snapshot sequence number.
+    pub(crate) fn apply(
+        &mut self,
+        inserts: &[EncodedTriple],
+        deletes: &[EncodedTriple],
+    ) -> BatchReport {
+        // Clone the handle so the span guard doesn't pin `self.obs` across
+        // the `&mut self` calls below.
+        let obs = self.obs.clone();
+        let _span = obs.span("maintain.batch");
+        let start = Instant::now();
+        let schema_changed = self.touches_schema(inserts) || self.touches_schema(deletes);
+
+        let ins_delta = if inserts.is_empty() {
+            MaintenanceDelta::default()
+        } else {
+            self.reasoner.insert_batch(inserts)
+        };
+        let del_delta = if deletes.is_empty() {
+            MaintenanceDelta::default()
+        } else {
+            self.reasoner.delete_batch(deletes)
+        };
+
+        for delta in [&ins_delta, &del_delta] {
+            self.fold_delta(delta);
+        }
+        if schema_changed {
+            // Constraints changed: the Ref strategies' rewrite context must
+            // be rebuilt (the data-path artifacts were still maintained
+            // incrementally — the deltas are exact even across
+            // resaturation).
+            self.schema = Arc::new(Schema::from_graph(self.reasoner.explicit()));
+            self.closure = Arc::new(self.schema.closure());
+        }
+        self.sync_dict();
+
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert_eq!(
+                self.explicit_store.len(),
+                self.reasoner.explicit().len(),
+                "explicit COW store diverged from the reasoner's graph"
+            );
+            assert_eq!(
+                self.sat_store.len(),
+                self.reasoner.saturated().len(),
+                "saturation COW store diverged from the reasoner's graph"
+            );
+        }
+
+        self.cache.bump_data_epoch();
+        if schema_changed {
+            self.cache.bump_schema_epoch();
+        }
+        self.seq += 1;
+        self.last_delta = ins_delta.saturation_added.len()
+            + ins_delta.saturation_removed.len()
+            + del_delta.saturation_added.len()
+            + del_delta.saturation_removed.len();
+
+        BatchReport {
+            seq: self.seq,
+            explicit_added: ins_delta.explicit_added.len() + del_delta.explicit_added.len(),
+            explicit_removed: ins_delta.explicit_removed.len() + del_delta.explicit_removed.len(),
+            saturation_added: ins_delta.saturation_added.len() + del_delta.saturation_added.len(),
+            saturation_removed: ins_delta.saturation_removed.len()
+                + del_delta.saturation_removed.len(),
+            schema_changed,
+            resaturated: ins_delta.resaturated || del_delta.resaturated,
+            apply_wall: start.elapsed(),
+            queue_wait: Duration::ZERO,
+        }
+    }
+
+    /// Fold one exact maintenance delta into the working stores and stats.
+    fn fold_delta(&mut self, delta: &MaintenanceDelta) {
+        if !delta.explicit_added.is_empty() || !delta.explicit_removed.is_empty() {
+            let next = self
+                .explicit_store
+                .apply_delta(&delta.explicit_added, &delta.explicit_removed);
+            let stats = self.explicit_maintainer.apply(
+                &self.explicit_stats,
+                &next,
+                &delta.explicit_added,
+                &delta.explicit_removed,
+            );
+            self.explicit_store = next;
+            self.explicit_stats = Arc::new(stats);
+        }
+        if !delta.saturation_added.is_empty() || !delta.saturation_removed.is_empty() {
+            let next = self
+                .sat_store
+                .apply_delta(&delta.saturation_added, &delta.saturation_removed);
+            let stats = self.sat_maintainer.apply(
+                &self.sat_stats,
+                &next,
+                &delta.saturation_added,
+                &delta.saturation_removed,
+            );
+            self.sat_store = next;
+            self.sat_stats = Arc::new(stats);
+        }
+    }
+
+    /// Refresh the published dictionary if the reasoner's has grown (one
+    /// dictionary clone per term-adding batch; term ids are stable, so all
+    /// previously published snapshots stay valid).
+    pub(crate) fn sync_dict(&mut self) {
+        let live = self.reasoner.explicit().dictionary();
+        if live.len() != self.dict.len() {
+            self.dict = Arc::new(live.clone());
+        }
+    }
+
+    /// Assemble an immutable snapshot of the current working state: a few
+    /// `Arc` clones plus two store handle copies (bucket-shared).
+    pub(crate) fn snapshot(&self) -> Arc<Snapshot> {
+        let db = Database::from_parts(
+            Arc::clone(&self.dict),
+            Arc::clone(&self.schema),
+            Arc::clone(&self.closure),
+            self.explicit_store.clone(),
+            Arc::clone(&self.explicit_stats),
+            Some(SaturatedPart {
+                store: self.sat_store.clone(),
+                stats: Arc::clone(&self.sat_stats),
+                added: self.last_delta,
+            }),
+            Arc::clone(&self.cache),
+            (self.cache.schema_epoch(), self.cache.data_epoch()),
+            self.obs.clone(),
+        );
+        Arc::new(Snapshot {
+            seq: self.seq,
+            schema_epoch: self.cache.schema_epoch(),
+            data_epoch: self.cache.data_epoch(),
+            explicit_len: self.explicit_store.len(),
+            saturation_len: self.sat_store.len(),
+            db,
+            created: Instant::now(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServingDatabase: concurrent façade
+// ---------------------------------------------------------------------------
+
+/// A term-level batch of updates for [`ServingDatabase::submit`]. Inserts
+/// are applied before deletes; a triple both inserted and deleted in one
+/// batch therefore ends up absent.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    inserts: Vec<Triple>,
+    deletes: Vec<Triple>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> UpdateBatch {
+        UpdateBatch::default()
+    }
+
+    /// A pure insertion batch.
+    pub fn inserting(triples: Vec<Triple>) -> UpdateBatch {
+        UpdateBatch {
+            inserts: triples,
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A pure deletion batch.
+    pub fn deleting(triples: Vec<Triple>) -> UpdateBatch {
+        UpdateBatch {
+            inserts: Vec::new(),
+            deletes: triples,
+        }
+    }
+
+    /// Add an insertion (builder style).
+    pub fn insert(mut self, triple: Triple) -> UpdateBatch {
+        self.inserts.push(triple);
+        self
+    }
+
+    /// Add a deletion (builder style).
+    pub fn delete(mut self, triple: Triple) -> UpdateBatch {
+        self.deletes.push(triple);
+        self
+    }
+
+    /// The triples to insert.
+    pub fn inserts(&self) -> &[Triple] {
+        &self.inserts
+    }
+
+    /// The triples to delete.
+    pub fn deletes(&self) -> &[Triple] {
+        &self.deletes
+    }
+
+    /// True when the batch requests nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Completion handle for a submitted [`UpdateBatch`]: resolves to the
+/// batch's [`BatchReport`] once the snapshot containing it is published.
+/// Waiting on the ticket therefore guarantees read-your-writes: a
+/// subsequent [`ServingDatabase::snapshot`] includes the batch.
+#[derive(Debug)]
+pub struct BatchTicket {
+    reply: mpsc::Receiver<BatchReport>,
+}
+
+impl BatchTicket {
+    /// Block until the batch is applied and published.
+    pub fn wait(self) -> Result<BatchReport> {
+        self.reply.recv().map_err(|_| CoreError::ServingStopped)
+    }
+
+    /// Non-blocking poll: the report if the batch has been published.
+    pub fn try_wait(&self) -> Option<BatchReport> {
+        self.reply.try_recv().ok()
+    }
+}
+
+/// A pending write and where to send its report.
+struct PendingBatch {
+    batch: UpdateBatch,
+    enqueued: Instant,
+    reply: mpsc::Sender<BatchReport>,
+}
+
+/// Maximum batches coalesced into one snapshot publication. Bounds both
+/// publication latency (a reader sees at most this many batches land at
+/// once) and the per-iteration writer lock hold time.
+const MAX_COALESCED_BATCHES: usize = 64;
+
+/// A concurrently servable database: lock-free snapshot readers, a
+/// single-writer background maintenance pipeline, everything through
+/// `&self`.
+///
+/// ```
+/// use rdfref_core::{ServingDatabase, Strategy};
+/// use rdfref_model::parser::parse_turtle;
+/// use rdfref_model::{Term, Triple};
+/// use rdfref_query::parse_select;
+///
+/// let mut g = parse_turtle(
+///     "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+///      @prefix ex: <http://example.org/> .
+///      ex:Book rdfs:subClassOf ex:Publication .
+///      ex:doi1 a ex:Book .",
+/// )
+/// .unwrap();
+/// let q = parse_select(
+///     "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
+///     g.dictionary_mut(),
+/// )
+/// .unwrap();
+/// let db = ServingDatabase::new(g);
+///
+/// // Reads are `&self` and lock-free; each answer is snapshot-consistent.
+/// let before = db.query(&q).strategy(Strategy::RefUcq).run().unwrap();
+/// assert_eq!(before.len(), 1);
+///
+/// // Writes are `&self` too: submit a batch, wait on the ticket for
+/// // read-your-writes.
+/// let t = Triple::new(
+///     Term::iri("http://example.org/doi2"),
+///     Term::iri(rdfref_model::vocab::RDF_TYPE),
+///     Term::iri("http://example.org/Book"),
+/// )
+/// .unwrap();
+/// let report = db.insert(vec![t]).unwrap().wait().unwrap();
+/// assert_eq!(report.explicit_added, 1);
+/// let after = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
+/// assert_eq!(after.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ServingDatabase {
+    cell: Arc<SnapshotCell>,
+    /// The writer state, locked only by the maintenance thread (and by
+    /// `Drop` via join). Kept here so diagnostics could inspect it; readers
+    /// never touch it.
+    queue: Option<mpsc::Sender<PendingBatch>>,
+    worker: Option<thread::JoinHandle<()>>,
+    /// Sequence number of the latest published snapshot (reader-lag
+    /// metrics).
+    published_seq: Arc<AtomicU64>,
+    cache: Arc<PlanCache>,
+    obs: Obs,
+}
+
+impl ServingDatabase {
+    /// Build from an explicit graph (saturates once) and start the
+    /// background maintenance thread.
+    pub fn new(graph: Graph) -> ServingDatabase {
+        ServingDatabase::with_obs(graph, Obs::disabled())
+    }
+
+    /// Like [`ServingDatabase::new`], with an observability sink: snapshot
+    /// publications, batch latencies and reader lag flow into it, as do all
+    /// maintenance spans and answering metrics.
+    pub fn with_obs(graph: Graph, obs: Obs) -> ServingDatabase {
+        let cache = Arc::new(PlanCache::default());
+        let writer = WriterCore::from_graph(graph, Arc::clone(&cache), obs.clone());
+        let initial = writer.snapshot();
+        let published_seq = Arc::new(AtomicU64::new(initial.seq));
+        let cell = Arc::new(SnapshotCell::new(initial));
+        let (tx, rx) = mpsc::channel::<PendingBatch>();
+        let worker = {
+            let cell = Arc::clone(&cell);
+            let published_seq = Arc::clone(&published_seq);
+            let obs = obs.clone();
+            thread::Builder::new()
+                .name("rdfref-serving-writer".into())
+                .spawn(move || writer_loop(writer, rx, cell, published_seq, obs))
+                .expect("spawn serving writer thread")
+        };
+        ServingDatabase {
+            cell,
+            queue: Some(tx),
+            worker: Some(worker),
+            published_seq,
+            cache,
+            obs,
+        }
+    }
+
+    /// The current snapshot — one `Acquire` load and a thread-local lookup
+    /// on the fast path; never blocks behind the writer.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        let snap = self.cell.current();
+        if self.obs.enabled() {
+            let published = self.published_seq.load(Ordering::Acquire);
+            self.obs.observe(
+                "serving.reader.epoch_lag",
+                published.saturating_sub(snap.seq),
+            );
+        }
+        snap
+    }
+
+    /// Sequence number of the latest published snapshot.
+    pub fn published_seq(&self) -> u64 {
+        self.published_seq.load(Ordering::Acquire)
+    }
+
+    /// The shared plan cache (snapshot-pinned lookups; see
+    /// [`crate::cache`]).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The observability sink.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Enqueue a write batch for the maintenance pipeline. Returns
+    /// immediately with a [`BatchTicket`]; wait on it for the per-batch
+    /// [`BatchReport`] (delivered after publication — read-your-writes).
+    pub fn submit(&self, batch: UpdateBatch) -> Result<BatchTicket> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let pending = PendingBatch {
+            batch,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        self.queue
+            .as_ref()
+            .ok_or(CoreError::ServingStopped)?
+            .send(pending)
+            .map_err(|_| CoreError::ServingStopped)?;
+        Ok(BatchTicket { reply: reply_rx })
+    }
+
+    /// Convenience: submit a pure insertion batch.
+    pub fn insert(&self, triples: Vec<Triple>) -> Result<BatchTicket> {
+        self.submit(UpdateBatch::inserting(triples))
+    }
+
+    /// Convenience: submit a pure deletion batch.
+    pub fn delete(&self, triples: Vec<Triple>) -> Result<BatchTicket> {
+        self.submit(UpdateBatch::deleting(triples))
+    }
+
+    /// Start building a query request against the current snapshot (the
+    /// snapshot is taken once, when [`QueryRequest::run`] executes).
+    pub fn query<'q>(&self, cq: &'q Cq) -> QueryRequest<'q, &ServingDatabase> {
+        QueryRequest::new(self, cq)
+    }
+}
+
+impl QueryEngine for &ServingDatabase {
+    fn run_query(
+        &mut self,
+        cq: &Cq,
+        strategy: &Strategy,
+        opts: &AnswerOptions,
+    ) -> Result<QueryAnswer> {
+        ServingDatabase::snapshot(self).run_query(cq, strategy, opts)
+    }
+}
+
+impl Drop for ServingDatabase {
+    fn drop(&mut self) {
+        // Closing the queue lets the worker drain already-submitted batches
+        // and exit; join so no maintenance outlives the database.
+        self.queue = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The background maintenance loop: drain pending batches (coalescing up
+/// to [`MAX_COALESCED_BATCHES`] per publication), apply them against the
+/// writer state, build one snapshot, publish it, then deliver the per-batch
+/// reports.
+fn writer_loop(
+    mut writer: WriterCore,
+    rx: mpsc::Receiver<PendingBatch>,
+    cell: Arc<SnapshotCell>,
+    published_seq: Arc<AtomicU64>,
+    obs: Obs,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut pending = vec![first];
+        while pending.len() < MAX_COALESCED_BATCHES {
+            match rx.try_recv() {
+                Ok(p) => pending.push(p),
+                Err(_) => break,
+            }
+        }
+        let mut reports = Vec::with_capacity(pending.len());
+        for p in &pending {
+            let (inserts, deletes) = writer.intern_batch(&p.batch);
+            let mut report = writer.apply(&inserts, &deletes);
+            report.queue_wait = p.enqueued.elapsed();
+            reports.push(report);
+        }
+        let snap = writer.snapshot();
+        // Publish the previous snapshot's lifetime before replacing it.
+        if obs.enabled() {
+            obs.observe(
+                "serving.snapshot.age_us",
+                cell.current().age().as_micros() as u64,
+            );
+        }
+        if cell.publish(Arc::clone(&snap)) {
+            obs.add("serving.publish", 1);
+        } else {
+            obs.add("serving.publish.skipped_stale", 1);
+        }
+        published_seq.store(snap.seq, Ordering::Release);
+        obs.gauge("serving.snapshot.seq", snap.seq);
+        obs.observe("serving.batch.coalesced", pending.len() as u64);
+        for (p, report) in pending.into_iter().zip(reports) {
+            obs.observe(
+                "serving.batch.queue_wait_us",
+                report.queue_wait.as_micros() as u64,
+            );
+            obs.observe(
+                "serving.batch.apply_us",
+                report.apply_wall.as_micros() as u64,
+            );
+            // A dropped ticket just means the submitter doesn't care.
+            let _ = p.reply.send(report);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::parser::parse_turtle;
+    use rdfref_query::parse_select;
+
+    const DOC: &str = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:writtenBy rdfs:domain ex:Book .
+ex:doi1 a ex:Book .
+"#;
+
+    fn setup() -> (ServingDatabase, Cq) {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(
+            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
+            g.dictionary_mut(),
+        )
+        .unwrap();
+        (ServingDatabase::new(g), q)
+    }
+
+    fn iri(s: &str) -> Term {
+        Term::iri(format!("http://example.org/{s}"))
+    }
+
+    fn triple(s: &str, p: &Term, o: &str) -> Triple {
+        Triple::new(iri(s), p.clone(), iri(o)).unwrap()
+    }
+
+    #[test]
+    fn snapshot_reads_are_consistent_across_writes() {
+        let (db, q) = setup();
+        let before = db.snapshot();
+        assert_eq!(before.seq(), 0);
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        let report = db
+            .insert(vec![triple("doi2", &rdf_type, "Book")])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.seq, 1);
+        assert_eq!(report.explicit_added, 1);
+        assert!(report.saturation_added >= 2, "explicit + derived type");
+
+        // The old snapshot still answers the pre-write state…
+        let old = before
+            .run_query(&q, &Strategy::Saturation, &AnswerOptions::default())
+            .unwrap();
+        assert_eq!(old.len(), 1);
+        assert_eq!(old.explain.snapshot.unwrap().seq, 0);
+        // …while a fresh snapshot sees the write.
+        let new = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
+        assert_eq!(new.len(), 2);
+        assert_eq!(new.explain.snapshot.unwrap().seq, 1);
+        assert_eq!(db.published_seq(), 1);
+    }
+
+    #[test]
+    fn all_complete_strategies_agree_on_a_snapshot() {
+        let (db, q) = setup();
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        db.insert(vec![triple("doi5", &rdf_type, "Book")])
+            .unwrap()
+            .wait()
+            .unwrap();
+        let snap = db.snapshot();
+        let opts = AnswerOptions::default();
+        let reference = snap.run_query(&q, &Strategy::Saturation, &opts).unwrap();
+        for s in [
+            Strategy::RefUcq,
+            Strategy::RefScq,
+            Strategy::RefGCov,
+            Strategy::Datalog,
+        ] {
+            let got = snap.run_query(&q, &s, &opts).unwrap();
+            assert_eq!(got.rows(), reference.rows(), "strategy {}", s.name());
+        }
+    }
+
+    #[test]
+    fn delete_batches_unwind_insertions() {
+        let (db, q) = setup();
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        let t = triple("doi6", &rdf_type, "Book");
+        db.insert(vec![t.clone()]).unwrap().wait().unwrap();
+        let report = db.delete(vec![t]).unwrap().wait().unwrap();
+        assert_eq!(report.explicit_removed, 1);
+        assert!(report.saturation_removed >= 2);
+        let after = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn schema_batches_resaturate_and_bump_schema_epoch() {
+        let (db, q) = setup();
+        // Warm a reformulation so the schema bump has something to strand.
+        db.query(&q).strategy(Strategy::RefUcq).run().unwrap();
+        let before = db.plan_cache().schema_epoch();
+        let batch = UpdateBatch::new()
+            .insert(
+                Triple::new(
+                    iri("Novel"),
+                    Term::iri(rdfref_model::vocab::RDFS_SUBCLASSOF),
+                    iri("Book"),
+                )
+                .unwrap(),
+            )
+            .insert(triple(
+                "doi7",
+                &Term::iri(rdfref_model::vocab::RDF_TYPE),
+                "Novel",
+            ));
+        let report = db.submit(batch).unwrap().wait().unwrap();
+        assert!(report.schema_changed);
+        assert!(report.resaturated);
+        assert_eq!(db.plan_cache().schema_epoch(), before + 1);
+        let after = db.query(&q).strategy(Strategy::RefUcq).run().unwrap();
+        assert_eq!(after.len(), 2, "new Novel instance reached via new ⊑");
+        let sat = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
+        assert_eq!(after.rows(), sat.rows());
+    }
+
+    #[test]
+    fn mixed_batch_applies_inserts_before_deletes() {
+        let (db, q) = setup();
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        let t = triple("doi8", &rdf_type, "Book");
+        let batch = UpdateBatch::new().insert(t.clone()).delete(t);
+        db.submit(batch).unwrap().wait().unwrap();
+        let after = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
+        assert_eq!(after.len(), 1, "insert-then-delete nets to absent");
+    }
+
+    #[test]
+    fn tickets_resolve_in_submission_order_after_publication() {
+        let (db, _q) = setup();
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        let tickets: Vec<BatchTicket> = (0..10)
+            .map(|i| {
+                db.insert(vec![triple(&format!("bulk{i}"), &rdf_type, "Book")])
+                    .unwrap()
+            })
+            .collect();
+        let mut last_seq = 0;
+        for t in tickets {
+            let report = t.wait().unwrap();
+            assert!(report.seq > last_seq || report.seq == last_seq + 1);
+            assert!(report.seq >= last_seq, "seqs are monotone in order");
+            last_seq = report.seq;
+        }
+        // All ten batches applied; the published snapshot contains them all.
+        assert_eq!(db.published_seq(), 10);
+        assert_eq!(db.snapshot().explicit_len(), 3 + 10);
+    }
+
+    #[test]
+    fn empty_batch_still_publishes_and_reports() {
+        let (db, _q) = setup();
+        let report = db.submit(UpdateBatch::new()).unwrap().wait().unwrap();
+        assert_eq!(report.explicit_added, 0);
+        assert_eq!(report.saturation_added, 0);
+        assert!(!report.schema_changed);
+    }
+
+    #[test]
+    fn snapshot_cell_skips_stale_publications() {
+        let (db, _q) = setup();
+        let old = db.snapshot();
+        db.insert(vec![triple(
+            "doiX",
+            &Term::iri(rdfref_model::vocab::RDF_TYPE),
+            "Book",
+        )])
+        .unwrap()
+        .wait()
+        .unwrap();
+        // Re-publishing the old snapshot must be refused (monotonicity).
+        assert!(!db.cell.publish(old));
+        assert_eq!(db.snapshot().seq(), 1);
+    }
+
+    #[test]
+    fn dropping_the_database_drains_submitted_batches() {
+        let (db, _q) = setup();
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        let tickets: Vec<BatchTicket> = (0..5)
+            .map(|i| {
+                db.insert(vec![triple(&format!("drain{i}"), &rdf_type, "Book")])
+                    .unwrap()
+            })
+            .collect();
+        drop(db);
+        // Every ticket resolves: the worker drained the queue before exit.
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+
+    #[test]
+    fn generic_engine_harness_accepts_serving_database() {
+        fn run<E: QueryEngine>(mut engine: E, cq: &Cq) -> usize {
+            engine
+                .run_query(cq, &Strategy::RefUcq, &AnswerOptions::default())
+                .unwrap()
+                .len()
+        }
+        let (db, q) = setup();
+        assert_eq!(run(&db, &q), 1);
+        let snap = db.snapshot();
+        assert_eq!(run(&*snap, &q), 1);
+    }
+}

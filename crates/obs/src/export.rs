@@ -54,6 +54,11 @@ impl Snapshot {
             let _ = writeln!(out, "# TYPE {metric} counter");
             let _ = writeln!(out, "{metric} {value}");
         }
+        for (name, value) in &self.gauges {
+            let metric = format!("{PREFIX}_{}", sanitize(name));
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            let _ = writeln!(out, "{metric} {value}");
+        }
         if !self.spans.is_empty() {
             let _ = writeln!(out, "# TYPE {PREFIX}_span_seconds summary");
             for (
@@ -112,6 +117,15 @@ impl Snapshot {
         out.push_str("{\n  \"generator\": \"rdfref-obs\",\n  \"counters\": {");
         let mut first = true;
         for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {value}", escape_label(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for (name, value) in &self.gauges {
             if !first {
                 out.push(',');
             }
@@ -232,6 +246,7 @@ mod tests {
         let obs = Obs::collecting(reg.clone());
         obs.add("plan_cache.hit", 4);
         obs.add("op.scan.rows", 123);
+        obs.gauge("serving.snapshot.seq", 17);
         reg.span_end("answer.plan", Duration::from_micros(250));
         reg.span_end("answer.plan", Duration::from_micros(750));
         obs.observe("union.worker.busy_us", 9);
@@ -253,6 +268,11 @@ mod tests {
         };
         assert_eq!(find("rdfref_plan_cache_hit_total").value, 4.0);
         assert_eq!(find("rdfref_op_scan_rows_total").value, 123.0);
+        assert_eq!(find("rdfref_serving_snapshot_seq").value, 17.0);
+        assert!(
+            text.contains("# TYPE rdfref_serving_snapshot_seq gauge"),
+            "gauge must carry a gauge TYPE line:\n{text}"
+        );
         let count = find("rdfref_span_seconds_count");
         assert_eq!(
             count.labels,
@@ -282,6 +302,11 @@ mod tests {
         assert_eq!(
             counters.get("plan_cache.hit").and_then(|v| v.as_f64()),
             Some(4.0)
+        );
+        let gauges = doc.get("gauges").unwrap();
+        assert_eq!(
+            gauges.get("serving.snapshot.seq").and_then(|v| v.as_f64()),
+            Some(17.0)
         );
         let spans = doc.get("spans").unwrap();
         let plan = spans.get("answer.plan").unwrap();

@@ -6,13 +6,14 @@
 //! cache behaviour. This crate provides that without pulling any dependency
 //! onto the hot path:
 //!
-//! * [`Recorder`] — the sink trait (spans, counters, histograms).
+//! * [`Recorder`] — the sink trait (spans, counters, gauges, histograms).
 //! * [`Obs`] — a cloneable handle holding `Option<Arc<dyn Recorder>>`.
 //!   Disabled (the default) every instrumentation call is a single branch
 //!   on a `None`; no clock reads, no locks.
 //! * [`MetricsRegistry`] — the standard recorder: thread-safe aggregation
-//!   into counters, span statistics and log₂-bucket histograms, exported as
-//!   Prometheus text ([`MetricsRegistry::to_prometheus_text`]) or JSON
+//!   into counters, last-write-wins gauges, span statistics and log₂-bucket
+//!   histograms, exported as Prometheus text
+//!   ([`MetricsRegistry::to_prometheus_text`]) or JSON
 //!   ([`MetricsRegistry::to_json`]).
 //! * [`json`] — a minimal JSON value/parser used to round-trip exported
 //!   profiles in tests and to validate `BENCH_*.json` artifacts.

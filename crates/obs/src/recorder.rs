@@ -16,6 +16,13 @@ pub trait Recorder: Send + Sync {
     fn counter_add(&self, name: &'static str, delta: u64);
     /// Observe one `value` in the histogram named `name`.
     fn histogram_observe(&self, name: &'static str, value: u64);
+    /// Set the gauge named `name` to `value` (last write wins). Gauges
+    /// report level-style facts — the serving layer's published snapshot
+    /// sequence number, queue depth — where only the latest value matters.
+    /// Default no-op so existing recorders keep compiling.
+    fn gauge_set(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
 }
 
 /// Cloneable observability handle: either disabled (`None`, the default) or
@@ -83,6 +90,14 @@ impl Obs {
     pub fn observe(&self, name: &'static str, value: u64) {
         if let Some(rec) = self.recorder.as_deref() {
             rec.histogram_observe(name, value);
+        }
+    }
+
+    /// Set gauge `name` to `value` (no-op when disabled).
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: u64) {
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.gauge_set(name, value);
         }
     }
 

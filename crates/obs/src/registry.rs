@@ -68,6 +68,7 @@ impl HistogramSnapshot {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, u64>>,
     spans: Mutex<BTreeMap<&'static str, SpanStats>>,
     histograms: Mutex<BTreeMap<&'static str, HistogramSnapshot>>,
 }
@@ -92,6 +93,7 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             counters: lock_or_recover(&self.counters).clone(),
+            gauges: lock_or_recover(&self.gauges).clone(),
             spans: lock_or_recover(&self.spans).clone(),
             histograms: lock_or_recover(&self.histograms).clone(),
         }
@@ -100,6 +102,7 @@ impl MetricsRegistry {
     /// Drop all recorded data, keeping the registry installed.
     pub fn reset(&self) {
         lock_or_recover(&self.counters).clear();
+        lock_or_recover(&self.gauges).clear();
         lock_or_recover(&self.spans).clear();
         lock_or_recover(&self.histograms).clear();
     }
@@ -119,6 +122,10 @@ impl Recorder for MetricsRegistry {
         *lock_or_recover(&self.counters).entry(name).or_insert(0) += delta;
     }
 
+    fn gauge_set(&self, name: &'static str, value: u64) {
+        lock_or_recover(&self.gauges).insert(name, value);
+    }
+
     fn histogram_observe(&self, name: &'static str, value: u64) {
         lock_or_recover(&self.histograms)
             .entry(name)
@@ -132,6 +139,8 @@ impl Recorder for MetricsRegistry {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values by name (last write wins).
+    pub gauges: BTreeMap<&'static str, u64>,
     /// Span statistics by dotted path.
     pub spans: BTreeMap<&'static str, SpanStats>,
     /// Histograms by name.
@@ -142,6 +151,11 @@ impl Snapshot {
     /// Counter value, `0` when never incremented.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, `None` when never set (a gauge legitimately holds `0`).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
     }
 
     /// How many times the span at `path` closed (`0` when never).
@@ -161,7 +175,10 @@ impl Snapshot {
 
     /// True when nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.spans.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.histograms.is_empty()
     }
 }
 
@@ -186,10 +203,14 @@ mod tests {
         obs.observe("h.rows", 1);
         obs.observe("h.rows", 5);
         obs.observe("h.rows", 1 << 40);
+        obs.gauge("g.level", 7);
+        obs.gauge("g.level", 3); // last write wins
 
         let snap = reg.snapshot();
         assert_eq!(snap.counter("c.a"), 5);
         assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("g.level"), Some(3));
+        assert_eq!(snap.gauge("missing"), None);
         assert_eq!(snap.span_count("s.x"), 2);
         let h = snap.histogram("h.rows").unwrap();
         assert_eq!(h.count, 3);
@@ -230,6 +251,7 @@ mod tests {
         let reg = Arc::new(MetricsRegistry::new());
         let obs = Obs::collecting(reg.clone());
         obs.add("c", 1);
+        obs.gauge("g", 1);
         obs.observe("h", 1);
         {
             let _g = obs.span("s");

@@ -48,6 +48,22 @@ impl Graph {
         }
     }
 
+    /// Assemble a graph from a dictionary and encoded triples (deduplicating
+    /// while preserving first-occurrence order). Used by the serving layer to
+    /// materialize a graph lazily from an immutable store snapshot; the ids
+    /// in `triples` must come from `dict`.
+    pub fn from_encoded(dict: Dictionary, triples: Vec<EncodedTriple>) -> Graph {
+        let mut g = Graph {
+            dict,
+            triples: Vec::with_capacity(triples.len()),
+            set: FxHashSet::default(),
+        };
+        for t in triples {
+            g.insert_encoded(t);
+        }
+        g
+    }
+
     /// The graph's dictionary.
     pub fn dictionary(&self) -> &Dictionary {
         &self.dict

@@ -25,5 +25,5 @@ pub mod incremental;
 pub mod rules;
 pub mod saturate;
 
-pub use incremental::IncrementalReasoner;
+pub use incremental::{IncrementalReasoner, MaintenanceDelta};
 pub use saturate::{naive_saturate, saturate, saturate_in_place, saturate_in_place_obs};

@@ -39,5 +39,5 @@ pub use error::{Result, StorageError};
 pub use evaluator::{eval_cq, eval_jucq, eval_ucq};
 pub use exec::ExecMetrics;
 pub use relation::Relation;
-pub use stats::Stats;
+pub use stats::{Stats, StatsMaintainer};
 pub use store::Store;

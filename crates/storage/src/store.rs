@@ -14,8 +14,26 @@
 //! | ? ? o           | OSP   | range on (o) |
 //! | s ? o           | SPO   | range on (s), residual filter on o |
 //! | ? ? ?           | SPO   | full scan |
+//!
+//! ## Snapshots and copy-on-write deltas
+//!
+//! Each index stores its sorted keys as a sequence of `Arc`-shared
+//! *buckets* (runs of ~[`BUCKET_TARGET`] keys). [`Store::apply_delta`]
+//! produces a new store that shares every bucket the delta does not touch
+//! and rebuilds only the touched ones — so a store is cheap to snapshot
+//! (`Clone` is a handful of `Arc` bumps) and cheap to evolve under small
+//! update batches (cost proportional to the delta's key locality, not the
+//! dataset). This is what lets the serving layer publish a fresh immutable
+//! store per maintenance batch without ever rebuilding, or blocking readers
+//! of, the previous one.
 
 use rdfref_model::{EncodedTriple, Graph, TermId};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Target keys per index bucket. Small enough that a single-triple delta
+/// copies ~one bucket, large enough that range scans stay contiguous.
+const BUCKET_TARGET: usize = 1024;
 
 /// The three index orderings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,38 +68,205 @@ impl Order {
     }
 }
 
-/// One sorted permutation index.
+/// Compare a key against a search prefix (first `prefix.len()` components).
+#[inline]
+fn cmp_prefix(k: &[TermId; 3], prefix: &[TermId]) -> Ordering {
+    k[..prefix.len()].cmp(prefix)
+}
+
+/// One sorted permutation index: globally sorted, deduplicated keys split
+/// into `Arc`-shared buckets. Buckets are non-empty and pairwise disjoint;
+/// cloning the index clones only the bucket handles.
 #[derive(Debug, Clone)]
 struct SortedIndex {
-    /// Triples permuted into key layout and sorted.
-    keys: Vec<[TermId; 3]>,
+    buckets: Vec<Arc<Vec<[TermId; 3]>>>,
+    len: usize,
+    /// Bucket sizing used when (re)building buckets for this index.
+    bucket_target: usize,
 }
 
 impl SortedIndex {
-    fn build(order: Order, triples: &[EncodedTriple]) -> SortedIndex {
+    fn build(order: Order, triples: &[EncodedTriple], bucket_target: usize) -> SortedIndex {
         let mut keys: Vec<[TermId; 3]> = triples.iter().map(|t| order.key(t)).collect();
         keys.sort_unstable();
         keys.dedup();
-        SortedIndex { keys }
+        SortedIndex::from_sorted_keys(keys, bucket_target)
     }
 
-    /// The sub-slice whose first key component equals `k1`.
-    fn range1(&self, k1: TermId) -> &[[TermId; 3]] {
-        let lo = self.keys.partition_point(|k| k[0] < k1);
-        let hi = self.keys.partition_point(|k| k[0] <= k1);
-        &self.keys[lo..hi]
+    /// `keys` must be sorted and deduplicated.
+    fn from_sorted_keys(keys: Vec<[TermId; 3]>, bucket_target: usize) -> SortedIndex {
+        let target = bucket_target.max(1);
+        let len = keys.len();
+        let buckets = keys.chunks(target).map(|c| Arc::new(c.to_vec())).collect();
+        SortedIndex {
+            buckets,
+            len,
+            bucket_target: target,
+        }
     }
 
-    /// The sub-slice whose first two key components equal `(k1, k2)`.
-    fn range2(&self, k1: TermId, k2: TermId) -> &[[TermId; 3]] {
-        let lo = self.keys.partition_point(|k| (k[0], k[1]) < (k1, k2));
-        let hi = self.keys.partition_point(|k| (k[0], k[1]) <= (k1, k2));
-        &self.keys[lo..hi]
+    /// Invoke `f` on every key whose first `prefix.len()` components equal
+    /// `prefix`, in sorted order.
+    fn for_prefix(&self, prefix: &[TermId], f: &mut dyn FnMut(&[TermId; 3])) {
+        let start = self
+            .buckets
+            .partition_point(|b| b.last().is_some_and(|l| cmp_prefix(l, prefix).is_lt()));
+        for b in &self.buckets[start..] {
+            if cmp_prefix(&b[0], prefix).is_gt() {
+                break;
+            }
+            let lo = b.partition_point(|k| cmp_prefix(k, prefix).is_lt());
+            let hi = b.partition_point(|k| !cmp_prefix(k, prefix).is_gt());
+            for k in &b[lo..hi] {
+                f(k);
+            }
+        }
+    }
+
+    /// Number of keys whose first `prefix.len()` components equal `prefix`.
+    fn count_prefix(&self, prefix: &[TermId]) -> usize {
+        let start = self
+            .buckets
+            .partition_point(|b| b.last().is_some_and(|l| cmp_prefix(l, prefix).is_lt()));
+        let mut n = 0;
+        for b in &self.buckets[start..] {
+            if cmp_prefix(&b[0], prefix).is_gt() {
+                break;
+            }
+            let lo = b.partition_point(|k| cmp_prefix(k, prefix).is_lt());
+            let hi = b.partition_point(|k| !cmp_prefix(k, prefix).is_gt());
+            n += hi - lo;
+        }
+        n
+    }
+
+    /// Invoke `f` on every key, in sorted order.
+    fn for_each(&self, f: &mut dyn FnMut(&[TermId; 3])) {
+        for b in &self.buckets {
+            for k in b.iter() {
+                f(k);
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[TermId; 3]> {
+        self.buckets.iter().flat_map(|b| b.iter())
     }
 
     fn contains(&self, key: &[TermId; 3]) -> bool {
-        self.keys.binary_search(key).is_ok()
+        let i = self
+            .buckets
+            .partition_point(|b| b.last().is_some_and(|l| l < key));
+        match self.buckets.get(i) {
+            Some(b) => b.binary_search(key).is_ok(),
+            None => false,
+        }
     }
+
+    /// Copy-on-write delta application: the result contains
+    /// `(self ∪ inserts) ∖ removes`. Buckets whose key span the delta does
+    /// not touch are `Arc`-shared with `self`; touched buckets are merged
+    /// into fresh ones (and re-split when they outgrow the target size).
+    fn apply_delta(
+        &self,
+        order: Order,
+        inserts: &[EncodedTriple],
+        removes: &[EncodedTriple],
+    ) -> SortedIndex {
+        let mut ins: Vec<[TermId; 3]> = inserts.iter().map(|t| order.key(t)).collect();
+        ins.sort_unstable();
+        ins.dedup();
+        let mut rem: Vec<[TermId; 3]> = removes.iter().map(|t| order.key(t)).collect();
+        rem.sort_unstable();
+        rem.dedup();
+        if ins.is_empty() && rem.is_empty() {
+            return self.clone();
+        }
+        if self.buckets.is_empty() {
+            // Removes can only be no-ops on an empty index.
+            let mut keys = ins;
+            keys.retain(|k| rem.binary_search(k).is_err());
+            return SortedIndex::from_sorted_keys(keys, self.bucket_target);
+        }
+
+        let mut buckets: Vec<Arc<Vec<[TermId; 3]>>> = Vec::with_capacity(self.buckets.len() + 1);
+        let mut len = 0usize;
+        let (mut ii, mut ri) = (0usize, 0usize);
+        for (bi, b) in self.buckets.iter().enumerate() {
+            // This bucket's span ends where the next bucket begins; the
+            // first bucket's span starts at -inf, the last ends at +inf, so
+            // every delta key lands in exactly one span.
+            let upper = self.buckets.get(bi + 1).map(|nb| nb[0]);
+            let ins_end = match upper {
+                Some(u) => ii + ins[ii..].partition_point(|k| *k < u),
+                None => ins.len(),
+            };
+            let rem_end = match upper {
+                Some(u) => ri + rem[ri..].partition_point(|k| *k < u),
+                None => rem.len(),
+            };
+            if ins_end == ii && rem_end == ri {
+                len += b.len();
+                buckets.push(Arc::clone(b));
+                continue;
+            }
+            let merged = merge_keys(b, &ins[ii..ins_end], &rem[ri..rem_end]);
+            ii = ins_end;
+            ri = rem_end;
+            len += merged.len();
+            if merged.len() > 2 * self.bucket_target {
+                for c in merged.chunks(self.bucket_target) {
+                    buckets.push(Arc::new(c.to_vec()));
+                }
+            } else if !merged.is_empty() {
+                buckets.push(Arc::new(merged));
+            }
+        }
+        SortedIndex {
+            buckets,
+            len,
+            bucket_target: self.bucket_target,
+        }
+    }
+}
+
+/// `(base ∪ ins) ∖ rem` for sorted, deduplicated key runs.
+fn merge_keys(base: &[[TermId; 3]], ins: &[[TermId; 3]], rem: &[[TermId; 3]]) -> Vec<[TermId; 3]> {
+    let mut out = Vec::with_capacity(base.len() + ins.len());
+    let (mut i, mut j, mut r) = (0usize, 0usize, 0usize);
+    while i < base.len() || j < ins.len() {
+        let k = match (base.get(i), ins.get(j)) {
+            (Some(a), Some(b)) => {
+                if a <= b {
+                    if a == b {
+                        j += 1;
+                    }
+                    i += 1;
+                    *a
+                } else {
+                    j += 1;
+                    *b
+                }
+            }
+            (Some(a), None) => {
+                i += 1;
+                *a
+            }
+            (None, Some(b)) => {
+                j += 1;
+                *b
+            }
+            (None, None) => break,
+        };
+        while r < rem.len() && rem[r] < k {
+            r += 1;
+        }
+        if r < rem.len() && rem[r] == k {
+            continue;
+        }
+        out.push(k);
+    }
+    out
 }
 
 /// A triple pattern over ids: `None` = wildcard. (The query layer translates
@@ -118,7 +303,8 @@ impl IdPattern {
 ///
 /// The store is deliberately decoupled from the [`Graph`] that produced it
 /// (the saturation experiments build stores from both `G` and `G∞` over the
-/// same dictionary).
+/// same dictionary). `Clone` is cheap — the indexes are `Arc`-shared bucket
+/// sequences — and [`Store::apply_delta`] evolves a store copy-on-write.
 #[derive(Debug, Clone)]
 pub struct Store {
     spo: SortedIndex,
@@ -130,12 +316,19 @@ pub struct Store {
 impl Store {
     /// Build a store over a slice of encoded triples.
     pub fn from_triples(triples: &[EncodedTriple]) -> Store {
-        let spo = SortedIndex::build(Order::Spo, triples);
-        let len = spo.keys.len(); // post-dedup count
+        Store::from_triples_with_bucket_target(triples, BUCKET_TARGET)
+    }
+
+    /// Build with an explicit bucket size — exposed so tests can exercise
+    /// the multi-bucket paths on small datasets.
+    #[doc(hidden)]
+    pub fn from_triples_with_bucket_target(triples: &[EncodedTriple], target: usize) -> Store {
+        let spo = SortedIndex::build(Order::Spo, triples, target);
+        let len = spo.len; // post-dedup count
         Store {
             spo,
-            pos: SortedIndex::build(Order::Pos, triples),
-            osp: SortedIndex::build(Order::Osp, triples),
+            pos: SortedIndex::build(Order::Pos, triples, target),
+            osp: SortedIndex::build(Order::Osp, triples, target),
             len,
         }
     }
@@ -143,6 +336,40 @@ impl Store {
     /// Build a store over a graph's triples.
     pub fn from_graph(graph: &Graph) -> Store {
         Store::from_triples(graph.triples())
+    }
+
+    /// A new store containing `(self ∪ inserts) ∖ removes`, sharing every
+    /// index bucket the delta does not touch. Keys present in both lists
+    /// end up removed. `self` is untouched — readers of the old snapshot
+    /// are never disturbed.
+    pub fn apply_delta(&self, inserts: &[EncodedTriple], removes: &[EncodedTriple]) -> Store {
+        let spo = self.spo.apply_delta(Order::Spo, inserts, removes);
+        let len = spo.len;
+        Store {
+            spo,
+            pos: self.pos.apply_delta(Order::Pos, inserts, removes),
+            osp: self.osp.apply_delta(Order::Osp, inserts, removes),
+            len,
+        }
+    }
+
+    /// How many index buckets this store shares with `other` (diagnostics
+    /// for the copy-on-write tests and the serving metrics).
+    #[doc(hidden)]
+    pub fn shared_buckets_with(&self, other: &Store) -> usize {
+        let count = |a: &SortedIndex, b: &SortedIndex| {
+            a.buckets
+                .iter()
+                .filter(|x| b.buckets.iter().any(|y| Arc::ptr_eq(x, y)))
+                .count()
+        };
+        count(&self.spo, &other.spo) + count(&self.pos, &other.pos) + count(&self.osp, &other.osp)
+    }
+
+    /// Total index buckets across the three orderings.
+    #[doc(hidden)]
+    pub fn bucket_count(&self) -> usize {
+        self.spo.buckets.len() + self.pos.buckets.len() + self.osp.buckets.len()
     }
 
     /// Number of (distinct) triples.
@@ -180,76 +407,66 @@ impl Store {
                 }
             }
             (Some(s), Some(p), None) => {
-                for k in self.spo.range2(s, p) {
-                    f(Order::Spo.unkey(k));
-                }
+                self.spo
+                    .for_prefix(&[s, p], &mut |k| f(Order::Spo.unkey(k)));
             }
             (Some(s), None, None) => {
-                for k in self.spo.range1(s) {
-                    f(Order::Spo.unkey(k));
-                }
+                self.spo.for_prefix(&[s], &mut |k| f(Order::Spo.unkey(k)));
             }
             (None, Some(p), Some(o)) => {
-                for k in self.pos.range2(p, o) {
-                    f(Order::Pos.unkey(k));
-                }
+                self.pos
+                    .for_prefix(&[p, o], &mut |k| f(Order::Pos.unkey(k)));
             }
             (None, Some(p), None) => {
-                for k in self.pos.range1(p) {
-                    f(Order::Pos.unkey(k));
-                }
+                self.pos.for_prefix(&[p], &mut |k| f(Order::Pos.unkey(k)));
             }
             (None, None, Some(o)) => {
-                for k in self.osp.range1(o) {
-                    f(Order::Osp.unkey(k));
-                }
+                self.osp.for_prefix(&[o], &mut |k| f(Order::Osp.unkey(k)));
             }
             (Some(s), None, Some(o)) => {
                 // Pick the smaller range: subject slice of SPO vs object
                 // slice of OSP.
-                let s_range = self.spo.range1(s);
-                let o_range = self.osp.range1(o);
-                if s_range.len() <= o_range.len() {
-                    for k in s_range {
+                if self.spo.count_prefix(&[s]) <= self.osp.count_prefix(&[o]) {
+                    self.spo.for_prefix(&[s], &mut |k| {
                         if k[2] == o {
                             f(Order::Spo.unkey(k));
                         }
-                    }
+                    });
                 } else {
-                    for k in o_range {
+                    self.osp.for_prefix(&[o], &mut |k| {
                         if k[1] == s {
                             f(Order::Osp.unkey(k));
                         }
-                    }
+                    });
                 }
             }
             (None, None, None) => {
-                for k in &self.spo.keys {
-                    f(Order::Spo.unkey(k));
-                }
+                self.spo.for_each(&mut |k| f(Order::Spo.unkey(k)));
             }
         }
     }
 
-    /// Exact number of matches for a pattern — O(log n) for all shapes
-    /// except `s ? o`, which is linear in the smaller range. Used by exact
-    /// statistics and by experiment reports.
+    /// Exact number of matches for a pattern — O(log n) per spanned bucket
+    /// for all shapes except `s ? o`, which is linear in the smaller range.
+    /// Used by exact statistics and by experiment reports.
     pub fn count(&self, pat: IdPattern) -> usize {
         match (pat.s, pat.p, pat.o) {
             (Some(s), Some(p), Some(o)) => usize::from(self.contains(&EncodedTriple::new(s, p, o))),
-            (Some(s), Some(p), None) => self.spo.range2(s, p).len(),
-            (Some(s), None, None) => self.spo.range1(s).len(),
-            (None, Some(p), Some(o)) => self.pos.range2(p, o).len(),
-            (None, Some(p), None) => self.pos.range1(p).len(),
-            (None, None, Some(o)) => self.osp.range1(o).len(),
+            (Some(s), Some(p), None) => self.spo.count_prefix(&[s, p]),
+            (Some(s), None, None) => self.spo.count_prefix(&[s]),
+            (None, Some(p), Some(o)) => self.pos.count_prefix(&[p, o]),
+            (None, Some(p), None) => self.pos.count_prefix(&[p]),
+            (None, None, Some(o)) => self.osp.count_prefix(&[o]),
             (Some(s), None, Some(o)) => {
-                let s_range = self.spo.range1(s);
-                let o_range = self.osp.range1(o);
-                if s_range.len() <= o_range.len() {
-                    s_range.iter().filter(|k| k[2] == o).count()
+                let mut n = 0;
+                if self.spo.count_prefix(&[s]) <= self.osp.count_prefix(&[o]) {
+                    self.spo
+                        .for_prefix(&[s], &mut |k| n += usize::from(k[2] == o));
                 } else {
-                    o_range.iter().filter(|k| k[1] == s).count()
+                    self.osp
+                        .for_prefix(&[o], &mut |k| n += usize::from(k[1] == s));
                 }
+                n
             }
             (None, None, None) => self.len,
         }
@@ -257,22 +474,17 @@ impl Store {
 
     /// Iterate over all triples in SPO order.
     pub fn iter(&self) -> impl Iterator<Item = EncodedTriple> + '_ {
-        self.spo.keys.iter().map(|k| Order::Spo.unkey(k))
+        self.spo.iter().map(|k| Order::Spo.unkey(k))
     }
 
     /// The distinct properties, with the count of triples per property, in
-    /// ascending property-id order. O(number of distinct properties)
-    /// group-hops over the POS index.
+    /// ascending property-id order — one grouped pass over the POS index.
     pub fn property_counts(&self) -> Vec<(TermId, usize)> {
-        let mut out = Vec::new();
-        let keys = &self.pos.keys;
-        let mut i = 0;
-        while i < keys.len() {
-            let p = keys[i][0];
-            let end = keys.partition_point(|k| k[0] <= p);
-            out.push((p, end - i));
-            i = end;
-        }
+        let mut out: Vec<(TermId, usize)> = Vec::new();
+        self.pos.for_each(&mut |k| match out.last_mut() {
+            Some((p, n)) if *p == k[0] => *n += 1,
+            _ => out.push((k[0], 1)),
+        });
         out
     }
 }
@@ -298,6 +510,14 @@ mod tests {
             EncodedTriple::new(a, p, b), // duplicate, deduped at build
         ];
         (Store::from_triples(&triples), ids)
+    }
+
+    /// A deterministic many-triple set that spans several buckets at the
+    /// given bucket target.
+    fn dense_triples(n: u32) -> Vec<EncodedTriple> {
+        (0..n)
+            .map(|i| EncodedTriple::new(TermId(i % 37), TermId(i % 11), TermId(i % 53)))
+            .collect()
     }
 
     #[test]
@@ -390,5 +610,108 @@ mod tests {
         let v: Vec<_> = store.iter().collect();
         assert_eq!(v.len(), 5);
         assert!(v.windows(2).all(|w| w[0].as_array() <= w[1].as_array()));
+    }
+
+    #[test]
+    fn small_buckets_answer_every_shape_like_one_bucket() {
+        let triples = dense_triples(2000);
+        let coarse = Store::from_triples(&triples); // one bucket per index
+        let fine = Store::from_triples_with_bucket_target(&triples, 16);
+        assert_eq!(coarse.len(), fine.len());
+        let ids: Vec<Option<TermId>> =
+            [None, Some(TermId(0)), Some(TermId(5)), Some(TermId(36))].to_vec();
+        for &s in &ids {
+            for &p in &ids {
+                for &o in &ids {
+                    let pat = IdPattern { s, p, o };
+                    assert_eq!(coarse.scan(pat), fine.scan(pat), "pattern {pat:?}");
+                    assert_eq!(coarse.count(pat), fine.count(pat), "count {pat:?}");
+                }
+            }
+        }
+        assert_eq!(
+            coarse.iter().collect::<Vec<_>>(),
+            fine.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(coarse.property_counts(), fine.property_counts());
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuild() {
+        let triples = dense_triples(1500);
+        let store = Store::from_triples_with_bucket_target(&triples, 32);
+        let inserts: Vec<EncodedTriple> = (0..40)
+            .map(|i| EncodedTriple::new(TermId(100 + i), TermId(3), TermId(7)))
+            .collect();
+        let removes: Vec<EncodedTriple> = triples.iter().step_by(17).copied().collect();
+        let updated = store.apply_delta(&inserts, &removes);
+
+        let mut expected: Vec<EncodedTriple> = triples.clone();
+        expected.extend(inserts.iter().copied());
+        let rm: std::collections::HashSet<_> = removes.iter().copied().collect();
+        expected.retain(|t| !rm.contains(t));
+        let rebuilt = Store::from_triples_with_bucket_target(&expected, 32);
+        assert_eq!(updated.len(), rebuilt.len());
+        assert_eq!(
+            updated.iter().collect::<Vec<_>>(),
+            rebuilt.iter().collect::<Vec<_>>()
+        );
+        // The original snapshot is untouched.
+        assert_eq!(store.len(), Store::from_triples(&triples).len());
+    }
+
+    #[test]
+    fn apply_delta_shares_untouched_buckets() {
+        // Keys clustered by subject: a delta on one subject region must
+        // leave distant SPO buckets shared.
+        let triples: Vec<EncodedTriple> = (0..4000)
+            .map(|i| EncodedTriple::new(TermId(i / 4), TermId(i % 2), TermId(i % 97)))
+            .collect();
+        let store = Store::from_triples_with_bucket_target(&triples, 64);
+        let delta = vec![EncodedTriple::new(TermId(2), TermId(0), TermId(999))];
+        let updated = store.apply_delta(&delta, &[]);
+        let shared = updated.shared_buckets_with(&store);
+        let total = updated.bucket_count();
+        assert!(
+            shared >= total - 6,
+            "expected near-total bucket sharing, got {shared}/{total}"
+        );
+        assert_eq!(updated.len(), store.len() + 1);
+        assert!(updated.contains(&delta[0]));
+        assert!(!store.contains(&delta[0]));
+    }
+
+    #[test]
+    fn apply_delta_handles_noop_and_empty_cases() {
+        let triples = dense_triples(100);
+        let store = Store::from_triples_with_bucket_target(&triples, 16);
+        // Inserting existing triples and removing absent ones: no change.
+        let same = store.apply_delta(
+            &triples[..10],
+            &[EncodedTriple::new(TermId(9999), TermId(9999), TermId(9999))],
+        );
+        assert_eq!(same.len(), store.len());
+        // Empty delta clones (shares everything).
+        let clone = store.apply_delta(&[], &[]);
+        assert_eq!(clone.shared_buckets_with(&store), clone.bucket_count());
+        // Delta onto an empty store.
+        let empty = Store::from_triples(&[]);
+        let filled = empty.apply_delta(&triples, &[]);
+        assert_eq!(filled.len(), store.len());
+        // Removing everything empties the store.
+        let drained = store.apply_delta(&[], &triples);
+        assert!(drained.is_empty());
+        assert_eq!(drained.scan(IdPattern::ALL).len(), 0);
+    }
+
+    #[test]
+    fn apply_delta_key_in_both_lists_is_removed() {
+        let t = EncodedTriple::new(TermId(1), TermId(2), TermId(3));
+        let store = Store::from_triples(&[]);
+        let out = store.apply_delta(&[t], &[t]);
+        assert!(out.is_empty());
+        let store2 = Store::from_triples(&[t]);
+        let out2 = store2.apply_delta(&[t], &[t]);
+        assert!(out2.is_empty());
     }
 }

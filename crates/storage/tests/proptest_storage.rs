@@ -7,7 +7,7 @@ use rdfref_model::{EncodedTriple, TermId};
 use rdfref_query::Var;
 use rdfref_storage::relation::Relation;
 use rdfref_storage::store::{IdPattern, Store};
-use rdfref_storage::Stats;
+use rdfref_storage::{Stats, StatsMaintainer};
 
 fn triples_strategy() -> impl Strategy<Value = Vec<EncodedTriple>> {
     proptest::collection::vec(
@@ -85,6 +85,71 @@ proptest! {
             subs.dedup();
             prop_assert_eq!(ps.distinct_subjects, subs.len());
         }
+    }
+
+    /// Copy-on-write delta application over small buckets equals a rebuild
+    /// from the updated triple set, for every pattern shape, and keeps exact
+    /// statistics maintainable.
+    #[test]
+    fn apply_delta_matches_rebuild_and_stats_stay_exact(
+        base in triples_strategy(),
+        inserts in triples_strategy(),
+        remove_mask in proptest::collection::vec(any::<bool>(), 60),
+        bucket in 1usize..9,
+    ) {
+        let store = Store::from_triples_with_bucket_target(&base, bucket);
+        // Net delta: inserts not already present, removes actually present.
+        let removes: Vec<EncodedTriple> = store
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| remove_mask.get(*i).copied().unwrap_or(false))
+            .map(|(_, t)| t)
+            .collect();
+        let mut net_inserts: Vec<EncodedTriple> = inserts
+            .iter()
+            .filter(|t| !store.contains(t))
+            .copied()
+            .collect();
+        net_inserts.sort_unstable();
+        net_inserts.dedup();
+
+        let updated = store.apply_delta(&net_inserts, &removes);
+        let mut expected_set: Vec<EncodedTriple> = base.clone();
+        expected_set.extend(net_inserts.iter().copied());
+        expected_set.retain(|t| !removes.contains(t));
+        let rebuilt = Store::from_triples(&expected_set);
+
+        prop_assert_eq!(updated.len(), rebuilt.len());
+        prop_assert_eq!(
+            updated.iter().collect::<Vec<_>>(),
+            rebuilt.iter().collect::<Vec<_>>()
+        );
+        // Spot-check pattern shapes against the naive reference.
+        for pat in [
+            IdPattern::ALL,
+            IdPattern { s: Some(TermId(7)), p: None, o: None },
+            IdPattern { s: None, p: Some(ID_RDF_TYPE), o: None },
+            IdPattern { s: None, p: None, o: Some(TermId(9)) },
+            IdPattern { s: Some(TermId(7)), p: None, o: Some(TermId(9)) },
+        ] {
+            let mut got = updated.scan(pat);
+            got.sort_unstable();
+            prop_assert_eq!(got, naive_scan(&expected_set, pat));
+        }
+        // Incremental statistics equal a full recompute.
+        let base_stats = Stats::compute(&store);
+        let mut maintainer = StatsMaintainer::from_store(&store);
+        let inc = maintainer.apply(&base_stats, &updated, &net_inserts, &removes);
+        let full = Stats::compute(&updated);
+        prop_assert_eq!(inc.total, full.total);
+        prop_assert_eq!(inc.distinct_subjects, full.distinct_subjects);
+        prop_assert_eq!(inc.distinct_properties, full.distinct_properties);
+        prop_assert_eq!(inc.distinct_objects, full.distinct_objects);
+        prop_assert_eq!(inc.properties, full.properties);
+        prop_assert_eq!(inc.classes, full.classes);
+        prop_assert_eq!(inc.type_triples, full.type_triples);
+        // The pre-delta snapshot still answers as before (immutability).
+        prop_assert_eq!(store.len(), Store::from_triples(&base).len());
     }
 
     /// Natural join is commutative up to column order, and joining a

@@ -32,8 +32,13 @@ pub struct Config {
     pub library_crates: Vec<String>,
     /// Crates whose public fns must return `Result` when fallible (L004).
     pub result_crates: Vec<String>,
-    /// Path prefixes subject to the guard-across-answer lint (L005).
+    /// Path prefixes subject to the guard-across-call lint (L005).
     pub guard_paths: Vec<String>,
+    /// Calls that must not happen while a lock guard is live (L005):
+    /// `answer` (cache-shard deadlock against answering's own cache use)
+    /// and `publish` (atomic snapshot publication must never be reached
+    /// with a shard lock held, or readers can stall behind maintenance).
+    pub guarded_calls: Vec<String>,
     /// Identifiers treated as heavy (graph/dictionary-like) by L006.
     pub heavy_idents: Vec<String>,
     /// Free functions that acquire and return a lock guard; calls to them
@@ -64,6 +69,7 @@ impl Default for Config {
                 .map(String::from)
                 .to_vec(),
             guard_paths: vec!["crates/core/src/".to_string()],
+            guarded_calls: ["answer", "publish"].map(String::from).to_vec(),
             heavy_idents: ["graph", "dict", "dictionary"].map(String::from).to_vec(),
             lock_wrappers: vec!["lock_or_recover".to_string()],
             allow: Vec::new(),
@@ -136,6 +142,7 @@ pub fn parse_config(text: &str) -> Result<Config, ConfigError> {
                 "library_crates" => cfg.library_crates = parse_string_array(value, lineno)?,
                 "result_crates" => cfg.result_crates = parse_string_array(value, lineno)?,
                 "guard_paths" => cfg.guard_paths = parse_string_array(value, lineno)?,
+                "guarded_calls" => cfg.guarded_calls = parse_string_array(value, lineno)?,
                 "heavy_idents" => cfg.heavy_idents = parse_string_array(value, lineno)?,
                 "lock_wrappers" => cfg.lock_wrappers = parse_string_array(value, lineno)?,
                 _ => {
@@ -201,6 +208,7 @@ pub fn render_config(cfg: &Config) -> String {
     ));
     s.push_str(&format!("result_crates = [{}]\n", arr(&cfg.result_crates)));
     s.push_str(&format!("guard_paths = [{}]\n", arr(&cfg.guard_paths)));
+    s.push_str(&format!("guarded_calls = [{}]\n", arr(&cfg.guarded_calls)));
     s.push_str(&format!("heavy_idents = [{}]\n", arr(&cfg.heavy_idents)));
     s.push_str(&format!("lock_wrappers = [{}]\n", arr(&cfg.lock_wrappers)));
     for a in &cfg.allow {

@@ -6,7 +6,7 @@
 //! | L002 | no `panic!` / `unreachable!` / `todo!` / `unimplemented!` in library code |
 //! | L003 | no `println!` / `eprintln!` / `print!` / `eprint!` / `dbg!` in library crates |
 //! | L004 | public fns that can fail (panic-ish body) must return `Result` |
-//! | L005 | no `Mutex`/`RwLock` guard held across a call into `Database::answer` |
+//! | L005 | no `Mutex`/`RwLock` guard held across a guarded call (`answer`, snapshot `publish`, …; `guarded_calls` in lints.toml) |
 //! | L006 | no `.clone()` of `Graph`/dictionary-like values in loop bodies |
 //!
 //! `#[cfg(test)]` items, `#[test]` fns and `mod tests { … }` blocks are
@@ -78,7 +78,7 @@ pub fn lint_tokens(toks: &[Tok], ctx: &FileContext, cfg: &Config) -> Vec<Violati
         .iter()
         .any(|p| ctx.path.starts_with(p.as_str()))
     {
-        lint_l005(&analysis, ctx, &mut out);
+        lint_l005(&analysis, ctx, cfg, &mut out);
     }
     lint_l006(&analysis, ctx, cfg, &mut out);
     out.sort_by_key(|v| (v.line, v.col, v.lint));
@@ -367,9 +367,12 @@ fn lint_l004(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
 }
 
 /// L005: a lock guard (`let g = ….lock()/.read()/.write()`) must be dropped
-/// before any call into `Database::answer` in the same scope — otherwise a
-/// cache shard can deadlock against answering's own cache use.
-fn lint_l005(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
+/// before any *guarded call* (`guarded_calls` in lints.toml) in the same
+/// scope. The defaults: `answer`, because a cache shard can deadlock
+/// against answering's own cache use; and `publish`, because atomic
+/// snapshot publication while holding a shard lock would let a stalled
+/// writer block the lock-free reader path it exists to protect.
+fn lint_l005(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut Vec<Violation>) {
     let toks = a.toks;
     let n = toks.len();
     let mut i = 0;
@@ -418,15 +421,18 @@ fn lint_l005(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
             {
                 break;
             }
-            if t.is_ident("answer") && k + 1 < n && toks[k + 1].is_punct('(') {
+            if cfg.guarded_calls.iter().any(|c| t.is_ident(c))
+                && k + 1 < n
+                && toks[k + 1].is_punct('(')
+            {
                 out.push(Violation {
                     lint: "L005",
                     file: ctx.path.clone(),
                     line: toks[i].line,
                     col: toks[i].col,
                     message: format!(
-                        "lock guard `{guard_name}` is live across a call into `answer` (line {}) — drop it first",
-                        t.line
+                        "lock guard `{guard_name}` is live across a call into `{}` (line {}) — drop it first",
+                        t.text, t.line
                     ),
                 });
                 break;

@@ -1,0 +1,21 @@
+//! Fixture: L005 with `guarded_calls` — snapshot publication reached while
+//! a shard lock guard is live. The clean variant drops the guard before
+//! publishing; the last function calls an unguarded name and stays silent.
+
+pub fn bad(cell: &SnapshotCell, shards: &Mutex<Shards>, snap: Arc<Snapshot>) {
+    let shard = shards.lock().unwrap();
+    shard.note_epoch(snap.seq);
+    cell.publish(snap);
+}
+
+pub fn good(cell: &SnapshotCell, shards: &Mutex<Shards>, snap: Arc<Snapshot>) {
+    let shard = shards.lock().unwrap();
+    let epoch = shard.epoch();
+    drop(shard);
+    cell.publish(snap.with_epoch(epoch));
+}
+
+pub fn unguarded_calls_are_fine(shards: &Mutex<Shards>) -> usize {
+    let shard = shards.lock().unwrap();
+    shard.describe()
+}

@@ -85,6 +85,30 @@ fn l005_fires_on_guard_live_across_answer() {
 }
 
 #[test]
+fn l005_fires_on_guard_live_across_publish() {
+    let v = lint("l005_publish.rs", "core", "crates/core/src/fixture.rs");
+    // `bad` publishes under a live shard guard; `good` drops it first and
+    // `unguarded_calls_are_fine` calls a name outside guarded_calls.
+    assert_eq!(count(&v, "L005"), 1, "violations: {v:?}");
+    let l005 = v.iter().find(|x| x.lint == "L005").unwrap();
+    assert!(
+        l005.message.contains("publish"),
+        "message must name the guarded call: {}",
+        l005.message
+    );
+
+    // The guarded-call list is configuration, not a hardcode: without
+    // `publish` in guarded_calls the same source is clean.
+    let cfg = parse_config("guarded_calls = [\"answer\"]\n").unwrap();
+    let ctx = FileContext {
+        path: "crates/core/src/fixture.rs".to_string(),
+        crate_name: "core".to_string(),
+    };
+    let v = lint_file(&fixture("l005_publish.rs"), &ctx, &cfg);
+    assert_eq!(count(&v, "L005"), 0, "violations: {v:?}");
+}
+
+#[test]
 fn l006_fires_on_heavy_clone_in_loop() {
     let v = lint("l006_clone_loop.rs", "rdf", "crates/rdf/src/fixture.rs");
     // graph.clone() and dict.clone() inside the for body; the out-of-loop

@@ -23,10 +23,7 @@ fn main() {
     let db = Database::new(ds.graph.clone());
     // Keep the UCQ attempt from consuming the machine: the point of
     // Example 1 is that it is infeasible.
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 50_000,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
 
     println!("=== the paper's Example 1 query ===");
     println!(

@@ -76,6 +76,10 @@ pub mod prelude {
     pub use rdfref_core::reformulate::{
         reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
     };
+    pub use rdfref_core::serving::{
+        BatchReport, BatchTicket, ServingDatabase, Snapshot, UpdateBatch,
+    };
+    pub use rdfref_core::SnapshotInfo;
     pub use rdfref_core::{MetricsRegistry, Obs};
     pub use rdfref_model::{Dictionary, Graph, Schema, Term, TermId, Triple};
     pub use rdfref_query::{parse_select, Cover, Cq, Var};

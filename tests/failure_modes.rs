@@ -111,10 +111,7 @@ fn reformulation_size_limit_is_exact_and_typed() {
     let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
     let q = rdfref::datagen::queries::example1(&ds, 0).unwrap();
     let db = Database::new(ds.graph.clone());
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 100,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(100));
     match db.run_query(&q, &Strategy::RefUcq, &opts) {
         Err(rdfref::core::CoreError::ReformulationTooLarge { size, limit }) => {
             assert_eq!(limit, 100);

@@ -111,10 +111,7 @@ fn example_1_shape() {
     let ds = generate(&LubmConfig::scale(3));
     let q = queries::example1(&ds, 0).unwrap();
     let db = Database::new(ds.graph.clone());
-    let opts = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 20_000,
-        ..Default::default()
-    });
+    let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(20_000));
 
     // (i) UCQ fails by size.
     let ucq_err = db.run_query(&q, &Strategy::RefUcq, &opts).unwrap_err();

@@ -12,10 +12,11 @@ fn pruned_reformulations_answer_identically() {
     let ds = generate(&LubmConfig::default());
     let db = Database::new(ds.graph.clone());
     let plain = AnswerOptions::default();
-    let pruned = AnswerOptions::new().with_limits(ReformulationLimits {
-        max_cqs: 500_000,
-        prune_subsumed_below: 10_000,
-    });
+    let pruned = AnswerOptions::new().with_limits(
+        ReformulationLimits::new()
+            .with_max_cqs(500_000)
+            .with_prune_subsumed_below(10_000),
+    );
     for nq in queries::lubm_mix(&ds).unwrap() {
         if nq.name == "Q09" {
             continue; // 6 atoms: UCQ is slow in debug builds; covered below
@@ -60,10 +61,9 @@ fn pruning_shrinks_hierarchy_heavy_unions() {
     let pruned = reformulate_ucq(
         &q,
         &ctx,
-        ReformulationLimits {
-            max_cqs: 500_000,
-            prune_subsumed_below: 10_000,
-        },
+        ReformulationLimits::new()
+            .with_max_cqs(500_000)
+            .with_prune_subsumed_below(10_000),
     )
     .unwrap();
     // (x τ Thing) unions (x related f) via the domain of `related`, and each

@@ -1,0 +1,212 @@
+//! Snapshot-isolation property test: under randomly generated interleavings
+//! of insert/delete batches and reads, every read against a
+//! [`ServingDatabase`] equals answering over *some prefix* of the applied
+//! batches — the prefix named by the answer's snapshot stamp — and the
+//! complete strategies (Sat and cost-based GCov) agree on every snapshot.
+//!
+//! Two submission modes are exercised:
+//!
+//! * **acknowledged** — the writer waits on each ticket, so each read's
+//!   stamp must equal the just-acknowledged prefix exactly;
+//! * **flooded** — all batches are submitted before any read; the pipeline
+//!   coalesces them freely, and each read's stamp names whatever prefix got
+//!   published, which the reference must reproduce.
+//!
+//! Run with `--features strict-invariants` to add the store/saturation
+//! length cross-checks inside the maintenance pipeline itself.
+
+use proptest::prelude::*;
+use rdfref::core::answer::Strategy as AnswerStrategy;
+use rdfref::model::vocab;
+use rdfref::prelude::*;
+use std::collections::BTreeSet;
+
+const INDIVIDUALS: usize = 4;
+const CLASSES: usize = 3;
+
+/// One update: insert (`true`) or delete a `(individual, class)` type fact.
+type Op = (bool, usize, usize);
+
+fn ind(i: usize) -> Term {
+    Term::iri(format!("http://t/i{i}"))
+}
+
+fn class(c: usize) -> Term {
+    Term::iri(format!("http://t/C{c}"))
+}
+
+fn type_triple(i: usize, c: usize) -> Triple {
+    Triple::new(ind(i), Term::iri(vocab::RDF_TYPE), class(c)).unwrap()
+}
+
+/// The fixed schema: C0 ⊑ C1 ⊑ C2, so `?x a C2` requires reformulation
+/// (or saturation) to see instances asserted at C0/C1.
+fn base_graph() -> Graph {
+    let mut g = Graph::new();
+    g.insert_triple(&Triple::new(class(0), Term::iri(vocab::RDFS_SUBCLASSOF), class(1)).unwrap());
+    g.insert_triple(&Triple::new(class(1), Term::iri(vocab::RDFS_SUBCLASSOF), class(2)).unwrap());
+    // One permanent instance so the answer is never trivially empty.
+    g.insert_triple(&type_triple(0, 0));
+    g
+}
+
+fn query(dict: &mut Dictionary) -> Cq {
+    parse_select("PREFIX t: <http://t/> SELECT ?x WHERE { ?x a t:C2 }", dict).unwrap()
+}
+
+/// Reference model: the set of explicit type facts after a prefix of
+/// batches. An [`UpdateBatch`] applies all inserts before all deletes
+/// (so a triple both inserted and deleted in one batch ends up absent);
+/// inserting an existing fact and deleting a missing one are no-ops in a
+/// set-semantics RDF store.
+fn apply_prefix(facts: &mut BTreeSet<(usize, usize)>, batch: &[Op]) {
+    for &(insert, i, c) in batch {
+        if insert {
+            facts.insert((i, c));
+        }
+    }
+    for &(insert, i, c) in batch {
+        if !insert {
+            facts.remove(&(i, c));
+        }
+    }
+}
+
+/// Answer `?x a C2` on the reference model by hand: every individual with
+/// any type fact (C0, C1 and C2 all reach C2 through the chain), decoded
+/// to IRI strings for dictionary-independent comparison.
+fn reference_answer(facts: &BTreeSet<(usize, usize)>) -> BTreeSet<String> {
+    facts
+        .iter()
+        .map(|&(i, _)| format!("<http://t/i{i}>"))
+        .collect()
+}
+
+fn answer_set(snapshot: &Snapshot, answer: &QueryAnswer) -> BTreeSet<String> {
+    answer
+        .decoded(snapshot.dictionary())
+        .into_iter()
+        .map(|row| row[0].to_string())
+        .collect()
+}
+
+/// Check one snapshot against the prefix its stamp names.
+fn check_snapshot(
+    snapshot: &Snapshot,
+    q: &Cq,
+    prefixes: &[BTreeSet<(usize, usize)>],
+) -> Result<(), TestCaseError> {
+    let seq = snapshot.seq() as usize;
+    prop_assert!(
+        seq < prefixes.len(),
+        "stamp {seq} names a prefix that was never submitted"
+    );
+    let want = reference_answer(&prefixes[seq]);
+    for strategy in [AnswerStrategy::Saturation, AnswerStrategy::RefGCov] {
+        let ans = snapshot.query(q).strategy(strategy.clone()).run().unwrap();
+        prop_assert_eq!(
+            ans.explain.snapshot,
+            Some(snapshot.info()),
+            "answer not stamped with its snapshot"
+        );
+        let got = answer_set(snapshot, &ans);
+        prop_assert_eq!(
+            &got,
+            &want,
+            "{} diverged from prefix {} ({:?})",
+            strategy.name(),
+            seq,
+            prefixes[seq]
+        );
+    }
+    Ok(())
+}
+
+fn batches_strategy() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Op>>> {
+    let op = (any::<bool>(), 0..INDIVIDUALS, 0..CLASSES);
+    proptest::collection::vec(proptest::collection::vec(op, 0..4), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Acknowledged mode: wait on every ticket, read after every batch.
+    /// The read must see exactly the acknowledged prefix.
+    #[test]
+    fn acknowledged_reads_see_the_exact_prefix(batches in batches_strategy()) {
+        let mut graph = base_graph();
+        let q = query(graph.dictionary_mut());
+        let db = ServingDatabase::new(graph);
+
+        // prefixes[k] = explicit type facts after k batches.
+        let mut prefixes = vec![BTreeSet::from([(0usize, 0usize)])];
+        for batch in &batches {
+            let mut next = prefixes.last().unwrap().clone();
+            apply_prefix(&mut next, batch);
+            prefixes.push(next);
+        }
+
+        for (k, batch) in batches.iter().enumerate() {
+            let mut update = UpdateBatch::new();
+            for &(insert, i, c) in batch {
+                update = if insert {
+                    update.insert(type_triple(i, c))
+                } else {
+                    update.delete(type_triple(i, c))
+                };
+            }
+            let report = db.submit(update).unwrap().wait().unwrap();
+            prop_assert_eq!(report.seq, (k + 1) as u64);
+            let snap = db.snapshot();
+            // wait() resolves only after publication, and no other writer
+            // exists: the snapshot is exactly the acknowledged prefix.
+            prop_assert_eq!(snap.seq(), (k + 1) as u64);
+            check_snapshot(&snap, &q, &prefixes)?;
+        }
+    }
+
+    /// Flooded mode: submit everything, then read while the pipeline
+    /// drains (coalescing at will). Every observed snapshot must match the
+    /// prefix its stamp names; the terminal state must be reached.
+    #[test]
+    fn flooded_reads_see_some_prefix(batches in batches_strategy()) {
+        let mut graph = base_graph();
+        let q = query(graph.dictionary_mut());
+        let db = ServingDatabase::new(graph);
+
+        let mut prefixes = vec![BTreeSet::from([(0usize, 0usize)])];
+        let mut tickets = Vec::new();
+        for batch in &batches {
+            let mut next = prefixes.last().unwrap().clone();
+            apply_prefix(&mut next, batch);
+            prefixes.push(next);
+
+            let mut update = UpdateBatch::new();
+            for &(insert, i, c) in batch {
+                update = if insert {
+                    update.insert(type_triple(i, c))
+                } else {
+                    update.delete(type_triple(i, c))
+                };
+            }
+            tickets.push(db.submit(update).unwrap());
+        }
+
+        // Read under the drain: any stamp in 0..=batches.len() is legal,
+        // as long as the rows match that stamp's prefix.
+        let total = batches.len() as u64;
+        loop {
+            let snap = db.snapshot();
+            check_snapshot(&snap, &q, &prefixes)?;
+            if snap.seq() == total {
+                break;
+            }
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+}
