@@ -21,6 +21,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_completeness",
     "exp_ablations",
     "exp_serving",
+    "exp_intervals",
 ];
 
 fn main() {

@@ -1,0 +1,218 @@
+//! E11 — interval dictionary encoding vs classic on a deep hierarchy.
+//!
+//! The IGN-like dataset is the depth stressor: a subclass chain of
+//! configurable depth makes rule-1 unfolding produce one disjunct per level.
+//! With `DictEncoding::Interval` the whole chain is covered by one interval,
+//! so the same reformulation collapses to a single `type ∈ [lo,hi)` range
+//! atom answered by one range scan. This experiment times the identical
+//! query mix on two databases built from the *same* graph — classic and
+//! interval — across the reformulation strategies, end-to-end with the plan
+//! cache off (so reformulation + planning + evaluation are all measured).
+//!
+//! The claim under test: on the reformulation-heavy deep-hierarchy queries
+//! (G01: all areas; Gmid: a mid-level class) interval encoding is at least
+//! 3× faster under Ref/UCQ (enforced unless `EXP_INTERVALS_ASSERT=0`).
+//!
+//! Depth via `EXP_INTERVALS_DEPTH` (default 96), instances per level via
+//! `EXP_SCALE` × `EXP_INTERVALS_AREAS` (default 24). `--metrics-out <path>` captures one
+//! `bench.intervals.*` gauge per cell; the committed `BENCH_intervals.json`
+//! is this experiment's artifact.
+
+use rdfref_bench::report::Table;
+use rdfref_bench::{fmt_duration, MetricsSink};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_datagen::geo::{generate, GeoConfig};
+use rdfref_model::dictionary::ID_RDF_TYPE;
+use rdfref_model::DictEncoding;
+use rdfref_obs::Recorder;
+use rdfref_query::ast::{Atom, Cq};
+use rdfref_query::Var;
+use std::time::{Duration, Instant};
+
+const ITERS: usize = 7;
+
+const STRATEGIES: [(&str, Strategy); 3] = [
+    ("ucq", Strategy::RefUcq),
+    ("scq", Strategy::RefScq),
+    ("gcov", Strategy::RefGCov),
+];
+
+/// Gauge names are `&'static str`: `[query][strategy]`, microseconds.
+const CLASSIC_GAUGES: [[&str; 3]; 3] = [
+    [
+        "bench.intervals.classic_us.G01.ucq",
+        "bench.intervals.classic_us.G01.scq",
+        "bench.intervals.classic_us.G01.gcov",
+    ],
+    [
+        "bench.intervals.classic_us.Gmid.ucq",
+        "bench.intervals.classic_us.Gmid.scq",
+        "bench.intervals.classic_us.Gmid.gcov",
+    ],
+    [
+        "bench.intervals.classic_us.G02.ucq",
+        "bench.intervals.classic_us.G02.scq",
+        "bench.intervals.classic_us.G02.gcov",
+    ],
+];
+const INTERVAL_GAUGES: [[&str; 3]; 3] = [
+    [
+        "bench.intervals.interval_us.G01.ucq",
+        "bench.intervals.interval_us.G01.scq",
+        "bench.intervals.interval_us.G01.gcov",
+    ],
+    [
+        "bench.intervals.interval_us.Gmid.ucq",
+        "bench.intervals.interval_us.Gmid.scq",
+        "bench.intervals.interval_us.Gmid.gcov",
+    ],
+    [
+        "bench.intervals.interval_us.G02.ucq",
+        "bench.intervals.interval_us.G02.scq",
+        "bench.intervals.interval_us.G02.gcov",
+    ],
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median wall-clock of `ITERS` uncached end-to-end answering calls.
+fn measure(db: &Database, cq: &Cq, strategy: &Strategy, opts: &AnswerOptions) -> (usize, Duration) {
+    let mut walls = Vec::with_capacity(ITERS);
+    let mut answers = 0;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let ans = db
+            .run_query(cq, strategy, opts)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
+        walls.push(start.elapsed());
+        answers = ans.len();
+    }
+    walls.sort();
+    (answers, walls[ITERS / 2])
+}
+
+fn main() {
+    let depth = env_usize("EXP_INTERVALS_DEPTH", 96);
+    let per_level = env_usize("EXP_INTERVALS_AREAS", 24) * env_usize("EXP_SCALE", 1);
+    let sink = MetricsSink::from_args();
+
+    eprintln!("generating IGN-like dataset (depth {depth}, {per_level} areas/level)…");
+    let ds = generate(&GeoConfig {
+        hierarchy_depth: depth,
+        areas_per_level: per_level,
+        seed: 0x960,
+    });
+
+    let v = |n: &str| Var::new(n);
+    let mid = ds.level_classes[depth / 2];
+    let queries: [(&str, Cq); 3] = [
+        (
+            "G01",
+            Cq::new(
+                vec![v("x")],
+                vec![Atom::new(v("x"), ID_RDF_TYPE, ds.root_class)],
+            )
+            .unwrap(),
+        ),
+        (
+            "Gmid",
+            Cq::new(vec![v("x")], vec![Atom::new(v("x"), ID_RDF_TYPE, mid)]).unwrap(),
+        ),
+        (
+            "G02",
+            Cq::new(
+                vec![v("x"), v("y")],
+                vec![
+                    Atom::new(v("x"), ID_RDF_TYPE, ds.root_class),
+                    Atom::new(v("x"), ds.located_in, v("y")),
+                ],
+            )
+            .unwrap(),
+        ),
+    ];
+
+    eprintln!("building classic and interval databases from the same graph…");
+    let classic = Database::new(ds.graph.clone());
+    let interval = Database::with_encoding(ds.graph.clone(), DictEncoding::Interval);
+    assert!(
+        interval
+            .encoder()
+            .expect("interval database has an encoder")
+            .class_range(ds.root_class)
+            .is_some(),
+        "the geo chain root must be interval-covered"
+    );
+
+    // Cache off: each call re-reformulates and re-plans, so the measured
+    // number is the full answering path the paper's experiments time.
+    let opts = AnswerOptions::new().with_use_cache(false);
+
+    let mut table = Table::new(
+        format!(
+            "E11 — interval vs classic encoding (IGN-like, depth {depth}, {} triples)",
+            ds.graph.len()
+        ),
+        &[
+            "query", "strategy", "answers", "classic", "interval", "speedup",
+        ],
+    );
+
+    let mut ucq_speedups: Vec<(&str, f64)> = Vec::new();
+    for (qi, (qname, cq)) in queries.iter().enumerate() {
+        for (si, (sname, strategy)) in STRATEGIES.iter().enumerate() {
+            let (n_classic, wall_classic) = measure(&classic, cq, strategy, &opts);
+            let (n_interval, wall_interval) = measure(&interval, cq, strategy, &opts);
+            assert_eq!(
+                n_classic, n_interval,
+                "{qname}/{sname}: interval and classic answers diverge"
+            );
+            let speedup = wall_classic.as_secs_f64() / wall_interval.as_secs_f64().max(1e-9);
+            if *sname == "ucq" {
+                ucq_speedups.push((qname, speedup));
+            }
+            sink.registry
+                .gauge_set(CLASSIC_GAUGES[qi][si], wall_classic.as_micros() as u64);
+            sink.registry
+                .gauge_set(INTERVAL_GAUGES[qi][si], wall_interval.as_micros() as u64);
+            table.row(&[
+                qname.to_string(),
+                sname.to_string(),
+                n_classic.to_string(),
+                fmt_duration(wall_classic),
+                fmt_duration(wall_interval),
+                format!("{speedup:.2}×"),
+            ]);
+        }
+    }
+    table.emit("exp_intervals");
+
+    // The acceptance gate: the depth stressor's type queries must gain ≥3×
+    // under Ref/UCQ, the strategy whose union the interval collapses.
+    for (qname, speedup) in &ucq_speedups {
+        println!("{qname}/ucq speedup: {speedup:.2}×");
+    }
+    if std::env::var("EXP_INTERVALS_ASSERT").as_deref() != Ok("0") {
+        for (qname, speedup) in &ucq_speedups {
+            if *qname != "G02" {
+                assert!(
+                    *speedup >= 3.0,
+                    "{qname}: interval encoding under Ref/UCQ gained only \
+                     {speedup:.2}× (< 3× acceptance threshold)"
+                );
+            }
+        }
+    }
+
+    if let Some((json, prom)) = sink.flush().expect("write metrics") {
+        eprintln!(
+            "metrics written to {} and {}",
+            json.display(),
+            prom.display()
+        );
+    }
+}

@@ -27,9 +27,54 @@ use rdfref_datagen::queries;
 use rdfref_model::{vocab, Term, Triple};
 use rdfref_obs::Recorder;
 use rdfref_query::Cq;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Counting allocator: a thread-local tally of heap allocations on top of
+/// the system allocator. Reader threads snapshot their own counter around
+/// the measurement window, so each cell can report allocations-per-query
+/// per thread — a second axis (besides qps) on which snapshot readers must
+/// stay flat under churn. The counter is a `const`-initialized `Cell<u64>`:
+/// no allocation and no TLS destructor, so it is safe to touch from inside
+/// the allocator itself.
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+#[inline]
+fn bump_thread_allocs() {
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump_thread_allocs();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump_thread_allocs();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump_thread_allocs();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 const READER_THREADS: &[usize] = &[1, 4, 16];
 const CHURN_PCT: &[usize] = &[0, 1, 10];
@@ -90,10 +135,12 @@ fn run_cell(
     threads: usize,
     pool: &[Triple],
     window: Duration,
-) -> (u64, f64, u64) {
+) -> CellStats {
     let stop = Arc::new(AtomicBool::new(false));
     let answered = Arc::new(AtomicU64::new(0));
     let batches = Arc::new(AtomicU64::new(0));
+    // (allocations, queries) per reader thread, for the per-thread report.
+    let reader_allocs: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
 
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -101,11 +148,14 @@ fn run_cell(
             let db = Arc::clone(db);
             let stop = Arc::clone(&stop);
             let answered = Arc::clone(&answered);
+            let reader_allocs = Arc::clone(&reader_allocs);
             scope.spawn(move || {
                 // Stagger starting queries and alternate strategies so the
                 // cell exercises the cache and the saturation path at once.
                 let strategies = [Strategy::Saturation, Strategy::RefUcq];
                 let mut i = t;
+                let mut mine = 0u64;
+                let allocs_before = thread_allocs();
                 while !stop.load(Ordering::Acquire) {
                     let (name, q) = &queries[i % queries.len()];
                     let snap = db.snapshot();
@@ -119,8 +169,11 @@ fn run_cell(
                         "{name}: answer lost its snapshot stamp"
                     );
                     answered.fetch_add(1, Ordering::Relaxed);
+                    mine += 1;
                     i += 1;
                 }
+                let delta = thread_allocs() - allocs_before;
+                reader_allocs.lock().unwrap().push((delta, mine));
             });
         }
         if !pool.is_empty() {
@@ -154,11 +207,40 @@ fn run_cell(
     });
     let elapsed = started.elapsed();
     let total = answered.load(Ordering::Relaxed);
-    (
-        total,
-        total as f64 / elapsed.as_secs_f64(),
-        batches.load(Ordering::Relaxed),
-    )
+    let per_thread = Arc::try_unwrap(reader_allocs)
+        .expect("all readers joined")
+        .into_inner()
+        .unwrap();
+    let total_allocs: u64 = per_thread.iter().map(|&(a, _)| a).sum();
+    let per_query = |&(a, q): &(u64, u64)| if q == 0 { 0.0 } else { a as f64 / q as f64 };
+    let apq_min = per_thread
+        .iter()
+        .map(per_query)
+        .fold(f64::INFINITY, f64::min);
+    let apq_max = per_thread.iter().map(per_query).fold(0.0, f64::max);
+    CellStats {
+        answered: total,
+        qps: total as f64 / elapsed.as_secs_f64(),
+        maint_batches: batches.load(Ordering::Relaxed),
+        allocs_per_query: if total == 0 {
+            0.0
+        } else {
+            total_allocs as f64 / total as f64
+        },
+        allocs_per_query_min: if apq_min.is_finite() { apq_min } else { 0.0 },
+        allocs_per_query_max: apq_max,
+    }
+}
+
+/// One cell's measurements: reader throughput plus the per-thread heap
+/// allocation profile (min/mean/max allocations per answered query).
+struct CellStats {
+    answered: u64,
+    qps: f64,
+    maint_batches: u64,
+    allocs_per_query: f64,
+    allocs_per_query_min: f64,
+    allocs_per_query_max: f64,
 }
 
 fn main() {
@@ -202,6 +284,8 @@ fn main() {
             "churn",
             "queries",
             "qps",
+            "allocs/q",
+            "allocs/q per-thread",
             "maint batches",
             "vs 0%",
         ],
@@ -211,16 +295,21 @@ fn main() {
     let mut qps = [[0f64; 3]; 3];
     for (ti, &threads) in READER_THREADS.iter().enumerate() {
         for (ci, &pct) in CHURN_PCT.iter().enumerate() {
-            let (total, rate, maint) = run_cell(&db, &queries, threads, &pools[ci], window);
-            qps[ti][ci] = rate;
-            sink.registry.gauge_set(QPS_GAUGES[ti][ci], rate as u64);
-            let vs_zero = rate / qps[ti][0].max(1e-9);
+            let cell = run_cell(&db, &queries, threads, &pools[ci], window);
+            qps[ti][ci] = cell.qps;
+            sink.registry.gauge_set(QPS_GAUGES[ti][ci], cell.qps as u64);
+            let vs_zero = cell.qps / qps[ti][0].max(1e-9);
             table.row(&[
                 threads.to_string(),
                 format!("{pct}%"),
-                total.to_string(),
-                format!("{rate:.0}"),
-                maint.to_string(),
+                cell.answered.to_string(),
+                format!("{:.0}", cell.qps),
+                format!("{:.0}", cell.allocs_per_query),
+                format!(
+                    "{:.0}–{:.0}",
+                    cell.allocs_per_query_min, cell.allocs_per_query_max
+                ),
+                cell.maint_batches.to_string(),
                 format!("{:.2}×", vs_zero),
             ]);
         }

@@ -16,6 +16,8 @@
 //! | `exp_dataset_stats` | E7 — dataset statistics screens |
 //! | `exp_completeness` | E8 — incomplete Ref profiles |
 //! | `exp_ablations` | A1–A5 — design-decision ablations |
+//! | `exp_serving` | E10 — serving throughput + per-thread allocations under churn |
+//! | `exp_intervals` | E11 — interval dictionary encoding vs classic on deep hierarchies |
 
 pub mod report;
 

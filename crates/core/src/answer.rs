@@ -26,7 +26,7 @@ use crate::incomplete::IncompletenessProfile;
 use crate::reformulate::rules::RewriteContext;
 use crate::reformulate::ucq::{reformulate_ucq, ReformulationLimits};
 use crate::reformulate::{reformulate_jucq, reformulate_scq};
-use rdfref_model::{Graph, Schema, SchemaClosure, TermId};
+use rdfref_model::{DictEncoding, Graph, HierarchyEncoder, Schema, SchemaClosure, TermId};
 use rdfref_obs::Obs;
 use rdfref_query::ast::{Cq, Fragment, Jucq, PTerm, Substitution, Ucq};
 use rdfref_query::canonical::{alpha_canonicalize, AlphaCanonical};
@@ -265,24 +265,70 @@ pub struct Database {
     /// Database-wide observability sink (disabled by default); a request
     /// can override it via [`AnswerOptions::with_obs`].
     obs: Obs,
+    /// Which id space the store (and its statistics) live in.
+    encoding: DictEncoding,
+    /// The interval encoder ([`DictEncoding::Interval`] only): bijection
+    /// between base dictionary ids and hierarchy-clustered store ids. The
+    /// dictionary, parser, reasoner and Datalog paths stay in base space;
+    /// only the store — and the plans evaluated over it — are remapped.
+    encoder: Option<Arc<HierarchyEncoder>>,
 }
 
 impl Database {
     /// Prepare a database from a graph (schema triples are recognized
     /// in-line, as in the DB fragment), with a fresh plan cache.
     pub fn new(graph: Graph) -> Database {
-        Database::with_cache(graph, Arc::new(PlanCache::default()))
+        Database::build(graph, Arc::new(PlanCache::default()), DictEncoding::Classic)
+    }
+
+    /// Prepare a database with an explicit dictionary encoding.
+    /// [`DictEncoding::Interval`] clusters the ids of each class/property
+    /// hierarchy into contiguous ranges so that covered reformulations
+    /// execute as single range scans (see `DESIGN.md` §"Interval encoding").
+    pub fn with_encoding(graph: Graph, encoding: DictEncoding) -> Database {
+        Database::build(graph, Arc::new(PlanCache::default()), encoding)
     }
 
     /// Prepare a database sharing an existing plan cache — used by
     /// [`crate::maintained::MaintainedDatabase`] to keep one cache alive
     /// across rebuilds (its epochs decide which entries survive).
     pub fn with_cache(graph: Graph, cache: Arc<PlanCache>) -> Database {
+        Database::build(graph, cache, DictEncoding::Classic)
+    }
+
+    /// As [`Database::with_cache`], with an explicit dictionary encoding.
+    pub fn with_cache_and_encoding(
+        graph: Graph,
+        cache: Arc<PlanCache>,
+        encoding: DictEncoding,
+    ) -> Database {
+        Database::build(graph, cache, encoding)
+    }
+
+    fn build(graph: Graph, cache: Arc<PlanCache>, encoding: DictEncoding) -> Database {
         let schema = Schema::from_graph(&graph);
         let closure = schema.closure();
-        let store = Store::from_graph(&graph);
-        let stats = Stats::compute(&store);
         let dict = Arc::new(graph.dictionary().clone());
+        let encoder = match encoding {
+            DictEncoding::Classic => None,
+            DictEncoding::Interval => Some(Arc::new(HierarchyEncoder::build(
+                &schema,
+                &closure,
+                dict.len(),
+            ))),
+        };
+        let store = match &encoder {
+            Some(enc) => {
+                let triples: Vec<rdfref_model::EncodedTriple> = graph
+                    .triples()
+                    .iter()
+                    .map(|t| enc.encode_triple(t))
+                    .collect();
+                Store::from_triples(&triples)
+            }
+            None => Store::from_graph(&graph),
+        };
+        let stats = Stats::compute(&store);
         let cell = OnceLock::new();
         let _ = cell.set(Arc::new(graph));
         Database {
@@ -296,6 +342,8 @@ impl Database {
             cache,
             epochs: None,
             obs: Obs::disabled(),
+            encoding,
+            encoder,
         }
     }
 
@@ -314,6 +362,7 @@ impl Database {
         cache: Arc<PlanCache>,
         epochs: (u64, u64),
         obs: Obs,
+        encoder: Option<Arc<HierarchyEncoder>>,
     ) -> Database {
         let sat_cell = OnceLock::new();
         if let Some(sat) = saturated {
@@ -330,6 +379,12 @@ impl Database {
             cache,
             epochs: Some(epochs),
             obs,
+            encoding: if encoder.is_some() {
+                DictEncoding::Interval
+            } else {
+                DictEncoding::Classic
+            },
+            encoder,
         }
     }
 
@@ -360,7 +415,12 @@ impl Database {
     pub fn graph(&self) -> &Graph {
         self.graph
             .get_or_init(|| {
-                let triples: Vec<rdfref_model::EncodedTriple> = self.store.iter().collect();
+                // The graph lives in base id space: decode interval-encoded
+                // store triples on the way out.
+                let triples: Vec<rdfref_model::EncodedTriple> = match &self.encoder {
+                    Some(enc) => self.store.iter().map(|t| enc.decode_triple(&t)).collect(),
+                    None => self.store.iter().collect(),
+                };
                 Arc::new(Graph::from_encoded((*self.dict).clone(), triples))
             })
             .as_ref()
@@ -391,12 +451,31 @@ impl Database {
         &self.stats
     }
 
+    /// Which id space the store lives in.
+    pub fn encoding(&self) -> DictEncoding {
+        self.encoding
+    }
+
+    /// The interval encoder, when [`DictEncoding::Interval`] is active.
+    pub fn encoder(&self) -> Option<&Arc<HierarchyEncoder>> {
+        self.encoder.as_ref()
+    }
+
     fn saturated_with(&self, obs: &Obs) -> &SaturatedPart {
         self.saturated.get_or_init(|| {
             let _span = obs.span("answer.saturate_init");
             let mut g = self.graph().clone();
             let added = saturate_in_place_obs(&mut g, obs);
-            let store = Store::from_graph(&g);
+            // Saturation runs in base space (the graph's); the saturated
+            // store must live in the same id space as the explicit one.
+            let store = match &self.encoder {
+                Some(enc) => {
+                    let triples: Vec<rdfref_model::EncodedTriple> =
+                        g.triples().iter().map(|t| enc.encode_triple(t)).collect();
+                    Store::from_triples(&triples)
+                }
+                None => Store::from_graph(&g),
+            };
             let stats = Stats::compute(&store);
             SaturatedPart {
                 store,
@@ -404,6 +483,30 @@ impl Database {
                 added,
             }
         })
+    }
+
+    /// `cq` with constants remapped into store id space (no-op for classic).
+    fn encode_cq(&self, cq: &Cq) -> Cq {
+        match &self.encoder {
+            Some(enc) => cq.map_consts(&mut |c| enc.encode(c)),
+            None => cq.clone(),
+        }
+    }
+
+    /// `ucq` with constants remapped into store id space (no-op for classic).
+    fn encode_ucq(&self, ucq: Ucq) -> Ucq {
+        match &self.encoder {
+            Some(enc) => ucq.map_consts(&mut |c| enc.encode(c)),
+            None => ucq,
+        }
+    }
+
+    /// `jucq` with constants remapped into store id space (no-op for classic).
+    fn encode_jucq(&self, jucq: Jucq) -> Jucq {
+        match &self.encoder {
+            Some(enc) => jucq.map_consts(&mut |c| enc.encode(c)),
+            None => jucq,
+        }
     }
 
     /// Force saturation now (otherwise lazy on the first `Saturation`
@@ -442,7 +545,7 @@ impl Database {
                 let mut ev = Evaluator::new(&sat.store, sat.stats.as_ref()).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallel = opts.parallel_unions;
-                ev.eval_cq(cq, &out, &mut metrics)?
+                ev.eval_cq(&self.encode_cq(cq), &out, &mut metrics)?
             }
             Strategy::RefUcq => {
                 let plan = self.ref_plan(cq, PlanRequest::Ucq, opts, &mut explain, &obs)?;
@@ -502,9 +605,12 @@ impl Database {
                 let filtered = profile.filter_schema(&self.schema);
                 let closure = filtered.closure();
                 let ctx = RewriteContext::new(&filtered, &closure);
+                // Incomplete profiles reformulate classically (their filtered
+                // closure need not match the encoder's), then the UCQ is
+                // transported into store id space for evaluation.
                 let ucq = {
                     let _span = obs.span("answer.plan.incomplete");
-                    reformulate_ucq(cq, &ctx, opts.limits)?
+                    self.encode_ucq(reformulate_ucq(cq, &ctx, opts.limits)?)
                 };
                 explain.reformulation_cqs = ucq.len();
                 explain.reformulation_atoms = ucq.total_atoms();
@@ -526,6 +632,14 @@ impl Database {
                 }
                 rel
             }
+        };
+
+        // Sat/Ref evaluate in store id space: decode the answers back to
+        // base ids. Datalog answers are already in base space (the graph's).
+        let relation = match (&self.encoder, strategy) {
+            (Some(_), Strategy::Datalog | Strategy::DatalogMagic) => relation,
+            (Some(enc), _) => relation.map_values(&mut |id| enc.decode(id)),
+            (None, _) => relation,
         };
 
         explain.metrics = metrics;
@@ -621,25 +735,34 @@ impl Database {
         opts: &AnswerOptions,
         obs: &Obs,
     ) -> Result<CachedPlan> {
-        let ctx = RewriteContext::new(&self.schema, &self.closure);
+        let mut ctx = RewriteContext::new(&self.schema, &self.closure);
+        if let Some(enc) = &self.encoder {
+            ctx = ctx.with_encoder(enc);
+        }
+        // Plans are transported into store id space *here*, so the cache
+        // holds encoded plans. That is safe: re-encoding only happens on a
+        // schema change, which bumps the cache's schema epoch and strands
+        // every stale plan.
         Ok(match req {
             PlanRequest::Ucq => {
                 let _span = obs.span("answer.plan.ucq");
-                CachedPlan::Ucq(reformulate_ucq(cq, &ctx, opts.limits)?)
+                CachedPlan::Ucq(self.encode_ucq(reformulate_ucq(cq, &ctx, opts.limits)?))
             }
             PlanRequest::Scq => {
                 let _span = obs.span("answer.plan.scq");
-                CachedPlan::Jucq(reformulate_scq(cq, &ctx, opts.limits)?)
+                CachedPlan::Jucq(self.encode_jucq(reformulate_scq(cq, &ctx, opts.limits)?))
             }
             PlanRequest::Jucq(cover) => {
                 let _span = obs.span("answer.plan.jucq");
-                CachedPlan::Jucq(reformulate_jucq(cq, cover, &ctx, opts.limits)?)
+                CachedPlan::Jucq(self.encode_jucq(reformulate_jucq(cq, cover, &ctx, opts.limits)?))
             }
             PlanRequest::Gcov => {
                 let _span = obs.span("answer.plan.gcov");
                 let model = rdfref_storage::CostModel::new(&self.stats);
                 let mut gcov_opts = opts.gcov;
                 gcov_opts.limits = opts.limits;
+                // GCov prices candidate covers against the (encoded) store
+                // statistics, so its JUCQs are encoded inside the search.
                 CachedPlan::Gcov(gcov_with_obs(cq, &ctx, &model, &gcov_opts, obs)?)
             }
         })

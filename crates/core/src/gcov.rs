@@ -328,7 +328,14 @@ fn build_jucq(
             }
         }
     }
-    Ok(Jucq::new(cq.head_vars(), fragments)?)
+    let jucq = Jucq::new(cq.head_vars(), fragments)?;
+    // Transport into store id space before pricing: the cost model's
+    // statistics describe the (possibly interval-encoded) store, so both
+    // the estimates and the returned plan must speak its ids.
+    Ok(match ctx.encoder {
+        Some(enc) => jucq.map_consts(&mut |c| enc.encode(c)),
+        None => jucq,
+    })
 }
 
 #[cfg(test)]

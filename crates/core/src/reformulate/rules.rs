@@ -34,7 +34,8 @@
 use rdfref_model::dictionary::{
     ID_RDFS_DOMAIN, ID_RDFS_RANGE, ID_RDFS_SUBCLASSOF, ID_RDFS_SUBPROPERTYOF, ID_RDF_TYPE,
 };
-use rdfref_model::{Schema, SchemaClosure, TermId};
+use rdfref_model::fxhash::FxHashSet;
+use rdfref_model::{HierarchyEncoder, Schema, SchemaClosure, TermId};
 use rdfref_query::ast::{Atom, PTerm};
 use rdfref_query::var::FreshVars;
 use rdfref_query::Var;
@@ -89,12 +90,26 @@ pub struct RewriteContext<'a> {
     pub schema: &'a Schema,
     /// The closure (all other rules).
     pub closure: &'a SchemaClosure,
+    /// Interval encoder: when set, rewrites that would enumerate a fully
+    /// covered subtree emit a single id-interval atom instead of one CQ
+    /// per descendant. `None` keeps classic (enumerating) reformulation.
+    pub encoder: Option<&'a HierarchyEncoder>,
 }
 
 impl<'a> RewriteContext<'a> {
     /// Build a context.
     pub fn new(schema: &'a Schema, closure: &'a SchemaClosure) -> Self {
-        RewriteContext { schema, closure }
+        RewriteContext {
+            schema,
+            closure,
+            encoder: None,
+        }
+    }
+
+    /// Enable interval compression with `encoder`.
+    pub fn with_encoder(mut self, encoder: &'a HierarchyEncoder) -> Self {
+        self.encoder = Some(encoder);
+        self
     }
 
     /// All single-step rewrites of `atom`.
@@ -115,48 +130,128 @@ impl<'a> RewriteContext<'a> {
                 self.rewrite_typing_constraint_atom(atom, false, &mut out)
             }
             PTerm::Const(p) => {
-                // Rule 4: ordinary property assertion.
-                for sub in self.closure.subproperties_of(*p) {
+                // Rule 4: ordinary property assertion. A covered property
+                // subtree compresses to one id-interval atom instead of a
+                // CQ per subproperty (the interval is exactly
+                // {p} ∪ subproperties, so the union is preserved).
+                if let Some((lo, hi)) = self.encoder.and_then(|e| e.prop_range(*p)) {
                     out.push(Rewrite {
-                        atom: Atom::new(atom.s.clone(), sub, atom.o.clone()),
+                        atom: Atom::new(atom.s.clone(), PTerm::Range(lo, hi), atom.o.clone()),
                         bindings: vec![],
                         rule: RuleId::R4,
                     });
+                } else {
+                    for sub in self.closure.subproperties_of(*p) {
+                        out.push(Rewrite {
+                            atom: Atom::new(atom.s.clone(), sub, atom.o.clone()),
+                            bindings: vec![],
+                            rule: RuleId::R4,
+                        });
+                    }
                 }
             }
+            // An id-interval in property position already absorbs all
+            // subproperty unfolding of the property it stands for; no rule
+            // applies on top of it.
+            PTerm::Range(..) => {}
             PTerm::Var(x) => self.rewrite_var_property_atom(atom, x, &mut out),
         }
         out
+    }
+
+    /// Emit one property term per member of `props`, compressing maximal
+    /// covered subtrees (greedy, widest first) into id-interval terms.
+    /// The emitted terms cover exactly the input set: an interval replaces
+    /// `{p} ∪ subproperties_of(p)` only when all of them are in `props`.
+    fn emit_property_family(
+        &self,
+        props: impl Iterator<Item = TermId>,
+        mut emit: impl FnMut(PTerm),
+    ) {
+        let Some(enc) = self.encoder else {
+            for p in props {
+                emit(PTerm::Const(p));
+            }
+            return;
+        };
+        let set: FxHashSet<TermId> = props.collect();
+        let mut ordered: Vec<(usize, TermId)> = set
+            .iter()
+            .map(|&p| (self.closure.subproperties_of(p).count(), p))
+            .collect();
+        // Widest subtree first; id order as deterministic tiebreak.
+        ordered.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut handled: FxHashSet<TermId> = FxHashSet::default();
+        for (_, p) in ordered {
+            if handled.contains(&p) {
+                continue;
+            }
+            handled.insert(p);
+            if let Some((lo, hi)) = enc.prop_range(p) {
+                let subs: Vec<TermId> = self.closure.subproperties_of(p).collect();
+                if subs.iter().all(|q| set.contains(q)) {
+                    emit(PTerm::Range(lo, hi));
+                    handled.extend(subs);
+                    continue;
+                }
+            }
+            emit(PTerm::Const(p));
+        }
     }
 
     /// Rules 1–3 (constant class) and 9–11 (variable class).
     fn rewrite_type_atom(&self, atom: &Atom, fresh: &mut FreshVars, out: &mut Vec<Rewrite>) {
         match &atom.o {
             PTerm::Const(c) => {
-                for sub in self.closure.subclasses_of(*c) {
+                // Rule 1: a covered subtree compresses to a single
+                // id-interval atom (the interval is {c} ∪ subclasses, so the
+                // union of the enumerated rewrites is preserved; the
+                // pre-rewrite CQ stays in the union regardless).
+                if let Some((lo, hi)) = self.encoder.and_then(|e| e.class_range(*c)) {
                     out.push(Rewrite {
-                        atom: Atom::new(atom.s.clone(), ID_RDF_TYPE, sub),
+                        atom: Atom::new(atom.s.clone(), ID_RDF_TYPE, PTerm::Range(lo, hi)),
                         bindings: vec![],
                         rule: RuleId::R1,
                     });
+                } else {
+                    for sub in self.closure.subclasses_of(*c) {
+                        out.push(Rewrite {
+                            atom: Atom::new(atom.s.clone(), ID_RDF_TYPE, sub),
+                            bindings: vec![],
+                            rule: RuleId::R1,
+                        });
+                    }
                 }
-                for p in self.closure.properties_with_domain(*c) {
-                    out.push(Rewrite {
-                        atom: Atom::new(atom.s.clone(), p, fresh.next()),
-                        bindings: vec![],
-                        rule: RuleId::R2,
-                    });
-                }
-                for p in self.closure.properties_with_range(*c) {
-                    out.push(Rewrite {
-                        atom: Atom::new(fresh.next(), p, atom.s.clone()),
-                        bindings: vec![],
-                        rule: RuleId::R3,
-                    });
+                self.emit_domain_range_rewrites(atom, *c, fresh, out);
+            }
+            // An interval stands for a class C and its whole subtree. Rule 1
+            // is already absorbed; rules 2/3 still apply because the
+            // effective domains/ranges of every C′ ⊑ C are a subset of those
+            // of C (pwd/pwr are downward-closed under ⊑), so unfolding via
+            // C alone is sound, and it is complete for C itself.
+            PTerm::Range(lo, hi) => {
+                if let Some(c) = self.encoder.and_then(|e| e.class_of_range((*lo, *hi))) {
+                    self.emit_domain_range_rewrites(atom, c, fresh, out);
                 }
             }
             PTerm::Var(x) => {
+                // Rule 9: one rewrite per (sub, sup) closure pair; for a
+                // covered sup the per-sub enumeration compresses to a single
+                // interval rewrite (the interval also matches sup itself,
+                // which duplicates answers of the pre-rewrite CQ — harmless
+                // under set semantics).
+                let mut covered_sups: FxHashSet<TermId> = FxHashSet::default();
                 for (sub, sup) in self.closure.all_subclass_pairs() {
+                    if let Some((lo, hi)) = self.encoder.and_then(|e| e.class_range(sup)) {
+                        if covered_sups.insert(sup) {
+                            out.push(Rewrite {
+                                atom: Atom::new(atom.s.clone(), ID_RDF_TYPE, PTerm::Range(lo, hi)),
+                                bindings: vec![(x.clone(), sup)],
+                                rule: RuleId::R9,
+                            });
+                        }
+                        continue;
+                    }
                     out.push(Rewrite {
                         atom: Atom::new(atom.s.clone(), ID_RDF_TYPE, sub),
                         bindings: vec![(x.clone(), sup)],
@@ -179,6 +274,32 @@ impl<'a> RewriteContext<'a> {
                 }
             }
         }
+    }
+
+    /// Rules 2/3 for a class constant `c`: unfold into the properties whose
+    /// effective domain (resp. range) is `c`, compressing covered property
+    /// subtrees into interval terms.
+    fn emit_domain_range_rewrites(
+        &self,
+        atom: &Atom,
+        c: TermId,
+        fresh: &mut FreshVars,
+        out: &mut Vec<Rewrite>,
+    ) {
+        self.emit_property_family(self.closure.properties_with_domain(c), |pt| {
+            out.push(Rewrite {
+                atom: Atom::new(atom.s.clone(), pt, fresh.next()),
+                bindings: vec![],
+                rule: RuleId::R2,
+            });
+        });
+        self.emit_property_family(self.closure.properties_with_range(c), |pt| {
+            out.push(Rewrite {
+                atom: Atom::new(fresh.next(), pt, atom.s.clone()),
+                bindings: vec![],
+                rule: RuleId::R3,
+            });
+        });
     }
 
     /// Rules 5/6: queries over the `subClassOf`/`subPropertyOf` hierarchy.
@@ -208,6 +329,10 @@ impl<'a> RewriteContext<'a> {
                     });
                 }
             }
+            // Interval compression never puts an interval in hierarchy
+            // positions (only in `rdf:type` objects and property slots), so
+            // there is nothing to unfold here.
+            PTerm::Range(..) => {}
             PTerm::Var(x) => {
                 let pairs = if pred == ID_RDFS_SUBCLASSOF {
                     self.closure.all_subclass_pairs()
@@ -261,11 +386,14 @@ impl<'a> RewriteContext<'a> {
                     match &atom.s {
                         PTerm::Const(sc) if *sc != p0 => continue,
                         PTerm::Const(_) => {}
+                        // Intervals never reach domain/range query positions.
+                        PTerm::Range(..) => continue,
                         PTerm::Var(v) => bindings.push((v.clone(), p0)),
                     }
                     match &atom.o {
                         PTerm::Const(oc) if *oc != c => continue,
                         PTerm::Const(_) => {}
+                        PTerm::Range(..) => continue,
                         PTerm::Var(v) => {
                             // Repeated variable (s == o): must bind consistently.
                             if let Some((bv, bc)) = bindings.first() {
@@ -291,7 +419,22 @@ impl<'a> RewriteContext<'a> {
     /// Rules 12/13: variable in property position.
     fn rewrite_var_property_atom(&self, atom: &Atom, x: &Var, out: &mut Vec<Rewrite>) {
         // Rule 12: bind to each super-property with an explicit sub-hop.
+        // For a covered sup the per-sub enumeration compresses to a single
+        // interval rewrite (the interval also matches sup itself, which
+        // duplicates answers of the pre-rewrite CQ — harmless under set
+        // semantics).
+        let mut covered_sups: FxHashSet<TermId> = FxHashSet::default();
         for (sub, sup) in self.closure.all_subproperty_pairs() {
+            if let Some((lo, hi)) = self.encoder.and_then(|e| e.prop_range(sup)) {
+                if covered_sups.insert(sup) {
+                    out.push(Rewrite {
+                        atom: Atom::new(atom.s.clone(), PTerm::Range(lo, hi), atom.o.clone()),
+                        bindings: vec![(x.clone(), sup)],
+                        rule: RuleId::R12,
+                    });
+                }
+                continue;
+            }
             out.push(Rewrite {
                 atom: Atom::new(atom.s.clone(), sub, atom.o.clone()),
                 bindings: vec![(x.clone(), sup)],

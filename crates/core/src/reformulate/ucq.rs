@@ -13,6 +13,8 @@
 
 use crate::error::{CoreError, Result};
 use crate::reformulate::rules::RewriteContext;
+use rdfref_model::dictionary::ID_RDF_TYPE;
+use rdfref_model::HierarchyEncoder;
 use rdfref_query::ast::{Cq, PTerm, Substitution, Ucq};
 use rdfref_query::canonical::CanonicalSet;
 use rdfref_query::var::FreshVars;
@@ -76,12 +78,46 @@ impl ReformulationLimits {
     }
 }
 
+/// Replace covered class/property constants of the input CQ with their
+/// id-intervals. An interval atom subsumes the classic atom plus all of its
+/// rule-1/rule-4 unfoldings, so a covered seed atom executes as one range
+/// scan instead of seeding an N-way union.
+fn compress_input(cq: &Cq, enc: &HierarchyEncoder) -> Cq {
+    let body = cq
+        .body
+        .iter()
+        .map(|a| {
+            let mut a = a.clone();
+            if let PTerm::Const(p) = &a.p {
+                if *p == ID_RDF_TYPE {
+                    if let PTerm::Const(c) = &a.o {
+                        if let Some((lo, hi)) = enc.class_range(*c) {
+                            a.o = PTerm::Range(lo, hi);
+                        }
+                    }
+                } else if let Some((lo, hi)) = enc.prop_range(*p) {
+                    a.p = PTerm::Range(lo, hi);
+                }
+            }
+            a
+        })
+        .collect();
+    Cq::new_unchecked(cq.head.clone(), body)
+}
+
 /// Reformulate a CQ into its UCQ reformulation w.r.t. the context's schema.
 pub fn reformulate_ucq(
     cq: &Cq,
     ctx: &RewriteContext<'_>,
     limits: ReformulationLimits,
 ) -> Result<Ucq> {
+    let compressed;
+    let cq = if let Some(enc) = ctx.encoder {
+        compressed = compress_input(cq, enc);
+        &compressed
+    } else {
+        cq
+    };
     let mut fresh = FreshVars::new();
     let mut seen = CanonicalSet::new();
     seen.insert(cq);

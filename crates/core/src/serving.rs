@@ -51,7 +51,10 @@ use crate::cache::PlanCache;
 use crate::engine::{QueryEngine, QueryRequest};
 use crate::error::{CoreError, Result};
 use crate::explain::SnapshotInfo;
-use rdfref_model::{vocab, EncodedTriple, Graph, Schema, SchemaClosure, Term, TermId, Triple};
+use rdfref_model::{
+    vocab, DictEncoding, EncodedTriple, Graph, HierarchyEncoder, Schema, SchemaClosure, Term,
+    TermId, Triple,
+};
 use rdfref_obs::Obs;
 use rdfref_query::Cq;
 use rdfref_reasoning::{IncrementalReasoner, MaintenanceDelta};
@@ -329,21 +332,51 @@ pub(crate) struct WriterCore {
     seq: u64,
     cache: Arc<PlanCache>,
     obs: Obs,
+    /// Which id space the working stores live in. The reasoner, dictionary
+    /// and deltas always speak base ids; interval mode remaps deltas on the
+    /// way into the stores and re-encodes wholesale on schema changes.
+    encoding: DictEncoding,
+    encoder: Option<Arc<HierarchyEncoder>>,
 }
 
 impl WriterCore {
     pub(crate) fn from_graph(graph: Graph, cache: Arc<PlanCache>, obs: Obs) -> WriterCore {
+        WriterCore::from_graph_with_encoding(graph, cache, obs, DictEncoding::Classic)
+    }
+
+    pub(crate) fn from_graph_with_encoding(
+        graph: Graph,
+        cache: Arc<PlanCache>,
+        obs: Obs,
+        encoding: DictEncoding,
+    ) -> WriterCore {
         let mut reasoner = IncrementalReasoner::new(graph);
         reasoner.set_obs(obs.clone());
-        let explicit_store = Store::from_graph(reasoner.explicit());
-        let explicit_stats = Arc::new(Stats::compute(&explicit_store));
-        let explicit_maintainer = StatsMaintainer::from_store(&explicit_store);
-        let sat_store = Store::from_graph(reasoner.saturated());
-        let sat_stats = Arc::new(Stats::compute(&sat_store));
-        let sat_maintainer = StatsMaintainer::from_store(&sat_store);
         let schema = Arc::new(Schema::from_graph(reasoner.explicit()));
         let closure = Arc::new(schema.closure());
         let dict = Arc::new(reasoner.explicit().dictionary().clone());
+        let encoder = match encoding {
+            DictEncoding::Classic => None,
+            DictEncoding::Interval => Some(Arc::new(HierarchyEncoder::build(
+                &schema,
+                &closure,
+                dict.len(),
+            ))),
+        };
+        let build_store = |g: &Graph| match &encoder {
+            Some(enc) => {
+                let triples: Vec<EncodedTriple> =
+                    g.triples().iter().map(|t| enc.encode_triple(t)).collect();
+                Store::from_triples(&triples)
+            }
+            None => Store::from_graph(g),
+        };
+        let explicit_store = build_store(reasoner.explicit());
+        let explicit_stats = Arc::new(Stats::compute(&explicit_store));
+        let explicit_maintainer = StatsMaintainer::from_store(&explicit_store);
+        let sat_store = build_store(reasoner.saturated());
+        let sat_stats = Arc::new(Stats::compute(&sat_store));
+        let sat_maintainer = StatsMaintainer::from_store(&sat_store);
         let last_delta = sat_store.len().saturating_sub(explicit_store.len());
         WriterCore {
             reasoner,
@@ -360,6 +393,8 @@ impl WriterCore {
             seq: 0,
             cache,
             obs,
+            encoding,
+            encoder,
         }
     }
 
@@ -450,6 +485,11 @@ impl WriterCore {
             // resaturation).
             self.schema = Arc::new(Schema::from_graph(self.reasoner.explicit()));
             self.closure = Arc::new(self.schema.closure());
+            // Interval mode: the hierarchy changed, so the id clustering is
+            // stale — rebuild the encoder and re-encode both stores from
+            // the reasoner's (base-space) graphs. The schema-epoch bump
+            // below strands every plan cached against the old encoding.
+            self.reencode();
         }
         self.sync_dict();
 
@@ -491,34 +531,71 @@ impl WriterCore {
         }
     }
 
+    /// The delta's triples transported into store id space (no-op slices
+    /// stay borrowed for the classic path).
+    fn encode_triples<'t>(
+        &self,
+        triples: &'t [EncodedTriple],
+    ) -> std::borrow::Cow<'t, [EncodedTriple]> {
+        match &self.encoder {
+            Some(enc) => {
+                std::borrow::Cow::Owned(triples.iter().map(|t| enc.encode_triple(t)).collect())
+            }
+            None => std::borrow::Cow::Borrowed(triples),
+        }
+    }
+
     /// Fold one exact maintenance delta into the working stores and stats.
+    /// Deltas arrive in base id space (the reasoner's); interval mode
+    /// remaps them here, at the store boundary.
     fn fold_delta(&mut self, delta: &MaintenanceDelta) {
         if !delta.explicit_added.is_empty() || !delta.explicit_removed.is_empty() {
-            let next = self
-                .explicit_store
-                .apply_delta(&delta.explicit_added, &delta.explicit_removed);
-            let stats = self.explicit_maintainer.apply(
-                &self.explicit_stats,
-                &next,
-                &delta.explicit_added,
-                &delta.explicit_removed,
-            );
+            let added = self.encode_triples(&delta.explicit_added);
+            let removed = self.encode_triples(&delta.explicit_removed);
+            let next = self.explicit_store.apply_delta(&added, &removed);
+            let stats =
+                self.explicit_maintainer
+                    .apply(&self.explicit_stats, &next, &added, &removed);
             self.explicit_store = next;
             self.explicit_stats = Arc::new(stats);
         }
         if !delta.saturation_added.is_empty() || !delta.saturation_removed.is_empty() {
-            let next = self
-                .sat_store
-                .apply_delta(&delta.saturation_added, &delta.saturation_removed);
-            let stats = self.sat_maintainer.apply(
-                &self.sat_stats,
-                &next,
-                &delta.saturation_added,
-                &delta.saturation_removed,
-            );
+            let added = self.encode_triples(&delta.saturation_added);
+            let removed = self.encode_triples(&delta.saturation_removed);
+            let next = self.sat_store.apply_delta(&added, &removed);
+            let stats = self
+                .sat_maintainer
+                .apply(&self.sat_stats, &next, &added, &removed);
             self.sat_store = next;
             self.sat_stats = Arc::new(stats);
         }
+    }
+
+    /// Interval mode only: rebuild the encoder against the current schema
+    /// closure and re-encode both working stores (and their statistics)
+    /// from the reasoner's base-space graphs. Classic mode is a no-op.
+    fn reencode(&mut self) {
+        if self.encoding != DictEncoding::Interval {
+            return;
+        }
+        let universe = self.reasoner.explicit().dictionary().len();
+        let enc = Arc::new(HierarchyEncoder::build(
+            &self.schema,
+            &self.closure,
+            universe,
+        ));
+        let build_store = |g: &Graph| {
+            let triples: Vec<EncodedTriple> =
+                g.triples().iter().map(|t| enc.encode_triple(t)).collect();
+            Store::from_triples(&triples)
+        };
+        self.explicit_store = build_store(self.reasoner.explicit());
+        self.sat_store = build_store(self.reasoner.saturated());
+        self.explicit_stats = Arc::new(Stats::compute(&self.explicit_store));
+        self.sat_stats = Arc::new(Stats::compute(&self.sat_store));
+        self.explicit_maintainer = StatsMaintainer::from_store(&self.explicit_store);
+        self.sat_maintainer = StatsMaintainer::from_store(&self.sat_store);
+        self.encoder = Some(enc);
     }
 
     /// Refresh the published dictionary if the reasoner's has grown (one
@@ -548,6 +625,7 @@ impl WriterCore {
             Arc::clone(&self.cache),
             (self.cache.schema_epoch(), self.cache.data_epoch()),
             self.obs.clone(),
+            self.encoder.clone(),
         );
         Arc::new(Snapshot {
             seq: self.seq,
@@ -720,12 +798,29 @@ impl ServingDatabase {
         ServingDatabase::with_obs(graph, Obs::disabled())
     }
 
+    /// Like [`ServingDatabase::new`], with an explicit dictionary encoding.
+    /// Interval mode re-encodes the stores (and strands cached plans via
+    /// the schema epoch) whenever a batch changes the RDFS constraints.
+    pub fn with_encoding(graph: Graph, encoding: DictEncoding) -> ServingDatabase {
+        ServingDatabase::with_obs_and_encoding(graph, Obs::disabled(), encoding)
+    }
+
     /// Like [`ServingDatabase::new`], with an observability sink: snapshot
     /// publications, batch latencies and reader lag flow into it, as do all
     /// maintenance spans and answering metrics.
     pub fn with_obs(graph: Graph, obs: Obs) -> ServingDatabase {
+        ServingDatabase::with_obs_and_encoding(graph, obs, DictEncoding::Classic)
+    }
+
+    /// Observability sink plus dictionary encoding.
+    pub fn with_obs_and_encoding(
+        graph: Graph,
+        obs: Obs,
+        encoding: DictEncoding,
+    ) -> ServingDatabase {
         let cache = Arc::new(PlanCache::default());
-        let writer = WriterCore::from_graph(graph, Arc::clone(&cache), obs.clone());
+        let writer =
+            WriterCore::from_graph_with_encoding(graph, Arc::clone(&cache), obs.clone(), encoding);
         let initial = writer.snapshot();
         let published_seq = Arc::new(AtomicU64::new(initial.seq));
         let cell = Arc::new(SnapshotCell::new(initial));

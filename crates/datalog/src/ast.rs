@@ -111,6 +111,10 @@ pub enum DatalogError {
         /// Conflicting arity.
         second: usize,
     },
+    /// A query contains an id-interval term. Intervals live in encoded
+    /// store space; the Datalog path works over base ids and never
+    /// compresses, so such a query cannot be encoded.
+    RangeTermUnsupported,
 }
 
 impl fmt::Display for DatalogError {
@@ -124,6 +128,9 @@ impl fmt::Display for DatalogError {
                 first,
                 second,
             } => write!(f, "predicate {pred} used with arities {first} and {second}"),
+            DatalogError::RangeTermUnsupported => {
+                write!(f, "id-interval terms cannot be encoded as Datalog")
+            }
         }
     }
 }

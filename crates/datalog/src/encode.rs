@@ -157,15 +157,22 @@ pub fn encode_graph(graph: &Graph) -> Result<Program, DatalogError> {
 /// queries) are passed through as constants.
 pub fn encode_query(cq: &Cq) -> Result<Rule, DatalogError> {
     let to_dterm = |t: &PTerm| match t {
-        PTerm::Var(v) => DTerm::Var(v.clone()),
-        PTerm::Const(c) => DTerm::Const(*c),
+        PTerm::Var(v) => Ok(DTerm::Var(v.clone())),
+        PTerm::Const(c) => Ok(DTerm::Const(*c)),
+        PTerm::Range(..) => Err(DatalogError::RangeTermUnsupported),
     };
-    let head = DAtom::new(Pred::new(QUERY), cq.head.iter().map(to_dterm).collect());
+    let head = DAtom::new(
+        Pred::new(QUERY),
+        cq.head
+            .iter()
+            .map(to_dterm)
+            .collect::<Result<_, DatalogError>>()?,
+    );
     let body = cq
         .body
         .iter()
-        .map(|a| tc(vec![to_dterm(&a.s), to_dterm(&a.p), to_dterm(&a.o)]))
-        .collect();
+        .map(|a| Ok(tc(vec![to_dterm(&a.s)?, to_dterm(&a.p)?, to_dterm(&a.o)?])))
+        .collect::<Result<_, DatalogError>>()?;
     Rule::new(head, body)
 }
 

@@ -13,6 +13,10 @@ pub enum PTerm {
     Var(Var),
     /// A constant (IRI, blank node or literal), dictionary-encoded.
     Const(TermId),
+    /// A half-open id interval `[lo, hi)` in *encoded* (interval-dictionary)
+    /// id space: matches any constant whose encoded id falls in the range.
+    /// Produced only by interval-aware reformulation, never by the parser.
+    Range(TermId, TermId),
 }
 
 impl PTerm {
@@ -20,21 +24,44 @@ impl PTerm {
     pub fn as_var(&self) -> Option<&Var> {
         match self {
             PTerm::Var(v) => Some(v),
-            PTerm::Const(_) => None,
+            PTerm::Const(_) | PTerm::Range(..) => None,
         }
     }
 
     /// The constant, if this position holds one.
     pub fn as_const(&self) -> Option<TermId> {
         match self {
-            PTerm::Var(_) => None,
+            PTerm::Var(_) | PTerm::Range(..) => None,
             PTerm::Const(c) => Some(*c),
+        }
+    }
+
+    /// The id interval, if this position holds one.
+    pub fn as_range(&self) -> Option<(TermId, TermId)> {
+        match self {
+            PTerm::Range(lo, hi) => Some((*lo, *hi)),
+            PTerm::Var(_) | PTerm::Const(_) => None,
         }
     }
 
     /// Is this position a variable?
     pub fn is_var(&self) -> bool {
         matches!(self, PTerm::Var(_))
+    }
+
+    /// Is this position an id interval?
+    pub fn is_range(&self) -> bool {
+        matches!(self, PTerm::Range(..))
+    }
+
+    /// Map the constant through `f`, leaving variables and id intervals
+    /// (which already live in encoded space) untouched. Used to transport a
+    /// plan between base and encoded id spaces.
+    pub fn map_consts(&self, f: &mut impl FnMut(TermId) -> TermId) -> PTerm {
+        match self {
+            PTerm::Const(c) => PTerm::Const(f(*c)),
+            PTerm::Var(_) | PTerm::Range(..) => self.clone(),
+        }
     }
 }
 
@@ -57,7 +84,7 @@ pub type Substitution = FxHashMap<Var, PTerm>;
 pub fn substitute(t: &PTerm, subst: &Substitution) -> PTerm {
     match t {
         PTerm::Var(v) => subst.get(v).cloned().unwrap_or_else(|| t.clone()),
-        PTerm::Const(_) => t.clone(),
+        PTerm::Const(_) | PTerm::Range(..) => t.clone(),
     }
 }
 
@@ -108,6 +135,11 @@ impl Atom {
         self.positions().iter().filter(|t| !t.is_var()).count()
     }
 
+    /// Does any position hold an id interval?
+    pub fn has_range(&self) -> bool {
+        self.positions().iter().any(|t| t.is_range())
+    }
+
     /// Apply a substitution.
     pub fn apply(&self, subst: &Substitution) -> Atom {
         Atom {
@@ -122,6 +154,15 @@ impl Atom {
     pub fn shares_var(&self, other: &Atom) -> bool {
         let mine = self.var_set();
         other.vars().any(|v| mine.contains(v))
+    }
+
+    /// Map every constant position through `f` (see [`PTerm::map_consts`]).
+    pub fn map_consts(&self, f: &mut impl FnMut(TermId) -> TermId) -> Atom {
+        Atom {
+            s: self.s.map_consts(f),
+            p: self.p.map_consts(f),
+            o: self.o.map_consts(f),
+        }
     }
 }
 
@@ -240,6 +281,15 @@ impl Cq {
         }
     }
 
+    /// Map every constant of head and body through `f` (see
+    /// [`PTerm::map_consts`]).
+    pub fn map_consts(&self, f: &mut impl FnMut(TermId) -> TermId) -> Cq {
+        Cq {
+            head: self.head.iter().map(|t| t.map_consts(f)).collect(),
+            body: self.body.iter().map(|a| a.map_consts(f)).collect(),
+        }
+    }
+
     /// Is the query *connected* (its atoms form one connected component under
     /// the shared-variable relation)? Disconnected queries evaluate as cross
     /// products; the cost model penalizes them.
@@ -315,6 +365,14 @@ impl Ucq {
     pub fn total_atoms(&self) -> usize {
         self.cqs.iter().map(|c| c.size()).sum()
     }
+
+    /// Map every constant of every disjunct through `f` (see
+    /// [`PTerm::map_consts`]).
+    pub fn map_consts(&self, f: &mut impl FnMut(TermId) -> TermId) -> Ucq {
+        Ucq {
+            cqs: self.cqs.iter().map(|c| c.map_consts(f)).collect(),
+        }
+    }
 }
 
 /// One fragment of a JUCQ: a UCQ whose columns are named by variables of the
@@ -381,6 +439,23 @@ impl Jucq {
     /// Total number of CQ disjuncts across fragments.
     pub fn total_cqs(&self) -> usize {
         self.fragments.iter().map(|f| f.ucq.len()).sum()
+    }
+
+    /// Map every constant of every fragment through `f` (see
+    /// [`PTerm::map_consts`]). Column names and head variables are
+    /// untouched.
+    pub fn map_consts(&self, f: &mut impl FnMut(TermId) -> TermId) -> Jucq {
+        Jucq {
+            head: self.head.clone(),
+            fragments: self
+                .fragments
+                .iter()
+                .map(|frag| Fragment {
+                    columns: frag.columns.clone(),
+                    ucq: frag.ucq.map_consts(f),
+                })
+                .collect(),
+        }
     }
 }
 

@@ -29,6 +29,7 @@ use rdfref_model::TermId;
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum ShapeKey {
     Const(TermId),
+    Range(TermId, TermId),
     NamedVar(Var),
     FreshVar,
 }
@@ -36,6 +37,7 @@ enum ShapeKey {
 fn shape_of(t: &PTerm) -> ShapeKey {
     match t {
         PTerm::Const(c) => ShapeKey::Const(*c),
+        PTerm::Range(lo, hi) => ShapeKey::Range(*lo, *hi),
         PTerm::Var(v) if v.is_fresh() => ShapeKey::FreshVar,
         PTerm::Var(v) => ShapeKey::NamedVar(v.clone()),
     }
@@ -108,12 +110,14 @@ pub struct AlphaCanonical {
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum AnonKey {
     Const(TermId),
+    Range(TermId, TermId),
     AnyVar,
 }
 
 fn anon_shape_of(t: &PTerm) -> AnonKey {
     match t {
         PTerm::Const(c) => AnonKey::Const(*c),
+        PTerm::Range(lo, hi) => AnonKey::Range(*lo, *hi),
         PTerm::Var(_) => AnonKey::AnyVar,
     }
 }

@@ -24,6 +24,10 @@ type Hom = FxHashMap<Var, PTerm>;
 fn unify(from: &PTerm, to: &PTerm, hom: &mut Hom) -> bool {
     match from {
         PTerm::Const(c) => matches!(to, PTerm::Const(d) if c == d),
+        // Intervals act as opaque constant symbols: only an identical
+        // interval unifies. This is conservative (fewer subsumption prunes),
+        // never unsound.
+        PTerm::Range(lo, hi) => matches!(to, PTerm::Range(l, h) if lo == l && hi == h),
         PTerm::Var(v) => match hom.get(v) {
             Some(bound) => bound == to,
             None => {

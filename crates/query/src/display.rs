@@ -15,6 +15,9 @@ pub fn pterm_to_string(t: &PTerm, dict: &Dictionary) -> String {
             Some(other) => other.to_string(),
             None => format!("#?{}", id.0),
         },
+        // Interval ids live in encoded space and have no single dictionary
+        // entry; render the raw id range.
+        PTerm::Range(lo, hi) => format!("[#{}..#{})", lo.0, hi.0),
     }
 }
 
@@ -107,6 +110,7 @@ pub fn cq_to_sparql(cq: &Cq, dict: &Dictionary) -> String {
                 let _ = write!(out, " {v}");
             }
             PTerm::Const(id) => bound.push(pterm_to_string(&PTerm::Const(*id), dict)),
+            PTerm::Range(lo, hi) => bound.push(format!("[#{}..#{})", lo.0, hi.0)),
         }
     }
     if cq.head.is_empty() {
@@ -136,6 +140,7 @@ fn sparql_pos(t: &PTerm, dict: &Dictionary) -> String {
             Some(term) => term.to_string(),
             None => format!("#?{}", id.0),
         },
+        PTerm::Range(lo, hi) => format!("[#{}..#{})", lo.0, hi.0),
     }
 }
 

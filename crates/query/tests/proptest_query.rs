@@ -52,6 +52,7 @@ proptest! {
         let shape = |a: &Atom| {
             let pos = |t: &PTerm| match t {
                 PTerm::Const(c) => format!("c{}", c.0),
+                PTerm::Range(lo, hi) => format!("r{}-{}", lo.0, hi.0),
                 PTerm::Var(v) if v.is_fresh() => "f".to_string(),
                 PTerm::Var(v) => format!("v{}", v.name()),
             };

@@ -28,6 +28,7 @@ pub mod dictionary;
 pub mod error;
 pub mod fxhash;
 pub mod graph;
+pub mod intervals;
 pub mod parser;
 pub mod schema;
 pub mod term;
@@ -38,6 +39,7 @@ pub mod writer;
 pub use dictionary::{Dictionary, TermId};
 pub use error::{ModelError, Result};
 pub use graph::Graph;
+pub use intervals::{DictEncoding, HierarchyEncoder, IdRange};
 pub use schema::{ConstraintKind, Schema, SchemaClosure};
 pub use term::Term;
 pub use triple::{EncodedTriple, Triple};

@@ -88,7 +88,9 @@ impl<'a> CostModel<'a> {
         let s = self.stats;
         let card = match &atom.p {
             PTerm::Const(p) if *p == ID_RDF_TYPE => {
-                // Class-membership atom.
+                // Class-membership atom. A range object is an interval-encoded
+                // class subtree: its cardinality is the exact sum of the
+                // member classes' instance counts.
                 match (&atom.s, &atom.o) {
                     (_, PTerm::Const(c)) => {
                         let base = s.class_count(*c) as f64;
@@ -97,18 +99,42 @@ impl<'a> CostModel<'a> {
                                 let ds = s.property(ID_RDF_TYPE).distinct_subjects.max(1) as f64;
                                 (base / ds).min(1.0)
                             }
-                            PTerm::Var(_) => base,
+                            PTerm::Var(_) | PTerm::Range(..) => base,
+                        }
+                    }
+                    (_, PTerm::Range(lo, hi)) => {
+                        let base = s.class_count_range(*lo, *hi) as f64;
+                        match &atom.s {
+                            PTerm::Const(_) => {
+                                let ds = s.property(ID_RDF_TYPE).distinct_subjects.max(1) as f64;
+                                (base / ds).min(1.0)
+                            }
+                            PTerm::Var(_) | PTerm::Range(..) => base,
                         }
                     }
                     (PTerm::Const(_), PTerm::Var(_)) => {
                         let ps = s.property(ID_RDF_TYPE);
                         ps.count as f64 / ps.distinct_subjects.max(1) as f64
                     }
-                    (PTerm::Var(_), PTerm::Var(_)) => s.type_triples as f64,
+                    (PTerm::Var(_) | PTerm::Range(..), PTerm::Var(_)) => s.type_triples as f64,
                 }
             }
             PTerm::Const(p) => {
                 let ps = s.property(*p);
+                let mut base = ps.count as f64;
+                if matches!(atom.s, PTerm::Const(_)) {
+                    base /= ps.distinct_subjects.max(1) as f64;
+                }
+                if matches!(atom.o, PTerm::Const(_)) {
+                    base /= ps.distinct_objects.max(1) as f64;
+                }
+                base
+            }
+            PTerm::Range(lo, hi) => {
+                // Interval-encoded property subtree: exact triple count over
+                // the member properties; per-position constants divide by the
+                // aggregated (upper-bound) distinct counts.
+                let ps = s.property_range(*lo, *hi);
                 let mut base = ps.count as f64;
                 if matches!(atom.s, PTerm::Const(_)) {
                     base /= ps.distinct_subjects.max(1) as f64;
@@ -145,12 +171,14 @@ impl<'a> CostModel<'a> {
         if atom.s.as_var() == Some(var) {
             v = match &atom.p {
                 PTerm::Const(p) => s.property(*p).distinct_subjects as f64,
+                PTerm::Range(lo, hi) => s.property_range(*lo, *hi).distinct_subjects as f64,
                 PTerm::Var(_) => s.distinct_subjects as f64,
             };
         } else if atom.o.as_var() == Some(var) {
             v = match &atom.p {
                 PTerm::Const(p) if *p == ID_RDF_TYPE => s.distinct_classes() as f64,
                 PTerm::Const(p) => s.property(*p).distinct_objects as f64,
+                PTerm::Range(lo, hi) => s.property_range(*lo, *hi).distinct_objects as f64,
                 PTerm::Var(_) => s.distinct_objects as f64,
             };
         } else if atom.p.as_var() == Some(var) {
@@ -321,7 +349,7 @@ impl<'a> CostModel<'a> {
             for (pos, col) in columns.iter().enumerate() {
                 let member_v = match cq.head.get(pos) {
                     Some(PTerm::Var(v)) => vmap.get(v).copied().unwrap_or(est.cardinality),
-                    Some(PTerm::Const(_)) => 1.0_f64.min(est.cardinality),
+                    Some(PTerm::Const(_) | PTerm::Range(..)) => 1.0_f64.min(est.cardinality),
                     None => 0.0,
                 };
                 *col_vs.entry(col.clone()).or_insert(0.0) += member_v;

@@ -63,6 +63,27 @@ impl<'a> Evaluator<'a> {
         self
     }
 
+    /// Record a leaf scan, distinguishing interval range scans from exact
+    /// scans (separate `op.range_scan.*` counters and trace labels).
+    fn record_scan(
+        &self,
+        atom: &rdfref_query::ast::Atom,
+        idx: usize,
+        rows: usize,
+        wall: std::time::Duration,
+        metrics: &mut ExecMetrics,
+    ) {
+        if atom.has_range() {
+            metrics.record_scan_timed(format!("range-scan t{}", idx + 1), rows, wall);
+            self.obs.add("op.range_scan.count", 1);
+            self.obs.add("op.range_scan.rows", rows as u64);
+        } else {
+            metrics.record_scan_timed(format!("scan t{}", idx + 1), rows, wall);
+            self.obs.add("op.scan.count", 1);
+            self.obs.add("op.scan.rows", rows as u64);
+        }
+    }
+
     fn check_budget(&self, rows: usize) -> Result<()> {
         match self.row_budget {
             Some(budget) if rows > budget => {
@@ -101,9 +122,7 @@ impl<'a> Evaluator<'a> {
             if first {
                 let sw = self.obs.stopwatch();
                 acc = scan_atom(self.store, atom)?;
-                metrics.record_scan_timed(format!("scan t{}", idx + 1), acc.len(), sw.elapsed());
-                self.obs.add("op.scan.count", 1);
-                self.obs.add("op.scan.rows", acc.len() as u64);
+                self.record_scan(atom, idx, acc.len(), sw.elapsed(), metrics);
                 first = false;
             } else {
                 let atom_card = model.atom_cardinality(atom);
@@ -121,13 +140,7 @@ impl<'a> Evaluator<'a> {
                 } else {
                     let sw = self.obs.stopwatch();
                     let scanned = scan_atom(self.store, atom)?;
-                    metrics.record_scan_timed(
-                        format!("scan t{}", idx + 1),
-                        scanned.len(),
-                        sw.elapsed(),
-                    );
-                    self.obs.add("op.scan.count", 1);
-                    self.obs.add("op.scan.rows", scanned.len() as u64);
+                    self.record_scan(atom, idx, scanned.len(), sw.elapsed(), metrics);
                     self.check_budget(scanned.len())?;
                     let sw = self.obs.stopwatch();
                     acc = acc.natural_join(&scanned);
@@ -160,6 +173,9 @@ impl<'a> Evaluator<'a> {
             .iter()
             .map(|t| match t {
                 PTerm::Const(c) => Ok(HeadSource::Const(*c)),
+                // Reformulation binds head variables to constants only;
+                // an interval can never reach a head position.
+                PTerm::Range(..) => Err(StorageError::UnknownColumn("[range]".to_string())),
                 PTerm::Var(v) => acc
                     .column_index(v)
                     .map(HeadSource::Column)
@@ -310,13 +326,15 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
     #[derive(Clone, Copy)]
     enum Pos {
         Const(TermId),
-        Bound(usize), // index into the acc row
-        Out(usize),   // index into the new-columns vector
-        OutEq(usize), // must equal an earlier Out position
+        InRange(TermId, TermId), // residual interval filter on the probe
+        Bound(usize),            // index into the acc row
+        Out(usize),              // index into the new-columns vector
+        OutEq(usize),            // must equal an earlier Out position
     }
     let mut new_cols: Vec<Var> = Vec::new();
     let classify = |t: &PTerm, acc: &Relation, new_cols: &mut Vec<Var>| match t {
         PTerm::Const(c) => Pos::Const(*c),
+        PTerm::Range(lo, hi) => Pos::InRange(*lo, *hi),
         PTerm::Var(v) => {
             if let Some(i) = acc.column_index(v) {
                 Pos::Bound(i)
@@ -347,7 +365,7 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
             match pos {
                 Pos::Const(c) => Some(c),
                 Pos::Bound(i) => Some(row[i]),
-                Pos::Out(_) | Pos::OutEq(_) => None,
+                Pos::InRange(..) | Pos::Out(_) | Pos::OutEq(_) => None,
             }
         };
         let pattern = IdPattern {
@@ -362,6 +380,7 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
                 match *pos {
                     Pos::Out(j) => new_vals[j] = val,
                     Pos::OutEq(j) if new_vals[j] != val => ok = false,
+                    Pos::InRange(lo, hi) if !(lo <= val && val < hi) => ok = false,
                     _ => {}
                 }
             }
@@ -415,7 +434,7 @@ pub fn head_names(cq: &Cq) -> Vec<Var> {
         .enumerate()
         .map(|(i, t)| match t {
             PTerm::Var(v) => v.clone(),
-            PTerm::Const(_) => Var::new(format!("_col{i}")),
+            PTerm::Const(_) | PTerm::Range(..) => Var::new(format!("_col{i}")),
         })
         .collect()
 }

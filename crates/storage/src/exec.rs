@@ -7,7 +7,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::relation::Relation;
-use crate::store::{IdPattern, Store};
+use crate::store::{Bound, RangePattern, Store};
 use rdfref_model::TermId;
 use rdfref_query::ast::{Atom, PTerm};
 use rdfref_query::Var;
@@ -72,14 +72,24 @@ impl ExecMetrics {
     }
 }
 
+/// Translate one pattern position into a scan bound.
+fn bound_of(t: &PTerm) -> Bound {
+    match t {
+        PTerm::Var(_) => Bound::Any,
+        PTerm::Const(c) => Bound::Const(*c),
+        PTerm::Range(lo, hi) => Bound::Range(*lo, *hi),
+    }
+}
+
 /// Scan one triple pattern into a relation whose columns are the atom's
-/// distinct variables in `s, p, o` position order. Constants constrain the
-/// index scan; repeated variables become equality filters.
+/// distinct variables in `s, p, o` position order. Constants and id
+/// intervals constrain the index scan (intervals bind no column); repeated
+/// variables become equality filters.
 pub fn scan_atom(store: &Store, atom: &Atom) -> Result<Relation> {
-    let pattern = IdPattern {
-        s: atom.s.as_const(),
-        p: atom.p.as_const(),
-        o: atom.o.as_const(),
+    let pattern = RangePattern {
+        s: bound_of(&atom.s),
+        p: bound_of(&atom.p),
+        o: bound_of(&atom.o),
     };
     // Distinct variables with, per output column, the positions they must
     // match (position: 0=s, 1=p, 2=o).
@@ -109,7 +119,7 @@ pub fn scan_atom(store: &Store, atom: &Atom) -> Result<Relation> {
     // `scan_into`'s callback cannot propagate errors, so a push failure is
     // captured here and surfaced after the scan completes.
     let mut push_err: Option<StorageError> = None;
-    store.scan_into(pattern, &mut |t| {
+    store.scan_range_into(&pattern, &mut |t| {
         if push_err.is_none() && eq_checks.iter().all(|&(a, b)| get(&t, a) == get(&t, b)) {
             row.clear();
             row.extend(col_pos.iter().map(|&p| get(&t, p)));

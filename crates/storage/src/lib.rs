@@ -40,4 +40,4 @@ pub use evaluator::{eval_cq, eval_jucq, eval_ucq};
 pub use exec::ExecMetrics;
 pub use relation::Relation;
 pub use stats::{Stats, StatsMaintainer};
-pub use store::Store;
+pub use store::{Bound, RangePattern, Store};

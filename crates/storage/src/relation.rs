@@ -317,6 +317,20 @@ impl Relation {
         let _ = a;
     }
 
+    /// Map every value through `f`, preserving columns and row order
+    /// (zero-arity unit-row sentinels pass through untouched). Used to
+    /// decode interval-encoded ids back to base dictionary ids at the
+    /// answer boundary.
+    pub fn map_values(&self, f: &mut impl FnMut(TermId) -> TermId) -> Relation {
+        if self.columns.is_empty() {
+            return self.clone();
+        }
+        Relation {
+            columns: self.columns.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
     /// Collect rows as vectors (test helper).
     pub fn to_rows(&self) -> Vec<Vec<TermId>> {
         self.rows().map(|r| r.to_vec()).collect()

@@ -123,6 +123,27 @@ impl SortedIndex {
         }
     }
 
+    /// Invoke `f` on every key `k` with `k[..lo.len()] >= lo` and
+    /// `k[..hi.len()] < hi`, in sorted order — the contiguous run an
+    /// interval-encoded subtree occupies. With `lo = [p, c_lo]`,
+    /// `hi = [p, c_hi]` this is exactly `p`-triples whose object falls in
+    /// `[c_lo, c_hi)`.
+    fn for_bounds(&self, lo: &[TermId], hi: &[TermId], f: &mut dyn FnMut(&[TermId; 3])) {
+        let start = self
+            .buckets
+            .partition_point(|b| b.last().is_some_and(|l| cmp_prefix(l, lo).is_lt()));
+        for b in &self.buckets[start..] {
+            if !cmp_prefix(&b[0], hi).is_lt() {
+                break;
+            }
+            let i0 = b.partition_point(|k| cmp_prefix(k, lo).is_lt());
+            let i1 = b.partition_point(|k| cmp_prefix(k, hi).is_lt());
+            for k in &b[i0..i1] {
+                f(k);
+            }
+        }
+    }
+
     /// Number of keys whose first `prefix.len()` components equal `prefix`.
     fn count_prefix(&self, prefix: &[TermId]) -> usize {
         let start = self
@@ -299,6 +320,60 @@ impl IdPattern {
     }
 }
 
+/// One position of a range pattern: wildcard, exact id, or a half-open
+/// encoded-id interval `[lo, hi)` (interval-dictionary subtree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Matches anything.
+    Any,
+    /// Matches exactly one id.
+    Const(TermId),
+    /// Matches ids in `[lo, hi)`.
+    Range(TermId, TermId),
+}
+
+impl Bound {
+    /// Does this bound admit the id?
+    #[inline]
+    pub fn admits(&self, v: TermId) -> bool {
+        match *self {
+            Bound::Any => true,
+            Bound::Const(c) => v == c,
+            Bound::Range(lo, hi) => lo <= v && v < hi,
+        }
+    }
+
+    /// The exact id, if this bound is a constant.
+    pub fn as_const(&self) -> Option<TermId> {
+        match *self {
+            Bound::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A triple pattern whose positions may be id intervals — the leaf shape of
+/// the `RangeScan` operator. Patterns without any interval position degrade
+/// to the exact [`IdPattern`] dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangePattern {
+    /// Subject constraint.
+    pub s: Bound,
+    /// Property constraint.
+    pub p: Bound,
+    /// Object constraint.
+    pub o: Bound,
+}
+
+impl RangePattern {
+    /// Does any position hold an interval?
+    pub fn has_range(&self) -> bool {
+        matches!(self.s, Bound::Range(..))
+            || matches!(self.p, Bound::Range(..))
+            || matches!(self.o, Bound::Range(..))
+    }
+}
+
 /// The immutable store: a snapshot of a graph's triples, indexed three ways.
 ///
 /// The store is deliberately decoupled from the [`Graph`] that produced it
@@ -442,6 +517,81 @@ impl Store {
             }
             (None, None, None) => {
                 self.spo.for_each(&mut |k| f(Order::Spo.unkey(k)));
+            }
+        }
+    }
+
+    /// The `RangeScan` leaf: stream all triples matching a pattern whose
+    /// positions may be id intervals. Interval positions that align with an
+    /// index ordering become one contiguous key range (a `p`-constant
+    /// object interval and a bare property interval are both contiguous in
+    /// POS); misaligned positions fall back to residual filters. Patterns
+    /// without intervals delegate to [`Store::scan_into`].
+    pub fn scan_range_into(&self, pat: &RangePattern, f: &mut dyn FnMut(EncodedTriple)) {
+        if !pat.has_range() {
+            return self.scan_into(
+                IdPattern {
+                    s: pat.s.as_const(),
+                    p: pat.p.as_const(),
+                    o: pat.o.as_const(),
+                },
+                f,
+            );
+        }
+        match (pat.s, pat.p, pat.o) {
+            // Type-interval shape `(?x, p, o ∈ [lo, hi))`: one POS run.
+            (Bound::Any, Bound::Const(p), Bound::Range(lo, hi)) => {
+                self.pos
+                    .for_bounds(&[p, lo], &[p, hi], &mut |k| f(Order::Pos.unkey(k)));
+            }
+            (Bound::Const(s), Bound::Const(p), Bound::Range(lo, hi)) => {
+                self.spo
+                    .for_bounds(&[s, p, lo], &[s, p, hi], &mut |k| f(Order::Spo.unkey(k)));
+            }
+            // Property-interval shape `(?x, p ∈ [lo, hi), ?y)`: one POS run,
+            // with any object constraint as a residual filter.
+            (Bound::Any, Bound::Range(plo, phi), o) => {
+                self.pos.for_bounds(&[plo], &[phi], &mut |k| {
+                    if o.admits(k[1]) {
+                        f(Order::Pos.unkey(k));
+                    }
+                });
+            }
+            (Bound::Const(s), Bound::Range(plo, phi), o) => {
+                self.spo.for_bounds(&[s, plo], &[s, phi], &mut |k| {
+                    if o.admits(k[2]) {
+                        f(Order::Spo.unkey(k));
+                    }
+                });
+            }
+            (Bound::Const(s), Bound::Any, Bound::Range(olo, ohi)) => {
+                self.spo.for_prefix(&[s], &mut |k| {
+                    if olo <= k[2] && k[2] < ohi {
+                        f(Order::Spo.unkey(k));
+                    }
+                });
+            }
+            (Bound::Any, Bound::Any, Bound::Range(olo, ohi)) => {
+                self.osp
+                    .for_bounds(&[olo], &[ohi], &mut |k| f(Order::Osp.unkey(k)));
+            }
+            // Subject intervals (not produced by reformulation, but legal):
+            // one SPO run with residual property/object filters.
+            (Bound::Range(slo, shi), p, o) => {
+                self.spo.for_bounds(&[slo], &[shi], &mut |k| {
+                    if p.admits(k[1]) && o.admits(k[2]) {
+                        f(Order::Spo.unkey(k));
+                    }
+                });
+            }
+            // Interval-free shapes were delegated above.
+            _ => {
+                debug_assert!(false, "non-interval pattern reached interval dispatch");
+                self.spo.for_each(&mut |k| {
+                    if pat.s.admits(k[0]) && pat.p.admits(k[1]) && pat.o.admits(k[2]) {
+                        f(Order::Spo.unkey(k));
+                    }
+                });
             }
         }
     }
@@ -702,6 +852,57 @@ mod tests {
         let drained = store.apply_delta(&[], &triples);
         assert!(drained.is_empty());
         assert_eq!(drained.scan(IdPattern::ALL).len(), 0);
+    }
+
+    #[test]
+    fn range_scans_match_filtered_full_scans() {
+        let triples = dense_triples(3000);
+        for target in [usize::MAX, 16] {
+            let store = Store::from_triples_with_bucket_target(&triples, target);
+            let bounds = [
+                Bound::Any,
+                Bound::Const(TermId(5)),
+                Bound::Range(TermId(3), TermId(9)),
+                Bound::Range(TermId(20), TermId(40)),
+                Bound::Range(TermId(7), TermId(7)), // empty interval
+            ];
+            for &s in &bounds {
+                for &p in &bounds {
+                    for &o in &bounds {
+                        let pat = RangePattern { s, p, o };
+                        let mut got = Vec::new();
+                        store.scan_range_into(&pat, &mut |t| got.push(t));
+                        got.sort_by_key(|t| t.as_array());
+                        let mut want: Vec<EncodedTriple> = store
+                            .iter()
+                            .filter(|t| s.admits(t.s) && p.admits(t.p) && o.admits(t.o))
+                            .collect();
+                        want.sort_by_key(|t| t.as_array());
+                        assert_eq!(got, want, "pattern {pat:?} target {target}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_scan_without_interval_matches_scan() {
+        let (store, ids) = fixture();
+        let pat = RangePattern {
+            s: Bound::Any,
+            p: Bound::Const(ids[3]),
+            o: Bound::Any,
+        };
+        let mut got = Vec::new();
+        store.scan_range_into(&pat, &mut |t| got.push(t));
+        assert_eq!(
+            got,
+            store.scan(IdPattern {
+                s: None,
+                p: Some(ids[3]),
+                o: None
+            })
+        );
     }
 
     #[test]

@@ -174,6 +174,82 @@ fn operator_counters_are_exact_for_ref_gcov() {
     assert_eq!(snap.counter("op.budget_abort"), 0);
 }
 
+/// A 6-deep subclass chain with one instance per level. Classic
+/// reformulation of `?x a ex:K5` (the root) is a 6-way union; the interval
+/// encoder covers the whole chain, so the same query must execute as exactly
+/// one range scan and zero classic scans.
+fn chain_setup(encoding: rdfref_model::DictEncoding) -> (Database, Cq) {
+    let mut doc = String::from(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         @prefix ex: <http://example.org/> .\n",
+    );
+    for i in 0..5 {
+        doc.push_str(&format!("ex:K{i} rdfs:subClassOf ex:K{} .\n", i + 1));
+    }
+    for i in 0..6 {
+        doc.push_str(&format!("ex:k{i} a ex:K{i} .\n"));
+    }
+    let mut g = parse_turtle(&doc).unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:K5 }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    (Database::with_encoding(g, encoding), q)
+}
+
+#[test]
+fn interval_reformulation_replaces_n_scans_with_one_range_scan() {
+    let (classic_db, q) = chain_setup(rdfref_model::DictEncoding::Classic);
+    let (n, registry) = run_with_registry(&classic_db, &q, Strategy::RefUcq);
+    assert_eq!(n, 6);
+    let snap = registry.snapshot();
+    // One disjunct (hence one scan) per class on the chain.
+    assert_eq!(snap.counter("op.scan.count"), 6, "classic: N-way union");
+    assert_eq!(snap.counter("op.range_scan.count"), 0);
+
+    let (interval_db, q) = chain_setup(rdfref_model::DictEncoding::Interval);
+    let (n, registry) = run_with_registry(&interval_db, &q, Strategy::RefUcq);
+    assert_eq!(n, 6, "interval answers match classic");
+    let snap = registry.snapshot();
+    // The covered chain compresses to a single `type ∈ [lo,hi)` atom.
+    assert_eq!(snap.counter("op.range_scan.count"), 1, "one range scan");
+    assert_eq!(snap.counter("op.range_scan.rows"), 6, "all six instances");
+    assert_eq!(snap.counter("op.scan.count"), 0, "no classic scans remain");
+    assert_eq!(snap.span_count("eval.cq"), 1, "single disjunct");
+}
+
+#[test]
+fn interval_dag_fallback_still_unions() {
+    // Diamond: ex:A has two parents, so the secondary parent ex:C is not
+    // interval-covered and its reformulation must stay a classic union.
+    let doc = "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+               @prefix ex: <http://example.org/> .\n\
+               ex:A rdfs:subClassOf ex:B .\n\
+               ex:A rdfs:subClassOf ex:C .\n\
+               ex:B rdfs:subClassOf ex:Top .\n\
+               ex:C rdfs:subClassOf ex:Top .\n\
+               ex:a0 a ex:A .\nex:c0 a ex:C .\n";
+    let mut g = parse_turtle(doc).unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:C }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    let db = Database::with_encoding(g, rdfref_model::DictEncoding::Interval);
+    let (n, registry) = run_with_registry(&db, &q, Strategy::RefUcq);
+    assert_eq!(n, 2);
+    let snap = registry.snapshot();
+    // Two disjuncts (C, A), each one classic scan; no range compression.
+    assert_eq!(
+        snap.counter("op.range_scan.count"),
+        0,
+        "fallback: no ranges"
+    );
+    assert_eq!(snap.counter("op.scan.count"), 2, "union of C and A scans");
+    assert_eq!(snap.counter("op.union.rows"), 2);
+}
+
 #[test]
 fn parallel_union_workers_record_into_one_registry_without_loss() {
     // 20 subclasses push the UCQ reformulation past the 16-disjunct

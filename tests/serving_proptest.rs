@@ -16,6 +16,7 @@
 //! length cross-checks inside the maintenance pipeline itself.
 
 use proptest::prelude::*;
+use proptest::strategy::Strategy;
 use rdfref::core::answer::Strategy as AnswerStrategy;
 use rdfref::model::vocab;
 use rdfref::prelude::*;
@@ -127,6 +128,41 @@ fn batches_strategy() -> impl proptest::strategy::Strategy<Value = Vec<Vec<Op>>>
     proptest::collection::vec(proptest::collection::vec(op, 0..4), 1..8)
 }
 
+/// One schema-churn update: a type fact or a subclass edge, inserted
+/// (`true`) or deleted.
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Type(bool, usize, usize),
+    Subclass(bool, usize, usize),
+}
+
+const CHURN_CLASSES: usize = 4;
+
+fn subclass_triple(a: usize, b: usize) -> Triple {
+    Triple::new(class(a), Term::iri(vocab::RDFS_SUBCLASSOF), class(b)).unwrap()
+}
+
+/// Chain C0 ⊑ C1 ⊑ C2 ⊑ C3 — fully interval-covered at the start, then
+/// churned into arbitrary shapes (diamonds, cycles, disconnection).
+fn churn_base_graph() -> Graph {
+    let mut g = Graph::new();
+    for i in 0..CHURN_CLASSES - 1 {
+        g.insert_triple(&subclass_triple(i, i + 1));
+    }
+    g.insert_triple(&type_triple(0, 0));
+    g
+}
+
+fn churn_batches_strategy() -> impl proptest::strategy::Strategy<Value = Vec<Vec<ChurnOp>>> {
+    let type_op = (any::<bool>(), 0..INDIVIDUALS, 0..CHURN_CLASSES)
+        .prop_map(|(ins, i, c)| ChurnOp::Type(ins, i, c));
+    let schema_op = (any::<bool>(), 0..CHURN_CLASSES, 0..CHURN_CLASSES)
+        .prop_filter("no self-loop", |(_, a, b)| a != b)
+        .prop_map(|(ins, a, b)| ChurnOp::Subclass(ins, a, b));
+    let op = prop_oneof![2 => type_op, 1 => schema_op];
+    proptest::collection::vec(proptest::collection::vec(op, 0..4), 1..6)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
@@ -165,6 +201,76 @@ proptest! {
             // exists: the snapshot is exactly the acknowledged prefix.
             prop_assert_eq!(snap.seq(), (k + 1) as u64);
             check_snapshot(&snap, &q, &prefixes)?;
+        }
+    }
+
+    /// Schema churn under interval encoding: subclass edges come and go, so
+    /// every schema-changing batch re-encodes the dictionary and bumps the
+    /// schema epoch. Reusing the same `Cq` across epochs is exactly the
+    /// stale-plan hazard: a cached plan whose constants live in the previous
+    /// encoding must never be served. A classic serving database fed the
+    /// identical schedule is the oracle, and Sat-vs-reformulation agreement
+    /// on every snapshot cross-checks both.
+    #[test]
+    fn schema_churn_never_serves_a_stale_interval_plan(batches in churn_batches_strategy()) {
+        let mut graph = churn_base_graph();
+        let q = parse_select(
+            "PREFIX t: <http://t/> SELECT ?x WHERE { ?x a t:C3 }",
+            graph.dictionary_mut(),
+        )
+        .unwrap();
+        let interval = ServingDatabase::with_encoding(
+            graph.clone(),
+            rdfref::model::DictEncoding::Interval,
+        );
+        let classic = ServingDatabase::new(graph);
+
+        for (k, batch) in batches.iter().enumerate() {
+            let build = || {
+                let mut update = UpdateBatch::new();
+                for op in batch {
+                    let t = match op {
+                        ChurnOp::Type(_, i, c) => type_triple(*i, *c),
+                        ChurnOp::Subclass(_, a, b) => subclass_triple(*a, *b),
+                    };
+                    let insert = matches!(
+                        op,
+                        ChurnOp::Type(true, ..) | ChurnOp::Subclass(true, ..)
+                    );
+                    update = if insert { update.insert(t) } else { update.delete(t) };
+                }
+                update
+            };
+            // Read-your-writes: the acknowledged ticket names prefix k+1 and
+            // the very next snapshot serves it.
+            let report = interval.submit(build()).unwrap().wait().unwrap();
+            prop_assert_eq!(report.seq, (k + 1) as u64);
+            classic.submit(build()).unwrap().wait().unwrap();
+
+            let isnap = interval.snapshot();
+            let csnap = classic.snapshot();
+            prop_assert_eq!(isnap.seq(), (k + 1) as u64);
+
+            let reference = answer_set(
+                &csnap,
+                &csnap.query(&q).strategy(AnswerStrategy::Saturation).run().unwrap(),
+            );
+            for strategy in [
+                AnswerStrategy::Saturation,
+                AnswerStrategy::RefUcq,
+                AnswerStrategy::RefGCov,
+            ] {
+                let ans = isnap.query(&q).strategy(strategy.clone()).run().unwrap();
+                let got = answer_set(&isnap, &ans);
+                prop_assert_eq!(
+                    &got,
+                    &reference,
+                    "interval/{} diverged from classic Sat after batch {} ({:?})",
+                    strategy.name(),
+                    k + 1,
+                    batch
+                );
+            }
         }
     }
 
