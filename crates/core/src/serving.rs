@@ -829,10 +829,18 @@ impl ServingDatabase {
             let cell = Arc::clone(&cell);
             let published_seq = Arc::clone(&published_seq);
             let obs = obs.clone();
-            thread::Builder::new()
+            let spawned = thread::Builder::new()
                 .name("rdfref-serving-writer".into())
-                .spawn(move || writer_loop(writer, rx, cell, published_seq, obs))
-                .expect("spawn serving writer thread")
+                .spawn(move || writer_loop(writer, rx, cell, published_seq, obs));
+            match spawned {
+                Ok(handle) => handle,
+                // Spawn fails only on resource exhaustion (EAGAIN); like
+                // OOM that is not a recoverable condition, and a Result
+                // constructor would push an un-actionable error onto every
+                // caller — abort instead of panicking through a poisoned
+                // half-built database.
+                Err(_) => std::process::abort(),
+            }
         };
         ServingDatabase {
             cell,

@@ -1,0 +1,686 @@
+//! Per-function **control-flow graphs** over the token stream.
+//!
+//! The item parser ([`crate::items`]) gives every function a body token
+//! range; this module lowers that range into basic blocks with explicit
+//! edges for `if`/`else` chains, `match` arms, the three loop forms
+//! (including labeled `break`/`continue`), `return`, `?` early exits and
+//! `let … else` divergence. The dataflow lints (L012–L014) run their
+//! fixpoints over this graph; everything the lowering does not model
+//! (closure bodies, expression-position `if`/`match`) stays inside one
+//! statement, which is *conservative* for a may-analysis: the whole
+//! statement's tokens are visible to the transfer function at once.
+//!
+//! Statements are stored as token ranges `[start, end)` in source order,
+//! so a block's transfer function can re-walk its statements cheaply and
+//! findings always point at real tokens.
+
+use crate::items::{matching, stmt_end};
+use crate::lexer::{Tok, TokKind};
+
+/// One basic block: a run of statements with a single entry.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statement token ranges `[start, end)`, in source order.
+    pub stmts: Vec<(usize, usize)>,
+    /// Successor block ids. Deterministic order: fall-through / then-branch
+    /// first, taken branches after, in source order.
+    pub succs: Vec<usize>,
+}
+
+/// A function body's control-flow graph.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All blocks; `blocks[entry]` is the function entry.
+    pub blocks: Vec<Block>,
+    /// Entry block id (always 0).
+    pub entry: usize,
+    /// The synthetic exit block (always 1, no statements, no successors):
+    /// `return`, `?`, the body's fall-through and tail expression all edge
+    /// here.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Blocks in reverse order (useful as a backward-analysis iteration
+    /// order; the solver iterates to fixpoint so any order is sound).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Build the CFG of a fn body delimited by the `{` at `open` and its
+/// matching `}` at `close` (token indexes, as recorded in
+/// [`crate::items::FnSig::body`]).
+pub fn build_cfg(toks: &[Tok], open: usize, close: usize) -> Cfg {
+    let mut b = Builder {
+        toks,
+        blocks: vec![Block::default(), Block::default()],
+        loops: Vec::new(),
+    };
+    let tail = b.seq(open + 1, close, 0);
+    if let Some(t) = tail {
+        b.edge(t, 1);
+    }
+    Cfg {
+        blocks: b.blocks,
+        entry: 0,
+        exit: 1,
+    }
+}
+
+/// An enclosing loop, for `break`/`continue` targeting.
+struct LoopCtx {
+    label: Option<String>,
+    header: usize,
+    after: usize,
+}
+
+struct Builder<'a> {
+    toks: &'a [Tok],
+    blocks: Vec<Block>,
+    loops: Vec<LoopCtx>,
+}
+
+const EXIT: usize = 1;
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.toks.get(i).map(|t| t.is_ident(name)).unwrap_or(false)
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    /// Lower the statements in `[from, to)` starting in block `cur`.
+    /// Returns the block that falls through past `to`, or `None` when
+    /// every path diverges (return/break/continue).
+    fn seq(&mut self, from: usize, to: usize, mut cur: usize) -> Option<usize> {
+        let mut i = from;
+        while i < to {
+            // Skip stray semicolons between statements.
+            if self.is_punct(i, ';') {
+                i += 1;
+                continue;
+            }
+            let t = &self.toks[i];
+            // Labeled loop: `'outer: loop { … }`.
+            let (label, kw_at) = if t.kind == TokKind::Lifetime && self.is_punct(i + 1, ':') {
+                (Some(t.text.clone()), i + 2)
+            } else {
+                (None, i)
+            };
+            if self.is_ident(kw_at, "loop")
+                || self.is_ident(kw_at, "while")
+                || self.is_ident(kw_at, "for")
+            {
+                let (next_i, next_cur) = self.loop_stmt(i, kw_at, label, to, cur);
+                i = next_i;
+                cur = next_cur;
+                continue;
+            }
+            if t.is_ident("if") {
+                let (next_i, next_cur) = self.if_stmt(i, to, cur);
+                i = next_i;
+                match next_cur {
+                    Some(c) => cur = c,
+                    None => return self.dead_rest(i, to),
+                }
+                continue;
+            }
+            if t.is_ident("match") {
+                let (next_i, next_cur) = self.match_stmt(i, to, cur);
+                i = next_i;
+                match next_cur {
+                    Some(c) => cur = c,
+                    None => return self.dead_rest(i, to),
+                }
+                continue;
+            }
+            if t.is_punct('{') {
+                // Free-standing block statement.
+                let block_close = matching(self.toks, i, '{', '}').unwrap_or(to).min(to);
+                let inner = self.new_block();
+                self.edge(cur, inner);
+                let tail = self.seq(i + 1, block_close, inner);
+                let join = self.new_block();
+                if let Some(tb) = tail {
+                    self.edge(tb, join);
+                }
+                cur = join;
+                i = block_close + 1;
+                continue;
+            }
+            if t.is_ident("return") {
+                let e = stmt_end(self.toks, i).min(to);
+                self.blocks[cur].stmts.push((i, e));
+                self.edge(cur, EXIT);
+                return self.dead_rest(e, to);
+            }
+            if t.is_ident("break") || t.is_ident("continue") {
+                let e = stmt_end(self.toks, i).min(to);
+                self.blocks[cur].stmts.push((i, e));
+                let is_break = t.is_ident("break");
+                let want_label = self
+                    .toks
+                    .get(i + 1)
+                    .filter(|n| n.kind == TokKind::Lifetime)
+                    .map(|n| n.text.clone());
+                let target = self
+                    .loops
+                    .iter()
+                    .rev()
+                    .find(|l| match &want_label {
+                        Some(w) => l.label.as_deref() == Some(w.as_str()),
+                        None => true,
+                    })
+                    .map(|l| if is_break { l.after } else { l.header });
+                if let Some(tgt) = target {
+                    self.edge(cur, tgt);
+                }
+                return self.dead_rest(e, to);
+            }
+            // Plain statement (`let`, expression, assignment, …): one unit.
+            let e = stmt_end(self.toks, i).min(to).max(i + 1);
+            // `let PAT = expr else { diverging };` — lower the else block as
+            // a branch off the current block; the main flow continues.
+            if t.is_ident("let") {
+                if let Some(else_open) = let_else_open(self.toks, i, e) {
+                    let else_close = matching(self.toks, else_open, '{', '}').unwrap_or(e).min(e);
+                    self.blocks[cur].stmts.push((i, else_open));
+                    let else_entry = self.new_block();
+                    self.edge(cur, else_entry);
+                    // The else body must diverge by language rules; any
+                    // fall-through it *does* produce is routed to exit so
+                    // the graph stays well-formed on malformed input.
+                    if let Some(tb) = self.seq(else_open + 1, else_close, else_entry) {
+                        self.edge(tb, EXIT);
+                    }
+                    i = e;
+                    continue;
+                }
+            }
+            self.blocks[cur].stmts.push((i, e));
+            if has_top_level_question(self.toks, i, e) {
+                self.edge(cur, EXIT);
+            }
+            i = e;
+        }
+        Some(cur)
+    }
+
+    /// Statements after a diverging one are unreachable but still lowered
+    /// (into a fresh block with no predecessors) so their tokens remain
+    /// visible to whole-body scans; the sequence itself reports divergence.
+    fn dead_rest(&mut self, from: usize, to: usize) -> Option<usize> {
+        if from < to {
+            let dead = self.new_block();
+            self.seq(from, to, dead);
+        }
+        None
+    }
+
+    /// `if cond { … } [else if … { … }]* [else { … }]` starting at `i`.
+    /// Returns (index past the statement, join block or None if all arms
+    /// diverge).
+    fn if_stmt(&mut self, i: usize, to: usize, cur: usize) -> (usize, Option<usize>) {
+        let Some(open) = block_open(self.toks, i + 1, to) else {
+            self.blocks[cur].stmts.push((i, to));
+            return (to, Some(cur));
+        };
+        let close = matching(self.toks, open, '{', '}').unwrap_or(to).min(to);
+        // The condition is a statement of the current block (its calls and
+        // uses are visible to the transfer function).
+        self.blocks[cur].stmts.push((i, open));
+        if has_top_level_question(self.toks, i, open) {
+            self.edge(cur, EXIT);
+        }
+        let then_entry = self.new_block();
+        self.edge(cur, then_entry);
+        let then_tail = self.seq(open + 1, close, then_entry);
+
+        let mut tails: Vec<usize> = Vec::new();
+        if let Some(t) = then_tail {
+            tails.push(t);
+        }
+        let mut i_next = close + 1;
+        let mut has_else = false;
+        if self.is_ident(i_next, "else") {
+            has_else = true;
+            if self.is_ident(i_next + 1, "if") {
+                // `else if …` — recurse as a nested if in its own block.
+                let else_entry = self.new_block();
+                self.edge(cur, else_entry);
+                let (after, join) = self.if_stmt(i_next + 1, to, else_entry);
+                i_next = after;
+                if let Some(j) = join {
+                    tails.push(j);
+                }
+            } else if let Some(eopen) = block_open(self.toks, i_next + 1, to) {
+                let eclose = matching(self.toks, eopen, '{', '}').unwrap_or(to).min(to);
+                let else_entry = self.new_block();
+                self.edge(cur, else_entry);
+                if let Some(t) = self.seq(eopen + 1, eclose, else_entry) {
+                    tails.push(t);
+                }
+                i_next = eclose + 1;
+            }
+        }
+        if !has_else {
+            // No else: the condition can fall through directly.
+            tails.push(cur);
+        }
+        if tails.is_empty() {
+            return (i_next, None);
+        }
+        let join = self.new_block();
+        for t in tails {
+            self.edge(t, join);
+        }
+        (i_next, Some(join))
+    }
+
+    /// `match scrutinee { pat => body, … }` starting at `i`.
+    fn match_stmt(&mut self, i: usize, to: usize, cur: usize) -> (usize, Option<usize>) {
+        let Some(open) = block_open(self.toks, i + 1, to) else {
+            self.blocks[cur].stmts.push((i, to));
+            return (to, Some(cur));
+        };
+        let close = matching(self.toks, open, '{', '}').unwrap_or(to).min(to);
+        self.blocks[cur].stmts.push((i, open));
+        if has_top_level_question(self.toks, i, open) {
+            self.edge(cur, EXIT);
+        }
+        let mut tails: Vec<usize> = Vec::new();
+        let mut j = open + 1;
+        while j < close {
+            // Pattern runs to the `=>` at depth 0.
+            let Some(arrow) = find_arrow(self.toks, j, close) else {
+                break;
+            };
+            let arm_entry = self.new_block();
+            self.edge(cur, arm_entry);
+            // The pattern (with any guard) is the arm's first statement.
+            self.blocks[arm_entry].stmts.push((j, arrow));
+            let body_start = arrow + 2;
+            if self.is_punct(body_start, '{') {
+                let bclose = matching(self.toks, body_start, '{', '}')
+                    .unwrap_or(close)
+                    .min(close);
+                if let Some(t) = self.seq(body_start + 1, bclose, arm_entry) {
+                    tails.push(t);
+                }
+                j = bclose + 1;
+                if self.is_punct(j, ',') {
+                    j += 1;
+                }
+            } else {
+                let bend = arm_expr_end(self.toks, body_start, close);
+                if let Some(t) = self.seq(body_start, bend, arm_entry) {
+                    tails.push(t);
+                }
+                j = bend;
+                if self.is_punct(j, ',') {
+                    j += 1;
+                }
+            }
+        }
+        if tails.is_empty() {
+            return (close + 1, None);
+        }
+        let join = self.new_block();
+        for t in tails {
+            self.edge(t, join);
+        }
+        (close + 1, Some(join))
+    }
+
+    /// `loop`/`while`/`for` (possibly labeled) starting at `i` (the label),
+    /// with the keyword at `kw_at`. Returns (index past, continuation).
+    fn loop_stmt(
+        &mut self,
+        i: usize,
+        kw_at: usize,
+        label: Option<String>,
+        to: usize,
+        cur: usize,
+    ) -> (usize, usize) {
+        let Some(open) = block_open(self.toks, kw_at + 1, to) else {
+            self.blocks[cur].stmts.push((i, to));
+            return (to, cur);
+        };
+        let close = matching(self.toks, open, '{', '}').unwrap_or(to).min(to);
+        let header = self.new_block();
+        self.edge(cur, header);
+        // Header statement: `while cond` / `for pat in iter` (empty for
+        // bare `loop`). The range starts at the keyword so the transfer
+        // function can recognise `for`-bindings.
+        if open > kw_at + 1 {
+            self.blocks[header].stmts.push((kw_at, open));
+        }
+        let after = self.new_block();
+        let conditional = !self.toks[kw_at].is_ident("loop");
+        if conditional {
+            self.edge(header, after);
+        }
+        let body_entry = self.new_block();
+        self.edge(header, body_entry);
+        self.loops.push(LoopCtx {
+            label,
+            header,
+            after,
+        });
+        let tail = self.seq(open + 1, close, body_entry);
+        self.loops.pop();
+        if let Some(t) = tail {
+            self.edge(t, header); // back edge
+        }
+        (close + 1, after)
+    }
+}
+
+/// First `{` at paren/bracket depth 0 in `[from, to)` — the body opener of
+/// an `if`/`match`/loop header. Struct literals cannot appear bare in
+/// these header positions, so the first depth-0 brace is the body.
+fn block_open(toks: &[Tok], from: usize, to: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for (i, t) in toks.iter().enumerate().take(to).skip(from) {
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') if paren == 0 && bracket == 0 => return Some(i),
+            TokKind::Punct(';') if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The `=>` of a match arm at delimiter depth 0, scanning from `from`.
+fn find_arrow(toks: &[Tok], from: usize, to: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let mut i = from;
+    while i + 1 < to {
+        match toks[i].kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace -= 1,
+            TokKind::Punct('=')
+                if paren == 0
+                    && bracket == 0
+                    && brace == 0
+                    && toks[i + 1].is_punct('>')
+                    && toks[i].line == toks[i + 1].line
+                    && toks[i].col + 1 == toks[i + 1].col =>
+            {
+                return Some(i);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// End of a non-braced match-arm expression: the `,` at depth 0, or `to`.
+fn arm_expr_end(toks: &[Tok], from: usize, to: usize) -> usize {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    for (i, t) in toks.iter().enumerate().take(to).skip(from) {
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace -= 1,
+            TokKind::Punct(',') if paren == 0 && bracket == 0 && brace == 0 => return i,
+            _ => {}
+        }
+    }
+    to
+}
+
+/// Does the statement `[from, to)` contain a `?` operator at brace depth 0
+/// (i.e. not inside a nested closure/block body)?
+fn has_top_level_question(toks: &[Tok], from: usize, to: usize) -> bool {
+    let mut brace = 0i32;
+    for t in toks.iter().take(to.min(toks.len())).skip(from) {
+        match t.kind {
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace -= 1,
+            TokKind::Punct('?') if brace <= 0 => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// For `let PAT = EXPR else { … };` in `[from, to)`: the index of the
+/// `else`-block's `{`, or `None` for a plain `let`.
+fn let_else_open(toks: &[Tok], from: usize, to: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let to = to.min(toks.len());
+    let mut i = from;
+    while i < to {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace -= 1,
+            // `else` at depth 0 inside a let statement is let-else iff a
+            // block follows (an expression-position `if … else` sits
+            // behind its `if`'s brace, i.e. at brace depth > 0 … unless
+            // the initializer *is* the if. Check the brace.)
+            TokKind::Ident
+                if t.text == "else"
+                    && paren == 0
+                    && bracket == 0
+                    && brace == 0
+                    && toks.get(i + 1).map(|n| n.is_punct('{')).unwrap_or(false)
+                    && !initializer_is_if(toks, from, i) =>
+            {
+                return Some(i + 1);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Is the initializer of the `let` at `from` an `if`/`match` expression
+/// (whose own `else` would otherwise read as let-else)? Looks at the first
+/// token after the `=`.
+fn initializer_is_if(toks: &[Tok], from: usize, before: usize) -> bool {
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate().take(before).skip(from) {
+        match t.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('<') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('>') => depth -= 1,
+            TokKind::Punct('=')
+                if depth <= 0 && !toks.get(i + 1).map(|n| n.is_punct('=')).unwrap_or(false) =>
+            {
+                return toks
+                    .get(i + 1)
+                    .map(|n| n.is_ident("if") || n.is_ident("match"))
+                    .unwrap_or(false);
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{parse_items, ItemKind};
+    use crate::lexer::lex;
+
+    fn cfg_of(src: &str) -> (Vec<Tok>, Cfg) {
+        let toks = lex(src);
+        let items = parse_items(&toks);
+        let ItemKind::Fn(sig) = &items[0].kind else {
+            panic!("fixture must start with a fn: {:?}", items[0].kind);
+        };
+        let (open, close) = sig.body.expect("fn body");
+        let cfg = build_cfg(&toks, open, close);
+        (toks, cfg)
+    }
+
+    /// Blocks reachable from entry.
+    fn reachable(cfg: &Cfg) -> Vec<usize> {
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![cfg.entry];
+        while let Some(b) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            stack.extend(cfg.blocks[b].succs.iter().copied());
+        }
+        (0..cfg.blocks.len()).filter(|&i| seen[i]).collect()
+    }
+
+    #[test]
+    fn straight_line_is_one_block_to_exit() {
+        let (_, cfg) = cfg_of("fn f() { let a = 1; let b = a; touch(b); }");
+        assert_eq!(cfg.blocks[cfg.entry].stmts.len(), 3);
+        assert_eq!(cfg.blocks[cfg.entry].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_else_branches_and_joins() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { one(); } else { two(); } after(); }");
+        // entry → then, else; both → join; join → exit.
+        let entry_succs = &cfg.blocks[cfg.entry].succs;
+        assert_eq!(entry_succs.len(), 2, "{cfg:?}");
+        let join = cfg.blocks[entry_succs[0]].succs[0];
+        assert_eq!(cfg.blocks[entry_succs[1]].succs, vec![join]);
+        assert_eq!(cfg.blocks[join].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { one(); } after(); }");
+        // entry → then-block and → join directly.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+    }
+
+    #[test]
+    fn return_edges_to_exit_and_kills_fallthrough() {
+        let (_, cfg) = cfg_of("fn f(c: bool) { if c { return; } after(); }");
+        let then = cfg.blocks[cfg.entry].succs[0];
+        assert!(cfg.blocks[then].succs.contains(&cfg.exit));
+        // The then-block must NOT reach the join.
+        assert_eq!(cfg.blocks[then].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn question_mark_adds_exit_edge() {
+        let (_, cfg) = cfg_of("fn f() -> Result<(), E> { let x = fallible()?; use_it(x); Ok(()) }");
+        assert!(cfg.blocks[cfg.entry].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn loops_have_back_edges_and_breaks_reach_after() {
+        let (_, cfg) = cfg_of("fn f() { loop { if done() { break; } step(); } after(); }");
+        // Find a back edge: some block's successor list contains an
+        // earlier block that is not the exit.
+        let has_back = cfg.blocks.iter().enumerate().any(|(i, b)| {
+            b.succs
+                .iter()
+                .any(|&s| s < i && s != cfg.exit && s != cfg.entry)
+        });
+        assert!(has_back, "{cfg:?}");
+        // `after()` is reachable (break target wired through).
+        let reach = reachable(&cfg);
+        let after_block = cfg
+            .blocks
+            .iter()
+            .position(|b| !b.stmts.is_empty() && b.succs == vec![cfg.exit]);
+        assert!(
+            after_block.map(|b| reach.contains(&b)).unwrap_or(false),
+            "{cfg:?}"
+        );
+    }
+
+    #[test]
+    fn labeled_break_targets_the_outer_loop() {
+        let (toks, cfg) = cfg_of(
+            "fn f() { 'outer: loop { loop { break 'outer; } } unreachable_code(); after(); }",
+        );
+        // The inner break must edge to the OUTER loop's after-block — the
+        // one whose continuation contains `after()`. Find the break stmt.
+        let mut break_block = None;
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            for &(s, e) in &b.stmts {
+                if toks[s..e].iter().any(|t| t.is_ident("break")) {
+                    break_block = Some(i);
+                }
+            }
+        }
+        let bb = break_block.expect("break block");
+        // Its successor eventually reaches exit without a back edge to the
+        // inner loop: the after-block of the outer loop.
+        assert_eq!(cfg.blocks[bb].succs.len(), 1);
+        let reach = reachable(&cfg);
+        assert!(reach.contains(&cfg.blocks[bb].succs[0]));
+    }
+
+    #[test]
+    fn match_arms_each_get_a_block() {
+        let (_, cfg) = cfg_of(
+            "fn f(x: u32) { match x { 0 => zero(), 1 => { one(); } _ => other(), } after(); }",
+        );
+        // entry → 3 arm blocks.
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 3, "{cfg:?}");
+    }
+
+    #[test]
+    fn let_else_diverging_block_is_a_branch() {
+        let (_, cfg) =
+            cfg_of("fn f(o: Option<u32>) { let Some(x) = o else { return; }; use_it(x); }");
+        // entry branches into the else block (which exits) and continues.
+        assert!(!cfg.blocks[cfg.entry].succs.is_empty());
+        let else_entry = cfg.blocks[cfg.entry].succs[0];
+        assert!(cfg.blocks[else_entry].succs.iter().all(|&s| s == cfg.exit));
+        // The main flow still records both statements.
+        let total_stmts: usize = cfg.blocks.iter().map(|b| b.stmts.len()).sum();
+        assert!(total_stmts >= 3, "{cfg:?}"); // let-head, return, use_it
+    }
+
+    #[test]
+    fn while_loop_is_conditional() {
+        let (_, cfg) = cfg_of("fn f() { while cond() { step(); } after(); }");
+        // The header has two successors: after-block and body.
+        let header = cfg.blocks[cfg.entry].succs[0];
+        assert_eq!(cfg.blocks[header].succs.len(), 2, "{cfg:?}");
+    }
+}

@@ -45,6 +45,29 @@ pub struct Config {
     /// count as lock acquisitions for L007 (class named by their first
     /// argument).
     pub lock_wrappers: Vec<String>,
+    /// Call-name patterns (`encode_*` prefix wildcards allowed) whose
+    /// return value lives in encoded id space (L012 taint sources).
+    pub taint_sources: Vec<String>,
+    /// Call-name patterns that translate encoded ids back to base space;
+    /// an expression containing one is cleansed (L012 sanitizers).
+    pub taint_sanitizers: Vec<String>,
+    /// Call-name patterns that consume base-space ids (L012 sinks).
+    pub taint_sinks: Vec<String>,
+    /// Struct-literal type names that hold base-space ids (L012 sinks).
+    pub taint_sink_types: Vec<String>,
+    /// Field names of publication atomics: Release-store / Acquire-load
+    /// protocol required (L013).
+    pub publication_atomics: Vec<String>,
+    /// Field names of the data slots a publication atomic guards; writing
+    /// one after the Release store reorders the protocol (L013).
+    pub publication_slots: Vec<String>,
+    /// Impl self types whose methods are serving paths (L014 roots).
+    pub serving_types: Vec<String>,
+    /// Unpinned cache method names flagged on serving paths in favor of
+    /// their `_at` epoch-pinned variants (L014).
+    pub unpinned_cache_calls: Vec<String>,
+    /// Receiver field names recognised as plan caches (L014).
+    pub cache_receivers: Vec<String>,
     /// Residual findings tolerated per (lint, file).
     pub allow: Vec<AllowEntry>,
 }
@@ -72,6 +95,19 @@ impl Default for Config {
             guarded_calls: ["answer", "publish"].map(String::from).to_vec(),
             heavy_idents: ["graph", "dict", "dictionary"].map(String::from).to_vec(),
             lock_wrappers: vec!["lock_or_recover".to_string()],
+            taint_sources: ["encode", "encode_*"].map(String::from).to_vec(),
+            taint_sanitizers: ["decode", "decode_*", "map_values"]
+                .map(String::from)
+                .to_vec(),
+            taint_sinks: vec!["from_parts".to_string()],
+            taint_sink_types: vec!["QueryAnswer".to_string()],
+            publication_atomics: ["version", "published_seq"].map(String::from).to_vec(),
+            publication_slots: vec!["slot".to_string()],
+            serving_types: ["Snapshot", "WriterCore", "ServingDatabase"]
+                .map(String::from)
+                .to_vec(),
+            unpinned_cache_calls: ["lookup", "insert"].map(String::from).to_vec(),
+            cache_receivers: ["cache", "plan_cache"].map(String::from).to_vec(),
             allow: Vec::new(),
         }
     }
@@ -145,6 +181,19 @@ pub fn parse_config(text: &str) -> Result<Config, ConfigError> {
                 "guarded_calls" => cfg.guarded_calls = parse_string_array(value, lineno)?,
                 "heavy_idents" => cfg.heavy_idents = parse_string_array(value, lineno)?,
                 "lock_wrappers" => cfg.lock_wrappers = parse_string_array(value, lineno)?,
+                "taint_sources" => cfg.taint_sources = parse_string_array(value, lineno)?,
+                "taint_sanitizers" => cfg.taint_sanitizers = parse_string_array(value, lineno)?,
+                "taint_sinks" => cfg.taint_sinks = parse_string_array(value, lineno)?,
+                "taint_sink_types" => cfg.taint_sink_types = parse_string_array(value, lineno)?,
+                "publication_atomics" => {
+                    cfg.publication_atomics = parse_string_array(value, lineno)?
+                }
+                "publication_slots" => cfg.publication_slots = parse_string_array(value, lineno)?,
+                "serving_types" => cfg.serving_types = parse_string_array(value, lineno)?,
+                "unpinned_cache_calls" => {
+                    cfg.unpinned_cache_calls = parse_string_array(value, lineno)?
+                }
+                "cache_receivers" => cfg.cache_receivers = parse_string_array(value, lineno)?,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -211,6 +260,33 @@ pub fn render_config(cfg: &Config) -> String {
     s.push_str(&format!("guarded_calls = [{}]\n", arr(&cfg.guarded_calls)));
     s.push_str(&format!("heavy_idents = [{}]\n", arr(&cfg.heavy_idents)));
     s.push_str(&format!("lock_wrappers = [{}]\n", arr(&cfg.lock_wrappers)));
+    s.push_str(&format!("taint_sources = [{}]\n", arr(&cfg.taint_sources)));
+    s.push_str(&format!(
+        "taint_sanitizers = [{}]\n",
+        arr(&cfg.taint_sanitizers)
+    ));
+    s.push_str(&format!("taint_sinks = [{}]\n", arr(&cfg.taint_sinks)));
+    s.push_str(&format!(
+        "taint_sink_types = [{}]\n",
+        arr(&cfg.taint_sink_types)
+    ));
+    s.push_str(&format!(
+        "publication_atomics = [{}]\n",
+        arr(&cfg.publication_atomics)
+    ));
+    s.push_str(&format!(
+        "publication_slots = [{}]\n",
+        arr(&cfg.publication_slots)
+    ));
+    s.push_str(&format!("serving_types = [{}]\n", arr(&cfg.serving_types)));
+    s.push_str(&format!(
+        "unpinned_cache_calls = [{}]\n",
+        arr(&cfg.unpinned_cache_calls)
+    ));
+    s.push_str(&format!(
+        "cache_receivers = [{}]\n",
+        arr(&cfg.cache_receivers)
+    ));
     for a in &cfg.allow {
         s.push_str(&format!(
             "\n[[allow]]\nlint = {:?}\nfile = {:?}\ncount = {}\nreason = {:?}\n",

@@ -1,0 +1,1064 @@
+//! **Fixpoint dataflow** over the CFGs of [`crate::cfg`].
+//!
+//! A small trait-based engine (forward or backward, join to fixpoint)
+//! with three instances:
+//!
+//! * **Reaching definitions** — classic gen/kill over `let`-bindings,
+//!   assignments and `for`-patterns; powers the def-use witness chains
+//!   the flow lints attach to findings.
+//! * **Liveness** — the textbook backward analysis; exercised in tests to
+//!   keep the backward direction honest.
+//! * **Taint** — may-analysis tracking values that originate from
+//!   configured *source* calls (or from *carrier* functions whose return
+//!   path is tainted, resolved via the item graph) through `let`-bindings,
+//!   field accesses and assignments, until a *sanitizer* call cleanses
+//!   them. Joins pick the lexicographically smallest witness so results
+//!   are deterministic regardless of iteration order.
+//!
+//! Everything here works on token ranges — there is no AST. That keeps
+//! the transfer functions conservative: a statement the classifier does
+//! not model simply neither gens nor kills.
+
+use crate::cfg::{build_cfg, Cfg};
+use crate::graph::{Call, FnNode, ItemGraph};
+use crate::items::receiver_chain;
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Analysis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Facts flow entry → exit along successor edges.
+    Forward,
+    /// Facts flow exit → entry against successor edges.
+    Backward,
+}
+
+/// A dataflow problem: a lattice of facts with a per-block transfer.
+pub trait Analysis {
+    /// The lattice element.
+    type Fact: Clone + PartialEq;
+    /// Which way facts flow.
+    fn dir(&self) -> Dir;
+    /// Fact at the boundary (entry for forward, exit for backward).
+    fn boundary(&self) -> Self::Fact;
+    /// Initial fact for every other block (the lattice bottom).
+    fn bottom(&self) -> Self::Fact;
+    /// Apply the block's statements to an incoming fact.
+    fn transfer(&self, block: usize, fact: &Self::Fact) -> Self::Fact;
+    /// Merge `from` into `into`; return true when `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+}
+
+/// Iterate to fixpoint. Returns the fact at each block's **input** (its
+/// entry for a forward analysis, its exit for a backward one).
+pub fn solve<A: Analysis>(cfg: &Cfg, a: &A) -> Vec<A::Fact> {
+    let n = cfg.blocks.len();
+    let mut input: Vec<A::Fact> = (0..n).map(|_| a.bottom()).collect();
+    match a.dir() {
+        Dir::Forward => input[cfg.entry] = a.boundary(),
+        Dir::Backward => input[cfg.exit] = a.boundary(),
+    }
+    // Round-robin to fixpoint; the lattices here are finite-height, so a
+    // generous pass cap is only a guard against pathological inputs.
+    let cap = 4 * n + 16;
+    for _ in 0..cap {
+        let mut changed = false;
+        match a.dir() {
+            Dir::Forward => {
+                for b in 0..n {
+                    let out = a.transfer(b, &input[b]);
+                    for &s in &cfg.blocks[b].succs {
+                        if a.join(&mut input[s], &out) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            Dir::Backward => {
+                for b in (0..n).rev() {
+                    // A block's input (exit fact) is the join of its
+                    // successors' transferred facts.
+                    for &s in &cfg.blocks[b].succs {
+                        let through = a.transfer(s, &input[s]);
+                        if a.join(&mut input[b], &through) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    input
+}
+
+// ---------------------------------------------------------------------------
+// Statement classification shared by the instances.
+// ---------------------------------------------------------------------------
+
+const STMT_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "let", "else", "use",
+    "mod", "const", "static", "unsafe",
+];
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "else"
+            | "as"
+            | "in"
+            | "move"
+            | "ref"
+            | "mut"
+            | "box"
+            | "dyn"
+            | "fn"
+            | "impl"
+            | "where"
+            | "self"
+            | "Self"
+            | "true"
+            | "false"
+            | "Some"
+            | "Ok"
+            | "Err"
+            | "None"
+            | "await"
+            | "async"
+            | "unsafe"
+    )
+}
+
+fn is_primitive(s: &str) -> bool {
+    matches!(
+        s,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+            | "bool"
+            | "str"
+            | "char"
+    )
+}
+
+/// Two adjacent tokens forming one multi-char operator (`==`, `=>`, `+=`).
+fn glued(a: &Tok, b: &Tok) -> bool {
+    a.line == b.line && a.col + 1 == b.col
+}
+
+/// The top-level `=` of a `let`/assignment in `[from, to)`: a `=` at
+/// delimiter depth 0 that is not half of `==`/`=>`/`<=`/`>=`/`!=`/`+=`-
+/// style compounds (multi-char operators are glued; a real assignment's
+/// `=` never glues to an operator punct on its left or `=`/`>` on its
+/// right in rustfmt'ed code, and the depth guard covers the rest).
+pub(crate) fn plain_eq(toks: &[Tok], from: usize, to: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut brace = 0i32;
+    let to = to.min(toks.len());
+    for i in from..to {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace -= 1,
+            TokKind::Punct('=') if paren == 0 && bracket == 0 && brace == 0 => {
+                let left_op = i > from
+                    && matches!(
+                        toks[i - 1].kind,
+                        TokKind::Punct(
+                            '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+                        )
+                    )
+                    && glued(&toks[i - 1], t);
+                let right_op = toks
+                    .get(i + 1)
+                    .map(|n| matches!(n.kind, TokKind::Punct('=' | '>')) && glued(t, n))
+                    .unwrap_or(false);
+                if !left_op && !right_op {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Variable names bound by the pattern tokens `[from, to)` (a `let` or
+/// `for` pattern), with the token index of each name. Collects lowercase
+/// non-keyword identifiers that are not path segments; uppercase idents
+/// (types, variants) and primitives are skipped, and for `let` the caller
+/// cuts the range at any top-level `:` type ascription.
+pub fn pattern_bindings(toks: &[Tok], from: usize, to: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let to = to.min(toks.len());
+    for i in from..to {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let name = t.text.as_str();
+        if name == "_" || is_keyword(name) || is_primitive(name) {
+            continue;
+        }
+        if name
+            .chars()
+            .next()
+            .map(|c| c.is_uppercase())
+            .unwrap_or(true)
+        {
+            continue;
+        }
+        // Path segment (`mod_name::Variant`)?
+        if toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_punct(':')).unwrap_or(false)
+        {
+            continue;
+        }
+        // Struct-pattern field name that rebinds (`S { field: var }`)
+        // still collects both names — over-approximating bindings is
+        // harmless for a may-analysis.
+        out.push((t.text.clone(), i));
+    }
+    out
+}
+
+/// What a statement does to the variable environment.
+pub enum StmtShape {
+    /// `let PAT [: TY] = RHS` — bindings plus the RHS range; `rhs` is
+    /// `None` for a declaration without initializer.
+    Let {
+        /// `(name, name-token)` pairs bound by the pattern.
+        binds: Vec<(String, usize)>,
+        /// RHS token range `[start, end)`.
+        rhs: Option<(usize, usize)>,
+    },
+    /// `for PAT in ITER` header.
+    For {
+        /// Bindings introduced by the loop pattern.
+        binds: Vec<(String, usize)>,
+        /// The iterated expression's token range.
+        rhs: (usize, usize),
+    },
+    /// `lvalue = RHS` or `lvalue op= RHS`; `root` is the base variable.
+    Assign {
+        /// Base variable of the lvalue path (`x` in `x.field = …`).
+        root: (String, usize),
+        /// RHS token range.
+        rhs: (usize, usize),
+        /// Compound (`+=` …): the old value still flows, so no kill.
+        compound: bool,
+    },
+    /// Anything else: expression statement, `match`/`if` header, `return`.
+    Other,
+}
+
+/// Classify the statement `[from, to)`.
+pub fn stmt_shape(toks: &[Tok], from: usize, to: usize) -> StmtShape {
+    let to = to.min(toks.len());
+    if from >= to {
+        return StmtShape::Other;
+    }
+    let t0 = &toks[from];
+    if t0.is_ident("let") {
+        // Pattern runs to the top-level `:` (type ascription) or `=`.
+        let eq = plain_eq(toks, from, to);
+        let pat_end = {
+            let stop = eq.unwrap_or(to);
+            let mut cut = stop;
+            let mut depth = 0i32;
+            for i in from + 1..stop {
+                match toks[i].kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+                    TokKind::Punct(':') if depth == 0 => {
+                        let double = toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+                            || (i > from && toks[i - 1].is_punct(':'));
+                        if !double {
+                            cut = i;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            cut
+        };
+        let binds = pattern_bindings(toks, from + 1, pat_end);
+        // A `let … else` statement's RHS stops before the `else` (the
+        // CFG builder already splits the else block off; when it did not,
+        // including it is still conservative).
+        return StmtShape::Let {
+            binds,
+            rhs: eq.map(|e| (e + 1, to)),
+        };
+    }
+    if t0.is_ident("for") {
+        let in_pos = (from + 1..to).find(|&i| toks[i].is_ident("in"));
+        if let Some(ip) = in_pos {
+            return StmtShape::For {
+                binds: pattern_bindings(toks, from + 1, ip),
+                rhs: (ip + 1, to),
+            };
+        }
+        return StmtShape::Other;
+    }
+    if STMT_KEYWORDS.contains(&t0.text.as_str()) && t0.kind == TokKind::Ident {
+        return StmtShape::Other;
+    }
+    // Assignment? `IDENT (.IDENT | [..])* [op]= RHS`
+    if t0.kind == TokKind::Ident && !is_keyword(&t0.text) || t0.is_ident("self") {
+        let mut j = from + 1;
+        loop {
+            if j >= to {
+                break;
+            }
+            let t = &toks[j];
+            if t.is_punct('.') {
+                j += 1;
+                if j < to && toks[j].kind == TokKind::Ident {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            if t.is_punct('[') {
+                match crate::items::matching(toks, j, '[', ']') {
+                    Some(c) if c < to => {
+                        j = c + 1;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            if t.is_punct('=') {
+                let compound_left = j > from
+                    && matches!(
+                        toks[j - 1].kind,
+                        TokKind::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+                    )
+                    && glued(&toks[j - 1], t);
+                let is_cmp = toks
+                    .get(j + 1)
+                    .map(|n| matches!(n.kind, TokKind::Punct('=' | '>')) && glued(t, n))
+                    .unwrap_or(false)
+                    || (j > from
+                        && matches!(toks[j - 1].kind, TokKind::Punct('=' | '!' | '<' | '>'))
+                        && glued(&toks[j - 1], t));
+                if is_cmp {
+                    break;
+                }
+                return StmtShape::Assign {
+                    root: (t0.text.clone(), from),
+                    rhs: (j + 1, to),
+                    compound: compound_left,
+                };
+            }
+            if matches!(
+                t.kind,
+                TokKind::Punct('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+            ) && toks
+                .get(j + 1)
+                .map(|n| n.is_punct('=') && glued(t, n))
+                .unwrap_or(false)
+            {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+    }
+    StmtShape::Other
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions.
+// ---------------------------------------------------------------------------
+
+/// Reaching definitions: which binding sites may define each variable.
+pub struct ReachingDefs<'a> {
+    /// The graph being analysed.
+    pub cfg: &'a Cfg,
+    /// The file's tokens.
+    pub toks: &'a [Tok],
+}
+
+impl<'a> Analysis for ReachingDefs<'a> {
+    type Fact = BTreeMap<String, BTreeSet<usize>>;
+
+    fn dir(&self) -> Dir {
+        Dir::Forward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn bottom(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn transfer(&self, block: usize, fact: &Self::Fact) -> Self::Fact {
+        let mut out = fact.clone();
+        for &(s, e) in &self.cfg.blocks[block].stmts {
+            match stmt_shape(self.toks, s, e) {
+                StmtShape::Let { binds, .. } | StmtShape::For { binds, .. } => {
+                    for (name, site) in binds {
+                        out.insert(name, BTreeSet::from([site]));
+                    }
+                }
+                StmtShape::Assign {
+                    root: (name, site),
+                    compound,
+                    ..
+                } => {
+                    if compound {
+                        out.entry(name).or_default().insert(site);
+                    } else {
+                        out.insert(name, BTreeSet::from([site]));
+                    }
+                }
+                StmtShape::Other => {}
+            }
+        }
+        out
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let mut changed = false;
+        for (k, sites) in from {
+            let slot = into.entry(k.clone()).or_default();
+            for &s in sites {
+                changed |= slot.insert(s);
+            }
+        }
+        changed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness (backward).
+// ---------------------------------------------------------------------------
+
+/// Live variables: names that may be read before their next definition.
+pub struct Liveness<'a> {
+    /// The graph being analysed.
+    pub cfg: &'a Cfg,
+    /// The file's tokens.
+    pub toks: &'a [Tok],
+}
+
+/// Identifier uses in `[from, to)`: lowercase non-keyword idents that are
+/// not field/method names (preceded by `.`), call names (followed by `(`)
+/// or macro names (followed by `!`).
+fn ident_uses(toks: &[Tok], from: usize, to: usize) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let to = to.min(toks.len());
+    for i in from..to {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || is_keyword(&t.text)
+            || is_primitive(&t.text)
+            || t.text
+                .chars()
+                .next()
+                .map(|c| c.is_uppercase() || c == '_')
+                .unwrap_or(true)
+        {
+            continue;
+        }
+        if i > from && toks[i - 1].is_punct('.') {
+            continue;
+        }
+        if let Some(n) = toks.get(i + 1) {
+            if n.is_punct('(') || n.is_punct('!') {
+                continue;
+            }
+            if n.is_punct(':') && toks.get(i + 2).map(|m| m.is_punct(':')).unwrap_or(false) {
+                continue;
+            }
+        }
+        out.insert(t.text.clone());
+    }
+    out
+}
+
+impl<'a> Analysis for Liveness<'a> {
+    type Fact = BTreeSet<String>;
+
+    fn dir(&self) -> Dir {
+        Dir::Backward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn bottom(&self) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn transfer(&self, block: usize, fact: &Self::Fact) -> Self::Fact {
+        // Backward: walk the block's statements in reverse from its exit
+        // fact to produce the fact at its entry.
+        let mut live = fact.clone();
+        for &(s, e) in self.cfg.blocks[block].stmts.iter().rev() {
+            match stmt_shape(self.toks, s, e) {
+                StmtShape::Let { binds, rhs } => {
+                    for (name, _) in &binds {
+                        live.remove(name);
+                    }
+                    if let Some((rs, re)) = rhs {
+                        live.extend(ident_uses(self.toks, rs, re));
+                    }
+                }
+                StmtShape::For { binds, rhs } => {
+                    for (name, _) in &binds {
+                        live.remove(name);
+                    }
+                    live.extend(ident_uses(self.toks, rhs.0, rhs.1));
+                }
+                StmtShape::Assign {
+                    root: (name, _),
+                    rhs,
+                    compound,
+                } => {
+                    if !compound {
+                        live.remove(&name);
+                    }
+                    live.extend(ident_uses(self.toks, rhs.0, rhs.1));
+                }
+                StmtShape::Other => {
+                    live.extend(ident_uses(self.toks, s, e));
+                }
+            }
+        }
+        live
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let before = into.len();
+        into.extend(from.iter().cloned());
+        into.len() != before
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Taint.
+// ---------------------------------------------------------------------------
+
+/// A taint mark: where the value originated and the def-use chain it
+/// traveled (token indexes of the bindings, in order). `Ord` makes the
+/// join deterministic: the lexicographically smallest witness wins.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Taint {
+    /// Token index of the originating source (or carrier) call.
+    pub src: usize,
+    /// Binding-site token indexes the value flowed through, oldest first.
+    pub steps: Vec<usize>,
+}
+
+/// Witness chains longer than this stop growing (the finding still fires;
+/// only the related-locations list is truncated).
+const MAX_STEPS: usize = 8;
+
+/// Does `name` match the config pattern `pat` (`encode*` prefix, `*_raw`
+/// suffix, or exact)?
+pub fn name_matches(pat: &str, name: &str) -> bool {
+    if let Some(prefix) = pat.strip_suffix('*') {
+        name.starts_with(prefix)
+    } else if let Some(suffix) = pat.strip_prefix('*') {
+        name.ends_with(suffix)
+    } else {
+        pat == name
+    }
+}
+
+/// Reconstruct the [`Call`] at the name token `i` (which must be followed
+/// by `(`), mirroring what [`crate::graph`]'s body scan records.
+pub fn call_at(toks: &[Tok], i: usize) -> Call {
+    let method = i > 0 && toks[i - 1].is_punct('.');
+    let recv_self = method
+        && receiver_chain(toks, i - 1)
+            .first()
+            .map(|s| s == "self")
+            .unwrap_or(false);
+    let qualifier = if !method
+        && i >= 3
+        && toks[i - 1].is_punct(':')
+        && toks[i - 2].is_punct(':')
+        && toks[i - 3].kind == TokKind::Ident
+    {
+        Some(toks[i - 3].text.clone())
+    } else {
+        None
+    };
+    Call {
+        name: toks[i].text.clone(),
+        tok: i,
+        method,
+        recv_self,
+        qualifier,
+    }
+}
+
+/// The taint problem for one function body.
+pub struct TaintAnalysis<'a> {
+    /// The function's CFG.
+    pub cfg: &'a Cfg,
+    /// The file's tokens.
+    pub toks: &'a [Tok],
+    /// The whole-workspace item graph (for carrier resolution).
+    pub graph: &'a ItemGraph,
+    /// The function being analysed.
+    pub caller: &'a FnNode,
+    /// Source-call name patterns (`encode*`).
+    pub sources: &'a [String],
+    /// Sanitizer-call name patterns (`decode`, `map_values`).
+    pub sanitizers: &'a [String],
+    /// Fn indexes whose return value is tainted.
+    pub carriers: &'a BTreeSet<usize>,
+}
+
+/// The environment: variable → smallest taint witness.
+pub type TaintFact = BTreeMap<String, Taint>;
+
+impl<'a> TaintAnalysis<'a> {
+    /// Taint of the expression `[from, to)` under `env`: `None` when a
+    /// sanitizer call appears (the decode boundary cleanses the whole
+    /// expression — conservative in the *clean* direction, which is what
+    /// keeps the real decode-then-wrap pattern quiet), otherwise the
+    /// smallest witness among source calls, carrier calls and tainted
+    /// variable uses.
+    pub fn expr_taint(&self, from: usize, to: usize, env: &TaintFact) -> Option<Taint> {
+        let to = to.min(self.toks.len());
+        let mut best: Option<Taint> = None;
+        for i in from..to {
+            let t = &self.toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let callish = self
+                .toks
+                .get(i + 1)
+                .map(|n| n.is_punct('('))
+                .unwrap_or(false);
+            if callish {
+                if self.sanitizers.iter().any(|p| name_matches(p, &t.text)) {
+                    return None;
+                }
+                if self.sources.iter().any(|p| name_matches(p, &t.text)) {
+                    consider(
+                        &mut best,
+                        Taint {
+                            src: i,
+                            steps: Vec::new(),
+                        },
+                    );
+                    continue;
+                }
+                if !self.carriers.is_empty() {
+                    let call = call_at(self.toks, i);
+                    if let Some(target) = self.graph.resolve_call(self.caller, &call) {
+                        if self.carriers.contains(&target) {
+                            consider(
+                                &mut best,
+                                Taint {
+                                    src: i,
+                                    steps: Vec::new(),
+                                },
+                            );
+                        }
+                    }
+                }
+                continue;
+            }
+            // Variable use: field/method names and path segments excluded.
+            if i > from && self.toks[i - 1].is_punct('.') {
+                continue;
+            }
+            if let Some(taint) = env.get(&t.text) {
+                consider(&mut best, taint.clone());
+            }
+        }
+        best
+    }
+
+    /// Apply one statement to the environment.
+    pub fn stmt_transfer(&self, s: usize, e: usize, env: &mut TaintFact) {
+        match stmt_shape(self.toks, s, e) {
+            StmtShape::Let { binds, rhs } => {
+                let taint = rhs.and_then(|(rs, re)| self.expr_taint(rs, re, env));
+                self.bind(binds, taint, env);
+            }
+            StmtShape::For { binds, rhs } => {
+                let taint = self.expr_taint(rhs.0, rhs.1, env);
+                self.bind(binds, taint, env);
+            }
+            StmtShape::Assign {
+                root: (name, site),
+                rhs,
+                compound,
+            } => match self.expr_taint(rhs.0, rhs.1, env) {
+                Some(mut t) => {
+                    if t.steps.len() < MAX_STEPS {
+                        t.steps.push(site);
+                    }
+                    match env.get(&name) {
+                        Some(old) if compound && *old <= t => {}
+                        _ => {
+                            env.insert(name, t);
+                        }
+                    }
+                }
+                None => {
+                    if !compound {
+                        env.remove(&name);
+                    }
+                }
+            },
+            StmtShape::Other => {}
+        }
+    }
+
+    fn bind(&self, binds: Vec<(String, usize)>, taint: Option<Taint>, env: &mut TaintFact) {
+        for (name, site) in binds {
+            match &taint {
+                Some(t) => {
+                    let mut t = t.clone();
+                    if t.steps.len() < MAX_STEPS {
+                        t.steps.push(site);
+                    }
+                    env.insert(name, t);
+                }
+                None => {
+                    env.remove(&name);
+                }
+            }
+        }
+    }
+}
+
+fn consider(best: &mut Option<Taint>, cand: Taint) {
+    match best {
+        Some(b) if *b <= cand => {}
+        _ => *best = Some(cand),
+    }
+}
+
+impl<'a> Analysis for TaintAnalysis<'a> {
+    type Fact = TaintFact;
+
+    fn dir(&self) -> Dir {
+        Dir::Forward
+    }
+
+    fn boundary(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn bottom(&self) -> Self::Fact {
+        BTreeMap::new()
+    }
+
+    fn transfer(&self, block: usize, fact: &Self::Fact) -> Self::Fact {
+        let mut env = fact.clone();
+        for &(s, e) in &self.cfg.blocks[block].stmts {
+            self.stmt_transfer(s, e, &mut env);
+        }
+        env
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let mut changed = false;
+        for (k, t) in from {
+            match into.get(k) {
+                Some(old) if old <= t => {}
+                _ => {
+                    into.insert(k.clone(), t.clone());
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-graph plumbing: CFG cache and carrier fixpoint.
+// ---------------------------------------------------------------------------
+
+/// Build the CFG of every function body in the graph (`None` for bodyless
+/// trait declarations). Index-aligned with [`ItemGraph::fns`].
+pub fn build_cfgs(graph: &ItemGraph) -> Vec<Option<Cfg>> {
+    graph
+        .fns
+        .iter()
+        .map(|f| {
+            f.sig
+                .body
+                .map(|(open, close)| build_cfg(&graph.files[f.file].toks, open, close))
+        })
+        .collect()
+}
+
+/// Does the function's return path carry taint under `env`s computed from
+/// `sources`/`sanitizers`/`carriers`? Checks `return EXPR;` statements and
+/// the tail expression of blocks that fall through to exit.
+fn returns_taint(ta: &TaintAnalysis<'_>, facts: &[TaintFact]) -> bool {
+    let cfg = ta.cfg;
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut env = facts[b].clone();
+        let falls_to_exit = block.succs.contains(&cfg.exit);
+        let n = block.stmts.len();
+        for (k, &(s, e)) in block.stmts.iter().enumerate() {
+            if ta.toks[s].is_ident("return") {
+                if ta.expr_taint(s + 1, e, &env).is_some() {
+                    return true;
+                }
+            } else if falls_to_exit && k + 1 == n {
+                // Candidate tail expression: skip statement forms that
+                // cannot be the fn's value.
+                let head = &ta.toks[s].text;
+                let is_stmt_form =
+                    ta.toks[s].kind == TokKind::Ident && STMT_KEYWORDS.contains(&head.as_str());
+                if !is_stmt_form
+                    && !matches!(stmt_shape(ta.toks, s, e), StmtShape::Assign { .. })
+                    && ta.expr_taint(s, e, &env).is_some()
+                {
+                    return true;
+                }
+            }
+            ta.stmt_transfer(s, e, &mut env);
+        }
+    }
+    false
+}
+
+/// Fixpoint over the item graph: the set of functions whose return value
+/// is tainted (directly by a source call, or transitively by calling
+/// another carrier). Test-only fns are skipped.
+pub fn compute_carriers(
+    graph: &ItemGraph,
+    cfgs: &[Option<Cfg>],
+    sources: &[String],
+    sanitizers: &[String],
+) -> BTreeSet<usize> {
+    let mut carriers: BTreeSet<usize> = BTreeSet::new();
+    // Each round can only add carriers; the chain length is bounded by
+    // the call-graph depth, and a small cap keeps pathological inputs
+    // cheap (missing a >6-deep carrier chain is a conservative miss).
+    for _ in 0..6 {
+        let mut grew = false;
+        for (idx, f) in graph.fns.iter().enumerate() {
+            if f.cfg_test || carriers.contains(&idx) {
+                continue;
+            }
+            let Some(cfg) = cfgs[idx].as_ref() else {
+                continue;
+            };
+            let ta = TaintAnalysis {
+                cfg,
+                toks: &graph.files[f.file].toks,
+                graph,
+                caller: f,
+                sources,
+                sanitizers,
+                carriers: &carriers,
+            };
+            let facts = solve(cfg, &ta);
+            if returns_taint(&ta, &facts) {
+                carriers.insert(idx);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    carriers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::graph::ParsedFile;
+    use crate::lints::FileContext;
+
+    fn graph_of(src: &str) -> ItemGraph {
+        let ctx = FileContext {
+            path: "crates/core/src/x.rs".into(),
+            crate_name: "core".into(),
+        };
+        ItemGraph::build(vec![ParsedFile::parse(ctx, src)], &Config::default())
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Taint environment at the end of fn `name`'s fall-through path.
+    fn exit_env(graph: &ItemGraph, name: &str, sources: &[&str], sans: &[&str]) -> TaintFact {
+        let idx = graph.fns.iter().position(|f| f.name == name).unwrap();
+        let f = &graph.fns[idx];
+        let cfgs = build_cfgs(graph);
+        let cfg = cfgs[idx].as_ref().unwrap();
+        let sources = strings(sources);
+        let sans = strings(sans);
+        let carriers = BTreeSet::new();
+        let ta = TaintAnalysis {
+            cfg,
+            toks: &graph.files[f.file].toks,
+            graph,
+            caller: f,
+            sources: &sources,
+            sanitizers: &sans,
+            carriers: &carriers,
+        };
+        let facts = solve(cfg, &ta);
+        // Fold every block that reaches exit through its transfer.
+        let mut out = TaintFact::new();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if block.succs.contains(&cfg.exit) {
+                let env = ta.transfer(b, &facts[b]);
+                for (k, t) in env {
+                    out.entry(k).or_insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reaching_defs_kill_and_branch_union() {
+        let src = "fn f(c: bool) { let x = 1; if c { x = 2; } use_it(x); }";
+        let g = graph_of(src);
+        let f = &g.fns[0];
+        let toks = &g.files[f.file].toks;
+        let (open, close) = f.sig.body.unwrap();
+        let cfg = build_cfg(toks, open, close);
+        let rd = ReachingDefs { cfg: &cfg, toks };
+        let facts = solve(&cfg, &rd);
+        // At the join before use_it(x), both definitions of x reach.
+        let join = cfg
+            .blocks
+            .iter()
+            .position(|b| b.stmts.iter().any(|&(s, _)| toks[s].is_ident("use_it")))
+            .unwrap();
+        assert_eq!(facts[join].get("x").map(|s| s.len()), Some(2), "{facts:?}");
+    }
+
+    #[test]
+    fn liveness_sees_use_across_branch() {
+        let src = "fn f(c: bool) { let x = 1; if c { touch(); } use_it(x); }";
+        let g = graph_of(src);
+        let f = &g.fns[0];
+        let toks = &g.files[f.file].toks;
+        let (open, close) = f.sig.body.unwrap();
+        let cfg = build_cfg(toks, open, close);
+        let lv = Liveness { cfg: &cfg, toks };
+        let facts = solve(&cfg, &lv);
+        // x is live at the exit of the then-branch block.
+        let then = cfg.blocks[cfg.entry].succs[0];
+        assert!(facts[then].contains("x"), "{facts:?}");
+        // …but dead at the function exit.
+        assert!(facts[cfg.exit].is_empty());
+    }
+
+    #[test]
+    fn taint_flows_through_let_chain() {
+        let src = "fn f(e: E) { let a = e.encode(7); let b = a; sink(b); }";
+        let g = graph_of(src);
+        let env = exit_env(&g, "f", &["encode*"], &["decode"]);
+        let b = env.get("b").expect("b tainted");
+        assert_eq!(b.steps.len(), 2, "{b:?}"); // a's site, then b's site
+        assert!(env.contains_key("a"));
+    }
+
+    #[test]
+    fn sanitizer_cleanses_rebinding() {
+        let src = "fn f(e: E) { let a = e.encode(7); let b = e.decode(a); sink(b); }";
+        let g = graph_of(src);
+        let env = exit_env(&g, "f", &["encode*"], &["decode"]);
+        assert!(env.contains_key("a"));
+        assert!(!env.contains_key("b"), "{env:?}");
+    }
+
+    #[test]
+    fn branch_join_keeps_taint_from_either_arm() {
+        let src = "fn f(e: E, c: bool) { let mut a = clean(); if c { a = e.encode(1); } sink(a); }";
+        let g = graph_of(src);
+        let env = exit_env(&g, "f", &["encode*"], &["decode"]);
+        assert!(env.contains_key("a"), "{env:?}");
+    }
+
+    #[test]
+    fn assignment_overwrite_kills_taint() {
+        let src = "fn f(e: E) { let mut a = e.encode(1); a = clean(); sink(a); }";
+        let g = graph_of(src);
+        let env = exit_env(&g, "f", &["encode*"], &["decode"]);
+        assert!(!env.contains_key("a"), "{env:?}");
+    }
+
+    #[test]
+    fn taint_survives_loop_back_edge() {
+        let src = "fn f(e: E) { let mut a = clean(); loop { if done() { break; } a = e.encode(1); } sink(a); }";
+        let g = graph_of(src);
+        let env = exit_env(&g, "f", &["encode*"], &["decode"]);
+        assert!(env.contains_key("a"), "{env:?}");
+    }
+
+    #[test]
+    fn carrier_fixpoint_marks_wrapping_fns() {
+        let src = "
+            impl E { fn encode(&self, x: u32) -> u32 { x } }
+            fn direct(e: &E) -> u32 { e.encode(3) }
+            fn wrapped(e: &E) -> u32 { let v = direct(e); v }
+            fn cleansed(e: &E) -> u32 { let v = direct(e); decode(v) }
+            fn decode(v: u32) -> u32 { v }
+        ";
+        let g = graph_of(src);
+        let cfgs = build_cfgs(&g);
+        let carriers = compute_carriers(&g, &cfgs, &strings(&["encode*"]), &strings(&["decode"]));
+        let by_name = |n: &str| g.fns.iter().position(|f| f.name == n).unwrap();
+        assert!(carriers.contains(&by_name("direct")));
+        assert!(carriers.contains(&by_name("wrapped")), "{carriers:?}");
+        assert!(!carriers.contains(&by_name("cleansed")), "{carriers:?}");
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        assert!(name_matches("encode*", "encode_cq"));
+        assert!(name_matches("encode*", "encode"));
+        assert!(!name_matches("encode*", "decode"));
+        assert!(name_matches("*_raw", "scan_raw"));
+        assert!(name_matches("decode", "decode"));
+        assert!(!name_matches("decode", "decode_triple"));
+    }
+}

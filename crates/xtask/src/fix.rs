@@ -105,6 +105,7 @@ mod tests {
 
     fn v(lint: &'static str, line: u32, col: u32, message: &str) -> Violation {
         Violation {
+            related: Vec::new(),
             lint,
             file: "f.rs".to_string(),
             line,

@@ -1,0 +1,523 @@
+//! The dataflow lint catalog (L012–L014) over per-function CFGs.
+//!
+//! | lint | rule |
+//! |------|------|
+//! | L012 | encoded-id values (from `taint_sources` calls) must pass a `taint_sanitizers` decode boundary before reaching base-space sinks (`taint_sinks` calls, `taint_sink_types` struct literals) |
+//! | L013 | publication atomics (`publication_atomics` fields) pair Release stores with Acquire loads; no Relaxed on the publication path; the Release store is the last write (no `publication_slots` write after it) |
+//! | L014 | unpinned cache calls (`unpinned_cache_calls` on `cache_receivers`) are banned in functions reachable from `serving_types` methods — use the `_at` epoch-pinned variants |
+//!
+//! Findings carry their **witness** as related locations: L012 attaches
+//! the def-use chain from the source call through every binding to the
+//! sink, L013 the paired store site, L014 the call chain from the serving
+//! root. `#[cfg(test)]` functions are exempt, matching the other lints.
+
+use crate::cfg::Cfg;
+use crate::config::Config;
+use crate::dataflow::{build_cfgs, compute_carriers, name_matches, solve, Taint, TaintAnalysis};
+use crate::graph::{FnNode, ItemGraph};
+use crate::items::{matching, receiver_chain};
+use crate::lexer::{Tok, TokKind};
+use crate::lints::{Related, Violation};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Run L012–L014 over the whole graph.
+pub fn flow_lints(graph: &ItemGraph, cfg: &Config) -> Vec<Violation> {
+    let cfgs = build_cfgs(graph);
+    let carriers = compute_carriers(graph, &cfgs, &cfg.taint_sources, &cfg.taint_sanitizers);
+    let mut out = Vec::new();
+    lint_l012(graph, &cfgs, &carriers, cfg, &mut out);
+    lint_l013(graph, &cfgs, cfg, &mut out);
+    lint_l014(graph, cfg, &mut out);
+    out
+}
+
+fn loc(toks: &[Tok], i: usize) -> (u32, u32) {
+    toks.get(i).map(|t| (t.line, t.col)).unwrap_or((0, 0))
+}
+
+fn related(toks: &[Tok], file: &str, i: usize, msg: impl Into<String>) -> Related {
+    let (line, col) = loc(toks, i);
+    Related {
+        file: file.to_string(),
+        line,
+        col,
+        message: msg.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L012 — id-space taint.
+// ---------------------------------------------------------------------------
+
+/// The witness chain for a taint reaching a sink: source, each binding
+/// step, then the sink itself.
+fn taint_witness(toks: &[Tok], file: &str, taint: &Taint, sink: usize) -> Vec<Related> {
+    let mut out = Vec::new();
+    out.push(related(
+        toks,
+        file,
+        taint.src,
+        format!(
+            "encoded-space value originates here (`{}`)",
+            toks[taint.src].text
+        ),
+    ));
+    for &step in &taint.steps {
+        out.push(related(
+            toks,
+            file,
+            step,
+            format!("flows through binding `{}`", toks[step].text),
+        ));
+    }
+    out.push(related(toks, file, sink, "reaches base-space sink here"));
+    out
+}
+
+fn lint_l012(
+    graph: &ItemGraph,
+    cfgs: &[Option<Cfg>],
+    carriers: &BTreeSet<usize>,
+    cfg: &Config,
+    out: &mut Vec<Violation>,
+) {
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.cfg_test {
+            continue;
+        }
+        let Some(fcfg) = cfgs[idx].as_ref() else {
+            continue;
+        };
+        let file = &graph.files[f.file];
+        let toks = &file.toks;
+        let ta = TaintAnalysis {
+            cfg: fcfg,
+            toks,
+            graph,
+            caller: f,
+            sources: &cfg.taint_sources,
+            sanitizers: &cfg.taint_sanitizers,
+            carriers,
+        };
+        let facts = solve(fcfg, &ta);
+        for (b, block) in fcfg.blocks.iter().enumerate() {
+            let mut env = facts[b].clone();
+            for &(s, e) in &block.stmts {
+                check_sinks_in_stmt(&ta, s, e, &env, cfg, &file.ctx.path, &mut seen, out);
+                ta.stmt_transfer(s, e, &mut env);
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.file.clone(), v.line, v.col));
+}
+
+/// Scan the statement `[s, e)` for sink calls and sink struct literals fed
+/// by tainted values, under environment `env`.
+#[allow(clippy::too_many_arguments)]
+fn check_sinks_in_stmt(
+    ta: &TaintAnalysis<'_>,
+    s: usize,
+    e: usize,
+    env: &BTreeMap<String, Taint>,
+    cfg: &Config,
+    file: &str,
+    seen: &mut BTreeSet<(String, usize)>,
+    out: &mut Vec<Violation>,
+) {
+    let toks = ta.toks;
+    let e = e.min(toks.len());
+    for i in s..e {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Sink call: `from_parts(args…)`.
+        let is_call = toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
+        if is_call && cfg.taint_sinks.iter().any(|p| name_matches(p, &t.text)) {
+            let close = matching(toks, i + 1, '(', ')').unwrap_or(e).min(e);
+            if let Some(taint) = ta.expr_taint(i + 2, close, env) {
+                if seen.insert((file.to_string(), i)) {
+                    let (line, col) = loc(toks, i);
+                    out.push(Violation {
+                        lint: "L012",
+                        file: file.to_string(),
+                        line,
+                        col,
+                        message: format!(
+                            "encoded-space value reaches base-space sink `{}` without a decode boundary",
+                            t.text
+                        ),
+                        related: taint_witness(toks, file, &taint, i),
+                    });
+                }
+            }
+            continue;
+        }
+        // Sink struct literal: `QueryAnswer { field: value, … }`.
+        let is_lit = toks.get(i + 1).map(|n| n.is_punct('{')).unwrap_or(false);
+        if is_lit && cfg.taint_sink_types.iter().any(|ty| ty == &t.text) {
+            let close = matching(toks, i + 1, '{', '}').unwrap_or(e).min(e);
+            if let Some(taint) = ta.expr_taint(i + 2, close, env) {
+                if seen.insert((file.to_string(), i)) {
+                    let (line, col) = loc(toks, i);
+                    out.push(Violation {
+                        lint: "L012",
+                        file: file.to_string(),
+                        line,
+                        col,
+                        message: format!(
+                            "encoded-space value stored into base-space `{}` without a decode boundary",
+                            t.text
+                        ),
+                        related: taint_witness(toks, file, &taint, i),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L013 — atomics-ordering protocol.
+// ---------------------------------------------------------------------------
+
+const ATOMIC_RMW: &[&str] = &[
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// The `Ordering::X` arguments inside a call's parens, in order.
+fn orderings_in(toks: &[Tok], open: usize, close: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, t) in toks
+        .iter()
+        .enumerate()
+        .take(close.min(toks.len()))
+        .skip(open + 1)
+    {
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst"
+            )
+        {
+            out.push((t.text.clone(), i));
+        }
+    }
+    out
+}
+
+/// Is this `.method(` call's receiver one of the configured publication
+/// atomics (`self.version.store(…)`, `published_seq.load(…)`)?
+fn publication_receiver(toks: &[Tok], name_tok: usize, cfg: &Config) -> bool {
+    if name_tok == 0 || !toks[name_tok - 1].is_punct('.') {
+        return false;
+    }
+    let chain = receiver_chain(toks, name_tok - 1);
+    chain
+        .last()
+        .map(|seg| cfg.publication_atomics.iter().any(|a| a == seg))
+        .unwrap_or(false)
+}
+
+fn lint_l013(graph: &ItemGraph, cfgs: &[Option<Cfg>], cfg: &Config, out: &mut Vec<Violation>) {
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.cfg_test {
+            continue;
+        }
+        let Some((open, close)) = f.sig.body else {
+            continue;
+        };
+        let file = &graph.files[f.file];
+        let toks = &file.toks;
+        let path = &file.ctx.path;
+        let mut release_stores: Vec<usize> = Vec::new();
+        for i in open + 1..close {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+                || !publication_receiver(toks, i, cfg)
+            {
+                continue;
+            }
+            let call_close = matching(toks, i + 1, '(', ')').unwrap_or(close).min(close);
+            let ords = orderings_in(toks, i + 1, call_close);
+            let (line, col) = loc(toks, i);
+            match t.text.as_str() {
+                "store" => match ords.first().map(|(o, _)| o.as_str()) {
+                    Some("Release") | Some("SeqCst") => release_stores.push(i),
+                    Some(other) => out.push(Violation {
+                        lint: "L013",
+                        file: path.clone(),
+                        line,
+                        col,
+                        message: format!(
+                            "publication store must use Ordering::Release (or SeqCst), got {other}"
+                        ),
+                        related: Vec::new(),
+                    }),
+                    None => {}
+                },
+                "load" => {
+                    if let Some((o, _)) = ords.first() {
+                        if o != "Acquire" && o != "SeqCst" {
+                            out.push(Violation {
+                                lint: "L013",
+                                file: path.clone(),
+                                line,
+                                col,
+                                message: format!(
+                                    "publication load must use Ordering::Acquire (or SeqCst), got {o}"
+                                ),
+                                related: Vec::new(),
+                            });
+                        }
+                    }
+                }
+                m if ATOMIC_RMW.contains(&m) => {
+                    if let Some((o, oi)) = ords.iter().find(|(o, _)| o == "Relaxed") {
+                        let _ = oi;
+                        out.push(Violation {
+                            lint: "L013",
+                            file: path.clone(),
+                            line,
+                            col,
+                            message: format!(
+                                "read-modify-write on a publication atomic must not use Ordering::{o}"
+                            ),
+                            related: Vec::new(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        // CFG check: the Release store must be the last write — flag any
+        // write to a configured publication slot that can execute after
+        // it. Only forward edges are followed: a loop's next iteration
+        // legitimately re-fills the slot before its *own* store.
+        if release_stores.is_empty() {
+            continue;
+        }
+        let Some(fcfg) = cfgs[idx].as_ref() else {
+            continue;
+        };
+        for &store_tok in &release_stores {
+            let Some((sb, si)) = find_stmt(fcfg, store_tok) else {
+                continue;
+            };
+            let mut flagged: Vec<usize> = Vec::new();
+            // Rest of the store's own block.
+            for &(s, e) in fcfg.blocks[sb].stmts.iter().skip(si + 1) {
+                if let Some(w) = slot_write(toks, s, e, cfg) {
+                    flagged.push(w);
+                }
+            }
+            // Forward-reachable blocks.
+            let mut queue: VecDeque<usize> = fcfg.blocks[sb]
+                .succs
+                .iter()
+                .copied()
+                .filter(|&s| s > sb && s != fcfg.exit)
+                .collect();
+            let mut seen: BTreeSet<usize> = queue.iter().copied().collect();
+            while let Some(b) = queue.pop_front() {
+                for &(s, e) in &fcfg.blocks[b].stmts {
+                    if let Some(w) = slot_write(toks, s, e, cfg) {
+                        flagged.push(w);
+                    }
+                }
+                for &s in &fcfg.blocks[b].succs {
+                    if s > b && s != fcfg.exit && seen.insert(s) {
+                        queue.push_back(s);
+                    }
+                }
+            }
+            flagged.sort_unstable();
+            flagged.dedup();
+            for w in flagged {
+                let (line, col) = loc(toks, w);
+                out.push(Violation {
+                    lint: "L013",
+                    file: path.clone(),
+                    line,
+                    col,
+                    message: "publication slot written after the Release store — the store must be the last write of the publish path".to_string(),
+                    related: vec![related(
+                        toks,
+                        path,
+                        store_tok,
+                        "Release store published here",
+                    )],
+                });
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.file.clone(), v.line, v.col));
+}
+
+/// The (block, stmt-index) containing token `tok`.
+fn find_stmt(cfg: &Cfg, tok: usize) -> Option<(usize, usize)> {
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for (i, &(s, e)) in block.stmts.iter().enumerate() {
+            if s <= tok && tok < e {
+                return Some((b, i));
+            }
+        }
+    }
+    None
+}
+
+/// If the statement `[s, e)` writes a configured publication slot
+/// (`*slot = …`, `self.slot = …`), the token index of the slot ident.
+fn slot_write(toks: &[Tok], s: usize, e: usize, cfg: &Config) -> Option<usize> {
+    let e = e.min(toks.len());
+    if s >= e || toks[s].is_ident("let") {
+        return None;
+    }
+    let eq = crate::dataflow::plain_eq(toks, s, e)?;
+    (s..eq).find(|&i| {
+        toks[i].kind == TokKind::Ident && cfg.publication_slots.iter().any(|p| p == &toks[i].text)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// L014 — epoch discipline.
+// ---------------------------------------------------------------------------
+
+/// Call targets for the L014 reachability BFS. Reachability is a
+/// may-analysis, so unlike [`ItemGraph::resolve_call`] (which drops
+/// ambiguous calls), method calls fan out to **every** same-name
+/// candidate: `self.db.run_query(…)` from `Snapshot` must reach
+/// `Database::run_query` even though four types define the name.
+fn reach_targets(graph: &ItemGraph, f: &FnNode, call: &crate::graph::Call) -> Vec<usize> {
+    if call.method {
+        if crate::graph::untracked_method(&call.name) {
+            return Vec::new();
+        }
+        return graph
+            .methods_by_name
+            .get(&call.name)
+            .cloned()
+            .unwrap_or_default();
+    }
+    graph.resolve_call(f, call).into_iter().collect()
+}
+
+fn lint_l014(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
+    // BFS from serving roots over resolved calls, with parent pointers for
+    // the witness chain.
+    let mut parent: BTreeMap<usize, (usize, usize)> = BTreeMap::new(); // fn → (caller fn, call tok)
+    let mut reachable: BTreeSet<usize> = BTreeSet::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.cfg_test {
+            continue;
+        }
+        let is_root = f
+            .self_ty
+            .as_deref()
+            .map(|ty| cfg.serving_types.iter().any(|s| s == ty))
+            .unwrap_or(false);
+        if is_root && reachable.insert(idx) {
+            queue.push_back(idx);
+        }
+    }
+    while let Some(idx) = queue.pop_front() {
+        let f = &graph.fns[idx];
+        for call in &f.calls {
+            for target in reach_targets(graph, f, call) {
+                if !graph.fns[target].cfg_test && reachable.insert(target) {
+                    parent.insert(target, (idx, call.tok));
+                    queue.push_back(target);
+                }
+            }
+        }
+    }
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for &idx in &reachable {
+        let f = &graph.fns[idx];
+        let Some((open, close)) = f.sig.body else {
+            continue;
+        };
+        let file = &graph.files[f.file];
+        let toks = &file.toks;
+        for i in open + 1..close {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident
+                || !cfg.unpinned_cache_calls.iter().any(|c| c == &t.text)
+                || !toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+                || i == 0
+                || !toks[i - 1].is_punct('.')
+            {
+                continue;
+            }
+            let chain = receiver_chain(toks, i - 1);
+            let on_cache = chain
+                .last()
+                .map(|seg| cfg.cache_receivers.iter().any(|c| c == seg))
+                .unwrap_or(false);
+            if !on_cache {
+                continue;
+            }
+            if !seen.insert((file.ctx.path.clone(), i)) {
+                continue;
+            }
+            // Witness: walk parent pointers back to the serving root.
+            let mut chain_rel = Vec::new();
+            let mut cur = idx;
+            while let Some(&(p, call_tok)) = parent.get(&cur) {
+                let pf = &graph.fns[p];
+                let ptoks = &graph.files[pf.file].toks;
+                chain_rel.push(related(
+                    ptoks,
+                    &graph.files[pf.file].ctx.path,
+                    call_tok,
+                    format!("reached via call in `{}`", fn_label(pf)),
+                ));
+                cur = p;
+            }
+            chain_rel.reverse(); // root-first
+            let (line, col) = loc(toks, i);
+            let root = graph.fns[cur_root(&parent, idx)].self_ty.clone();
+            out.push(Violation {
+                lint: "L014",
+                file: file.ctx.path.clone(),
+                line,
+                col,
+                message: format!(
+                    "unpinned cache `{}` on a serving path ({}::*) — use `{}_at` with the snapshot's pinned epochs",
+                    t.text,
+                    root.unwrap_or_else(|| "serving".into()),
+                    t.text
+                ),
+                related: chain_rel,
+            });
+        }
+    }
+    out.sort_by_key(|v| (v.file.clone(), v.line, v.col));
+}
+
+fn fn_label(f: &FnNode) -> String {
+    match &f.self_ty {
+        Some(ty) => format!("{}::{}", ty, f.name),
+        None => f.name.clone(),
+    }
+}
+
+/// Walk parent pointers to the BFS root of `idx`.
+fn cur_root(parent: &BTreeMap<usize, (usize, usize)>, idx: usize) -> usize {
+    let mut cur = idx;
+    while let Some(&(p, _)) = parent.get(&cur) {
+        cur = p;
+    }
+    cur
+}

@@ -431,6 +431,13 @@ fn unique(v: &[usize]) -> Option<usize> {
     }
 }
 
+/// Is `name` on the untracked-method list (never a call-graph edge)?
+/// Exposed for the flow lints, whose reachability BFS uses the same
+/// filter but fans ambiguous calls out instead of dropping them.
+pub(crate) fn untracked_method(name: &str) -> bool {
+    UNTRACKED_METHODS.contains(&name)
+}
+
 /// Workspace crate directory for a path ident (`rdfref_storage` →
 /// `storage`, `rdfref_model` → `rdf`).
 pub(crate) fn crate_of_path_ident(ident: &str) -> Option<String> {

@@ -16,6 +16,21 @@ use crate::config::Config;
 use crate::items::{attr_is_test, item_end, matching};
 use crate::lexer::{lex, Tok, TokKind};
 
+/// A secondary location attached to a finding — the dataflow lints
+/// (L012–L014) emit the def-use witness chain this way, and the SARIF
+/// exporter renders it as `relatedLocations`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Related {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Role of this location in the witness (`"encoded here"`, …).
+    pub message: String,
+}
+
 /// A single finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -29,6 +44,8 @@ pub struct Violation {
     pub col: u32,
     /// Human-readable description.
     pub message: String,
+    /// Witness locations, in flow order (empty for the token lints).
+    pub related: Vec<Related>,
 }
 
 /// What the file being linted is, as far as lint scoping cares.
@@ -225,6 +242,7 @@ fn lint_l001_l002_l003(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut 
         let prev_is_dot = i > 0 && a.toks[i - 1].is_punct('.');
         if (t.text == "unwrap" || t.text == "expect") && prev_is_dot && next_is('(') {
             out.push(Violation {
+                related: Vec::new(),
                 lint: "L001",
                 file: ctx.path.clone(),
                 line: t.line,
@@ -237,6 +255,7 @@ fn lint_l001_l002_l003(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut 
         }
         if L002_MACROS.contains(&t.text.as_str()) && next_is('!') {
             out.push(Violation {
+                related: Vec::new(),
                 lint: "L002",
                 file: ctx.path.clone(),
                 line: t.line,
@@ -253,6 +272,7 @@ fn lint_l001_l002_l003(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut 
             && next_is('!')
         {
             out.push(Violation {
+                related: Vec::new(),
                 lint: "L003",
                 file: ctx.path.clone(),
                 line: t.line,
@@ -350,7 +370,7 @@ fn lint_l004(a: &Analysis, ctx: &FileContext, out: &mut Vec<Violation>) {
                 });
             if panicky.is_some() {
                 let name = &toks[name_idx];
-                out.push(Violation {
+                out.push(Violation { related: Vec::new(),
                     lint: "L004",
                     file: ctx.path.clone(),
                     line: name.line,
@@ -425,7 +445,7 @@ fn lint_l005(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut Vec<Violat
                 && k + 1 < n
                 && toks[k + 1].is_punct('(')
             {
-                out.push(Violation {
+                out.push(Violation { related: Vec::new(),
                     lint: "L005",
                     file: ctx.path.clone(),
                     line: toks[i].line,
@@ -499,6 +519,7 @@ fn lint_l006(a: &Analysis, ctx: &FileContext, cfg: &Config, out: &mut Vec<Violat
             .any(|h| recv == *h || recv.ends_with(&format!("_{h}")))
         {
             out.push(Violation {
+                related: Vec::new(),
                 lint: "L006",
                 file: ctx.path.clone(),
                 line: t.line,

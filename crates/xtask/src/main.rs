@@ -3,8 +3,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use xtask::{
-    apply_fixes, collect_files, format_report, parse_config, regenerate_allowlist, render_config,
-    run_lints, to_sarif, Config,
+    apply_fixes, changed_files, collect_files, format_report, parse_config, regenerate_allowlist,
+    render_config, run_lints_filtered, to_sarif, Config,
 };
 
 const USAGE: &str = "\
@@ -19,6 +19,10 @@ options:
   --out <file>        write the report there instead of stdout
   --fix               apply the mechanical fixes (L009 span bindings, L011
                       missing forbid attribute), then re-lint
+  --changed [ref]     report only findings in files that differ from <ref>
+                      (default: origin/main). Every file is still parsed so
+                      cross-file lints stay sound; the full sweep remains
+                      the CI default.
   --write-allowlist   rewrite lints.toml budgets from the current findings
   -h, --help          this help
 ";
@@ -45,6 +49,8 @@ fn main() -> ExitCode {
     let mut format = String::from("human");
     let mut out_path: Option<PathBuf> = None;
     let mut fix = false;
+    let mut changed: Option<String> = None;
+    let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
@@ -52,6 +58,14 @@ fn main() -> ExitCode {
             "--format" => format = args.next().unwrap_or_default(),
             "--out" => out_path = args.next().map(PathBuf::from),
             "--fix" => fix = true,
+            "--changed" => {
+                // The ref is optional: `--changed --format sarif` works.
+                let ref_arg = match args.peek() {
+                    Some(next) if !next.starts_with('-') => args.next().unwrap(),
+                    _ => String::from("origin/main"),
+                };
+                changed = Some(ref_arg);
+            }
             "--write-allowlist" => write_allowlist = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -66,6 +80,13 @@ fn main() -> ExitCode {
     }
     if format != "human" && format != "sarif" {
         eprintln!("unknown format {format:?} (expected human or sarif)\n");
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if write_allowlist && changed.is_some() {
+        // A filtered run sees only a slice of the findings; regenerating
+        // budgets from it would silently drop every other entry.
+        eprintln!("--write-allowlist needs the full sweep; drop --changed\n");
         eprint!("{USAGE}");
         return ExitCode::from(2);
     }
@@ -94,7 +115,33 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut report = match run_lints(&root, &cfg) {
+    // `--changed` narrows the report to files differing from the ref; an
+    // unresolvable ref degrades to the full sweep (with a note) so a fresh
+    // clone without `origin/main` still lints.
+    let changed_set = match &changed {
+        Some(git_ref) => match changed_files(&root, git_ref) {
+            Ok(Some(set)) => Some(set),
+            Ok(None) => {
+                eprintln!(
+                    "xtask lint: ref {git_ref:?} did not resolve; falling back to a full sweep"
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("xtask: cannot run git: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    if let (Some(git_ref), Some(set)) = (&changed, &changed_set) {
+        println!(
+            "xtask lint: --changed {git_ref}: {} changed .rs file(s) in scope",
+            set.len()
+        );
+    }
+
+    let mut report = match run_lints_filtered(&root, &cfg, changed_set.as_ref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask: {e}");
@@ -133,7 +180,7 @@ fn main() -> ExitCode {
         }
         println!("xtask lint --fix: {fixed_sites} fixes applied across {fixed_files} files");
         // Re-lint so the report (and the exit code) reflect the fixed tree.
-        report = match run_lints(&root, &cfg) {
+        report = match run_lints_filtered(&root, &cfg, changed_set.as_ref()) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("xtask: {e}");

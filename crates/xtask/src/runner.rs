@@ -7,10 +7,11 @@
 //! graph. The graph also refines L001 (domain methods named `expect`).
 
 use crate::config::{AllowEntry, Config};
+use crate::flowlints::flow_lints;
 use crate::graph::{ItemGraph, ParsedFile};
 use crate::lints::{lint_tokens, FileContext, Violation};
 use crate::semlints::{refine_l001, semantic_lints};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// Outcome of a lint run over the repository.
@@ -108,18 +109,36 @@ pub fn lint_sources(
     }
     let mut violations = refine_l001(&graph, violations);
     violations.extend(semantic_lints(&graph, cfg));
+    violations.extend(flow_lints(&graph, cfg));
     violations.sort_by_key(|v| (v.file.clone(), v.line, v.col, v.lint));
     (violations, graph)
 }
 
 /// Run every lint over the repo and reconcile with the allowlist.
 pub fn run_lints(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
+    run_lints_filtered(root, cfg, None)
+}
+
+/// Like [`run_lints`], but when `only` is given, restrict the *report* to
+/// files in that set: every file is still parsed (the semantic and flow
+/// lints need the whole item graph for call resolution and reachability),
+/// but findings outside the set are dropped and allowlist reconciliation
+/// — budget mismatches and stale-entry checks alike — only considers
+/// entries whose file is in the set. This is the `--changed` fast path.
+pub fn run_lints_filtered(
+    root: &Path,
+    cfg: &Config,
+    only: Option<&BTreeSet<String>>,
+) -> std::io::Result<LintReport> {
     let files = collect_files(root, cfg);
     let mut sources = Vec::with_capacity(files.len());
     for (path, ctx) in &files {
         sources.push((ctx.clone(), std::fs::read_to_string(path)?));
     }
-    let (violations, _graph) = lint_sources(sources, cfg);
+    let (mut violations, _graph) = lint_sources(sources, cfg);
+    if let Some(set) = only {
+        violations.retain(|v| set.contains(&v.file));
+    }
 
     // Reconcile against the allowlist: exact budgets.
     let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
@@ -131,6 +150,11 @@ pub fn run_lints(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
     let mut over_budget = Vec::new();
     let mut stale = Vec::new();
     for a in &cfg.allow {
+        if let Some(set) = only {
+            if !set.contains(&a.file) {
+                continue;
+            }
+        }
         let found = counts
             .remove(&(a.lint.clone(), a.file.clone()))
             .unwrap_or(0);
@@ -145,12 +169,57 @@ pub fn run_lints(root: &Path, cfg: &Config) -> std::io::Result<LintReport> {
         over_budget.push((lint, file, found, 0));
     }
 
+    let files_scanned = match only {
+        Some(set) => files.iter().filter(|(_, c)| set.contains(&c.path)).count(),
+        None => files.len(),
+    };
     Ok(LintReport {
         violations,
         over_budget,
         stale,
-        files_scanned: files.len(),
+        files_scanned,
     })
+}
+
+/// The `.rs` files (workspace-relative, `/`-separated) that differ from
+/// `git_ref`, plus untracked ones. Returns `Ok(None)` when the ref does
+/// not resolve — callers fall back to a full sweep with a note — and an
+/// error only when git itself cannot run.
+pub fn changed_files(root: &Path, git_ref: &str) -> std::io::Result<Option<BTreeSet<String>>> {
+    use std::process::Command;
+    let verify = Command::new("git")
+        .current_dir(root)
+        .args(["rev-parse", "--verify", "--quiet"])
+        .arg(format!("{git_ref}^{{commit}}"))
+        .output()?;
+    if !verify.status.success() {
+        return Ok(None);
+    }
+    let mut set = BTreeSet::new();
+    let diff = Command::new("git")
+        .current_dir(root)
+        .args(["diff", "--name-only", git_ref])
+        .output()?;
+    if !diff.status.success() {
+        return Ok(None);
+    }
+    for line in String::from_utf8_lossy(&diff.stdout).lines() {
+        if line.ends_with(".rs") {
+            set.insert(line.to_string());
+        }
+    }
+    let untracked = Command::new("git")
+        .current_dir(root)
+        .args(["ls-files", "--others", "--exclude-standard"])
+        .output()?;
+    if untracked.status.success() {
+        for line in String::from_utf8_lossy(&untracked.stdout).lines() {
+            if line.ends_with(".rs") {
+                set.insert(line.to_string());
+            }
+        }
+    }
+    Ok(Some(set))
 }
 
 /// Render the human-readable report. Returns the text; the caller decides

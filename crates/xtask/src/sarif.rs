@@ -68,6 +68,21 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "forbid-unsafe-code",
         "Library crates must carry #![forbid(unsafe_code)] and never bypass it",
     ),
+    (
+        "L012",
+        "id-space-taint",
+        "Encoded-space ids must pass a decode boundary before base-space sinks",
+    ),
+    (
+        "L013",
+        "atomics-publication-protocol",
+        "Publication atomics pair Release stores with Acquire loads; the store is the last write",
+    ),
+    (
+        "L014",
+        "epoch-pinned-cache",
+        "Serving paths must use epoch-pinned plan-cache lookup_at/insert_at",
+    ),
 ];
 
 /// Render the report as a SARIF 2.1.0 document.
@@ -124,6 +139,33 @@ pub fn to_sarif(report: &LintReport, cfg: &Config) -> String {
             v.line, v.col
         ));
         s.push_str("              }\n            }\n          ]");
+        if !v.related.is_empty() {
+            s.push_str(",\n          \"relatedLocations\": [\n");
+            for (ri, r) in v.related.iter().enumerate() {
+                s.push_str("            {\n");
+                s.push_str("              \"physicalLocation\": {\n");
+                s.push_str(&format!(
+                    "                \"artifactLocation\": {{\"uri\": {}, \"uriBaseId\": \"SRCROOT\"}},\n",
+                    json_str(&r.file)
+                ));
+                s.push_str(&format!(
+                    "                \"region\": {{\"startLine\": {}, \"startColumn\": {}}}\n",
+                    r.line, r.col
+                ));
+                s.push_str("              },\n");
+                s.push_str(&format!(
+                    "              \"message\": {{\"text\": {}}}\n",
+                    json_str(&r.message)
+                ));
+                s.push_str("            }");
+                s.push_str(if ri + 1 < v.related.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            s.push_str("          ]");
+        }
         if let Some(a) = allow {
             s.push_str(",\n          \"suppressions\": [\n");
             s.push_str(&format!(
@@ -177,7 +219,7 @@ mod tests {
             ids,
             [
                 "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
-                "L011"
+                "L011", "L012", "L013", "L014"
             ]
         );
     }

@@ -164,7 +164,7 @@ fn lint_l007(graph: &ItemGraph, out: &mut Vec<Violation>) {
             .map(|c| c.as_str())
             .collect::<Vec<_>>()
             .join(" → ");
-        out.push(Violation {
+        out.push(Violation { related: Vec::new(),
             lint: "L007",
             file: site.file,
             line: site.line,
@@ -249,7 +249,7 @@ fn lint_l008(graph: &ItemGraph, out: &mut Vec<Violation>) {
             let (ro, rc) = f.sig.ret;
             for range in [po..pc + 1, ro..rc] {
                 if let Some(at) = find_boxed_error(toks, range.start, range.end) {
-                    out.push(Violation {
+                    out.push(Violation { related: Vec::new(),
                         lint: "L008",
                         file: file.ctx.path.clone(),
                         line: toks[at].line,
@@ -311,7 +311,7 @@ fn lint_l008(graph: &ItemGraph, out: &mut Vec<Violation>) {
             {
                 continue;
             }
-            out.push(Violation {
+            out.push(Violation { related: Vec::new(),
                 lint: "L008",
                 file: file.ctx.path.clone(),
                 line: toks[i].line,
@@ -431,14 +431,14 @@ fn lint_l009(graph: &ItemGraph, out: &mut Vec<Violation>) {
             }
             if t.text == "span" {
                 match binding_of(toks, i) {
-                    Binding::Underscore(at) => out.push(Violation {
+                    Binding::Underscore(at) => out.push(Violation { related: Vec::new(),
                         lint: "L009",
                         file: path.clone(),
                         line: toks[at].line,
                         col: toks[at].col,
                         message: "span guard bound to `_` — it drops immediately and records a zero-length span; bind it to a named `_span` guard".to_string(),
                     }),
-                    Binding::None(at) => out.push(Violation {
+                    Binding::None(at) => out.push(Violation { related: Vec::new(),
                         lint: "L009",
                         file: path.clone(),
                         line: toks[at].line,
@@ -466,7 +466,7 @@ fn lint_l009(graph: &ItemGraph, out: &mut Vec<Violation>) {
                                     .unwrap_or(false)
                         });
                         if !read {
-                            out.push(Violation {
+                            out.push(Violation { related: Vec::new(),
                                 lint: "L009",
                                 file: path.clone(),
                                 line: t.line,
@@ -478,6 +478,7 @@ fn lint_l009(graph: &ItemGraph, out: &mut Vec<Violation>) {
                         }
                     }
                     Binding::Underscore(at) | Binding::None(at) => out.push(Violation {
+                        related: Vec::new(),
                         lint: "L009",
                         file: path.clone(),
                         line: toks[at].line,
@@ -497,6 +498,7 @@ fn lint_l009(graph: &ItemGraph, out: &mut Vec<Violation>) {
                     && toks.get(k + 2).map(|n| n.is_ident(name)).unwrap_or(false)
                 {
                     out.push(Violation {
+                        related: Vec::new(),
                         lint: "L009",
                         file: path.clone(),
                         line: toks[k].line,
@@ -674,7 +676,7 @@ fn scan_blocking(
         }
         let next_is = |c: char| toks.get(k + 1).map(|n| n.is_punct(c)).unwrap_or(false);
         if t.text == "sleep" && next_is('(') {
-            out.push(Violation {
+            out.push(Violation { related: Vec::new(),
                 lint: "L010",
                 file: path.to_string(),
                 line: t.line,
@@ -696,7 +698,7 @@ fn scan_blocking(
             || BLOCKING_TYPES.contains(&t.text.as_str())
             || ((t.text == "stdin" || t.text == "stdout" || t.text == "stderr") && next_is('('));
         if blocking_io {
-            out.push(Violation {
+            out.push(Violation { related: Vec::new(),
                 lint: "L010",
                 file: path.to_string(),
                 line: t.line,
@@ -725,7 +727,7 @@ fn lint_l011(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
             let has_forbid = has_inner_forbid_unsafe(&pf.toks);
             lib_seen.insert(krate, true);
             if !has_forbid {
-                out.push(Violation {
+                out.push(Violation { related: Vec::new(),
                     lint: "L011",
                     file: pf.ctx.path.clone(),
                     line: 1,
@@ -746,7 +748,7 @@ fn lint_l011(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
                 continue;
             }
             if t.is_ident("unsafe") {
-                out.push(Violation {
+                out.push(Violation { related: Vec::new(),
                     lint: "L011",
                     file: pf.ctx.path.clone(),
                     line: t.line,
@@ -763,6 +765,7 @@ fn lint_l011(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
                     .unwrap_or(false)
             {
                 out.push(Violation {
+                    related: Vec::new(),
                     lint: "L011",
                     file: pf.ctx.path.clone(),
                     line: t.line,

@@ -1,0 +1,39 @@
+//! Edge-case fixture: labeled loops and breaks. Lifetimes-as-labels must
+//! lex as `Lifetime` tokens, and `break 'outer value` must not be read as
+//! the start of a char literal.
+
+pub fn search(grid: &[Vec<u32>], needle: u32) -> Option<(usize, usize)> {
+    let mut hit = None;
+    'outer: for (i, row) in grid.iter().enumerate() {
+        for (j, &cell) in row.iter().enumerate() {
+            if cell == needle {
+                hit = Some((i, j));
+                break 'outer;
+            }
+            if cell > needle {
+                continue 'outer;
+            }
+        }
+    }
+    hit
+}
+
+pub fn drain(mut budget: i64) -> i64 {
+    let result = 'outer: loop {
+        let mut step = 0;
+        'inner: loop {
+            step += 1;
+            if step > 3 {
+                break 'inner;
+            }
+            budget -= step;
+            if budget < 0 {
+                break 'outer budget;
+            }
+        }
+        if budget == 0 {
+            break 'outer 0;
+        }
+    };
+    result
+}

@@ -1,0 +1,27 @@
+//! Edge-case fixture: `let … else { … }` statements. The diverging else
+//! block must not be mistaken for a new item or truncate the fn body.
+
+pub fn first_even(xs: &[u32]) -> u32 {
+    let Some(&first) = xs.iter().find(|x| *x % 2 == 0) else {
+        return 0;
+    };
+    first
+}
+
+pub fn parse_pair(s: &str) -> Option<(u32, u32)> {
+    let Some((a, b)) = s.split_once(',') else {
+        return None;
+    };
+    let Ok(a) = a.trim().parse::<u32>() else {
+        return None;
+    };
+    let Ok(b) = b.trim().parse::<u32>() else {
+        return None;
+    };
+    Some((a, b))
+}
+
+pub fn after_let_else(x: u32) -> u32 {
+    // A fn *after* the let-else ones: proves body spans stayed aligned.
+    x * 2
+}

@@ -1,0 +1,29 @@
+//! Edge-case fixture: deeply nested generics in fn signatures. The `>`
+//! tokens must not be confused with comparison operators, and `->` inside
+//! a boxed closure type must not terminate return-type scanning early.
+
+use std::collections::BTreeMap;
+
+pub struct Holder<T> {
+    inner: Vec<T>,
+}
+
+impl<T: Clone + Ord> Holder<T> {
+    pub fn group(&self, keys: BTreeMap<String, Vec<(T, u32)>>) -> Option<Vec<Vec<T>>> {
+        let _ = keys;
+        Some(vec![self.inner.clone()])
+    }
+}
+
+pub fn transform(
+    input: BTreeMap<String, Vec<Option<Box<[u8]>>>>,
+    f: Box<dyn Fn(Vec<u32>) -> Result<Vec<u32>, String>>,
+) -> Result<BTreeMap<String, u32>, String> {
+    let _ = (input, f);
+    Ok(BTreeMap::new())
+}
+
+pub fn compare(a: u32, b: u32) -> bool {
+    // Genuine comparisons next to generic-looking idents.
+    a < b && b > a
+}

@@ -1,0 +1,15 @@
+//! Edge-case fixture: raw strings whose contents would desynchronise a
+//! naive brace/quote tracker — `{`, `}`, `"`, `}`-heavy JSON, and hash
+//! fences. The item parser must still see exactly two fns with bodies.
+
+pub fn render() -> String {
+    let tpl = r#"{"key": "value", "nested": {"a": [1, 2, 3]}}"#;
+    let fence = r##"a raw string with "quotes" and a # inside"##;
+    let braces = r"unbalanced } } { in a raw string";
+    format!("{tpl}{fence}{braces}")
+}
+
+pub fn after_raw(x: u32) -> u32 {
+    // If the raw strings above leaked, this body would be mis-spanned.
+    x + 1
+}

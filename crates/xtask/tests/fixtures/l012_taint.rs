@@ -1,0 +1,46 @@
+//! L012 fixture (fires): encoded-space values reach the base-space
+//! `QueryAnswer` without a decode boundary — the exact bug of dropping
+//! the `map_values(decode)` rebind out of `run_query`.
+
+pub struct QueryAnswer {
+    rows: Vec<u64>,
+}
+
+struct Encoder;
+
+impl Encoder {
+    fn encode_cq(&self, q: u64) -> u64 {
+        q + 1
+    }
+    fn decode(&self, id: u64) -> u64 {
+        id - 1
+    }
+}
+
+struct Engine {
+    enc: Encoder,
+}
+
+fn eval(plan: u64) -> Vec<u64> {
+    vec![plan]
+}
+
+impl Engine {
+    /// Direct flow: source → let chain → sink literal, no decode.
+    fn run_query(&self, q: u64) -> QueryAnswer {
+        let plan = self.enc.encode_cq(q);
+        let relation = eval(plan);
+        QueryAnswer { rows: relation }
+    }
+
+    /// A carrier: its return path is tainted by the source call.
+    fn ref_plan(&self) -> u64 {
+        self.enc.encode_cq(1)
+    }
+
+    /// Inter-procedural flow: the carrier's return feeds the sink.
+    fn run_cached(&self) -> QueryAnswer {
+        let plan = self.ref_plan();
+        QueryAnswer { rows: eval(plan) }
+    }
+}

@@ -1,0 +1,64 @@
+//! L012 clean twin: every encoded-space value passes a decode boundary
+//! (sanitizer call) before reaching the base-space sink.
+
+pub struct QueryAnswer {
+    rows: Vec<u64>,
+}
+
+struct Encoder;
+
+impl Encoder {
+    fn encode_cq(&self, q: u64) -> u64 {
+        q + 1
+    }
+    fn decode(&self, id: u64) -> u64 {
+        id - 1
+    }
+}
+
+struct Engine {
+    enc: Encoder,
+}
+
+fn eval(plan: u64) -> Vec<u64> {
+    vec![plan]
+}
+
+fn decode_rows(enc: &Encoder, rows: Vec<u64>) -> Vec<u64> {
+    rows
+}
+
+impl Engine {
+    /// The real `run_query` shape: the sanitizing rebind cleanses the
+    /// relation before it reaches the answer.
+    fn run_query(&self, q: u64) -> QueryAnswer {
+        let plan = self.enc.encode_cq(q);
+        let relation = eval(plan);
+        let relation = relation.map_values(&mut |id| self.enc.decode(id));
+        QueryAnswer { rows: relation }
+    }
+
+    fn ref_plan(&self) -> u64 {
+        self.enc.encode_cq(1)
+    }
+
+    /// Carrier output decoded (by a `decode_*` helper) before the sink.
+    fn run_cached(&self) -> QueryAnswer {
+        let plan = self.ref_plan();
+        let rows = eval(plan);
+        let rows = decode_rows(&self.enc, rows);
+        QueryAnswer { rows }
+    }
+
+    /// Decode inline in the sink expression is also a boundary.
+    fn one_row(&self) -> QueryAnswer {
+        let id = self.enc.encode_cq(9);
+        QueryAnswer { rows: vec![self.enc.decode(id)] }
+    }
+
+    /// Untainted data may flow to the sink freely.
+    fn empty(&self) -> QueryAnswer {
+        let rows = Vec::new();
+        QueryAnswer { rows }
+    }
+}

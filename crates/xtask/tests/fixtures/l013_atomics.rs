@@ -1,0 +1,35 @@
+//! L013 fixture (fires): four publication-protocol violations on a
+//! `SnapshotCell`-shaped type — the Relaxed-downgrade bugs the lint
+//! exists to catch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Cell {
+    version: AtomicU64,
+    slot: u64,
+}
+
+impl Cell {
+    /// Finding 1: a publication store downgraded to Relaxed.
+    fn publish_relaxed(&self, seq: u64) {
+        self.version.store(seq, Ordering::Relaxed);
+    }
+
+    /// Finding 2: a publication load downgraded to Relaxed.
+    fn read_relaxed(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Finding 3: the slot is written *after* the Release store — the
+    /// publish is visible before its payload.
+    fn publish_then_write(&mut self, seq: u64, snap: u64) {
+        self.version.store(seq, Ordering::Release);
+        self.slot = snap;
+    }
+
+    /// Finding 4: a read-modify-write on the publication atomic with
+    /// Relaxed ordering.
+    fn bump(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,48 @@
+//! L013 clean twin: the publication protocol done right, plus patterns
+//! the lint must not confuse with it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Cell {
+    version: AtomicU64,
+    tick: AtomicU64,
+    slot: u64,
+}
+
+impl Cell {
+    /// Correct publish: payload first, Release store last.
+    fn publish(&mut self, seq: u64, snap: u64) {
+        self.slot = snap;
+        self.version.store(seq, Ordering::Release);
+    }
+
+    /// Correct read side.
+    fn current(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// SeqCst is an acceptable (stronger) ordering on both sides.
+    fn publish_seqcst(&mut self, seq: u64, snap: u64) {
+        self.slot = snap;
+        self.version.store(seq, Ordering::SeqCst);
+    }
+
+    fn current_seqcst(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// `tick` is a stats counter, not a configured publication atomic:
+    /// Relaxed is fine there.
+    fn bump_stats(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Republishing in a loop: each iteration's slot write precedes its
+    /// *own* Release store — the back edge is not "after the store".
+    fn republish(&mut self, seqs: Vec<u64>) {
+        for s in seqs {
+            self.slot = s;
+            self.version.store(s, Ordering::Release);
+        }
+    }
+}

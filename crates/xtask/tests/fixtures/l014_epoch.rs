@@ -1,0 +1,46 @@
+//! L014 fixture (fires): unpinned `PlanCache::lookup`/`insert` reachable
+//! from a serving-path type through a helper — the epoch-pinned `_at`
+//! variants must be used on these paths.
+
+struct PlanCache;
+
+impl PlanCache {
+    fn lookup(&self, k: u64) -> Option<u64> {
+        None
+    }
+    fn lookup_at(&self, k: u64, se: u64, de: u64) -> Option<u64> {
+        None
+    }
+    fn insert(&self, k: u64, v: u64) {}
+    fn insert_at(&self, k: u64, v: u64, se: u64, de: u64) {}
+}
+
+struct Inner {
+    cache: PlanCache,
+}
+
+impl Inner {
+    /// Finding 1: unpinned lookup, two hops from `Snapshot::run`.
+    fn plan(&self, k: u64) -> Option<u64> {
+        self.cache.lookup(k)
+    }
+
+    /// Finding 2: unpinned insert on the same serving path.
+    fn remember(&self, k: u64, v: u64) {
+        self.cache.insert(k, v)
+    }
+}
+
+struct Snapshot {
+    inner: Inner,
+}
+
+impl Snapshot {
+    fn run(&self, k: u64) -> Option<u64> {
+        self.inner.plan(k)
+    }
+
+    fn store_result(&self, k: u64, v: u64) {
+        self.inner.remember(k, v)
+    }
+}

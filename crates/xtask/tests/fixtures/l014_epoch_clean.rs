@@ -1,0 +1,55 @@
+//! L014 clean twin: serving paths use the epoch-pinned `_at` variants,
+//! and unpinned calls outside any serving path are fine.
+
+struct PlanCache;
+
+impl PlanCache {
+    fn lookup(&self, k: u64) -> Option<u64> {
+        None
+    }
+    fn lookup_at(&self, k: u64, se: u64, de: u64) -> Option<u64> {
+        None
+    }
+    fn insert(&self, k: u64, v: u64) {}
+    fn insert_at(&self, k: u64, v: u64, se: u64, de: u64) {}
+}
+
+struct Inner {
+    cache: PlanCache,
+}
+
+impl Inner {
+    /// Epoch-pinned: the serving path is disciplined.
+    fn plan(&self, k: u64, se: u64, de: u64) -> Option<u64> {
+        self.cache.lookup_at(k, se, de)
+    }
+
+    fn remember(&self, k: u64, v: u64, se: u64, de: u64) {
+        self.cache.insert_at(k, v, se, de)
+    }
+}
+
+struct Snapshot {
+    inner: Inner,
+}
+
+impl Snapshot {
+    fn run(&self, k: u64) -> Option<u64> {
+        self.inner.plan(k, 0, 0)
+    }
+
+    fn store_result(&self, k: u64, v: u64) {
+        self.inner.remember(k, v, 0, 0)
+    }
+}
+
+struct OfflineTool {
+    cache: PlanCache,
+}
+
+impl OfflineTool {
+    /// Unpinned lookup in a batch tool no serving type can reach: fine.
+    fn warm(&self, k: u64) -> Option<u64> {
+        self.cache.lookup(k)
+    }
+}

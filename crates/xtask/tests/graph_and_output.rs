@@ -178,7 +178,7 @@ fn sarif_output_round_trips_as_valid_2_1_0() {
         .get("rules")
         .and_then(|r| r.as_array())
         .expect("rules");
-    assert_eq!(rules.len(), 11, "one rule per catalog entry");
+    assert_eq!(rules.len(), 14, "one rule per catalog entry");
     assert_eq!(rules[0].get("id").and_then(|i| i.as_str()), Some("L001"));
 
     let results = runs[0]
@@ -224,6 +224,114 @@ fn sarif_emission_is_deterministic() {
     let a = to_sarif(&run_lints(&root, &cfg).unwrap(), &cfg);
     let b = to_sarif(&run_lints(&root, &cfg).unwrap(), &cfg);
     assert_eq!(a, b);
+}
+
+#[test]
+fn sarif_renders_witness_chains_as_related_locations() {
+    // A flow-lint finding carries its def-use witness; SARIF must emit it
+    // as `relatedLocations`, in flow order, byte-identically across runs.
+    let src = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/l012_taint.rs"),
+    )
+    .unwrap();
+    let cfg = Config::default();
+    let lint_once = || {
+        let sources = vec![(
+            FileContext {
+                path: "crates/core/src/fixture.rs".to_string(),
+                crate_name: "core".to_string(),
+            },
+            src.clone(),
+        )];
+        let (violations, _) = xtask::lint_sources(sources, &cfg);
+        xtask::LintReport {
+            violations,
+            over_budget: Vec::new(),
+            stale: Vec::new(),
+            files_scanned: 1,
+        }
+    };
+    let report = lint_once();
+    let sarif = to_sarif(&report, &cfg);
+    assert_eq!(sarif, to_sarif(&lint_once(), &cfg), "must be deterministic");
+
+    let doc = rdfref_obs::json::parse(&sarif).expect("SARIF must be valid JSON");
+    let results = doc.get("runs").and_then(|r| r.as_array()).unwrap()[0]
+        .get("results")
+        .and_then(|r| r.as_array())
+        .expect("results");
+    let flow = results
+        .iter()
+        .find(|r| r.get("ruleId").and_then(|i| i.as_str()) == Some("L012"))
+        .expect("an L012 result");
+    let related = flow
+        .get("relatedLocations")
+        .and_then(|r| r.as_array())
+        .expect("relatedLocations");
+    assert!(related.len() >= 3, "source, steps, sink");
+    let first_msg = related[0]
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(|t| t.as_str())
+        .expect("message.text");
+    assert!(first_msg.contains("originates"), "{first_msg}");
+    for r in related {
+        let loc = r.get("physicalLocation").expect("physicalLocation");
+        assert!(loc
+            .get("region")
+            .and_then(|g| g.get("startLine"))
+            .and_then(|l| l.as_f64())
+            .is_some());
+    }
+}
+
+// ---- --changed filtering ----------------------------------------------------
+
+#[test]
+fn filtered_run_reports_only_the_requested_files() {
+    // Two dirty files; the filter keeps only one in the report, and allow
+    // entries for out-of-scope files are neither stale nor budget-checked.
+    let root = mini_repo(
+        "changed-filter",
+        &[
+            ("crates/rdf/src/lib.rs", DIRTY_LIB),
+            (
+                "crates/rdf/src/extra.rs",
+                "pub fn g(v: &[u32]) -> u32 {\n    *v.first().unwrap()\n}\n",
+            ),
+        ],
+    );
+    let mut cfg = rdf_only_config();
+    cfg.allow.push(xtask::AllowEntry {
+        lint: "L001".to_string(),
+        file: "crates/rdf/src/lib.rs".to_string(),
+        count: 1,
+        reason: "out of scope for this run".to_string(),
+    });
+    let only: std::collections::BTreeSet<String> = ["crates/rdf/src/extra.rs".to_string()]
+        .into_iter()
+        .collect();
+    let report = xtask::run_lints_filtered(&root, &cfg, Some(&only)).unwrap();
+    assert_eq!(report.files_scanned, 1);
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.file == "crates/rdf/src/extra.rs"));
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+    // extra.rs has findings (unwrap + missing forbid) and no budget.
+    assert!(!report.clean());
+    assert!(report
+        .over_budget
+        .iter()
+        .all(|(_, f, _, _)| f == "crates/rdf/src/extra.rs"));
+
+    // The unfiltered run still sees both files.
+    let full = run_lints(&root, &cfg).unwrap();
+    assert_eq!(full.files_scanned, 2);
+    assert!(full
+        .violations
+        .iter()
+        .any(|v| v.file == "crates/rdf/src/lib.rs"));
 }
 
 // ---- allowlist determinism --------------------------------------------------

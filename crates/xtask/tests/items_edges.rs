@@ -1,0 +1,181 @@
+//! Edge-case coverage for the lexer and item parser: raw strings, deeply
+//! nested generics in signatures, labeled breaks, and `let … else`. Each
+//! fixture exists because the construct once desynchronised a naive
+//! tracker; the assertions pin the parsed *shape*, not just "no panic".
+
+use std::path::PathBuf;
+use xtask::lexer::{lex, TokKind};
+use xtask::{parse_items, Item, ItemKind};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Every fn item in the tree, depth-first.
+fn fns(items: &[Item]) -> Vec<&Item> {
+    let mut out = Vec::new();
+    for i in items {
+        if matches!(i.kind, ItemKind::Fn(_)) {
+            out.push(i);
+        }
+        out.extend(fns(&i.children));
+    }
+    out
+}
+
+fn body_of(item: &Item) -> (usize, usize) {
+    match &item.kind {
+        ItemKind::Fn(sig) => sig.body.expect("fn should have a body"),
+        k => panic!("not a fn: {k:?}"),
+    }
+}
+
+// ---- raw strings ------------------------------------------------------------
+
+#[test]
+fn raw_strings_lex_as_single_tokens() {
+    let toks = lex(&fixture("edge_raw_strings.rs"));
+    // Each raw literal collapses to a single Str token (the lexer keeps a
+    // `"…"` marker, not the contents): three raw strings plus the
+    // `format!` template.
+    let strs = toks.iter().filter(|t| t.kind == TokKind::Str).count();
+    assert_eq!(strs, 4, "each raw literal must be exactly one Str token");
+    // No quote inside a raw string opened a phantom literal that would
+    // swallow real code: `format` still lexes as an identifier after them.
+    assert!(toks.iter().any(|t| t.is_ident("format")));
+    // No brace inside a raw string leaked as a Punct token: the only
+    // Punct braces are the two fn bodies.
+    let open = toks.iter().filter(|t| t.is_punct('{')).count();
+    let close = toks.iter().filter(|t| t.is_punct('}')).count();
+    assert_eq!(open, 2, "raw-string braces leaked into the token stream");
+    assert_eq!(open, close);
+}
+
+#[test]
+fn items_survive_raw_string_payloads() {
+    let toks = lex(&fixture("edge_raw_strings.rs"));
+    let items = parse_items(&toks);
+    let fs = fns(&items);
+    let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["render", "after_raw"]);
+    // Body spans are disjoint and properly bracketed.
+    let (o1, c1) = body_of(fs[0]);
+    let (o2, c2) = body_of(fs[1]);
+    assert!(toks[o1].is_punct('{') && toks[c1].is_punct('}'));
+    assert!(c1 < o2, "render's body must close before after_raw opens");
+    assert!(toks[o2].is_punct('{') && toks[c2].is_punct('}'));
+}
+
+// ---- nested generics --------------------------------------------------------
+
+#[test]
+fn nested_generics_leave_signatures_intact() {
+    let toks = lex(&fixture("edge_nested_generics.rs"));
+    let items = parse_items(&toks);
+    let fs = fns(&items);
+    let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["group", "transform", "compare"]);
+    for f in &fs {
+        assert!(f.is_pub, "{} should be pub", f.name);
+    }
+    // `transform`'s return-type span covers the Result, not a fragment cut
+    // at the closure's inner `->`.
+    let ItemKind::Fn(sig) = &fs[1].kind else {
+        unreachable!()
+    };
+    let ret: Vec<&str> = toks[sig.ret.0..=sig.ret.1]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(ret.first().copied(), Some("Result"));
+    assert!(ret.contains(&"BTreeMap"), "ret tokens: {ret:?}");
+    // Param list spans the whole nested type, `(` to `)`.
+    assert!(toks[sig.params.0].is_punct('('));
+    assert!(toks[sig.params.1].is_punct(')'));
+    let params: Vec<&str> = toks[sig.params.0..=sig.params.1]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    assert!(params.contains(&"dyn"), "params: {params:?}");
+}
+
+// ---- labeled breaks ---------------------------------------------------------
+
+#[test]
+fn labels_lex_as_lifetimes_not_chars() {
+    let toks = lex(&fixture("edge_labeled_breaks.rs"));
+    let labels: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    // The lexer stores lifetime/label text without the leading quote.
+    assert!(labels.contains(&"outer"), "labels: {labels:?}");
+    assert!(labels.contains(&"inner"), "labels: {labels:?}");
+    assert!(
+        !toks.iter().any(|t| t.kind == TokKind::Char),
+        "a label was mis-lexed as a char literal"
+    );
+}
+
+#[test]
+fn labeled_break_bodies_parse_as_two_fns() {
+    let toks = lex(&fixture("edge_labeled_breaks.rs"));
+    let items = parse_items(&toks);
+    let fs = fns(&items);
+    let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["search", "drain"]);
+    // `break 'outer budget` sits *inside* drain's body span (rposition:
+    // the first `budget` is the parameter, before the body opens).
+    let (open, close) = body_of(fs[1]);
+    let break_kw = toks
+        .iter()
+        .rposition(|t| t.is_ident("break"))
+        .expect("a break keyword");
+    assert!(toks[break_kw + 1].kind == TokKind::Lifetime);
+    assert!(open < break_kw && break_kw < close);
+}
+
+// ---- let-else ---------------------------------------------------------------
+
+#[test]
+fn let_else_does_not_truncate_bodies() {
+    let toks = lex(&fixture("edge_let_else.rs"));
+    let items = parse_items(&toks);
+    let fs = fns(&items);
+    let names: Vec<&str> = fs.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, ["first_even", "parse_pair", "after_let_else"]);
+    // parse_pair holds three let-else statements; its body must span all
+    // of them and close exactly before after_let_else's attributes/doc.
+    let (open, close) = body_of(fs[1]);
+    let elses = toks[open..=close]
+        .iter()
+        .filter(|t| t.is_ident("else"))
+        .count();
+    assert_eq!(elses, 3, "all three let-else blocks inside the body span");
+    assert!(close < fs[2].start);
+}
+
+#[test]
+fn let_else_divergence_shows_up_in_the_cfg() {
+    // The CFG lowers each let-else's else block as a diverging branch:
+    // first_even's body must contain an edge into the exit besides the
+    // tail-expression fallthrough.
+    let toks = lex(&fixture("edge_let_else.rs"));
+    let items = parse_items(&toks);
+    let fs = fns(&items);
+    let (open, close) = body_of(fs[0]);
+    let cfg = xtask::build_cfg(&toks, open, close);
+    let exit_preds = cfg
+        .blocks
+        .iter()
+        .filter(|b| b.succs.contains(&cfg.exit))
+        .count();
+    assert!(
+        exit_preds >= 2,
+        "let-else divergence and the tail expression both reach exit: {exit_preds}"
+    );
+}
