@@ -18,7 +18,7 @@ fn bench_cache(c: &mut Criterion) {
             .into_iter()
             .take(4)
         {
-            let db = Database::new(ds.graph.clone());
+            let db = Database::builder().build(ds.graph.clone());
             let cold = AnswerOptions::new().with_use_cache(false);
             group.bench_with_input(
                 BenchmarkId::new(format!("cold-{}", strategy.name()), nq.name),

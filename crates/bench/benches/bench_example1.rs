@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn bench_example1(c: &mut Criterion) {
     let ds = generate(&LubmConfig::scale(2));
     let q = queries::example1(&ds, 0).expect("workload is well-formed");
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     db.prepare_saturation();
     let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
 

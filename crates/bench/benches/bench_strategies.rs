@@ -11,7 +11,7 @@ use std::hint::black_box;
 
 fn bench_strategies(c: &mut Criterion) {
     let ds = generate(&LubmConfig::scale(2));
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     db.prepare_saturation();
     let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
     let mix = queries::lubm_mix(&ds).expect("workload is well-formed");

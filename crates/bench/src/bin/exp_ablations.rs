@@ -22,7 +22,7 @@ use rdfref_storage::{CostModel, Store};
 
 fn main() {
     let ds = generate(&LubmConfig::scale(2));
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
 
     let limits = ReformulationLimits::default();
     let mut table = Table::new(

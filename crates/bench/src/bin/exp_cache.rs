@@ -27,7 +27,7 @@ fn main() {
     let reps = env_usize("EXP_REPS", 5).max(1);
     eprintln!("generating LUBM-like dataset (scale {scale})…");
     let ds = generate(&LubmConfig::scale(scale));
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let cold_opts = AnswerOptions::new().with_use_cache(false);
     let warm_opts = AnswerOptions::default();
 

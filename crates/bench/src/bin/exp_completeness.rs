@@ -19,7 +19,9 @@ fn main() {
         .unwrap_or(2);
     let ds = generate(&LubmConfig::scale(scale));
     let sink = MetricsSink::from_args();
-    let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
+    let db = Database::builder()
+        .build(ds.graph.clone())
+        .with_obs(sink.obs());
     let opts = AnswerOptions::default();
 
     let profiles: Vec<(&str, IncompletenessProfile)> = vec![

@@ -56,7 +56,7 @@ fn main() {
             edges_per_instance: 2,
             ..SweepConfig::default()
         });
-        let db = Database::new(ds.graph.clone());
+        let db = Database::builder().build(ds.graph.clone());
         let ctx = RewriteContext::new(db.schema(), db.closure());
 
         let x = Var::new("x");

@@ -40,7 +40,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
     let ds = generate(&LubmConfig::scale(scale));
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let limits = ReformulationLimits::new().with_max_cqs(50_000);
     let opts = AnswerOptions::new().with_limits(limits);
     let ctx = RewriteContext::new(db.schema(), db.closure());

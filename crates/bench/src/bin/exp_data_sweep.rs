@@ -38,7 +38,7 @@ fn main() {
     for &scale in &scales {
         eprintln!("scale {scale}…");
         let ds = generate(&LubmConfig::scale(scale));
-        let db = Database::new(ds.graph.clone());
+        let db = Database::builder().build(ds.graph.clone());
         let (added, sat_time) = time(|| db.prepare_saturation());
         let mix = queries::lubm_mix(&ds).expect("workload is well-formed");
         let mut targets: Vec<(String, rdfref_query::Cq)> = mix

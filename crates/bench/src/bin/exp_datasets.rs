@@ -14,7 +14,7 @@ use rdfref_datagen::{biblio, geo, insee, lubm};
 use rdfref_model::Graph;
 
 fn run_section(table: &mut Table, dataset: &str, graph: &Graph, mix: Vec<NamedQuery>) {
-    let db = Database::new(graph.clone());
+    let db = Database::builder().build(graph.clone());
     let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
     db.prepare_saturation();
     for nq in mix {

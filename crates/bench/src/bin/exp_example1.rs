@@ -63,7 +63,9 @@ fn main() {
             ..base
         });
         let q = queries::example1(&ds, 0).expect("workload is well-formed");
-        let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
+        let db = Database::builder()
+            .build(ds.graph.clone())
+            .with_obs(sink.obs());
         let opts = AnswerOptions::new().with_limits(limit);
         let ctx = RewriteContext::new(db.schema(), db.closure());
 

@@ -137,8 +137,10 @@ fn main() {
     ];
 
     eprintln!("building classic and interval databases from the same graph…");
-    let classic = Database::new(ds.graph.clone());
-    let interval = Database::with_encoding(ds.graph.clone(), DictEncoding::Interval);
+    let classic = Database::builder().build(ds.graph.clone());
+    let interval = Database::builder()
+        .encoding(DictEncoding::Interval)
+        .build(ds.graph.clone());
     assert!(
         interval
             .encoder()

@@ -20,13 +20,17 @@
 
 use rdfref_bench::report::Table;
 use rdfref_bench::MetricsSink;
-use rdfref_core::answer::Strategy;
-use rdfref_core::serving::{ServingDatabase, UpdateBatch};
+use rdfref_core::answer::{Database, Strategy};
+use rdfref_core::serving::{
+    BatchTicket, ServingDatabase, ShardedServingDatabase, Snapshot, UpdateBatch,
+};
+use rdfref_core::Result as CoreResult;
 use rdfref_datagen::lubm::{generate, LubmConfig};
-use rdfref_datagen::queries;
+use rdfref_datagen::queries::{self, zipfian_schedule};
 use rdfref_model::{vocab, Term, Triple};
 use rdfref_obs::Recorder;
 use rdfref_query::Cq;
+use rdfref_storage::Parallelism;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,35 +80,77 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
-const READER_THREADS: &[usize] = &[1, 4, 16];
 const CHURN_PCT: &[usize] = &[0, 1, 10];
 const CHURN_BATCH: usize = 64;
+/// Zipf exponent of the reader query mix (≈1 matches endpoint logs).
+const ZIPF_SKEW: f64 = 1.0;
 
-/// Gauge names must be `&'static str`: one per (threads, churn) cell, in
-/// `READER_THREADS` × `CHURN_PCT` order.
-const QPS_GAUGES: [[&str; 3]; 3] = [
-    [
-        "bench.serving.qps.t1.churn0",
-        "bench.serving.qps.t1.churn1",
-        "bench.serving.qps.t1.churn10",
-    ],
-    [
-        "bench.serving.qps.t4.churn0",
-        "bench.serving.qps.t4.churn1",
-        "bench.serving.qps.t4.churn10",
-    ],
-    [
-        "bench.serving.qps.t16.churn0",
-        "bench.serving.qps.t16.churn1",
-        "bench.serving.qps.t16.churn10",
-    ],
-];
+/// Gauge names must be `&'static str`: look one up by (threads, churn).
+/// Non-standard `--threads` values simply record no per-cell gauge.
+fn qps_gauge(threads: usize, churn_pct: usize) -> Option<&'static str> {
+    match (threads, churn_pct) {
+        (1, 0) => Some("bench.serving.qps.t1.churn0"),
+        (1, 1) => Some("bench.serving.qps.t1.churn1"),
+        (1, 10) => Some("bench.serving.qps.t1.churn10"),
+        (4, 0) => Some("bench.serving.qps.t4.churn0"),
+        (4, 1) => Some("bench.serving.qps.t4.churn1"),
+        (4, 10) => Some("bench.serving.qps.t4.churn10"),
+        (16, 0) => Some("bench.serving.qps.t16.churn0"),
+        (16, 1) => Some("bench.serving.qps.t16.churn1"),
+        (16, 10) => Some("bench.serving.qps.t16.churn10"),
+        _ => None,
+    }
+}
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--threads N` caps the reader-thread ladder: the ladder is [1, N]
+/// instead of the default [1, 4, 16]. Used by the CI smoke run.
+fn arg_threads() -> Option<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args.next().and_then(|s| s.parse().ok());
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Either serving façade, so one cell runner measures both the single-cell
+/// and the predicate-hash-sharded pipelines.
+enum Serving {
+    Single(ServingDatabase),
+    Sharded(ShardedServingDatabase),
+}
+
+impl Serving {
+    fn snapshot(&self) -> Arc<Snapshot> {
+        match self {
+            Serving::Single(db) => db.snapshot(),
+            Serving::Sharded(db) => db.snapshot(),
+        }
+    }
+
+    fn submit(&self, batch: UpdateBatch) -> CoreResult<BatchTicket> {
+        match self {
+            Serving::Single(db) => db.submit(batch),
+            Serving::Sharded(db) => db.submit(batch),
+        }
+    }
+
+    fn published_seq(&self) -> u64 {
+        match self {
+            Serving::Single(db) => db.published_seq(),
+            Serving::Sharded(db) => db.published_seq(),
+        }
+    }
 }
 
 /// Data triples (no RDFS constraints) eligible for churn: deleting one is a
@@ -130,7 +176,7 @@ fn churn_pool(graph: &rdfref_model::Graph, pct: usize) -> Vec<Triple> {
 /// batches, pacing itself on tickets so the queue stays bounded. Returns
 /// (total answered queries, observed qps, batches applied).
 fn run_cell(
-    db: &Arc<ServingDatabase>,
+    db: &Arc<Serving>,
     queries: &[(String, Cq)],
     threads: usize,
     pool: &[Triple],
@@ -150,14 +196,17 @@ fn run_cell(
             let answered = Arc::clone(&answered);
             let reader_allocs = Arc::clone(&reader_allocs);
             scope.spawn(move || {
-                // Stagger starting queries and alternate strategies so the
-                // cell exercises the cache and the saturation path at once.
+                // A Zipfian-skewed query schedule (seeded per thread) and
+                // alternating strategies: the head query dominates like in
+                // real endpoint logs, so the plan cache and the sharded
+                // scatter-gather paths see realistic reuse.
+                let schedule = zipfian_schedule(queries.len(), 4096, ZIPF_SKEW, 0xE10 + t as u64);
                 let strategies = [Strategy::Saturation, Strategy::RefUcq];
                 let mut i = t;
                 let mut mine = 0u64;
                 let allocs_before = thread_allocs();
                 while !stop.load(Ordering::Acquire) {
-                    let (name, q) = &queries[i % queries.len()];
+                    let (name, q) = &queries[schedule[i % schedule.len()]];
                     let snap = db.snapshot();
                     let ans = snap
                         .query(q)
@@ -246,6 +295,13 @@ struct CellStats {
 fn main() {
     let scale = env_usize("EXP_SCALE", 1);
     let window = Duration::from_millis(env_usize("EXP_SERVING_MS", 400) as u64);
+    let shards = env_usize("EXP_SERVING_SHARDS", 1);
+    let morsels = env_usize("EXP_SERVING_MORSELS", 0);
+    let reader_threads: Vec<usize> = match arg_threads() {
+        Some(1) => vec![1],
+        Some(n) => vec![1, n],
+        None => vec![1, 4, 16],
+    };
     let sink = MetricsSink::from_args();
 
     eprintln!("generating LUBM-like dataset (scale {scale})…");
@@ -267,17 +323,36 @@ fn main() {
     assert!(!queries.is_empty(), "LUBM mix has no small queries");
 
     eprintln!(
-        "serving database: saturating {} explicit triples…",
-        ds.graph.len()
+        "serving database: saturating {} explicit triples ({} shard(s))…",
+        ds.graph.len(),
+        shards.max(1),
     );
-    let db = Arc::new(ServingDatabase::with_obs(ds.graph.clone(), sink.obs()));
+    let builder = Database::builder()
+        .obs(sink.obs())
+        .parallelism(if morsels > 0 {
+            Parallelism::Morsels { size: morsels }
+        } else {
+            Parallelism::Off
+        });
+    let db = Arc::new(if shards > 1 {
+        Serving::Sharded(builder.shards(shards).build_sharded(ds.graph.clone()))
+    } else {
+        Serving::Single(builder.build_serving(ds.graph.clone()))
+    });
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    sink.registry.gauge_set("bench.serving.cores", cores as u64);
+    sink.registry
+        .gauge_set("bench.serving.shards", shards.max(1) as u64);
 
     let mut table = Table::new(
         format!(
-            "E10 — serving throughput under churn ({} triples, {}-triple batches, {:?} window)",
+            "E10 — serving throughput under churn ({} triples, {}-triple batches, {:?} window, {} shard(s), {} core(s))",
             ds.graph.len(),
             CHURN_BATCH,
-            window
+            window,
+            shards.max(1),
+            cores,
         ),
         &[
             "readers",
@@ -292,12 +367,14 @@ fn main() {
     );
 
     // qps[threads index][churn index]
-    let mut qps = [[0f64; 3]; 3];
-    for (ti, &threads) in READER_THREADS.iter().enumerate() {
+    let mut qps = vec![vec![0f64; CHURN_PCT.len()]; reader_threads.len()];
+    for (ti, &threads) in reader_threads.iter().enumerate() {
         for (ci, &pct) in CHURN_PCT.iter().enumerate() {
             let cell = run_cell(&db, &queries, threads, &pools[ci], window);
             qps[ti][ci] = cell.qps;
-            sink.registry.gauge_set(QPS_GAUGES[ti][ci], cell.qps as u64);
+            if let Some(gauge) = qps_gauge(threads, pct) {
+                sink.registry.gauge_set(gauge, cell.qps as u64);
+            }
             let vs_zero = cell.qps / qps[ti][0].max(1e-9);
             table.row(&[
                 threads.to_string(),
@@ -320,19 +397,52 @@ fn main() {
         db.published_seq()
     );
 
-    // The acceptance gate: churn must not collapse reader throughput.
-    let zero = qps[2][0];
-    let churned = qps[2][2];
+    let assert_on = std::env::var("EXP_SERVING_ASSERT").as_deref() != Ok("0");
+    let top_ti = reader_threads.len() - 1;
+    let top_threads = reader_threads[top_ti];
+
+    // Gate 1 — isolation: churn must not collapse reader throughput at the
+    // top thread count (independent of core count: it compares like with
+    // like).
+    let zero = qps[top_ti][0];
+    let churned = qps[top_ti][CHURN_PCT.len() - 1];
     let ratio = zero / churned.max(1e-9);
     println!(
-        "16-reader throughput: {zero:.0} qps idle vs {churned:.0} qps under 10% churn ({ratio:.2}× slowdown)"
+        "{top_threads}-reader throughput: {zero:.0} qps idle vs {churned:.0} qps under 10% churn ({ratio:.2}× slowdown)"
     );
-    if std::env::var("EXP_SERVING_ASSERT").as_deref() != Ok("0") {
+    if assert_on {
         assert!(
             churned * 2.0 >= zero,
             "snapshot isolation regressed: 10% churn costs more than 2× \
              ({zero:.0} qps idle vs {churned:.0} qps churned)"
         );
+    }
+
+    // Gate 2 — read scale-out: at 0% churn, top-thread qps must reach at
+    // least (threads/2)× the single-reader qps (≥8× at 16 threads, ≥2× at
+    // 4). Hardware-gated: threads can only scale onto cores that exist, so
+    // the assert arms only when the machine has at least `top_threads`
+    // cores; the measured ratio and the core count are always recorded.
+    if top_threads > 1 {
+        let single = qps[0][0];
+        let scaled = qps[top_ti][0];
+        let speedup = scaled / single.max(1e-9);
+        let want = top_threads as f64 / 2.0;
+        println!(
+            "read scale-out: {single:.0} qps @1 → {scaled:.0} qps @{top_threads} \
+             ({speedup:.2}×, want ≥{want:.0}× on ≥{top_threads} cores; {cores} available)"
+        );
+        sink.registry
+            .gauge_set("bench.serving.scaleout.x100", (speedup * 100.0) as u64);
+        if assert_on && cores >= top_threads {
+            assert!(
+                speedup >= want,
+                "read scale-out regressed: {top_threads} readers reach only \
+                 {speedup:.2}× of single-reader qps (want ≥{want:.0}×) on {cores} cores"
+            );
+        } else if cores < top_threads {
+            println!("scale-out assert skipped: {cores} core(s) < {top_threads} reader threads");
+        }
     }
 
     if let Some((json, prom)) = sink.flush().expect("write metrics") {

@@ -21,7 +21,9 @@ fn main() {
     eprintln!("generating LUBM-like dataset (scale {scale})…");
     let ds = generate(&LubmConfig::scale(scale));
     let sink = MetricsSink::from_args();
-    let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
+    let db = Database::builder()
+        .build(ds.graph.clone())
+        .with_obs(sink.obs());
     let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));
     // Warm the saturation once so Sat timings exclude the build (reported
     // separately, as the paper discusses it as a precomputation).

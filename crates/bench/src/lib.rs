@@ -169,7 +169,7 @@ mod tests {
     fn run_strategy_reports_failures_as_outcomes() {
         let ds = generate(&LubmConfig::default());
         let q = rdfref_datagen::queries::example1(&ds, 0).expect("workload is well-formed");
-        let db = Database::new(ds.graph.clone());
+        let db = Database::builder().build(ds.graph.clone());
         let opts = AnswerOptions::new()
             .with_limits(rdfref_core::ReformulationLimits::new().with_max_cqs(10));
         let outcome = run_strategy(&db, &q, Strategy::RefUcq, &opts);
@@ -190,7 +190,9 @@ mod tests {
             registry: Arc::new(MetricsRegistry::new()),
             out: Some(std::env::temp_dir().join("rdfref_bench_metrics_roundtrip.json")),
         };
-        let db = Database::new(ds.graph.clone()).with_obs(sink.obs());
+        let db = Database::builder()
+            .build(ds.graph.clone())
+            .with_obs(sink.obs());
         db.run_query(&nq.cq, &Strategy::RefGCov, &AnswerOptions::default())
             .expect("GCov answers");
 

@@ -143,7 +143,7 @@ impl Shell {
 
     fn db(&mut self) -> &Database {
         if self.db.is_none() {
-            self.db = Some(Database::new(self.graph.clone()));
+            self.db = Some(Database::builder().build(self.graph.clone()));
         }
         self.db.as_ref().expect("just built")
     }
@@ -231,7 +231,10 @@ impl Shell {
         let label = self.dataset_label.clone();
         let db = self.db();
         let stats = db.stats();
-        let dist = ValueDistribution::compute(db.store(), 5);
+        let store = db
+            .store()
+            .expect("builder-built databases are single-store");
+        let dist = ValueDistribution::compute(store, 5);
         let dict = db.graph().dictionary();
         let mut out = String::new();
         let _ = writeln!(out, "dataset          : {label}");

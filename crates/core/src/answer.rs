@@ -33,7 +33,9 @@ use rdfref_query::canonical::{alpha_canonicalize, AlphaCanonical};
 use rdfref_query::{Cover, Var};
 use rdfref_reasoning::saturate_in_place_obs;
 use rdfref_storage::evaluator::{head_names, Evaluator};
-use rdfref_storage::{ExecMetrics, Relation, Stats, Store};
+use rdfref_storage::{
+    ExecMetrics, Parallelism, Relation, ShardedStore, Stats, Store, TripleSource,
+};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -87,8 +89,9 @@ pub struct AnswerOptions {
     pub limits: ReformulationLimits,
     /// Abort evaluation when an intermediate relation exceeds this many rows.
     pub row_budget: Option<usize>,
-    /// Evaluate large unions on parallel threads.
-    pub parallel_unions: bool,
+    /// Intra-query parallelism policy: off, parallel unions, or
+    /// morsel-driven scans and bind-joins (see [`Parallelism`]).
+    pub parallelism: Parallelism,
     /// GCov search options (`RefGCov` only).
     pub gcov: GcovOptions,
     /// Reuse plans through the database's [`PlanCache`] (Ref strategies).
@@ -104,7 +107,7 @@ impl Default for AnswerOptions {
         AnswerOptions {
             limits: ReformulationLimits::default(),
             row_budget: None,
-            parallel_unions: false,
+            parallelism: Parallelism::Off,
             gcov: GcovOptions::default(),
             use_cache: true,
             obs: Obs::disabled(),
@@ -130,9 +133,9 @@ impl AnswerOptions {
         self
     }
 
-    /// Enable or disable parallel union evaluation.
-    pub fn with_parallel_unions(mut self, on: bool) -> Self {
-        self.parallel_unions = on;
+    /// Set the intra-query parallelism policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -227,13 +230,52 @@ impl QueryAnswer {
     }
 }
 
+/// The physical source a database evaluates against: one store, or a
+/// predicate-hash-partitioned family of shards read scatter-gather (each
+/// scan routes to the shards whose predicate partition can match and the
+/// partial runs are merged back in sort order).
+#[derive(Debug, Clone)]
+pub(crate) enum DataSource {
+    Single(Store),
+    Sharded(ShardedStore),
+}
+
+impl DataSource {
+    /// The evaluator-facing view.
+    pub(crate) fn source(&self) -> &dyn TripleSource {
+        match self {
+            DataSource::Single(s) => s,
+            DataSource::Sharded(s) => s,
+        }
+    }
+
+    /// The single underlying store, when not sharded.
+    pub(crate) fn as_single(&self) -> Option<&Store> {
+        match self {
+            DataSource::Single(s) => Some(s),
+            DataSource::Sharded(_) => None,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.source().len()
+    }
+
+    pub(crate) fn iter(&self) -> Box<dyn Iterator<Item = rdfref_model::EncodedTriple> + '_> {
+        match self {
+            DataSource::Single(s) => Box::new(s.iter()),
+            DataSource::Sharded(s) => Box::new(s.iter()),
+        }
+    }
+}
+
 /// Saturation artifacts: store + statistics over `G∞` and the number of
 /// derived triples. Materialized lazily on the first `Saturation` answer,
 /// or installed up front by the serving layer (which maintains `G∞`
 /// incrementally and never wants the from-scratch path).
 #[derive(Debug, Clone)]
 pub(crate) struct SaturatedPart {
-    pub(crate) store: Store,
+    pub(crate) store: DataSource,
     pub(crate) stats: Arc<Stats>,
     pub(crate) added: usize,
 }
@@ -247,12 +289,12 @@ pub(crate) struct SaturatedPart {
 #[derive(Debug)]
 pub struct Database {
     dict: Arc<rdfref_model::Dictionary>,
-    /// The triple-level graph. Eager for [`Database::new`]; snapshot
+    /// The triple-level graph. Eager for builder-built databases; snapshot
     /// databases materialize it lazily from the store (Datalog only).
     graph: OnceLock<Arc<Graph>>,
     schema: Arc<Schema>,
     closure: Arc<SchemaClosure>,
-    store: Store,
+    store: DataSource,
     stats: Arc<Stats>,
     saturated: OnceLock<SaturatedPart>,
     /// Shared reformulation/plan cache (see [`crate::cache`]).
@@ -272,40 +314,31 @@ pub struct Database {
     /// dictionary, parser, reasoner and Datalog paths stay in base space;
     /// only the store — and the plans evaluated over it — are remapped.
     encoder: Option<Arc<HierarchyEncoder>>,
+    /// Engine-level default parallelism policy, set by the builder. The
+    /// request builder starts from it; explicit [`AnswerOptions`] passed to
+    /// [`Database::run_query`] are used as given.
+    default_parallelism: Parallelism,
 }
 
 impl Database {
+    /// Start configuring an engine: `Database::builder()` is the sole way
+    /// to construct every database flavour — in-memory
+    /// ([`crate::EngineBuilder::build`]), serving
+    /// ([`crate::EngineBuilder::build_serving`]), predicate-sharded serving
+    /// ([`crate::EngineBuilder::build_sharded`]) and maintained
+    /// ([`crate::EngineBuilder::build_maintained`]).
+    pub fn builder() -> crate::builder::EngineBuilder {
+        crate::builder::EngineBuilder::new()
+    }
+
     /// Prepare a database from a graph (schema triples are recognized
-    /// in-line, as in the DB fragment), with a fresh plan cache.
-    pub fn new(graph: Graph) -> Database {
-        Database::build(graph, Arc::new(PlanCache::default()), DictEncoding::Classic)
-    }
-
-    /// Prepare a database with an explicit dictionary encoding.
-    /// [`DictEncoding::Interval`] clusters the ids of each class/property
-    /// hierarchy into contiguous ranges so that covered reformulations
-    /// execute as single range scans (see `DESIGN.md` §"Interval encoding").
-    pub fn with_encoding(graph: Graph, encoding: DictEncoding) -> Database {
-        Database::build(graph, Arc::new(PlanCache::default()), encoding)
-    }
-
-    /// Prepare a database sharing an existing plan cache — used by
-    /// [`crate::maintained::MaintainedDatabase`] to keep one cache alive
-    /// across rebuilds (its epochs decide which entries survive).
-    pub fn with_cache(graph: Graph, cache: Arc<PlanCache>) -> Database {
-        Database::build(graph, cache, DictEncoding::Classic)
-    }
-
-    /// As [`Database::with_cache`], with an explicit dictionary encoding.
-    pub fn with_cache_and_encoding(
+    /// in-line, as in the DB fragment). Builder terminal.
+    pub(crate) fn build(
         graph: Graph,
         cache: Arc<PlanCache>,
         encoding: DictEncoding,
+        parallelism: Parallelism,
     ) -> Database {
-        Database::build(graph, cache, encoding)
-    }
-
-    fn build(graph: Graph, cache: Arc<PlanCache>, encoding: DictEncoding) -> Database {
         let schema = Schema::from_graph(&graph);
         let closure = schema.closure();
         let dict = Arc::new(graph.dictionary().clone());
@@ -336,7 +369,7 @@ impl Database {
             graph: cell,
             schema: Arc::new(schema),
             closure: Arc::new(closure),
-            store,
+            store: DataSource::Single(store),
             stats: Arc::new(stats),
             saturated: OnceLock::new(),
             cache,
@@ -344,6 +377,7 @@ impl Database {
             obs: Obs::disabled(),
             encoding,
             encoder,
+            default_parallelism: parallelism,
         }
     }
 
@@ -356,13 +390,14 @@ impl Database {
         dict: Arc<rdfref_model::Dictionary>,
         schema: Arc<Schema>,
         closure: Arc<SchemaClosure>,
-        store: Store,
+        store: DataSource,
         stats: Arc<Stats>,
         saturated: Option<SaturatedPart>,
         cache: Arc<PlanCache>,
         epochs: (u64, u64),
         obs: Obs,
         encoder: Option<Arc<HierarchyEncoder>>,
+        parallelism: Parallelism,
     ) -> Database {
         let sat_cell = OnceLock::new();
         if let Some(sat) = saturated {
@@ -385,6 +420,7 @@ impl Database {
                 DictEncoding::Classic
             },
             encoder,
+            default_parallelism: parallelism,
         }
     }
 
@@ -441,9 +477,30 @@ impl Database {
         &self.closure
     }
 
-    /// The store over explicit triples.
-    pub fn store(&self) -> &Store {
-        &self.store
+    /// The store over explicit triples, when the database reads a single
+    /// source. Sharded scatter-gather databases (global snapshots of
+    /// [`crate::serving::ShardedServingDatabase`]) return `None`.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_single()
+    }
+
+    /// The explicit triple source the evaluator reads — one store, or the
+    /// scatter-gather view over predicate-hash shards.
+    pub fn source(&self) -> &dyn TripleSource {
+        self.store.source()
+    }
+
+    /// How many predicate-hash shards back this database (1 when single).
+    pub fn shard_count(&self) -> usize {
+        match &self.store {
+            DataSource::Single(_) => 1,
+            DataSource::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// The engine-level default parallelism policy (set by the builder).
+    pub fn default_parallelism(&self) -> Parallelism {
+        self.default_parallelism
     }
 
     /// Statistics over explicit triples.
@@ -478,7 +535,7 @@ impl Database {
             };
             let stats = Stats::compute(&store);
             SaturatedPart {
-                store,
+                store: DataSource::Single(store),
                 stats: Arc::new(stats),
                 added,
             }
@@ -542,9 +599,10 @@ impl Database {
             Strategy::Saturation => {
                 let sat = self.saturated_with(&obs);
                 explain.saturation_added = sat.added;
-                let mut ev = Evaluator::new(&sat.store, sat.stats.as_ref()).with_obs(obs.clone());
+                let mut ev =
+                    Evaluator::new(sat.store.source(), sat.stats.as_ref()).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
-                ev.parallel = opts.parallel_unions;
+                ev.parallelism = opts.parallelism;
                 ev.eval_cq(&self.encode_cq(cq), &out, &mut metrics)?
             }
             Strategy::RefUcq => {
@@ -557,9 +615,9 @@ impl Database {
                 explain.reformulation_atoms = ucq.total_atoms();
                 let model = rdfref_storage::CostModel::new(&self.stats);
                 explain.estimate = Some(model.ucq_estimate(&ucq));
-                let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
+                let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
-                ev.parallel = opts.parallel_unions;
+                ev.parallelism = opts.parallelism;
                 ev.eval_ucq(&ucq, &out, &mut metrics)?
             }
             Strategy::RefScq => {
@@ -596,9 +654,9 @@ impl Database {
                     .iter()
                     .map(|f| f.ucq.total_atoms())
                     .sum();
-                let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
+                let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
-                ev.parallel = opts.parallel_unions;
+                ev.parallelism = opts.parallelism;
                 ev.eval_jucq(&result.jucq, &mut metrics)?
             }
             Strategy::RefIncomplete(profile) => {
@@ -614,9 +672,9 @@ impl Database {
                 };
                 explain.reformulation_cqs = ucq.len();
                 explain.reformulation_atoms = ucq.total_atoms();
-                let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
+                let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
-                ev.parallel = opts.parallel_unions;
+                ev.parallelism = opts.parallelism;
                 ev.eval_ucq(&ucq, &out, &mut metrics)?
             }
             Strategy::Datalog | Strategy::DatalogMagic => {
@@ -788,9 +846,9 @@ impl Database {
         explain.reformulation_atoms = jucq.fragments.iter().map(|f| f.ucq.total_atoms()).sum();
         let model = rdfref_storage::CostModel::new(&self.stats);
         explain.estimate = Some(model.jucq_estimate(jucq));
-        let mut ev = Evaluator::new(&self.store, &self.stats).with_obs(obs.clone());
+        let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
         ev.row_budget = opts.row_budget;
-        ev.parallel = opts.parallel_unions;
+        ev.parallelism = opts.parallelism;
         Ok(ev.eval_jucq(jucq, metrics)?)
     }
 }
@@ -873,7 +931,9 @@ pub fn answer(
     strategy: Strategy,
     opts: &AnswerOptions,
 ) -> Result<QueryAnswer> {
-    Database::new(graph.clone()).run_query(cq, &strategy, opts)
+    Database::builder()
+        .build(graph.clone())
+        .run_query(cq, &strategy, opts)
 }
 
 #[cfg(test)]
@@ -903,7 +963,7 @@ ex:bioy ex:hasName "A. Bioy Casares" .
     fn setup(query: &str) -> (Database, Cq) {
         let mut g = parse_turtle(DOC).unwrap();
         let q = parse_select(query, g.dictionary_mut()).unwrap();
-        (Database::new(g), q)
+        (Database::builder().build(g), q)
     }
 
     const PUBLICATIONS: &str = r#"PREFIX ex: <http://example.org/>
@@ -1231,7 +1291,7 @@ ex:bioy ex:hasName "A. Bioy Casares" .
     fn answer_options_builder_roundtrip() {
         let opts = AnswerOptions::new()
             .with_row_budget(Some(7))
-            .with_parallel_unions(true)
+            .with_parallelism(Parallelism::Unions)
             .with_use_cache(false)
             .with_limits(ReformulationLimits {
                 max_cqs: 9,
@@ -1240,7 +1300,7 @@ ex:bioy ex:hasName "A. Bioy Casares" .
             .with_gcov(GcovOptions::default())
             .with_obs(Obs::disabled());
         assert_eq!(opts.row_budget, Some(7));
-        assert!(opts.parallel_unions);
+        assert_eq!(opts.parallelism, Parallelism::Unions);
         assert!(!opts.use_cache);
         assert_eq!(opts.limits.max_cqs, 9);
         assert!(!opts.obs.enabled());

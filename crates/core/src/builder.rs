@@ -1,0 +1,240 @@
+//! The unified engine builder — the single construction surface for every
+//! database flavour.
+//!
+//! Before this module, each flavour grew its own constructor zoo
+//! (`Database::new` / `with_encoding` / `with_cache...`,
+//! `ServingDatabase::new` / `with_obs...`) and new knobs forced new
+//! constructors. [`EngineBuilder`] replaces them all: one `#[non_exhaustive]`
+//! builder carrying the dictionary encoding, plan-cache capacity, shard
+//! count and intra-query parallelism policy, with one terminal per flavour:
+//!
+//! ```
+//! use rdfref_core::{Database, Strategy};
+//! use rdfref_model::parser::parse_turtle;
+//! use rdfref_query::parse_select;
+//!
+//! let mut g = parse_turtle(
+//!     "@prefix ex: <http://example.org/> .\n\
+//!      @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+//!      ex:Book rdfs:subClassOf ex:Publication .\n\
+//!      ex:doi1 a ex:Book .",
+//! )
+//! .unwrap();
+//! let q = parse_select(
+//!     "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
+//!     g.dictionary_mut(),
+//! )
+//! .unwrap();
+//! let db = Database::builder().build(g);
+//! assert_eq!(db.query(&q).run().unwrap().len(), 1);
+//! ```
+//!
+//! Knobs compose freely with every terminal; a knob a flavour does not use
+//! (e.g. `shards` on [`EngineBuilder::build`]) is simply ignored by it.
+
+use crate::answer::Database;
+use crate::cache::PlanCache;
+use crate::maintained::MaintainedDatabase;
+use crate::serving::{ServingDatabase, ShardConfig, ShardedServingDatabase};
+use rdfref_model::{DictEncoding, Graph};
+use rdfref_obs::Obs;
+use rdfref_storage::Parallelism;
+use std::sync::Arc;
+
+/// Configures and constructs an engine. Obtain one via
+/// [`Database::builder`]; finish with [`EngineBuilder::build`] (in-memory),
+/// [`EngineBuilder::build_serving`] (single-writer serving),
+/// [`EngineBuilder::build_sharded`] (predicate-hash-sharded serving) or
+/// [`EngineBuilder::build_maintained`] (incrementally maintained).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct EngineBuilder {
+    pub(crate) encoding: DictEncoding,
+    pub(crate) plan_cache_capacity: usize,
+    pub(crate) shards: usize,
+    pub(crate) parallelism: Parallelism,
+    pub(crate) obs: Obs,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            encoding: DictEncoding::Classic,
+            plan_cache_capacity: 1024,
+            shards: 1,
+            parallelism: Parallelism::Off,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// A builder with the defaults: classic encoding, a 1024-plan cache,
+    /// one shard, no intra-query parallelism, observability disabled.
+    pub fn new() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Dictionary encoding for the store. [`DictEncoding::Interval`]
+    /// clusters each class/property hierarchy's ids into contiguous ranges
+    /// so covered reformulations execute as single range scans.
+    pub fn encoding(mut self, encoding: DictEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Plan-cache capacity (total cached plans across all cache shards).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Number of predicate-hash data shards ([`EngineBuilder::build_sharded`]
+    /// only; clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Engine-default intra-query parallelism policy. The request builder
+    /// ([`crate::engine::QueryRequest`]) starts from this value.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Engine-wide observability sink.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    pub(crate) fn plan_cache(&self) -> Arc<PlanCache> {
+        Arc::new(PlanCache::new(self.plan_cache_capacity))
+    }
+
+    pub(crate) fn shard_config(&self) -> ShardConfig {
+        ShardConfig::new(self.shards)
+    }
+
+    /// Build an in-memory [`Database`] over `graph`.
+    pub fn build(self, graph: Graph) -> Database {
+        let cache = self.plan_cache();
+        Database::build(graph, cache, self.encoding, self.parallelism).with_obs(self.obs)
+    }
+
+    /// Build a snapshot-isolated, single-writer [`ServingDatabase`].
+    pub fn build_serving(self, graph: Graph) -> ServingDatabase {
+        ServingDatabase::from_builder(graph, &self)
+    }
+
+    /// Build a [`ShardedServingDatabase`]: serving over `shards`
+    /// predicate-hash partitions with per-shard snapshot cells and a global
+    /// scatter-gather cell, all published in epoch lockstep.
+    pub fn build_sharded(self, graph: Graph) -> ShardedServingDatabase {
+        ShardedServingDatabase::from_builder(graph, &self)
+    }
+
+    /// Build an incrementally maintained [`MaintainedDatabase`].
+    pub fn build_maintained(self, graph: Graph) -> MaintainedDatabase {
+        MaintainedDatabase::from_builder(graph, &self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Strategy;
+    use rdfref_model::parser::parse_turtle;
+    use rdfref_query::parse_select;
+
+    const DOC: &str = r#"
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix ex: <http://example.org/> .
+ex:Book rdfs:subClassOf ex:Publication .
+ex:doi1 a ex:Book .
+ex:doi2 a ex:Publication .
+"#;
+
+    const QUERY: &str = r#"PREFIX ex: <http://example.org/>
+        SELECT ?x WHERE { ?x a ex:Publication }"#;
+
+    /// Every knob × every terminal constructs a working engine that
+    /// answers the schema query correctly.
+    #[test]
+    fn builder_terminals_all_answer_identically() {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(QUERY, g.dictionary_mut()).unwrap();
+
+        let plain = Database::builder().build(g.clone());
+        let reference = plain
+            .run_query(&q, &Strategy::RefGCov, &Default::default())
+            .unwrap()
+            .rows()
+            .to_vec();
+        assert_eq!(reference.len(), 2);
+
+        let configured = Database::builder()
+            .encoding(DictEncoding::Interval)
+            .plan_cache_capacity(16)
+            .parallelism(Parallelism::morsels())
+            .build(g.clone());
+        let got = configured
+            .run_query(&q, &Strategy::RefGCov, &Default::default())
+            .unwrap()
+            .rows()
+            .to_vec();
+        assert_eq!(got, reference);
+
+        let serving = Database::builder().build_serving(g.clone());
+        let snap = serving.snapshot();
+        assert_eq!(snap.query(&q).run().unwrap().rows(), &reference[..]);
+        drop(serving);
+
+        let sharded = Database::builder().shards(4).build_sharded(g.clone());
+        let snap = sharded.snapshot();
+        assert_eq!(snap.query(&q).run().unwrap().rows(), &reference[..]);
+        drop(sharded);
+
+        let mut maintained = Database::builder().build_maintained(g);
+        assert_eq!(maintained.query(&q).run().unwrap().rows(), &reference[..]);
+    }
+
+    /// The builder's parallelism knob becomes the engine default the
+    /// request builder starts from, and requests can still override it.
+    #[test]
+    fn builder_parallelism_is_the_request_default() {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(QUERY, g.dictionary_mut()).unwrap();
+        let db = Database::builder()
+            .parallelism(Parallelism::Unions)
+            .build(g);
+        assert_eq!(db.default_parallelism(), Parallelism::Unions);
+        let a = db.query(&q).run().unwrap();
+        let b = db.query(&q).parallelism(Parallelism::Off).run().unwrap();
+        assert_eq!(a.rows(), b.rows());
+    }
+
+    /// Builder equivalence with the removed constructor zoo: every old
+    /// construction is expressible (and behaves identically) through the
+    /// single builder surface.
+    #[test]
+    fn builder_covers_the_old_constructors() {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(QUERY, g.dictionary_mut()).unwrap();
+        // Old `Database::new(g)` ≡ builder defaults.
+        let plain = Database::builder().build(g.clone());
+        // Old `Database::with_encoding(g, Interval)` ≡ `.encoding(...)`.
+        let interval = Database::builder()
+            .encoding(DictEncoding::Interval)
+            .build(g.clone());
+        // Old `ServingDatabase::with_encoding(g, Interval)` ≡ serving terminal.
+        let serving = Database::builder()
+            .encoding(DictEncoding::Interval)
+            .build_serving(g);
+        let reference = plain.query(&q).run().unwrap().rows().to_vec();
+        assert_eq!(interval.query(&q).run().unwrap().rows(), &reference[..]);
+        let snap = serving.snapshot();
+        assert_eq!(snap.query(&q).run().unwrap().rows(), &reference[..]);
+    }
+}

@@ -31,7 +31,7 @@
 //!     "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
 //!     graph.dictionary_mut(),
 //! ).unwrap();
-//! let mut db = Database::new(graph);
+//! let mut db = Database::builder().build(graph);
 //! assert_eq!(run(&mut db, &q), 1);
 //! ```
 //!
@@ -42,7 +42,7 @@
 //!     .query(&cq)
 //!     .strategy(Strategy::RefGCov)
 //!     .row_budget(1_000_000)
-//!     .parallel_unions(true)
+//!     .parallelism(Parallelism::Unions)
 //!     .collect_metrics(&registry)
 //!     .run()?;
 //! ```
@@ -54,6 +54,7 @@ use crate::maintained::MaintainedDatabase;
 use crate::reformulate::ucq::ReformulationLimits;
 use rdfref_obs::{MetricsRegistry, Obs};
 use rdfref_query::Cq;
+use rdfref_storage::Parallelism;
 use std::sync::Arc;
 
 /// Anything that can answer a BGP query with a [`Strategy`].
@@ -70,6 +71,14 @@ pub trait QueryEngine {
         strategy: &Strategy,
         opts: &AnswerOptions,
     ) -> Result<QueryAnswer>;
+
+    /// The options a fresh [`QueryRequest`] starts from. Engines built with
+    /// a non-default parallelism policy (see
+    /// [`crate::EngineBuilder::parallelism`]) override this so requests
+    /// inherit the engine default; explicit request knobs still win.
+    fn default_options(&self) -> AnswerOptions {
+        AnswerOptions::default()
+    }
 
     /// Start a request for `cq` against this engine (builder style).
     fn query<'q>(&mut self, cq: &'q Cq) -> QueryRequest<'q, &mut Self>
@@ -89,6 +98,10 @@ impl QueryEngine for Database {
     ) -> Result<QueryAnswer> {
         Database::run_query(self, cq, strategy, opts)
     }
+
+    fn default_options(&self) -> AnswerOptions {
+        AnswerOptions::default().with_parallelism(self.default_parallelism())
+    }
 }
 
 /// A shared database answers through `&Database` — this is what lets
@@ -102,6 +115,10 @@ impl QueryEngine for &Database {
     ) -> Result<QueryAnswer> {
         Database::run_query(self, cq, strategy, opts)
     }
+
+    fn default_options(&self) -> AnswerOptions {
+        AnswerOptions::default().with_parallelism(self.default_parallelism())
+    }
 }
 
 impl QueryEngine for MaintainedDatabase {
@@ -113,6 +130,10 @@ impl QueryEngine for MaintainedDatabase {
     ) -> Result<QueryAnswer> {
         MaintainedDatabase::run_query(self, cq, strategy, opts)
     }
+
+    fn default_options(&self) -> AnswerOptions {
+        AnswerOptions::default().with_parallelism(self.default_parallelism())
+    }
 }
 
 impl<E: QueryEngine> QueryEngine for &mut E {
@@ -123,6 +144,10 @@ impl<E: QueryEngine> QueryEngine for &mut E {
         opts: &AnswerOptions,
     ) -> Result<QueryAnswer> {
         (**self).run_query(cq, strategy, opts)
+    }
+
+    fn default_options(&self) -> AnswerOptions {
+        (**self).default_options()
     }
 }
 
@@ -142,13 +167,15 @@ pub struct QueryRequest<'q, E> {
 }
 
 impl<'q, E: QueryEngine> QueryRequest<'q, E> {
-    /// Start a request with the default strategy and options.
+    /// Start a request with the default strategy and the engine's default
+    /// options (which carry the engine-level parallelism policy).
     pub fn new(engine: E, cq: &'q Cq) -> Self {
+        let opts = engine.default_options();
         QueryRequest {
             engine,
             cq,
             strategy: Strategy::RefGCov,
-            opts: AnswerOptions::default(),
+            opts,
         }
     }
 
@@ -170,9 +197,12 @@ impl<'q, E: QueryEngine> QueryRequest<'q, E> {
         self
     }
 
-    /// Evaluate large unions on parallel threads.
-    pub fn parallel_unions(mut self, on: bool) -> Self {
-        self.opts.parallel_unions = on;
+    /// Set the intra-query parallelism policy: `Parallelism::Off`,
+    /// `Parallelism::Unions` (large unions fan out across threads) or
+    /// `Parallelism::Morsels { size }` (scans and bind-joins split into
+    /// fixed-size morsels claimed by a self-scheduling worker pool).
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.opts.parallelism = parallelism;
         self
     }
 
@@ -253,7 +283,7 @@ ex:doi2 ex:writtenBy ex:someone .
             g.dictionary_mut(),
         )
         .unwrap();
-        (Database::new(g), q)
+        (Database::builder().build(g), q)
     }
 
     #[test]
@@ -272,7 +302,7 @@ ex:doi2 ex:writtenBy ex:someone .
             .query(&q)
             .strategy(Strategy::RefUcq)
             .row_budget(1_000_000)
-            .parallel_unions(true)
+            .parallelism(Parallelism::Unions)
             .limits(ReformulationLimits::default())
             .use_cache(false)
             .collect_metrics(&registry)

@@ -67,14 +67,41 @@ pub struct Explain {
 /// sequence number plus the plan-cache epochs it was tagged with. Two
 /// answers carrying the same `seq` were computed over byte-identical
 /// (graph, saturation, stats) state.
+///
+/// Non-exhaustive with private fields: constructed only by the serving
+/// layer, read through the accessors — new identity facets (e.g. a shard
+/// id) can be added without breaking readers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SnapshotInfo {
+    seq: u64,
+    schema_epoch: u64,
+    data_epoch: u64,
+}
+
+impl SnapshotInfo {
+    pub(crate) fn new(seq: u64, schema_epoch: u64, data_epoch: u64) -> SnapshotInfo {
+        SnapshotInfo {
+            seq,
+            schema_epoch,
+            data_epoch,
+        }
+    }
+
     /// Monotonic publication sequence number (0 = initial snapshot).
-    pub seq: u64,
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Plan-cache schema epoch at snapshot construction.
-    pub schema_epoch: u64,
+    pub fn schema_epoch(&self) -> u64 {
+        self.schema_epoch
+    }
+
     /// Plan-cache data epoch at snapshot construction.
-    pub data_epoch: u64,
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch
+    }
 }
 
 impl Explain {

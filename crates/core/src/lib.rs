@@ -42,7 +42,7 @@
 //!     "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
 //!     graph.dictionary_mut(),
 //! ).unwrap();
-//! let db = Database::new(graph);
+//! let db = Database::builder().build(graph);
 //! let sat = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
 //! let gcv = db.query(&q).strategy(Strategy::RefGCov).run().unwrap();
 //! assert_eq!(sat.rows(), gcv.rows());      // both find the implicit Publication
@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod answer;
+pub mod builder;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -69,6 +70,7 @@ pub mod reformulate;
 pub mod serving;
 
 pub use answer::{AnswerOptions, Database, QueryAnswer, Strategy};
+pub use builder::EngineBuilder;
 pub use cache::{CacheCounters, CacheKey, CachedPlan, PlanCache, StrategyTag};
 pub use engine::{QueryEngine, QueryRequest};
 pub use error::{CoreError, Result};
@@ -77,7 +79,11 @@ pub use gcov::{gcov, gcov_with_obs, GcovOptions, GcovResult};
 pub use incomplete::IncompletenessProfile;
 pub use maintained::MaintainedDatabase;
 pub use rdfref_obs::{MetricsRegistry, Obs};
+pub use rdfref_storage::{Parallelism, DEFAULT_MORSEL_SIZE};
 pub use reformulate::{
     reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
 };
-pub use serving::{BatchReport, BatchTicket, ServingDatabase, Snapshot, UpdateBatch};
+pub use serving::{
+    BatchReport, BatchTicket, ServingDatabase, ShardConfig, ShardedServingDatabase, Snapshot,
+    UpdateBatch,
+};

@@ -38,12 +38,34 @@ pub struct MaintainedDatabase {
 }
 
 impl MaintainedDatabase {
-    /// Build from an explicit graph (saturates once).
+    /// Build from an explicit graph (saturates once) with the defaults.
+    /// Knobs (encoding, cache capacity, parallelism) go through
+    /// [`crate::Database::builder`]`().build_maintained(graph)`.
     pub fn new(graph: Graph) -> Self {
         MaintainedDatabase {
             writer: WriterCore::from_graph(graph, Arc::new(PlanCache::default()), Obs::disabled()),
             snapshot: None,
         }
+    }
+
+    /// Builder terminal: see [`crate::EngineBuilder::build_maintained`].
+    pub(crate) fn from_builder(graph: Graph, b: &crate::builder::EngineBuilder) -> Self {
+        MaintainedDatabase {
+            writer: WriterCore::new(
+                graph,
+                b.plan_cache(),
+                b.obs.clone(),
+                b.encoding,
+                b.parallelism,
+                1,
+            ),
+            snapshot: None,
+        }
+    }
+
+    /// Engine-default intra-query parallelism (the request-builder default).
+    pub fn default_parallelism(&self) -> rdfref_storage::Parallelism {
+        self.writer.parallelism()
     }
 
     /// Install an observability sink (builder style). Maintenance spans
@@ -213,7 +235,8 @@ ex:doi1 a ex:Book .
         );
         db.insert(&[t]);
         let maintained = db.run_query(&q, &Strategy::Saturation, &opts).unwrap();
-        let fresh = Database::new(db.explicit().clone())
+        let fresh = Database::builder()
+            .build(db.explicit().clone())
             .run_query(&q, &Strategy::Saturation, &opts)
             .unwrap();
         assert_eq!(maintained.rows(), fresh.rows());

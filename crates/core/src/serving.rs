@@ -46,7 +46,8 @@
 //! unshared index buckets are freed. There is no epoch-based reclamation
 //! machinery to misuse and no unsafe code.
 
-use crate::answer::{AnswerOptions, Database, QueryAnswer, SaturatedPart, Strategy};
+use crate::answer::{AnswerOptions, DataSource, Database, QueryAnswer, SaturatedPart, Strategy};
+use crate::builder::EngineBuilder;
 use crate::cache::PlanCache;
 use crate::engine::{QueryEngine, QueryRequest};
 use crate::error::{CoreError, Result};
@@ -58,7 +59,9 @@ use rdfref_model::{
 use rdfref_obs::Obs;
 use rdfref_query::Cq;
 use rdfref_reasoning::{IncrementalReasoner, MaintenanceDelta};
-use rdfref_storage::{Stats, StatsMaintainer, Store};
+use rdfref_storage::{
+    shard_of_predicate, Parallelism, ShardedStore, Stats, StatsMaintainer, Store,
+};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -104,11 +107,7 @@ impl Snapshot {
 
     /// Identity of this snapshot for [`crate::Explain::snapshot`].
     pub fn info(&self) -> SnapshotInfo {
-        SnapshotInfo {
-            seq: self.seq,
-            schema_epoch: self.schema_epoch,
-            data_epoch: self.data_epoch,
-        }
+        SnapshotInfo::new(self.seq, self.schema_epoch, self.data_epoch)
     }
 
     /// The underlying prepared database (store, stats, schema accessors).
@@ -167,6 +166,10 @@ impl QueryEngine for &Snapshot {
         opts: &AnswerOptions,
     ) -> Result<QueryAnswer> {
         Snapshot::run_query(self, cq, strategy, opts)
+    }
+
+    fn default_options(&self) -> AnswerOptions {
+        self.db.default_options()
     }
 }
 
@@ -279,27 +282,107 @@ impl SnapshotCell {
 #[derive(Debug, Clone, Default)]
 #[non_exhaustive]
 pub struct BatchReport {
+    pub(crate) seq: u64,
+    pub(crate) explicit_added: usize,
+    pub(crate) explicit_removed: usize,
+    pub(crate) saturation_added: usize,
+    pub(crate) saturation_removed: usize,
+    pub(crate) schema_changed: bool,
+    pub(crate) resaturated: bool,
+    pub(crate) apply_wall: Duration,
+    pub(crate) queue_wait: Duration,
+}
+
+impl BatchReport {
     /// Sequence number of the first published snapshot containing this
     /// batch (coalesced batches share one publication).
-    pub seq: u64,
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Triples added to the explicit graph (requested minus duplicates).
-    pub explicit_added: usize,
+    pub fn explicit_added(&self) -> usize {
+        self.explicit_added
+    }
+
     /// Triples removed from the explicit graph.
-    pub explicit_removed: usize,
+    pub fn explicit_removed(&self) -> usize {
+        self.explicit_removed
+    }
+
     /// Triples added to the saturation (explicit and derived).
-    pub saturation_added: usize,
+    pub fn saturation_added(&self) -> usize {
+        self.saturation_added
+    }
+
     /// Triples removed from the saturation (DRed net removal).
-    pub saturation_removed: usize,
+    pub fn saturation_removed(&self) -> usize {
+        self.saturation_removed
+    }
+
     /// Did the batch touch RDFS constraints (forcing resaturation and a
     /// schema-epoch bump)?
-    pub schema_changed: bool,
+    pub fn schema_changed(&self) -> bool {
+        self.schema_changed
+    }
+
     /// Was the saturation rebuilt from scratch (schema path)?
-    pub resaturated: bool,
+    pub fn resaturated(&self) -> bool {
+        self.resaturated
+    }
+
     /// Wall time spent applying this batch (reasoning + store/stats COW).
-    pub apply_wall: Duration,
+    pub fn apply_wall(&self) -> Duration {
+        self.apply_wall
+    }
+
     /// Time the batch spent queued before the writer picked it up (zero
     /// for synchronous application).
-    pub queue_wait: Duration,
+    pub fn queue_wait(&self) -> Duration {
+        self.queue_wait
+    }
+}
+
+/// One predicate-hash partition's working state: copy-on-write explicit
+/// and saturation stores restricted to the triples whose predicate routes
+/// to this shard, plus their incrementally maintained statistics. Kept in
+/// lockstep with the global working stores by [`WriterCore::fold_delta`].
+#[derive(Debug)]
+struct ShardState {
+    explicit: Store,
+    explicit_stats: Arc<Stats>,
+    explicit_maintainer: StatsMaintainer,
+    sat: Store,
+    sat_stats: Arc<Stats>,
+    sat_maintainer: StatsMaintainer,
+}
+
+impl ShardState {
+    fn from_stores(explicit: Store, sat: Store) -> ShardState {
+        let explicit_stats = Arc::new(Stats::compute(&explicit));
+        let explicit_maintainer = StatsMaintainer::from_store(&explicit);
+        let sat_stats = Arc::new(Stats::compute(&sat));
+        let sat_maintainer = StatsMaintainer::from_store(&sat);
+        ShardState {
+            explicit,
+            explicit_stats,
+            explicit_maintainer,
+            sat,
+            sat_stats,
+            sat_maintainer,
+        }
+    }
+}
+
+/// Partition `store`'s triples by `shard_of_predicate` into `n` stores.
+/// Every triple — explicit and derived alike — is routed by its *own*
+/// predicate id, so constant-predicate scans hit exactly one shard.
+fn partition_store(store: &Store, n: usize) -> Vec<Store> {
+    let mut parts: Vec<Vec<EncodedTriple>> = vec![Vec::new(); n];
+    for t in store.iter() {
+        parts[shard_of_predicate(t.p, n)].push(t);
+    }
+    parts.iter().map(|p| Store::from_triples(p)).collect()
 }
 
 /// The single-writer maintenance state: the incremental reasoner plus
@@ -311,6 +394,13 @@ pub struct BatchReport {
 /// stores evolve via [`Store::apply_delta`] (bucket-level copy-on-write)
 /// driven by the exact [`MaintenanceDelta`]s the reasoner reports, and the
 /// statistics via [`StatsMaintainer`] — no full rebuild on the data path.
+///
+/// With `shards > 1` the writer additionally maintains one [`ShardState`]
+/// per predicate-hash partition, folding each delta triple into the shard
+/// its predicate routes to. All shards advance inside the same `apply`
+/// call, share the single plan cache and epoch pair, and are published at
+/// the same sequence number — the cross-shard batch protocol that keeps
+/// epoch-pinned plan-cache lookups valid on every shard.
 #[derive(Debug)]
 pub(crate) struct WriterCore {
     reasoner: IncrementalReasoner,
@@ -337,18 +427,32 @@ pub(crate) struct WriterCore {
     /// way into the stores and re-encodes wholesale on schema changes.
     encoding: DictEncoding,
     encoder: Option<Arc<HierarchyEncoder>>,
+    /// Engine-default intra-query parallelism, stamped onto every snapshot
+    /// database this writer assembles.
+    parallelism: Parallelism,
+    /// Predicate-hash partitions (empty when unsharded).
+    shard_states: Vec<ShardState>,
 }
 
 impl WriterCore {
     pub(crate) fn from_graph(graph: Graph, cache: Arc<PlanCache>, obs: Obs) -> WriterCore {
-        WriterCore::from_graph_with_encoding(graph, cache, obs, DictEncoding::Classic)
+        WriterCore::new(
+            graph,
+            cache,
+            obs,
+            DictEncoding::Classic,
+            Parallelism::Off,
+            1,
+        )
     }
 
-    pub(crate) fn from_graph_with_encoding(
+    pub(crate) fn new(
         graph: Graph,
         cache: Arc<PlanCache>,
         obs: Obs,
         encoding: DictEncoding,
+        parallelism: Parallelism,
+        shards: usize,
     ) -> WriterCore {
         let mut reasoner = IncrementalReasoner::new(graph);
         reasoner.set_obs(obs.clone());
@@ -378,6 +482,15 @@ impl WriterCore {
         let sat_stats = Arc::new(Stats::compute(&sat_store));
         let sat_maintainer = StatsMaintainer::from_store(&sat_store);
         let last_delta = sat_store.len().saturating_sub(explicit_store.len());
+        let shard_states = if shards > 1 {
+            partition_store(&explicit_store, shards)
+                .into_iter()
+                .zip(partition_store(&sat_store, shards))
+                .map(|(e, s)| ShardState::from_stores(e, s))
+                .collect()
+        } else {
+            Vec::new()
+        };
         WriterCore {
             reasoner,
             dict,
@@ -395,6 +508,8 @@ impl WriterCore {
             obs,
             encoding,
             encoder,
+            parallelism,
+            shard_states,
         }
     }
 
@@ -547,7 +662,9 @@ impl WriterCore {
 
     /// Fold one exact maintenance delta into the working stores and stats.
     /// Deltas arrive in base id space (the reasoner's); interval mode
-    /// remaps them here, at the store boundary.
+    /// remaps them here, at the store boundary. Sharded writers also route
+    /// every delta triple into its predicate's partition, keeping the
+    /// shards in lockstep with the global stores inside one `apply`.
     fn fold_delta(&mut self, delta: &MaintenanceDelta) {
         if !delta.explicit_added.is_empty() || !delta.explicit_removed.is_empty() {
             let added = self.encode_triples(&delta.explicit_added);
@@ -558,6 +675,7 @@ impl WriterCore {
                     .apply(&self.explicit_stats, &next, &added, &removed);
             self.explicit_store = next;
             self.explicit_stats = Arc::new(stats);
+            self.fold_shard_deltas(&added, &removed, true);
         }
         if !delta.saturation_added.is_empty() || !delta.saturation_removed.is_empty() {
             let added = self.encode_triples(&delta.saturation_added);
@@ -568,6 +686,52 @@ impl WriterCore {
                 .apply(&self.sat_stats, &next, &added, &removed);
             self.sat_store = next;
             self.sat_stats = Arc::new(stats);
+            self.fold_shard_deltas(&added, &removed, false);
+        }
+    }
+
+    /// Route one (already encoded) delta into the per-shard stores and
+    /// statistics. `explicit` selects which side of each shard to fold.
+    fn fold_shard_deltas(
+        &mut self,
+        added: &[EncodedTriple],
+        removed: &[EncodedTriple],
+        explicit: bool,
+    ) {
+        let n = self.shard_states.len();
+        if n == 0 {
+            return;
+        }
+        let route = |ts: &[EncodedTriple]| {
+            let mut parts: Vec<Vec<EncodedTriple>> = vec![Vec::new(); n];
+            for t in ts {
+                parts[shard_of_predicate(t.p, n)].push(*t);
+            }
+            parts
+        };
+        let added_parts = route(added);
+        let removed_parts = route(removed);
+        for (shard, (a, r)) in self
+            .shard_states
+            .iter_mut()
+            .zip(added_parts.iter().zip(removed_parts.iter()))
+        {
+            if a.is_empty() && r.is_empty() {
+                continue;
+            }
+            if explicit {
+                let next = shard.explicit.apply_delta(a, r);
+                let stats = shard
+                    .explicit_maintainer
+                    .apply(&shard.explicit_stats, &next, a, r);
+                shard.explicit = next;
+                shard.explicit_stats = Arc::new(stats);
+            } else {
+                let next = shard.sat.apply_delta(a, r);
+                let stats = shard.sat_maintainer.apply(&shard.sat_stats, &next, a, r);
+                shard.sat = next;
+                shard.sat_stats = Arc::new(stats);
+            }
         }
     }
 
@@ -608,34 +772,127 @@ impl WriterCore {
         }
     }
 
-    /// Assemble an immutable snapshot of the current working state: a few
-    /// `Arc` clones plus two store handle copies (bucket-shared).
-    pub(crate) fn snapshot(&self) -> Arc<Snapshot> {
+    /// The engine-default intra-query parallelism policy.
+    pub(crate) fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Wrap pre-built parts into a snapshot at the current seq/epochs.
+    fn snapshot_from(
+        &self,
+        explicit: DataSource,
+        sat: DataSource,
+        stats: Arc<Stats>,
+        sat_stats: Arc<Stats>,
+    ) -> Arc<Snapshot> {
+        let explicit_len = explicit.len();
+        let saturation_len = sat.len();
         let db = Database::from_parts(
             Arc::clone(&self.dict),
             Arc::clone(&self.schema),
             Arc::clone(&self.closure),
-            self.explicit_store.clone(),
-            Arc::clone(&self.explicit_stats),
+            explicit,
+            stats,
             Some(SaturatedPart {
-                store: self.sat_store.clone(),
-                stats: Arc::clone(&self.sat_stats),
+                store: sat,
+                stats: sat_stats,
                 added: self.last_delta,
             }),
             Arc::clone(&self.cache),
             (self.cache.schema_epoch(), self.cache.data_epoch()),
             self.obs.clone(),
             self.encoder.clone(),
+            self.parallelism,
         );
         Arc::new(Snapshot {
             seq: self.seq,
             schema_epoch: self.cache.schema_epoch(),
             data_epoch: self.cache.data_epoch(),
-            explicit_len: self.explicit_store.len(),
-            saturation_len: self.sat_store.len(),
+            explicit_len,
+            saturation_len,
             db,
             created: Instant::now(),
         })
+    }
+
+    /// Assemble an immutable snapshot of the current working state: a few
+    /// `Arc` clones plus store handle copies (bucket-shared). Sharded
+    /// writers hand out the scatter-gather view ([`ShardedStore`]) so
+    /// constant-predicate scans hit exactly one partition.
+    pub(crate) fn snapshot(&self) -> Arc<Snapshot> {
+        let (explicit, sat) = if self.shard_states.is_empty() {
+            (
+                DataSource::Single(self.explicit_store.clone()),
+                DataSource::Single(self.sat_store.clone()),
+            )
+        } else {
+            (
+                DataSource::Sharded(ShardedStore::from_shards(
+                    self.shard_states
+                        .iter()
+                        .map(|s| Arc::new(s.explicit.clone()))
+                        .collect(),
+                )),
+                DataSource::Sharded(ShardedStore::from_shards(
+                    self.shard_states
+                        .iter()
+                        .map(|s| Arc::new(s.sat.clone()))
+                        .collect(),
+                )),
+            )
+        };
+        self.snapshot_from(
+            explicit,
+            sat,
+            Arc::clone(&self.explicit_stats),
+            Arc::clone(&self.sat_stats),
+        )
+    }
+
+    /// One snapshot per shard, each a fully answerable database restricted
+    /// to its partition's triples (with per-shard statistics). All carry
+    /// the same seq and epochs as the global snapshot built in the same
+    /// publication — the epoch-lockstep contract.
+    pub(crate) fn shard_snapshots(&self) -> Vec<Arc<Snapshot>> {
+        self.shard_states
+            .iter()
+            .map(|s| {
+                self.snapshot_from(
+                    DataSource::Single(s.explicit.clone()),
+                    DataSource::Single(s.sat.clone()),
+                    Arc::clone(&s.explicit_stats),
+                    Arc::clone(&s.sat_stats),
+                )
+            })
+            .collect()
+    }
+
+    /// The global snapshot followed by the per-shard snapshots (empty tail
+    /// when unsharded) — everything one publication installs, built under
+    /// one `&self` borrow so no batch can interleave.
+    pub(crate) fn all_snapshots(&self) -> Vec<Arc<Snapshot>> {
+        let mut snaps = vec![self.snapshot()];
+        snaps.extend(self.shard_snapshots());
+        #[cfg(feature = "strict-invariants")]
+        {
+            let global = &snaps[0];
+            let mut shard_explicit = 0;
+            for s in &snaps[1..] {
+                assert_eq!(
+                    (s.seq, s.schema_epoch, s.data_epoch),
+                    (global.seq, global.schema_epoch, global.data_epoch),
+                    "shard snapshot broke epoch lockstep"
+                );
+                shard_explicit += s.explicit_len;
+            }
+            if snaps.len() > 1 {
+                assert_eq!(
+                    shard_explicit, global.explicit_len,
+                    "shard partitions do not cover the explicit store"
+                );
+            }
+        }
+        snaps
     }
 }
 
@@ -740,7 +997,7 @@ const MAX_COALESCED_BATCHES: usize = 64;
 /// `&self`.
 ///
 /// ```
-/// use rdfref_core::{ServingDatabase, Strategy};
+/// use rdfref_core::{Database, Strategy};
 /// use rdfref_model::parser::parse_turtle;
 /// use rdfref_model::{Term, Triple};
 /// use rdfref_query::parse_select;
@@ -757,7 +1014,7 @@ const MAX_COALESCED_BATCHES: usize = 64;
 ///     g.dictionary_mut(),
 /// )
 /// .unwrap();
-/// let db = ServingDatabase::new(g);
+/// let db = Database::builder().build_serving(g);
 ///
 /// // Reads are `&self` and lock-free; each answer is snapshot-consistent.
 /// let before = db.query(&q).strategy(Strategy::RefUcq).run().unwrap();
@@ -772,7 +1029,7 @@ const MAX_COALESCED_BATCHES: usize = 64;
 /// )
 /// .unwrap();
 /// let report = db.insert(vec![t]).unwrap().wait().unwrap();
-/// assert_eq!(report.explicit_added, 1);
+/// assert_eq!(report.explicit_added(), 1);
 /// let after = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
 /// assert_eq!(after.len(), 2);
 /// ```
@@ -789,66 +1046,98 @@ pub struct ServingDatabase {
     published_seq: Arc<AtomicU64>,
     cache: Arc<PlanCache>,
     obs: Obs,
+    /// Engine-default intra-query parallelism (request-builder default).
+    parallelism: Parallelism,
+}
+
+/// Everything `start_serving` wires up: the publication cells (index 0 =
+/// global), the batch queue, the writer thread and the published-seq gauge.
+struct ServingParts {
+    cells: Vec<Arc<SnapshotCell>>,
+    queue: mpsc::Sender<PendingBatch>,
+    worker: thread::JoinHandle<()>,
+    published_seq: Arc<AtomicU64>,
+}
+
+/// Publish the initial snapshots, spawn the background maintenance thread
+/// and hand back the wiring — shared by [`ServingDatabase`] and
+/// [`ShardedServingDatabase`].
+fn start_serving(writer: WriterCore, obs: &Obs) -> ServingParts {
+    let initial = writer.all_snapshots();
+    let published_seq = Arc::new(AtomicU64::new(initial[0].seq));
+    let cells: Vec<Arc<SnapshotCell>> = initial
+        .into_iter()
+        .map(|s| Arc::new(SnapshotCell::new(s)))
+        .collect();
+    let (tx, rx) = mpsc::channel::<PendingBatch>();
+    let worker = {
+        let cells = cells.clone();
+        let published_seq = Arc::clone(&published_seq);
+        let obs = obs.clone();
+        let spawned = thread::Builder::new()
+            .name("rdfref-serving-writer".into())
+            .spawn(move || writer_loop(writer, rx, cells, published_seq, obs));
+        match spawned {
+            Ok(handle) => handle,
+            // Spawn fails only on resource exhaustion (EAGAIN); like
+            // OOM that is not a recoverable condition, and a Result
+            // constructor would push an un-actionable error onto every
+            // caller — abort instead of panicking through a poisoned
+            // half-built database.
+            Err(_) => std::process::abort(),
+        }
+    };
+    ServingParts {
+        cells,
+        queue: tx,
+        worker,
+        published_seq,
+    }
+}
+
+/// Enqueue `batch` on a serving queue, shared by both façades.
+fn submit_to(
+    queue: Option<&mpsc::Sender<PendingBatch>>,
+    batch: UpdateBatch,
+) -> Result<BatchTicket> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let pending = PendingBatch {
+        batch,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    queue
+        .ok_or(CoreError::ServingStopped)?
+        .send(pending)
+        .map_err(|_| CoreError::ServingStopped)?;
+    Ok(BatchTicket { reply: reply_rx })
 }
 
 impl ServingDatabase {
-    /// Build from an explicit graph (saturates once) and start the
-    /// background maintenance thread.
-    pub fn new(graph: Graph) -> ServingDatabase {
-        ServingDatabase::with_obs(graph, Obs::disabled())
-    }
-
-    /// Like [`ServingDatabase::new`], with an explicit dictionary encoding.
-    /// Interval mode re-encodes the stores (and strands cached plans via
-    /// the schema epoch) whenever a batch changes the RDFS constraints.
-    pub fn with_encoding(graph: Graph, encoding: DictEncoding) -> ServingDatabase {
-        ServingDatabase::with_obs_and_encoding(graph, Obs::disabled(), encoding)
-    }
-
-    /// Like [`ServingDatabase::new`], with an observability sink: snapshot
-    /// publications, batch latencies and reader lag flow into it, as do all
-    /// maintenance spans and answering metrics.
-    pub fn with_obs(graph: Graph, obs: Obs) -> ServingDatabase {
-        ServingDatabase::with_obs_and_encoding(graph, obs, DictEncoding::Classic)
-    }
-
-    /// Observability sink plus dictionary encoding.
-    pub fn with_obs_and_encoding(
-        graph: Graph,
-        obs: Obs,
-        encoding: DictEncoding,
-    ) -> ServingDatabase {
-        let cache = Arc::new(PlanCache::default());
-        let writer =
-            WriterCore::from_graph_with_encoding(graph, Arc::clone(&cache), obs.clone(), encoding);
-        let initial = writer.snapshot();
-        let published_seq = Arc::new(AtomicU64::new(initial.seq));
-        let cell = Arc::new(SnapshotCell::new(initial));
-        let (tx, rx) = mpsc::channel::<PendingBatch>();
-        let worker = {
-            let cell = Arc::clone(&cell);
-            let published_seq = Arc::clone(&published_seq);
-            let obs = obs.clone();
-            let spawned = thread::Builder::new()
-                .name("rdfref-serving-writer".into())
-                .spawn(move || writer_loop(writer, rx, cell, published_seq, obs));
-            match spawned {
-                Ok(handle) => handle,
-                // Spawn fails only on resource exhaustion (EAGAIN); like
-                // OOM that is not a recoverable condition, and a Result
-                // constructor would push an un-actionable error onto every
-                // caller — abort instead of panicking through a poisoned
-                // half-built database.
-                Err(_) => std::process::abort(),
-            }
-        };
+    /// Build from an [`EngineBuilder`] (saturates once) and start the
+    /// background maintenance thread. Reached via
+    /// [`Database::builder`]`().build_serving(graph)`.
+    pub(crate) fn from_builder(graph: Graph, b: &EngineBuilder) -> ServingDatabase {
+        let cache = b.plan_cache();
+        let writer = WriterCore::new(
+            graph,
+            Arc::clone(&cache),
+            b.obs.clone(),
+            b.encoding,
+            b.parallelism,
+            1,
+        );
+        let parallelism = writer.parallelism();
+        let obs = writer.obs().clone();
+        let parts = start_serving(writer, &obs);
         ServingDatabase {
-            cell,
-            queue: Some(tx),
-            worker: Some(worker),
-            published_seq,
+            cell: Arc::clone(&parts.cells[0]),
+            queue: Some(parts.queue),
+            worker: Some(parts.worker),
+            published_seq: parts.published_seq,
             cache,
             obs,
+            parallelism,
         }
     }
 
@@ -886,18 +1175,7 @@ impl ServingDatabase {
     /// immediately with a [`BatchTicket`]; wait on it for the per-batch
     /// [`BatchReport`] (delivered after publication — read-your-writes).
     pub fn submit(&self, batch: UpdateBatch) -> Result<BatchTicket> {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let pending = PendingBatch {
-            batch,
-            enqueued: Instant::now(),
-            reply: reply_tx,
-        };
-        self.queue
-            .as_ref()
-            .ok_or(CoreError::ServingStopped)?
-            .send(pending)
-            .map_err(|_| CoreError::ServingStopped)?;
-        Ok(BatchTicket { reply: reply_rx })
+        submit_to(self.queue.as_ref(), batch)
     }
 
     /// Convenience: submit a pure insertion batch.
@@ -926,6 +1204,10 @@ impl QueryEngine for &ServingDatabase {
     ) -> Result<QueryAnswer> {
         ServingDatabase::snapshot(self).run_query(cq, strategy, opts)
     }
+
+    fn default_options(&self) -> AnswerOptions {
+        AnswerOptions::default().with_parallelism(self.parallelism)
+    }
 }
 
 impl Drop for ServingDatabase {
@@ -939,14 +1221,206 @@ impl Drop for ServingDatabase {
     }
 }
 
+// ---------------------------------------------------------------------------
+// ShardedServingDatabase: predicate-hash-partitioned serving
+// ---------------------------------------------------------------------------
+
+/// Shard layout of a [`ShardedServingDatabase`].
+///
+/// Non-exhaustive with private fields: constructed by the
+/// [`EngineBuilder`], read through accessors, so new layout knobs (e.g. a
+/// replication factor) can be added without breaking readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardConfig {
+    shards: usize,
+}
+
+impl ShardConfig {
+    pub(crate) fn new(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of predicate-hash partitions.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+/// A [`ServingDatabase`] over N predicate-hash partitions: one snapshot
+/// cell per shard plus a global scatter-gather cell, all fed by one writer.
+///
+/// The cross-shard batch protocol: the single writer folds every
+/// [`UpdateBatch`] into the global stores *and* each affected shard inside
+/// one `apply` call, then publishes the global snapshot and all shard
+/// snapshots carrying the **same** sequence number and plan-cache epoch
+/// pair. Readers therefore see shards in lockstep — an epoch-pinned
+/// plan-cache entry valid on one shard is valid on all of them, and
+/// [`ShardedServingDatabase::shard_snapshot`]s taken after a ticket resolves
+/// all contain the batch.
+///
+/// Global queries ([`ShardedServingDatabase::snapshot`] /
+/// [`ShardedServingDatabase::query`]) run scatter-gather: a
+/// constant-predicate scan touches exactly the one shard its predicate
+/// hashes to; wildcard and interval-predicate scans fan out and union.
+#[derive(Debug)]
+pub struct ShardedServingDatabase {
+    config: ShardConfig,
+    parallelism: Parallelism,
+    /// Scatter-gather cell over all partitions (publication index 0).
+    global: Arc<SnapshotCell>,
+    /// One cell per shard, in shard order.
+    shard_cells: Vec<Arc<SnapshotCell>>,
+    queue: Option<mpsc::Sender<PendingBatch>>,
+    worker: Option<thread::JoinHandle<()>>,
+    published_seq: Arc<AtomicU64>,
+    cache: Arc<PlanCache>,
+    obs: Obs,
+}
+
+impl ShardedServingDatabase {
+    /// Build from an [`EngineBuilder`] and start the maintenance thread.
+    /// Reached via [`Database::builder`]`().shards(n).build_sharded(graph)`.
+    pub(crate) fn from_builder(graph: Graph, b: &EngineBuilder) -> ShardedServingDatabase {
+        let config = b.shard_config();
+        let cache = b.plan_cache();
+        let writer = WriterCore::new(
+            graph,
+            Arc::clone(&cache),
+            b.obs.clone(),
+            b.encoding,
+            b.parallelism,
+            config.shards(),
+        );
+        let parallelism = writer.parallelism();
+        let obs = writer.obs().clone();
+        obs.gauge("serving.shards", config.shards() as u64);
+        let parts = start_serving(writer, &obs);
+        let global = Arc::clone(&parts.cells[0]);
+        let shard_cells = if parts.cells.len() > 1 {
+            parts.cells[1..].to_vec()
+        } else {
+            // `shards == 1` builds no ShardState; the global cell *is* the
+            // single shard.
+            vec![Arc::clone(&global)]
+        };
+        ShardedServingDatabase {
+            config,
+            parallelism,
+            global,
+            shard_cells,
+            queue: Some(parts.queue),
+            worker: Some(parts.worker),
+            published_seq: parts.published_seq,
+            cache,
+            obs,
+        }
+    }
+
+    /// Shard layout.
+    pub fn config(&self) -> ShardConfig {
+        self.config
+    }
+
+    /// Number of predicate-hash partitions.
+    pub fn shard_count(&self) -> usize {
+        self.shard_cells.len()
+    }
+
+    /// The current global (scatter-gather) snapshot — lock-free fast path,
+    /// exactly like [`ServingDatabase::snapshot`].
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        let snap = self.global.current();
+        if self.obs.enabled() {
+            let published = self.published_seq.load(Ordering::Acquire);
+            self.obs.observe(
+                "serving.reader.epoch_lag",
+                published.saturating_sub(snap.seq),
+            );
+        }
+        snap
+    }
+
+    /// Shard `i`'s current snapshot: a fully answerable database restricted
+    /// to the triples whose predicate hashes to `i`, carrying the same seq
+    /// and epochs as the global snapshot published with it.
+    pub fn shard_snapshot(&self, i: usize) -> Arc<Snapshot> {
+        self.shard_cells[i].current()
+    }
+
+    /// Sequence number of the latest published snapshot.
+    pub fn published_seq(&self) -> u64 {
+        self.published_seq.load(Ordering::Acquire)
+    }
+
+    /// The plan cache shared by the global view and every shard (one epoch
+    /// pair — the lockstep invariant).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The observability sink.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Enqueue a write batch; see [`ServingDatabase::submit`]. The ticket
+    /// resolves after the global *and* all shard snapshots containing the
+    /// batch are published.
+    pub fn submit(&self, batch: UpdateBatch) -> Result<BatchTicket> {
+        submit_to(self.queue.as_ref(), batch)
+    }
+
+    /// Convenience: submit a pure insertion batch.
+    pub fn insert(&self, triples: Vec<Triple>) -> Result<BatchTicket> {
+        self.submit(UpdateBatch::inserting(triples))
+    }
+
+    /// Convenience: submit a pure deletion batch.
+    pub fn delete(&self, triples: Vec<Triple>) -> Result<BatchTicket> {
+        self.submit(UpdateBatch::deleting(triples))
+    }
+
+    /// Start building a query request against the current global snapshot.
+    pub fn query<'q>(&self, cq: &'q Cq) -> QueryRequest<'q, &ShardedServingDatabase> {
+        QueryRequest::new(self, cq)
+    }
+}
+
+impl QueryEngine for &ShardedServingDatabase {
+    fn run_query(
+        &mut self,
+        cq: &Cq,
+        strategy: &Strategy,
+        opts: &AnswerOptions,
+    ) -> Result<QueryAnswer> {
+        ShardedServingDatabase::snapshot(self).run_query(cq, strategy, opts)
+    }
+
+    fn default_options(&self) -> AnswerOptions {
+        AnswerOptions::default().with_parallelism(self.parallelism)
+    }
+}
+
+impl Drop for ShardedServingDatabase {
+    fn drop(&mut self) {
+        self.queue = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
 /// The background maintenance loop: drain pending batches (coalescing up
 /// to [`MAX_COALESCED_BATCHES`] per publication), apply them against the
-/// writer state, build one snapshot, publish it, then deliver the per-batch
-/// reports.
+/// writer state, build one snapshot set (global + shards, one consistent
+/// seq/epoch), publish it cell by cell, then deliver the per-batch reports.
 fn writer_loop(
     mut writer: WriterCore,
     rx: mpsc::Receiver<PendingBatch>,
-    cell: Arc<SnapshotCell>,
+    cells: Vec<Arc<SnapshotCell>>,
     published_seq: Arc<AtomicU64>,
     obs: Obs,
 ) {
@@ -965,21 +1439,29 @@ fn writer_loop(
             report.queue_wait = p.enqueued.elapsed();
             reports.push(report);
         }
-        let snap = writer.snapshot();
-        // Publish the previous snapshot's lifetime before replacing it.
+        let snaps = writer.all_snapshots();
+        // Publish the previous global snapshot's lifetime before replacing
+        // it.
         if obs.enabled() {
             obs.observe(
                 "serving.snapshot.age_us",
-                cell.current().age().as_micros() as u64,
+                cells[0].current().age().as_micros() as u64,
             );
         }
-        if cell.publish(Arc::clone(&snap)) {
+        // Shard cells first, global last: a reader that sees the new global
+        // seq is guaranteed to find every shard at least as new (the
+        // monotonic-publish rule makes stragglers harmless either way).
+        let seq = snaps[0].seq;
+        for (cell, snap) in cells.iter().zip(&snaps).skip(1) {
+            cell.publish(Arc::clone(snap));
+        }
+        if cells[0].publish(Arc::clone(&snaps[0])) {
             obs.add("serving.publish", 1);
         } else {
             obs.add("serving.publish.skipped_stale", 1);
         }
-        published_seq.store(snap.seq, Ordering::Release);
-        obs.gauge("serving.snapshot.seq", snap.seq);
+        published_seq.store(seq, Ordering::Release);
+        obs.gauge("serving.snapshot.seq", seq);
         obs.observe("serving.batch.coalesced", pending.len() as u64);
         for (p, report) in pending.into_iter().zip(reports) {
             obs.observe(
@@ -1017,7 +1499,17 @@ ex:doi1 a ex:Book .
             g.dictionary_mut(),
         )
         .unwrap();
-        (ServingDatabase::new(g), q)
+        (Database::builder().build_serving(g), q)
+    }
+
+    fn setup_sharded(shards: usize) -> (ShardedServingDatabase, Cq) {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(
+            "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Publication }",
+            g.dictionary_mut(),
+        )
+        .unwrap();
+        (Database::builder().shards(shards).build_sharded(g), q)
     }
 
     fn iri(s: &str) -> Term {
@@ -1039,20 +1531,20 @@ ex:doi1 a ex:Book .
             .unwrap()
             .wait()
             .unwrap();
-        assert_eq!(report.seq, 1);
-        assert_eq!(report.explicit_added, 1);
-        assert!(report.saturation_added >= 2, "explicit + derived type");
+        assert_eq!(report.seq(), 1);
+        assert_eq!(report.explicit_added(), 1);
+        assert!(report.saturation_added() >= 2, "explicit + derived type");
 
         // The old snapshot still answers the pre-write state…
         let old = before
             .run_query(&q, &Strategy::Saturation, &AnswerOptions::default())
             .unwrap();
         assert_eq!(old.len(), 1);
-        assert_eq!(old.explain.snapshot.unwrap().seq, 0);
+        assert_eq!(old.explain.snapshot.unwrap().seq(), 0);
         // …while a fresh snapshot sees the write.
         let new = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
         assert_eq!(new.len(), 2);
-        assert_eq!(new.explain.snapshot.unwrap().seq, 1);
+        assert_eq!(new.explain.snapshot.unwrap().seq(), 1);
         assert_eq!(db.published_seq(), 1);
     }
 
@@ -1085,8 +1577,8 @@ ex:doi1 a ex:Book .
         let t = triple("doi6", &rdf_type, "Book");
         db.insert(vec![t.clone()]).unwrap().wait().unwrap();
         let report = db.delete(vec![t]).unwrap().wait().unwrap();
-        assert_eq!(report.explicit_removed, 1);
-        assert!(report.saturation_removed >= 2);
+        assert_eq!(report.explicit_removed(), 1);
+        assert!(report.saturation_removed() >= 2);
         let after = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
         assert_eq!(after.len(), 1);
     }
@@ -1112,8 +1604,8 @@ ex:doi1 a ex:Book .
                 "Novel",
             ));
         let report = db.submit(batch).unwrap().wait().unwrap();
-        assert!(report.schema_changed);
-        assert!(report.resaturated);
+        assert!(report.schema_changed());
+        assert!(report.resaturated());
         assert_eq!(db.plan_cache().schema_epoch(), before + 1);
         let after = db.query(&q).strategy(Strategy::RefUcq).run().unwrap();
         assert_eq!(after.len(), 2, "new Novel instance reached via new ⊑");
@@ -1145,9 +1637,9 @@ ex:doi1 a ex:Book .
         let mut last_seq = 0;
         for t in tickets {
             let report = t.wait().unwrap();
-            assert!(report.seq > last_seq || report.seq == last_seq + 1);
-            assert!(report.seq >= last_seq, "seqs are monotone in order");
-            last_seq = report.seq;
+            assert!(report.seq() > last_seq || report.seq() == last_seq + 1);
+            assert!(report.seq() >= last_seq, "seqs are monotone in order");
+            last_seq = report.seq();
         }
         // All ten batches applied; the published snapshot contains them all.
         assert_eq!(db.published_seq(), 10);
@@ -1158,9 +1650,98 @@ ex:doi1 a ex:Book .
     fn empty_batch_still_publishes_and_reports() {
         let (db, _q) = setup();
         let report = db.submit(UpdateBatch::new()).unwrap().wait().unwrap();
-        assert_eq!(report.explicit_added, 0);
-        assert_eq!(report.saturation_added, 0);
-        assert!(!report.schema_changed);
+        assert_eq!(report.explicit_added(), 0);
+        assert_eq!(report.saturation_added(), 0);
+        assert!(!report.schema_changed());
+    }
+
+    #[test]
+    fn sharded_answers_match_single_across_strategies() {
+        let (sharded, q) = setup_sharded(4);
+        let (single, _) = setup();
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        for i in 0..6 {
+            let t = triple(&format!("sdoi{i}"), &rdf_type, "Book");
+            sharded.insert(vec![t.clone()]).unwrap().wait().unwrap();
+            single.insert(vec![t]).unwrap().wait().unwrap();
+        }
+        let a = sharded.snapshot();
+        let b = single.snapshot();
+        assert_eq!(a.explicit_len(), b.explicit_len());
+        let opts = AnswerOptions::default();
+        for s in [
+            Strategy::Saturation,
+            Strategy::RefUcq,
+            Strategy::RefScq,
+            Strategy::RefGCov,
+        ] {
+            let got = a.run_query(&q, &s, &opts).unwrap();
+            let want = b.run_query(&q, &s, &opts).unwrap();
+            assert_eq!(got.rows(), want.rows(), "strategy {}", s.name());
+        }
+    }
+
+    #[test]
+    fn shard_snapshots_stay_in_epoch_lockstep_across_schema_bump() {
+        let (db, _q) = setup_sharded(3);
+        // A schema batch forces resaturation and a schema-epoch bump; every
+        // shard must republish at the same seq and epochs.
+        let batch = UpdateBatch::new()
+            .insert(
+                Triple::new(
+                    iri("Novel"),
+                    Term::iri(rdfref_model::vocab::RDFS_SUBCLASSOF),
+                    iri("Book"),
+                )
+                .unwrap(),
+            )
+            .insert(triple(
+                "sdoi9",
+                &Term::iri(rdfref_model::vocab::RDF_TYPE),
+                "Novel",
+            ));
+        let report = db.submit(batch).unwrap().wait().unwrap();
+        assert!(report.schema_changed());
+        let global = db.snapshot();
+        let mut shard_explicit = 0;
+        for i in 0..db.shard_count() {
+            let shard = db.shard_snapshot(i);
+            assert_eq!(shard.seq(), global.seq(), "shard {i} seq out of lockstep");
+            assert_eq!(
+                shard.info(),
+                global.info(),
+                "shard {i} epochs out of lockstep"
+            );
+            shard_explicit += shard.explicit_len();
+        }
+        assert_eq!(shard_explicit, global.explicit_len());
+    }
+
+    #[test]
+    fn sharded_database_reports_its_layout() {
+        let (db, q) = setup_sharded(4);
+        assert_eq!(db.shard_count(), 4);
+        assert_eq!(db.config().shards(), 4);
+        assert_eq!(db.snapshot().database().shard_count(), 4);
+        // Deletes route to the same shard as the insert that created them.
+        let rdf_type = Term::iri(rdfref_model::vocab::RDF_TYPE);
+        let t = triple("sdel", &rdf_type, "Book");
+        db.insert(vec![t.clone()]).unwrap().wait().unwrap();
+        let report = db.delete(vec![t]).unwrap().wait().unwrap();
+        assert_eq!(report.explicit_removed(), 1);
+        let after = db.query(&q).strategy(Strategy::Saturation).run().unwrap();
+        assert_eq!(after.len(), 1);
+    }
+
+    #[test]
+    fn one_shard_sharded_database_degenerates_to_global_cell() {
+        let (db, q) = setup_sharded(1);
+        assert_eq!(db.shard_count(), 1);
+        let global = db.snapshot();
+        let shard = db.shard_snapshot(0);
+        assert_eq!(global.seq(), shard.seq());
+        assert_eq!(global.explicit_len(), shard.explicit_len());
+        assert_eq!(db.query(&q).run().unwrap().len(), 1);
     }
 
     #[test]

@@ -18,41 +18,82 @@
 use crate::cost::CostModel;
 use crate::error::{Result, StorageError};
 use crate::exec::{scan_atom, ExecMetrics};
+use crate::morsel;
 use crate::relation::Relation;
 use crate::stats::Stats;
-use crate::store::Store;
+use crate::store::{IdPattern, TripleSource};
 use rdfref_model::TermId;
 use rdfref_obs::Obs;
 use rdfref_query::ast::{Cq, Jucq, PTerm, Ucq};
 use rdfref_query::Var;
 
-/// The evaluation engine: a store, its statistics, and execution limits.
+/// Default morsel size for [`Parallelism::Morsels`]: large enough to
+/// amortize scheduling, small enough that skewed scans still split into
+/// many work units.
+pub const DEFAULT_MORSEL_SIZE: usize = 4096;
+
+/// Intra-query parallelism policy.
+///
+/// * `Off` — fully sequential evaluation (the default).
+/// * `Unions` — large UCQ unions fan their disjuncts out over a worker
+///   pool (the RDBMSs the paper benchmarks parallelize unions).
+/// * `Morsels { size }` — scans and bind-joins split their input into
+///   fixed-size morsels that workers claim off a shared counter
+///   (work-stealing self-scheduling); output order is preserved by
+///   stitching partial buffers back in morsel order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Parallelism {
+    /// Sequential evaluation.
+    #[default]
+    Off,
+    /// Parallelize large UCQ unions across disjuncts.
+    Unions,
+    /// Morsel-driven parallel scans and bind-joins.
+    Morsels {
+        /// Rows per morsel (clamped to at least 1).
+        size: usize,
+    },
+}
+
+impl Parallelism {
+    /// Morsel-driven parallelism with the default morsel size.
+    pub fn morsels() -> Self {
+        Parallelism::Morsels {
+            size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+}
+
+/// The evaluation engine: a triple source, its statistics, and execution
+/// limits.
 #[derive(Debug, Clone)]
 pub struct Evaluator<'a> {
-    /// The store to evaluate against.
-    pub store: &'a Store,
+    /// The triple source to evaluate against (a single [`crate::Store`] or
+    /// a sharded union view).
+    pub store: &'a dyn TripleSource,
     /// Statistics driving join ordering.
     pub stats: &'a Stats,
     /// Abort when any intermediate relation exceeds this many rows.
     pub row_budget: Option<usize>,
-    /// Evaluate UCQ branches on parallel threads when the union is large.
-    pub parallel: bool,
+    /// Intra-query parallelism policy.
+    pub parallelism: Parallelism,
     /// Observability sink; disabled by default (one branch per event).
     pub obs: Obs,
 }
 
 /// Unions with at least this many disjuncts are parallelized when
-/// [`Evaluator::parallel`] is set.
+/// [`Evaluator::parallelism`] is [`Parallelism::Unions`].
 const PARALLEL_UNION_THRESHOLD: usize = 16;
 
 impl<'a> Evaluator<'a> {
     /// A sequential evaluator without a row budget.
-    pub fn new(store: &'a Store, stats: &'a Stats) -> Self {
+    pub fn new(store: &'a dyn TripleSource, stats: &'a Stats) -> Self {
         Evaluator {
             store,
             stats,
             row_budget: None,
-            parallel: false,
+            parallelism: Parallelism::Off,
             obs: Obs::disabled(),
         }
     }
@@ -94,6 +135,16 @@ impl<'a> Evaluator<'a> {
         }
     }
 
+    /// Leaf scan dispatch: morsel-parallel when the policy asks for it.
+    fn scan(&self, atom: &rdfref_query::ast::Atom) -> Result<Relation> {
+        match self.parallelism {
+            Parallelism::Morsels { size } => {
+                morsel::scan_atom_morsels(self.store, atom, size, &self.obs)
+            }
+            _ => scan_atom(self.store, atom),
+        }
+    }
+
     /// Evaluate a CQ, naming the output columns `out` (aligned with the CQ
     /// head, which may contain bound constants). Output is deduplicated
     /// (set semantics).
@@ -121,7 +172,7 @@ impl<'a> Evaluator<'a> {
             let atom = &cq.body[idx];
             if first {
                 let sw = self.obs.stopwatch();
-                acc = scan_atom(self.store, atom)?;
+                acc = self.scan(atom)?;
                 self.record_scan(atom, idx, acc.len(), sw.elapsed(), metrics);
                 first = false;
             } else {
@@ -129,7 +180,12 @@ impl<'a> Evaluator<'a> {
                 let shares = atom.vars().any(|v| acc.column_index(v).is_some());
                 if shares && (acc.len() as f64) * model.params.probe_cost_per_row < atom_card {
                     let sw = self.obs.stopwatch();
-                    acc = bind_join(self.store, &acc, atom)?;
+                    acc = match self.parallelism {
+                        Parallelism::Morsels { size } => {
+                            morsel::bind_join_morsels(self.store, &acc, atom, size, &self.obs)?
+                        }
+                        _ => bind_join(self.store, &acc, atom)?,
+                    };
                     metrics.record_timed(
                         format!("bind-join t{}", idx + 1),
                         acc.len(),
@@ -139,7 +195,7 @@ impl<'a> Evaluator<'a> {
                     self.obs.add("op.bind_join.rows", acc.len() as u64);
                 } else {
                     let sw = self.obs.stopwatch();
-                    let scanned = scan_atom(self.store, atom)?;
+                    let scanned = self.scan(atom)?;
                     self.record_scan(atom, idx, scanned.len(), sw.elapsed(), metrics);
                     self.check_budget(scanned.len())?;
                     let sw = self.obs.stopwatch();
@@ -202,7 +258,7 @@ impl<'a> Evaluator<'a> {
     pub fn eval_ucq(&self, ucq: &Ucq, out: &[Var], metrics: &mut ExecMetrics) -> Result<Relation> {
         let _span = self.obs.span("eval.ucq");
         let mut union = Relation::empty(out.to_vec());
-        if self.parallel && ucq.len() >= PARALLEL_UNION_THRESHOLD {
+        if self.parallelism == Parallelism::Unions && ucq.len() >= PARALLEL_UNION_THRESHOLD {
             let n_threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
@@ -314,53 +370,80 @@ enum HeadSource {
     Column(usize),
 }
 
-/// Index nested-loop join: for every row of `acc`, probe the store with the
-/// atom's pattern under that row's bindings. Output columns: `acc`'s columns
-/// followed by the atom's new variables (position order).
-fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> Result<Relation> {
-    use crate::store::IdPattern;
-    use rdfref_query::ast::PTerm;
+/// Per-position classification for a bind join: constant, bound (acc
+/// column), free output variable (first occurrence), or equality check
+/// (repetition).
+#[derive(Debug, Clone, Copy)]
+enum Pos {
+    Const(TermId),
+    InRange(TermId, TermId), // residual interval filter on the probe
+    Bound(usize),            // index into the acc row
+    Out(usize),              // index into the new-columns vector
+    OutEq(usize),            // must equal an earlier Out position
+}
 
-    // Classify each triple position: constant, bound (acc column), or free
-    // output variable (first occurrence) / equality check (repetition).
-    #[derive(Clone, Copy)]
-    enum Pos {
-        Const(TermId),
-        InRange(TermId, TermId), // residual interval filter on the probe
-        Bound(usize),            // index into the acc row
-        Out(usize),              // index into the new-columns vector
-        OutEq(usize),            // must equal an earlier Out position
-    }
-    let mut new_cols: Vec<Var> = Vec::new();
-    let classify = |t: &PTerm, acc: &Relation, new_cols: &mut Vec<Var>| match t {
-        PTerm::Const(c) => Pos::Const(*c),
-        PTerm::Range(lo, hi) => Pos::InRange(*lo, *hi),
-        PTerm::Var(v) => {
-            if let Some(i) = acc.column_index(v) {
-                Pos::Bound(i)
-            } else if let Some(j) = new_cols.iter().position(|c| c == v) {
-                Pos::OutEq(j)
-            } else {
-                new_cols.push(v.clone());
-                Pos::Out(new_cols.len() - 1)
+/// The compiled shape of one bind join: the position classification and
+/// the output schema. Compiled once per atom and shared by the sequential
+/// probe loop and by every morsel worker.
+#[derive(Debug, Clone)]
+pub(crate) struct BindShape {
+    spo: [Pos; 3],
+    new_cols: Vec<Var>,
+    out_columns: Vec<Var>,
+}
+
+impl BindShape {
+    pub(crate) fn of(acc: &Relation, atom: &rdfref_query::ast::Atom) -> BindShape {
+        let mut new_cols: Vec<Var> = Vec::new();
+        let classify = |t: &PTerm, acc: &Relation, new_cols: &mut Vec<Var>| match t {
+            PTerm::Const(c) => Pos::Const(*c),
+            PTerm::Range(lo, hi) => Pos::InRange(*lo, *hi),
+            PTerm::Var(v) => {
+                if let Some(i) = acc.column_index(v) {
+                    Pos::Bound(i)
+                } else if let Some(j) = new_cols.iter().position(|c| c == v) {
+                    Pos::OutEq(j)
+                } else {
+                    new_cols.push(v.clone());
+                    Pos::Out(new_cols.len() - 1)
+                }
             }
+        };
+        let spo = [
+            classify(&atom.s, acc, &mut new_cols),
+            classify(&atom.p, acc, &mut new_cols),
+            classify(&atom.o, acc, &mut new_cols),
+        ];
+        let mut out_columns = acc.columns().to_vec();
+        out_columns.extend(new_cols.iter().cloned());
+        BindShape {
+            spo,
+            new_cols,
+            out_columns,
         }
-    };
-    let spo = [
-        classify(&atom.s, acc, &mut new_cols),
-        classify(&atom.p, acc, &mut new_cols),
-        classify(&atom.o, acc, &mut new_cols),
-    ];
+    }
 
-    let mut out_cols = acc.columns().to_vec();
-    out_cols.extend(new_cols.iter().cloned());
-    let mut out = Relation::empty(out_cols);
+    /// Output columns: `acc`'s columns followed by the atom's new variables
+    /// (position order).
+    pub(crate) fn out_columns(&self) -> &[Var] {
+        &self.out_columns
+    }
 
-    let mut new_vals: Vec<TermId> = vec![TermId(0); new_cols.len()];
-    // `scan_into`'s callback cannot propagate errors, so a push failure is
-    // captured here and surfaced after the probes complete.
-    let mut push_err: Option<StorageError> = None;
-    for row in acc.rows() {
+    /// Caller-provided scratch for [`BindShape::probe`] so the hot loop
+    /// never allocates.
+    pub(crate) fn scratch(&self) -> Vec<TermId> {
+        vec![TermId(0); self.new_cols.len()]
+    }
+
+    /// Probe the source with one acc row's bindings, appending every match
+    /// (acc row ++ new values) to `out`.
+    pub(crate) fn probe(
+        &self,
+        source: &dyn TripleSource,
+        row: &[TermId],
+        new_vals: &mut [TermId],
+        out: &mut Relation,
+    ) -> Result<()> {
         let fixed = |pos: Pos| -> Option<TermId> {
             match pos {
                 Pos::Const(c) => Some(c),
@@ -369,14 +452,17 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
             }
         };
         let pattern = IdPattern {
-            s: fixed(spo[0]),
-            p: fixed(spo[1]),
-            o: fixed(spo[2]),
+            s: fixed(self.spo[0]),
+            p: fixed(self.spo[1]),
+            o: fixed(self.spo[2]),
         };
-        store.scan_into(pattern, &mut |t| {
+        // `scan_into`'s callback cannot propagate errors, so a push failure
+        // is captured here and surfaced after the probe completes.
+        let mut push_err: Option<StorageError> = None;
+        source.scan_into(pattern, &mut |t| {
             let triple = [t.s, t.p, t.o];
             let mut ok = push_err.is_none();
-            for (pos, val) in spo.iter().zip(triple) {
+            for (pos, val) in self.spo.iter().zip(triple) {
                 match *pos {
                     Pos::Out(j) => new_vals[j] = val,
                     Pos::OutEq(j) if new_vals[j] != val => ok = false,
@@ -387,24 +473,42 @@ fn bind_join(store: &Store, acc: &Relation, atom: &rdfref_query::ast::Atom) -> R
             if ok {
                 let mut full: Vec<TermId> = Vec::with_capacity(row.len() + new_vals.len());
                 full.extend_from_slice(row);
-                full.extend_from_slice(&new_vals);
+                full.extend_from_slice(new_vals);
                 if let Err(e) = out.push_row(&full) {
                     push_err = Some(e);
                 }
             }
         });
-        if push_err.is_some() {
-            break;
+        match push_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-    }
-    match push_err {
-        Some(e) => Err(e),
-        None => Ok(out),
     }
 }
 
+/// Index nested-loop join: for every row of `acc`, probe the store with the
+/// atom's pattern under that row's bindings. Output columns: `acc`'s columns
+/// followed by the atom's new variables (position order).
+fn bind_join(
+    source: &dyn TripleSource,
+    acc: &Relation,
+    atom: &rdfref_query::ast::Atom,
+) -> Result<Relation> {
+    let shape = BindShape::of(acc, atom);
+    let mut out = Relation::empty(shape.out_columns().to_vec());
+    let mut scratch = shape.scratch();
+    for row in acc.rows() {
+        shape.probe(source, row, &mut scratch, &mut out)?;
+    }
+    Ok(out)
+}
+
 /// Convenience: evaluate a CQ whose head is all variables.
-pub fn eval_cq(store: &Store, stats: &Stats, cq: &Cq) -> Result<(Relation, ExecMetrics)> {
+pub fn eval_cq(
+    store: &dyn TripleSource,
+    stats: &Stats,
+    cq: &Cq,
+) -> Result<(Relation, ExecMetrics)> {
     let out = head_names(cq);
     let mut metrics = ExecMetrics::default();
     let rel = Evaluator::new(store, stats).eval_cq(cq, &out, &mut metrics)?;
@@ -412,7 +516,11 @@ pub fn eval_cq(store: &Store, stats: &Stats, cq: &Cq) -> Result<(Relation, ExecM
 }
 
 /// Convenience: evaluate a UCQ using the first member's head names.
-pub fn eval_ucq(store: &Store, stats: &Stats, ucq: &Ucq) -> Result<(Relation, ExecMetrics)> {
+pub fn eval_ucq(
+    store: &dyn TripleSource,
+    stats: &Stats,
+    ucq: &Ucq,
+) -> Result<(Relation, ExecMetrics)> {
     let out = ucq.cqs.first().map(head_names).unwrap_or_default();
     let mut metrics = ExecMetrics::default();
     let rel = Evaluator::new(store, stats).eval_ucq(ucq, &out, &mut metrics)?;
@@ -420,7 +528,11 @@ pub fn eval_ucq(store: &Store, stats: &Stats, ucq: &Ucq) -> Result<(Relation, Ex
 }
 
 /// Convenience: evaluate a JUCQ.
-pub fn eval_jucq(store: &Store, stats: &Stats, jucq: &Jucq) -> Result<(Relation, ExecMetrics)> {
+pub fn eval_jucq(
+    store: &dyn TripleSource,
+    stats: &Stats,
+    jucq: &Jucq,
+) -> Result<(Relation, ExecMetrics)> {
     let mut metrics = ExecMetrics::default();
     let rel = Evaluator::new(store, stats).eval_jucq(jucq, &mut metrics)?;
     Ok((rel, metrics))
@@ -442,6 +554,7 @@ pub fn head_names(cq: &Cq) -> Vec<Var> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::Store;
     use rdfref_model::dictionary::ID_RDF_TYPE;
     use rdfref_model::{Dictionary, EncodedTriple, Term};
     use rdfref_query::ast::{Atom, Fragment};
@@ -640,9 +753,9 @@ mod tests {
             .collect();
         let ucq = Ucq::new(cqs).unwrap();
         let mut seq_ev = Evaluator::new(&store, &stats);
-        seq_ev.parallel = false;
+        seq_ev.parallelism = Parallelism::Off;
         let mut par_ev = Evaluator::new(&store, &stats);
-        par_ev.parallel = true;
+        par_ev.parallelism = Parallelism::Unions;
         let mut m1 = ExecMetrics::default();
         let mut m2 = ExecMetrics::default();
         let mut a = seq_ev.eval_ucq(&ucq, &[v("x")], &mut m1).unwrap();
@@ -651,6 +764,68 @@ mod tests {
         b.sort();
         assert_eq!(a.to_rows(), b.to_rows());
         assert_eq!(m1.rows_scanned, m2.rows_scanned);
+    }
+
+    #[test]
+    fn morsel_evaluation_matches_sequential() {
+        // Tiny morsels (size 1) force the maximum number of work units;
+        // results and row order must be identical to sequential evaluation
+        // for scans, joins, and bind-joins alike.
+        let (store, stats, ids) = fixture();
+        let queries = vec![
+            // Single-atom scan.
+            Cq::new(
+                vec![v("x"), v("y")],
+                vec![Atom::new(v("x"), ids[3], v("y"))],
+            )
+            .unwrap(),
+            // Two-atom join (bind-join or hash-join per cost model).
+            Cq::new(
+                vec![v("x"), v("y")],
+                vec![
+                    Atom::new(v("x"), ids[3], v("y")),
+                    Atom::new(v("x"), ID_RDF_TYPE, ids[4]),
+                ],
+            )
+            .unwrap(),
+            // Triangle: exercises repeated probes.
+            Cq::new(
+                vec![v("x")],
+                vec![
+                    Atom::new(v("x"), ids[3], v("y")),
+                    Atom::new(v("y"), ids[3], v("z")),
+                    Atom::new(v("x"), ids[3], v("z")),
+                ],
+            )
+            .unwrap(),
+        ];
+        for (size, cq) in [1usize, 2, 4096].iter().flat_map(|s| {
+            let qs = &queries;
+            qs.iter().map(move |q| (*s, q))
+        }) {
+            let seq_ev = Evaluator::new(&store, &stats);
+            let mut mor_ev = Evaluator::new(&store, &stats);
+            mor_ev.parallelism = Parallelism::Morsels { size };
+            let out = head_names(cq);
+            let mut m1 = ExecMetrics::default();
+            let mut m2 = ExecMetrics::default();
+            let a = seq_ev.eval_cq(cq, &out, &mut m1).unwrap();
+            let b = mor_ev.eval_cq(cq, &out, &mut m2).unwrap();
+            // Exact row order must match, not just the set: morsel output
+            // is stitched back in morsel order.
+            assert_eq!(a.to_rows(), b.to_rows(), "size={size}");
+        }
+    }
+
+    #[test]
+    fn parallelism_default_is_off() {
+        assert_eq!(Parallelism::default(), Parallelism::Off);
+        assert_eq!(
+            Parallelism::morsels(),
+            Parallelism::Morsels {
+                size: DEFAULT_MORSEL_SIZE
+            }
+        );
     }
 
     #[test]

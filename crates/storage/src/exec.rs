@@ -7,8 +7,8 @@
 
 use crate::error::{Result, StorageError};
 use crate::relation::Relation;
-use crate::store::{Bound, RangePattern, Store};
-use rdfref_model::TermId;
+use crate::store::{Bound, RangePattern, TripleSource};
+use rdfref_model::{EncodedTriple, TermId};
 use rdfref_query::ast::{Atom, PTerm};
 use rdfref_query::Var;
 use std::time::Duration;
@@ -81,49 +81,93 @@ fn bound_of(t: &PTerm) -> Bound {
     }
 }
 
+/// The compiled shape of one pattern scan: the index pattern, the output
+/// columns (the atom's distinct variables in `s, p, o` position order)
+/// with their source positions, and the equality filters induced by
+/// repeated variables. Compiled once per atom and shared by the sequential
+/// scan and by every morsel worker.
+#[derive(Debug, Clone)]
+pub(crate) struct ScanShape {
+    pub(crate) pattern: RangePattern,
+    pub(crate) columns: Vec<Var>,
+    col_pos: Vec<usize>,
+    eq_checks: Vec<(usize, usize)>, // (pos_a, pos_b) must be equal
+}
+
+#[inline]
+fn position_of(t: &EncodedTriple, pos: usize) -> TermId {
+    match pos {
+        0 => t.s,
+        1 => t.p,
+        _ => t.o,
+    }
+}
+
+impl ScanShape {
+    pub(crate) fn of(atom: &Atom) -> ScanShape {
+        let pattern = RangePattern {
+            s: bound_of(&atom.s),
+            p: bound_of(&atom.p),
+            o: bound_of(&atom.o),
+        };
+        let mut columns: Vec<Var> = Vec::new();
+        let mut col_pos: Vec<usize> = Vec::new();
+        let mut eq_checks: Vec<(usize, usize)> = Vec::new();
+        for (pos, t) in atom.positions().into_iter().enumerate() {
+            if let PTerm::Var(v) = t {
+                match columns.iter().position(|c| c == v) {
+                    Some(existing) => eq_checks.push((col_pos[existing], pos)),
+                    None => {
+                        columns.push(v.clone());
+                        col_pos.push(pos);
+                    }
+                }
+            }
+        }
+        ScanShape {
+            pattern,
+            columns,
+            col_pos,
+            eq_checks,
+        }
+    }
+
+    /// Project one matching triple into `rel` if it passes the
+    /// repeated-variable filters. `row_buf` is caller-provided scratch so
+    /// the hot loop never allocates.
+    pub(crate) fn emit(
+        &self,
+        t: &EncodedTriple,
+        row_buf: &mut Vec<TermId>,
+        rel: &mut Relation,
+    ) -> Result<()> {
+        if self
+            .eq_checks
+            .iter()
+            .all(|&(a, b)| position_of(t, a) == position_of(t, b))
+        {
+            row_buf.clear();
+            row_buf.extend(self.col_pos.iter().map(|&p| position_of(t, p)));
+            rel.push_row(row_buf)?;
+        }
+        Ok(())
+    }
+}
+
 /// Scan one triple pattern into a relation whose columns are the atom's
 /// distinct variables in `s, p, o` position order. Constants and id
 /// intervals constrain the index scan (intervals bind no column); repeated
 /// variables become equality filters.
-pub fn scan_atom(store: &Store, atom: &Atom) -> Result<Relation> {
-    let pattern = RangePattern {
-        s: bound_of(&atom.s),
-        p: bound_of(&atom.p),
-        o: bound_of(&atom.o),
-    };
-    // Distinct variables with, per output column, the positions they must
-    // match (position: 0=s, 1=p, 2=o).
-    let mut columns: Vec<Var> = Vec::new();
-    let mut col_pos: Vec<usize> = Vec::new();
-    let mut eq_checks: Vec<(usize, usize)> = Vec::new(); // (pos_a, pos_b) must be equal
-    for (pos, t) in atom.positions().into_iter().enumerate() {
-        if let PTerm::Var(v) = t {
-            match columns.iter().position(|c| c == v) {
-                Some(existing) => eq_checks.push((col_pos[existing], pos)),
-                None => {
-                    columns.push(v.clone());
-                    col_pos.push(pos);
-                }
-            }
-        }
-    }
-    let mut rel = Relation::empty(columns);
-    let get = |t: &rdfref_model::EncodedTriple, pos: usize| -> TermId {
-        match pos {
-            0 => t.s,
-            1 => t.p,
-            _ => t.o,
-        }
-    };
-    let mut row: Vec<TermId> = Vec::with_capacity(col_pos.len());
+pub fn scan_atom(source: &dyn TripleSource, atom: &Atom) -> Result<Relation> {
+    let shape = ScanShape::of(atom);
+    let mut rel = Relation::empty(shape.columns.clone());
+    let mut row: Vec<TermId> = Vec::with_capacity(shape.columns.len());
     // `scan_into`'s callback cannot propagate errors, so a push failure is
     // captured here and surfaced after the scan completes.
     let mut push_err: Option<StorageError> = None;
-    store.scan_range_into(&pattern, &mut |t| {
-        if push_err.is_none() && eq_checks.iter().all(|&(a, b)| get(&t, a) == get(&t, b)) {
-            row.clear();
-            row.extend(col_pos.iter().map(|&p| get(&t, p)));
-            if let Err(e) = rel.push_row(&row) {
+    source.scan_range_into(&shape.pattern, &mut |t| {
+        if push_err.is_none() {
+            if let Err(e) = shape.emit(&t, &mut row, &mut rel) {
                 push_err = Some(e);
             }
         }
@@ -137,6 +181,7 @@ pub fn scan_atom(store: &Store, atom: &Atom) -> Result<Relation> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::Store;
     use rdfref_model::{Dictionary, EncodedTriple, Term};
 
     fn v(n: &str) -> Var {

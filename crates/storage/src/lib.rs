@@ -30,14 +30,15 @@ pub mod cost;
 pub mod error;
 pub mod evaluator;
 pub mod exec;
+mod morsel;
 pub mod relation;
 pub mod stats;
 pub mod store;
 
 pub use cost::{CostEstimate, CostModel};
 pub use error::{Result, StorageError};
-pub use evaluator::{eval_cq, eval_jucq, eval_ucq};
+pub use evaluator::{eval_cq, eval_jucq, eval_ucq, Parallelism, DEFAULT_MORSEL_SIZE};
 pub use exec::ExecMetrics;
 pub use relation::Relation;
 pub use stats::{Stats, StatsMaintainer};
-pub use store::{Bound, RangePattern, Store};
+pub use store::{shard_of_predicate, Bound, RangePattern, ShardedStore, Store, TripleSource};

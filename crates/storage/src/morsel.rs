@@ -1,0 +1,259 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! Scans and bind-joins split their input into fixed-size *morsels* that
+//! worker threads claim off a shared atomic counter (self-scheduling: fast
+//! workers steal more morsels, so skewed morsels never straggle a static
+//! partition). Each worker materializes its morsel into a private columnar
+//! [`Relation`]; partials are stitched back **in morsel order** with
+//! [`Relation::absorb_rows`], so the output is byte-identical to the
+//! sequential evaluation — parallelism is observable only through the
+//! `op.morsel.*` counters and wall time.
+//!
+//! Counters:
+//! * `op.morsel.count`   — morsels claimed (⌈input/size⌉, min 1; exact and
+//!   deterministic, pinned by `tests/metrics_exactness.rs`);
+//! * `op.morsel.rows`    — input rows staged into morsels;
+//! * `op.morsel.workers` — worker threads used (≤ available parallelism,
+//!   hardware-dependent, so never pinned exactly in tests).
+
+use crate::error::{Result, StorageError};
+use crate::evaluator::BindShape;
+use crate::exec::ScanShape;
+use crate::relation::Relation;
+use crate::store::TripleSource;
+use rdfref_model::{EncodedTriple, TermId};
+use rdfref_obs::Obs;
+use rdfref_query::ast::Atom;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many workers to use for `n_morsels` units of work.
+fn worker_count(n_morsels: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(n_morsels)
+        .max(1)
+}
+
+/// Run `n_morsels` work units through a self-scheduling worker pool.
+/// `work(m)` produces the partial relation for morsel `m`; partials are
+/// assembled in morsel order into a relation with `columns`.
+fn run_morsels<F>(
+    n_morsels: usize,
+    columns: Vec<rdfref_query::Var>,
+    obs: &Obs,
+    work: F,
+) -> Result<Relation>
+where
+    F: Fn(usize) -> Result<Relation> + Sync,
+{
+    let workers = worker_count(n_morsels);
+    obs.add("op.morsel.workers", workers as u64);
+    let next = AtomicUsize::new(0);
+    let partials: Mutex<Vec<Option<Relation>>> = Mutex::new(vec![None; n_morsels]);
+    let results: Vec<Result<()>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let m = next.fetch_add(1, Ordering::Relaxed);
+                    if m >= n_morsels {
+                        return Ok(());
+                    }
+                    let rel = work(m)?;
+                    match partials.lock() {
+                        Ok(mut slots) => slots[m] = Some(rel),
+                        Err(_) => return Err(StorageError::WorkerPanicked),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(StorageError::WorkerPanicked)))
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    let slots = partials
+        .into_inner()
+        .map_err(|_| StorageError::WorkerPanicked)?;
+    let mut out = Relation::empty(columns);
+    for slot in slots {
+        let part = slot.ok_or(StorageError::WorkerPanicked)?;
+        out.absorb_rows(&part)?;
+    }
+    Ok(out)
+}
+
+/// Morsel-parallel pattern scan: stage the matching triples from the sorted
+/// runs, then filter/project them in `size`-row morsels. Output equals
+/// [`crate::exec::scan_atom`] exactly, including row order.
+pub(crate) fn scan_atom_morsels(
+    source: &dyn TripleSource,
+    atom: &Atom,
+    size: usize,
+    obs: &Obs,
+) -> Result<Relation> {
+    let size = size.max(1);
+    let shape = ScanShape::of(atom);
+    // Staging: one pass over the index run collects candidate triples into
+    // a contiguous buffer morsel workers can slice without coordination.
+    let mut staged: Vec<EncodedTriple> = Vec::new();
+    source.scan_range_into(&shape.pattern, &mut |t| staged.push(t));
+    let n_morsels = staged.len().div_ceil(size).max(1);
+    obs.add("op.morsel.count", n_morsels as u64);
+    obs.add("op.morsel.rows", staged.len() as u64);
+    if n_morsels == 1 {
+        obs.add("op.morsel.workers", 1);
+        let mut rel = Relation::empty(shape.columns.clone());
+        let mut row: Vec<TermId> = Vec::with_capacity(shape.columns.len());
+        for t in &staged {
+            shape.emit(t, &mut row, &mut rel)?;
+        }
+        return Ok(rel);
+    }
+    let staged = &staged;
+    let shape = &shape;
+    run_morsels(n_morsels, shape.columns.clone(), obs, |m| {
+        let lo = m * size;
+        let hi = (lo + size).min(staged.len());
+        let mut rel = Relation::empty(shape.columns.clone());
+        let mut row: Vec<TermId> = Vec::with_capacity(shape.columns.len());
+        for t in &staged[lo..hi] {
+            shape.emit(t, &mut row, &mut rel)?;
+        }
+        Ok(rel)
+    })
+}
+
+/// Morsel-parallel bind join: chunk the accumulated rows into `size`-row
+/// morsels; each worker probes the source per row of its morsel. Output
+/// equals the sequential bind join exactly, including row order.
+pub(crate) fn bind_join_morsels(
+    source: &dyn TripleSource,
+    acc: &Relation,
+    atom: &Atom,
+    size: usize,
+    obs: &Obs,
+) -> Result<Relation> {
+    let size = size.max(1);
+    let shape = BindShape::of(acc, atom);
+    let rows: Vec<&[TermId]> = acc.rows().collect();
+    let n_morsels = rows.len().div_ceil(size).max(1);
+    obs.add("op.morsel.count", n_morsels as u64);
+    obs.add("op.morsel.rows", rows.len() as u64);
+    if n_morsels == 1 {
+        obs.add("op.morsel.workers", 1);
+        let mut out = Relation::empty(shape.out_columns().to_vec());
+        let mut scratch = shape.scratch();
+        for row in rows {
+            shape.probe(source, row, &mut scratch, &mut out)?;
+        }
+        return Ok(out);
+    }
+    let rows = &rows;
+    let shape = &shape;
+    run_morsels(n_morsels, shape.out_columns().to_vec(), obs, |m| {
+        let lo = m * size;
+        let hi = (lo + size).min(rows.len());
+        let mut out = Relation::empty(shape.out_columns().to_vec());
+        let mut scratch = shape.scratch();
+        for row in &rows[lo..hi] {
+            shape.probe(source, row, &mut scratch, &mut out)?;
+        }
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::scan_atom;
+    use crate::store::Store;
+    use rdfref_model::{Dictionary, Term};
+    use rdfref_obs::Obs;
+    use rdfref_query::Var;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    fn fixture() -> (Store, Vec<TermId>) {
+        let mut d = Dictionary::new();
+        let ids: Vec<TermId> = ["p", "q"]
+            .iter()
+            .map(|n| d.intern(&Term::iri(*n)))
+            .collect();
+        let (p, q) = (ids[0], ids[1]);
+        let mut triples = Vec::new();
+        for i in 0..100u32 {
+            triples.push(EncodedTriple::new(TermId(100 + i), p, TermId(200 + i % 7)));
+            if i % 3 == 0 {
+                triples.push(EncodedTriple::new(TermId(200 + i % 7), q, TermId(300 + i)));
+            }
+        }
+        (Store::from_triples(&triples), ids)
+    }
+
+    #[test]
+    fn morsel_scan_is_order_identical_to_sequential() {
+        let (store, ids) = fixture();
+        let atom = Atom::new(v("x"), ids[0], v("y"));
+        let expected = scan_atom(&store, &atom).unwrap();
+        for size in [1, 7, 64, 4096] {
+            let got = scan_atom_morsels(&store, &atom, size, &Obs::disabled()).unwrap();
+            assert_eq!(expected.to_rows(), got.to_rows(), "size={size}");
+        }
+    }
+
+    #[test]
+    fn morsel_counters_are_exact() {
+        let (store, ids) = fixture();
+        let atom = Atom::new(v("x"), ids[0], v("y")); // 100 matching rows
+        let registry = std::sync::Arc::new(rdfref_obs::MetricsRegistry::default());
+        let obs = Obs::collecting(registry.clone());
+        scan_atom_morsels(&store, &atom, 32, &obs).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("op.morsel.count"), 4); // ceil(100/32)
+        assert_eq!(snap.counter("op.morsel.rows"), 100);
+        let workers = snap.counter("op.morsel.workers");
+        assert!((1..=4).contains(&workers));
+    }
+
+    #[test]
+    fn empty_scan_is_one_empty_morsel() {
+        let (store, _) = fixture();
+        let atom = Atom::new(v("x"), TermId(9999), v("y"));
+        let registry = std::sync::Arc::new(rdfref_obs::MetricsRegistry::default());
+        let obs = Obs::collecting(registry.clone());
+        let rel = scan_atom_morsels(&store, &atom, 8, &obs).unwrap();
+        assert!(rel.is_empty());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("op.morsel.count"), 1);
+        assert_eq!(snap.counter("op.morsel.rows"), 0);
+    }
+
+    #[test]
+    fn morsel_bind_join_is_order_identical_to_sequential() {
+        let (store, ids) = fixture();
+        // acc = scan (?x p ?y), then bind-join (?y q ?z).
+        let first = Atom::new(v("x"), ids[0], v("y"));
+        let second = Atom::new(v("y"), ids[1], v("z"));
+        let acc = scan_atom(&store, &first).unwrap();
+        let expected = {
+            let shape = BindShape::of(&acc, &second);
+            let mut out = Relation::empty(shape.out_columns().to_vec());
+            let mut scratch = shape.scratch();
+            for row in acc.rows() {
+                shape.probe(&store, row, &mut scratch, &mut out).unwrap();
+            }
+            out
+        };
+        for size in [1, 7, 64, 4096] {
+            let got = bind_join_morsels(&store, &acc, &second, size, &Obs::disabled()).unwrap();
+            assert_eq!(expected.to_rows(), got.to_rows(), "size={size}");
+        }
+    }
+}

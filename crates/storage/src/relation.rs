@@ -109,6 +109,20 @@ impl Relation {
         self.columns.iter().position(|c| c == v)
     }
 
+    /// Append every row of `other` (columns must match exactly, in order) —
+    /// one columnar `memcpy`, no per-row work. This is how morsel workers'
+    /// partial buffers are stitched back together in morsel order.
+    pub fn absorb_rows(&mut self, other: &Relation) -> Result<()> {
+        if self.columns != other.columns {
+            return Err(StorageError::ArityMismatch {
+                expected: self.columns.len(),
+                found: other.columns.len(),
+            });
+        }
+        self.data.extend_from_slice(&other.data);
+        Ok(())
+    }
+
     /// Deduplicate rows in place (set semantics).
     pub fn dedup(&mut self) {
         if self.columns.is_empty() {

@@ -639,6 +639,190 @@ impl Store {
     }
 }
 
+/// A read-only provider of encoded triples — the abstraction the executor
+/// scans through, so a query plan runs identically over one [`Store`] or a
+/// predicate-partitioned [`ShardedStore`]. Implementations must answer
+/// every pattern shape with the *complete* match set (sorted emission is
+/// **not** part of the contract: a sharded source interleaves per-shard
+/// runs; consumers that need order sort or deduplicate downstream).
+pub trait TripleSource: std::fmt::Debug + Sync {
+    /// Number of (distinct) triples.
+    fn len(&self) -> usize;
+
+    /// True iff the source holds no triples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point membership.
+    fn contains(&self, t: &EncodedTriple) -> bool;
+
+    /// Invoke `f` on every triple matching the pattern.
+    fn scan_into(&self, pat: IdPattern, f: &mut dyn FnMut(EncodedTriple));
+
+    /// Invoke `f` on every triple matching the (possibly interval) pattern.
+    fn scan_range_into(&self, pat: &RangePattern, f: &mut dyn FnMut(EncodedTriple));
+
+    /// Exact number of matches for a pattern.
+    fn count(&self, pat: IdPattern) -> usize;
+}
+
+impl TripleSource for Store {
+    fn len(&self) -> usize {
+        Store::len(self)
+    }
+
+    fn contains(&self, t: &EncodedTriple) -> bool {
+        Store::contains(self, t)
+    }
+
+    fn scan_into(&self, pat: IdPattern, f: &mut dyn FnMut(EncodedTriple)) {
+        Store::scan_into(self, pat, f)
+    }
+
+    fn scan_range_into(&self, pat: &RangePattern, f: &mut dyn FnMut(EncodedTriple)) {
+        Store::scan_range_into(self, pat, f)
+    }
+
+    fn count(&self, pat: IdPattern) -> usize {
+        Store::count(self, pat)
+    }
+}
+
+/// The shard a predicate id routes to, out of `shards`. A multiplicative
+/// (Fibonacci) hash spreads consecutive dictionary ids — which is what
+/// schema vocabularies produce — across shards instead of clustering them.
+/// This is the single routing function shared by the writer (partitioning
+/// deltas) and the readers (routing scans); both sides agreeing on it is
+/// what makes per-atom scatter-gather exact.
+#[inline]
+pub fn shard_of_predicate(p: TermId, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    (((p.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards.max(1) as u64) as usize
+}
+
+/// A predicate-hash-partitioned family of stores presenting as one
+/// [`TripleSource`]. Every triple lives in exactly the shard
+/// [`shard_of_predicate`] names for its predicate, so:
+///
+/// * a pattern with a **constant predicate** scans exactly one shard;
+/// * a wildcard or interval predicate **fans out** over all shards and the
+///   executor unions the partial results (scatter-gather);
+/// * joins run above this layer and therefore see the complete match set
+///   regardless of how atoms routed.
+///
+/// `Clone` is cheap (`Arc` bumps per shard).
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    shards: Vec<Arc<Store>>,
+    len: usize,
+}
+
+impl ShardedStore {
+    /// Assemble from per-shard stores (shard `i` must only hold triples
+    /// whose predicate routes to `i`; debug-asserted under
+    /// `strict-invariants`).
+    pub fn from_shards(shards: Vec<Arc<Store>>) -> ShardedStore {
+        #[cfg(feature = "strict-invariants")]
+        for (i, s) in shards.iter().enumerate() {
+            for t in s.iter() {
+                debug_assert_eq!(
+                    shard_of_predicate(t.p, shards.len()),
+                    i,
+                    "triple {t:?} misrouted to shard {i}"
+                );
+            }
+        }
+        let len = shards.iter().map(|s| s.len()).sum();
+        ShardedStore { shards, len }
+    }
+
+    /// Partition triples by predicate hash and build the shard stores.
+    pub fn from_triples(triples: &[EncodedTriple], shards: usize) -> ShardedStore {
+        let n = shards.max(1);
+        let mut parts: Vec<Vec<EncodedTriple>> = vec![Vec::new(); n];
+        for t in triples {
+            parts[shard_of_predicate(t.p, n)].push(*t);
+        }
+        ShardedStore::from_shards(
+            parts
+                .into_iter()
+                .map(|p| Arc::new(Store::from_triples(&p)))
+                .collect(),
+        )
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a predicate routes to.
+    pub fn route(&self, p: TermId) -> usize {
+        shard_of_predicate(p, self.shards.len())
+    }
+
+    /// Shard `i`'s store.
+    pub fn shard(&self, i: usize) -> &Arc<Store> {
+        &self.shards[i]
+    }
+
+    /// All shard stores, in shard order.
+    pub fn shards(&self) -> &[Arc<Store>] {
+        &self.shards
+    }
+
+    /// Iterate all triples, shard by shard (SPO order within a shard, not
+    /// globally).
+    pub fn iter(&self) -> impl Iterator<Item = EncodedTriple> + '_ {
+        self.shards.iter().flat_map(|s| s.iter())
+    }
+}
+
+impl TripleSource for ShardedStore {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn contains(&self, t: &EncodedTriple) -> bool {
+        self.shards[self.route(t.p)].contains(t)
+    }
+
+    fn scan_into(&self, pat: IdPattern, f: &mut dyn FnMut(EncodedTriple)) {
+        match pat.p {
+            Some(p) => self.shards[self.route(p)].scan_into(pat, f),
+            None => {
+                for s in &self.shards {
+                    s.scan_into(pat, f);
+                }
+            }
+        }
+    }
+
+    fn scan_range_into(&self, pat: &RangePattern, f: &mut dyn FnMut(EncodedTriple)) {
+        match pat.p {
+            // Constant predicate: the partition function names the one
+            // shard that can match.
+            Bound::Const(p) => self.shards[self.route(p)].scan_range_into(pat, f),
+            // Interval or wildcard predicate: the hash partition gives no
+            // contiguity guarantee over the interval, so gather from every
+            // shard (each shard applies the bound locally).
+            Bound::Any | Bound::Range(..) => {
+                for s in &self.shards {
+                    s.scan_range_into(pat, f);
+                }
+            }
+        }
+    }
+
+    fn count(&self, pat: IdPattern) -> usize {
+        match pat.p {
+            Some(p) => self.shards[self.route(p)].count(pat),
+            None => self.shards.iter().map(|s| s.count(pat)).sum(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -914,5 +1098,93 @@ mod tests {
         let store2 = Store::from_triples(&[t]);
         let out2 = store2.apply_delta(&[t], &[t]);
         assert!(out2.is_empty());
+    }
+
+    /// Sorted-and-deduplicated triples of a scan, for order-insensitive
+    /// comparison between single and sharded sources.
+    fn sorted_scan(src: &dyn TripleSource, pat: IdPattern) -> Vec<EncodedTriple> {
+        let mut out = Vec::new();
+        src.scan_into(pat, &mut |t| out.push(t));
+        out.sort_by_key(|t| t.as_array());
+        out
+    }
+
+    #[test]
+    fn sharded_store_answers_every_shape_like_single() {
+        let triples = dense_triples(3000);
+        let single = Store::from_triples(&triples);
+        for n in [1, 3, 8] {
+            let sharded = ShardedStore::from_triples(&triples, n);
+            assert_eq!(TripleSource::len(&sharded), single.len());
+            let ids = [None, Some(TermId(0)), Some(TermId(5)), Some(TermId(36))];
+            for &s in &ids {
+                for &p in &ids {
+                    for &o in &ids {
+                        let pat = IdPattern { s, p, o };
+                        assert_eq!(
+                            sorted_scan(&sharded, pat),
+                            sorted_scan(&single, pat),
+                            "pattern {pat:?} shards {n}"
+                        );
+                        assert_eq!(
+                            TripleSource::count(&sharded, pat),
+                            single.count(pat),
+                            "count {pat:?} shards {n}"
+                        );
+                    }
+                }
+            }
+            for t in single.iter() {
+                assert!(TripleSource::contains(&sharded, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_range_scans_match_filtered_full_scans() {
+        let triples = dense_triples(2000);
+        let single = Store::from_triples(&triples);
+        let sharded = ShardedStore::from_triples(&triples, 4);
+        let bounds = [
+            Bound::Any,
+            Bound::Const(TermId(5)),
+            Bound::Range(TermId(3), TermId(9)),
+        ];
+        for &s in &bounds {
+            for &p in &bounds {
+                for &o in &bounds {
+                    let pat = RangePattern { s, p, o };
+                    let mut got = Vec::new();
+                    sharded.scan_range_into(&pat, &mut |t| got.push(t));
+                    got.sort_by_key(|t| t.as_array());
+                    let mut want: Vec<EncodedTriple> = single
+                        .iter()
+                        .filter(|t| s.admits(t.s) && p.admits(t.p) && o.admits(t.o))
+                        .collect();
+                    want.sort_by_key(|t| t.as_array());
+                    assert_eq!(got, want, "pattern {pat:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_routing_is_total_and_stable() {
+        for shards in [1, 2, 7, 16] {
+            for p in 0..200u32 {
+                let a = shard_of_predicate(TermId(p), shards);
+                let b = shard_of_predicate(TermId(p), shards);
+                assert_eq!(a, b);
+                assert!(a < shards);
+            }
+        }
+        // The hash must actually spread consecutive ids (vocabulary ids are
+        // dense) — with 8 shards and 64 consecutive predicates, every shard
+        // sees at least one.
+        let mut hit = [false; 8];
+        for p in 0..64u32 {
+            hit[shard_of_predicate(TermId(p), 8)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "routing clusters: {hit:?}");
     }
 }

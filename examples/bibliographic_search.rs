@@ -20,7 +20,7 @@ fn main() {
         2000
     );
     let v = &ds.vocab;
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let opts = AnswerOptions::default();
 
     // "Everything created by the most prolific author" — creator is a
@@ -105,7 +105,7 @@ fn main() {
     );
 
     // Ref needs no maintenance: just re-prepare and re-ask.
-    let db2 = Database::new(reasoner.explicit().clone());
+    let db2 = Database::builder().build(reasoner.explicit().clone());
     let after = db2
         .query(&q_creator)
         .strategy(Strategy::RefGCov)

@@ -49,7 +49,7 @@ fn main() {
     )
     .expect("the query parses");
 
-    let db = Database::new(graph);
+    let db = Database::builder().build(graph);
     let opts = AnswerOptions::default();
 
     println!("=== query ===");

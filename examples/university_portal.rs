@@ -20,7 +20,7 @@ fn main() {
     println!("  {} triples\n", ds.graph.len());
 
     let example1 = queries::example1(&ds, 0).expect("workload is well-formed");
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     // Keep the UCQ attempt from consuming the machine: the point of
     // Example 1 is that it is infeasible.
     let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(50_000));

@@ -46,7 +46,7 @@
 //!         ?x ?p 1949
 //!     }"#, graph.dictionary_mut()).unwrap();
 //!
-//! let db = Database::new(graph);
+//! let db = Database::builder().build(graph);
 //! // Reformulation (cost-based cover) finds the answer WITHOUT saturating:
 //! let ans = db.query(&q).strategy(Strategy::RefGCov).run().unwrap();
 //! assert_eq!(ans.len(), 1);
@@ -77,11 +77,13 @@ pub mod prelude {
         reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
     };
     pub use rdfref_core::serving::{
-        BatchReport, BatchTicket, ServingDatabase, Snapshot, UpdateBatch,
+        BatchReport, BatchTicket, ServingDatabase, ShardConfig, ShardedServingDatabase, Snapshot,
+        UpdateBatch,
     };
     pub use rdfref_core::SnapshotInfo;
-    pub use rdfref_core::{MetricsRegistry, Obs};
+    pub use rdfref_core::{EngineBuilder, MetricsRegistry, Obs};
     pub use rdfref_model::{Dictionary, Graph, Schema, Term, TermId, Triple};
     pub use rdfref_query::{parse_select, Cover, Cq, Var};
     pub use rdfref_reasoning::{saturate, IncrementalReasoner};
+    pub use rdfref_storage::{Parallelism, DEFAULT_MORSEL_SIZE};
 }

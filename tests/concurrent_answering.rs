@@ -88,7 +88,7 @@ fn hammer(db: Arc<Database>, workload: Arc<Workload>) {
 #[test]
 fn lubm_mix_concurrent_equals_saturation() {
     let ds = lubm::generate(&lubm::LubmConfig::scale(2));
-    let db = Arc::new(Database::new(ds.graph.clone()));
+    let db = Arc::new(Database::builder().build(ds.graph.clone()));
     let workload = Arc::new(reference_workload(&db, queries::lubm_mix(&ds).unwrap()));
     hammer(db, workload);
 }
@@ -101,7 +101,7 @@ fn biblio_mix_concurrent_equals_saturation() {
         ..biblio::BiblioConfig::default()
     };
     let ds = biblio::generate(&config);
-    let db = Arc::new(Database::new(ds.graph.clone()));
+    let db = Arc::new(Database::builder().build(ds.graph.clone()));
     let workload = Arc::new(reference_workload(&db, queries::biblio_mix(&ds).unwrap()));
     hammer(db, workload);
 }

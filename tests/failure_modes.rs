@@ -66,7 +66,7 @@ ex:x a ex:A .
         g.dictionary_mut(),
     )
     .unwrap();
-    let db = Database::new(g);
+    let db = Database::builder().build(g);
     let opts = AnswerOptions::default();
     for strategy in [
         Strategy::Saturation,
@@ -99,7 +99,7 @@ ex:x ex:p ex:y .
         g.dictionary_mut(),
     )
     .unwrap();
-    let db = Database::new(g);
+    let db = Database::builder().build(g);
     let a = db
         .run_query(&q, &Strategy::RefUcq, &AnswerOptions::default())
         .unwrap();
@@ -110,7 +110,7 @@ ex:x ex:p ex:y .
 fn reformulation_size_limit_is_exact_and_typed() {
     let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
     let q = rdfref::datagen::queries::example1(&ds, 0).unwrap();
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(100));
     match db.run_query(&q, &Strategy::RefUcq, &opts) {
         Err(rdfref::core::CoreError::ReformulationTooLarge { size, limit }) => {
@@ -125,7 +125,7 @@ fn reformulation_size_limit_is_exact_and_typed() {
 fn row_budget_applies_to_every_strategy() {
     let ds = rdfref::datagen::lubm::generate(&rdfref::datagen::lubm::LubmConfig::default());
     let mix = rdfref::datagen::queries::lubm_mix(&ds).unwrap();
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let opts = AnswerOptions::new().with_row_budget(Some(3));
     // Q06 (all students) overflows a budget of 3 under Sat and Ref alike.
     let q6 = &mix.iter().find(|q| q.name == "Q06").unwrap().cq;
@@ -152,7 +152,7 @@ fn empty_graph_answers_are_empty_not_errors() {
         g.dictionary_mut(),
     )
     .unwrap();
-    let db = Database::new(g);
+    let db = Database::builder().build(g);
     let opts = AnswerOptions::default();
     for strategy in [
         Strategy::Saturation,

@@ -247,8 +247,10 @@ fn all_strategies(cq: &Cq) -> Vec<QStrategy> {
 /// The core differential check: interval answers must be set-equal to
 /// classic answers, per strategy, and both self-consistent against Sat.
 fn check(graph: Graph, cq: &Cq, label: &str) -> Result<(), TestCaseError> {
-    let classic = Database::new(graph.clone());
-    let interval = Database::with_encoding(graph, DictEncoding::Interval);
+    let classic = Database::builder().build(graph.clone());
+    let interval = Database::builder()
+        .encoding(DictEncoding::Interval)
+        .build(graph);
     let opts = AnswerOptions::default();
     for strategy in all_strategies(cq) {
         let want = classic
@@ -314,7 +316,9 @@ fn deep_chain_is_covered_and_equivalent() {
         }],
     );
 
-    let interval = Database::with_encoding(graph.clone(), DictEncoding::Interval);
+    let interval = Database::builder()
+        .encoding(DictEncoding::Interval)
+        .build(graph.clone());
     let enc = interval
         .encoder()
         .expect("interval database must build an encoder");
@@ -364,7 +368,9 @@ fn diamond_falls_back_and_stays_equivalent() {
     // A attaches under its primary parent B, so Top's subtree {Top,B,A,C}
     // equals its closure — Top stays covered. The secondary parent C is the
     // fallback node: A is a subclass of C but lives outside C's subtree.
-    let interval = Database::with_encoding(graph.clone(), DictEncoding::Interval);
+    let interval = Database::builder()
+        .encoding(DictEncoding::Interval)
+        .build(graph.clone());
     let enc = interval.encoder().unwrap();
     assert!(enc.class_range(top).is_some(), "diamond top stays covered");
     assert!(
@@ -418,7 +424,9 @@ fn subproperty_chain_equivalent() {
         }],
     );
 
-    let interval = Database::with_encoding(graph.clone(), DictEncoding::Interval);
+    let interval = Database::builder()
+        .encoding(DictEncoding::Interval)
+        .build(graph.clone());
     assert!(
         interval
             .encoder()

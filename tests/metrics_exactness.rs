@@ -26,7 +26,7 @@ fn setup() -> (Database, Cq) {
         g.dictionary_mut(),
     )
     .unwrap();
-    (Database::new(g), q)
+    (Database::builder().build(g), q)
 }
 
 fn run_with_registry(db: &Database, q: &Cq, strategy: Strategy) -> (usize, Arc<MetricsRegistry>) {
@@ -195,7 +195,7 @@ fn chain_setup(encoding: rdfref_model::DictEncoding) -> (Database, Cq) {
         g.dictionary_mut(),
     )
     .unwrap();
-    (Database::with_encoding(g, encoding), q)
+    (Database::builder().encoding(encoding).build(g), q)
 }
 
 #[test]
@@ -236,7 +236,9 @@ fn interval_dag_fallback_still_unions() {
         g.dictionary_mut(),
     )
     .unwrap();
-    let db = Database::with_encoding(g, rdfref_model::DictEncoding::Interval);
+    let db = Database::builder()
+        .encoding(rdfref_model::DictEncoding::Interval)
+        .build(g);
     let (n, registry) = run_with_registry(&db, &q, Strategy::RefUcq);
     assert_eq!(n, 2);
     let snap = registry.snapshot();
@@ -269,12 +271,12 @@ fn parallel_union_workers_record_into_one_registry_without_loss() {
         g.dictionary_mut(),
     )
     .unwrap();
-    let db = Database::new(g);
+    let db = Database::builder().build(g);
     let registry = Arc::new(MetricsRegistry::new());
     let answer = db
         .query(&q)
         .strategy(Strategy::RefUcq)
-        .parallel_unions(true)
+        .parallelism(Parallelism::Unions)
         .collect_metrics(&registry)
         .run()
         .unwrap();
@@ -288,6 +290,58 @@ fn parallel_union_workers_record_into_one_registry_without_loss() {
     assert_eq!(busy.count, workers);
     // No rows are lost on the parallel path.
     assert_eq!(snap.counter("op.union.rows"), 20);
+}
+
+#[test]
+fn morsel_scan_counters_are_exact_for_saturation() {
+    let (db, q) = setup();
+    db.prepare_saturation();
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = db
+        .query(&q)
+        .strategy(Strategy::Saturation)
+        .parallelism(Parallelism::Morsels { size: 2 })
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    assert_eq!(answer.len(), 3);
+    let snap = registry.snapshot();
+    // One scan over the saturated store stages its 3 matching rows and, at
+    // morsel size 2, claims exactly ⌈3/2⌉ = 2 morsels.
+    assert_eq!(snap.counter("op.scan.count"), 1);
+    assert_eq!(snap.counter("op.scan.rows"), 3);
+    assert_eq!(snap.counter("op.morsel.count"), 2);
+    assert_eq!(snap.counter("op.morsel.rows"), 3);
+    let workers = snap.counter("op.morsel.workers");
+    assert!(
+        (1..=2).contains(&workers),
+        "workers {workers} not in 1..=morsel count"
+    );
+}
+
+#[test]
+fn morsel_ref_ucq_counters_account_every_scan_without_row_loss() {
+    let (db, q) = setup();
+    let sequential = db.query(&q).strategy(Strategy::RefUcq).run().unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = db
+        .query(&q)
+        .strategy(Strategy::RefUcq)
+        .parallelism(Parallelism::Morsels { size: 1 })
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    assert_eq!(answer.rows(), sequential.rows(), "morsels change no rows");
+    let snap = registry.snapshot();
+    // Every disjunct of the UCQ is a single-atom CQ scanning ≤1 explicit
+    // row, so at morsel size 1 each scan claims exactly one morsel (empty
+    // scans still claim their mandatory empty morsel) and the staged rows
+    // are exactly the scanned rows.
+    let scans = snap.counter("op.scan.count");
+    assert!(scans >= 3, "at least one scan per subclass disjunct");
+    assert_eq!(snap.counter("op.morsel.count"), scans);
+    assert_eq!(snap.counter("op.morsel.rows"), snap.counter("op.scan.rows"));
+    assert_eq!(snap.counter("op.union.rows"), 3);
 }
 
 #[test]

@@ -33,7 +33,7 @@ fn section_3_query_answering() {
         g.dictionary_mut(),
     )
     .unwrap();
-    let db = Database::new(g);
+    let db = Database::builder().build(g);
     let opts = AnswerOptions::default();
 
     // Complete answer via every complete strategy.
@@ -110,7 +110,7 @@ fn figure_2_saturation_content() {
 fn example_1_shape() {
     let ds = generate(&LubmConfig::scale(3));
     let q = queries::example1(&ds, 0).unwrap();
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let opts = AnswerOptions::new().with_limits(ReformulationLimits::new().with_max_cqs(20_000));
 
     // (i) UCQ fails by size.
@@ -162,7 +162,7 @@ fn example_1_shape() {
 #[test]
 fn dat_agrees_on_lubm() {
     let ds = generate(&LubmConfig::default());
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let opts = AnswerOptions::default();
     for nq in rdfref::datagen::queries::lubm_mix(&ds)
         .unwrap()

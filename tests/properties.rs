@@ -215,7 +215,7 @@ proptest! {
     #[test]
     fn all_strategies_compute_certain_answers(scenario in scenario_strategy()) {
         let (graph, cq) = build(&scenario);
-        let db = Database::new(graph);
+        let db = Database::builder().build(graph);
         let opts = AnswerOptions::default();
         let reference = db.run_query(&cq, &AnswerStrategy::Saturation, &opts).unwrap().rows().to_vec();
         for strategy in [
@@ -237,7 +237,7 @@ proptest! {
     #[test]
     fn all_partition_covers_agree(scenario in scenario_strategy()) {
         let (graph, cq) = build(&scenario);
-        let db = Database::new(graph);
+        let db = Database::builder().build(graph);
         let opts = AnswerOptions::default();
         let reference = db.run_query(&cq, &AnswerStrategy::Saturation, &opts).unwrap().rows().to_vec();
         for cover in Cover::enumerate_partitions(cq.size()) {
@@ -378,7 +378,7 @@ proptest! {
         s.domains.clear();
         s.ranges.clear();
         let (graph, cq) = build(&s);
-        let db = Database::new(graph);
+        let db = Database::builder().build(graph);
         let ctx = RewriteContext::new(db.schema(), db.closure());
         let ucq = reformulate_ucq(&cq, &ctx, ReformulationLimits::default()).unwrap();
         prop_assert_eq!(ucq.len(), 1);

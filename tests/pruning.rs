@@ -10,7 +10,7 @@ use rdfref::query::containment::{minimize, prune_subsumed, subsumes};
 #[test]
 fn pruned_reformulations_answer_identically() {
     let ds = generate(&LubmConfig::default());
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let plain = AnswerOptions::default();
     let pruned = AnswerOptions::new().with_limits(
         ReformulationLimits::new()
@@ -45,7 +45,7 @@ fn pruning_shrinks_hierarchy_heavy_unions() {
         edges_per_instance: 1,
         ..rdfref::datagen::onto_sweep::SweepConfig::default()
     });
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let ctx = RewriteContext::new(db.schema(), db.closure());
     let x = rdfref::query::Var::new("x");
     let q = rdfref::query::Cq::new(
@@ -90,7 +90,7 @@ fn minimization_agrees_with_subsumption() {
     // For every reformulated member of a LUBM query: minimize() yields an
     // equivalent CQ (mutual subsumption) of at most the original size.
     let ds = generate(&LubmConfig::default());
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let ctx = RewriteContext::new(db.schema(), db.closure());
     let q = queries::lubm_mix(&ds)
         .unwrap()

@@ -77,7 +77,7 @@ fn readers_see_prefix_consistent_snapshots_under_churn() {
         graph.dictionary_mut(),
     )
     .unwrap();
-    let db = Arc::new(ServingDatabase::new(graph));
+    let db = Arc::new(Database::builder().build_serving(graph));
     let done = Arc::new(AtomicBool::new(false));
     let reads = Arc::new(AtomicU64::new(0));
 
@@ -147,7 +147,7 @@ fn readers_see_prefix_consistent_snapshots_under_churn() {
                 UpdateBatch::new().delete(type_triple(&format!("inst{}", i - 1)))
             };
             let report = db.submit(batch).unwrap().wait().unwrap();
-            assert_eq!(report.seq, i);
+            assert_eq!(report.seq(), i);
         }
         done.store(true, Ordering::Release);
         for h in handles {
@@ -181,13 +181,13 @@ fn ticket_wait_gives_read_your_writes() {
         graph.dictionary_mut(),
     )
     .unwrap();
-    let db = ServingDatabase::new(graph);
+    let db = Database::builder().build_serving(graph);
     for i in 1..=6u64 {
         let t = type_triple(&format!("rw{i}"));
         let report = db.insert(vec![t]).unwrap().wait().unwrap();
         let snap = db.snapshot();
         assert!(
-            snap.seq() >= report.seq,
+            snap.seq() >= report.seq(),
             "snapshot after wait() is older than the acknowledged batch"
         );
         let ans = snap.query(&q).strategy(Strategy::RefUcq).run().unwrap();

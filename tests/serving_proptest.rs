@@ -163,6 +163,66 @@ fn churn_batches_strategy() -> impl proptest::strategy::Strategy<Value = Vec<Vec
     proptest::collection::vec(proptest::collection::vec(op, 0..4), 1..6)
 }
 
+/// Distinct data predicates so a sharded database actually spreads triples
+/// across predicate-hash partitions (type/subclass alone hit ≤2 shards).
+const DATA_PREDS: usize = 5;
+
+fn data_pred(j: usize) -> Term {
+    Term::iri(format!("http://t/p{j}"))
+}
+
+fn data_triple(i: usize, j: usize, o: usize) -> Triple {
+    Triple::new(ind(i), data_pred(j), ind(o)).unwrap()
+}
+
+/// One sharded-churn update: a type fact, a subclass edge, or a plain data
+/// fact under one of [`DATA_PREDS`] predicates; inserted (`true`) or deleted.
+#[derive(Debug, Clone)]
+enum ShardOp {
+    Type(bool, usize, usize),
+    Subclass(bool, usize, usize),
+    Data(bool, usize, usize, usize),
+}
+
+impl ShardOp {
+    fn triple(&self) -> Triple {
+        match self {
+            ShardOp::Type(_, i, c) => type_triple(*i, *c),
+            ShardOp::Subclass(_, a, b) => subclass_triple(*a, *b),
+            ShardOp::Data(_, i, j, o) => data_triple(*i, *j, *o),
+        }
+    }
+
+    fn is_insert(&self) -> bool {
+        matches!(
+            self,
+            ShardOp::Type(true, ..) | ShardOp::Subclass(true, ..) | ShardOp::Data(true, ..)
+        )
+    }
+}
+
+fn shard_batches_strategy() -> impl proptest::strategy::Strategy<Value = Vec<Vec<ShardOp>>> {
+    let type_op = (any::<bool>(), 0..INDIVIDUALS, 0..CHURN_CLASSES)
+        .prop_map(|(ins, i, c)| ShardOp::Type(ins, i, c));
+    let schema_op = (any::<bool>(), 0..CHURN_CLASSES, 0..CHURN_CLASSES)
+        .prop_filter("no self-loop", |(_, a, b)| a != b)
+        .prop_map(|(ins, a, b)| ShardOp::Subclass(ins, a, b));
+    let data_op = (any::<bool>(), 0..INDIVIDUALS, 0..DATA_PREDS, 0..INDIVIDUALS)
+        .prop_map(|(ins, i, j, o)| ShardOp::Data(ins, i, j, o));
+    let op = prop_oneof![2 => type_op, 1 => schema_op, 2 => data_op];
+    proptest::collection::vec(proptest::collection::vec(op, 0..4), 1..6)
+}
+
+/// All head columns of an answer, decoded to strings so sharded and
+/// single-shard databases (separate dictionaries) compare value-wise.
+fn full_rows(snapshot: &Snapshot, answer: &QueryAnswer) -> BTreeSet<Vec<String>> {
+    answer
+        .decoded(snapshot.dictionary())
+        .into_iter()
+        .map(|row| row.iter().map(|t| t.to_string()).collect())
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
@@ -175,7 +235,7 @@ proptest! {
     fn acknowledged_reads_see_the_exact_prefix(batches in batches_strategy()) {
         let mut graph = base_graph();
         let q = query(graph.dictionary_mut());
-        let db = ServingDatabase::new(graph);
+        let db = Database::builder().build_serving(graph);
 
         // prefixes[k] = explicit type facts after k batches.
         let mut prefixes = vec![BTreeSet::from([(0usize, 0usize)])];
@@ -195,7 +255,7 @@ proptest! {
                 };
             }
             let report = db.submit(update).unwrap().wait().unwrap();
-            prop_assert_eq!(report.seq, (k + 1) as u64);
+            prop_assert_eq!(report.seq(), (k + 1) as u64);
             let snap = db.snapshot();
             // wait() resolves only after publication, and no other writer
             // exists: the snapshot is exactly the acknowledged prefix.
@@ -219,11 +279,10 @@ proptest! {
             graph.dictionary_mut(),
         )
         .unwrap();
-        let interval = ServingDatabase::with_encoding(
-            graph.clone(),
-            rdfref::model::DictEncoding::Interval,
-        );
-        let classic = ServingDatabase::new(graph);
+        let interval = Database::builder()
+            .encoding(rdfref::model::DictEncoding::Interval)
+            .build_serving(graph.clone());
+        let classic = Database::builder().build_serving(graph);
 
         for (k, batch) in batches.iter().enumerate() {
             let build = || {
@@ -244,7 +303,7 @@ proptest! {
             // Read-your-writes: the acknowledged ticket names prefix k+1 and
             // the very next snapshot serves it.
             let report = interval.submit(build()).unwrap().wait().unwrap();
-            prop_assert_eq!(report.seq, (k + 1) as u64);
+            prop_assert_eq!(report.seq(), (k + 1) as u64);
             classic.submit(build()).unwrap().wait().unwrap();
 
             let isnap = interval.snapshot();
@@ -281,7 +340,7 @@ proptest! {
     fn flooded_reads_see_some_prefix(batches in batches_strategy()) {
         let mut graph = base_graph();
         let q = query(graph.dictionary_mut());
-        let db = ServingDatabase::new(graph);
+        let db = Database::builder().build_serving(graph);
 
         let mut prefixes = vec![BTreeSet::from([(0usize, 0usize)])];
         let mut tickets = Vec::new();
@@ -313,6 +372,95 @@ proptest! {
         }
         for t in tickets {
             t.wait().unwrap();
+        }
+    }
+
+    /// Differential: a predicate-hash-sharded database fed a random churn
+    /// schedule (type facts, data facts under several predicates, and
+    /// schema-epoch-bumping subclass edges) answers identically to an
+    /// unsharded oracle on the same schedule, for every complete strategy,
+    /// on both a reformulation-heavy query and a full wildcard scatter-
+    /// gather over all shards. Run with `--features strict-invariants` to
+    /// additionally assert shard/global lockstep and routing inside the
+    /// maintenance pipeline.
+    #[test]
+    fn sharded_answers_equal_single_shard_oracle_under_churn(
+        batches in shard_batches_strategy(),
+        shards in 2usize..5,
+    ) {
+        let mut graph = churn_base_graph();
+        let typed = parse_select(
+            "PREFIX t: <http://t/> SELECT ?x WHERE { ?x a t:C3 }",
+            graph.dictionary_mut(),
+        )
+        .unwrap();
+        let wildcard = parse_select(
+            "SELECT ?s ?o WHERE { ?s ?p ?o }",
+            graph.dictionary_mut(),
+        )
+        .unwrap();
+        let sharded = Database::builder().shards(shards).build_sharded(graph.clone());
+        let oracle = Database::builder().build_serving(graph);
+        prop_assert_eq!(sharded.shard_count(), shards);
+
+        for (k, batch) in batches.iter().enumerate() {
+            let build = || {
+                let mut update = UpdateBatch::new();
+                for op in batch {
+                    update = if op.is_insert() {
+                        update.insert(op.triple())
+                    } else {
+                        update.delete(op.triple())
+                    };
+                }
+                update
+            };
+            let report = sharded.submit(build()).unwrap().wait().unwrap();
+            prop_assert_eq!(report.seq(), (k + 1) as u64);
+            oracle.submit(build()).unwrap().wait().unwrap();
+
+            let ssnap = sharded.snapshot();
+            let osnap = oracle.snapshot();
+            // Identical schedules: stamps (seq AND both epochs) agree, so
+            // schema-epoch bumps happen in lockstep with the oracle.
+            prop_assert_eq!(ssnap.info(), osnap.info());
+            // The writer publishes shard cells before the global cell, so
+            // after an acknowledged batch every shard is at the same stamp.
+            for i in 0..sharded.shard_count() {
+                prop_assert_eq!(
+                    sharded.shard_snapshot(i).info(),
+                    ssnap.info(),
+                    "shard {} fell out of lockstep after batch {}",
+                    i,
+                    k + 1
+                );
+            }
+
+            for (qname, q) in [("typed", &typed), ("wildcard", &wildcard)] {
+                let reference = full_rows(
+                    &osnap,
+                    &osnap.query(q).strategy(AnswerStrategy::Saturation).run().unwrap(),
+                );
+                for strategy in [
+                    AnswerStrategy::Saturation,
+                    AnswerStrategy::RefUcq,
+                    AnswerStrategy::RefScq,
+                    AnswerStrategy::RefGCov,
+                ] {
+                    let ans = ssnap.query(q).strategy(strategy.clone()).run().unwrap();
+                    let got = full_rows(&ssnap, &ans);
+                    prop_assert_eq!(
+                        &got,
+                        &reference,
+                        "{} shards/{}/{} diverged from oracle after batch {} ({:?})",
+                        shards,
+                        qname,
+                        strategy.name(),
+                        k + 1,
+                        batch
+                    );
+                }
+            }
         }
     }
 }

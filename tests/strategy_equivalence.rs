@@ -49,7 +49,7 @@ fn check_equivalence(db: &Database, cq: &Cq, label: &str) {
 #[test]
 fn lubm_mix_equivalence() {
     let ds = lubm::generate(&lubm::LubmConfig::default());
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     for nq in queries::lubm_mix(&ds).unwrap() {
         check_equivalence(&db, &nq.cq, nq.name);
     }
@@ -65,7 +65,7 @@ fn lubm_example1_equivalence_small() {
         ..lubm::LubmConfig::default()
     });
     let q = queries::example1(&ds, 0).unwrap();
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     // UCQ included: at this tiny schema-independent scale it is still huge,
     // so test SCQ/GCov/covers/Sat/Dat only.
     let opts = AnswerOptions::default();
@@ -93,7 +93,7 @@ fn biblio_equivalence() {
         ..biblio::BiblioConfig::default()
     });
     let v = &ds.vocab;
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let author0 = ds
         .graph
         .dictionary()
@@ -147,7 +147,7 @@ fn geo_deep_hierarchy_equivalence() {
         areas_per_level: 30,
         seed: 7,
     });
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let located_in = ds.located_in;
     let queries: Vec<(&str, Cq)> = vec![
         (
@@ -191,7 +191,7 @@ fn insee_wide_hierarchy_equivalence() {
         observations_per_code: 5,
         seed: 11,
     });
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let queries: Vec<(&str, Cq)> = vec![
         (
             "all-observations",
@@ -222,9 +222,9 @@ fn insee_wide_hierarchy_equivalence() {
 #[test]
 fn parallel_unions_match_sequential() {
     let ds = lubm::generate(&lubm::LubmConfig::default());
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let sequential = AnswerOptions::default();
-    let parallel = AnswerOptions::new().with_parallel_unions(true);
+    let parallel = AnswerOptions::new().with_parallelism(Parallelism::Unions);
     for nq in queries::lubm_mix(&ds).unwrap() {
         if nq.name == "Q09" {
             continue; // large UCQ; covered by the others
@@ -242,7 +242,7 @@ fn parallel_unions_match_sequential() {
 #[test]
 fn incomplete_profiles_are_monotone() {
     let ds = lubm::generate(&lubm::LubmConfig::default());
-    let db = Database::new(ds.graph.clone());
+    let db = Database::builder().build(ds.graph.clone());
     let opts = AnswerOptions::default();
     for nq in queries::lubm_mix(&ds).unwrap() {
         let counts: Vec<usize> = [
