@@ -292,6 +292,36 @@ struct CellStats {
     allocs_per_query_max: f64,
 }
 
+/// `bench.serving.modelcheck.schedules` ties the throughput artifact to
+/// the verification artifact: how many schedules of the publication
+/// protocol the model checker explored for the code this binary is
+/// benchmarking. With the `model-check` feature the suite actually runs
+/// (a few seconds, deterministic); without it the gauge records 0 so the
+/// metric exists in every artifact and dashboards can alert on it.
+#[cfg(feature = "model-check")]
+fn record_modelcheck_coverage(sink: &MetricsSink) {
+    let suite = rdfref_core::protocol_models::run_all();
+    let failures = suite.failures().len();
+    eprintln!(
+        "model-check coverage: {} schedules, {} violation(s)",
+        suite.total_schedules(),
+        failures,
+    );
+    sink.registry.gauge_set(
+        "bench.serving.modelcheck.schedules",
+        suite.total_schedules(),
+    );
+    sink.registry
+        .gauge_set("bench.serving.modelcheck.violations", failures as u64);
+}
+
+#[cfg(not(feature = "model-check"))]
+fn record_modelcheck_coverage(sink: &MetricsSink) {
+    eprintln!("model-check coverage: not built with --features model-check; recording 0 schedules");
+    sink.registry
+        .gauge_set("bench.serving.modelcheck.schedules", 0);
+}
+
 fn main() {
     let scale = env_usize("EXP_SCALE", 1);
     let window = Duration::from_millis(env_usize("EXP_SERVING_MS", 400) as u64);
@@ -344,6 +374,7 @@ fn main() {
     sink.registry.gauge_set("bench.serving.cores", cores as u64);
     sink.registry
         .gauge_set("bench.serving.shards", shards.max(1) as u64);
+    record_modelcheck_coverage(&sink);
 
     let mut table = Table::new(
         format!(

@@ -36,7 +36,7 @@ use rdfref_storage::evaluator::{head_names, Evaluator};
 use rdfref_storage::{
     ExecMetrics, Parallelism, Relation, ShardedStore, Stats, Store, TripleSource,
 };
-use std::sync::{Arc, OnceLock};
+use rdfref_sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// A query answering strategy.
@@ -753,7 +753,7 @@ impl Database {
             tag,
         };
         let (schema_epoch, data_epoch) = self.cache_epochs();
-        if let Some(plan) = self.cache.lookup_at(&key, schema_epoch, data_epoch) {
+        if let Some(plan) = self.pinned_cache_lookup(&key) {
             obs.add("plan_cache.hit", 1);
             explain.cache = Some(self.cache_report(true));
             return Ok(rename_plan(&plan, &canon.inverse));
@@ -777,12 +777,41 @@ impl Database {
         Ok(rename_plan(&stored, &canon.inverse))
     }
 
+    /// Pin this database to an epoch pair as the serving layer does when
+    /// assembling a snapshot-owned database; model-check scenarios use it
+    /// to stage a lagging reader against a live cache.
+    #[cfg(feature = "model-check")]
+    pub(crate) fn with_pinned_epochs(mut self, epochs: (u64, u64)) -> Database {
+        self.epochs = Some(epochs);
+        self
+    }
+
     /// The epochs plans are validated and tagged against: the pinned
     /// snapshot epochs for serving-layer databases, the cache's live epochs
     /// otherwise.
     fn cache_epochs(&self) -> (u64, u64) {
         self.epochs
             .unwrap_or_else(|| (self.cache.schema_epoch(), self.cache.data_epoch()))
+    }
+
+    /// Cache lookup pinned at this database's epochs: a snapshot-owned
+    /// database must never see a plan tagged for a different epoch pair,
+    /// no matter what the writer is doing to the shared cache concurrently.
+    #[cfg(not(modelcheck_mutation = "unpinned_lookup"))]
+    pub(crate) fn pinned_cache_lookup(&self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
+        let (schema_epoch, data_epoch) = self.cache_epochs();
+        self.cache.lookup_at(key, schema_epoch, data_epoch)
+    }
+
+    /// Seeded bug twin of [`Database::pinned_cache_lookup`]: `lookup`
+    /// validates against the cache's *live* epochs instead of the pinned
+    /// snapshot epochs, so a concurrent writer's insertions leak across
+    /// the snapshot boundary. The `cache_pinned` model scenario catches
+    /// this, and L014 flags it statically (an unpinned cache call
+    /// reachable from the serving read path).
+    #[cfg(modelcheck_mutation = "unpinned_lookup")]
+    pub(crate) fn pinned_cache_lookup(&self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
+        self.cache.lookup(key)
     }
 
     /// Plan `cq` from scratch (no cache involvement).

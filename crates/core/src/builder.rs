@@ -39,7 +39,7 @@ use crate::serving::{ServingDatabase, ShardConfig, ShardedServingDatabase};
 use rdfref_model::{DictEncoding, Graph};
 use rdfref_obs::Obs;
 use rdfref_storage::Parallelism;
-use std::sync::Arc;
+use rdfref_sync::Arc;
 
 /// Configures and constructs an engine. Obtain one via
 /// [`Database::builder`]; finish with [`EngineBuilder::build`] (in-memory),

@@ -36,13 +36,13 @@
 
 use crate::gcov::{GcovOptions, GcovResult};
 use crate::reformulate::ReformulationLimits;
-use parking_lot::Mutex;
 use rdfref_model::fxhash::FxHashMap;
 use rdfref_query::ast::{Cq, Jucq, Ucq};
 use rdfref_query::Cover;
+use rdfref_sync::atomic::{AtomicU64, Ordering};
+use rdfref_sync::Arc;
+use rdfref_sync::Mutex;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// The non-query part of a cache key: which planner produced the plan, and
 /// every option that changes its output.

@@ -55,7 +55,7 @@ use crate::reformulate::ucq::ReformulationLimits;
 use rdfref_obs::{MetricsRegistry, Obs};
 use rdfref_query::Cq;
 use rdfref_storage::Parallelism;
-use std::sync::Arc;
+use rdfref_sync::Arc;
 
 /// Anything that can answer a BGP query with a [`Strategy`].
 ///

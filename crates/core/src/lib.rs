@@ -66,8 +66,12 @@ pub mod explain;
 pub mod gcov;
 pub mod incomplete;
 pub mod maintained;
+pub(crate) mod pubcell;
 pub mod reformulate;
 pub mod serving;
+
+#[cfg(feature = "model-check")]
+pub mod protocol_models;
 
 pub use answer::{AnswerOptions, Database, QueryAnswer, Strategy};
 pub use builder::EngineBuilder;

@@ -27,7 +27,7 @@ use crate::serving::{Snapshot, WriterCore};
 use rdfref_model::{EncodedTriple, Graph, Term, TermId};
 use rdfref_obs::Obs;
 use rdfref_query::Cq;
-use std::sync::Arc;
+use rdfref_sync::Arc;
 
 /// A queryable database that stays consistent under updates.
 pub struct MaintainedDatabase {

@@ -52,6 +52,7 @@ use crate::cache::PlanCache;
 use crate::engine::{QueryEngine, QueryRequest};
 use crate::error::{CoreError, Result};
 use crate::explain::SnapshotInfo;
+use crate::pubcell::{publish_all, PubCell, Published};
 use rdfref_model::{
     vocab, DictEncoding, EncodedTriple, Graph, HierarchyEncoder, Schema, SchemaClosure, Term,
     TermId, Triple,
@@ -62,10 +63,8 @@ use rdfref_reasoning::{IncrementalReasoner, MaintenanceDelta};
 use rdfref_storage::{
     shard_of_predicate, Parallelism, ShardedStore, Stats, StatsMaintainer, Store,
 };
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::thread;
+use rdfref_sync::atomic::{AtomicU64, Ordering};
+use rdfref_sync::{mpsc, thread, Arc};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -177,99 +176,17 @@ impl QueryEngine for &Snapshot {
 // SnapshotCell: the lock-free publication point
 // ---------------------------------------------------------------------------
 
-/// Per-thread snapshot cache capacity. Each thread retains at most this
-/// many `(cell, snapshot)` pairs; a retired [`ServingDatabase`]'s final
-/// snapshot can therefore outlive it by one cache slot per thread — bounded
-/// retention, traded for a lock-free reader fast path without unsafe code.
-const TLS_CACHE_CAP: usize = 8;
+/// The snapshot publication point: the generic [`PubCell`] protocol
+/// (`pubcell.rs`) instantiated for [`Snapshot`]. Readers resolve the
+/// current snapshot with one `Acquire` load plus a thread-local lookup;
+/// the protocol itself — monotonic publish, Release/Acquire version
+/// handshake, TLS staleness bound — is model-checked in
+/// `protocol_models.rs` (feature `model-check`).
+type SnapshotCell = PubCell<Snapshot>;
 
-/// Process-wide id source for [`SnapshotCell`]s; ids are never reused, so a
-/// stale thread-local entry can never alias a different cell.
-static NEXT_CELL_ID: AtomicU64 = AtomicU64::new(0);
-
-thread_local! {
-    /// `(cell id, cached seq, snapshot)` triples, FIFO-evicted at
-    /// [`TLS_CACHE_CAP`].
-    static SNAPSHOT_TLS: RefCell<Vec<(u64, u64, Arc<Snapshot>)>> =
-        const { RefCell::new(Vec::new()) };
-}
-
-/// The publication point: readers resolve the current snapshot with one
-/// `Acquire` load plus a thread-local lookup; only the first read after a
-/// publish (per thread) touches the slot mutex, and then only for the
-/// duration of one `Arc` clone.
-///
-/// The crate forbids `unsafe`, so this is deliberately not a hand-rolled
-/// `AtomicPtr` scheme: the version counter makes the mutex acquisition
-/// *conditional* rather than eliminating it, which measures within noise of
-/// an uncontended load at serving thread counts while keeping every line
-/// borrow-checked.
-#[derive(Debug)]
-struct SnapshotCell {
-    /// Unique id keying the thread-local cache.
-    id: u64,
-    /// Sequence number of the snapshot in `slot`, written last (Release) at
-    /// publish; readers check it first (Acquire).
-    version: AtomicU64,
-    /// The current snapshot. Locked briefly by publishers and by readers
-    /// whose thread-local copy is behind `version`.
-    slot: parking_lot::Mutex<Arc<Snapshot>>,
-}
-
-impl SnapshotCell {
-    fn new(initial: Arc<Snapshot>) -> SnapshotCell {
-        SnapshotCell {
-            id: NEXT_CELL_ID.fetch_add(1, Ordering::Relaxed),
-            version: AtomicU64::new(initial.seq),
-            slot: parking_lot::Mutex::new(initial),
-        }
-    }
-
-    /// The current snapshot. Lock-free when this thread has already seen
-    /// the latest publication.
-    fn current(&self) -> Arc<Snapshot> {
-        let version = self.version.load(Ordering::Acquire);
-        SNAPSHOT_TLS.with(|tls| {
-            let mut tls = tls.borrow_mut();
-            if let Some(entry) = tls.iter_mut().find(|e| e.0 == self.id) {
-                if entry.1 >= version {
-                    return Arc::clone(&entry.2);
-                }
-                let fresh = Arc::clone(&self.slot.lock());
-                entry.1 = fresh.seq;
-                entry.2 = Arc::clone(&fresh);
-                return fresh;
-            }
-            let fresh = Arc::clone(&self.slot.lock());
-            if tls.len() >= TLS_CACHE_CAP {
-                tls.remove(0);
-            }
-            tls.push((self.id, fresh.seq, Arc::clone(&fresh)));
-            fresh
-        })
-    }
-
-    /// Install `snap` as the current snapshot. Publications are monotonic
-    /// in `seq`: a publish racing behind a newer one is skipped (snapshots
-    /// are cumulative states, so the newer snapshot already contains the
-    /// older one's changes). Returns whether the snapshot was installed.
-    ///
-    /// Must be called with no writer/shard lock held (lint L005 checks the
-    /// call sites): the slot mutex here is the publication mechanism
-    /// itself, held for two pointer writes.
-    fn publish(&self, snap: Arc<Snapshot>) -> bool {
-        let mut slot = self.slot.lock();
-        if snap.seq <= slot.seq {
-            return false;
-        }
-        #[cfg(feature = "strict-invariants")]
-        assert!(
-            snap.seq > self.version.load(Ordering::Acquire),
-            "snapshot publication must be monotonic"
-        );
-        *slot = Arc::clone(&snap);
-        self.version.store(snap.seq, Ordering::Release);
-        true
+impl Published for Snapshot {
+    fn seq(&self) -> u64 {
+        self.seq
     }
 }
 
@@ -969,6 +886,13 @@ pub struct BatchTicket {
 }
 
 impl BatchTicket {
+    /// Assemble a ticket around a bare reply channel: the model checker
+    /// (`protocol_models`) drives `wait` against a scripted writer loop.
+    #[cfg(feature = "model-check")]
+    pub(crate) fn from_reply(reply: mpsc::Receiver<BatchReport>) -> BatchTicket {
+        BatchTicket { reply }
+    }
+
     /// Block until the batch is applied and published.
     pub fn wait(self) -> Result<BatchReport> {
         self.reply.recv().map_err(|_| CoreError::ServingStopped)
@@ -1448,14 +1372,12 @@ fn writer_loop(
                 cells[0].current().age().as_micros() as u64,
             );
         }
-        // Shard cells first, global last: a reader that sees the new global
-        // seq is guaranteed to find every shard at least as new (the
-        // monotonic-publish rule makes stragglers harmless either way).
+        // Shard cells first, global last (`publish_all`): a reader that
+        // sees the new global seq is guaranteed to find every shard at
+        // least as new (the monotonic-publish rule makes stragglers
+        // harmless either way).
         let seq = snaps[0].seq;
-        for (cell, snap) in cells.iter().zip(&snaps).skip(1) {
-            cell.publish(Arc::clone(snap));
-        }
-        if cells[0].publish(Arc::clone(&snaps[0])) {
+        if publish_all(&cells, &snaps) {
             obs.add("serving.publish", 1);
         } else {
             obs.add("serving.publish.skipped_stale", 1);

@@ -1,0 +1,59 @@
+//! Vector clocks: the happens-before half of the memory model.
+//!
+//! Each model thread carries a clock; each store event snapshots the
+//! storing thread's clock. A load is allowed to read a store only if doing
+//! so would not skip over a store that already happens-before the load —
+//! see `runtime::Location`.
+
+/// A grow-on-demand vector clock indexed by model thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// This thread performed a step: bump its own component.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum (acquire: learn everything `other` knew).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self ≤ other` pointwise: everything self has seen, other has too.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_le() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        a.tick(0);
+        assert!(!a.le(&b));
+        assert!(b.le(&a));
+        b.tick(1);
+        assert!(!a.le(&b) && !b.le(&a)); // concurrent
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.le(&j) && b.le(&j));
+    }
+}

@@ -1,0 +1,366 @@
+//! Schedule-space drivers: bounded-exhaustive DFS, seeded-random deep
+//! runs, and single-schedule replay.
+//!
+//! An execution is identified by its **choice vector**: at every point
+//! where more than one continuation was legal (which thread runs next,
+//! which historical value a relaxed load reads), the taken branch index
+//! was recorded. DFS enumerates vectors in order — branch 0 is always
+//! "keep running the current thread / read the newest value", so the
+//! fewest-preemption schedules are explored first and the first
+//! counterexample found is close to minimal.
+
+use crate::runtime::{run_once, Choice, Mode, Shared};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Exploration budget and shape.
+#[derive(Clone, Debug)]
+pub struct ExploreOptions {
+    /// Max involuntary context switches per execution (DFS phase). 2 is
+    /// the classic bound: most real concurrency bugs need ≤ 2.
+    pub preemption_bound: u32,
+    /// Hard cap on DFS executions (the space can be large; the suite
+    /// budget matters more than exhaustiveness past the bound).
+    pub max_schedules: u64,
+    /// Per-execution step budget: trips livelocks and unbounded loops.
+    pub max_steps: u64,
+    /// Extra seeded-random executions after DFS (unbounded preemptions).
+    pub random_iters: u64,
+    /// Seed for the random phase (each iteration derives its own).
+    pub seed: u64,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            preemption_bound: 2,
+            max_schedules: 50_000,
+            max_steps: 20_000,
+            random_iters: 0,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+/// Aggregate result of a passing exploration.
+#[derive(Clone, Debug)]
+pub struct Stats {
+    /// Executions actually run (DFS + random).
+    pub schedules: u64,
+    /// True when DFS enumerated every schedule within the preemption
+    /// bound (false when `max_schedules` cut it short).
+    pub exhausted: bool,
+}
+
+/// A found counterexample, replayable via [`replay`].
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    pub scenario: String,
+    /// The failed assertion / deadlock / livelock description.
+    pub message: String,
+    /// Human-readable schedule trace: one line per instrumented op.
+    pub trace: String,
+    /// The branch indexes that reproduce the failing schedule.
+    pub choices: Vec<u32>,
+    /// Executions run before the bug was found.
+    pub schedules: u64,
+}
+
+impl BugReport {
+    /// Render the report the way the CI artifact stores it.
+    pub fn render(&self) -> String {
+        format!(
+            "scenario: {}\nfailure: {}\nreplay choices: {:?}\nschedule trace:\n{}\n",
+            self.scenario, self.message, self.choices, self.trace
+        )
+    }
+}
+
+/// What an exploration (or replay) found.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    Pass(Stats),
+    Bug(BugReport),
+}
+
+impl Outcome {
+    pub fn schedules(&self) -> u64 {
+        match self {
+            Outcome::Pass(s) => s.schedules,
+            Outcome::Bug(b) => b.schedules,
+        }
+    }
+
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Pass(_))
+    }
+}
+
+/// One explorer at a time per process: executions assume their model
+/// threads are the only instrumented threads running.
+static EXPLORER: StdMutex<()> = StdMutex::new(());
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Explore the schedule space of `body`: DFS to the preemption bound,
+/// then `random_iters` seeded-random deep runs. Deterministic for a given
+/// body, options and code version.
+pub fn explore<F>(scenario: &str, opts: ExploreOptions, body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = EXPLORER.lock().unwrap_or_else(|e| e.into_inner());
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut schedules = 0u64;
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut exhausted = false;
+    loop {
+        let shared = Arc::new(Shared::new(
+            opts.preemption_bound,
+            opts.max_steps,
+            Mode::Dfs,
+            opts.seed,
+            prefix,
+        ));
+        let (failure, choices, trace) = run_once(shared, Arc::clone(&body));
+        schedules += 1;
+        if let Some(message) = failure {
+            return Outcome::Bug(BugReport {
+                scenario: scenario.to_string(),
+                message,
+                trace: trace.join("\n"),
+                choices: choices.iter().map(|c| c.taken).collect(),
+                schedules,
+            });
+        }
+        // Advance to the next unexplored branch: bump the deepest choice
+        // point that still has alternatives, drop everything after it.
+        prefix = choices;
+        loop {
+            match prefix.last_mut() {
+                None => {
+                    exhausted = true;
+                    break;
+                }
+                Some(c) if c.taken + 1 < c.num => {
+                    c.taken += 1;
+                    break;
+                }
+                Some(_) => {
+                    prefix.pop();
+                }
+            }
+        }
+        if exhausted || schedules >= opts.max_schedules {
+            break;
+        }
+    }
+    for i in 0..opts.random_iters {
+        let shared = Arc::new(Shared::new(
+            u32::MAX, // random phase: no preemption bound
+            opts.max_steps,
+            Mode::Random,
+            splitmix(opts.seed ^ i),
+            Vec::new(),
+        ));
+        let (failure, choices, trace) = run_once(shared, Arc::clone(&body));
+        schedules += 1;
+        if let Some(message) = failure {
+            return Outcome::Bug(BugReport {
+                scenario: scenario.to_string(),
+                message,
+                trace: trace.join("\n"),
+                choices: choices.iter().map(|c| c.taken).collect(),
+                schedules,
+            });
+        }
+    }
+    Outcome::Pass(Stats {
+        schedules,
+        exhausted,
+    })
+}
+
+/// Re-run exactly one schedule from a recorded choice vector (as found in
+/// a [`BugReport`] or a CI trace artifact).
+pub fn replay<F>(scenario: &str, opts: ExploreOptions, choices: &[u32], body: F) -> Outcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = EXPLORER.lock().unwrap_or_else(|e| e.into_inner());
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let prefix: Vec<Choice> = choices
+        .iter()
+        .map(|&taken| Choice {
+            taken,
+            num: u32::MAX,
+        })
+        .collect();
+    let shared = Arc::new(Shared::new(
+        u32::MAX, // the recorded choices already encode every switch
+        opts.max_steps,
+        Mode::Replay,
+        opts.seed,
+        prefix,
+    ));
+    let (failure, choices, trace) = run_once(shared, body);
+    match failure {
+        Some(message) => Outcome::Bug(BugReport {
+            scenario: scenario.to_string(),
+            message,
+            trace: trace.join("\n"),
+            choices: choices.iter().map(|c| c.taken).collect(),
+            schedules: 1,
+        }),
+        None => Outcome::Pass(Stats {
+            schedules: 1,
+            exhausted: false,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shim::{mpsc, thread, AtomicU64, Mutex};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc as StdArc;
+
+    fn opts() -> ExploreOptions {
+        ExploreOptions {
+            max_schedules: 5_000,
+            ..ExploreOptions::default()
+        }
+    }
+
+    /// Classic lost-update: both threads may read 0 before either stores.
+    #[test]
+    fn finds_lost_update() {
+        let out = explore("lost_update", opts(), || {
+            let x = StdArc::new(AtomicU64::new(0));
+            let x2 = StdArc::clone(&x);
+            let t = thread::spawn(move || {
+                let v = x2.load(Ordering::Relaxed);
+                x2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = x.load(Ordering::Relaxed);
+            x.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(x.load(Ordering::Relaxed), 2, "lost update");
+        });
+        let Outcome::Bug(bug) = &out else {
+            panic!("lost update not found in {} schedules", out.schedules());
+        };
+        assert!(bug.message.contains("lost update"), "{}", bug.message);
+        assert!(!bug.trace.is_empty());
+    }
+
+    /// Message-passing litmus: a Relaxed flag store lets the reader see
+    /// the flag without the data — an ordering bug, not a timing bug.
+    fn message_passing(flag_order: Ordering) {
+        let data = StdArc::new(AtomicU64::new(0));
+        let flag = StdArc::new(AtomicU64::new(0));
+        let (d2, f2) = (StdArc::clone(&data), StdArc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, flag_order);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "saw flag without data");
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn relaxed_publication_is_caught_release_is_clean() {
+        let bad = explore("mp_relaxed", opts(), || message_passing(Ordering::Relaxed));
+        assert!(!bad.is_pass(), "relaxed publication must be observable");
+        let good = explore("mp_release", opts(), || message_passing(Ordering::Release));
+        assert!(good.is_pass(), "release publication must verify");
+        assert!(good.schedules() > 1, "must actually branch");
+    }
+
+    #[test]
+    fn abba_deadlock_detected() {
+        let out = explore("abba", opts(), || {
+            let a = StdArc::new(Mutex::new(0u32));
+            let b = StdArc::new(Mutex::new(0u32));
+            let (a2, b2) = (StdArc::clone(&a), StdArc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        });
+        let Outcome::Bug(bug) = out else {
+            panic!("ABBA deadlock not found");
+        };
+        assert!(bug.message.contains("deadlock"), "{}", bug.message);
+    }
+
+    #[test]
+    fn channel_send_synchronizes_with_recv() {
+        let out = explore("chan_sync", opts(), || {
+            let data = StdArc::new(AtomicU64::new(0));
+            let (tx, rx) = mpsc::channel::<u64>();
+            let d2 = StdArc::clone(&data);
+            let t = thread::spawn(move || {
+                d2.store(7, Ordering::Relaxed);
+                tx.send(1).unwrap();
+            });
+            let got = rx.recv().unwrap();
+            // send→recv is release→acquire: the Relaxed store is visible.
+            assert_eq!(data.load(Ordering::Relaxed), 7, "recv missed send's writes");
+            assert_eq!(got, 1);
+            t.join().unwrap();
+        });
+        assert!(out.is_pass(), "channel synchronization must hold");
+    }
+
+    #[test]
+    fn replay_reproduces_the_bug() {
+        let body = || {
+            let x = StdArc::new(AtomicU64::new(0));
+            let x2 = StdArc::clone(&x);
+            let t = thread::spawn(move || {
+                let v = x2.load(Ordering::Relaxed);
+                x2.store(v + 1, Ordering::Relaxed);
+            });
+            let v = x.load(Ordering::Relaxed);
+            x.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(x.load(Ordering::Relaxed), 2, "lost update");
+        };
+        let Outcome::Bug(bug) = explore("replay_src", opts(), body) else {
+            panic!("no bug to replay");
+        };
+        let again = replay("replay_src", opts(), &bug.choices, body);
+        let Outcome::Bug(rebug) = again else {
+            panic!("replay did not reproduce");
+        };
+        assert_eq!(rebug.message, bug.message);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let run = || {
+            explore("det", opts(), || {
+                let x = StdArc::new(AtomicU64::new(0));
+                let x2 = StdArc::clone(&x);
+                let t = thread::spawn(move || x2.fetch_add(1, Ordering::SeqCst));
+                x.fetch_add(1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(x.load(Ordering::SeqCst), 2);
+            })
+            .schedules()
+        };
+        assert_eq!(run(), run());
+    }
+}

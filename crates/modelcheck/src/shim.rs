@@ -1,0 +1,627 @@
+//! Instrumented drop-ins for the sync primitives the facade exposes.
+//!
+//! Every shim checks [`runtime::current`]: inside a model execution, each
+//! operation is a scheduler yield point with modeled semantics; outside
+//! one, it delegates straight to the real primitive. Model stores also
+//! *store through* to the real atomic, so a location first touched inside
+//! the model seeds its history from the value pass-through code last wrote
+//! (and vice versa).
+
+use crate::runtime::{self, Abort, Ctx};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc as StdArc;
+
+macro_rules! atomic_shim {
+    ($name:ident, $real:ty, $prim:ty) => {
+        /// Instrumented atomic: modeled per-location store history inside
+        /// an execution, pass-through outside one.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            real: $real,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    real: <$real>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match runtime::current() {
+                    None => self.real.load(ord),
+                    Some(ctx) => {
+                        let seed = self.real.load(Ordering::SeqCst) as u64;
+                        let (v, _) = ctx.shared.atomic_load(
+                            ctx.tid,
+                            self.addr(),
+                            seed,
+                            ord,
+                            stringify!($name),
+                        );
+                        v as $prim
+                    }
+                }
+            }
+
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                match runtime::current() {
+                    None => self.real.store(val, ord),
+                    Some(ctx) => {
+                        let seed = self.real.load(Ordering::SeqCst) as u64;
+                        ctx.shared.atomic_store(
+                            ctx.tid,
+                            self.addr(),
+                            seed,
+                            val as u64,
+                            ord,
+                            stringify!($name),
+                        );
+                        self.real.store(val, Ordering::SeqCst);
+                    }
+                }
+            }
+
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                match runtime::current() {
+                    None => self.real.fetch_add(val, ord),
+                    Some(ctx) => {
+                        let seed = self.real.load(Ordering::SeqCst) as u64;
+                        let old = ctx.shared.atomic_rmw(
+                            ctx.tid,
+                            self.addr(),
+                            seed,
+                            &|o| (o as $prim).wrapping_add(val) as u64,
+                            ord,
+                            stringify!($name),
+                        ) as $prim;
+                        self.real.store(old.wrapping_add(val), Ordering::SeqCst);
+                        old
+                    }
+                }
+            }
+
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                match runtime::current() {
+                    None => self.real.fetch_sub(val, ord),
+                    Some(ctx) => {
+                        let seed = self.real.load(Ordering::SeqCst) as u64;
+                        let old = ctx.shared.atomic_rmw(
+                            ctx.tid,
+                            self.addr(),
+                            seed,
+                            &|o| (o as $prim).wrapping_sub(val) as u64,
+                            ord,
+                            stringify!($name),
+                        ) as $prim;
+                        self.real.store(old.wrapping_sub(val), Ordering::SeqCst);
+                        old
+                    }
+                }
+            }
+
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                match runtime::current() {
+                    None => self.real.fetch_max(val, ord),
+                    Some(ctx) => {
+                        let seed = self.real.load(Ordering::SeqCst) as u64;
+                        let old = ctx.shared.atomic_rmw(
+                            ctx.tid,
+                            self.addr(),
+                            seed,
+                            &|o| (o as $prim).max(val) as u64,
+                            ord,
+                            stringify!($name),
+                        ) as $prim;
+                        self.real.store(old.max(val), Ordering::SeqCst);
+                        old
+                    }
+                }
+            }
+
+            /// Did the most recent modeled load on this thread synchronize
+            /// with a release store? Pass-through (and never-loaded) reads
+            /// report `true`. Model tests use this to assert the
+            /// acquire/release *contract* of a protocol, not just its
+            /// data-race-visible consequences.
+            pub fn synchronized_last_load(&self) -> bool {
+                match runtime::current() {
+                    None => true,
+                    Some(ctx) => ctx.shared.synchronized_last_load(ctx.tid, self.addr()),
+                }
+            }
+        }
+
+        impl Drop for $name {
+            fn drop(&mut self) {
+                // Only forget the location when a model execution is live
+                // on this thread: the address may be reused by a fresh
+                // atomic within the same execution.
+                if let Some(ctx) = runtime::current() {
+                    ctx.shared.atomic_forget(self.addr());
+                }
+            }
+        }
+    };
+}
+
+atomic_shim!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_shim!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Instrumented boolean atomic (modeled as a 0/1 location).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        match runtime::current() {
+            None => self.real.load(ord),
+            Some(ctx) => {
+                let seed = self.real.load(Ordering::SeqCst) as u64;
+                let (v, _) = ctx
+                    .shared
+                    .atomic_load(ctx.tid, self.addr(), seed, ord, "AtomicBool");
+                v != 0
+            }
+        }
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        match runtime::current() {
+            None => self.real.store(val, ord),
+            Some(ctx) => {
+                let seed = self.real.load(Ordering::SeqCst) as u64;
+                ctx.shared
+                    .atomic_store(ctx.tid, self.addr(), seed, val as u64, ord, "AtomicBool");
+                self.real.store(val, Ordering::SeqCst);
+            }
+        }
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        match runtime::current() {
+            None => self.real.swap(val, ord),
+            Some(ctx) => {
+                let seed = self.real.load(Ordering::SeqCst) as u64;
+                let old = ctx.shared.atomic_rmw(
+                    ctx.tid,
+                    self.addr(),
+                    seed,
+                    &|_| val as u64,
+                    ord,
+                    "AtomicBool",
+                );
+                self.real.store(val, Ordering::SeqCst);
+                old != 0
+            }
+        }
+    }
+}
+
+impl Drop for AtomicBool {
+    fn drop(&mut self) {
+        if let Some(ctx) = runtime::current() {
+            ctx.shared.atomic_forget(self.addr());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mutex
+
+/// Instrumented mutex with the vendored-parking_lot API (`lock()` returns
+/// a guard directly; no poisoning).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    fn real_guard(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match runtime::current() {
+            None => MutexGuard {
+                inner: self.real_guard(),
+                model: None,
+            },
+            Some(ctx) => {
+                ctx.shared.mutex_lock(ctx.tid, self.addr());
+                // Model ownership is exclusive, so the real lock is free.
+                let inner = self.real_guard();
+                MutexGuard {
+                    inner,
+                    model: Some((ctx, self.addr())),
+                }
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match runtime::current() {
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    inner: g,
+                    model: None,
+                }),
+                Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                    inner: e.into_inner(),
+                    model: None,
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+            Some(ctx) => {
+                if ctx.shared.mutex_try_lock(ctx.tid, self.addr()) {
+                    Some(MutexGuard {
+                        inner: self.real_guard(),
+                        model: Some((ctx, self.addr())),
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        if let Some(ctx) = runtime::current() {
+            // The address may be reused by a later allocation; drop the
+            // model state so a fresh mutex there starts clean.
+            ctx.shared.mutex_forget(self.addr());
+        }
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((ctx, addr)) = self.model.take() {
+            if std::thread::panicking() {
+                // Never start a second panic from a guard drop.
+                ctx.shared.mutex_unlock_quiet(ctx.tid, addr);
+            } else {
+                ctx.shared.mutex_unlock(ctx.tid, addr);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mpsc
+
+pub mod mpsc {
+    //! Instrumented `std::sync::mpsc` subset (channel/send/recv/try_recv).
+    //! The mode is fixed at creation time by whether the creating thread is
+    //! inside a model execution.
+
+    use super::*;
+    use std::collections::VecDeque;
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    pub struct ModelChan<T> {
+        shared: StdArc<crate::runtime::Shared>,
+        id: u64,
+        queue: std::sync::Mutex<VecDeque<T>>,
+    }
+
+    impl<T> ModelChan<T> {
+        fn q(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    pub enum Sender<T> {
+        Std(std::sync::mpsc::Sender<T>),
+        Model(StdArc<ModelChanRef<T>>),
+    }
+
+    pub enum Receiver<T> {
+        Std(std::sync::mpsc::Receiver<T>),
+        Model(StdArc<ModelChan<T>>),
+    }
+
+    /// A sender's handle: drop bookkeeping lives here so clone/drop counts
+    /// stay exact even though the channel itself is shared.
+    pub struct ModelChanRef<T> {
+        chan: StdArc<ModelChan<T>>,
+    }
+
+    impl<T> Drop for ModelChanRef<T> {
+        fn drop(&mut self) {
+            self.chan.shared.chan_sender_dropped(self.chan.id);
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Std(s) => Sender::Std(s.clone()),
+                Sender::Model(r) => {
+                    r.chan.shared.chan_sender_cloned(r.chan.id);
+                    Sender::Model(StdArc::new(ModelChanRef {
+                        chan: StdArc::clone(&r.chan),
+                    }))
+                }
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Std(s) => s.send(t),
+                Sender::Model(r) => {
+                    let ctx =
+                        runtime::current().expect("model channel used outside a model execution");
+                    if r.chan.shared.chan_send(ctx.tid, r.chan.id) {
+                        r.chan.q().push_back(t);
+                        Ok(())
+                    } else {
+                        Err(SendError(t))
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match self {
+                Receiver::Std(r) => r.recv(),
+                Receiver::Model(c) => {
+                    let ctx =
+                        runtime::current().expect("model channel used outside a model execution");
+                    match c.shared.chan_recv(ctx.tid, c.id) {
+                        Ok(()) => Ok(c.q().pop_front().expect("message behind consumed clock")),
+                        Err(()) => Err(RecvError),
+                    }
+                }
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            match self {
+                Receiver::Std(r) => r.try_recv(),
+                Receiver::Model(c) => {
+                    let ctx =
+                        runtime::current().expect("model channel used outside a model execution");
+                    match c.shared.chan_try_recv(ctx.tid, c.id) {
+                        Ok(()) => Ok(c.q().pop_front().expect("message behind consumed clock")),
+                        Err(true) => Err(TryRecvError::Disconnected),
+                        Err(false) => Err(TryRecvError::Empty),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if let Receiver::Model(c) = self {
+                c.shared.chan_receiver_dropped(c.id);
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Receiver { .. }")
+        }
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        match runtime::current() {
+            None => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                (Sender::Std(tx), Receiver::Std(rx))
+            }
+            Some(ctx) => {
+                let id = ctx.shared.chan_new();
+                let chan = StdArc::new(ModelChan {
+                    shared: StdArc::clone(&ctx.shared),
+                    id,
+                    queue: std::sync::Mutex::new(VecDeque::new()),
+                });
+                (
+                    Sender::Model(StdArc::new(ModelChanRef {
+                        chan: StdArc::clone(&chan),
+                    })),
+                    Receiver::Model(chan),
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// threads
+
+pub mod thread {
+    //! Instrumented `spawn`/`Builder`/`JoinHandle`. `scope` and
+    //! `available_parallelism` are intentionally *not* shimmed — the
+    //! facade re-exports the std versions, and model scenarios must not
+    //! drive scoped-thread code paths.
+
+    use super::*;
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            tid: usize,
+            real: std::thread::JoinHandle<()>,
+            result: StdArc<std::sync::Mutex<Option<std::thread::Result<T>>>>,
+        },
+    }
+
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { tid, real, result } => {
+                    let ctx = runtime::current()
+                        .expect("model JoinHandle joined outside a model execution");
+                    ctx.shared.join_thread(ctx.tid, tid);
+                    let _ = real.join();
+                    result
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("model thread result already taken")
+                }
+            }
+        }
+
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                Inner::Std(h) => h.is_finished(),
+                Inner::Model { real, .. } => real.is_finished(),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("JoinHandle { .. }")
+        }
+    }
+
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match runtime::current() {
+            None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+            Some(ctx) => JoinHandle(spawn_model(&ctx, f)),
+        }
+    }
+
+    fn spawn_model<F, T>(ctx: &Ctx, f: F) -> Inner<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let tid = ctx.shared.register_thread(ctx.tid);
+        let result = StdArc::new(std::sync::Mutex::new(None));
+        let (sh, slot) = (StdArc::clone(&ctx.shared), StdArc::clone(&result));
+        let real = std::thread::Builder::new()
+            .name(format!("modelcheck-t{tid}"))
+            .spawn(move || {
+                runtime::enter(StdArc::clone(&sh), tid);
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    sh.wait_first_schedule(tid);
+                    f()
+                }));
+                if let Err(payload) = &r {
+                    if !payload.is::<Abort>() {
+                        sh.record_failure(tid, crate::runtime::payload_message(payload.as_ref()));
+                    }
+                }
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                runtime::leave();
+                sh.exit_thread(tid);
+            })
+            .expect("spawn model OS thread");
+        Inner::Model { tid, real, result }
+    }
+
+    /// `std::thread::Builder` subset: the name is kept for pass-through
+    /// spawns and ignored (model threads get `modelcheck-t<tid>` names).
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        pub fn new() -> Builder {
+            Builder::default()
+        }
+
+        pub fn name(mut self, name: String) -> Builder {
+            self.name = Some(name);
+            self
+        }
+
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            match runtime::current() {
+                None => {
+                    let mut b = std::thread::Builder::new();
+                    if let Some(n) = self.name {
+                        b = b.name(n);
+                    }
+                    b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+                }
+                Some(ctx) => Ok(JoinHandle(spawn_model(&ctx, f))),
+            }
+        }
+    }
+}

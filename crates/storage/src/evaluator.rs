@@ -259,39 +259,40 @@ impl<'a> Evaluator<'a> {
         let _span = self.obs.span("eval.ucq");
         let mut union = Relation::empty(out.to_vec());
         if self.parallelism == Parallelism::Unions && ucq.len() >= PARALLEL_UNION_THRESHOLD {
-            let n_threads = std::thread::available_parallelism()
+            let n_threads = rdfref_sync::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .min(ucq.len());
             let chunks: Vec<&[Cq]> = ucq.cqs.chunks(ucq.len().div_ceil(n_threads)).collect();
             self.obs.add("union.parallel.unions", 1);
             self.obs.add("union.parallel.workers", chunks.len() as u64);
-            let results: Vec<Result<(Vec<Relation>, ExecMetrics)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            // Per-worker busy time feeds the utilization
-                            // histogram; uneven chunks show up as spread.
-                            let sw = self.obs.stopwatch();
-                            let mut local_metrics = ExecMetrics::default();
-                            let mut rels = Vec::with_capacity(chunk.len());
-                            for cq in chunk {
-                                rels.push(self.eval_cq(cq, out, &mut local_metrics)?);
-                            }
-                            self.obs.observe(
-                                "union.worker.busy_us",
-                                sw.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
-                            );
-                            Ok((rels, local_metrics))
+            let results: Vec<Result<(Vec<Relation>, ExecMetrics)>> =
+                rdfref_sync::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                // Per-worker busy time feeds the utilization
+                                // histogram; uneven chunks show up as spread.
+                                let sw = self.obs.stopwatch();
+                                let mut local_metrics = ExecMetrics::default();
+                                let mut rels = Vec::with_capacity(chunk.len());
+                                for cq in chunk {
+                                    rels.push(self.eval_cq(cq, out, &mut local_metrics)?);
+                                }
+                                self.obs.observe(
+                                    "union.worker.busy_us",
+                                    sw.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                                );
+                                Ok((rels, local_metrics))
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or(Err(StorageError::WorkerPanicked)))
-                    .collect()
-            });
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or(Err(StorageError::WorkerPanicked)))
+                        .collect()
+                });
             for r in results {
                 let (rels, local_metrics) = r?;
                 metrics.absorb(local_metrics);

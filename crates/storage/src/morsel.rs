@@ -24,12 +24,12 @@ use crate::store::TripleSource;
 use rdfref_model::{EncodedTriple, TermId};
 use rdfref_obs::Obs;
 use rdfref_query::ast::Atom;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use rdfref_sync::atomic::{AtomicUsize, Ordering};
+use rdfref_sync::Mutex;
 
 /// How many workers to use for `n_morsels` units of work.
 fn worker_count(n_morsels: usize) -> usize {
-    std::thread::available_parallelism()
+    rdfref_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(n_morsels)
@@ -52,7 +52,7 @@ where
     obs.add("op.morsel.workers", workers as u64);
     let next = AtomicUsize::new(0);
     let partials: Mutex<Vec<Option<Relation>>> = Mutex::new(vec![None; n_morsels]);
-    let results: Vec<Result<()>> = std::thread::scope(|scope| {
+    let results: Vec<Result<()>> = rdfref_sync::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| loop {
@@ -61,10 +61,7 @@ where
                         return Ok(());
                     }
                     let rel = work(m)?;
-                    match partials.lock() {
-                        Ok(mut slots) => slots[m] = Some(rel),
-                        Err(_) => return Err(StorageError::WorkerPanicked),
-                    }
+                    partials.lock()[m] = Some(rel);
                 })
             })
             .collect();
@@ -76,9 +73,7 @@ where
     for r in results {
         r?;
     }
-    let slots = partials
-        .into_inner()
-        .map_err(|_| StorageError::WorkerPanicked)?;
+    let slots = partials.into_inner();
     let mut out = Relation::empty(columns);
     for slot in slots {
         let part = slot.ok_or(StorageError::WorkerPanicked)?;

@@ -28,8 +28,8 @@
 //! of, the previous one.
 
 use rdfref_model::{EncodedTriple, Graph, TermId};
+use rdfref_sync::Arc;
 use std::cmp::Ordering;
-use std::sync::Arc;
 
 /// Target keys per index bucket. Small enough that a single-triple delta
 /// copies ~one bucket, large enough that range scans stay contiguous.

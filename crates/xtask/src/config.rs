@@ -68,6 +68,23 @@ pub struct Config {
     pub unpinned_cache_calls: Vec<String>,
     /// Receiver field names recognised as plan caches (L014).
     pub cache_receivers: Vec<String>,
+    /// Crates (directory names) whose non-test code must route every sync
+    /// primitive through the facade; raw `std::sync` / `std::thread` /
+    /// `parking_lot` paths there are L015 findings.
+    pub sync_scope_crates: Vec<String>,
+    /// Path prefixes (`"std::sync"`, `"parking_lot"`, …) banned outside
+    /// the facade in `sync_scope_crates` (L015).
+    pub raw_sync_paths: Vec<String>,
+    /// Facade crates whose atomics are std-equivalent: a publication
+    /// atomic's field type must resolve to `std::sync::atomic` or one of
+    /// these crates, or L013's Release/Acquire reasoning is unsound over it
+    /// and the mismatch itself is reported.
+    pub sync_wrappers: Vec<String>,
+    /// Include `#[cfg(modelcheck_mutation = …)]` twins in the flow lints
+    /// (L012–L014). Off by default — the twins are never compiled in normal
+    /// builds; CI turns this on to prove the lints still catch the seeded
+    /// bugs.
+    pub include_mutation_cfg: bool,
     /// Residual findings tolerated per (lint, file).
     pub allow: Vec<AllowEntry>,
 }
@@ -108,6 +125,12 @@ impl Default for Config {
                 .to_vec(),
             unpinned_cache_calls: ["lookup", "insert"].map(String::from).to_vec(),
             cache_receivers: ["cache", "plan_cache"].map(String::from).to_vec(),
+            sync_scope_crates: ["core", "storage", "obs"].map(String::from).to_vec(),
+            raw_sync_paths: ["std::sync", "std::thread", "parking_lot"]
+                .map(String::from)
+                .to_vec(),
+            sync_wrappers: vec!["rdfref_sync".to_string()],
+            include_mutation_cfg: false,
             allow: Vec::new(),
         }
     }
@@ -194,6 +217,10 @@ pub fn parse_config(text: &str) -> Result<Config, ConfigError> {
                     cfg.unpinned_cache_calls = parse_string_array(value, lineno)?
                 }
                 "cache_receivers" => cfg.cache_receivers = parse_string_array(value, lineno)?,
+                "sync_scope_crates" => cfg.sync_scope_crates = parse_string_array(value, lineno)?,
+                "raw_sync_paths" => cfg.raw_sync_paths = parse_string_array(value, lineno)?,
+                "sync_wrappers" => cfg.sync_wrappers = parse_string_array(value, lineno)?,
+                "include_mutation_cfg" => cfg.include_mutation_cfg = parse_bool(value, lineno)?,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -287,6 +314,19 @@ pub fn render_config(cfg: &Config) -> String {
         "cache_receivers = [{}]\n",
         arr(&cfg.cache_receivers)
     ));
+    s.push_str(&format!(
+        "sync_scope_crates = [{}]\n",
+        arr(&cfg.sync_scope_crates)
+    ));
+    s.push_str(&format!(
+        "raw_sync_paths = [{}]\n",
+        arr(&cfg.raw_sync_paths)
+    ));
+    s.push_str(&format!("sync_wrappers = [{}]\n", arr(&cfg.sync_wrappers)));
+    s.push_str(&format!(
+        "include_mutation_cfg = {}\n",
+        cfg.include_mutation_cfg
+    ));
     for a in &cfg.allow {
         s.push_str(&format!(
             "\n[[allow]]\nlint = {:?}\nfile = {:?}\ncount = {}\nreason = {:?}\n",
@@ -307,6 +347,17 @@ fn strip_comment(line: &str) -> &str {
         }
     }
     line
+}
+
+fn parse_bool(value: &str, line: usize) -> Result<bool, ConfigError> {
+    match value.trim() {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(ConfigError {
+            line,
+            message: format!("expected true or false, got {other:?}"),
+        }),
+    }
 }
 
 fn parse_string(value: &str, line: usize) -> Result<String, ConfigError> {
@@ -347,7 +398,10 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let mut cfg = Config::default();
+        let mut cfg = Config {
+            include_mutation_cfg: true,
+            ..Config::default()
+        };
         cfg.allow.push(AllowEntry {
             lint: "L001".into(),
             file: "crates/core/src/x.rs".into(),
@@ -363,6 +417,16 @@ mod tests {
         assert!(parse_config("wat = 1\n").is_err());
         assert!(parse_config("[[allow]]\nlint = \"L001\"\n").is_err()); // missing file/count
         assert!(parse_config("[[allow]]\nlint = \"L001\"\nfile = \"f\"\ncount = 0\n").is_err());
+    }
+
+    #[test]
+    fn parses_bool_keys_strictly() {
+        assert!(
+            parse_config("include_mutation_cfg = true\n")
+                .unwrap()
+                .include_mutation_cfg
+        );
+        assert!(parse_config("include_mutation_cfg = yes\n").is_err());
     }
 
     #[test]

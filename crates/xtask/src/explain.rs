@@ -1,0 +1,280 @@
+//! `cargo xtask lint --explain <rule>` — long-form documentation for each
+//! catalog rule.
+//!
+//! The short descriptions in [`crate::sarif::RULES`] fit a SARIF viewer
+//! column; the texts here are what a developer staring at a finding needs:
+//! why the rule exists in *this* codebase, what a finding typically looks
+//! like, how to fix it, and which `lints.toml` keys tune it. A test pins
+//! that every rule in the catalog has an entry, so adding L0NN without
+//! documentation fails the build.
+
+use crate::sarif::RULES;
+
+/// Long-form body for one rule, paired with the catalog by id.
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "L001",
+        "Library code must never abort the process: a panicking `.unwrap()` in the\n\
+         reformulation or storage layer kills every in-flight query sharing the\n\
+         process. Return the crate `Result` instead, or prove the invariant and\n\
+         use a pattern match.\n\
+         \n\
+         Fix: replace `.unwrap()` / `.expect(…)` with `?` into the crate error\n\
+         enum, `ok_or(…)?`, or an explicit match.\n\
+         Config: `library_crates` scopes the rule; `[[allow]]` budgets accepted\n\
+         residue. Domain methods named `expect` are exempted by the item graph.",
+    ),
+    (
+        "L002",
+        "`panic!`, `unreachable!`, `todo!` and `unimplemented!` are aborts in\n\
+         disguise; in library crates every failure path must flow through the\n\
+         crate error enums so callers (and the serving layer) can degrade\n\
+         gracefully.\n\
+         \n\
+         Fix: return `Err(CoreError::…)` (or the local crate's enum); for truly\n\
+         impossible branches, return an internal-invariant error — it is still\n\
+         reportable.\n\
+         Config: `library_crates`, `[[allow]]`.",
+    ),
+    (
+        "L003",
+        "`println!`-family output from a library crate corrupts benchmark\n\
+         harness output and bypasses the observability layer. All diagnostics\n\
+         go through `rdfref_obs` metrics/spans; user-facing text belongs to the\n\
+         binaries.\n\
+         \n\
+         Fix: delete the print or route it through the obs registry.\n\
+         Config: `library_crates`, `[[allow]]`.",
+    ),
+    (
+        "L004",
+        "A public function that can fail (contains `?`, `Err(…)`, or a fallible\n\
+         callee) must say so in its signature by returning the crate `Result`.\n\
+         Swallowing errors or panicking hides failures from the answering\n\
+         facade's contract `answer(q, G, S) = q(G∞)`.\n\
+         \n\
+         Fix: change the return type to the crate `Result` and propagate.\n\
+         Config: `library_crates`, `[[allow]]`.",
+    ),
+    (
+        "L005",
+        "`Database::answer` can take seconds on cold plans; holding a lock guard\n\
+         across it serializes every concurrent caller on that lock (and has\n\
+         deadlocked the serving layer before). Locks protect data, not whole\n\
+         query executions.\n\
+         \n\
+         Fix: clone or snapshot what you need, drop the guard, then call\n\
+         `answer`.\n\
+         Config: `answer_methods` names the long-running calls; `[[allow]]`.",
+    ),
+    (
+        "L006",
+        "Cloning a `Graph` or dictionary inside a loop turns an O(n) pass into\n\
+         O(n·|G|) and has shown up as multi-second regressions in the\n\
+         reformulation benchmarks. Hoist the clone or borrow.\n\
+         \n\
+         Fix: move the clone out of the loop, use `&` or `Arc`, or restructure\n\
+         with iterators.\n\
+         Config: `heavy_types` lists the expensive types; `[[allow]]`.",
+    ),
+    (
+        "L007",
+        "The workspace's lock acquisition-order graph must stay acyclic: a cycle\n\
+         between two locks is a deadlock waiting for the right schedule. The\n\
+         lint computes transitive lock closures over the call graph, so an\n\
+         indirect cycle through a helper is also caught.\n\
+         \n\
+         Fix: impose a global order (document it where the locks are declared)\n\
+         or collapse the two locks into one.\n\
+         Config: lock classes are inferred from field/binding names.",
+    ),
+    (
+        "L008",
+        "Errors crossing a crate boundary must map into the receiving crate's\n\
+         error enum — `?` on a foreign error type only compiles through a\n\
+         `From` impl, and `Box<dyn Error>` in a public signature erases the\n\
+         failure taxonomy the paper's experiments rely on for per-strategy\n\
+         accounting.\n\
+         \n\
+         Fix: add the `From` impl / `#[from]` arm, and make public signatures\n\
+         return the crate `Result`.\n\
+         Config: error enums and `Result` aliases are discovered from the item\n\
+         graph.",
+    ),
+    (
+        "L009",
+        "An `Obs` span or stopwatch dropped on the spot (`let _ = …`, statement\n\
+         position, `mem::forget`) records a zero-length interval — the metric\n\
+         silently lies. Guards must be held in a named binding that lives to\n\
+         end of scope, and stopwatches must be read.\n\
+         \n\
+         Fix: `let _guard = obs.span(…);` — or remove the span if it measures\n\
+         nothing. `cargo xtask lint --fix` rewrites the binding mechanically.\n\
+         Config: `span_methods`, `[[allow]]`.",
+    ),
+    (
+        "L010",
+        "Worker closures (rayon-style morsel drivers, spawned threads) and open\n\
+         span bodies must not block: `thread::sleep`, filesystem or network\n\
+         I/O in a worker stalls the whole morsel pipeline and skews every\n\
+         timing the experiments report.\n\
+         \n\
+         Fix: hoist the I/O out of the hot closure, or do it before/after the\n\
+         parallel section.\n\
+         Config: `worker_spawns`, `blocking_calls`, `[[allow]]`.",
+    ),
+    (
+        "L011",
+        "Every library crate carries `#![forbid(unsafe_code)]` and no scanned\n\
+         file may bypass it (`unsafe` blocks, `#[allow(unsafe_code)]`). The\n\
+         whole workspace is safe Rust by policy; soundness comes from the type\n\
+         system, not from auditing.\n\
+         \n\
+         Fix: add the attribute to `src/lib.rs` (`--fix` does this) and remove\n\
+         the bypass.\n\
+         Config: `library_crates`.",
+    ),
+    (
+        "L012",
+        "Dictionary-encoded ids and base-space values live in different\n\
+         universes: an encoded `TermId` flowing into a base-space sink (row\n\
+         constructors, user-visible answers) without passing a decode boundary\n\
+         produces garbage bindings that type-check. The lint taint-tracks\n\
+         values from `taint_sources` calls through bindings to `taint_sinks` /\n\
+         `taint_sink_types`, and attaches the full def-use witness chain to\n\
+         each finding.\n\
+         \n\
+         Fix: route the value through a `taint_sanitizers` decode call.\n\
+         Config: `taint_sources`, `taint_sanitizers`, `taint_sinks`,\n\
+         `taint_sink_types`.",
+    ),
+    (
+        "L013",
+        "The snapshot publication protocol is a release/acquire handshake: the\n\
+         writer fills the slot, then Release-stores the version; readers\n\
+         Acquire-load the version before touching the slot. Any `Relaxed` on\n\
+         that path, or a slot write *after* the Release store, lets a reader\n\
+         observe a version without its snapshot — the exact bug the\n\
+         `publish_order` / `relaxed_version` model-check mutations seed.\n\
+         The lint also checks soundness of its own coverage: a struct field\n\
+         named like a publication atomic must actually be typed as an atomic\n\
+         the analysis models (std's or a `sync_wrappers` facade re-export).\n\
+         \n\
+         Fix: use `Ordering::Release` for publication stores, `Acquire` for\n\
+         loads, keep the store last, and type protocol fields via the facade.\n\
+         Config: `publication_atomics`, `publication_slots`, `sync_wrappers`,\n\
+         `include_mutation_cfg` (CI sets it to prove the lint catches the\n\
+         seeded mutation twins).",
+    ),
+    (
+        "L014",
+        "Serving-layer code answers against an epoch-pinned snapshot: a plan\n\
+         cache hit from a *newer* epoch than the snapshot being served returns\n\
+         answers the snapshot cannot justify (the `unpinned_lookup` mutation).\n\
+         Functions reachable from `serving_types` methods must use the `_at`\n\
+         epoch-pinned cache API, never the unpinned one. Findings carry the\n\
+         call chain from the serving root as the witness.\n\
+         \n\
+         Fix: call `lookup_at` / `insert_at` with the pinned epoch pair.\n\
+         Config: `serving_types`, `cache_receivers`, `unpinned_cache_calls`,\n\
+         `include_mutation_cfg`.",
+    ),
+    (
+        "L015",
+        "The model checker (crates/modelcheck) can only explore schedules of\n\
+         code whose sync operations go through the `rdfref_sync` facade — the\n\
+         facade is a zero-cost re-export in normal builds and an instrumented\n\
+         shim under `--features model-check`. A raw `std::sync` /\n\
+         `std::thread` / `parking_lot` path in a facade-scoped crate is a\n\
+         hole in the checker's coverage: that primitive is invisible to the\n\
+         scheduler, so interleavings through it are never explored.\n\
+         \n\
+         Fix: import the primitive from `rdfref_sync` (same names, same types\n\
+         in normal builds — a compile test pins the identity).\n\
+         Config: `sync_scope_crates` (which crates the rule covers),\n\
+         `raw_sync_paths` (the banned path roots), `sync_wrappers` (the\n\
+         facade). Test code is exempt; deliberate exceptions take an\n\
+         `[[allow]]` budget.",
+    ),
+];
+
+/// Render the `--explain` text for `rule` (case-insensitive id like
+/// `L013`, or the kebab-case rule name like `atomics-publication-protocol`).
+/// `None` if the rule is unknown.
+pub fn explain(rule: &str) -> Option<String> {
+    let want = rule.trim();
+    let (id, name, desc) = RULES
+        .iter()
+        .find(|(id, name, _)| id.eq_ignore_ascii_case(want) || name.eq_ignore_ascii_case(want))?;
+    let body = EXPLANATIONS
+        .iter()
+        .find(|(eid, _)| eid == id)
+        .map(|(_, b)| *b)
+        .unwrap_or("(no extended documentation)");
+    Some(format!("{id} {name}\n{desc}\n\n{body}\n"))
+}
+
+/// The valid `--explain` arguments, for the error message.
+pub fn rule_ids() -> Vec<&'static str> {
+    RULES.iter().map(|(id, _, _)| *id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_rule_has_an_explanation() {
+        for (id, _, _) in RULES {
+            let text = explain(id).expect("rule in catalog");
+            assert!(
+                !text.contains("(no extended documentation)"),
+                "{id} is missing a long-form explanation"
+            );
+            // Every entry names its fix and its config surface.
+            assert!(text.contains("Fix:"), "{id} explanation has no Fix: line");
+            assert!(
+                text.contains("Config:"),
+                "{id} explanation has no Config: line"
+            );
+        }
+        // No orphaned explanations for rules that left the catalog.
+        for (eid, _) in EXPLANATIONS {
+            assert!(
+                RULES.iter().any(|(id, _, _)| id == eid),
+                "explanation for unknown rule {eid}"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_accepts_id_and_name_in_any_case() {
+        let by_id = explain("l015").unwrap();
+        let by_name = explain("RAW-SYNC-PRIMITIVE-OUTSIDE-FACADE").unwrap();
+        assert_eq!(by_id, by_name);
+        assert!(explain("L999").is_none());
+        assert!(explain("").is_none());
+    }
+
+    /// Snapshot of one rendered entry: header line, short description,
+    /// blank line, body. Guards the exact `--explain` output format.
+    #[test]
+    fn explain_output_snapshot() {
+        let text = explain("L015").unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("L015 raw-sync-primitive-outside-facade"));
+        assert_eq!(
+            lines.next(),
+            Some(
+                "Facade-scoped crates import sync primitives from rdfref_sync, \
+                 never std::sync/std::thread/parking_lot"
+            )
+        );
+        assert_eq!(lines.next(), Some(""));
+        assert_eq!(
+            lines.next(),
+            Some("The model checker (crates/modelcheck) can only explore schedules of")
+        );
+        assert!(text.ends_with("`[[allow]]` budget.\n"));
+    }
+}

@@ -15,7 +15,7 @@ use crate::cfg::Cfg;
 use crate::config::Config;
 use crate::dataflow::{build_cfgs, compute_carriers, name_matches, solve, Taint, TaintAnalysis};
 use crate::graph::{FnNode, ItemGraph};
-use crate::items::{matching, receiver_chain};
+use crate::items::{matching, receiver_chain, Item, ItemKind};
 use crate::lexer::{Tok, TokKind};
 use crate::lints::{Related, Violation};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -27,8 +27,16 @@ pub fn flow_lints(graph: &ItemGraph, cfg: &Config) -> Vec<Violation> {
     let mut out = Vec::new();
     lint_l012(graph, &cfgs, &carriers, cfg, &mut out);
     lint_l013(graph, &cfgs, cfg, &mut out);
+    lint_l013_wrapper_soundness(graph, cfg, &mut out);
     lint_l014(graph, cfg, &mut out);
     out
+}
+
+/// Functions the flow lints skip: test code always; mutation twins unless
+/// the run opted into them (`include_mutation_cfg`, used by CI to prove
+/// the lints catch the seeded bugs).
+fn skip_fn(f: &FnNode, cfg: &Config) -> bool {
+    f.cfg_test || (f.cfg_mutation && !cfg.include_mutation_cfg)
 }
 
 fn loc(toks: &[Tok], i: usize) -> (u32, u32) {
@@ -83,7 +91,7 @@ fn lint_l012(
 ) {
     let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
     for (idx, f) in graph.fns.iter().enumerate() {
-        if f.cfg_test {
+        if skip_fn(f, cfg) {
             continue;
         }
         let Some(fcfg) = cfgs[idx].as_ref() else {
@@ -230,7 +238,7 @@ fn publication_receiver(toks: &[Tok], name_tok: usize, cfg: &Config) -> bool {
 
 fn lint_l013(graph: &ItemGraph, cfgs: &[Option<Cfg>], cfg: &Config, out: &mut Vec<Violation>) {
     for (idx, f) in graph.fns.iter().enumerate() {
-        if f.cfg_test {
+        if skip_fn(f, cfg) {
             continue;
         }
         let Some((open, close)) = f.sig.body else {
@@ -390,6 +398,196 @@ fn slot_write(toks: &[Tok], s: usize, e: usize, cfg: &Config) -> Option<usize> {
 }
 
 // ---------------------------------------------------------------------------
+// L013 soundness companion — the fields the lint reasons about must be
+// types the ordering analysis actually models.
+// ---------------------------------------------------------------------------
+
+/// L013 matches loads and stores *by field name*: anything listed in
+/// `publication_atomics` is assumed to be a real atomic — std's or a
+/// re-export from a `sync_wrappers` facade crate. If a field keeps the
+/// protocol name but is retyped to something else (a hand-rolled cell, a
+/// third-party atomic), every ordering check on it silently stops applying.
+/// Flag the definite mismatches; stay silent when the type cannot be
+/// resolved through the file's imports, so generics and aliases don't
+/// push people into renaming fields away from the protocol vocabulary.
+fn lint_l013_wrapper_soundness(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
+    for (fi, file) in graph.files.iter().enumerate() {
+        walk_structs(&file.items, &mut |item| {
+            if item.cfg_test {
+                return;
+            }
+            check_struct_fields(file, fi, graph, cfg, item, out);
+        });
+    }
+}
+
+/// Depth-first visit of every `struct` item in a tree.
+fn walk_structs(items: &[Item], f: &mut impl FnMut(&Item)) {
+    for item in items {
+        if item.kind == ItemKind::Struct {
+            f(item);
+        }
+        walk_structs(&item.children, f);
+    }
+}
+
+/// Scan one struct body for fields named like publication atomics and
+/// validate each field's type.
+fn check_struct_fields(
+    file: &crate::graph::ParsedFile,
+    fi: usize,
+    graph: &ItemGraph,
+    cfg: &Config,
+    item: &Item,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &file.toks;
+    let Some(open) = (item.start..item.end.min(toks.len())).find(|&i| toks[i].is_punct('{')) else {
+        return; // tuple or unit struct: no named fields
+    };
+    let close = matching(toks, open, '{', '}')
+        .unwrap_or(item.end)
+        .min(item.end);
+    let mut depth = 0usize;
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokKind::Ident
+                if depth == 0
+                    && toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+                    && !toks.get(i + 2).map(|n| n.is_punct(':')).unwrap_or(false)
+                    && cfg.publication_atomics.iter().any(|a| a == &t.text) =>
+            {
+                let ty_end = field_type_end(toks, i + 2, close);
+                check_field_type(file, fi, graph, cfg, i, i + 2, ty_end, out);
+                i = ty_end;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// One past the last token of a field type starting at `s`: the next
+/// top-level `,` or the struct's closing brace.
+fn field_type_end(toks: &[Tok], s: usize, close: usize) -> usize {
+    let mut depth = 0usize;
+    let mut angle = 0usize;
+    for (i, tok) in toks.iter().enumerate().take(close).skip(s) {
+        match tok.kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle = angle.saturating_sub(1),
+            TokKind::Punct(',') if depth == 0 && angle == 0 => return i,
+            _ => {}
+        }
+    }
+    close
+}
+
+/// Classify the type of a publication-atomic field. A type is sound if
+/// some path in it resolves (inline or through the file's imports) to
+/// `std::sync::atomic` / `core::sync::atomic` or into a `sync_wrappers`
+/// crate *and* names an atomic. A resolved atomic-looking path with any
+/// other root, or a type with no atomic in it at all, is a definite
+/// mismatch; unresolvable idents keep us silent.
+#[allow(clippy::too_many_arguments)]
+fn check_field_type(
+    file: &crate::graph::ParsedFile,
+    fi: usize,
+    graph: &ItemGraph,
+    cfg: &Config,
+    field_tok: usize,
+    s: usize,
+    e: usize,
+    out: &mut Vec<Violation>,
+) {
+    let toks = &file.toks;
+    let mut saw_atomic_ident = false;
+    let mut bad_path: Option<Vec<String>> = None;
+    let mut i = s;
+    while i < e {
+        if toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Collect the maximal `a::b::C` path starting here.
+        let mut path = vec![toks[i].text.clone()];
+        let mut j = i + 1;
+        while j + 2 < e
+            && toks[j].is_punct(':')
+            && toks[j + 1].is_punct(':')
+            && toks[j + 2].kind == TokKind::Ident
+        {
+            path.push(toks[j + 2].text.clone());
+            j += 3;
+        }
+        i = j;
+        let atomicish = path
+            .iter()
+            .any(|seg| seg.starts_with("Atomic") || seg == "atomic");
+        saw_atomic_ident |= atomicish;
+        let full: Option<Vec<String>> = if path.len() > 1 {
+            match path[0].as_str() {
+                "crate" | "super" | "self" => None,
+                _ => Some(path.clone()),
+            }
+        } else {
+            graph.imports[fi].get(&path[0]).cloned()
+        };
+        let Some(full) = full else { continue };
+        let root = full[0].as_str();
+        let full_atomicish = atomicish
+            || full
+                .iter()
+                .any(|seg| seg.starts_with("Atomic") || seg == "atomic");
+        let approved =
+            root == "std" || root == "core" || cfg.sync_wrappers.iter().any(|w| w == root);
+        if full_atomicish {
+            saw_atomic_ident = true;
+            if approved {
+                return; // sound: an atomic the lint models
+            }
+            bad_path = Some(full);
+        }
+    }
+    let (line, col) = loc(toks, field_tok);
+    let field = &toks[field_tok].text;
+    let message = match bad_path {
+        Some(p) => format!(
+            "publication atomic `{field}` is typed via `{}` — L013's ordering analysis only \
+             models std::sync::atomic and the facade crates {:?}; route it through the facade",
+            p.join("::"),
+            cfg.sync_wrappers,
+        ),
+        None if !saw_atomic_ident => format!(
+            "field `{field}` is named like a publication atomic but its type names no atomic — \
+             L013's Release/Acquire pairing silently stops applying; rename the field or use an \
+             atomic from {:?}",
+            cfg.sync_wrappers,
+        ),
+        None => return, // atomic-looking but unresolvable: give it the benefit of the doubt
+    };
+    out.push(Violation {
+        lint: "L013",
+        file: file.ctx.path.clone(),
+        line,
+        col,
+        message,
+        related: Vec::new(),
+    });
+}
+
+// ---------------------------------------------------------------------------
 // L014 — epoch discipline.
 // ---------------------------------------------------------------------------
 
@@ -419,7 +617,7 @@ fn lint_l014(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
     let mut reachable: BTreeSet<usize> = BTreeSet::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     for (idx, f) in graph.fns.iter().enumerate() {
-        if f.cfg_test {
+        if skip_fn(f, cfg) {
             continue;
         }
         let is_root = f
@@ -435,7 +633,7 @@ fn lint_l014(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
         let f = &graph.fns[idx];
         for call in &f.calls {
             for target in reach_targets(graph, f, call) {
-                if !graph.fns[target].cfg_test && reachable.insert(target) {
+                if !skip_fn(&graph.fns[target], cfg) && reachable.insert(target) {
                     parent.insert(target, (idx, call.tok));
                     queue.push_back(target);
                 }

@@ -83,6 +83,8 @@ pub struct FnNode {
     pub is_pub: bool,
     /// Inside test-only code.
     pub cfg_test: bool,
+    /// Behind a positive `modelcheck_mutation` cfg (seeded bug twin).
+    pub cfg_mutation: bool,
     /// Parsed signature (token indexes into the file).
     pub sig: FnSig,
     /// 1-based position of the name token.
@@ -294,6 +296,7 @@ impl ItemGraph {
             name: item.name.clone(),
             is_pub: item.is_pub,
             cfg_test: item.cfg_test,
+            cfg_mutation: item.cfg_mutation,
             sig,
             line: item.line,
             col: item.col,

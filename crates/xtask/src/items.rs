@@ -98,6 +98,11 @@ pub struct Item {
     /// Inside `#[cfg(test)]` / `#[test]` / `mod tests`, directly or via an
     /// ancestor.
     pub cfg_test: bool,
+    /// Behind a positive `#[cfg(modelcheck_mutation = "…")]` — a seeded
+    /// protocol-bug twin, never compiled in normal builds — directly or
+    /// via an ancestor. `#[cfg(not(modelcheck_mutation = …))]` marks the
+    /// *good* twin and does not set this.
+    pub cfg_mutation: bool,
     /// First token of the item (including its attributes).
     pub start: usize,
     /// One past the last token of the item.
@@ -113,7 +118,44 @@ pub struct Item {
 /// Parse the item tree of a whole file.
 pub fn parse_items(toks: &[Tok]) -> Vec<Item> {
     let mut p = Parser { toks, pos: 0 };
-    p.items_until(toks.len(), false)
+    let mut items = p.items_until(toks.len(), false);
+    mark_mutation_cfg(toks, &mut items, false);
+    items
+}
+
+/// Post-pass: propagate the `modelcheck_mutation` cfg down the tree. Kept
+/// out of the main parser — the flag rides on the item's leading
+/// attributes, which `Item::start` already covers.
+fn mark_mutation_cfg(toks: &[Tok], items: &mut [Item], parent: bool) {
+    for item in items {
+        let own = parent || leading_attr_is_mutation(toks, item.start);
+        item.cfg_mutation = own;
+        mark_mutation_cfg(toks, &mut item.children, own);
+    }
+}
+
+/// Does any `#[…]` attribute at `start` select a mutation cfg?
+fn leading_attr_is_mutation(toks: &[Tok], start: usize) -> bool {
+    let mut i = start;
+    loop {
+        if !toks.get(i).map(|t| t.is_punct('#')).unwrap_or(false) {
+            return false;
+        }
+        let mut open = i + 1;
+        if toks.get(open).map(|t| t.is_punct('!')).unwrap_or(false) {
+            open += 1;
+        }
+        if !toks.get(open).map(|t| t.is_punct('[')).unwrap_or(false) {
+            return false;
+        }
+        let Some(close) = matching(toks, open, '[', ']') else {
+            return false;
+        };
+        if attr_is_mutation(&toks[open + 1..close]) {
+            return true;
+        }
+        i = close + 1;
+    }
 }
 
 struct Parser<'a> {
@@ -272,6 +314,7 @@ impl<'a> Parser<'a> {
             name,
             is_pub,
             cfg_test,
+            cfg_mutation: false,
             start,
             end: self.pos,
             children: Vec::new(),
@@ -635,6 +678,18 @@ pub(crate) fn attr_is_test(attr: &[Tok]) -> bool {
     match attr.first() {
         Some(t) if t.is_ident("test") => attr.len() == 1,
         Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Is this a *positive* `cfg(modelcheck_mutation = "…")` attribute? A
+/// `not(…)` anywhere makes it the good twin's guard, not a mutation.
+pub(crate) fn attr_is_mutation(attr: &[Tok]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("cfg") => {
+            attr.iter().any(|t| t.is_ident("modelcheck_mutation"))
+                && !attr.iter().any(|t| t.is_ident("not"))
+        }
         _ => false,
     }
 }

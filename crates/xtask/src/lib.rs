@@ -20,6 +20,7 @@
 pub mod cfg;
 pub mod config;
 pub mod dataflow;
+pub mod explain;
 pub mod fix;
 pub mod flowlints;
 pub mod graph;
@@ -33,6 +34,7 @@ pub mod semlints;
 pub use cfg::{build_cfg, Cfg};
 pub use config::{parse_config, render_config, AllowEntry, Config};
 pub use dataflow::{build_cfgs, compute_carriers, solve, Analysis, TaintAnalysis};
+pub use explain::explain;
 pub use fix::apply_fixes;
 pub use flowlints::flow_lints;
 pub use graph::{ItemGraph, ParsedFile};

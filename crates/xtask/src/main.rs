@@ -3,8 +3,8 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use xtask::{
-    apply_fixes, changed_files, collect_files, format_report, parse_config, regenerate_allowlist,
-    render_config, run_lints_filtered, to_sarif, Config,
+    apply_fixes, changed_files, collect_files, explain, format_report, parse_config,
+    regenerate_allowlist, render_config, run_lints_filtered, to_sarif, Config,
 };
 
 const USAGE: &str = "\
@@ -23,6 +23,9 @@ options:
                       (default: origin/main). Every file is still parsed so
                       cross-file lints stay sound; the full sweep remains
                       the CI default.
+  --explain <rule>    print the long-form documentation for one rule
+                      (by id like L013, or by name like epoch-pinned-cache)
+                      and exit; needs no workspace
   --write-allowlist   rewrite lints.toml budgets from the current findings
   -h, --help          this help
 ";
@@ -65,6 +68,28 @@ fn main() -> ExitCode {
                     _ => String::from("origin/main"),
                 };
                 changed = Some(ref_arg);
+            }
+            "--explain" => {
+                // Needs neither a workspace root nor a config: resolve and
+                // print straight from the static catalog.
+                let Some(rule) = args.next() else {
+                    eprintln!("--explain needs a rule id (L001..L015) or rule name\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                };
+                return match explain(&rule) {
+                    Some(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown rule {rule:?} (expected one of {})",
+                            xtask::explain::rule_ids().join(", ")
+                        );
+                        ExitCode::from(2)
+                    }
+                };
             }
             "--write-allowlist" => write_allowlist = true,
             "-h" | "--help" => {

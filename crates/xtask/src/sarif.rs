@@ -83,6 +83,11 @@ pub const RULES: &[(&str, &str, &str)] = &[
         "epoch-pinned-cache",
         "Serving paths must use epoch-pinned plan-cache lookup_at/insert_at",
     ),
+    (
+        "L015",
+        "raw-sync-primitive-outside-facade",
+        "Facade-scoped crates import sync primitives from rdfref_sync, never std::sync/std::thread/parking_lot",
+    ),
 ];
 
 /// Render the report as a SARIF 2.1.0 document.
@@ -219,7 +224,7 @@ mod tests {
             ids,
             [
                 "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
-                "L011", "L012", "L013", "L014"
+                "L011", "L012", "L013", "L014", "L015"
             ]
         );
     }

@@ -1,4 +1,4 @@
-//! The semantic lint catalog (L007–L011) over the item graph.
+//! The semantic lint catalog (L007–L011, plus L015) over the item graph.
 //!
 //! | lint | rule |
 //! |------|------|
@@ -7,6 +7,7 @@
 //! | L009 | every `Obs` span / stopwatch must be held in a binding that reaches end of scope — no `let _ =`, statement-position drops, `mem::forget` leaks or unread stopwatches |
 //! | L010 | no blocking calls (`thread::sleep`, filesystem / network I/O) inside spawned worker closures; no sleeps while a span guard is live |
 //! | L011 | every library crate carries `#![forbid(unsafe_code)]`, and no scanned file bypasses it |
+//! | L015 | crates in `sync_scope_crates` must not name raw sync primitives (`raw_sync_paths`) — everything goes through the `rdfref_sync` facade so model-check builds can instrument it |
 //!
 //! Test-only code (`#[cfg(test)]`, `mod tests`) is exempt throughout, as
 //! for the token lints. All rules resolve names through
@@ -29,6 +30,7 @@ pub fn semantic_lints(graph: &ItemGraph, cfg: &Config) -> Vec<Violation> {
     lint_l009(graph, &mut out);
     lint_l010(graph, &mut out);
     lint_l011(graph, cfg, &mut out);
+    lint_l015(graph, cfg, &mut out);
     out
 }
 
@@ -805,6 +807,88 @@ fn has_inner_forbid_unsafe(toks: &[Tok]) -> bool {
         i = close + 1;
     }
     false
+}
+
+// ---------------------------------------------------------------------------
+// L015 — raw sync primitive outside the facade.
+// ---------------------------------------------------------------------------
+
+/// The model checker can only explore schedules of code whose sync ops go
+/// through `rdfref_sync` — a raw `std::sync` / `std::thread` /
+/// `parking_lot` path in a facade-scoped crate is a hole in the checker's
+/// coverage. One finding per path occurrence; test code is exempt (tests
+/// never run under the scheduler).
+fn lint_l015(graph: &ItemGraph, cfg: &Config, out: &mut Vec<Violation>) {
+    let facade = cfg
+        .sync_wrappers
+        .first()
+        .map(String::as_str)
+        .unwrap_or("rdfref_sync");
+    for pf in &graph.files {
+        let krate = pf.ctx.crate_name.as_str();
+        if !cfg.sync_scope_crates.iter().any(|c| c == krate) {
+            continue;
+        }
+        let mask = test_mask(&pf.toks, &pf.items);
+        let mut i = 0;
+        while i < pf.toks.len() {
+            if mask[i] || pf.toks[i].kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let hit = cfg
+                .raw_sync_paths
+                .iter()
+                .find_map(|pat| raw_path_at(&pf.toks, i, pat).map(|end| (pat, end)));
+            let Some((pat, end)) = hit else {
+                i += 1;
+                continue;
+            };
+            let t = &pf.toks[i];
+            out.push(Violation {
+                lint: "L015",
+                file: pf.ctx.path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "raw `{pat}` in facade-scoped crate `{krate}` — import it from `{facade}` so \
+                     model-check builds can instrument it"
+                ),
+                related: Vec::new(),
+            });
+            i = end;
+        }
+    }
+}
+
+/// If the tokens at `i` spell the `::`-separated path `pat`, one past the
+/// matched tokens. A single-segment pattern (`parking_lot`) must be used
+/// as a path root (`parking_lot::…`) so a like-named local binding does
+/// not fire.
+fn raw_path_at(toks: &[Tok], i: usize, pat: &str) -> Option<usize> {
+    // Not a path continuation: `foo::std::sync` is rooted elsewhere.
+    if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        return None;
+    }
+    let mut j = i;
+    for (k, seg) in pat.split("::").enumerate() {
+        if k > 0 {
+            if !(toks.get(j)?.is_punct(':') && toks.get(j + 1)?.is_punct(':')) {
+                return None;
+            }
+            j += 2;
+        }
+        if !toks.get(j)?.is_ident(seg) {
+            return None;
+        }
+        j += 1;
+    }
+    let used_as_root = toks.get(j).map(|t| t.is_punct(':')).unwrap_or(false)
+        && toks.get(j + 1).map(|t| t.is_punct(':')).unwrap_or(false);
+    if !pat.contains("::") && !used_as_root {
+        return None;
+    }
+    Some(j)
 }
 
 /// Per-token test-exemption mask from the item tree (an item marked

@@ -178,7 +178,7 @@ fn sarif_output_round_trips_as_valid_2_1_0() {
         .get("rules")
         .and_then(|r| r.as_array())
         .expect("rules");
-    assert_eq!(rules.len(), 14, "one rule per catalog entry");
+    assert_eq!(rules.len(), 15, "one rule per catalog entry");
     assert_eq!(rules[0].get("id").and_then(|i| i.as_str()), Some("L001"));
 
     let results = runs[0]

@@ -1,0 +1,263 @@
+//! Fixture tests for the sync-facade coverage lint (L015), the L013
+//! wrapper-soundness companion, and the `include_mutation_cfg` gate that
+//! lets CI point the flow lints at the seeded `modelcheck_mutation` twins.
+
+use std::path::PathBuf;
+use xtask::{lint_sources, Config, FileContext, Violation};
+
+fn lint_in_crate(krate: &str, src: &str, cfg: &Config) -> Vec<Violation> {
+    let sources = vec![(
+        FileContext {
+            path: format!("crates/{krate}/src/fixture.rs"),
+            crate_name: krate.to_string(),
+        },
+        src.to_string(),
+    )];
+    let (violations, _graph) = lint_sources(sources, cfg);
+    violations
+}
+
+fn of<'a>(violations: &'a [Violation], lint: &str) -> Vec<&'a Violation> {
+    violations.iter().filter(|v| v.lint == lint).collect()
+}
+
+// ---- L015 — raw sync primitive outside the facade --------------------------
+
+#[test]
+fn l015_fires_on_each_raw_sync_path_in_a_scoped_crate() {
+    let src = r#"
+use std::sync::Arc;
+
+pub fn work() {
+    let handle = std::thread::spawn(|| 1u64);
+    let m = parking_lot::Mutex::new(0u64);
+    drop((handle, m));
+}
+"#;
+    let v = lint_in_crate("core", src, &Config::default());
+    let f = of(&v, "L015");
+    assert_eq!(f.len(), 3, "one finding per raw path: {f:?}");
+    assert!(f[0].message.contains("std::sync"), "{}", f[0].message);
+    assert!(f[1].message.contains("std::thread"), "{}", f[1].message);
+    assert!(f[2].message.contains("parking_lot"), "{}", f[2].message);
+    // Every message points at the facade.
+    assert!(f.iter().all(|v| v.message.contains("rdfref_sync")));
+}
+
+#[test]
+fn l015_is_silent_outside_the_scoped_crates_and_in_test_code() {
+    let src = "use std::sync::Arc;\npub fn f() -> Arc<u64> { Arc::new(1) }\n";
+    // `query` is not in the default `sync_scope_crates`.
+    assert!(of(&lint_in_crate("query", src, &Config::default()), "L015").is_empty());
+    // Test code in a scoped crate is exempt: tests never run under the
+    // scheduler, so they are not coverage holes.
+    let test_only = r#"
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+    #[test]
+    fn t() {
+        let _ = Arc::new(std::sync::Mutex::new(0));
+    }
+}
+"#;
+    assert!(of(
+        &lint_in_crate("core", test_only, &Config::default()),
+        "L015"
+    )
+    .is_empty());
+}
+
+#[test]
+fn l015_single_segment_patterns_require_path_position() {
+    // A local binding that happens to be called `parking_lot` is not a
+    // sync primitive; only `parking_lot::…` path usage fires.
+    let src = "pub fn f() -> u64 { let parking_lot = 3; parking_lot }\n";
+    assert!(of(&lint_in_crate("core", src, &Config::default()), "L015").is_empty());
+}
+
+#[test]
+fn l015_scope_is_configurable() {
+    let src = "use std::sync::Arc;\npub fn f() -> Arc<u64> { Arc::new(1) }\n";
+    let cfg = Config {
+        sync_scope_crates: vec!["query".to_string()],
+        ..Config::default()
+    };
+    assert_eq!(of(&lint_in_crate("query", src, &cfg), "L015").len(), 1);
+    assert!(of(&lint_in_crate("core", src, &cfg), "L015").is_empty());
+}
+
+// ---- L013 wrapper soundness ------------------------------------------------
+
+#[test]
+fn l013_accepts_publication_atomics_typed_through_std_or_the_facade() {
+    let std_typed = r#"
+use std::sync::atomic::AtomicU64;
+pub struct Cell {
+    version: AtomicU64,
+    slot: u64,
+}
+"#;
+    // The std import trips L015 in a scoped crate but the type itself is
+    // sound for L013 — the two rules are independent.
+    let v = lint_in_crate("core", std_typed, &Config::default());
+    assert!(of(&v, "L013").is_empty(), "{v:?}");
+
+    let facade_typed = r#"
+pub struct Cell {
+    version: rdfref_sync::atomic::AtomicU64,
+    slot: u64,
+}
+"#;
+    let v = lint_in_crate("core", facade_typed, &Config::default());
+    assert!(of(&v, "L013").is_empty(), "{v:?}");
+}
+
+#[test]
+fn l013_flags_a_publication_atomic_resolved_to_a_foreign_crate() {
+    let src = r#"
+use crossbeam::atomic::AtomicU64;
+pub struct Cell {
+    version: AtomicU64,
+}
+"#;
+    let v = lint_in_crate("core", src, &Config::default());
+    let f = of(&v, "L013");
+    assert_eq!(f.len(), 1, "{v:?}");
+    assert!(
+        f[0].message.contains("crossbeam::atomic::AtomicU64"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn l013_flags_a_publication_atomic_with_a_non_atomic_type() {
+    let src = "pub struct Cell { version: u64 }\n";
+    let v = lint_in_crate("core", src, &Config::default());
+    let f = of(&v, "L013");
+    assert_eq!(f.len(), 1, "{v:?}");
+    assert!(f[0].message.contains("names no atomic"), "{}", f[0].message);
+}
+
+#[test]
+fn l013_stays_silent_on_unresolvable_atomic_types_and_test_structs() {
+    // No import in scope: could be a glob re-export — benefit of the doubt.
+    let bare = "pub struct Cell { version: AtomicU64 }\n";
+    assert!(of(&lint_in_crate("core", bare, &Config::default()), "L013").is_empty());
+    // Test-only structs are exempt like everything else.
+    let test_struct = r#"
+#[cfg(test)]
+mod tests {
+    struct Cell {
+        version: u64,
+    }
+}
+"#;
+    assert!(of(
+        &lint_in_crate("core", test_struct, &Config::default()),
+        "L013"
+    )
+    .is_empty());
+}
+
+// ---- include_mutation_cfg — pointing the flow lints at the seeded twins ----
+
+const MUTATION_TWIN: &str = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    version: AtomicU64,
+    slot: u64,
+}
+
+#[cfg(modelcheck_mutation = "relaxed_version")]
+impl Cell {
+    pub fn publish(&self, v: u64) {
+        self.version.store(v, Ordering::Relaxed);
+    }
+}
+
+#[cfg(not(modelcheck_mutation = "relaxed_version"))]
+impl Cell {
+    pub fn publish(&self, v: u64) {
+        self.version.store(v, Ordering::Release);
+    }
+}
+"#;
+
+#[test]
+fn mutation_twins_are_skipped_by_default_and_flagged_when_opted_in() {
+    let v = lint_in_crate("core", MUTATION_TWIN, &Config::default());
+    assert!(
+        of(&v, "L013").is_empty(),
+        "mutation twin leaked into the default sweep: {v:?}"
+    );
+
+    let cfg = Config {
+        include_mutation_cfg: true,
+        ..Config::default()
+    };
+    let v = lint_in_crate("core", MUTATION_TWIN, &cfg);
+    let f = of(&v, "L013");
+    assert_eq!(f.len(), 1, "{v:?}");
+    assert!(
+        f[0].message.contains("Relaxed") || f[0].message.contains("Release"),
+        "{}",
+        f[0].message
+    );
+}
+
+// ---- end to end over the real tree -----------------------------------------
+
+fn real_core_sources() -> Vec<(FileContext, String)> {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    ["pubcell", "serving", "answer", "cache", "engine"]
+        .iter()
+        .map(|name| {
+            let rel = format!("crates/core/src/{name}.rs");
+            let src = std::fs::read_to_string(root.join(&rel))
+                .unwrap_or_else(|e| panic!("read {rel}: {e}"));
+            (
+                FileContext {
+                    path: rel,
+                    crate_name: "core".to_string(),
+                },
+                src,
+            )
+        })
+        .collect()
+}
+
+/// The two statically-detectable seeded mutations (the third,
+/// `publish_order`, is a pure reordering only the model checker can see)
+/// are invisible to the default sweep and caught when CI opts in.
+#[test]
+fn seeded_mutations_in_the_real_tree_are_caught_exactly_when_opted_in() {
+    let sources = real_core_sources();
+
+    let (v, _) = lint_sources(sources.clone(), &Config::default());
+    assert!(of(&v, "L013").is_empty(), "{v:?}");
+    assert!(of(&v, "L014").is_empty(), "{v:?}");
+    assert!(
+        of(&v, "L015").is_empty(),
+        "facade migration regressed: {v:?}"
+    );
+
+    let cfg = Config {
+        include_mutation_cfg: true,
+        ..Config::default()
+    };
+    let (v, _) = lint_sources(sources, &cfg);
+    let l013 = of(&v, "L013");
+    assert_eq!(l013.len(), 1, "{v:?}");
+    assert!(l013[0].file.ends_with("pubcell.rs"), "{}", l013[0].file);
+    assert!(l013[0].message.contains("Relaxed"), "{}", l013[0].message);
+    let l014 = of(&v, "L014");
+    assert_eq!(l014.len(), 1, "{v:?}");
+    assert!(l014[0].file.ends_with("answer.rs"), "{}", l014[0].file);
+}
