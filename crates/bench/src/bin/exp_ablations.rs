@@ -119,6 +119,7 @@ fn main() {
                     probe_cost_per_row: 0.0,
                     parse_cost_per_cq: 0.0,
                     parse_cost_per_atom: 0.0,
+                    ..CostParams::default()
                 },
             ),
             (

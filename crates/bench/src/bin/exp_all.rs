@@ -22,6 +22,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_ablations",
     "exp_serving",
     "exp_intervals",
+    "exp_wcoj",
 ];
 
 fn main() {

@@ -1,0 +1,199 @@
+//! E12 — worst-case-optimal join vs bind join on cyclic queries.
+//!
+//! The WCOJ stressor dataset is wedge-heavy and triangle-light: the
+//! triangle query's 2-path intermediate is `hubs × spokes²` rows while its
+//! answer is only the planted triangles, so a bind join pays for every
+//! wedge and leapfrog triejoin pays only for intersections. The star query
+//! exercises the cost model's hub rule; the 2-path control is acyclic
+//! territory where bind join should stay the pick.
+//!
+//! Each cell times the identical query mix on the same database with the
+//! join algorithm forced to `BindJoin` vs `Wcoj` (cache off, so the full
+//! reformulation + planning + evaluation path is measured), and the last
+//! column shows which operator `Auto` selects for the query.
+//!
+//! The claim under test: on the cyclic stressor (W01) WCOJ is at least 2×
+//! faster under Ref/UCQ and Ref/GCov (enforced unless `EXP_WCOJ_ASSERT=0`).
+//!
+//! Hubs via `EXP_WCOJ_HUBS` (default 16), spokes per hub via
+//! `EXP_WCOJ_SPOKES` × `EXP_SCALE` (default 40). `--metrics-out <path>`
+//! captures one `bench.wcoj.*` gauge per cell; the committed
+//! `BENCH_wcoj.json` is this experiment's artifact.
+
+use rdfref_bench::report::Table;
+use rdfref_bench::{fmt_duration, MetricsSink};
+use rdfref_core::answer::{AnswerOptions, Database, Strategy};
+use rdfref_datagen::wcoj::{generate, wcoj_mix, WcojConfig};
+use rdfref_obs::Recorder;
+use rdfref_query::Cq;
+use rdfref_storage::JoinAlgorithm;
+use std::time::{Duration, Instant};
+
+const ITERS: usize = 7;
+
+const STRATEGIES: [(&str, Strategy); 3] = [
+    ("ucq", Strategy::RefUcq),
+    ("scq", Strategy::RefScq),
+    ("gcov", Strategy::RefGCov),
+];
+
+/// Gauge names are `&'static str`: `[query][strategy]`, microseconds.
+const BIND_GAUGES: [[&str; 3]; 3] = [
+    [
+        "bench.wcoj.bind_us.W01.ucq",
+        "bench.wcoj.bind_us.W01.scq",
+        "bench.wcoj.bind_us.W01.gcov",
+    ],
+    [
+        "bench.wcoj.bind_us.W02.ucq",
+        "bench.wcoj.bind_us.W02.scq",
+        "bench.wcoj.bind_us.W02.gcov",
+    ],
+    [
+        "bench.wcoj.bind_us.W03.ucq",
+        "bench.wcoj.bind_us.W03.scq",
+        "bench.wcoj.bind_us.W03.gcov",
+    ],
+];
+const WCOJ_GAUGES: [[&str; 3]; 3] = [
+    [
+        "bench.wcoj.wcoj_us.W01.ucq",
+        "bench.wcoj.wcoj_us.W01.scq",
+        "bench.wcoj.wcoj_us.W01.gcov",
+    ],
+    [
+        "bench.wcoj.wcoj_us.W02.ucq",
+        "bench.wcoj.wcoj_us.W02.scq",
+        "bench.wcoj.wcoj_us.W02.gcov",
+    ],
+    [
+        "bench.wcoj.wcoj_us.W03.ucq",
+        "bench.wcoj.wcoj_us.W03.scq",
+        "bench.wcoj.wcoj_us.W03.gcov",
+    ],
+];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Median wall-clock of `ITERS` uncached end-to-end answering calls.
+fn measure(db: &Database, cq: &Cq, strategy: &Strategy, opts: &AnswerOptions) -> (usize, Duration) {
+    let mut walls = Vec::with_capacity(ITERS);
+    let mut answers = 0;
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let ans = db
+            .run_query(cq, strategy, opts)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
+        walls.push(start.elapsed());
+        answers = ans.len();
+    }
+    walls.sort();
+    (answers, walls[ITERS / 2])
+}
+
+fn main() {
+    let hubs = env_usize("EXP_WCOJ_HUBS", 16);
+    let spokes = env_usize("EXP_WCOJ_SPOKES", 150) * env_usize("EXP_SCALE", 1);
+    let sink = MetricsSink::from_args();
+
+    eprintln!("generating WCOJ stressor ({hubs} hubs × {spokes} spokes)…");
+    let ds = generate(&WcojConfig {
+        hubs,
+        spokes,
+        likes_per_hub: 10,
+        triangles: 12,
+    });
+    let mix = wcoj_mix(&ds).expect("workload is well-formed");
+
+    let db = Database::builder().build(ds.graph.clone());
+
+    // Cache off: each call re-reformulates and re-plans, so the measured
+    // number is the full answering path the paper's experiments time.
+    let base = AnswerOptions::new().with_use_cache(false);
+    let opts_bind = base.clone().with_join_algorithm(JoinAlgorithm::BindJoin);
+    let opts_wcoj = base.clone().with_join_algorithm(JoinAlgorithm::Wcoj);
+    let opts_auto = base.clone().with_join_algorithm(JoinAlgorithm::Auto);
+
+    let mut table = Table::new(
+        format!(
+            "E12 — WCOJ (leapfrog triejoin) vs bind join (stressor, {} triples)",
+            ds.graph.len()
+        ),
+        &[
+            "query",
+            "strategy",
+            "answers",
+            "bind join",
+            "wcoj",
+            "speedup",
+            "auto picks",
+        ],
+    );
+
+    let mut cyclic_speedups: Vec<(&str, f64)> = Vec::new();
+    for (qi, nq) in mix.iter().enumerate() {
+        // What Auto decides for this query body (strategy-independent).
+        let auto_pick = db
+            .run_query(&nq.cq, &Strategy::RefUcq, &opts_auto)
+            .expect("auto run")
+            .explain
+            .physical
+            .map(|p| p.algorithm)
+            .unwrap_or_else(|| "-".into());
+        for (si, (sname, strategy)) in STRATEGIES.iter().enumerate() {
+            let (n_bind, wall_bind) = measure(&db, &nq.cq, strategy, &opts_bind);
+            let (n_wcoj, wall_wcoj) = measure(&db, &nq.cq, strategy, &opts_wcoj);
+            assert_eq!(
+                n_bind, n_wcoj,
+                "{}/{sname}: wcoj and bind-join answers diverge",
+                nq.name
+            );
+            let speedup = wall_bind.as_secs_f64() / wall_wcoj.as_secs_f64().max(1e-9);
+            if nq.name == "W01" && (*sname == "ucq" || *sname == "gcov") {
+                cyclic_speedups.push((sname, speedup));
+            }
+            sink.registry
+                .gauge_set(BIND_GAUGES[qi][si], wall_bind.as_micros() as u64);
+            sink.registry
+                .gauge_set(WCOJ_GAUGES[qi][si], wall_wcoj.as_micros() as u64);
+            table.row(&[
+                nq.name.to_string(),
+                sname.to_string(),
+                n_bind.to_string(),
+                fmt_duration(wall_bind),
+                fmt_duration(wall_wcoj),
+                format!("{speedup:.2}×"),
+                auto_pick.clone(),
+            ]);
+        }
+    }
+    table.emit("exp_wcoj");
+
+    // The acceptance gate: the cyclic stressor must gain ≥2× under the
+    // strategies whose disjuncts carry the triangle join.
+    for (sname, speedup) in &cyclic_speedups {
+        println!("W01/{sname} speedup: {speedup:.2}×");
+    }
+    if std::env::var("EXP_WCOJ_ASSERT").as_deref() != Ok("0") {
+        for (sname, speedup) in &cyclic_speedups {
+            assert!(
+                *speedup >= 2.0,
+                "W01/{sname}: WCOJ gained only {speedup:.2}× over bind join \
+                 (< 2× acceptance threshold)"
+            );
+        }
+    }
+
+    if let Some((json, prom)) = sink.flush().expect("write metrics") {
+        eprintln!(
+            "metrics written to {} and {}",
+            json.display(),
+            prom.display()
+        );
+    }
+}

@@ -5,12 +5,12 @@ use rdfref_core::gcov::{gcov, GcovOptions};
 use rdfref_core::incomplete::IncompletenessProfile;
 use rdfref_core::reformulate::{ReformulationLimits, RewriteContext};
 use rdfref_core::MetricsRegistry;
-use rdfref_datagen::{biblio, geo, insee, lubm};
+use rdfref_datagen::{biblio, geo, insee, lubm, wcoj};
 use rdfref_model::parser::{parse_ntriples_into, parse_turtle_into};
 use rdfref_model::{Graph, Schema};
 use rdfref_query::{parse_select, Cover, Cq};
 use rdfref_storage::stats::ValueDistribution;
-use rdfref_storage::CostModel;
+use rdfref_storage::{CostModel, JoinAlgorithm};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -38,6 +38,7 @@ pub struct Shell {
     db: Option<Database>,
     query_text: Option<String>,
     strategy: Strategy,
+    join_algorithm: JoinAlgorithm,
     limits: ReformulationLimits,
     row_budget: Option<usize>,
     prefixes: BTreeMap<String, String>,
@@ -53,7 +54,7 @@ impl Default for Shell {
 
 const HELP: &str = "\
 rdfref demo shell — the attendee experience of §5 of the paper
-  load lubm <scale> | dblp | geo | insee | file <path>   pick an RDF graph
+  load lubm <scale> | dblp | geo | insee | wcoj | file <path>  pick an RDF graph
   stats                                                  step 1: statistics & value distributions
   schema                                                 constraint summary
   prefix <pfx> <iri>                                     declare a prefix for queries/updates
@@ -61,6 +62,7 @@ rdfref demo shell — the attendee experience of §5 of the paper
   strategy sat|ucq|scq|gcov|dat                          pick a technique
   strategy incomplete none|subclass|hierarchies          deliberately partial Ref
   strategy cover {1,3} {2,4} …                           a user-chosen cover (1-based atoms)
+  algo bind|wcoj|auto                                    physical join algorithm (auto = cost model)
   limit <n>                                              max CQs per reformulation
   prune <n>|off                                          subsumption-prune unions up to n CQs
   budget <n>                                             abort above n intermediate rows
@@ -90,6 +92,7 @@ impl Shell {
             db: None,
             query_text: None,
             strategy: Strategy::RefGCov,
+            join_algorithm: JoinAlgorithm::BindJoin,
             limits: ReformulationLimits::new().with_max_cqs(50_000),
             row_budget: None,
             prefixes,
@@ -120,6 +123,7 @@ impl Shell {
             "prefix" => self.cmd_prefix(rest),
             "query" => self.cmd_query(rest),
             "strategy" => self.cmd_strategy(rest),
+            "algo" => self.cmd_algo(rest),
             "limit" => self.cmd_limit(rest),
             "prune" => self.cmd_prune(rest),
             "budget" => self.cmd_budget(rest),
@@ -156,6 +160,7 @@ impl Shell {
         AnswerOptions::new()
             .with_limits(self.limits)
             .with_row_budget(self.row_budget)
+            .with_join_algorithm(self.join_algorithm)
     }
 
     fn parse_current_query(&mut self) -> Result<Cq, String> {
@@ -175,7 +180,7 @@ impl Shell {
         let mut parts = rest.split_whitespace();
         let kind = parts
             .next()
-            .ok_or("usage: load lubm <n> | dblp | geo | insee | file <path>")?;
+            .ok_or("usage: load lubm <n> | dblp | geo | insee | wcoj | file <path>")?;
         let graph = match kind {
             "lubm" => {
                 let scale: usize = parts
@@ -197,6 +202,10 @@ impl Shell {
             "insee" => {
                 self.dataset_label = "INSEE-like".into();
                 insee::generate(&insee::InseeConfig::default()).graph
+            }
+            "wcoj" => {
+                self.dataset_label = "WCOJ stressor".into();
+                wcoj::generate(&wcoj::WcojConfig::default()).graph
             }
             "file" => {
                 let path = parts.next().ok_or("usage: load file <path>")?;
@@ -336,6 +345,24 @@ impl Shell {
         )))
     }
 
+    fn cmd_algo(&mut self, rest: &str) -> Result<Response, String> {
+        self.join_algorithm = match rest.trim() {
+            "bind" | "bindjoin" | "bind-join" => JoinAlgorithm::BindJoin,
+            "wcoj" | "lfj" => JoinAlgorithm::Wcoj,
+            "auto" => JoinAlgorithm::Auto,
+            other => return Err(format!("usage: algo bind|wcoj|auto (got '{other}')")),
+        };
+        Ok(Response::text(format!(
+            "join algorithm: {}",
+            match self.join_algorithm {
+                JoinAlgorithm::BindJoin => "bind join",
+                JoinAlgorithm::Wcoj => "wcoj (leapfrog triejoin)",
+                JoinAlgorithm::Auto => "auto (cost model decides per query)",
+                _ => "unknown",
+            }
+        )))
+    }
+
     fn cmd_limit(&mut self, rest: &str) -> Result<Response, String> {
         let n: usize = rest.parse().map_err(|_| "usage: limit <n>".to_string())?;
         self.limits.max_cqs = n;
@@ -440,6 +467,15 @@ impl Shell {
                 let _ = writeln!(out, "plan cache : not consulted");
             }
         }
+        if let Some(phys) = &answer.explain.physical {
+            let _ = writeln!(out, "physical   : {} ({})", phys.algorithm, phys.reason);
+            if !phys.var_order.is_empty() {
+                let _ = writeln!(out, "  var order : {}", phys.var_order.join(" "));
+            }
+            for (i, atom) in phys.atoms.iter().enumerate() {
+                let _ = writeln!(out, "  t{:<8} : {}", i + 1, atom);
+            }
+        }
         let _ = writeln!(out, "spans:");
         for (path, stats) in &snap.spans {
             // Indent by how many dotted ancestors of this path were also
@@ -479,6 +515,10 @@ impl Shell {
             "op.scan.rows",
             "op.join.rows",
             "op.bind_join.rows",
+            "op.lfj.seeks",
+            "op.lfj.next",
+            "op.lfj.rows",
+            "op.lfj.atoms",
             "op.union.rows",
             "op.fragment.rows",
             "saturate.rounds",
@@ -944,6 +984,40 @@ mod tests {
         assert!(out.contains("plan cache : "), "{out}");
         assert!(out.contains("answer.plan"), "{out}");
         assert!(run(&mut s, "explain nonsense").contains("usage"));
+    }
+
+    /// The `algo` knob switches the physical join algorithm without
+    /// changing answers, and `explain analyze` shows the chosen operator
+    /// tree — wcoj with its variable order on a triangle-free 2-atom query
+    /// still renders the bind-join verdict line.
+    #[test]
+    fn algo_knob_switches_join_algorithm() {
+        let mut s = Shell::new();
+        run(&mut s, "load lubm 1");
+        run(
+            &mut s,
+            "query SELECT ?x WHERE { ?x a ub:Person . ?x ub:memberOf ?d }",
+        );
+        run(&mut s, "strategy ucq");
+        let baseline = run(&mut s, "run");
+        assert!(baseline.contains("answers"), "{baseline}");
+
+        assert!(run(&mut s, "algo wcoj").contains("leapfrog"));
+        let wcoj = run(&mut s, "run");
+        assert!(wcoj.contains("physical        : wcoj"), "{wcoj}");
+        let analyzed = run(&mut s, "explain analyze");
+        assert!(analyzed.contains("physical   : wcoj"), "{analyzed}");
+        assert!(analyzed.contains("var order"), "{analyzed}");
+        assert!(analyzed.contains("op.lfj.seeks"), "{analyzed}");
+
+        assert!(run(&mut s, "algo auto").contains("cost model"));
+        let auto = run(&mut s, "run");
+        // 2-atom chain: the cost model keeps bind join and says why.
+        assert!(auto.contains("physical        : bind join"), "{auto}");
+        assert!(auto.contains("fewer than 3 atoms"), "{auto}");
+
+        assert!(run(&mut s, "algo bind").contains("bind join"));
+        assert!(run(&mut s, "algo nonsense").contains("usage"));
     }
 
     #[test]

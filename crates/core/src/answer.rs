@@ -34,7 +34,7 @@ use rdfref_query::{Cover, Var};
 use rdfref_reasoning::saturate_in_place_obs;
 use rdfref_storage::evaluator::{head_names, Evaluator};
 use rdfref_storage::{
-    ExecMetrics, Parallelism, Relation, ShardedStore, Stats, Store, TripleSource,
+    ExecMetrics, JoinAlgorithm, Parallelism, Relation, ShardedStore, Stats, Store, TripleSource,
 };
 use rdfref_sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -92,6 +92,9 @@ pub struct AnswerOptions {
     /// Intra-query parallelism policy: off, parallel unions, or
     /// morsel-driven scans and bind-joins (see [`Parallelism`]).
     pub parallelism: Parallelism,
+    /// Physical join algorithm for CQ bodies: bind join, worst-case-optimal
+    /// leapfrog triejoin, or cost-model choice (see [`JoinAlgorithm`]).
+    pub join_algorithm: JoinAlgorithm,
     /// GCov search options (`RefGCov` only).
     pub gcov: GcovOptions,
     /// Reuse plans through the database's [`PlanCache`] (Ref strategies).
@@ -108,6 +111,7 @@ impl Default for AnswerOptions {
             limits: ReformulationLimits::default(),
             row_budget: None,
             parallelism: Parallelism::Off,
+            join_algorithm: JoinAlgorithm::BindJoin,
             gcov: GcovOptions::default(),
             use_cache: true,
             obs: Obs::disabled(),
@@ -136,6 +140,12 @@ impl AnswerOptions {
     /// Set the intra-query parallelism policy.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Set the physical join algorithm policy.
+    pub fn with_join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
+        self.join_algorithm = algorithm;
         self
     }
 
@@ -318,6 +328,9 @@ pub struct Database {
     /// request builder starts from it; explicit [`AnswerOptions`] passed to
     /// [`Database::run_query`] are used as given.
     default_parallelism: Parallelism,
+    /// Engine-level default physical join algorithm, set by the builder;
+    /// inherited per-request exactly like `default_parallelism`.
+    default_join_algorithm: JoinAlgorithm,
 }
 
 impl Database {
@@ -338,6 +351,7 @@ impl Database {
         cache: Arc<PlanCache>,
         encoding: DictEncoding,
         parallelism: Parallelism,
+        join_algorithm: JoinAlgorithm,
     ) -> Database {
         let schema = Schema::from_graph(&graph);
         let closure = schema.closure();
@@ -378,6 +392,7 @@ impl Database {
             encoding,
             encoder,
             default_parallelism: parallelism,
+            default_join_algorithm: join_algorithm,
         }
     }
 
@@ -398,6 +413,7 @@ impl Database {
         obs: Obs,
         encoder: Option<Arc<HierarchyEncoder>>,
         parallelism: Parallelism,
+        join_algorithm: JoinAlgorithm,
     ) -> Database {
         let sat_cell = OnceLock::new();
         if let Some(sat) = saturated {
@@ -421,6 +437,7 @@ impl Database {
             },
             encoder,
             default_parallelism: parallelism,
+            default_join_algorithm: join_algorithm,
         }
     }
 
@@ -501,6 +518,12 @@ impl Database {
     /// The engine-level default parallelism policy (set by the builder).
     pub fn default_parallelism(&self) -> Parallelism {
         self.default_parallelism
+    }
+
+    /// The engine-level default physical join algorithm (set by the
+    /// builder).
+    pub fn default_join_algorithm(&self) -> JoinAlgorithm {
+        self.default_join_algorithm
     }
 
     /// Statistics over explicit triples.
@@ -593,6 +616,19 @@ impl Database {
             strategy: strategy.name().to_string(),
             ..Explain::default()
         };
+        // Render the physical-plan choice for the *user* CQ up front, through
+        // the same arbitration the evaluator dispatch uses — so `explain
+        // analyze` shows exactly what `Auto` decided and why. Datalog
+        // strategies never consult it.
+        if !cq.body.is_empty() && !matches!(strategy, Strategy::Datalog | Strategy::DatalogMagic) {
+            let choice = rdfref_storage::physical_choice(
+                self.store.source(),
+                &self.stats,
+                opts.join_algorithm,
+                &self.encode_cq(cq).body,
+            );
+            explain.physical = Some(crate::explain::PhysicalPlan::from_choice(&choice));
+        }
         let mut metrics = ExecMetrics::default();
 
         let relation = match strategy {
@@ -603,6 +639,7 @@ impl Database {
                     Evaluator::new(sat.store.source(), sat.stats.as_ref()).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallelism = opts.parallelism;
+                ev.join_algorithm = opts.join_algorithm;
                 ev.eval_cq(&self.encode_cq(cq), &out, &mut metrics)?
             }
             Strategy::RefUcq => {
@@ -618,6 +655,7 @@ impl Database {
                 let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallelism = opts.parallelism;
+                ev.join_algorithm = opts.join_algorithm;
                 ev.eval_ucq(&ucq, &out, &mut metrics)?
             }
             Strategy::RefScq => {
@@ -657,6 +695,7 @@ impl Database {
                 let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallelism = opts.parallelism;
+                ev.join_algorithm = opts.join_algorithm;
                 ev.eval_jucq(&result.jucq, &mut metrics)?
             }
             Strategy::RefIncomplete(profile) => {
@@ -675,6 +714,7 @@ impl Database {
                 let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
                 ev.row_budget = opts.row_budget;
                 ev.parallelism = opts.parallelism;
+                ev.join_algorithm = opts.join_algorithm;
                 ev.eval_ucq(&ucq, &out, &mut metrics)?
             }
             Strategy::Datalog | Strategy::DatalogMagic => {
@@ -751,6 +791,7 @@ impl Database {
         let key = CacheKey {
             query: canon.query.clone(),
             tag,
+            algo: opts.join_algorithm,
         };
         let (schema_epoch, data_epoch) = self.cache_epochs();
         if let Some(plan) = self.pinned_cache_lookup(&key) {
@@ -878,6 +919,7 @@ impl Database {
         let mut ev = Evaluator::new(self.store.source(), &self.stats).with_obs(obs.clone());
         ev.row_budget = opts.row_budget;
         ev.parallelism = opts.parallelism;
+        ev.join_algorithm = opts.join_algorithm;
         Ok(ev.eval_jucq(jucq, metrics)?)
     }
 }

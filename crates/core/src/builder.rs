@@ -38,7 +38,7 @@ use crate::maintained::MaintainedDatabase;
 use crate::serving::{ServingDatabase, ShardConfig, ShardedServingDatabase};
 use rdfref_model::{DictEncoding, Graph};
 use rdfref_obs::Obs;
-use rdfref_storage::Parallelism;
+use rdfref_storage::{JoinAlgorithm, Parallelism};
 use rdfref_sync::Arc;
 
 /// Configures and constructs an engine. Obtain one via
@@ -53,6 +53,7 @@ pub struct EngineBuilder {
     pub(crate) plan_cache_capacity: usize,
     pub(crate) shards: usize,
     pub(crate) parallelism: Parallelism,
+    pub(crate) join_algorithm: JoinAlgorithm,
     pub(crate) obs: Obs,
 }
 
@@ -63,6 +64,7 @@ impl Default for EngineBuilder {
             plan_cache_capacity: 1024,
             shards: 1,
             parallelism: Parallelism::Off,
+            join_algorithm: JoinAlgorithm::BindJoin,
             obs: Obs::disabled(),
         }
     }
@@ -103,6 +105,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Engine-default physical join algorithm. The request builder
+    /// ([`crate::engine::QueryRequest`]) starts from this value; per-request
+    /// overrides win.
+    pub fn join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
+        self.join_algorithm = algorithm;
+        self
+    }
+
     /// Engine-wide observability sink.
     pub fn obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
@@ -120,7 +130,14 @@ impl EngineBuilder {
     /// Build an in-memory [`Database`] over `graph`.
     pub fn build(self, graph: Graph) -> Database {
         let cache = self.plan_cache();
-        Database::build(graph, cache, self.encoding, self.parallelism).with_obs(self.obs)
+        Database::build(
+            graph,
+            cache,
+            self.encoding,
+            self.parallelism,
+            self.join_algorithm,
+        )
+        .with_obs(self.obs)
     }
 
     /// Build a snapshot-isolated, single-writer [`ServingDatabase`].
@@ -213,6 +230,32 @@ ex:doi2 a ex:Publication .
         let a = db.query(&q).run().unwrap();
         let b = db.query(&q).parallelism(Parallelism::Off).run().unwrap();
         assert_eq!(a.rows(), b.rows());
+    }
+
+    /// The builder's join-algorithm knob becomes the engine default the
+    /// request builder starts from, and requests can still override it —
+    /// mirroring `builder_parallelism_is_the_request_default`.
+    #[test]
+    fn builder_join_algorithm_is_the_request_default() {
+        let mut g = parse_turtle(DOC).unwrap();
+        let q = parse_select(QUERY, g.dictionary_mut()).unwrap();
+        let db = Database::builder()
+            .join_algorithm(JoinAlgorithm::Auto)
+            .build(g);
+        assert_eq!(db.default_join_algorithm(), JoinAlgorithm::Auto);
+        let a = db.query(&q).run().unwrap();
+        let b = db
+            .query(&q)
+            .join_algorithm(JoinAlgorithm::BindJoin)
+            .run()
+            .unwrap();
+        let c = db
+            .query(&q)
+            .join_algorithm(JoinAlgorithm::Wcoj)
+            .run()
+            .unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.rows(), c.rows());
     }
 
     /// Builder equivalence with the removed constructor zoo: every old

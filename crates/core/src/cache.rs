@@ -105,13 +105,21 @@ impl StrategyTag {
     }
 }
 
-/// A complete cache key: α-canonical query + strategy fingerprint.
+/// A complete cache key: α-canonical query + strategy fingerprint + the
+/// physical join-algorithm policy the request runs under.
+///
+/// The algorithm does not change the *reformulation*, but keying on it keeps
+/// the cache contract simple and future-proof: a plan cached for a bind-join
+/// request is never served to a WCOJ request (whose planner may someday
+/// shape reformulations differently, e.g. prefer unexploded range atoms).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The α-canonical query (`alpha_canonicalize(q).query`).
     pub query: Cq,
     /// The strategy fingerprint.
     pub tag: StrategyTag,
+    /// The physical join-algorithm policy of the requesting options.
+    pub algo: rdfref_storage::JoinAlgorithm,
 }
 
 /// A cached plan, in the canonical query's variables.
@@ -373,7 +381,24 @@ mod tests {
         CacheKey {
             query: q,
             tag: StrategyTag::ucq(&ReformulationLimits::default()),
+            algo: rdfref_storage::JoinAlgorithm::BindJoin,
         }
+    }
+
+    #[test]
+    fn keys_differing_only_in_algorithm_are_distinct() {
+        let cache = PlanCache::new(8);
+        let bind = key(1);
+        let wcoj = CacheKey {
+            algo: rdfref_storage::JoinAlgorithm::Wcoj,
+            ..key(1)
+        };
+        cache.insert(bind.clone(), plan());
+        assert!(cache.lookup(&bind).is_some());
+        assert!(
+            cache.lookup(&wcoj).is_none(),
+            "a bind-join plan must never serve a WCOJ request"
+        );
     }
 
     fn gcov_key(n: u32) -> CacheKey {

@@ -54,7 +54,7 @@ use crate::maintained::MaintainedDatabase;
 use crate::reformulate::ucq::ReformulationLimits;
 use rdfref_obs::{MetricsRegistry, Obs};
 use rdfref_query::Cq;
-use rdfref_storage::Parallelism;
+use rdfref_storage::{JoinAlgorithm, Parallelism};
 use rdfref_sync::Arc;
 
 /// Anything that can answer a BGP query with a [`Strategy`].
@@ -100,7 +100,9 @@ impl QueryEngine for Database {
     }
 
     fn default_options(&self) -> AnswerOptions {
-        AnswerOptions::default().with_parallelism(self.default_parallelism())
+        AnswerOptions::default()
+            .with_parallelism(self.default_parallelism())
+            .with_join_algorithm(self.default_join_algorithm())
     }
 }
 
@@ -117,7 +119,9 @@ impl QueryEngine for &Database {
     }
 
     fn default_options(&self) -> AnswerOptions {
-        AnswerOptions::default().with_parallelism(self.default_parallelism())
+        AnswerOptions::default()
+            .with_parallelism(self.default_parallelism())
+            .with_join_algorithm(self.default_join_algorithm())
     }
 }
 
@@ -132,7 +136,9 @@ impl QueryEngine for MaintainedDatabase {
     }
 
     fn default_options(&self) -> AnswerOptions {
-        AnswerOptions::default().with_parallelism(self.default_parallelism())
+        AnswerOptions::default()
+            .with_parallelism(self.default_parallelism())
+            .with_join_algorithm(self.default_join_algorithm())
     }
 }
 
@@ -203,6 +209,15 @@ impl<'q, E: QueryEngine> QueryRequest<'q, E> {
     /// fixed-size morsels claimed by a self-scheduling worker pool).
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.opts.parallelism = parallelism;
+        self
+    }
+
+    /// Set the physical join algorithm for CQ bodies:
+    /// `JoinAlgorithm::BindJoin` (left-deep chains, the default),
+    /// `JoinAlgorithm::Wcoj` (leapfrog triejoin over the permutation
+    /// indexes) or `JoinAlgorithm::Auto` (cost-model choice per CQ).
+    pub fn join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
+        self.opts.join_algorithm = algorithm;
         self
     }
 

@@ -61,6 +61,58 @@ pub struct Explain {
     /// run went against a plain [`crate::Database`] rather than the
     /// serving layer).
     pub snapshot: Option<SnapshotInfo>,
+    /// The physical operator tree chosen for the *user* CQ body: which join
+    /// algorithm runs, why (cost-model verdict / explicit request /
+    /// fallback), and — for WCOJ — the global variable order and the trie
+    /// permutation each atom binds. `None` for body-less queries and
+    /// Datalog strategies.
+    pub physical: Option<PhysicalPlan>,
+}
+
+/// The rendered physical-plan choice (see [`Explain::physical`]).
+///
+/// Non-exhaustive, built by the engine from
+/// [`rdfref_storage::physical_choice`]; readers use the public fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PhysicalPlan {
+    /// The algorithm that runs: `"bind join"` or `"wcoj"`.
+    pub algorithm: String,
+    /// Why it was chosen (cost-model verdict, explicit request, fallback).
+    pub reason: String,
+    /// WCOJ only: the global variable order, outermost first.
+    pub var_order: Vec<String>,
+    /// WCOJ only: per body atom, the bound trie permutation and level
+    /// layout, e.g. `"SPO [?x #7 ?y]"`.
+    pub atoms: Vec<String>,
+}
+
+impl PhysicalPlan {
+    /// Render a storage-layer choice for display.
+    pub fn from_choice(choice: &rdfref_storage::PhysicalChoice) -> PhysicalPlan {
+        PhysicalPlan {
+            algorithm: match choice.algorithm {
+                rdfref_storage::JoinAlgorithm::Wcoj => "wcoj".to_string(),
+                _ => "bind join".to_string(),
+            },
+            reason: choice.reason.clone(),
+            var_order: choice
+                .plan
+                .as_ref()
+                .map(|p| {
+                    p.var_order()
+                        .iter()
+                        .map(|v| format!("?{}", v.name()))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            atoms: choice
+                .plan
+                .as_ref()
+                .map(|p| p.atom_renderings())
+                .unwrap_or_default(),
+        }
+    }
 }
 
 /// Identity of the immutable snapshot a query ran against: its publication
@@ -139,6 +191,11 @@ impl Explain {
     pub fn cover(&self) -> Option<&Cover> {
         self.cover.as_ref()
     }
+
+    /// The chosen physical operator tree for the user CQ body.
+    pub fn physical(&self) -> Option<&PhysicalPlan> {
+        self.physical.as_ref()
+    }
 }
 
 impl fmt::Display for Explain {
@@ -182,6 +239,15 @@ impl fmt::Display for Explain {
                 "snapshot        : seq {} (schema epoch {}, data epoch {})",
                 snap.seq, snap.schema_epoch, snap.data_epoch
             )?;
+        }
+        if let Some(phys) = &self.physical {
+            writeln!(f, "physical        : {} ({})", phys.algorithm, phys.reason)?;
+            if !phys.var_order.is_empty() {
+                writeln!(f, "  var order     : {}", phys.var_order.join(" "))?;
+            }
+            for (i, atom) in phys.atoms.iter().enumerate() {
+                writeln!(f, "  t{:<12} : {}", i + 1, atom)?;
+            }
         }
         if self.saturation_added > 0 {
             writeln!(f, "saturation added: {} triples", self.saturation_added)?;

@@ -78,12 +78,12 @@ pub use builder::EngineBuilder;
 pub use cache::{CacheCounters, CacheKey, CachedPlan, PlanCache, StrategyTag};
 pub use engine::{QueryEngine, QueryRequest};
 pub use error::{CoreError, Result};
-pub use explain::{Explain, SnapshotInfo};
+pub use explain::{Explain, PhysicalPlan, SnapshotInfo};
 pub use gcov::{gcov, gcov_with_obs, GcovOptions, GcovResult};
 pub use incomplete::IncompletenessProfile;
 pub use maintained::MaintainedDatabase;
 pub use rdfref_obs::{MetricsRegistry, Obs};
-pub use rdfref_storage::{Parallelism, DEFAULT_MORSEL_SIZE};
+pub use rdfref_storage::{JoinAlgorithm, Parallelism, DEFAULT_MORSEL_SIZE};
 pub use reformulate::{
     reformulate_jucq, reformulate_scq, reformulate_ucq, ReformulationLimits, RewriteContext,
 };

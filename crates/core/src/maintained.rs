@@ -57,6 +57,7 @@ impl MaintainedDatabase {
                 b.obs.clone(),
                 b.encoding,
                 b.parallelism,
+                b.join_algorithm,
                 1,
             ),
             snapshot: None,
@@ -66,6 +67,11 @@ impl MaintainedDatabase {
     /// Engine-default intra-query parallelism (the request-builder default).
     pub fn default_parallelism(&self) -> rdfref_storage::Parallelism {
         self.writer.parallelism()
+    }
+
+    /// Engine-default physical join algorithm (the request-builder default).
+    pub fn default_join_algorithm(&self) -> rdfref_storage::JoinAlgorithm {
+        self.writer.join_algorithm()
     }
 
     /// Install an observability sink (builder style). Maintenance spans

@@ -110,6 +110,7 @@ fn epoch_key() -> CacheKey {
             vec![Atom::new(v, TermId(7), TermId(0))],
         ),
         tag: StrategyTag::gcov(&GcovOptions::default()),
+        algo: rdfref_storage::JoinAlgorithm::BindJoin,
     }
 }
 

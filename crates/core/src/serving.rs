@@ -61,7 +61,7 @@ use rdfref_obs::Obs;
 use rdfref_query::Cq;
 use rdfref_reasoning::{IncrementalReasoner, MaintenanceDelta};
 use rdfref_storage::{
-    shard_of_predicate, Parallelism, ShardedStore, Stats, StatsMaintainer, Store,
+    shard_of_predicate, JoinAlgorithm, Parallelism, ShardedStore, Stats, StatsMaintainer, Store,
 };
 use rdfref_sync::atomic::{AtomicU64, Ordering};
 use rdfref_sync::{mpsc, thread, Arc};
@@ -347,6 +347,9 @@ pub(crate) struct WriterCore {
     /// Engine-default intra-query parallelism, stamped onto every snapshot
     /// database this writer assembles.
     parallelism: Parallelism,
+    /// Engine-default physical join algorithm, stamped onto every snapshot
+    /// database this writer assembles.
+    join_algorithm: JoinAlgorithm,
     /// Predicate-hash partitions (empty when unsharded).
     shard_states: Vec<ShardState>,
 }
@@ -359,6 +362,7 @@ impl WriterCore {
             obs,
             DictEncoding::Classic,
             Parallelism::Off,
+            JoinAlgorithm::BindJoin,
             1,
         )
     }
@@ -369,6 +373,7 @@ impl WriterCore {
         obs: Obs,
         encoding: DictEncoding,
         parallelism: Parallelism,
+        join_algorithm: JoinAlgorithm,
         shards: usize,
     ) -> WriterCore {
         let mut reasoner = IncrementalReasoner::new(graph);
@@ -426,6 +431,7 @@ impl WriterCore {
             encoding,
             encoder,
             parallelism,
+            join_algorithm,
             shard_states,
         }
     }
@@ -694,6 +700,11 @@ impl WriterCore {
         self.parallelism
     }
 
+    /// The engine-default physical join algorithm.
+    pub(crate) fn join_algorithm(&self) -> JoinAlgorithm {
+        self.join_algorithm
+    }
+
     /// Wrap pre-built parts into a snapshot at the current seq/epochs.
     fn snapshot_from(
         &self,
@@ -720,6 +731,7 @@ impl WriterCore {
             self.obs.clone(),
             self.encoder.clone(),
             self.parallelism,
+            self.join_algorithm,
         );
         Arc::new(Snapshot {
             seq: self.seq,
@@ -972,6 +984,8 @@ pub struct ServingDatabase {
     obs: Obs,
     /// Engine-default intra-query parallelism (request-builder default).
     parallelism: Parallelism,
+    /// Engine-default physical join algorithm (request-builder default).
+    join_algorithm: JoinAlgorithm,
 }
 
 /// Everything `start_serving` wires up: the publication cells (index 0 =
@@ -1049,9 +1063,11 @@ impl ServingDatabase {
             b.obs.clone(),
             b.encoding,
             b.parallelism,
+            b.join_algorithm,
             1,
         );
         let parallelism = writer.parallelism();
+        let join_algorithm = writer.join_algorithm();
         let obs = writer.obs().clone();
         let parts = start_serving(writer, &obs);
         ServingDatabase {
@@ -1062,6 +1078,7 @@ impl ServingDatabase {
             cache,
             obs,
             parallelism,
+            join_algorithm,
         }
     }
 
@@ -1130,7 +1147,9 @@ impl QueryEngine for &ServingDatabase {
     }
 
     fn default_options(&self) -> AnswerOptions {
-        AnswerOptions::default().with_parallelism(self.parallelism)
+        AnswerOptions::default()
+            .with_parallelism(self.parallelism)
+            .with_join_algorithm(self.join_algorithm)
     }
 }
 
@@ -1193,6 +1212,7 @@ impl ShardConfig {
 pub struct ShardedServingDatabase {
     config: ShardConfig,
     parallelism: Parallelism,
+    join_algorithm: JoinAlgorithm,
     /// Scatter-gather cell over all partitions (publication index 0).
     global: Arc<SnapshotCell>,
     /// One cell per shard, in shard order.
@@ -1216,9 +1236,11 @@ impl ShardedServingDatabase {
             b.obs.clone(),
             b.encoding,
             b.parallelism,
+            b.join_algorithm,
             config.shards(),
         );
         let parallelism = writer.parallelism();
+        let join_algorithm = writer.join_algorithm();
         let obs = writer.obs().clone();
         obs.gauge("serving.shards", config.shards() as u64);
         let parts = start_serving(writer, &obs);
@@ -1233,6 +1255,7 @@ impl ShardedServingDatabase {
         ShardedServingDatabase {
             config,
             parallelism,
+            join_algorithm,
             global,
             shard_cells,
             queue: Some(parts.queue),
@@ -1324,7 +1347,9 @@ impl QueryEngine for &ShardedServingDatabase {
     }
 
     fn default_options(&self) -> AnswerOptions {
-        AnswerOptions::default().with_parallelism(self.parallelism)
+        AnswerOptions::default()
+            .with_parallelism(self.parallelism)
+            .with_join_algorithm(self.join_algorithm)
     }
 }
 

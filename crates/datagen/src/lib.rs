@@ -20,7 +20,9 @@
 //!   (depth × fan-out × property count) for the constraint-impact sweeps of
 //!   experiment E4;
 //! * [`queries`] — the query workload: the paper's Example 1 plus a mix of
-//!   LUBM-style queries used by experiments E2/E3/E5/E8.
+//!   LUBM-style queries used by experiments E2/E3/E5/E8;
+//! * [`wcoj`] — a wedge-heavy, triangle-light cyclic-join stressor for the
+//!   worst-case-optimal join experiment E12.
 //!
 //! All generators are deterministic given their seed.
 
@@ -34,6 +36,7 @@ pub mod insee;
 pub mod lubm;
 pub mod onto_sweep;
 pub mod queries;
+pub mod wcoj;
 
 pub use builder::GraphBuilder;
 pub use error::{DatagenError, Result};

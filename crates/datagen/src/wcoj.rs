@@ -1,0 +1,248 @@
+//! Cyclic-join stressor for the WCOJ executor (experiment E12).
+//!
+//! A social-graph-shaped dataset engineered so the gap between bind join
+//! and leapfrog triejoin is structural, not incidental:
+//!
+//! * **wedge-heavy, triangle-light** `knows` edges — each hub has many
+//!   in-spokes and many out-spokes but no spoke↔spoke edges, so the
+//!   triangle query's 2-path intermediate is `hubs × spokes²` rows while
+//!   the final answer is only the few *planted* triangles. A bind join
+//!   must materialize every wedge; LFJ intersects sorted runs and touches
+//!   a bounded neighbourhood per answer;
+//! * a small subclass chain (`Person ⊑ User ⊑ Agent`, leaf-typed
+//!   instances) so the Ref strategies do real reformulation work on the
+//!   typed star query.
+//!
+//! The edge property deliberately has **no** subproperty hierarchy: a
+//! reformulable edge atom makes the cover-based strategies (SCQ/GCov)
+//! evaluate the triangle as a join of unioned *fragments*, which never
+//! reaches the single-CQ WCOJ operator — the cyclic stressor must arrive
+//! at `eval_cq` whole for every Ref strategy.
+//!
+//! Deterministic: the shape is fully fixed by the config (no RNG).
+
+use crate::builder::GraphBuilder;
+use crate::error::Result;
+use crate::queries::NamedQuery;
+use rdfref_model::dictionary::ID_RDF_TYPE;
+use rdfref_model::{Graph, TermId};
+use rdfref_query::ast::{Atom, Cq};
+use rdfref_query::Var;
+
+/// The namespace.
+pub const WCOJ: &str = "http://wcoj.example.org/schema#";
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct WcojConfig {
+    /// Number of wedge hubs.
+    pub hubs: usize,
+    /// In-spokes *and* out-spokes per hub (the 2-path intermediate of the
+    /// triangle query is `hubs × spokes²` rows).
+    pub spokes: usize,
+    /// Sparse `likes` out-edges per hub (bounds the star query's output).
+    pub likes_per_hub: usize,
+    /// Planted triangles — the triangle query's entire answer set.
+    pub triangles: usize,
+}
+
+impl Default for WcojConfig {
+    fn default() -> Self {
+        WcojConfig {
+            hubs: 16,
+            spokes: 150,
+            likes_per_hub: 10,
+            triangles: 12,
+        }
+    }
+}
+
+/// A generated WCOJ stressor dataset.
+#[derive(Debug, Clone)]
+pub struct WcojDataset {
+    /// The graph.
+    pub graph: Graph,
+    /// Root entity class (`Agent`); instances are typed with the leaf.
+    pub agent: TermId,
+    /// Middle class (`User ⊑ Agent`).
+    pub user: TermId,
+    /// Leaf entity class (`Person ⊑ User`).
+    pub person: TermId,
+    /// The dense edge property (`knows`) — wedges and triangles.
+    pub knows: TermId,
+    /// The sparse edge property (`likes`) — hub out-edges only.
+    pub likes: TermId,
+}
+
+/// Generate a dataset.
+pub fn generate(config: &WcojConfig) -> WcojDataset {
+    let mut b = GraphBuilder::new();
+    let agent = b.ns(WCOJ, "Agent");
+    let user = b.ns(WCOJ, "User");
+    let person = b.ns(WCOJ, "Person");
+    b.subclass(user, agent);
+    b.subclass(person, user);
+    let knows = b.ns(WCOJ, "knows");
+    let likes = b.ns(WCOJ, "likes");
+    b.domain(knows, agent);
+    b.range(knows, agent);
+    b.domain(likes, agent);
+
+    let node = |b: &mut GraphBuilder, name: String| {
+        let id = b.iri(&format!("http://wcoj.example.org/node/{name}"));
+        b.a(id, person);
+        id
+    };
+
+    // Wedges: in-spoke → hub → out-spoke, never spoke → spoke, so no wedge
+    // closes into a triangle. A sparse `likes` fan-out per hub bounds the
+    // star query's output while keeping the hub in three atoms.
+    for h in 0..config.hubs {
+        let hub = node(&mut b, format!("hub{h}"));
+        for s in 0..config.spokes {
+            let src = node(&mut b, format!("in{h}x{s}"));
+            let dst = node(&mut b, format!("out{h}x{s}"));
+            b.triple(src, knows, hub);
+            b.triple(hub, knows, dst);
+            if s < config.likes_per_hub {
+                b.triple(hub, likes, dst);
+            }
+        }
+    }
+
+    // Planted triangles on dedicated nodes — the triangle query's answers.
+    for t in 0..config.triangles {
+        let u = node(&mut b, format!("tri{t}a"));
+        let v = node(&mut b, format!("tri{t}b"));
+        let w = node(&mut b, format!("tri{t}c"));
+        b.triple(u, knows, v);
+        b.triple(v, knows, w);
+        b.triple(u, knows, w);
+    }
+
+    WcojDataset {
+        graph: b.finish(),
+        agent,
+        user,
+        person,
+        knows,
+        likes,
+    }
+}
+
+fn v(n: &str) -> Var {
+    Var::new(n)
+}
+
+/// Query mix for the stressor: the cyclic triangle (WCOJ's home turf), a
+/// typed star (cost-model hub rule + subclass reformulation), and an
+/// acyclic 2-path control where bind join should stay the pick.
+pub fn wcoj_mix(ds: &WcojDataset) -> Result<Vec<NamedQuery>> {
+    Ok(vec![
+        NamedQuery {
+            name: "W01",
+            description: "triangle: x knows y, y knows z, x knows z (cyclic; wedge-heavy)",
+            cq: Cq::new(
+                vec![v("x"), v("y"), v("z")],
+                vec![
+                    Atom::new(v("x"), ds.knows, v("y")),
+                    Atom::new(v("y"), ds.knows, v("z")),
+                    Atom::new(v("x"), ds.knows, v("z")),
+                ],
+            )?,
+        },
+        NamedQuery {
+            name: "W02",
+            description:
+                "star: a typed hub knowing and liking (hub var in 3 atoms; subclass reformulation)",
+            cq: Cq::new(
+                vec![v("x"), v("a"), v("b")],
+                vec![
+                    Atom::new(v("x"), ID_RDF_TYPE, ds.agent),
+                    Atom::new(v("x"), ds.knows, v("a")),
+                    Atom::new(v("x"), ds.likes, v("b")),
+                ],
+            )?,
+        },
+        NamedQuery {
+            name: "W03",
+            description: "path: x knows y, y knows z (acyclic control — bind join territory)",
+            cq: Cq::new(
+                vec![v("x"), v("z")],
+                vec![
+                    Atom::new(v("x"), ds.knows, v("y")),
+                    Atom::new(v("y"), ds.knows, v("z")),
+                ],
+            )?,
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfref_model::Schema;
+
+    #[test]
+    fn triangle_answers_are_exactly_the_planted_ones() {
+        let ds = generate(&WcojConfig {
+            hubs: 4,
+            spokes: 6,
+            likes_per_hub: 2,
+            triangles: 3,
+        });
+        let edges: std::collections::HashSet<(TermId, TermId)> = ds
+            .graph
+            .iter()
+            .filter(|t| t.p == ds.knows)
+            .map(|t| (t.s, t.o))
+            .collect();
+        let mut triangles = 0;
+        for &(x, y) in &edges {
+            for &(a, z) in &edges {
+                if a == y && edges.contains(&(x, z)) {
+                    triangles += 1;
+                }
+            }
+        }
+        assert_eq!(triangles, 3);
+    }
+
+    #[test]
+    fn schema_layer_is_a_two_level_chain() {
+        let ds = generate(&WcojConfig::default());
+        let schema = Schema::from_graph(&ds.graph);
+        assert_eq!(schema.subclass.len(), 2);
+        // No property hierarchy — the triangle must stay a single CQ under
+        // every Ref strategy (see the module docs).
+        assert_eq!(schema.subproperty.len(), 0);
+        let closure = schema.closure();
+        assert!(closure.is_subclass(ds.person, ds.agent));
+    }
+
+    #[test]
+    fn deterministic_and_sized_by_config() {
+        let cfg = WcojConfig {
+            hubs: 2,
+            spokes: 3,
+            likes_per_hub: 1,
+            triangles: 1,
+        };
+        let a = generate(&cfg);
+        assert_eq!(a.graph, generate(&cfg).graph);
+        let knows_edges = a.graph.iter().filter(|t| t.p == a.knows).count();
+        let likes_edges = a.graph.iter().filter(|t| t.p == a.likes).count();
+        // 2 knows edges per spoke pair + 3 per planted triangle.
+        assert_eq!(knows_edges, 2 * 2 * 3 + 3);
+        assert_eq!(likes_edges, 2);
+    }
+
+    #[test]
+    fn mix_is_well_formed() {
+        let ds = generate(&WcojConfig::default());
+        let mix = wcoj_mix(&ds).unwrap();
+        assert_eq!(mix.len(), 3);
+        // W01 is the cyclic stressor.
+        assert_eq!(mix[0].cq.size(), 3);
+    }
+}

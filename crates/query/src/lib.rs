@@ -30,6 +30,7 @@ pub mod display;
 pub mod error;
 pub mod parser;
 pub mod var;
+pub mod varorder;
 
 pub use ast::{Atom, Cq, Jucq, PTerm, Ucq};
 pub use cover::Cover;

@@ -38,6 +38,10 @@ pub struct CostParams {
     pub parse_cost_per_cq: f64,
     /// Compile overhead per atom of the query text.
     pub parse_cost_per_atom: f64,
+    /// Minimum second-smallest atom cardinality of a star body before the
+    /// `Auto` join policy prefers WCOJ over chained bind joins: below this,
+    /// intermediate results are too small for the leapfrog setup to pay off.
+    pub wcoj_star_min_card: f64,
 }
 
 impl Default for CostParams {
@@ -49,6 +53,7 @@ impl Default for CostParams {
             probe_cost_per_row: 4.0,
             parse_cost_per_cq: 25.0,
             parse_cost_per_atom: 5.0,
+            wcoj_star_min_card: 64.0,
         }
     }
 }
@@ -64,6 +69,15 @@ pub struct CostEstimate {
 
 /// Per-variable distinct-value estimates, propagated through joins.
 type VMap = FxHashMap<Var, f64>;
+
+/// The cost model's `Auto` verdict for a CQ body's physical join algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinChoice {
+    /// The chosen algorithm (`BindJoin` or `Wcoj`, never `Auto`).
+    pub algorithm: crate::evaluator::JoinAlgorithm,
+    /// Human-readable rationale, rendered by `explain analyze`.
+    pub reason: String,
+}
 
 /// The cost model: statistics + parameters.
 #[derive(Debug, Clone)]
@@ -243,6 +257,51 @@ impl<'a> CostModel<'a> {
             }
         }
         order
+    }
+
+    /// The `Auto` physical-join verdict for a CQ body. Purely structural +
+    /// statistical, never data-touching:
+    ///
+    /// * fewer than 3 atoms — bind join (a single binary join cannot lose
+    ///   asymptotically);
+    /// * cyclic variable hypergraph (GYO) — WCOJ: binary plans on cyclic
+    ///   bodies materialize intermediates a worst-case-optimal join never
+    ///   builds (the triangle's `O(N^{3/2})` vs `O(N²)`);
+    /// * star body (a hub variable in ≥ 3 atoms) whose second-smallest atom
+    ///   is estimated above [`CostParams::wcoj_star_min_card`] — WCOJ: the
+    ///   leapfrog intersects the hub's adjacency lists instead of chaining
+    ///   bind joins through them;
+    /// * otherwise — bind join.
+    pub fn choose_join_algorithm(&self, body: &[Atom]) -> JoinChoice {
+        use crate::evaluator::JoinAlgorithm;
+        use rdfref_query::varorder;
+        if body.len() < 3 {
+            return JoinChoice {
+                algorithm: JoinAlgorithm::BindJoin,
+                reason: "auto: fewer than 3 atoms".to_string(),
+            };
+        }
+        if varorder::is_cyclic(body) {
+            return JoinChoice {
+                algorithm: JoinAlgorithm::Wcoj,
+                reason: "auto: cyclic join graph".to_string(),
+            };
+        }
+        if let Some((hub, n)) = varorder::hub(body) {
+            let mut cards: Vec<f64> = body.iter().map(|a| self.atom_cardinality(a)).collect();
+            cards.sort_by(f64::total_cmp);
+            let second_smallest = cards.get(1).copied().unwrap_or(0.0);
+            if second_smallest >= self.params.wcoj_star_min_card {
+                return JoinChoice {
+                    algorithm: JoinAlgorithm::Wcoj,
+                    reason: format!("auto: star join (?{} in {} atoms)", hub.name(), n),
+                };
+            }
+        }
+        JoinChoice {
+            algorithm: JoinAlgorithm::BindJoin,
+            reason: "auto: acyclic, bind-join chain is cheap".to_string(),
+        }
     }
 
     /// Estimate a CQ: cardinality + cost, and the distinct-value map of its
@@ -475,6 +534,59 @@ mod tests {
 
     fn v(n: &str) -> Var {
         Var::new(n)
+    }
+
+    #[test]
+    fn auto_join_choice_triangle_star_chain() {
+        use crate::evaluator::JoinAlgorithm;
+        let (stats, ids) = fixture();
+        let m = CostModel::new(&stats);
+        let p = ids[0];
+        let triangle = vec![
+            Atom::new(v("x"), p, v("y")),
+            Atom::new(v("y"), p, v("z")),
+            Atom::new(v("x"), p, v("z")),
+        ];
+        let chain = vec![
+            Atom::new(v("x"), p, v("y")),
+            Atom::new(v("y"), p, v("z")),
+            Atom::new(v("z"), p, v("w")),
+        ];
+        let star = vec![
+            Atom::new(v("h"), p, v("a")),
+            Atom::new(v("h"), p, v("b")),
+            Atom::new(v("h"), p, v("c")),
+        ];
+        let two = vec![Atom::new(v("x"), p, v("y")), Atom::new(v("y"), p, v("z"))];
+        let c = m.choose_join_algorithm(&triangle);
+        assert_eq!(c.algorithm, JoinAlgorithm::Wcoj);
+        assert!(c.reason.contains("cyclic"), "{}", c.reason);
+        let c = m.choose_join_algorithm(&chain);
+        assert_eq!(c.algorithm, JoinAlgorithm::BindJoin, "{}", c.reason);
+        // Star over the 100-row p-relation: every atom card = 100 ≥ 64.
+        let c = m.choose_join_algorithm(&star);
+        assert_eq!(c.algorithm, JoinAlgorithm::Wcoj);
+        assert!(c.reason.contains("star"), "{}", c.reason);
+        let c = m.choose_join_algorithm(&two);
+        assert_eq!(c.algorithm, JoinAlgorithm::BindJoin);
+        assert!(c.reason.contains("fewer than 3"), "{}", c.reason);
+    }
+
+    #[test]
+    fn small_star_stays_bind_join() {
+        use crate::evaluator::JoinAlgorithm;
+        let (stats, ids) = fixture();
+        let mut m = CostModel::new(&stats);
+        // Raise the gate above the 100-row atoms: the star falls back.
+        m.params.wcoj_star_min_card = 1_000.0;
+        let p = ids[0];
+        let star = vec![
+            Atom::new(v("h"), p, v("a")),
+            Atom::new(v("h"), p, v("b")),
+            Atom::new(v("h"), p, v("c")),
+        ];
+        let c = m.choose_join_algorithm(&star);
+        assert_eq!(c.algorithm, JoinAlgorithm::BindJoin, "{}", c.reason);
     }
 
     #[test]

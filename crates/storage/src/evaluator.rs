@@ -65,6 +65,29 @@ impl Parallelism {
     }
 }
 
+/// Physical join algorithm policy for CQ bodies.
+///
+/// * `BindJoin` — the classic left-deep chain of index-nested-loop /
+///   hash joins (the default; what the paper's RDBMS back-ends run).
+/// * `Wcoj` — the worst-case-optimal leapfrog triejoin of
+///   [`crate::wcoj`]; falls back to bind join per-CQ when no feasible
+///   trie binding exists (repeated-variable atoms, atoms spanning
+///   shards).
+/// * `Auto` — the cost model picks per CQ: WCOJ for cyclic and big-star
+///   bodies, bind join otherwise
+///   ([`crate::cost::CostModel::choose_join_algorithm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum JoinAlgorithm {
+    /// Left-deep bind-join / hash-join chains (the classic evaluator).
+    #[default]
+    BindJoin,
+    /// Worst-case-optimal leapfrog triejoin over the permutation indexes.
+    Wcoj,
+    /// Cost-model choice per CQ body.
+    Auto,
+}
+
 /// The evaluation engine: a triple source, its statistics, and execution
 /// limits.
 #[derive(Debug, Clone)]
@@ -78,6 +101,8 @@ pub struct Evaluator<'a> {
     pub row_budget: Option<usize>,
     /// Intra-query parallelism policy.
     pub parallelism: Parallelism,
+    /// Physical join algorithm policy.
+    pub join_algorithm: JoinAlgorithm,
     /// Observability sink; disabled by default (one branch per event).
     pub obs: Obs,
 }
@@ -94,6 +119,7 @@ impl<'a> Evaluator<'a> {
             stats,
             row_budget: None,
             parallelism: Parallelism::Off,
+            join_algorithm: JoinAlgorithm::BindJoin,
             obs: Obs::disabled(),
         }
     }
@@ -167,8 +193,42 @@ impl<'a> Evaluator<'a> {
         let _span = self.obs.span("eval.cq");
         let model = CostModel::new(self.stats);
         let mut acc = Relation::unit();
+        // Physical dispatch: the arbitration in `wcoj::physical_choice` is
+        // shared with `Explain`, so what runs is what gets rendered. A
+        // `BindJoin` verdict (requested, cost-model, or fallback) keeps the
+        // classic chain below byte-identical to before.
+        let mut wcoj_done = false;
+        if self.join_algorithm != JoinAlgorithm::BindJoin && !cq.body.is_empty() {
+            let choice =
+                crate::wcoj::physical_choice(self.store, self.stats, self.join_algorithm, &cq.body);
+            if let Some(plan) = &choice.plan {
+                if let Some(tries) = crate::wcoj::tries(self.store, plan) {
+                    let sw = self.obs.stopwatch();
+                    acc = crate::wcoj::eval(
+                        &tries,
+                        plan,
+                        self.parallelism,
+                        self.row_budget,
+                        &self.obs,
+                    )?;
+                    metrics.record_timed(
+                        format!("lfj({} atoms)", plan.atom_count()),
+                        acc.len(),
+                        sw.elapsed(),
+                    );
+                    wcoj_done = true;
+                }
+            }
+        }
+        if wcoj_done && acc.is_empty() {
+            metrics.record("project+dedup", 0);
+            return Ok(Relation::empty(out.to_vec()));
+        }
         let mut first = true;
         for &idx in &model.order_atoms(&cq.body) {
+            if wcoj_done {
+                break;
+            }
             let atom = &cq.body[idx];
             if first {
                 let sw = self.obs.stopwatch();
@@ -629,6 +689,78 @@ mod tests {
         .unwrap();
         let (rel, _) = eval_cq(&store, &stats, &cq).unwrap();
         assert_eq!(rel.to_rows(), vec![vec![ids[0]]]);
+    }
+
+    #[test]
+    fn forced_wcoj_matches_bind_join() {
+        let (store, stats, ids) = fixture();
+        let bodies = vec![
+            // triangle
+            vec![
+                Atom::new(v("x"), ids[3], v("y")),
+                Atom::new(v("y"), ids[3], v("z")),
+                Atom::new(v("x"), ids[3], v("z")),
+            ],
+            // chain + type filter
+            vec![
+                Atom::new(v("x"), ids[3], v("y")),
+                Atom::new(v("x"), ID_RDF_TYPE, ids[4]),
+            ],
+            // single atom
+            vec![Atom::new(v("x"), ids[3], v("y"))],
+        ];
+        for body in bodies {
+            let head: Vec<Var> = vec![v("x")];
+            let cq = Cq::new(head.clone(), body).unwrap();
+            let mut m1 = ExecMetrics::default();
+            let base = Evaluator::new(&store, &stats)
+                .eval_cq(&cq, &head, &mut m1)
+                .unwrap();
+            for algo in [JoinAlgorithm::Wcoj, JoinAlgorithm::Auto] {
+                let mut ev = Evaluator::new(&store, &stats);
+                ev.join_algorithm = algo;
+                let mut m2 = ExecMetrics::default();
+                let got = ev.eval_cq(&cq, &head, &mut m2).unwrap();
+                let mut a = base.to_rows();
+                let mut b = got.to_rows();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "{algo:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wcoj_dispatch_records_lfj_step_and_counters() {
+        let (store, stats, ids) = fixture();
+        let cq = Cq::new(
+            vec![v("x")],
+            vec![
+                Atom::new(v("x"), ids[3], v("y")),
+                Atom::new(v("y"), ids[3], v("z")),
+                Atom::new(v("x"), ids[3], v("z")),
+            ],
+        )
+        .unwrap();
+        let registry = std::sync::Arc::new(rdfref_obs::MetricsRegistry::default());
+        let mut ev = Evaluator::new(&store, &stats).with_obs(Obs::collecting(registry.clone()));
+        ev.join_algorithm = JoinAlgorithm::Wcoj;
+        let mut m = ExecMetrics::default();
+        let rel = ev.eval_cq(&cq, &[v("x")], &mut m).unwrap();
+        assert_eq!(rel.to_rows(), vec![vec![ids[0]]]);
+        assert!(m.steps.iter().any(|s| s.label.starts_with("lfj(3 atoms)")));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("op.lfj.atoms"), 3);
+        assert!(snap.counter("op.lfj.seeks") > 0);
+        assert_eq!(snap.counter("op.lfj.rows"), 1);
+    }
+
+    #[test]
+    fn join_algorithm_default_is_bind_join() {
+        let (store, stats, _) = fixture();
+        let ev = Evaluator::new(&store, &stats);
+        assert_eq!(ev.join_algorithm, JoinAlgorithm::BindJoin);
+        assert_eq!(JoinAlgorithm::default(), JoinAlgorithm::BindJoin);
     }
 
     #[test]

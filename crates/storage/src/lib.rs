@@ -22,7 +22,10 @@
 //!   report intermediate-result sizes exactly as Example 1 of the paper
 //!   does;
 //! * [`cost`] — cardinality estimation + cost formulas for CQs, UCQs and
-//!   JUCQs (the function `c` of §4 of the paper).
+//!   JUCQs (the function `c` of §4 of the paper);
+//! * [`wcoj`] — a worst-case-optimal leapfrog-triejoin executor over the
+//!   same permutation indexes, selected per CQ by the
+//!   [`evaluator::JoinAlgorithm`] policy.
 
 #![forbid(unsafe_code)]
 
@@ -34,11 +37,15 @@ mod morsel;
 pub mod relation;
 pub mod stats;
 pub mod store;
+pub mod wcoj;
 
-pub use cost::{CostEstimate, CostModel};
+pub use cost::{CostEstimate, CostModel, JoinChoice};
 pub use error::{Result, StorageError};
-pub use evaluator::{eval_cq, eval_jucq, eval_ucq, Parallelism, DEFAULT_MORSEL_SIZE};
+pub use evaluator::{
+    eval_cq, eval_jucq, eval_ucq, JoinAlgorithm, Parallelism, DEFAULT_MORSEL_SIZE,
+};
 pub use exec::ExecMetrics;
 pub use relation::Relation;
 pub use stats::{Stats, StatsMaintainer};
 pub use store::{shard_of_predicate, Bound, RangePattern, ShardedStore, Store, TripleSource};
+pub use wcoj::{physical_choice, PhysicalChoice, WcojPlan};

@@ -39,7 +39,7 @@ fn worker_count(n_morsels: usize) -> usize {
 /// Run `n_morsels` work units through a self-scheduling worker pool.
 /// `work(m)` produces the partial relation for morsel `m`; partials are
 /// assembled in morsel order into a relation with `columns`.
-fn run_morsels<F>(
+pub(crate) fn run_morsels<F>(
     n_morsels: usize,
     columns: Vec<rdfref_query::Var>,
     obs: &Obs,

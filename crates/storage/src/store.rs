@@ -49,7 +49,7 @@ pub enum Order {
 impl Order {
     /// Permute an SPO triple into this order's key layout.
     #[inline]
-    fn key(self, t: &EncodedTriple) -> [TermId; 3] {
+    pub(crate) fn key(self, t: &EncodedTriple) -> [TermId; 3] {
         match self {
             Order::Spo => [t.s, t.p, t.o],
             Order::Pos => [t.p, t.o, t.s],
@@ -59,13 +59,36 @@ impl Order {
 
     /// Recover the SPO triple from this order's key layout.
     #[inline]
-    fn unkey(self, k: &[TermId; 3]) -> EncodedTriple {
+    pub(crate) fn unkey(self, k: &[TermId; 3]) -> EncodedTriple {
         match self {
             Order::Spo => EncodedTriple::new(k[0], k[1], k[2]),
             Order::Pos => EncodedTriple::new(k[2], k[0], k[1]),
             Order::Osp => EncodedTriple::new(k[1], k[2], k[0]),
         }
     }
+
+    /// The key position (0–2) a triple position occupies in this layout,
+    /// where `pos` is 0 = subject, 1 = property, 2 = object.
+    #[inline]
+    pub(crate) fn key_position(self, pos: usize) -> usize {
+        match self {
+            Order::Spo => pos,
+            Order::Pos => [2, 0, 1][pos],
+            Order::Osp => [1, 2, 0][pos],
+        }
+    }
+
+    /// Short uppercase name, for plan rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            Order::Spo => "SPO",
+            Order::Pos => "POS",
+            Order::Osp => "OSP",
+        }
+    }
+
+    /// All three orderings, in a fixed tie-break order.
+    pub(crate) const ALL: [Order; 3] = [Order::Spo, Order::Pos, Order::Osp];
 }
 
 /// Compare a key against a search prefix (first `prefix.len()` components).
@@ -78,7 +101,7 @@ fn cmp_prefix(k: &[TermId; 3], prefix: &[TermId]) -> Ordering {
 /// into `Arc`-shared buckets. Buckets are non-empty and pairwise disjoint;
 /// cloning the index clones only the bucket handles.
 #[derive(Debug, Clone)]
-struct SortedIndex {
+pub(crate) struct SortedIndex {
     buckets: Vec<Arc<Vec<[TermId; 3]>>>,
     len: usize,
     /// Bucket sizing used when (re)building buckets for this index.
@@ -181,6 +204,25 @@ impl SortedIndex {
         match self.buckets.get(i) {
             Some(b) => b.binary_search(key).is_ok(),
             None => false,
+        }
+    }
+
+    /// The least key `>= probe`, if any — the trie *seek* primitive of the
+    /// leapfrog-triejoin driver. Two binary searches: one over bucket
+    /// last-keys, one inside the landing bucket. Buckets are non-empty,
+    /// pairwise disjoint, and globally sorted, so if the in-bucket position
+    /// falls past the bucket's end the next bucket's first key is the
+    /// answer.
+    pub(crate) fn seek_from(&self, probe: &[TermId; 3]) -> Option<[TermId; 3]> {
+        let i = self
+            .buckets
+            .partition_point(|b| b.last().is_some_and(|l| l < probe));
+        let b = self.buckets.get(i)?;
+        let j = b.partition_point(|k| k < probe);
+        match b.get(j) {
+            Some(k) => Some(*k),
+            // `b.last() >= probe` guarantees `j < b.len()` — defensive only.
+            None => self.buckets.get(i + 1).map(|nb| nb[0]),
         }
     }
 
@@ -627,6 +669,16 @@ impl Store {
         self.spo.iter().map(|k| Order::Spo.unkey(k))
     }
 
+    /// The sorted permutation index for an ordering — the trie view the
+    /// leapfrog-triejoin driver seeks over.
+    pub(crate) fn index(&self, order: Order) -> &SortedIndex {
+        match order {
+            Order::Spo => &self.spo,
+            Order::Pos => &self.pos,
+            Order::Osp => &self.osp,
+        }
+    }
+
     /// The distinct properties, with the count of triples per property, in
     /// ascending property-id order — one grouped pass over the POS index.
     pub fn property_counts(&self) -> Vec<(TermId, usize)> {
@@ -665,6 +717,18 @@ pub trait TripleSource: std::fmt::Debug + Sync {
 
     /// Exact number of matches for a pattern.
     fn count(&self, pat: IdPattern) -> usize;
+
+    /// The single [`Store`] whose sorted permutation runs can serve as trie
+    /// views for an atom whose predicate constraint is `p` (`None` =
+    /// variable or interval predicate). The default — and any source that
+    /// cannot name one store for the atom — returns `None`, in which case
+    /// the executor falls back to bind joins. A plain store always answers;
+    /// a predicate-partitioned source answers for constant predicates by
+    /// routing to the owning shard.
+    fn trie_view(&self, p: Option<TermId>) -> Option<&Store> {
+        let _ = p;
+        None
+    }
 }
 
 impl TripleSource for Store {
@@ -686,6 +750,10 @@ impl TripleSource for Store {
 
     fn count(&self, pat: IdPattern) -> usize {
         Store::count(self, pat)
+    }
+
+    fn trie_view(&self, _p: Option<TermId>) -> Option<&Store> {
+        Some(self)
     }
 }
 
@@ -819,6 +887,18 @@ impl TripleSource for ShardedStore {
         match pat.p {
             Some(p) => self.shards[self.route(p)].count(pat),
             None => self.shards.iter().map(|s| s.count(pat)).sum(),
+        }
+    }
+
+    fn trie_view(&self, p: Option<TermId>) -> Option<&Store> {
+        match p {
+            // A constant predicate routes to exactly one shard, whose
+            // permutation runs are complete for the atom.
+            Some(p) => Some(&self.shards[self.route(p)]),
+            // Variable/interval predicates span shards — no single trie —
+            // unless the "sharded" source is degenerate with one shard.
+            None if self.shards.len() == 1 => Some(&self.shards[0]),
+            None => None,
         }
     }
 }
@@ -1166,6 +1246,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn seek_from_finds_least_key_at_or_after_probe() {
+        let triples = dense_triples(3000);
+        for target in [usize::MAX, 16] {
+            let store = Store::from_triples_with_bucket_target(&triples, target);
+            for order in Order::ALL {
+                let idx = store.index(order);
+                let keys: Vec<[TermId; 3]> = idx.iter().copied().collect();
+                // Every present key seeks to itself; its successor seeks to
+                // the next key (or None at the end).
+                for (i, k) in keys.iter().enumerate() {
+                    assert_eq!(idx.seek_from(k), Some(*k), "target {target}");
+                    let mut succ = *k;
+                    succ[2] = TermId(succ[2].0 + 1);
+                    let expect = keys[i..].iter().find(|&&n| n >= succ).copied();
+                    assert_eq!(idx.seek_from(&succ), expect, "target {target}");
+                }
+                // Probes below the first and above the last key.
+                assert_eq!(idx.seek_from(&[TermId(0); 3]), keys.first().copied());
+                assert_eq!(idx.seek_from(&[TermId(u32::MAX); 3]), None);
+            }
+        }
+    }
+
+    #[test]
+    fn trie_view_routing() {
+        let triples = dense_triples(500);
+        let single = Store::from_triples(&triples);
+        assert!(TripleSource::trie_view(&single, None).is_some());
+        assert!(TripleSource::trie_view(&single, Some(TermId(3))).is_some());
+
+        let sharded = ShardedStore::from_triples(&triples, 4);
+        // Constant predicate: the routed shard holds all its triples.
+        let p = TermId(3);
+        let view = sharded.trie_view(Some(p)).expect("routed shard");
+        assert_eq!(
+            view.count(IdPattern {
+                s: None,
+                p: Some(p),
+                o: None
+            }),
+            single.count(IdPattern {
+                s: None,
+                p: Some(p),
+                o: None
+            })
+        );
+        // Wildcard predicate spans shards: no single trie.
+        assert!(sharded.trie_view(None).is_none());
+        let one = ShardedStore::from_triples(&triples, 1);
+        assert!(one.trie_view(None).is_some());
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! L012 fixture for the WCOJ columnar-batch boundary: leapfrog output is
+//! columnar encoded-id batches, so the taint must survive the extra
+//! batch-assembly hop and still fire when the batch reaches the
+//! base-space `QueryAnswer` without a decode — and stay silent when the
+//! rows pass the `decode_*` boundary first.
+
+pub struct QueryAnswer {
+    rows: Vec<u64>,
+}
+
+struct Encoder;
+
+impl Encoder {
+    fn encode_cq(&self, q: u64) -> u64 {
+        q + 1
+    }
+    fn decode(&self, id: u64) -> u64 {
+        id - 1
+    }
+}
+
+/// The wcoj operator's output shape: columns of encoded ids.
+fn leapfrog(plan: u64) -> Vec<u64> {
+    vec![plan]
+}
+
+fn batch_to_rows(cols: Vec<u64>) -> Vec<u64> {
+    cols
+}
+
+fn decode_batch(enc: &Encoder, cols: Vec<u64>) -> Vec<u64> {
+    cols.into_iter().map(|id| enc.decode(id)).collect()
+}
+
+struct Engine {
+    enc: Encoder,
+}
+
+impl Engine {
+    /// FIRES: encode → leapfrog batch → row assembly → sink, no decode.
+    fn run_wcoj(&self, q: u64) -> QueryAnswer {
+        let plan = self.enc.encode_cq(q);
+        let batch = leapfrog(plan);
+        let rows = batch_to_rows(batch);
+        QueryAnswer { rows }
+    }
+
+    /// Clean: the batch passes the `decode_*` boundary before the sink.
+    fn run_wcoj_decoded(&self, q: u64) -> QueryAnswer {
+        let plan = self.enc.encode_cq(q);
+        let batch = leapfrog(plan);
+        let rows = decode_batch(&self.enc, batch_to_rows(batch));
+        QueryAnswer { rows }
+    }
+}

@@ -75,6 +75,27 @@ fn l012_silent_on_decode_boundaries() {
     assert_eq!(of(&v, "L012").len(), 0, "violations: {v:?}");
 }
 
+#[test]
+fn l012_covers_the_wcoj_columnar_batch_boundary() {
+    // The leapfrog executor adds a hop — encoded ids travel inside a
+    // columnar batch before row assembly — and the taint must survive it:
+    // the undecoded path fires, the `decode_*`-sanitized twin stays silent.
+    let v = lint_one(&fixture("l012_wcoj_batch.rs"));
+    let f = of(&v, "L012");
+    assert_eq!(f.len(), 1, "violations: {v:?}");
+    assert!(f[0].message.contains("QueryAnswer"), "{}", f[0].message);
+    let steps: Vec<&str> = f[0]
+        .related
+        .iter()
+        .filter(|r| r.message.contains("binding"))
+        .map(|r| r.message.as_str())
+        .collect();
+    assert!(
+        steps.iter().any(|m| m.contains("`batch`")),
+        "witness must traverse the batch hop: {steps:?}"
+    );
+}
+
 // ---- L013 ------------------------------------------------------------------
 
 #[test]

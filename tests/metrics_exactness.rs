@@ -344,6 +344,151 @@ fn morsel_ref_ucq_counters_account_every_scan_without_row_loss() {
     assert_eq!(snap.counter("op.union.rows"), 3);
 }
 
+/// One planted triangle plus an open wedge. The leapfrog triejoin must
+/// report *exact* operator counters for this fixed shape.
+fn triangle_setup() -> (Database, Cq) {
+    let doc = "@prefix ex: <http://example.org/> .\n\
+               ex:a ex:knows ex:b .\n\
+               ex:b ex:knows ex:c .\n\
+               ex:a ex:knows ex:c .\n\
+               ex:a ex:knows ex:d .\n\
+               ex:d ex:knows ex:e .\n";
+    let mut g = parse_turtle(doc).unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?x ?y ?z WHERE { \
+         ?x ex:knows ?y . ?y ex:knows ?z . ?x ex:knows ?z }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    (Database::builder().build(g), q)
+}
+
+#[test]
+fn lfj_counters_are_exact_for_a_fixed_triangle() {
+    let (db, q) = triangle_setup();
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = db
+        .query(&q)
+        .strategy(Strategy::RefUcq)
+        .join_algorithm(JoinAlgorithm::Wcoj)
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    assert_eq!(answer.len(), 1, "only the planted (a,b,c) triangle");
+    let snap = registry.snapshot();
+    // Three atoms participate in the single leapfrog evaluation, emitting
+    // exactly the one triangle row before dedup.
+    assert_eq!(snap.counter("op.lfj.atoms"), 3);
+    assert_eq!(snap.counter("op.lfj.rows"), 1);
+    // The seek/next trace over this 5-edge graph is deterministic: sorted
+    // runs are fixed by the dictionary order of a..e, so the probe counts
+    // are exact, not merely positive.
+    assert_eq!(snap.counter("op.lfj.seeks"), 36);
+    assert_eq!(snap.counter("op.lfj.next"), 6);
+    // The classic join operators stay silent — WCOJ replaced them.
+    assert_eq!(snap.counter("op.join.count"), 0);
+    assert_eq!(snap.span_count("eval.cq"), 1);
+}
+
+#[test]
+fn lfj_is_inherited_from_the_engine_default() {
+    // The builder-level knob is the request default, exactly like
+    // `Parallelism`: a Wcoj engine default makes a plain request leapfrog.
+    let doc = "@prefix ex: <http://example.org/> .\n\
+               ex:a ex:knows ex:b .\n\
+               ex:b ex:knows ex:c .\n\
+               ex:a ex:knows ex:c .\n";
+    let mut g = parse_turtle(doc).unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?x ?y ?z WHERE { \
+         ?x ex:knows ?y . ?y ex:knows ?z . ?x ex:knows ?z }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    let db = EngineBuilder::new()
+        .join_algorithm(JoinAlgorithm::Wcoj)
+        .build(g);
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = db
+        .query(&q)
+        .strategy(Strategy::RefUcq)
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    assert_eq!(answer.len(), 1);
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("op.lfj.atoms"), 3, "engine default applied");
+    assert_eq!(snap.counter("op.join.count"), 0);
+}
+
+/// The `Auto` × `RangeScan` interaction: on an interval-encoded chain the
+/// type atom reformulates to a single `type ∈ [lo,hi)` range atom, which
+/// the leapfrog plan consumes as ONE range-bounded trie level inside ONE
+/// CQ — where the classic encoding must leapfrog once per disjunct of a
+/// six-way union.
+fn chain_join_setup(encoding: rdfref_model::DictEncoding) -> (Database, Cq) {
+    let mut doc = String::from(
+        "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         @prefix ex: <http://example.org/> .\n",
+    );
+    for i in 0..5 {
+        doc.push_str(&format!("ex:K{i} rdfs:subClassOf ex:K{} .\n", i + 1));
+    }
+    for i in 0..6 {
+        doc.push_str(&format!("ex:k{i} a ex:K{i} .\nex:k{i} ex:p ex:v{i} .\n"));
+    }
+    let mut g = parse_turtle(&doc).unwrap();
+    let q = parse_select(
+        "PREFIX ex: <http://example.org/> SELECT ?x ?y WHERE { \
+         ?x a ex:K5 . ?x ex:p ?y }",
+        g.dictionary_mut(),
+    )
+    .unwrap();
+    (Database::builder().encoding(encoding).build(g), q)
+}
+
+#[test]
+fn lfj_range_atom_is_one_bounded_trie_level_not_a_union() {
+    let (classic_db, q) = chain_join_setup(rdfref_model::DictEncoding::Classic);
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = classic_db
+        .query(&q)
+        .strategy(Strategy::RefUcq)
+        .join_algorithm(JoinAlgorithm::Wcoj)
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    assert_eq!(answer.len(), 6);
+    let snap = registry.snapshot();
+    // Classic: one 2-atom leapfrog per disjunct of the 6-way union.
+    assert_eq!(snap.span_count("eval.cq"), 6, "classic: N-way union");
+    assert_eq!(snap.counter("op.lfj.atoms"), 12, "2 atoms × 6 disjuncts");
+    assert_eq!(snap.counter("op.lfj.rows"), 6);
+
+    let (interval_db, q) = chain_join_setup(rdfref_model::DictEncoding::Interval);
+    let registry = Arc::new(MetricsRegistry::new());
+    let answer = interval_db
+        .query(&q)
+        .strategy(Strategy::RefUcq)
+        .join_algorithm(JoinAlgorithm::Wcoj)
+        .collect_metrics(&registry)
+        .run()
+        .unwrap();
+    assert_eq!(answer.len(), 6, "interval answers match classic");
+    let snap = registry.snapshot();
+    // Interval: the covered chain compresses to one range atom, so the
+    // whole query is ONE leapfrog evaluation whose type atom is a single
+    // range-bounded trie level — not six point-lookup disjuncts.
+    assert_eq!(snap.span_count("eval.cq"), 1, "single disjunct");
+    assert_eq!(snap.counter("op.lfj.atoms"), 2, "one bounded level + join");
+    assert_eq!(
+        snap.counter("op.lfj.rows"),
+        6,
+        "all six instances in one pass"
+    );
+    assert_eq!(snap.counter("op.scan.count"), 0, "no classic scans");
+}
+
 #[test]
 fn registry_loses_no_increments_under_concurrency() {
     const THREADS: usize = 8;

@@ -103,8 +103,7 @@ fn downstream_model_check_features_bottom_out_in_the_facade() {
                 // feature (e.g. bench → core → sync) is fine: every chain
                 // terminates in the facade's `dep:rdfref-modelcheck`.
                 assert!(
-                    t.contains("rdfref-sync/model-check")
-                        || t.contains("rdfref-core/model-check"),
+                    t.contains("rdfref-sync/model-check") || t.contains("rdfref-core/model-check"),
                     "crates/{name}: a model-check feature must forward toward \
                      rdfref-sync/model-check, got: {t}"
                 );
